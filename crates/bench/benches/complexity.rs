@@ -1,0 +1,60 @@
+//! The §3 cost model `O(M · N · Q)`: audit runtime scaling in the
+//! number of Monte Carlo worlds (M) and scanned regions (N).
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfbench::small_lar;
+use sfscan::{AuditConfig, Auditor, RegionSet};
+
+fn bench(c: &mut Criterion) {
+    let lar = small_lar();
+    let bounds = lar.outcomes.expanded_bounding_box();
+
+    // Sweep M with N fixed.
+    let regions = RegionSet::regular_grid(bounds, 20, 10);
+    let mut g = c.benchmark_group("complexity_sweep_worlds");
+    g.sample_size(10);
+    for worlds in [49usize, 99, 199] {
+        let cfg = AuditConfig::new(0.05).with_worlds(worlds).with_seed(19);
+        g.bench_with_input(BenchmarkId::from_parameter(worlds), &cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(
+                    Auditor::new(*cfg)
+                        .audit(black_box(&lar.outcomes), black_box(&regions))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+
+    // Sweep N with M fixed.
+    let mut g = c.benchmark_group("complexity_sweep_regions");
+    g.sample_size(10);
+    for (nx, ny) in [(10usize, 5usize), (20, 10), (40, 20)] {
+        let regions = RegionSet::regular_grid(bounds, nx, ny);
+        let cfg = AuditConfig::new(0.05).with_worlds(99).with_seed(20);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(regions.len()),
+            &regions,
+            |b, regions| {
+                b.iter(|| {
+                    black_box(
+                        Auditor::new(cfg)
+                            .audit(black_box(&lar.outcomes), black_box(regions))
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figures 11/12 kernel: one-sided ("red"/"green") square scans
+//! (Appendix B.2) at reduced scale.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfbench::small_lar;
+use sfcluster::{KMeans, KMeansConfig};
+use sfscan::{AuditConfig, Auditor, Direction, RegionSet};
+
+fn bench(c: &mut Criterion) {
+    let lar = small_lar();
+    let km = KMeans::fit(&lar.locations, &KMeansConfig::new(30, 17));
+    let regions = RegionSet::squares(km.centers, &RegionSet::paper_side_lengths());
+
+    let mut g = c.benchmark_group("fig11_fig12_onesided");
+    g.sample_size(10);
+    for (name, direction) in [
+        ("two_sided", Direction::TwoSided),
+        ("low_red", Direction::Low),
+        ("high_green", Direction::High),
+    ] {
+        let cfg = AuditConfig::new(0.01)
+            .with_worlds(99)
+            .with_seed(18)
+            .with_direction(direction);
+        g.bench_with_input(BenchmarkId::new("direction", name), &cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(
+                    Auditor::new(*cfg)
+                        .audit(black_box(&lar.outcomes), black_box(&regions))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

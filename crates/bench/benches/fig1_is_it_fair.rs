@@ -1,0 +1,55 @@
+//! Figure 1 kernel: MeanVar and the audit over random regular
+//! partitionings on Synth (reduced scale; full scale in
+//! `experiments fig1`).
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sfbench::small_synth;
+use sfgeo::{Partitioning, RandomPartitioningConfig};
+use sfscan::{AuditConfig, Auditor, MeanVar, RegionSet};
+use sfstats::rng::seeded_rng;
+
+fn bench(c: &mut Criterion) {
+    let synth = small_synth();
+    let bounds = synth.expanded_bounding_box();
+    let cfg = RandomPartitioningConfig {
+        min_splits: 5,
+        max_splits: 15,
+    };
+    let mut rng = seeded_rng(11);
+    let partitionings: Vec<Partitioning> = (0..20)
+        .map(|_| Partitioning::random_regular(bounds, &cfg, &mut rng))
+        .collect();
+
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("meanvar_20_partitionings_1k_points", |b| {
+        b.iter(|| {
+            black_box(MeanVar::compute(
+                black_box(&synth),
+                black_box(&partitionings),
+            ))
+        })
+    });
+
+    let regions = RegionSet::from_partitionings(&partitionings);
+    let audit_cfg = AuditConfig::new(0.05).with_worlds(99).with_seed(12);
+    g.sample_size(10);
+    g.bench_function("audit_99_worlds_1k_points", |b| {
+        b.iter(|| {
+            black_box(
+                Auditor::new(audit_cfg)
+                    .audit(black_box(&synth), black_box(&regions))
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figures 2/3 kernel: the 100×50-style grid audit of LAR (reduced
+//! scale) plus the MeanVar contribution ranking.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sfbench::small_lar;
+use sfgeo::Partitioning;
+use sfscan::{AuditConfig, Auditor, MeanVar, RegionSet};
+
+fn bench(c: &mut Criterion) {
+    let lar = small_lar();
+    let bounds = lar.outcomes.expanded_bounding_box();
+    let regions = RegionSet::regular_grid(bounds, 50, 25);
+    let audit_cfg = AuditConfig::new(0.01).with_worlds(99).with_seed(5);
+
+    let mut g = c.benchmark_group("fig2_fig3");
+    g.sample_size(10);
+    g.bench_function("grid_audit_50x25_99_worlds_10k_points", |b| {
+        b.iter(|| {
+            black_box(
+                Auditor::new(audit_cfg)
+                    .audit(black_box(&lar.outcomes), black_box(&regions))
+                    .unwrap(),
+            )
+        })
+    });
+
+    let partitioning = Partitioning::regular(bounds, 50, 25);
+    g.bench_function("meanvar_contributions_50x25", |b| {
+        b.iter(|| {
+            black_box(MeanVar::contributions(
+                black_box(&lar.outcomes),
+                black_box(&partitioning),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

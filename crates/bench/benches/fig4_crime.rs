@@ -1,0 +1,49 @@
+//! Figure 4 kernel: the Crime pipeline (generation, forest training,
+//! prediction, equal-opportunity audit) at reduced scale.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sfdata::crime::{CrimeConfig, CrimeData};
+use sfml::RandomForestConfig;
+use sfscan::{AuditConfig, Auditor, RegionSet};
+
+fn bench(c: &mut Criterion) {
+    let cfg = CrimeConfig {
+        incidents: 10_000,
+        ..CrimeConfig::small()
+    };
+    let data = CrimeData::generate(&cfg);
+    let mut rf = RandomForestConfig::new(5, 9);
+    rf.tree.max_depth = 8;
+
+    let mut g = c.benchmark_group("fig4_crime");
+    g.sample_size(10);
+    g.bench_function("generate_10k_incidents", |b| {
+        b.iter(|| black_box(CrimeData::generate(black_box(&cfg))))
+    });
+    g.bench_function("pipeline_train_predict_10k", |b| {
+        b.iter(|| black_box(data.run_pipeline(black_box(&rf))))
+    });
+
+    let pipeline = data.run_pipeline(&rf);
+    let regions = RegionSet::regular_grid(pipeline.outcomes.expanded_bounding_box(), 20, 20);
+    let audit_cfg = AuditConfig::new(0.01).with_worlds(99).with_seed(10);
+    g.bench_function("equal_opportunity_audit_20x20", |b| {
+        b.iter(|| {
+            black_box(
+                Auditor::new(audit_cfg)
+                    .audit(black_box(&pipeline.outcomes), black_box(&regions))
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 5 kernel: the §4.3 unrestricted square scan (reduced scale:
+//! 30 k-means centers × 20 sides on the small LAR).
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sfbench::small_lar;
+use sfcluster::{KMeans, KMeansConfig};
+use sfscan::identify::select_non_overlapping;
+use sfscan::{AuditConfig, Auditor, RegionSet};
+
+fn bench(c: &mut Criterion) {
+    let lar = small_lar();
+    let mut g = c.benchmark_group("fig5_squares");
+    g.sample_size(10);
+
+    g.bench_function("kmeans_30_centers_2500_locations", |b| {
+        b.iter(|| {
+            black_box(KMeans::fit(
+                black_box(&lar.locations),
+                &KMeansConfig::new(30, 13),
+            ))
+        })
+    });
+
+    let km = KMeans::fit(&lar.locations, &KMeansConfig::new(30, 13));
+    let regions = RegionSet::squares(km.centers, &RegionSet::paper_side_lengths());
+    let audit_cfg = AuditConfig::new(0.01).with_worlds(99).with_seed(14);
+    g.bench_function("square_scan_600_regions_99_worlds", |b| {
+        b.iter(|| {
+            black_box(
+                Auditor::new(audit_cfg)
+                    .audit(black_box(&lar.outcomes), black_box(&regions))
+                    .unwrap(),
+            )
+        })
+    });
+
+    let report = Auditor::new(audit_cfg)
+        .audit(&lar.outcomes, &regions)
+        .unwrap();
+    g.bench_function("non_overlapping_selection", |b| {
+        b.iter(|| black_box(select_non_overlapping(black_box(&report.findings))))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

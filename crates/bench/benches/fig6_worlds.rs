@@ -1,0 +1,33 @@
+//! Figure 6 kernel: fair-world generation and the pure-negative
+//! cluster search of Appendix A.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sfdata::worlds::{largest_pure_negative_cluster, FairWorlds};
+
+fn bench(c: &mut Criterion) {
+    let fw = FairWorlds::uniform(1_000, 0.5, 15);
+    let world = fw.world(0);
+
+    let mut g = c.benchmark_group("fig6_worlds");
+    g.bench_function("generate_world_1k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(fw.world(i))
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("pure_cluster_search_1k", |b| {
+        b.iter(|| black_box(largest_pure_negative_cluster(black_box(&world))))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 9 kernel: the low-resolution 25×12 grid audit (Appendix
+//! B.1) at reduced scale.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sfbench::small_lar;
+use sfscan::{AuditConfig, Auditor, RegionSet};
+
+fn bench(c: &mut Criterion) {
+    let lar = small_lar();
+    let regions = RegionSet::regular_grid(lar.outcomes.expanded_bounding_box(), 25, 12);
+    let audit_cfg = AuditConfig::new(0.01).with_worlds(99).with_seed(16);
+
+    let mut g = c.benchmark_group("fig9_lowres");
+    g.sample_size(10);
+    g.bench_function("grid_audit_25x12_99_worlds_10k_points", |b| {
+        b.iter(|| {
+            black_box(
+                Auditor::new(audit_cfg)
+                    .audit(black_box(&lar.outcomes), black_box(&regions))
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

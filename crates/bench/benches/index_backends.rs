@@ -1,0 +1,85 @@
+//! Ablation: the `Q` factor of the paper's `O(M·N·Q)` cost model.
+//!
+//! Compares every range-count backend on clustered (LAR-like) data
+//! with the §4.3 mix of square queries.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfbench::clustered_points;
+use sfgeo::{Point, Rect, Region};
+use sfindex::{BruteForceIndex, GridIndex, KdTree, QuadTree, RTree, RangeCount};
+use sfstats::rng::seeded_rng;
+
+use rand::Rng;
+
+fn queries(n: usize, seed: u64) -> Vec<Region> {
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|_| {
+            let c = Point::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
+            Region::Rect(Rect::square(c, rng.gen_range(0.2..4.0)))
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let (points, labels) = clustered_points(50_000, 40, 3);
+    let qs = queries(200, 4);
+
+    let brute = BruteForceIndex::build(points.clone(), labels.clone());
+    let kd = KdTree::build(points.clone(), labels.clone());
+    let quad = QuadTree::build(points.clone(), labels.clone());
+    let grid = GridIndex::build_auto(points.clone(), labels.clone(), 16);
+    let rtree = RTree::build(points.clone(), labels.clone());
+
+    let mut g = c.benchmark_group("range_count_50k_points_200_queries");
+    let run = |b: &mut criterion::Bencher, index: &dyn RangeCount| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for q in &qs {
+                acc += index.count(black_box(q)).n;
+            }
+            black_box(acc)
+        })
+    };
+    g.bench_with_input(BenchmarkId::new("backend", "brute"), &(), |b, _| {
+        run(b, &brute)
+    });
+    g.bench_with_input(BenchmarkId::new("backend", "kdtree"), &(), |b, _| {
+        run(b, &kd)
+    });
+    g.bench_with_input(BenchmarkId::new("backend", "quadtree"), &(), |b, _| {
+        run(b, &quad)
+    });
+    g.bench_with_input(BenchmarkId::new("backend", "grid"), &(), |b, _| {
+        run(b, &grid)
+    });
+    g.bench_with_input(BenchmarkId::new("backend", "rtree"), &(), |b, _| {
+        run(b, &rtree)
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("index_build_50k_points");
+    g.sample_size(10);
+    g.bench_function("kdtree", |b| {
+        b.iter(|| KdTree::build(black_box(points.clone()), black_box(labels.clone())))
+    });
+    g.bench_function("quadtree", |b| {
+        b.iter(|| QuadTree::build(black_box(points.clone()), black_box(labels.clone())))
+    });
+    g.bench_function("grid", |b| {
+        b.iter(|| GridIndex::build_auto(black_box(points.clone()), black_box(labels.clone()), 16))
+    });
+    g.bench_function("rtree", |b| {
+        b.iter(|| RTree::build(black_box(points.clone()), black_box(labels.clone())))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Throughput of the Bernoulli scan LLR kernel — the innermost loop of
+//! every audit (`num_regions × num_worlds` evaluations per run).
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sfstats::llr::{bernoulli_llr, bernoulli_llr_directed, Counts2x2};
+use sfstats::Direction;
+
+fn bench(c: &mut Criterion) {
+    // A realistic batch of region counts.
+    let counts: Vec<Counts2x2> = (0..4096u64)
+        .map(|i| {
+            let n_in = 1 + (i * 37) % 5000;
+            let p_in = (n_in * ((i * 13) % 100)) / 100;
+            Counts2x2::new(n_in, p_in, 206_418, 127_286)
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("llr_kernel");
+    g.throughput(Throughput::Elements(counts.len() as u64));
+    g.bench_function("two_sided_batch_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cc in &counts {
+                acc += bernoulli_llr(black_box(cc));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("directed_high_batch_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cc in &counts {
+                acc += bernoulli_llr_directed(black_box(cc), Direction::High);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation: Monte Carlo design choices (DESIGN.md §4).
+//!
+//! * Null model: Bernoulli label redraw (the paper's §3 choice) vs
+//!   permutation conditioning on `P` (Kulldorff's choice).
+//! * Counting strategy: membership-list replay vs per-world re-query.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sfbench::small_lar;
+use sfscan::engine::ScanEngine;
+use sfscan::{CountingStrategy, Direction, NullModel, RegionSet};
+use sfstats::rng::world_rng;
+
+fn bench(c: &mut Criterion) {
+    let lar = small_lar();
+    let regions = RegionSet::regular_grid(lar.outcomes.expanded_bounding_box(), 40, 20);
+    let mem_engine = ScanEngine::build(&lar.outcomes, &regions, CountingStrategy::Membership);
+    let req_engine = ScanEngine::build(&lar.outcomes, &regions, CountingStrategy::Requery);
+
+    let mut g = c.benchmark_group("world_generation_10k_points");
+    g.bench_function("bernoulli", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = world_rng(1, i);
+            black_box(mem_engine.generate_world(NullModel::Bernoulli, &mut rng))
+        })
+    });
+    g.bench_function("permutation", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = world_rng(1, i);
+            black_box(mem_engine.generate_world(NullModel::Permutation, &mut rng))
+        })
+    });
+    g.finish();
+
+    let mut rng = world_rng(2, 0);
+    let labels = mem_engine.generate_world(NullModel::Bernoulli, &mut rng);
+
+    let mut g = c.benchmark_group("world_eval_800_regions_10k_points");
+    g.bench_function("membership_replay", |b| {
+        b.iter(|| black_box(mem_engine.eval_world(black_box(&labels), Direction::TwoSided)))
+    });
+    g.bench_function("requery", |b| {
+        b.iter(|| black_box(req_engine.eval_world(black_box(&labels), Direction::TwoSided)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,312 @@
+//! Seeded k-means (k-means++ initialisation + Lloyd iterations).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sfgeo::Point;
+
+/// Configuration for [`KMeans::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on total center movement (squared).
+    pub tol: f64,
+    /// RNG seed (k-means++ sampling and empty-cluster reseeding).
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Creates a config with sensible defaults (`max_iters = 100`,
+    /// `tol = 1e-10`).
+    pub fn new(k: usize, seed: u64) -> Self {
+        KMeansConfig {
+            k,
+            max_iters: 100,
+            tol: 1e-10,
+            seed,
+        }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    /// Cluster centers (length ≤ `k`; less when there are fewer
+    /// distinct points than clusters).
+    pub centers: Vec<Point>,
+    /// Per-point cluster assignment (indices into `centers`).
+    pub assignments: Vec<u32>,
+    /// Sum of squared distances of points to their centers.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Runs k-means on `points`.
+    ///
+    /// Deterministic for a given `(points, config)`. If `k >= points`
+    /// every distinct point becomes its own center.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `points` is empty.
+    pub fn fit(points: &[Point], config: &KMeansConfig) -> KMeans {
+        assert!(config.k > 0, "k must be positive");
+        assert!(!points.is_empty(), "cannot cluster an empty point set");
+        let k = config.k.min(points.len());
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut centers = plus_plus_init(points, k, &mut rng);
+        let mut assignments = vec![0u32; points.len()];
+        let mut iterations = 0;
+        let mut inertia = f64::INFINITY;
+        for iter in 0..config.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            inertia = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                let (best, d) = nearest(&centers, p);
+                assignments[i] = best as u32;
+                inertia += d;
+            }
+            // Update step.
+            let mut sums = vec![(0.0f64, 0.0f64, 0usize); centers.len()];
+            for (i, p) in points.iter().enumerate() {
+                let a = assignments[i] as usize;
+                sums[a].0 += p.x;
+                sums[a].1 += p.y;
+                sums[a].2 += 1;
+            }
+            let mut movement = 0.0;
+            for (c, center) in centers.iter_mut().enumerate() {
+                let (sx, sy, cnt) = sums[c];
+                let new = if cnt == 0 {
+                    // Empty cluster: reseed at the point farthest from
+                    // its current center (standard remedy; keeps k).
+                    let far = points
+                        .iter()
+                        .max_by(|a, b| {
+                            let da = nearest(&[*center], a).1;
+                            let db = nearest(&[*center], b).1;
+                            da.partial_cmp(&db).expect("finite distances")
+                        })
+                        .copied()
+                        .unwrap_or(*center);
+                    let _ = rng.gen::<u64>(); // keep the RNG stream stable
+                    far
+                } else {
+                    Point::new(sx / cnt as f64, sy / cnt as f64)
+                };
+                movement += center.distance_sq(&new);
+                *center = new;
+            }
+            if movement <= config.tol {
+                break;
+            }
+        }
+        // Final assignment for the converged centers.
+        let mut final_inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (best, d) = nearest(&centers, p);
+            assignments[i] = best as u32;
+            final_inertia += d;
+        }
+        inertia = final_inertia.min(inertia);
+        KMeans {
+            centers,
+            assignments,
+            inertia,
+            iterations,
+        }
+    }
+
+    /// Number of clusters actually used.
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Per-cluster point counts.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centers.len()];
+        for &a in &self.assignments {
+            sizes[a as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Index of and squared distance to the nearest center.
+fn nearest(centers: &[Point], p: &Point) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centers.iter().enumerate() {
+        let d = c.distance_sq(p);
+        if d < best_d {
+            best = i;
+            best_d = d;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ seeding: first center uniform, then each next center
+/// sampled with probability proportional to its squared distance to the
+/// nearest chosen center.
+fn plus_plus_init(points: &[Point], k: usize, rng: &mut ChaCha8Rng) -> Vec<Point> {
+    let mut centers = Vec::with_capacity(k);
+    centers.push(points[rng.gen_range(0..points.len())]);
+    let mut d2: Vec<f64> = points.iter().map(|p| centers[0].distance_sq(p)).collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with existing centers;
+            // further centers add nothing but keep `k` stable.
+            points[rng.gen_range(0..points.len())]
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            points[chosen]
+        };
+        centers.push(next);
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(next.distance_sq(p));
+        }
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Point> {
+        let mut pts = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 0.0), (5.0, 10.0)];
+        let mut rng_state = 1u64;
+        let mut next = || {
+            // Tiny xorshift for offsets; determinism without rand here.
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state % 1000) as f64 / 1000.0 - 0.5
+        };
+        for &(cx, cy) in &centers {
+            for _ in 0..50 {
+                pts.push(Point::new(cx + next(), cy + next()));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let pts = three_blobs();
+        let km = KMeans::fit(&pts, &KMeansConfig::new(3, 42));
+        assert_eq!(km.k(), 3);
+        // Each true blob center must be close to some fitted center.
+        for &(cx, cy) in &[(0.0, 0.0), (10.0, 0.0), (5.0, 10.0)] {
+            let target = Point::new(cx, cy);
+            let nearest = km
+                .centers
+                .iter()
+                .map(|c| c.distance(&target))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 1.0, "no center near ({cx},{cy}): {nearest}");
+        }
+        // Balanced sizes.
+        for s in km.cluster_sizes() {
+            assert_eq!(s, 50);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = three_blobs();
+        let a = KMeans::fit(&pts, &KMeansConfig::new(3, 7));
+        let b = KMeans::fit(&pts, &KMeansConfig::new(3, 7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_one_yields_centroid() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 3.0),
+        ];
+        let km = KMeans::fit(&pts, &KMeansConfig::new(1, 1));
+        assert_eq!(km.k(), 1);
+        assert!((km.centers[0].x - 1.0).abs() < 1e-9);
+        assert!((km.centers[0].y - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0)];
+        let km = KMeans::fit(&pts, &KMeansConfig::new(10, 1));
+        assert_eq!(km.k(), 2);
+        assert!(km.inertia < 1e-12);
+    }
+
+    #[test]
+    fn identical_points_converge() {
+        let pts = vec![Point::new(3.0, 3.0); 20];
+        let km = KMeans::fit(&pts, &KMeansConfig::new(4, 9));
+        assert!(km.inertia < 1e-12);
+        for c in &km.centers {
+            assert_eq!(*c, Point::new(3.0, 3.0));
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let pts = three_blobs();
+        let k1 = KMeans::fit(&pts, &KMeansConfig::new(1, 5)).inertia;
+        let k3 = KMeans::fit(&pts, &KMeansConfig::new(3, 5)).inertia;
+        let k10 = KMeans::fit(&pts, &KMeansConfig::new(10, 5)).inertia;
+        assert!(
+            k3 < k1 * 0.2,
+            "k=3 should explain blob structure: {k3} vs {k1}"
+        );
+        assert!(k10 <= k3 + 1e-9);
+    }
+
+    #[test]
+    fn assignments_point_to_nearest_center() {
+        let pts = three_blobs();
+        let km = KMeans::fit(&pts, &KMeansConfig::new(3, 11));
+        for (i, p) in pts.iter().enumerate() {
+            let assigned = km.assignments[i] as usize;
+            let d_assigned = km.centers[assigned].distance_sq(p);
+            for c in &km.centers {
+                assert!(c.distance_sq(p) >= d_assigned - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_points_rejected() {
+        let _ = KMeans::fit(&[], &KMeansConfig::new(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_rejected() {
+        let _ = KMeans::fit(
+            &[Point::ORIGIN],
+            &KMeansConfig {
+                k: 0,
+                ..KMeansConfig::new(1, 1)
+            },
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! k-means clustering substrate.
+//!
+//! The paper's §4.3 places scan-region centers at "the centers of a
+//! k-means clustering of the observation locations" (100 centers for
+//! LAR). This crate implements seeded, deterministic k-means with
+//! k-means++ initialisation and Lloyd iterations.
+
+//! # Example
+//!
+//! ```rust
+//! use sfcluster::{KMeans, KMeansConfig};
+//! use sfgeo::Point;
+//!
+//! let points: Vec<Point> = (0..100)
+//!     .map(|i| Point::new((i % 2) as f64 * 10.0 + (i as f64) * 1e-3, 0.0))
+//!     .collect();
+//! let km = KMeans::fit(&points, &KMeansConfig::new(2, 42));
+//! assert_eq!(km.k(), 2); // the two strands separate cleanly
+//! assert!(km.inertia < 1.0);
+//! ```
+
+pub mod kmeans;
+
+pub use kmeans::{KMeans, KMeansConfig};

@@ -1,0 +1,445 @@
+//! SynthCrime: the synthetic clone of the paper's Crime experiment.
+//!
+//! The paper (§4.1) trains a random forest on 7 features of LA crime
+//! incidents (time, police precinct, victim age/sex/descent, premise
+//! type, weapon) to predict whether an incident is *serious*, then
+//! audits the model's **equal opportunity** (true-positive rate) by
+//! location. Location is *not* a model feature, yet the model's
+//! accuracy varies spatially — the audit finds a Hollywood region
+//! whose TPR (0.51) trails the global 0.58.
+//!
+//! The generator reproduces the mechanism: incidents cluster around
+//! precinct centers in the LA bounding box; seriousness follows a
+//! feature-driven logistic process; and inside a "Hollywood" region a
+//! fraction of labels is flipped at random (concept drift). Label
+//! noise is unlearnable from the features, so any location-blind
+//! model has a depressed TPR exactly there — which is what the audit
+//! must find.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use sfgeo::{Point, Rect};
+use sfml::{ConfusionMatrix, FeatureKind, RandomForest, RandomForestConfig, TabularData};
+use sfscan::outcomes::{Measure, SpatialOutcomes};
+use sfstats::rng::{derive_seed, seeded_rng};
+
+/// LA bounding box (lon_min, lat_min, lon_max, lat_max).
+pub const LA_BBOX: (f64, f64, f64, f64) = (-118.67, 33.70, -118.15, 34.34);
+
+/// The synthetic "Hollywood" drift region.
+///
+/// Covers two of the synthetic precinct centers (the lattice row at
+/// lat ≈ 34.02), so roughly 7–9% of incidents fall inside — enough
+/// mass for the equal-opportunity audit to resolve the TPR gap, as in
+/// the paper's Figure 4 ("almost 3,000 outcomes" in the Hollywood
+/// partition).
+pub fn hollywood_region() -> Rect {
+    Rect::from_coords(-118.45, 33.94, -118.30, 34.10)
+}
+
+/// Number of synthetic police precincts (LAPD has 21 community areas).
+pub const NUM_PRECINCTS: usize = 21;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrimeConfig {
+    /// Number of incidents to generate. The paper uses 711,852; the
+    /// default is a faster 150,000 with identical structure.
+    pub incidents: usize,
+    /// Fraction of labels flipped inside the drift region.
+    pub drift_flip: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CrimeConfig {
+    /// Paper-scale configuration (711,852 incidents).
+    pub fn paper() -> Self {
+        CrimeConfig {
+            incidents: 711_852,
+            drift_flip: 0.25,
+            seed: 63,
+        }
+    }
+
+    /// Default reduced scale.
+    pub fn medium() -> Self {
+        CrimeConfig {
+            incidents: 150_000,
+            drift_flip: 0.25,
+            seed: 63,
+        }
+    }
+
+    /// Small scale for tests.
+    pub fn small() -> Self {
+        CrimeConfig {
+            incidents: 20_000,
+            drift_flip: 0.25,
+            seed: 63,
+        }
+    }
+}
+
+impl Default for CrimeConfig {
+    fn default() -> Self {
+        Self::medium()
+    }
+}
+
+/// A generated incident dataset: tabular features (with ground-truth
+/// seriousness labels) plus per-incident locations.
+#[derive(Debug, Clone)]
+pub struct CrimeData {
+    /// The 7 features + labels, in the paper's feature order:
+    /// hour, precinct, age, sex, descent, premise, weapon.
+    pub features: TabularData,
+    /// Incident locations (not a model feature).
+    pub points: Vec<Point>,
+}
+
+/// Synthetic precinct centers: a deterministic 7×3 lattice over the LA
+/// box (the exact geometry is irrelevant; only clustered density and
+/// the precinct→location association matter).
+pub fn precinct_centers() -> Vec<Point> {
+    let (lon0, lat0, lon1, lat1) = LA_BBOX;
+    let mut centers = Vec::with_capacity(NUM_PRECINCTS);
+    for j in 0..3 {
+        for i in 0..7 {
+            centers.push(Point::new(
+                lon0 + (lon1 - lon0) * (i as f64 + 0.5) / 7.0,
+                lat0 + (lat1 - lat0) * (j as f64 + 0.5) / 3.0,
+            ));
+        }
+    }
+    centers.truncate(NUM_PRECINCTS);
+    centers
+}
+
+impl CrimeData {
+    /// Generates a dataset.
+    pub fn generate(config: &CrimeConfig) -> CrimeData {
+        assert!(config.incidents > 0, "need at least one incident");
+        assert!(
+            (0.0..=1.0).contains(&config.drift_flip),
+            "drift_flip must be a probability"
+        );
+        let mut rng = seeded_rng(config.seed);
+        let centers = precinct_centers();
+        let hollywood = hollywood_region();
+        let n = config.incidents;
+
+        let mut hour = Vec::with_capacity(n);
+        let mut precinct = Vec::with_capacity(n);
+        let mut age = Vec::with_capacity(n);
+        let mut sex = Vec::with_capacity(n);
+        let mut descent = Vec::with_capacity(n);
+        let mut premise = Vec::with_capacity(n);
+        let mut weapon = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut points = Vec::with_capacity(n);
+
+        for _ in 0..n {
+            let pr = rng.gen_range(0..NUM_PRECINCTS);
+            let c = centers[pr];
+            let pt = Point::new(
+                c.x + gaussian(&mut rng) * 0.035,
+                c.y + gaussian(&mut rng) * 0.035,
+            );
+            let h = sample_hour(&mut rng);
+            let a = (35.0 + gaussian(&mut rng) * 15.0).clamp(10.0, 90.0).round();
+            let s = sample_weighted(&mut rng, &[0.48, 0.48, 0.04]);
+            let d = sample_weighted(&mut rng, &[0.30, 0.25, 0.20, 0.12, 0.08, 0.05]);
+            let pm = sample_weighted(
+                &mut rng,
+                &[0.25, 0.25, 0.12, 0.10, 0.05, 0.05, 0.05, 0.05, 0.04, 0.04],
+            );
+            let w = sample_weighted(&mut rng, &[0.45, 0.10, 0.10, 0.12, 0.12, 0.05, 0.06]);
+
+            // Ground-truth seriousness: a logistic process over the
+            // features (nothing spatial in it).
+            let score = -1.70
+                + WEAPON_EFFECT[w]
+                + PREMISE_EFFECT[pm]
+                + if !(5..=20).contains(&h) { 0.7 } else { 0.0 }
+                - (a - 35.0) / 100.0;
+            let p_serious = 1.0 / (1.0 + (-score as f64).exp());
+            let mut y = rng.gen_bool(p_serious);
+            // Concept drift: inside Hollywood a fraction of labels flips
+            // at random — unlearnable from the features.
+            if hollywood.contains(&pt) && rng.gen_bool(config.drift_flip) {
+                y = !y;
+            }
+
+            hour.push(h as f64);
+            precinct.push(pr as f64);
+            age.push(a);
+            sex.push(s as f64);
+            descent.push(d as f64);
+            premise.push(pm as f64);
+            weapon.push(w as f64);
+            labels.push(y);
+            points.push(pt);
+        }
+
+        let mut features = TabularData::new();
+        features.push_column("hour", FeatureKind::Numeric, hour);
+        features.push_column("precinct", FeatureKind::Categorical, precinct);
+        features.push_column("victim_age", FeatureKind::Numeric, age);
+        features.push_column("victim_sex", FeatureKind::Categorical, sex);
+        features.push_column("victim_descent", FeatureKind::Categorical, descent);
+        features.push_column("premise", FeatureKind::Categorical, premise);
+        features.push_column("weapon", FeatureKind::Categorical, weapon);
+        features.set_labels(labels);
+
+        CrimeData { features, points }
+    }
+
+    /// Runs the paper's pipeline: 70/30 train/test split, random-forest
+    /// training, prediction on the test set, and construction of the
+    /// equal-opportunity audit view ("we retain the predictions for the
+    /// true positive labels").
+    pub fn run_pipeline(&self, forest: &RandomForestConfig) -> CrimePipelineResult {
+        let split_seed = derive_seed(forest.seed, "crime-split");
+        let (train_idx, test_idx) = self.features.train_test_split_indices(0.3, split_seed);
+        let train = self.features.select_rows(&train_idx);
+        let test = self.features.select_rows(&test_idx);
+        let model = RandomForest::fit(&train, forest);
+        let y_pred = model.predict_batch(&test);
+        let y_true: Vec<bool> = test.labels().to_vec();
+        let test_points: Vec<Point> = test_idx.iter().map(|&i| self.points[i]).collect();
+        let cm = ConfusionMatrix::from_slices(&y_true, &y_pred);
+        let outcomes = SpatialOutcomes::from_predictions(
+            &test_points,
+            &y_true,
+            &y_pred,
+            Measure::EqualOpportunity,
+        )
+        .expect("test set contains positive-class incidents");
+        CrimePipelineResult {
+            outcomes,
+            test_points,
+            y_true,
+            y_pred,
+            accuracy: cm.accuracy(),
+            tpr: cm.tpr(),
+            fpr: cm.fpr(),
+            base_rate: self.features.positive_rate(),
+        }
+    }
+}
+
+/// Everything the Crime audit consumes.
+#[derive(Debug, Clone)]
+pub struct CrimePipelineResult {
+    /// Equal-opportunity view of the test predictions: the locations of
+    /// true-class incidents, labelled by whether the model got them
+    /// right. The local rate of this view *is* the local TPR.
+    pub outcomes: SpatialOutcomes,
+    /// All test-set locations.
+    pub test_points: Vec<Point>,
+    /// Test ground truth.
+    pub y_true: Vec<bool>,
+    /// Test predictions.
+    pub y_pred: Vec<bool>,
+    /// Test accuracy (paper: 0.78).
+    pub accuracy: f64,
+    /// Test true-positive rate (paper: 0.58).
+    pub tpr: f64,
+    /// Test false-positive rate.
+    pub fpr: f64,
+    /// Ground-truth seriousness base rate (paper: ≈0.29).
+    pub base_rate: f64,
+}
+
+const WEAPON_EFFECT: [f64; 7] = [-1.20, -0.60, 0.90, 1.80, 2.60, 1.00, 0.20];
+const PREMISE_EFFECT: [f64; 10] = [0.60, 0.00, 0.30, 0.15, 0.60, 0.90, -0.30, -0.45, 0.45, 0.00];
+
+fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Hour-of-day with a night-time bump.
+fn sample_hour(rng: &mut ChaCha8Rng) -> usize {
+    if rng.gen_bool(0.35) {
+        // Night hours 21..=23, 0..=4.
+        let pick = rng.gen_range(0..8);
+        if pick < 3 {
+            21 + pick
+        } else {
+            pick - 3
+        }
+    } else {
+        rng.gen_range(0..24)
+    }
+}
+
+fn sample_weighted(rng: &mut ChaCha8Rng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> CrimeData {
+        CrimeData::generate(&CrimeConfig::small())
+    }
+
+    #[test]
+    fn generation_shape() {
+        let d = data();
+        assert_eq!(d.features.num_rows(), 20_000);
+        assert_eq!(d.features.num_features(), 7);
+        assert_eq!(d.points.len(), 20_000);
+        let (lon0, lat0, lon1, lat1) = LA_BBOX;
+        // Nearly all incidents inside the LA box (gaussian tails may
+        // leak slightly past the border precincts).
+        let inside = d
+            .points
+            .iter()
+            .filter(|p| {
+                p.x > lon0 - 0.2 && p.x < lon1 + 0.2 && p.y > lat0 - 0.2 && p.y < lat1 + 0.2
+            })
+            .count();
+        assert_eq!(inside, d.points.len());
+    }
+
+    #[test]
+    fn base_rate_is_calibrated() {
+        // The paper's Crime data has ≈29% serious incidents
+        // (61,266 of 213,556 test rows).
+        let d = data();
+        let rate = d.features.positive_rate();
+        assert!((0.24..=0.36).contains(&rate), "base rate {rate}");
+    }
+
+    #[test]
+    fn features_have_expected_ranges() {
+        let d = data();
+        for r in 0..200 {
+            let hour = d.features.value(0, r);
+            assert!((0.0..24.0).contains(&hour));
+            let precinct = d.features.value(1, r);
+            assert!((0.0..NUM_PRECINCTS as f64).contains(&precinct));
+            let age = d.features.value(2, r);
+            assert!((10.0..=90.0).contains(&age));
+            let weapon = d.features.value(6, r);
+            assert!((0.0..7.0).contains(&weapon));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = CrimeData::generate(&CrimeConfig::small());
+        let b = CrimeData::generate(&CrimeConfig::small());
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.features.labels(), b.features.labels());
+    }
+
+    #[test]
+    fn drift_region_has_elevated_label_randomness() {
+        // Inside Hollywood the flip raises the serious rate toward 0.5.
+        let d = data();
+        let hw = hollywood_region();
+        let mut inside = (0u64, 0u64);
+        let mut outside = (0u64, 0u64);
+        for (pt, &y) in d.points.iter().zip(d.features.labels()) {
+            if hw.contains(pt) {
+                inside.0 += 1;
+                inside.1 += y as u64;
+            } else {
+                outside.0 += 1;
+                outside.1 += y as u64;
+            }
+        }
+        assert!(inside.0 > 300, "drift region too sparse: {}", inside.0);
+        let rate_in = inside.1 as f64 / inside.0 as f64;
+        let rate_out = outside.1 as f64 / outside.0 as f64;
+        assert!(
+            rate_in > rate_out + 0.05,
+            "drift should raise the local base rate: {rate_in} vs {rate_out}"
+        );
+    }
+
+    #[test]
+    fn pipeline_reaches_paper_quality() {
+        let d = CrimeData::generate(&CrimeConfig {
+            incidents: 60_000,
+            ..CrimeConfig::small()
+        });
+        let mut rf = RandomForestConfig::new(10, 7);
+        rf.tree.max_depth = 10;
+        let r = d.run_pipeline(&rf);
+        // Paper: accuracy 0.78, TPR 0.58. Loose bands — the shape is
+        // what matters (docs record exact measured values).
+        assert!(
+            (0.70..=0.88).contains(&r.accuracy),
+            "accuracy {}",
+            r.accuracy
+        );
+        assert!((0.40..=0.75).contains(&r.tpr), "tpr {}", r.tpr);
+        // The equal-opportunity view keeps only true-class incidents.
+        assert_eq!(r.outcomes.len(), r.y_true.iter().filter(|&&y| y).count());
+        // Its global rate is the TPR by construction.
+        assert!((r.outcomes.rate() - r.tpr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hollywood_tpr_is_depressed() {
+        let d = CrimeData::generate(&CrimeConfig {
+            incidents: 80_000,
+            ..CrimeConfig::small()
+        });
+        let mut rf = RandomForestConfig::new(10, 7);
+        rf.tree.max_depth = 10;
+        let r = d.run_pipeline(&rf);
+        let hw = hollywood_region();
+        let mut inside = (0u64, 0u64);
+        let mut outside = (0u64, 0u64);
+        for (pt, &correct) in r.outcomes.points().iter().zip(r.outcomes.labels()) {
+            if hw.contains(pt) {
+                inside.0 += 1;
+                inside.1 += correct as u64;
+            } else {
+                outside.0 += 1;
+                outside.1 += correct as u64;
+            }
+        }
+        assert!(
+            inside.0 > 100,
+            "need TPR mass in Hollywood, got {}",
+            inside.0
+        );
+        let tpr_in = inside.1 as f64 / inside.0 as f64;
+        let tpr_out = outside.1 as f64 / outside.0 as f64;
+        assert!(
+            tpr_in < tpr_out - 0.03,
+            "Hollywood TPR {tpr_in} should trail the rest {tpr_out}"
+        );
+    }
+
+    #[test]
+    fn precinct_centers_cover_the_box() {
+        let centers = precinct_centers();
+        assert_eq!(centers.len(), NUM_PRECINCTS);
+        let (lon0, lat0, lon1, lat1) = LA_BBOX;
+        for c in centers {
+            assert!(c.x > lon0 && c.x < lon1 && c.y > lat0 && c.y < lat1);
+        }
+    }
+}

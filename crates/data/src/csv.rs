@@ -1,0 +1,144 @@
+//! Plain-text persistence for generated datasets.
+//!
+//! The paper publishes its datasets; we persist ours so audits can be
+//! rerun on identical inputs. The format is a minimal headered CSV:
+//! `x,y,label` with `label ∈ {0, 1}`.
+
+use sfgeo::Point;
+use sfscan::outcomes::SpatialOutcomes;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Writes outcomes as `x,y,label` CSV.
+pub fn write_outcomes<W: Write>(out: W, outcomes: &SpatialOutcomes) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "x,y,label")?;
+    for (p, &l) in outcomes.points().iter().zip(outcomes.labels()) {
+        writeln!(w, "{},{},{}", p.x, p.y, l as u8)?;
+    }
+    w.flush()
+}
+
+/// Writes outcomes to a file path.
+pub fn save_outcomes(path: &Path, outcomes: &SpatialOutcomes) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_outcomes(f, outcomes)
+}
+
+/// Reads outcomes from `x,y,label` CSV.
+pub fn read_outcomes<R: BufRead>(input: R) -> io::Result<SpatialOutcomes> {
+    let mut points = Vec::new();
+    let mut labels = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || (lineno == 0 && line.starts_with('x')) {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let bad = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed CSV at line {}", lineno + 1),
+            )
+        };
+        let x: f64 = parts
+            .next()
+            .ok_or_else(bad)?
+            .trim()
+            .parse()
+            .map_err(|_| bad())?;
+        let y: f64 = parts
+            .next()
+            .ok_or_else(bad)?
+            .trim()
+            .parse()
+            .map_err(|_| bad())?;
+        let l: u8 = parts
+            .next()
+            .ok_or_else(bad)?
+            .trim()
+            .parse()
+            .map_err(|_| bad())?;
+        if parts.next().is_some() || l > 1 {
+            return Err(bad());
+        }
+        points.push(Point::new(x, y));
+        labels.push(l == 1);
+    }
+    SpatialOutcomes::new(points, labels)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Reads outcomes from a file path.
+pub fn load_outcomes(path: &Path) -> io::Result<SpatialOutcomes> {
+    let f = std::fs::File::open(path)?;
+    read_outcomes(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> SpatialOutcomes {
+        SpatialOutcomes::new(
+            vec![
+                Point::new(1.5, -2.25),
+                Point::new(0.1, 0.2),
+                Point::new(3.0, 4.0),
+            ],
+            vec![true, false, true],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let o = sample();
+        let mut buf = Vec::new();
+        write_outcomes(&mut buf, &o).unwrap();
+        let back = read_outcomes(Cursor::new(buf)).unwrap();
+        assert_eq!(back, o);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let o = sample();
+        let dir = std::env::temp_dir();
+        let path = dir.join("sfdata_csv_roundtrip_test.csv");
+        save_outcomes(&path, &o).unwrap();
+        let back = load_outcomes(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, o);
+    }
+
+    #[test]
+    fn header_and_blank_lines_are_skipped() {
+        let csv = "x,y,label\n\n1.0,2.0,1\n\n3.0,4.0,0\n";
+        let o = read_outcomes(Cursor::new(csv)).unwrap();
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.labels(), &[true, false]);
+    }
+
+    #[test]
+    fn malformed_rows_error() {
+        for bad in ["1.0,2.0", "a,b,c", "1.0,2.0,2", "1.0,2.0,1,extra"] {
+            let res = read_outcomes(Cursor::new(format!("x,y,label\n{bad}\n")));
+            assert!(res.is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let o = SpatialOutcomes::new(
+            vec![Point::new(std::f64::consts::PI, -std::f64::consts::E)],
+            vec![true],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_outcomes(&mut buf, &o).unwrap();
+        let back = read_outcomes(Cursor::new(buf)).unwrap();
+        assert_eq!(back.points()[0], o.points()[0]);
+    }
+}

@@ -1,0 +1,344 @@
+//! SynthLAR: the synthetic clone of the paper's LAR dataset.
+//!
+//! The real dataset (HMDA modified LAR, Bank of America, 2021)
+//! contains 206,418 mortgage applications — 127,286 granted (positive
+//! rate 0.62) — distributed over 50,647 census-tract centroid
+//! locations across the US. The generator reproduces the properties
+//! the paper's experiments depend on (DESIGN.md §3):
+//!
+//! * strongly non-regular, metro-clustered spatial density;
+//! * a dense Northern California block with ≈84% approvals (the
+//!   paper's most-unfair region, Figures 2b and 12);
+//! * a dense Miami block with ≈44% approvals (Figure 11's most-unfair
+//!   "red" region);
+//! * a tiny dense high-rate Tampa core and a broad Orlando cluster
+//!   (the §4.3 size-diversity observation, Figure 5);
+//! * sparse rural coverage (Iowa et al.) producing the all-negative
+//!   micro-cells that fool `MeanVar` (Figure 2a).
+
+use crate::metro::{self, Metro, FLORIDA_BBOX, METROS, RURAL_RATE, RURAL_WEIGHT, US_BBOX};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand_distr_normal::sample_normal;
+use sfgeo::Point;
+use sfscan::outcomes::SpatialOutcomes;
+use sfstats::rng::seeded_rng;
+
+/// Box–Muller standard-normal sampling (kept local: `rand` 0.8's
+/// `Standard` does not ship a normal distribution without `rand_distr`).
+mod rand_distr_normal {
+    use rand::Rng;
+
+    pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.gen::<f64>();
+            let u2: f64 = rng.gen::<f64>();
+            if u1 > f64::MIN_POSITIVE {
+                let r = (-2.0 * u1.ln()).sqrt();
+                return r * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    }
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LarConfig {
+    /// Number of applications (observations). Paper: 206,418.
+    pub observations: usize,
+    /// Number of distinct locations. Paper: 50,647.
+    pub locations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LarConfig {
+    /// The paper-scale configuration.
+    pub fn paper() -> Self {
+        LarConfig {
+            observations: 206_418,
+            locations: 50_647,
+            seed: 2021,
+        }
+    }
+
+    /// A small configuration for tests and examples (same structure,
+    /// ~20x fewer observations).
+    pub fn small() -> Self {
+        LarConfig {
+            observations: 10_000,
+            locations: 2_500,
+            seed: 2021,
+        }
+    }
+}
+
+impl Default for LarConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A generated SynthLAR dataset.
+#[derive(Debug, Clone)]
+pub struct LarDataset {
+    /// The audit view: application locations and approve/deny outcomes.
+    pub outcomes: SpatialOutcomes,
+    /// Per-observation metro index into [`METROS`], or `None` for the
+    /// rural background. Used by the experiment harness to narrate
+    /// findings ("a region in Northern California").
+    pub metro_of: Vec<Option<u16>>,
+    /// The distinct locations the observations were drawn from.
+    pub locations: Vec<Point>,
+}
+
+impl LarDataset {
+    /// Generates a dataset.
+    pub fn generate(config: &LarConfig) -> LarDataset {
+        assert!(
+            config.observations > 0 && config.locations > 0,
+            "config must be positive"
+        );
+        let mut rng = seeded_rng(config.seed);
+        let total_w = metro::total_weight();
+
+        // --- 1. Locations per metro (plus rural background). ---
+        let mut locations: Vec<Point> = Vec::with_capacity(config.locations);
+        let mut loc_metro: Vec<Option<u16>> = Vec::with_capacity(config.locations);
+        for (mi, m) in METROS.iter().enumerate() {
+            let share = m.weight / total_w;
+            let n_loc = ((config.locations as f64) * share).round().max(1.0) as usize;
+            for _ in 0..n_loc {
+                locations.push(sample_metro_location(m, &mut rng));
+                loc_metro.push(Some(mi as u16));
+            }
+        }
+        // Rural remainder.
+        let (lon0, lat0, lon1, lat1) = US_BBOX;
+        while locations.len() < config.locations {
+            locations.push(Point::new(
+                rng.gen_range(lon0..lon1),
+                rng.gen_range(lat0..lat1),
+            ));
+            loc_metro.push(None);
+        }
+
+        // Per-metro location index ranges for fast sampling.
+        let mut metro_loc_ranges: Vec<(usize, usize)> = Vec::with_capacity(METROS.len());
+        {
+            let mut start = 0usize;
+            for mi in 0..METROS.len() {
+                let mut end = start;
+                while end < loc_metro.len() && loc_metro[end] == Some(mi as u16) {
+                    end += 1;
+                }
+                metro_loc_ranges.push((start, end));
+                start = end;
+            }
+        }
+        let rural_start = metro_loc_ranges.last().map_or(0, |&(_, e)| e);
+
+        // --- 2. Observations: choose a metro by weight, a location ---
+        // within it, and an outcome at the metro's rate.
+        let mut points = Vec::with_capacity(config.observations);
+        let mut labels = Vec::with_capacity(config.observations);
+        let mut metro_of = Vec::with_capacity(config.observations);
+        // Cumulative weights: metros then rural.
+        let mut cum: Vec<f64> = Vec::with_capacity(METROS.len() + 1);
+        let mut acc = 0.0;
+        for m in METROS {
+            acc += m.weight / total_w;
+            cum.push(acc);
+        }
+        acc += RURAL_WEIGHT / total_w;
+        cum.push(acc);
+        for _ in 0..config.observations {
+            let u: f64 = rng.gen_range(0.0..cum[cum.len() - 1]);
+            let pick = cum.partition_point(|&c| c <= u);
+            if pick < METROS.len() {
+                let (s, e) = metro_loc_ranges[pick];
+                let loc = if s < e {
+                    locations[rng.gen_range(s..e)]
+                } else {
+                    sample_metro_location(&METROS[pick], &mut rng)
+                };
+                points.push(loc);
+                labels.push(rng.gen_bool(METROS[pick].rate));
+                metro_of.push(Some(pick as u16));
+            } else {
+                // Rural observation at a rural location.
+                let loc = if rural_start < locations.len() {
+                    locations[rng.gen_range(rural_start..locations.len())]
+                } else {
+                    Point::new(rng.gen_range(lon0..lon1), rng.gen_range(lat0..lat1))
+                };
+                points.push(loc);
+                labels.push(rng.gen_bool(RURAL_RATE));
+                metro_of.push(None);
+            }
+        }
+
+        let outcomes =
+            SpatialOutcomes::new(points, labels).expect("generated data is non-empty and finite");
+        LarDataset {
+            outcomes,
+            metro_of,
+            locations,
+        }
+    }
+
+    /// The distinct locations that fall inside Florida — the pool the
+    /// SemiSynth construction samples from.
+    pub fn florida_locations(&self) -> Vec<Point> {
+        let (lon0, lat0, lon1, lat1) = FLORIDA_BBOX;
+        self.locations
+            .iter()
+            .filter(|p| p.x > lon0 && p.x < lon1 && p.y > lat0 && p.y < lat1)
+            .copied()
+            .collect()
+    }
+
+    /// Name of the metro an observation belongs to (`"rural"` for the
+    /// background).
+    pub fn metro_name(&self, observation: usize) -> &'static str {
+        match self.metro_of[observation] {
+            Some(mi) => METROS[mi as usize].name,
+            None => "rural",
+        }
+    }
+
+    /// The metro table entry nearest to a point (for narrating region
+    /// findings), together with its distance in degrees.
+    pub fn nearest_metro(p: &Point) -> (&'static Metro, f64) {
+        let mut best = &METROS[0];
+        let mut best_d = f64::INFINITY;
+        for m in METROS {
+            let d = Point::new(m.lon, m.lat).distance(p);
+            if d < best_d {
+                best = m;
+                best_d = d;
+            }
+        }
+        (best, best_d)
+    }
+}
+
+fn sample_metro_location(m: &Metro, rng: &mut ChaCha8Rng) -> Point {
+    Point::new(
+        m.lon + sample_normal(rng) * m.spread,
+        m.lat + sample_normal(rng) * m.spread * 0.8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LarDataset {
+        LarDataset::generate(&LarConfig::small())
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let d = small();
+        assert_eq!(d.outcomes.len(), 10_000);
+        assert_eq!(d.metro_of.len(), 10_000);
+        assert!(d.locations.len() >= 2_500);
+    }
+
+    #[test]
+    fn global_rate_is_near_062() {
+        let d = small();
+        let rho = d.outcomes.rate();
+        assert!((rho - 0.62).abs() < 0.03, "rate {rho}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = LarDataset::generate(&LarConfig::small());
+        let b = LarDataset::generate(&LarConfig::small());
+        assert_eq!(a.outcomes, b.outcomes);
+        let c = LarDataset::generate(&LarConfig {
+            seed: 99,
+            ..LarConfig::small()
+        });
+        assert_ne!(a.outcomes, c.outcomes);
+    }
+
+    #[test]
+    fn northern_california_is_high_rate() {
+        let d = small();
+        // Observations within 1 degree of San Jose.
+        let sj = Point::new(-121.89, 37.34);
+        let mut n = 0u64;
+        let mut p = 0u64;
+        for (pt, &l) in d.outcomes.points().iter().zip(d.outcomes.labels()) {
+            if pt.distance(&sj) < 1.0 {
+                n += 1;
+                p += l as u64;
+            }
+        }
+        assert!(n > 200, "expected a dense San Jose cluster, got {n}");
+        let rate = p as f64 / n as f64;
+        assert!((rate - 0.835).abs() < 0.05, "NorCal rate {rate}");
+    }
+
+    #[test]
+    fn miami_is_low_rate() {
+        let d = small();
+        let miami = Point::new(-80.19, 25.76);
+        let mut n = 0u64;
+        let mut p = 0u64;
+        for (pt, &l) in d.outcomes.points().iter().zip(d.outcomes.labels()) {
+            if pt.distance(&miami) < 0.7 {
+                n += 1;
+                p += l as u64;
+            }
+        }
+        assert!(n > 100, "expected a dense Miami cluster, got {n}");
+        let rate = p as f64 / n as f64;
+        assert!(rate < 0.55, "Miami rate {rate}");
+    }
+
+    #[test]
+    fn florida_locations_are_in_florida() {
+        let d = small();
+        let fl = d.florida_locations();
+        assert!(fl.len() > 50, "Florida pool too small: {}", fl.len());
+        let (lon0, lat0, lon1, lat1) = FLORIDA_BBOX;
+        for p in &fl {
+            assert!(p.x > lon0 && p.x < lon1 && p.y > lat0 && p.y < lat1);
+        }
+    }
+
+    #[test]
+    fn metro_names_resolve() {
+        let d = small();
+        let name = d.metro_name(0);
+        assert!(!name.is_empty());
+        let (m, dist) = LarDataset::nearest_metro(&Point::new(-122.4, 37.75));
+        assert_eq!(m.name, "San Francisco, CA");
+        assert!(dist < 0.1);
+    }
+
+    #[test]
+    fn observations_reuse_locations() {
+        // ~4 applications per location on average: the number of
+        // distinct points must be far below the number of observations.
+        let d = small();
+        let mut distinct: Vec<(u64, u64)> = d
+            .outcomes
+            .points()
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(
+            distinct.len() < d.outcomes.len() * 3 / 4,
+            "{} distinct locations for {} observations",
+            distinct.len(),
+            d.outcomes.len()
+        );
+    }
+}

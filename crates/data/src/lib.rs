@@ -1,0 +1,58 @@
+//! Dataset substrate: generators calibrated to the paper's evaluation.
+//!
+//! The paper evaluates on two real datasets (HMDA mortgage records and
+//! LA crime incidents) that cannot be redistributed or downloaded in
+//! this environment, plus two synthetic ones it fully specifies. Per
+//! the substitution policy (DESIGN.md §3) this crate provides:
+//!
+//! * [`synth`] — **Synth** (Figure 1b), reproduced *exactly* as
+//!   specified: 10,000 uniform locations, two halves of 5,000, the
+//!   left with twice the positives of the right.
+//! * [`semisynth`] — **SemiSynth** (Figure 1a), reproduced as
+//!   specified: 10,000 Florida locations, labels Bernoulli(0.5) —
+//!   spatially fair by design.
+//! * [`lar`] — **SynthLAR**, a synthetic clone of the 2021 Bank of
+//!   America modified-LAR dataset: 206,418 observations over ~50k
+//!   locations clustered around real US metro coordinates, with local
+//!   positive rates calibrated to every statistic the paper reports
+//!   (N. California ≈ 0.84, San Jose ≈ 0.83, Miami ≈ 0.45, sparse
+//!   Iowa, overall ρ ≈ 0.62).
+//! * [`crime`] — **SynthCrime**, a synthetic clone of the LA crime
+//!   pipeline: 7-feature incidents in the LA bounding box, a
+//!   ground-truth seriousness process, concept drift inside a
+//!   "Hollywood" region (so a location-blind model has spatially
+//!   varying accuracy), and the full train→predict→audit pipeline on
+//!   our own random forest.
+//! * [`worlds`] — the Appendix A fair-world generator (Figure 6) and
+//!   the pure-negative-cluster search it illustrates.
+//! * [`redlining`] — a scenario generator for the paper's §1 redlining
+//!   motivation: a location-proxy policy that indirectly harms a
+//!   protected group (extension).
+//! * [`csv`] — plain-text persistence for generated datasets.
+//! * [`metro`] — the named metro calibration table.
+
+//! # Example
+//!
+//! ```rust
+//! use sfdata::synth::SynthConfig;
+//!
+//! // The paper's Figure 1(b) construction, exactly:
+//! let synth = SynthConfig::paper().generate(42);
+//! assert_eq!(synth.len(), 10_000);
+//! assert_eq!(synth.positives(), 5_000);
+//! ```
+
+pub mod crime;
+pub mod csv;
+pub mod lar;
+pub mod metro;
+pub mod redlining;
+pub mod semisynth;
+pub mod synth;
+pub mod worlds;
+
+pub use crime::{CrimeConfig, CrimeData, CrimePipelineResult};
+pub use lar::{LarConfig, LarDataset};
+pub use redlining::{RedliningConfig, RedliningScenario};
+pub use semisynth::SemiSynthConfig;
+pub use synth::SynthConfig;

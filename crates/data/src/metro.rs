@@ -1,0 +1,441 @@
+//! The metro calibration table behind `SynthLAR`.
+//!
+//! Each entry is a US metropolitan area with (approximate, public)
+//! coordinates, a share of the national application volume, a local
+//! approval rate, and a spatial spread. The rates are calibrated to
+//! reproduce the regional structure the paper reports for the real
+//! LAR data (see DESIGN.md §3): a high-approval Northern California
+//! block, a low-approval Miami block, a small dense high-rate Tampa
+//! core, sparse Iowa coverage, and an overall positive rate near 0.62.
+
+/// One metro area in the calibration table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metro {
+    /// Display name ("San Jose, CA").
+    pub name: &'static str,
+    /// Longitude of the metro center (degrees).
+    pub lon: f64,
+    /// Latitude of the metro center (degrees).
+    pub lat: f64,
+    /// Share of total application volume (relative; normalised at use).
+    pub weight: f64,
+    /// Local approval (positive) rate.
+    pub rate: f64,
+    /// Gaussian spread of locations around the center (degrees).
+    pub spread: f64,
+}
+
+/// The calibration table. Weights are relative shares; the remainder
+/// up to 1.0 (after normalisation against [`RURAL_WEIGHT`]) is rural
+/// background spread uniformly over the continental US.
+pub const METROS: &[Metro] = &[
+    Metro {
+        name: "New York, NY",
+        lon: -74.00,
+        lat: 40.71,
+        weight: 0.080,
+        rate: 0.580,
+        spread: 0.25,
+    },
+    Metro {
+        name: "Los Angeles, CA",
+        lon: -118.24,
+        lat: 34.05,
+        weight: 0.070,
+        rate: 0.550,
+        spread: 0.28,
+    },
+    Metro {
+        name: "Chicago, IL",
+        lon: -87.63,
+        lat: 41.88,
+        weight: 0.050,
+        rate: 0.550,
+        spread: 0.22,
+    },
+    Metro {
+        name: "Houston, TX",
+        lon: -95.37,
+        lat: 29.76,
+        weight: 0.045,
+        rate: 0.540,
+        spread: 0.22,
+    },
+    Metro {
+        name: "Phoenix, AZ",
+        lon: -112.07,
+        lat: 33.45,
+        weight: 0.030,
+        rate: 0.635,
+        spread: 0.20,
+    },
+    Metro {
+        name: "Philadelphia, PA",
+        lon: -75.17,
+        lat: 39.95,
+        weight: 0.030,
+        rate: 0.540,
+        spread: 0.18,
+    },
+    Metro {
+        name: "San Antonio, TX",
+        lon: -98.49,
+        lat: 29.42,
+        weight: 0.020,
+        rate: 0.550,
+        spread: 0.18,
+    },
+    Metro {
+        name: "San Diego, CA",
+        lon: -117.16,
+        lat: 32.72,
+        weight: 0.030,
+        rate: 0.660,
+        spread: 0.18,
+    },
+    Metro {
+        name: "Dallas, TX",
+        lon: -96.80,
+        lat: 32.78,
+        weight: 0.045,
+        rate: 0.550,
+        spread: 0.22,
+    },
+    // --- the Northern California high-approval block (Figures 2b, 12) ---
+    Metro {
+        name: "San Jose, CA",
+        lon: -121.89,
+        lat: 37.34,
+        weight: 0.060,
+        rate: 0.83,
+        spread: 0.18,
+    },
+    Metro {
+        name: "San Francisco, CA",
+        lon: -122.42,
+        lat: 37.77,
+        weight: 0.040,
+        rate: 0.84,
+        spread: 0.12,
+    },
+    Metro {
+        name: "Oakland, CA",
+        lon: -122.27,
+        lat: 37.80,
+        weight: 0.020,
+        rate: 0.84,
+        spread: 0.10,
+    },
+    Metro {
+        name: "Sacramento, CA",
+        lon: -121.49,
+        lat: 38.58,
+        weight: 0.028,
+        rate: 0.84,
+        spread: 0.16,
+    },
+    // --- the Florida structure (Figures 5, 11) ---
+    Metro {
+        name: "Miami, FL",
+        lon: -80.19,
+        lat: 25.76,
+        weight: 0.030,
+        rate: 0.44,
+        spread: 0.16,
+    },
+    Metro {
+        name: "Fort Lauderdale, FL",
+        lon: -80.14,
+        lat: 26.12,
+        weight: 0.012,
+        rate: 0.47,
+        spread: 0.10,
+    },
+    Metro {
+        name: "Orlando, FL",
+        lon: -81.38,
+        lat: 28.54,
+        weight: 0.023,
+        rate: 0.74,
+        spread: 0.22,
+    },
+    Metro {
+        name: "Tampa, FL",
+        lon: -82.46,
+        lat: 27.95,
+        weight: 0.0035,
+        rate: 0.82,
+        spread: 0.04,
+    },
+    Metro {
+        name: "Jacksonville, FL",
+        lon: -81.66,
+        lat: 30.33,
+        weight: 0.012,
+        rate: 0.650,
+        spread: 0.14,
+    },
+    // --- the rest of the country ---
+    Metro {
+        name: "Atlanta, GA",
+        lon: -84.39,
+        lat: 33.75,
+        weight: 0.040,
+        rate: 0.645,
+        spread: 0.22,
+    },
+    Metro {
+        name: "Charlotte, NC",
+        lon: -80.84,
+        lat: 35.23,
+        weight: 0.025,
+        rate: 0.645,
+        spread: 0.18,
+    },
+    Metro {
+        name: "Seattle, WA",
+        lon: -122.33,
+        lat: 47.61,
+        weight: 0.035,
+        rate: 0.670,
+        spread: 0.18,
+    },
+    Metro {
+        name: "Portland, OR",
+        lon: -122.68,
+        lat: 45.52,
+        weight: 0.020,
+        rate: 0.660,
+        spread: 0.16,
+    },
+    Metro {
+        name: "Denver, CO",
+        lon: -104.99,
+        lat: 39.74,
+        weight: 0.030,
+        rate: 0.660,
+        spread: 0.18,
+    },
+    Metro {
+        name: "Boston, MA",
+        lon: -71.06,
+        lat: 42.36,
+        weight: 0.030,
+        rate: 0.670,
+        spread: 0.16,
+    },
+    Metro {
+        name: "Washington, DC",
+        lon: -77.04,
+        lat: 38.91,
+        weight: 0.040,
+        rate: 0.645,
+        spread: 0.20,
+    },
+    Metro {
+        name: "Detroit, MI",
+        lon: -83.05,
+        lat: 42.33,
+        weight: 0.025,
+        rate: 0.460,
+        spread: 0.18,
+    },
+    Metro {
+        name: "Minneapolis, MN",
+        lon: -93.27,
+        lat: 44.98,
+        weight: 0.025,
+        rate: 0.585,
+        spread: 0.18,
+    },
+    Metro {
+        name: "St. Louis, MO",
+        lon: -90.20,
+        lat: 38.63,
+        weight: 0.020,
+        rate: 0.550,
+        spread: 0.16,
+    },
+    Metro {
+        name: "Kansas City, MO",
+        lon: -94.58,
+        lat: 39.10,
+        weight: 0.015,
+        rate: 0.570,
+        spread: 0.16,
+    },
+    // --- sparse Iowa (Figure 2a's suspicious-but-insignificant cells) ---
+    Metro {
+        name: "Des Moines, IA",
+        lon: -93.62,
+        lat: 41.59,
+        weight: 0.004,
+        rate: 0.60,
+        spread: 0.50,
+    },
+    Metro {
+        name: "Cedar Rapids, IA",
+        lon: -91.67,
+        lat: 41.98,
+        weight: 0.002,
+        rate: 0.58,
+        spread: 0.40,
+    },
+    Metro {
+        name: "Nashville, TN",
+        lon: -86.78,
+        lat: 36.16,
+        weight: 0.020,
+        rate: 0.650,
+        spread: 0.18,
+    },
+    Metro {
+        name: "Las Vegas, NV",
+        lon: -115.14,
+        lat: 36.17,
+        weight: 0.020,
+        rate: 0.540,
+        spread: 0.14,
+    },
+    Metro {
+        name: "Salt Lake City, UT",
+        lon: -111.89,
+        lat: 40.76,
+        weight: 0.015,
+        rate: 0.670,
+        spread: 0.14,
+    },
+    Metro {
+        name: "Austin, TX",
+        lon: -97.74,
+        lat: 30.27,
+        weight: 0.025,
+        rate: 0.670,
+        spread: 0.16,
+    },
+    Metro {
+        name: "New Orleans, LA",
+        lon: -90.07,
+        lat: 29.95,
+        weight: 0.012,
+        rate: 0.480,
+        spread: 0.14,
+    },
+    Metro {
+        name: "Pittsburgh, PA",
+        lon: -79.99,
+        lat: 40.44,
+        weight: 0.018,
+        rate: 0.59,
+        spread: 0.16,
+    },
+    Metro {
+        name: "Cleveland, OH",
+        lon: -81.69,
+        lat: 41.50,
+        weight: 0.018,
+        rate: 0.510,
+        spread: 0.14,
+    },
+    Metro {
+        name: "Columbus, OH",
+        lon: -82.99,
+        lat: 39.96,
+        weight: 0.020,
+        rate: 0.640,
+        spread: 0.16,
+    },
+    Metro {
+        name: "Baltimore, MD",
+        lon: -76.61,
+        lat: 39.29,
+        weight: 0.018,
+        rate: 0.520,
+        spread: 0.14,
+    },
+];
+
+/// Relative weight of the rural background (uniform over the
+/// continental US at [`RURAL_RATE`]).
+pub const RURAL_WEIGHT: f64 = 0.04;
+
+/// Approval rate of the rural background.
+pub const RURAL_RATE: f64 = 0.55;
+
+/// Continental-US bounding box (lon_min, lat_min, lon_max, lat_max).
+pub const US_BBOX: (f64, f64, f64, f64) = (-124.7, 25.1, -67.0, 49.4);
+
+/// Florida bounding box, used by the SemiSynth construction
+/// ("locations that are randomly selected in Florida").
+pub const FLORIDA_BBOX: (f64, f64, f64, f64) = (-87.6, 24.5, -80.0, 31.0);
+
+/// Sum of all metro weights plus the rural weight (the normaliser).
+pub fn total_weight() -> f64 {
+    METROS.iter().map(|m| m.weight).sum::<f64>() + RURAL_WEIGHT
+}
+
+/// The volume-weighted average positive rate of the table — the
+/// expected global `ρ` of a generated SynthLAR dataset.
+pub fn expected_global_rate() -> f64 {
+    let metro: f64 = METROS.iter().map(|m| m.weight * m.rate).sum();
+    (metro + RURAL_WEIGHT * RURAL_RATE) / total_weight()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_positive_and_rates_are_probabilities() {
+        for m in METROS {
+            assert!(m.weight > 0.0, "{}", m.name);
+            assert!((0.0..=1.0).contains(&m.rate), "{}", m.name);
+            assert!(m.spread > 0.0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn coordinates_are_inside_the_us_bbox() {
+        let (lon0, lat0, lon1, lat1) = US_BBOX;
+        for m in METROS {
+            assert!(m.lon > lon0 && m.lon < lon1, "{} lon {}", m.name, m.lon);
+            assert!(m.lat > lat0 && m.lat < lat1, "{} lat {}", m.name, m.lat);
+        }
+    }
+
+    #[test]
+    fn expected_rate_matches_the_papers_global_rate() {
+        // The paper's LAR has overall positive rate 0.62.
+        let rho = expected_global_rate();
+        assert!((rho - 0.62).abs() < 0.02, "expected global rate {rho}");
+    }
+
+    #[test]
+    fn northern_california_block_is_calibrated_high() {
+        for name in [
+            "San Jose, CA",
+            "San Francisco, CA",
+            "Oakland, CA",
+            "Sacramento, CA",
+        ] {
+            let m = METROS.iter().find(|m| m.name == name).unwrap();
+            assert!(m.rate >= 0.83, "{name} rate {}", m.rate);
+        }
+    }
+
+    #[test]
+    fn miami_block_is_calibrated_low() {
+        let miami = METROS.iter().find(|m| m.name == "Miami, FL").unwrap();
+        // Paper Figure 11: the Miami region has 43% positives.
+        assert!(miami.rate < 0.5);
+    }
+
+    #[test]
+    fn florida_metros_are_inside_florida_bbox() {
+        let (lon0, lat0, lon1, lat1) = FLORIDA_BBOX;
+        for m in METROS.iter().filter(|m| m.name.ends_with("FL")) {
+            assert!(m.lon > lon0 && m.lon < lon1, "{}", m.name);
+            assert!(m.lat > lat0 && m.lat < lat1, "{}", m.name);
+        }
+    }
+}

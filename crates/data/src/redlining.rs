@@ -1,0 +1,222 @@
+//! A redlining scenario generator (the paper's §1 motivation).
+//!
+//! "This could be to avoid redlining, i.e., indirectly discriminating
+//! based on ethnicity/race due to strong correlations between the home
+//! address and certain ethnic/racial groups."
+//!
+//! The generator builds a city where a protected group concentrates in
+//! certain districts and a lending policy applies a penalty to those
+//! *districts* (not to the group attribute directly — the paper's
+//! "fairness by unawareness is not sufficient" point). Creditworthiness
+//! is group-independent, so any observed spatial disparity in approvals
+//! is pure policy, not applicant quality — the situation a
+//! statistical-parity audit by location must expose.
+
+use rand::Rng;
+use sfgeo::{Point, Rect};
+use sfscan::outcomes::SpatialOutcomes;
+use sfstats::rng::seeded_rng;
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedliningConfig {
+    /// Number of loan applications.
+    pub applications: usize,
+    /// Number of city districts per axis (the city is a
+    /// `districts × districts` block grid on the unit square).
+    pub districts: usize,
+    /// Fraction of districts that are redlined.
+    pub redlined_fraction: f64,
+    /// Approval-odds penalty applied inside redlined districts
+    /// (subtracted from the logistic score).
+    pub penalty: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RedliningConfig {
+    fn default() -> Self {
+        RedliningConfig {
+            applications: 20_000,
+            districts: 6,
+            redlined_fraction: 0.25,
+            penalty: 1.0,
+            seed: 1937,
+        }
+    }
+}
+
+/// A generated redlining scenario.
+#[derive(Debug, Clone)]
+pub struct RedliningScenario {
+    /// The audit view: application locations and approve/deny outcomes.
+    pub outcomes: SpatialOutcomes,
+    /// Whether each applicant belongs to the protected group (never
+    /// seen by the "policy"; provided so callers can verify the
+    /// indirect-discrimination mechanism).
+    pub protected: Vec<bool>,
+    /// The redlined district rectangles (ground truth for evaluation).
+    pub redlined_districts: Vec<Rect>,
+}
+
+impl RedliningScenario {
+    /// Generates the scenario.
+    pub fn generate(config: &RedliningConfig) -> RedliningScenario {
+        assert!(config.applications > 0, "need applications");
+        assert!(config.districts >= 2, "need at least a 2x2 city");
+        assert!(
+            (0.0..1.0).contains(&config.redlined_fraction),
+            "fraction in [0,1)"
+        );
+        let mut rng = seeded_rng(config.seed);
+        let d = config.districts;
+        let num_districts = d * d;
+        let num_redlined = ((num_districts as f64) * config.redlined_fraction)
+            .round()
+            .max(1.0) as usize;
+        // Choose redlined districts deterministically via the rng.
+        let mut district_ids: Vec<usize> = (0..num_districts).collect();
+        for i in 0..num_redlined {
+            let j = rng.gen_range(i..num_districts);
+            district_ids.swap(i, j);
+        }
+        let redlined: Vec<bool> = {
+            let mut v = vec![false; num_districts];
+            for &id in &district_ids[..num_redlined] {
+                v[id] = true;
+            }
+            v
+        };
+        let district_rect = |id: usize| -> Rect {
+            let (ix, iy) = (id % d, id / d);
+            let w = 1.0 / d as f64;
+            Rect::from_coords(
+                ix as f64 * w,
+                iy as f64 * w,
+                (ix + 1) as f64 * w,
+                (iy + 1) as f64 * w,
+            )
+        };
+
+        let mut points = Vec::with_capacity(config.applications);
+        let mut labels = Vec::with_capacity(config.applications);
+        let mut protected = Vec::with_capacity(config.applications);
+        for _ in 0..config.applications {
+            // Residential sorting: protected-group members live in
+            // redlined districts with high probability (the correlation
+            // that makes location a proxy attribute).
+            let is_protected = rng.gen_bool(0.3);
+            let district = loop {
+                let cand = rng.gen_range(0..num_districts);
+                let p_live = if redlined[cand] == is_protected {
+                    0.8
+                } else {
+                    0.2
+                };
+                if rng.gen_bool(p_live) {
+                    break cand;
+                }
+            };
+            let r = district_rect(district);
+            let pt = Point::new(
+                rng.gen_range(r.min.x..r.max.x),
+                rng.gen_range(r.min.y..r.max.y),
+            );
+            // Creditworthiness is group-independent.
+            let credit: f64 = rng.gen_range(-1.0..1.5);
+            // The policy: logistic on credit, with a district penalty.
+            let score = credit
+                - if redlined[district] {
+                    config.penalty
+                } else {
+                    0.0
+                };
+            let approve = rng.gen_bool(1.0 / (1.0 + (-score).exp()));
+            points.push(pt);
+            labels.push(approve);
+            protected.push(is_protected);
+        }
+        let redlined_districts = (0..num_districts)
+            .filter(|&id| redlined[id])
+            .map(district_rect)
+            .collect();
+        RedliningScenario {
+            outcomes: SpatialOutcomes::new(points, labels).expect("valid scenario"),
+            protected,
+            redlined_districts,
+        }
+    }
+
+    /// Approval rates (protected group, rest) — the group disparity the
+    /// spatial audit surfaces *without ever seeing the group attribute*.
+    pub fn group_rates(&self) -> (f64, f64) {
+        let mut prot = (0u64, 0u64);
+        let mut rest = (0u64, 0u64);
+        for (&is_prot, &approved) in self.protected.iter().zip(self.outcomes.labels()) {
+            let slot = if is_prot { &mut prot } else { &mut rest };
+            slot.0 += 1;
+            slot.1 += approved as u64;
+        }
+        (prot.1 as f64 / prot.0 as f64, rest.1 as f64 / rest.0 as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> RedliningScenario {
+        RedliningScenario::generate(&RedliningConfig {
+            applications: 10_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn redlined_districts_have_lower_approval() {
+        let s = scenario();
+        let mut inside = (0u64, 0u64);
+        let mut outside = (0u64, 0u64);
+        for (pt, &approved) in s.outcomes.points().iter().zip(s.outcomes.labels()) {
+            let in_red = s.redlined_districts.iter().any(|r| r.contains(pt));
+            let slot = if in_red { &mut inside } else { &mut outside };
+            slot.0 += 1;
+            slot.1 += approved as u64;
+        }
+        let rate_in = inside.1 as f64 / inside.0 as f64;
+        let rate_out = outside.1 as f64 / outside.0 as f64;
+        assert!(
+            rate_in < rate_out - 0.1,
+            "penalty must show: {rate_in} vs {rate_out}"
+        );
+    }
+
+    #[test]
+    fn protected_group_is_indirectly_harmed() {
+        let s = scenario();
+        let (prot, rest) = s.group_rates();
+        assert!(
+            prot < rest - 0.05,
+            "group disparity emerges without the policy seeing the attribute: {prot} vs {rest}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = scenario();
+        let b = scenario();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.protected, b.protected);
+    }
+
+    #[test]
+    fn district_geometry_tiles_the_city() {
+        let s = scenario();
+        for r in &s.redlined_districts {
+            assert!(r.min.x >= 0.0 && r.max.x <= 1.0);
+            assert!(r.min.y >= 0.0 && r.max.y <= 1.0);
+        }
+        // 25% of 36 districts = 9.
+        assert_eq!(s.redlined_districts.len(), 9);
+    }
+}

@@ -1,0 +1,131 @@
+//! SemiSynth: the fair-by-design dataset of Figure 1(a).
+//!
+//! "The semi-synthetic dataset … contains 10,000 outcomes for
+//! locations that are randomly selected in Florida from the LAR
+//! dataset. The positive and negative are randomly assigned to each
+//! location with a probability of 0.5. Hence, SemiSynth is spatially
+//! fair by design."
+//!
+//! The key property is that the *locations are strongly non-regular*
+//! (clustered around Florida metros) while the *labels are
+//! location-independent*. This is exactly the combination on which the
+//! `MeanVar` baseline mis-ranks fairness (Figure 1).
+
+use crate::lar::LarDataset;
+use rand::Rng;
+use sfgeo::Point;
+use sfscan::outcomes::SpatialOutcomes;
+use sfstats::rng::seeded_rng;
+
+/// Generator parameters for SemiSynth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SemiSynthConfig {
+    /// Number of outcomes (paper: 10,000).
+    pub observations: usize,
+    /// Fair coin's success probability (paper: 0.5).
+    pub rate: f64,
+}
+
+impl SemiSynthConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        SemiSynthConfig {
+            observations: 10_000,
+            rate: 0.5,
+        }
+    }
+
+    /// A reduced configuration for examples and doctests.
+    pub fn small() -> Self {
+        SemiSynthConfig {
+            observations: 1_000,
+            rate: 0.5,
+        }
+    }
+
+    /// Generates SemiSynth by sampling locations (with replacement)
+    /// from the given pool and assigning fair-coin labels.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty or the rate is not a probability.
+    pub fn generate_from(&self, location_pool: &[Point], seed: u64) -> SpatialOutcomes {
+        assert!(!location_pool.is_empty(), "location pool must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&self.rate),
+            "rate must be a probability"
+        );
+        let mut rng = seeded_rng(seed);
+        let mut points = Vec::with_capacity(self.observations);
+        let mut labels = Vec::with_capacity(self.observations);
+        for _ in 0..self.observations {
+            points.push(location_pool[rng.gen_range(0..location_pool.len())]);
+            labels.push(rng.gen_bool(self.rate));
+        }
+        SpatialOutcomes::new(points, labels).expect("generated data is valid")
+    }
+
+    /// Generates SemiSynth from a SynthLAR dataset's Florida locations
+    /// (the paper's construction).
+    pub fn generate_from_lar(&self, lar: &LarDataset, seed: u64) -> SpatialOutcomes {
+        let pool = lar.florida_locations();
+        self.generate_from(&pool, seed)
+    }
+}
+
+impl Default for SemiSynthConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lar::LarConfig;
+    use crate::metro::FLORIDA_BBOX;
+
+    fn pool() -> Vec<Point> {
+        let lar = LarDataset::generate(&LarConfig::small());
+        lar.florida_locations()
+    }
+
+    #[test]
+    fn counts_and_rate() {
+        let o = SemiSynthConfig::paper().generate_from(&pool(), 1);
+        assert_eq!(o.len(), 10_000);
+        // Fair coin: rate near 0.5 (binomial 3-sigma ≈ 0.015).
+        assert!((o.rate() - 0.5).abs() < 0.02, "rate {}", o.rate());
+    }
+
+    #[test]
+    fn locations_come_from_the_pool() {
+        let p = pool();
+        let o = SemiSynthConfig::small().generate_from(&p, 2);
+        let (lon0, lat0, lon1, lat1) = FLORIDA_BBOX;
+        for pt in o.points() {
+            assert!(pt.x > lon0 && pt.x < lon1 && pt.y > lat0 && pt.y < lat1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = pool();
+        let a = SemiSynthConfig::small().generate_from(&p, 3);
+        let b = SemiSynthConfig::small().generate_from(&p, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, SemiSynthConfig::small().generate_from(&p, 4));
+    }
+
+    #[test]
+    fn generate_from_lar_convenience() {
+        let lar = LarDataset::generate(&LarConfig::small());
+        let o = SemiSynthConfig::small().generate_from_lar(&lar, 5);
+        assert_eq!(o.len(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pool_rejected() {
+        let _ = SemiSynthConfig::small().generate_from(&[], 1);
+    }
+}

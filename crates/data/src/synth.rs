@@ -1,0 +1,144 @@
+//! Synth: the unfair-by-design dataset of Figure 1(b).
+//!
+//! "The synthetic dataset … contains 10,000 outcomes for locations
+//! selected uniformly at random within a rectangular area. The area is
+//! split into two halves, each containing 5,000 outcomes. However, the
+//! left half has twice as many positive outcomes as the right half …
+//! the positive rate in the left half is about 0.67, while in the
+//! right half is 0.33."
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sfgeo::Rect;
+use sfscan::outcomes::SpatialOutcomes;
+use sfstats::rng::seeded_rng;
+
+/// Generator parameters for Synth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Observations per half (paper: 5,000 for 10,000 total).
+    pub per_half: usize,
+    /// The rectangular area (the paper draws it arbitrarily; we use a
+    /// 2×1 rectangle so halves are unit squares).
+    pub bounds: Rect,
+}
+
+impl SynthConfig {
+    /// The paper's configuration: 10,000 outcomes, 5,000 positives,
+    /// left half with twice the positives of the right.
+    pub fn paper() -> Self {
+        SynthConfig {
+            per_half: 5_000,
+            bounds: Rect::from_coords(0.0, 0.0, 2.0, 1.0),
+        }
+    }
+
+    /// A reduced configuration for examples and doctests.
+    pub fn small() -> Self {
+        SynthConfig {
+            per_half: 500,
+            bounds: Rect::from_coords(0.0, 0.0, 2.0, 1.0),
+        }
+    }
+
+    /// Generates the dataset with exact counts: `per_half` points per
+    /// half; positives split 2:1 between the halves with the total
+    /// equal to `per_half` (e.g. 3,333 + 1,667 = 5,000).
+    pub fn generate(&self, seed: u64) -> SpatialOutcomes {
+        assert!(self.per_half >= 3, "need at least 3 observations per half");
+        let mut rng = seeded_rng(seed);
+        let total_pos = self.per_half; // overall rate 0.5, as in the paper
+        let left_pos = (total_pos as f64 * 2.0 / 3.0).round() as usize;
+        let right_pos = total_pos - left_pos;
+        let mid_x = self.bounds.center().x;
+
+        let mut points = Vec::with_capacity(self.per_half * 2);
+        let mut labels = Vec::with_capacity(self.per_half * 2);
+
+        // Left half: exact positive count, shuffled.
+        let mut left_labels: Vec<bool> = (0..self.per_half).map(|i| i < left_pos).collect();
+        left_labels.shuffle(&mut rng);
+        for l in left_labels {
+            points.push(sfgeo::Point::new(
+                rng.gen_range(self.bounds.min.x..mid_x),
+                rng.gen_range(self.bounds.min.y..self.bounds.max.y),
+            ));
+            labels.push(l);
+        }
+        // Right half.
+        let mut right_labels: Vec<bool> = (0..self.per_half).map(|i| i < right_pos).collect();
+        right_labels.shuffle(&mut rng);
+        for l in right_labels {
+            points.push(sfgeo::Point::new(
+                rng.gen_range(mid_x..self.bounds.max.x),
+                rng.gen_range(self.bounds.min.y..self.bounds.max.y),
+            ));
+            labels.push(l);
+        }
+        SpatialOutcomes::new(points, labels).expect("generated data is valid")
+    }
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts_are_exact() {
+        let o = SynthConfig::paper().generate(1);
+        assert_eq!(o.len(), 10_000);
+        assert_eq!(o.positives(), 5_000);
+        // Per-half counts.
+        let mid = 1.0;
+        let mut left = (0u64, 0u64);
+        let mut right = (0u64, 0u64);
+        for (p, &l) in o.points().iter().zip(o.labels()) {
+            if p.x < mid {
+                left.0 += 1;
+                left.1 += l as u64;
+            } else {
+                right.0 += 1;
+                right.1 += l as u64;
+            }
+        }
+        assert_eq!(left.0, 5_000);
+        assert_eq!(right.0, 5_000);
+        assert_eq!(left.1, 3_333);
+        assert_eq!(right.1, 1_667);
+        // Rates ≈ 0.67 / 0.33 as the paper states.
+        assert!((left.1 as f64 / left.0 as f64 - 0.667).abs() < 0.01);
+        assert!((right.1 as f64 / right.0 as f64 - 0.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SynthConfig::paper().generate(7);
+        let b = SynthConfig::paper().generate(7);
+        assert_eq!(a, b);
+        assert_ne!(a, SynthConfig::paper().generate(8));
+    }
+
+    #[test]
+    fn locations_fill_the_bounds() {
+        let cfg = SynthConfig::small();
+        let o = cfg.generate(3);
+        let bb = o.bounding_box();
+        assert!(cfg.bounds.contains_rect(&bb));
+        // Uniform draws should come close to the bounds on all sides.
+        assert!(bb.width() > cfg.bounds.width() * 0.95);
+        assert!(bb.height() > cfg.bounds.height() * 0.9);
+    }
+
+    #[test]
+    fn small_config_scales_counts() {
+        let o = SynthConfig::small().generate(5);
+        assert_eq!(o.len(), 1_000);
+        assert_eq!(o.positives(), 500);
+    }
+}

@@ -1,0 +1,193 @@
+//! Fair-world generation and the pure-cluster search (Appendix A,
+//! Figure 6).
+//!
+//! The paper's Appendix A illustrates why extreme-but-sparse cells are
+//! not evidence of unfairness: four alternate labelings of the *same*
+//! 1,000 locations under a fair Bernoulli(0.5) process each contain an
+//! easily-found cluster of ≥5 negatives with no positive among them.
+//! This module generates those worlds and implements the cluster
+//! search.
+
+use rand::Rng;
+use sfgeo::{Circle, Point};
+use sfscan::outcomes::SpatialOutcomes;
+use sfstats::rng::{seeded_rng, world_rng};
+
+/// A fixed spatial distribution with resampleable fair labels.
+#[derive(Debug, Clone)]
+pub struct FairWorlds {
+    locations: Vec<Point>,
+    rate: f64,
+    seed: u64,
+}
+
+impl FairWorlds {
+    /// Creates the Figure 6 setting: `n` uniform locations in the unit
+    /// square, fair coin labels.
+    pub fn uniform(n: usize, rate: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one location");
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        let mut rng = seeded_rng(seed);
+        let locations = (0..n)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        FairWorlds {
+            locations,
+            rate,
+            seed,
+        }
+    }
+
+    /// Creates fair worlds over an explicit location set.
+    pub fn over(locations: Vec<Point>, rate: f64, seed: u64) -> Self {
+        assert!(!locations.is_empty(), "need at least one location");
+        FairWorlds {
+            locations,
+            rate,
+            seed,
+        }
+    }
+
+    /// The shared locations.
+    pub fn locations(&self) -> &[Point] {
+        &self.locations
+    }
+
+    /// The `i`-th alternate world: same locations, fresh fair labels.
+    pub fn world(&self, i: u64) -> SpatialOutcomes {
+        let mut rng = world_rng(self.seed, i);
+        let labels = (0..self.locations.len())
+            .map(|_| rng.gen_bool(self.rate))
+            .collect();
+        SpatialOutcomes::new(self.locations.clone(), labels).expect("worlds are valid")
+    }
+}
+
+/// A pure negative cluster: a circle containing `count ≥ 1` negatives
+/// and zero positives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PureCluster {
+    /// Circle covering the cluster.
+    pub circle: Circle,
+    /// Number of (negative) observations inside.
+    pub count: usize,
+}
+
+/// Finds the largest pure-negative cluster: for every negative point,
+/// grow a disk through its nearest neighbours until the first positive
+/// is reached; return the best (most negatives before a positive).
+///
+/// This is the (brute-force, `O(N² log N)`) search illustrated by the
+/// blue circles of Figure 6; it is meant for the appendix-scale
+/// datasets (`N ≈ 1,000`), not for audits.
+pub fn largest_pure_negative_cluster(outcomes: &SpatialOutcomes) -> Option<PureCluster> {
+    let pts = outcomes.points();
+    let labels = outcomes.labels();
+    let mut best: Option<PureCluster> = None;
+    for (i, center) in pts.iter().enumerate() {
+        if labels[i] {
+            continue;
+        }
+        // Distances from this negative to every point.
+        let mut dists: Vec<(f64, bool)> = pts
+            .iter()
+            .zip(labels)
+            .map(|(p, &l)| (center.distance_sq(p), l))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let mut count = 0usize;
+        let mut radius_sq: f64 = 0.0;
+        for &(d, l) in &dists {
+            if l {
+                break;
+            }
+            count += 1;
+            radius_sq = d;
+        }
+        if best.map_or(true, |b| count > b.count) {
+            // Inflate the radius by one ulp-scale factor: squaring the
+            // square root can otherwise drop the farthest member.
+            let radius = radius_sq.sqrt() * (1.0 + 1e-12);
+            best = Some(PureCluster {
+                circle: Circle::new(*center, radius),
+                count,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worlds_share_locations_but_not_labels() {
+        let fw = FairWorlds::uniform(1_000, 0.5, 6);
+        let a = fw.world(0);
+        let b = fw.world(1);
+        assert_eq!(a.points(), b.points());
+        assert_ne!(a.labels(), b.labels());
+        // Fair coin: rates near 0.5.
+        assert!((a.rate() - 0.5).abs() < 0.06);
+        assert!((b.rate() - 0.5).abs() < 0.06);
+    }
+
+    #[test]
+    fn worlds_are_deterministic() {
+        let fw = FairWorlds::uniform(100, 0.5, 7);
+        assert_eq!(fw.world(3), fw.world(3));
+    }
+
+    #[test]
+    fn every_fair_world_contains_a_pure_cluster_of_five() {
+        // The paper's Appendix A claim: in ALL examples "it is easy to
+        // identify a region with at least five negative and no positive
+        // outcomes".
+        let fw = FairWorlds::uniform(1_000, 0.5, 8);
+        for w in 0..4 {
+            let world = fw.world(w);
+            let cluster = largest_pure_negative_cluster(&world).expect("negatives exist");
+            assert!(
+                cluster.count >= 5,
+                "world {w}: largest pure cluster has only {} negatives",
+                cluster.count
+            );
+            // Verify the cluster is genuinely pure.
+            let mut neg = 0;
+            for (p, &l) in world.points().iter().zip(world.labels()) {
+                if cluster.circle.contains(p) {
+                    assert!(!l, "cluster contains a positive");
+                    neg += 1;
+                }
+            }
+            assert_eq!(neg, cluster.count);
+        }
+    }
+
+    #[test]
+    fn cluster_search_handles_all_positive_world() {
+        let fw = FairWorlds::uniform(50, 1.0, 9);
+        let world = fw.world(0);
+        assert!(largest_pure_negative_cluster(&world).is_none());
+    }
+
+    #[test]
+    fn cluster_search_on_explicit_locations() {
+        // Three isolated negatives in a corner, positives elsewhere.
+        let mut pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.01, 0.0),
+            Point::new(0.0, 0.01),
+        ];
+        let mut labels = vec![false, false, false];
+        for i in 0..20 {
+            pts.push(Point::new(1.0 + (i as f64) * 0.01, 1.0));
+            labels.push(true);
+        }
+        let o = SpatialOutcomes::new(pts, labels).unwrap();
+        let c = largest_pure_negative_cluster(&o).unwrap();
+        assert_eq!(c.count, 3);
+        assert!(c.circle.center.x < 0.1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared harness plumbing: options, dataset construction, rendering.
+
+use sfdata::crime::{CrimeConfig, CrimeData, CrimePipelineResult};
+use sfdata::lar::{LarConfig, LarDataset};
+use sfgeo::Rect;
+use sfml::RandomForestConfig;
+use sfscan::outcomes::SpatialOutcomes;
+use std::time::Instant;
+
+/// Global harness options.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Reduced scales for smoke runs.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Monte Carlo worlds (`w − 1`).
+    pub worlds: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            quick: false,
+            seed: 42,
+            worlds: 999,
+        }
+    }
+}
+
+impl Options {
+    /// The significance level used throughout the paper's evaluation.
+    pub const ALPHA: f64 = 0.005;
+
+    /// LAR generator config at the selected scale.
+    pub fn lar_config(&self) -> LarConfig {
+        if self.quick {
+            LarConfig {
+                seed: self.seed,
+                ..LarConfig::small()
+            }
+        } else {
+            LarConfig {
+                seed: self.seed,
+                ..LarConfig::paper()
+            }
+        }
+    }
+
+    /// Crime generator config at the selected scale.
+    pub fn crime_config(&self) -> CrimeConfig {
+        if self.quick {
+            CrimeConfig {
+                seed: self.seed,
+                ..CrimeConfig::small()
+            }
+        } else {
+            CrimeConfig {
+                seed: self.seed,
+                ..CrimeConfig::medium()
+            }
+        }
+    }
+
+    /// Monte Carlo budget, clamped in quick mode.
+    pub fn effective_worlds(&self) -> usize {
+        if self.quick {
+            self.worlds.min(199)
+        } else {
+            self.worlds
+        }
+    }
+}
+
+/// Generates SynthLAR, timing the construction.
+pub fn build_lar(opts: &Options) -> LarDataset {
+    let t = Instant::now();
+    let lar = LarDataset::generate(&opts.lar_config());
+    println!(
+        "[data] SynthLAR: N={}, P={}, rate={:.4}, {} locations ({:.1?})",
+        lar.outcomes.len(),
+        lar.outcomes.positives(),
+        lar.outcomes.rate(),
+        lar.locations.len(),
+        t.elapsed()
+    );
+    lar
+}
+
+/// Generates SynthCrime and runs the train→predict pipeline.
+pub fn build_crime(opts: &Options) -> (CrimeData, CrimePipelineResult) {
+    let t = Instant::now();
+    let data = CrimeData::generate(&opts.crime_config());
+    let mut rf = RandomForestConfig::new(if opts.quick { 8 } else { 20 }, opts.seed);
+    rf.tree.max_depth = 12;
+    let result = data.run_pipeline(&rf);
+    println!(
+        "[data] SynthCrime: {} incidents, base rate {:.3}; model accuracy {:.3} (paper 0.78), \
+         TPR {:.3} (paper 0.58); equal-opportunity view: {} outcomes ({:.1?})",
+        data.features.num_rows(),
+        result.base_rate,
+        result.accuracy,
+        result.tpr,
+        result.outcomes.len(),
+        t.elapsed()
+    );
+    (data, result)
+}
+
+/// Renders a terminal density map of outcomes: glyph = local positive
+/// rate (`.` low … `#` high), blank = no observations.
+pub fn ascii_map(outcomes: &SpatialOutcomes, cols: usize, rows: usize) -> String {
+    let bb = outcomes.expanded_bounding_box();
+    let mut n = vec![0u64; cols * rows];
+    let mut p = vec![0u64; cols * rows];
+    for (pt, &l) in outcomes.points().iter().zip(outcomes.labels()) {
+        let cx = (((pt.x - bb.min.x) / bb.width()) * cols as f64) as usize;
+        let cy = (((pt.y - bb.min.y) / bb.height()) * rows as f64) as usize;
+        let idx = cy.min(rows - 1) * cols + cx.min(cols - 1);
+        n[idx] += 1;
+        p[idx] += l as u64;
+    }
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    let mut out = String::with_capacity((cols + 1) * rows);
+    // Render north-up.
+    for cy in (0..rows).rev() {
+        for cx in 0..cols {
+            let idx = cy * cols + cx;
+            if n[idx] == 0 {
+                out.push(' ');
+            } else {
+                let rate = p[idx] as f64 / n[idx] as f64;
+                let g =
+                    1 + ((rate * (glyphs.len() - 2) as f64).round() as usize).min(glyphs.len() - 2);
+                out.push(glyphs[g]);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Pretty-prints a labelled key-value row comparing paper vs measured.
+pub fn report_row(what: &str, paper: &str, measured: &str) {
+    println!("  {what:<46} paper: {paper:<16} measured: {measured}");
+}
+
+/// Section banner.
+pub fn banner(title: &str) {
+    println!(
+        "\n==== {title} {}",
+        "=".repeat(66usize.saturating_sub(title.len()))
+    );
+}
+
+/// A rect formatted as "side x side at (cx, cy)".
+pub fn fmt_rect(r: &Rect) -> String {
+    format!(
+        "{:.2}x{:.2} deg at ({:.2}, {:.2})",
+        r.width(),
+        r.height(),
+        r.center().x,
+        r.center().y
+    )
+}

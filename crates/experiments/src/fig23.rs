@@ -1,0 +1,165 @@
+//! Figures 2 and 3: "Where is it unfair?" on LAR at 100×50.
+//!
+//! * Figure 2(a): the partition making the largest contribution to
+//!   `MeanVar` is a sparse all-negative cell (paper: 5 outcomes in
+//!   Iowa, local rate 0, LLR ≈ insignificant vs threshold 9.6).
+//! * Figure 2(b): the partition with the highest SUL is a dense
+//!   Northern-California cell (paper: ≈8,000 outcomes, 84% positive,
+//!   log-likelihood difference ≈1000, p < 0.005).
+//! * Figure 3(a): 59 statistically significant partitions (ours).
+//! * Figure 3(b): the top-50 MeanVar partitions are "all very sparse
+//!   partitions that contain only negative outcomes".
+
+use crate::common::{banner, fmt_rect, report_row, Options};
+use sfdata::lar::LarDataset;
+use sfgeo::Partitioning;
+use sfscan::{AuditConfig, Auditor, MeanVar, RegionSet};
+use sfstats::rng::derive_seed;
+
+pub fn run_fig2(opts: &Options) {
+    let (lar, report, contribs, _) = scan_lar_grid(opts, 100, 50);
+
+    banner("Figure 2 — the most suspicious region, by each method");
+    // (a) MeanVar's best evidence.
+    let top_mv = &contribs[0];
+    let (metro_mv, _) = LarDataset::nearest_metro(&top_mv.rect.center());
+    println!(
+        "  MeanVar top contributor: n={}, p={}, rate={:.2} at {} (near {})",
+        top_mv.n,
+        top_mv.p,
+        top_mv.rate,
+        fmt_rect(&top_mv.rect),
+        metro_mv.name
+    );
+    report_row("  -> observations n", "5 (sparse)", &top_mv.n.to_string());
+    report_row(
+        "  -> local positive rate",
+        "0.00 (extreme)",
+        &format!("{:.2}", top_mv.rate),
+    );
+
+    // What does OUR statistic say about that cell? (Paper: ~0.96-4.8,
+    // far below the critical value.)
+    let llr_of_mv_cell = sfstats::llr::bernoulli_llr(&sfstats::llr::Counts2x2::new(
+        top_mv.n,
+        top_mv.p,
+        report.n_total,
+        report.p_total,
+    ));
+    report_row(
+        "  -> its log-likelihood difference",
+        "0.96 (not significant)",
+        &format!(
+            "{llr_of_mv_cell:.2} (critical {:.2})",
+            report.critical_value
+        ),
+    );
+
+    // (b) The audit's best evidence.
+    let best = &report.findings[0];
+    let (metro_sul, _) = LarDataset::nearest_metro(&best.region.center());
+    println!(
+        "  Audit top finding:       n={}, p={}, rate={:.2} at {} (near {})",
+        best.n,
+        best.p,
+        best.rate,
+        fmt_rect(&best.region.bounding_rect()),
+        metro_sul.name
+    );
+    report_row("  -> observations n", "~8,000 (dense)", &best.n.to_string());
+    report_row(
+        "  -> local positive rate",
+        "0.84",
+        &format!("{:.2}", best.rate),
+    );
+    report_row(
+        "  -> log-likelihood difference",
+        "~1000",
+        &format!("{:.0}", best.llr),
+    );
+    report_row("  -> located in", "northern California", metro_sul.name);
+    let _ = lar;
+}
+
+pub fn run_fig3(opts: &Options) {
+    let (_, report, contribs, regions) = scan_lar_grid(opts, 100, 50);
+
+    banner("Figure 3 — LAR, high-resolution 100x50 partitioning");
+    report_row(
+        "significance threshold (LLR, alpha=0.005)",
+        "9.6",
+        &format!("{:.2}", report.critical_value),
+    );
+    report_row(
+        "statistically significant partitions",
+        "59",
+        &report.findings.len().to_string(),
+    );
+    report_row("audit verdict", "unfair", &report.verdict().to_string());
+
+    // Character of the audit's findings: mostly dense.
+    let dense = report.findings.iter().filter(|f| f.n >= 100).count();
+    println!(
+        "  audit findings: {} of {} have n >= 100 (median n = {})",
+        dense,
+        report.findings.len(),
+        median_n(report.findings.iter().map(|f| f.n))
+    );
+
+    // Character of MeanVar's top-50: sparse, all-negative.
+    let top50 = &contribs[..50.min(contribs.len())];
+    let all_negative = top50.iter().filter(|c| c.p == 0).count();
+    let median = median_n(top50.iter().map(|c| c.n));
+    report_row(
+        "MeanVar top-50: all-negative cells",
+        "50 of 50",
+        &format!("{all_negative} of {}", top50.len()),
+    );
+    println!("  MeanVar top-50 median n = {median} (paper: \"very sparse\")");
+    let _ = regions;
+}
+
+/// Shared computation: audit + MeanVar contributions on an
+/// `nx`×`ny` LAR grid. Returns (dataset, audit report, contributions,
+/// region set).
+pub fn scan_lar_grid(
+    opts: &Options,
+    nx: usize,
+    ny: usize,
+) -> (
+    LarDataset,
+    sfscan::AuditReport,
+    Vec<sfscan::PartitionContribution>,
+    RegionSet,
+) {
+    let lar = crate::common::build_lar(opts);
+    let bounds = lar.outcomes.expanded_bounding_box();
+    let regions = RegionSet::regular_grid(bounds, nx, ny);
+    let config = AuditConfig::new(Options::ALPHA)
+        .with_worlds(opts.effective_worlds())
+        .with_seed(derive_seed(opts.seed, "lar-grid-audit"));
+    let t = std::time::Instant::now();
+    let report = Auditor::new(config)
+        .audit(&lar.outcomes, &regions)
+        .expect("auditable");
+    println!(
+        "[scan] {nx}x{ny} grid over LAR: tau={:.1}, p={:.4}, critical={:.2}, {} significant ({:.1?})",
+        report.tau,
+        report.p_value,
+        report.critical_value,
+        report.findings.len(),
+        t.elapsed()
+    );
+    let partitioning = Partitioning::regular(bounds, nx, ny);
+    let contribs = MeanVar::contributions(&lar.outcomes, &partitioning);
+    (lar, report, contribs, regions)
+}
+
+fn median_n(values: impl Iterator<Item = u64>) -> u64 {
+    let mut v: Vec<u64> = values.collect();
+    if v.is_empty() {
+        return 0;
+    }
+    v.sort_unstable();
+    v[v.len() / 2]
+}

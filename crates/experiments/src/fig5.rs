@@ -1,0 +1,208 @@
+//! Figures 5, 10, 11, 12: unrestricted square-region scans on LAR.
+//!
+//! §4.3: squares with 20 side lengths (0.1–2.0 degrees) centered on
+//! 100 k-means centers of the observation locations — 2,000 regions.
+//! * Figure 10 — the scan geometry.
+//! * Figure 5 — two-sided: 700 unfair regions, 28 non-overlapping;
+//!   smallest kept region near Tampa (0.1°, 473 obs), largest near
+//!   Orlando (1°, 4,783 obs).
+//! * Figure 11 — one-sided low ("red"): 27 non-overlapping; worst is
+//!   Miami (6,281 obs, 43% positive).
+//! * Figure 12 — one-sided high ("green"): 17 non-overlapping; worst
+//!   is San Jose (17,875 obs, 83% positive).
+
+use crate::common::{banner, build_lar, report_row, Options};
+use sfcluster::{KMeans, KMeansConfig};
+use sfdata::lar::LarDataset;
+use sfgeo::Point;
+use sfscan::identify::select_non_overlapping;
+use sfscan::{AuditConfig, AuditReport, Auditor, Direction, RegionSet};
+use sfstats::rng::derive_seed;
+
+/// Builds the §4.3 region set: 100 k-means centers over the distinct
+/// locations × 20 side lengths.
+fn build_square_scan(opts: &Options, lar: &LarDataset) -> RegionSet {
+    let k = if opts.quick { 40 } else { 100 };
+    let km = KMeans::fit(
+        &lar.locations,
+        &KMeansConfig::new(k, derive_seed(opts.seed, "kmeans-centers")),
+    );
+    RegionSet::squares(km.centers, &RegionSet::paper_side_lengths())
+}
+
+fn audit_squares(opts: &Options, direction: Direction) -> (LarDataset, RegionSet, AuditReport) {
+    let lar = build_lar(opts);
+    let regions = build_square_scan(opts, &lar);
+    let config = AuditConfig::new(Options::ALPHA)
+        .with_worlds(opts.effective_worlds())
+        .with_seed(derive_seed(opts.seed, "square-audit"))
+        .with_direction(direction);
+    let t = std::time::Instant::now();
+    let report = Auditor::new(config)
+        .audit(&lar.outcomes, &regions)
+        .expect("auditable");
+    println!(
+        "[scan] {} squares, direction {direction}: tau={:.1}, p={:.4}, {} significant ({:.1?})",
+        regions.len(),
+        report.tau,
+        report.p_value,
+        report.findings.len(),
+        t.elapsed()
+    );
+    (lar, regions, report)
+}
+
+pub fn run_fig10(opts: &Options) {
+    let lar = build_lar(opts);
+    let regions = build_square_scan(opts, &lar);
+    banner("Figure 10 — square-scan geometry");
+    let centers = regions.centers().expect("square scan has centers");
+    let sides = RegionSet::paper_side_lengths();
+    report_row(
+        "scan centers (k-means of locations)",
+        "100",
+        &centers.len().to_string(),
+    );
+    report_row(
+        "side lengths",
+        "20 (0.1 to 2.0 deg)",
+        &format!(
+            "{} ({:.1} to {:.1} deg)",
+            sides.len(),
+            sides[0],
+            sides[sides.len() - 1]
+        ),
+    );
+    report_row("total square regions", "2,000", &regions.len().to_string());
+    // Show a few centers with their nearest metro for orientation.
+    for c in centers.iter().take(5) {
+        let (m, d) = LarDataset::nearest_metro(c);
+        println!(
+            "    center ({:.2}, {:.2}) — {:.2} deg from {}",
+            c.x, c.y, d, m.name
+        );
+    }
+}
+
+pub fn run_fig5(opts: &Options) {
+    let (_lar, _regions, report) = audit_squares(opts, Direction::TwoSided);
+    banner("Figure 5 — LAR unrestricted regions (two-sided)");
+    report_row(
+        "unfair regions @ alpha=0.005",
+        "700",
+        &report.findings.len().to_string(),
+    );
+    let kept = select_non_overlapping(&report.findings);
+    report_row(
+        "non-overlapping unfair regions",
+        "28",
+        &kept.len().to_string(),
+    );
+
+    // Size/observation diversity (paper highlights Tampa smallest with
+    // 473 obs, Orlando largest with 4,783 obs).
+    if let (Some(smallest), Some(largest)) = (
+        kept.iter()
+            .min_by(|a, b| a.region.area().partial_cmp(&b.region.area()).unwrap()),
+        kept.iter()
+            .max_by(|a, b| a.region.area().partial_cmp(&b.region.area()).unwrap()),
+    ) {
+        let (m_s, _) = LarDataset::nearest_metro(&smallest.region.center());
+        let (m_l, _) = LarDataset::nearest_metro(&largest.region.center());
+        report_row(
+            "smallest kept region",
+            "0.1 deg near Tampa, 473 obs",
+            &format!(
+                "{:.1} deg near {}, {} obs",
+                smallest.region.bounding_rect().width(),
+                m_s.name,
+                smallest.n
+            ),
+        );
+        report_row(
+            "largest kept region",
+            "1.0 deg near Orlando, 4,783 obs",
+            &format!(
+                "{:.1} deg near {}, {} obs",
+                largest.region.bounding_rect().width(),
+                m_l.name,
+                largest.n
+            ),
+        );
+    }
+    print_kept(&kept, 8);
+}
+
+pub fn run_fig11(opts: &Options) {
+    let (_lar, _regions, report) = audit_squares(opts, Direction::Low);
+    banner("Figure 11 — one-sided LOW ('red') regions");
+    let kept = select_non_overlapping(&report.findings);
+    report_row("non-overlapping red regions", "27", &kept.len().to_string());
+    let worst = kept
+        .iter()
+        .max_by(|a, b| a.llr.partial_cmp(&b.llr).unwrap());
+    if let Some(worst) = worst {
+        let (m, _) = LarDataset::nearest_metro(&worst.region.center());
+        report_row(
+            "most unfair red region",
+            "Miami: 6,281 obs, 43% positive",
+            &format!(
+                "{}: {} obs, {:.0}% positive",
+                m.name,
+                worst.n,
+                worst.rate * 100.0
+            ),
+        );
+    }
+    print_kept(&kept, 8);
+}
+
+pub fn run_fig12(opts: &Options) {
+    let (_lar, _regions, report) = audit_squares(opts, Direction::High);
+    banner("Figure 12 — one-sided HIGH ('green') regions");
+    let kept = select_non_overlapping(&report.findings);
+    report_row(
+        "non-overlapping green regions",
+        "17",
+        &kept.len().to_string(),
+    );
+    let worst = kept
+        .iter()
+        .max_by(|a, b| a.llr.partial_cmp(&b.llr).unwrap());
+    if let Some(worst) = worst {
+        let (m, _) = LarDataset::nearest_metro(&worst.region.center());
+        report_row(
+            "most unfair green region",
+            "San Jose: 17,875 obs, 83% positive",
+            &format!(
+                "{}: {} obs, {:.0}% positive",
+                m.name,
+                worst.n,
+                worst.rate * 100.0
+            ),
+        );
+    }
+    print_kept(&kept, 8);
+}
+
+fn print_kept(kept: &[sfscan::RegionFinding], limit: usize) {
+    let mut by_llr: Vec<&sfscan::RegionFinding> = kept.iter().collect();
+    by_llr.sort_by(|a, b| b.llr.partial_cmp(&a.llr).unwrap());
+    for f in by_llr.iter().take(limit) {
+        let (m, _) = LarDataset::nearest_metro(&f.region.center());
+        println!(
+            "    kept: {:.1} deg square near {:<20} n={:<6} rate={:.2} LLR={:.0}",
+            f.region.bounding_rect().width(),
+            m.name,
+            f.n,
+            f.rate,
+            f.llr
+        );
+    }
+}
+
+/// Exposed for the `fig10` geometry printout reuse in tests.
+#[allow(dead_code)]
+pub fn centers_for(lar: &LarDataset, k: usize, seed: u64) -> Vec<Point> {
+    KMeans::fit(&lar.locations, &KMeansConfig::new(k, seed)).centers
+}

@@ -1,0 +1,31 @@
+//! Figures 7 and 8: dataset renderings.
+//!
+//! The paper shows scatter plots; a terminal harness renders density
+//! maps where the glyph encodes the local positive rate
+//! (`.` ≈ 0 … `#` ≈ 1) and blank cells have no observations.
+
+use crate::common::{ascii_map, banner, build_crime, build_lar, Options};
+
+pub fn run_fig7(opts: &Options) {
+    let lar = build_lar(opts);
+    banner("Figure 7 — SynthLAR locations and outcomes");
+    println!(
+        "  N={}, P={}, rate={:.3}; glyph = local positive rate (. low, # high)",
+        lar.outcomes.len(),
+        lar.outcomes.positives(),
+        lar.outcomes.rate()
+    );
+    print!("{}", ascii_map(&lar.outcomes, 100, 28));
+}
+
+pub fn run_fig8(opts: &Options) {
+    let (_, pipeline) = build_crime(opts);
+    banner("Figure 8 — SynthCrime equal-opportunity view (test set, y=1)");
+    println!(
+        "  N={}, correct={}, TPR={:.3}; glyph = local TPR (. low, # high)",
+        pipeline.outcomes.len(),
+        pipeline.outcomes.positives(),
+        pipeline.outcomes.rate()
+    );
+    print!("{}", ascii_map(&pipeline.outcomes, 80, 26));
+}

@@ -1,0 +1,40 @@
+//! Figure 9 / Appendix B.1: LAR at a low-resolution 25×12 grid.
+//!
+//! Paper: 22 statistically significant partitions (ours) vs the
+//! top-20 `MeanVar` partitions — at this coarser resolution `MeanVar`
+//! "now also returns some dense areas, and also identifies the most
+//! spatially unfair region in northern California".
+
+use crate::common::{banner, report_row, Options};
+use crate::fig23::scan_lar_grid;
+
+pub fn run(opts: &Options) {
+    let (_lar, report, contribs, _regions) = scan_lar_grid(opts, 25, 12);
+
+    banner("Figure 9 — LAR, low-resolution 25x12 partitioning");
+    report_row(
+        "statistically significant partitions",
+        "22",
+        &report.findings.len().to_string(),
+    );
+    report_row("audit verdict", "unfair", &report.verdict().to_string());
+
+    let top20 = &contribs[..20.min(contribs.len())];
+    let dense = top20.iter().filter(|c| c.n >= 100).count();
+    report_row(
+        "MeanVar top-20 containing dense cells",
+        "some (unlike 100x50)",
+        &format!("{dense} of {}", top20.len()),
+    );
+
+    // Does MeanVar's top-20 include the audit's best (NorCal) region?
+    let best = &report.findings[0];
+    let overlap = top20
+        .iter()
+        .any(|c| c.rect.intersects(&best.region.bounding_rect()));
+    report_row(
+        "MeanVar top-20 hits the most-unfair region",
+        "yes (northern California)",
+        if overlap { "yes" } else { "no" },
+    );
+}

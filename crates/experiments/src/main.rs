@@ -1,0 +1,114 @@
+//! Per-figure experiment harness.
+//!
+//! Every evaluation artifact of the paper has a subcommand that
+//! regenerates its rows/series on the synthetic dataset clones
+//! (DESIGN.md §4 maps each figure to modules and parameters):
+//!
+//! ```text
+//! cargo run --release -p experiments -- fig1      # MeanVar vs audit on Synth/SemiSynth
+//! cargo run --release -p experiments -- fig2      # most-suspicious region, both methods
+//! cargo run --release -p experiments -- fig3      # LAR 100x50 grid
+//! cargo run --release -p experiments -- fig4      # Crime 20x20 grid (equal opportunity)
+//! cargo run --release -p experiments -- fig5      # LAR unrestricted squares
+//! cargo run --release -p experiments -- fig6      # fair worlds / pure clusters (Appendix A)
+//! cargo run --release -p experiments -- fig7      # LAR dataset rendering
+//! cargo run --release -p experiments -- fig8      # Crime dataset rendering
+//! cargo run --release -p experiments -- fig9      # LAR 25x12 grid (Appendix B.1)
+//! cargo run --release -p experiments -- fig10     # square-scan geometry
+//! cargo run --release -p experiments -- fig11     # one-sided "red" regions (B.2)
+//! cargo run --release -p experiments -- fig12     # one-sided "green" regions (B.2)
+//! cargo run --release -p experiments -- complexity# O(M*N*Q) cost model measurements
+//! cargo run --release -p experiments -- all       # everything above in order
+//! ```
+//!
+//! Options: `--quick` (reduced scales for smoke runs), `--seed <u64>`,
+//! `--worlds <n>`.
+
+mod common;
+mod complexity;
+mod fig1;
+mod fig23;
+mod fig4;
+mod fig5;
+mod fig6;
+mod fig78;
+mod fig9;
+
+use common::Options;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command: Option<String> = None;
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a u64 value"));
+            }
+            "--worlds" => {
+                i += 1;
+                opts.worlds = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--worlds needs a positive integer"));
+            }
+            arg if !arg.starts_with('-') && command.is_none() => {
+                command = Some(arg.to_string());
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    let command = command.unwrap_or_else(|| die("missing command; try `all` or `fig1`..`fig12`"));
+    run(&command, &opts);
+}
+
+fn run(command: &str, opts: &Options) {
+    match command {
+        "fig1" => fig1::run(opts),
+        "fig2" => fig23::run_fig2(opts),
+        "fig3" => fig23::run_fig3(opts),
+        "fig4" => fig4::run(opts),
+        "fig5" => fig5::run_fig5(opts),
+        "fig6" => fig6::run(opts),
+        "fig7" => fig78::run_fig7(opts),
+        "fig8" => fig78::run_fig8(opts),
+        "fig9" => fig9::run(opts),
+        "fig10" => fig5::run_fig10(opts),
+        "fig11" => fig5::run_fig11(opts),
+        "fig12" => fig5::run_fig12(opts),
+        "complexity" => complexity::run(opts),
+        "all" => {
+            for c in [
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "fig12",
+                "complexity",
+            ] {
+                run(c, opts);
+            }
+        }
+        other => die(&format!("unknown command: {other}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: experiments <fig1..fig12|complexity|all> [--quick] [--seed N] [--worlds N]");
+    std::process::exit(2);
+}

@@ -1,0 +1,130 @@
+//! Bounding-box computation over point sets.
+
+use crate::{point::Point, rect::Rect};
+
+/// Incremental bounding-box builder.
+///
+/// Collects points (or rectangles) and yields the tightest enclosing
+/// [`Rect`]. Empty builders yield `None`.
+#[derive(Debug, Clone, Default)]
+pub struct BoundingBox {
+    rect: Option<Rect>,
+}
+
+impl BoundingBox {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extends the box to cover `p`.
+    pub fn add_point(&mut self, p: &Point) {
+        self.rect = Some(match self.rect {
+            None => Rect { min: *p, max: *p },
+            Some(r) => Rect {
+                min: r.min.min(p),
+                max: r.max.max(p),
+            },
+        });
+    }
+
+    /// Extends the box to cover `r`.
+    pub fn add_rect(&mut self, r: &Rect) {
+        self.rect = Some(match self.rect {
+            None => *r,
+            Some(cur) => cur.union(r),
+        });
+    }
+
+    /// The tightest rectangle covering everything added, if anything was.
+    pub fn build(&self) -> Option<Rect> {
+        self.rect
+    }
+
+    /// Computes the bounding box of a point slice (`None` when empty).
+    pub fn of_points(points: &[Point]) -> Option<Rect> {
+        let mut b = BoundingBox::new();
+        for p in points {
+            b.add_point(p);
+        }
+        b.build()
+    }
+
+    /// Computes the bounding box of a point slice, expanded by a small
+    /// relative margin so that every point is strictly interior.
+    ///
+    /// Grids and partitionings built on an exact bounding box would put
+    /// extreme points exactly on the outer boundary; the expansion makes
+    /// cell assignment unambiguous without affecting geometry in any
+    /// meaningful way. `rel_margin` is relative to each side length
+    /// (with an absolute floor for degenerate extents).
+    pub fn of_points_expanded(points: &[Point], rel_margin: f64) -> Option<Rect> {
+        let r = Self::of_points(points)?;
+        let mx = (r.width() * rel_margin).max(1e-9);
+        let my = (r.height() * rel_margin).max(1e-9);
+        Some(Rect {
+            min: Point::new(r.min.x - mx, r.min.y - my),
+            max: Point::new(r.max.x + mx, r.max.y + my),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder_yields_none() {
+        assert!(BoundingBox::new().build().is_none());
+        assert!(BoundingBox::of_points(&[]).is_none());
+    }
+
+    #[test]
+    fn single_point_box_is_degenerate() {
+        let r = BoundingBox::of_points(&[Point::new(1.0, 2.0)]).unwrap();
+        assert_eq!(r.min, Point::new(1.0, 2.0));
+        assert_eq!(r.max, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn covers_all_points() {
+        let pts = [
+            Point::new(0.0, 5.0),
+            Point::new(-2.0, 1.0),
+            Point::new(3.0, -4.0),
+        ];
+        let r = BoundingBox::of_points(&pts).unwrap();
+        assert_eq!(r, Rect::from_coords(-2.0, -4.0, 3.0, 5.0));
+        for p in &pts {
+            assert!(r.contains(p));
+        }
+    }
+
+    #[test]
+    fn add_rect_unions() {
+        let mut b = BoundingBox::new();
+        b.add_rect(&Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+        b.add_rect(&Rect::from_coords(2.0, -1.0, 3.0, 0.5));
+        assert_eq!(b.build().unwrap(), Rect::from_coords(0.0, -1.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn expanded_box_strictly_contains_points() {
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let r = BoundingBox::of_points_expanded(&pts, 1e-6).unwrap();
+        for p in &pts {
+            assert!(p.x > r.min.x && p.x < r.max.x);
+            assert!(p.y > r.min.y && p.y < r.max.y);
+        }
+    }
+
+    #[test]
+    fn expanded_box_handles_degenerate_extent() {
+        // All points on a vertical line: width == 0, margin must still
+        // make the points interior.
+        let pts = [Point::new(2.0, 0.0), Point::new(2.0, 5.0)];
+        let r = BoundingBox::of_points_expanded(&pts, 0.01).unwrap();
+        assert!(r.width() > 0.0);
+        assert!(pts.iter().all(|p| p.x > r.min.x && p.x < r.max.x));
+    }
+}

@@ -1,0 +1,135 @@
+//! Circular scan regions.
+
+use crate::{point::Point, rect::Rect};
+use serde::{Deserialize, Serialize};
+
+/// A circle, used as an alternative scan-region shape.
+///
+/// The paper scans squares (§4.3); circles are the classic Kulldorff
+/// scan shape and are provided as an extension (see DESIGN.md §6).
+/// Containment is closed: points on the circumference belong to the
+/// circle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Center of the circle.
+    pub center: Point,
+    /// Radius (must be non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a new circle.
+    ///
+    /// # Panics
+    /// Panics if `radius` is negative or non-finite.
+    #[inline]
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "circle radius must be finite and non-negative, got {radius}"
+        );
+        Circle { center, radius }
+    }
+
+    /// Closed containment test.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius
+    }
+
+    /// The tightest axis-aligned rectangle covering the circle.
+    #[inline]
+    pub fn bounding_rect(&self) -> Rect {
+        Rect {
+            min: Point::new(self.center.x - self.radius, self.center.y - self.radius),
+            max: Point::new(self.center.x + self.radius, self.center.y + self.radius),
+        }
+    }
+
+    /// Returns `true` if the rectangle `r` lies entirely inside the circle.
+    #[inline]
+    pub fn contains_rect(&self, r: &Rect) -> bool {
+        r.max_distance_sq_to_point(&self.center) <= self.radius * self.radius
+    }
+
+    /// Returns `true` if the rectangle `r` intersects the circle.
+    #[inline]
+    pub fn intersects_rect(&self, r: &Rect) -> bool {
+        r.distance_sq_to_point(&self.center) <= self.radius * self.radius
+    }
+
+    /// Returns `true` if two circles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Circle) -> bool {
+        let r = self.radius + other.radius;
+        self.center.distance_sq(&other.center) <= r * r
+    }
+
+    /// Circle area `πr²`.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+}
+
+impl std::fmt::Display for Circle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "circle(center={}, r={:.4})", self.center, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_closed() {
+        let c = Circle::new(Point::ORIGIN, 1.0);
+        assert!(c.contains(&Point::new(1.0, 0.0)));
+        assert!(c.contains(&Point::new(0.0, 0.0)));
+        assert!(!c.contains(&Point::new(1.0 + 1e-9, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_radius_rejected() {
+        let _ = Circle::new(Point::ORIGIN, -0.1);
+    }
+
+    #[test]
+    fn bounding_rect_is_tight() {
+        let c = Circle::new(Point::new(1.0, 2.0), 0.5);
+        let r = c.bounding_rect();
+        assert_eq!(r, Rect::from_coords(0.5, 1.5, 1.5, 2.5));
+    }
+
+    #[test]
+    fn rect_containment_and_intersection() {
+        let c = Circle::new(Point::ORIGIN, 2.0);
+        // A small rect near the center is fully inside.
+        assert!(c.contains_rect(&Rect::from_coords(-0.5, -0.5, 0.5, 0.5)));
+        // A rect crossing the rim intersects but is not contained.
+        let rim = Rect::from_coords(1.5, -0.5, 2.5, 0.5);
+        assert!(c.intersects_rect(&rim));
+        assert!(!c.contains_rect(&rim));
+        // A far-away rect does not intersect.
+        assert!(!c.intersects_rect(&Rect::from_coords(5.0, 5.0, 6.0, 6.0)));
+    }
+
+    #[test]
+    fn circle_circle_intersection() {
+        let a = Circle::new(Point::ORIGIN, 1.0);
+        let b = Circle::new(Point::new(2.0, 0.0), 1.0); // touching
+        assert!(a.intersects(&b));
+        let c = Circle::new(Point::new(2.1, 0.0), 1.0);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn zero_radius_circle_is_a_point() {
+        let c = Circle::new(Point::new(3.0, 3.0), 0.0);
+        assert!(c.contains(&Point::new(3.0, 3.0)));
+        assert!(!c.contains(&Point::new(3.0, 3.000001)));
+        assert_eq!(c.area(), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Regular grids over a bounding box.
+
+use crate::{point::Point, rect::Rect};
+use serde::{Deserialize, Serialize};
+
+/// A regular `nx × ny` grid over a bounding rectangle.
+///
+/// The grid maps every point of the plane to exactly one cell: interior
+/// points by interval arithmetic, exterior points clamped to the nearest
+/// border cell. Cell `(ix, iy)` covers
+/// `[min.x + ix·w, min.x + (ix+1)·w) × [min.y + iy·h, min.y + (iy+1)·h)`
+/// with the last row/column closed, so cells tile the box without
+/// overlap.
+///
+/// This is the "high-resolution grid" of the `MeanVar` baseline and the
+/// `100×50`, `25×12`, `20×20` partitionings of the paper's §4.2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniformGrid {
+    bounds: Rect,
+    nx: usize,
+    ny: usize,
+}
+
+impl UniformGrid {
+    /// Creates a grid with `nx` columns and `ny` rows over `bounds`.
+    ///
+    /// # Panics
+    /// Panics if `nx` or `ny` is zero, or `bounds` has non-positive area.
+    pub fn new(bounds: Rect, nx: usize, ny: usize) -> Self {
+        assert!(
+            nx > 0 && ny > 0,
+            "grid dimensions must be positive, got {nx}x{ny}"
+        );
+        assert!(
+            bounds.width() > 0.0 && bounds.height() > 0.0,
+            "grid bounds must have positive extent, got {bounds}"
+        );
+        UniformGrid { bounds, nx, ny }
+    }
+
+    /// The grid's bounding rectangle.
+    #[inline]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Cell width.
+    #[inline]
+    pub fn cell_width(&self) -> f64 {
+        self.bounds.width() / self.nx as f64
+    }
+
+    /// Cell height.
+    #[inline]
+    pub fn cell_height(&self) -> f64 {
+        self.bounds.height() / self.ny as f64
+    }
+
+    /// Maps a point to its `(ix, iy)` cell coordinates, clamped to the
+    /// grid so that every point of the plane gets a cell.
+    #[inline]
+    pub fn cell_of(&self, p: &Point) -> (usize, usize) {
+        let fx = (p.x - self.bounds.min.x) / self.cell_width();
+        let fy = (p.y - self.bounds.min.y) / self.cell_height();
+        let ix = (fx.floor() as isize).clamp(0, self.nx as isize - 1) as usize;
+        let iy = (fy.floor() as isize).clamp(0, self.ny as isize - 1) as usize;
+        (ix, iy)
+    }
+
+    /// Maps a point to its flat cell index (`iy * nx + ix`).
+    #[inline]
+    pub fn cell_index_of(&self, p: &Point) -> usize {
+        let (ix, iy) = self.cell_of(p);
+        self.flat_index(ix, iy)
+    }
+
+    /// Converts `(ix, iy)` to a flat index.
+    #[inline]
+    pub fn flat_index(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        iy * self.nx + ix
+    }
+
+    /// Converts a flat index back to `(ix, iy)`.
+    #[inline]
+    pub fn cell_coords(&self, flat: usize) -> (usize, usize) {
+        debug_assert!(flat < self.num_cells());
+        (flat % self.nx, flat / self.nx)
+    }
+
+    /// The rectangle covered by cell `(ix, iy)`.
+    pub fn cell_rect(&self, ix: usize, iy: usize) -> Rect {
+        assert!(
+            ix < self.nx && iy < self.ny,
+            "cell ({ix},{iy}) out of bounds"
+        );
+        let w = self.cell_width();
+        let h = self.cell_height();
+        Rect::from_coords(
+            self.bounds.min.x + ix as f64 * w,
+            self.bounds.min.y + iy as f64 * h,
+            self.bounds.min.x + (ix + 1) as f64 * w,
+            self.bounds.min.y + (iy + 1) as f64 * h,
+        )
+    }
+
+    /// The rectangle covered by a flat cell index.
+    pub fn cell_rect_flat(&self, flat: usize) -> Rect {
+        let (ix, iy) = self.cell_coords(flat);
+        self.cell_rect(ix, iy)
+    }
+
+    /// The inclusive range of cells whose rectangles intersect `r`,
+    /// clamped to the grid; `None` if `r` is disjoint from the bounds.
+    pub fn cell_range(&self, r: &Rect) -> Option<(usize, usize, usize, usize)> {
+        if !self.bounds.intersects(r) {
+            return None;
+        }
+        let (ix0, iy0) = self.cell_of(&r.min);
+        let (ix1, iy1) = self.cell_of(&r.max);
+        Some((ix0, iy0, ix1, iy1))
+    }
+
+    /// Iterates over all cell rectangles in flat-index order.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (usize, Rect)> + '_ {
+        (0..self.num_cells()).map(move |i| (i, self.cell_rect_flat(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> UniformGrid {
+        UniformGrid::new(Rect::from_coords(0.0, 0.0, 10.0, 5.0), 10, 5)
+    }
+
+    #[test]
+    fn dims_and_cell_sizes() {
+        let g = grid();
+        assert_eq!(g.num_cells(), 50);
+        assert_eq!(g.cell_width(), 1.0);
+        assert_eq!(g.cell_height(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        let _ = UniformGrid::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 0, 5);
+    }
+
+    #[test]
+    fn interior_points_map_by_floor() {
+        let g = grid();
+        assert_eq!(g.cell_of(&Point::new(0.5, 0.5)), (0, 0));
+        assert_eq!(g.cell_of(&Point::new(9.99, 4.99)), (9, 4));
+        assert_eq!(g.cell_of(&Point::new(3.0, 2.0)), (3, 2)); // boundary goes right/up
+    }
+
+    #[test]
+    fn outside_points_clamp_to_border_cells() {
+        let g = grid();
+        assert_eq!(g.cell_of(&Point::new(-5.0, -5.0)), (0, 0));
+        assert_eq!(g.cell_of(&Point::new(50.0, 50.0)), (9, 4));
+        assert_eq!(g.cell_of(&Point::new(10.0, 5.0)), (9, 4)); // max corner
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let g = grid();
+        for iy in 0..g.ny() {
+            for ix in 0..g.nx() {
+                let flat = g.flat_index(ix, iy);
+                assert_eq!(g.cell_coords(flat), (ix, iy));
+            }
+        }
+    }
+
+    #[test]
+    fn cell_rects_tile_bounds() {
+        let g = grid();
+        let total: f64 = g.iter_cells().map(|(_, r)| r.area()).sum();
+        assert!((total - g.bounds().area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_cell_rect_contains_its_center_and_maps_back() {
+        let g = grid();
+        for (i, r) in g.iter_cells() {
+            let c = r.center();
+            assert!(r.contains(&c));
+            assert_eq!(g.cell_index_of(&c), i);
+        }
+    }
+
+    #[test]
+    fn cell_range_clamps() {
+        let g = grid();
+        let r = Rect::from_coords(2.5, 1.5, 4.5, 3.5);
+        assert_eq!(g.cell_range(&r), Some((2, 1, 4, 3)));
+        let outside = Rect::from_coords(100.0, 100.0, 101.0, 101.0);
+        assert_eq!(g.cell_range(&outside), None);
+        let huge = Rect::from_coords(-100.0, -100.0, 100.0, 100.0);
+        assert_eq!(g.cell_range(&huge), Some((0, 0, 9, 4)));
+    }
+
+    #[test]
+    fn non_square_cells() {
+        let g = UniformGrid::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 4, 2);
+        assert_eq!(g.cell_width(), 0.25);
+        assert_eq!(g.cell_height(), 0.5);
+        assert_eq!(g.cell_of(&Point::new(0.3, 0.6)), (1, 1));
+    }
+}

@@ -1,0 +1,83 @@
+//! Great-circle distances for geographic coordinates.
+//!
+//! The paper reasons about region sizes in degrees ("side lengths
+//! ranging from 0.1 up to 2 degrees (roughly 10 to 200 kilometers)").
+//! These helpers convert between the two views for reporting.
+
+use crate::point::Point;
+
+/// Mean Earth radius in kilometers (IUGG value).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Great-circle (haversine) distance in kilometers between two
+/// `(longitude, latitude)` points given in degrees.
+pub fn haversine_km(a: &Point, b: &Point) -> f64 {
+    let lat1 = a.y.to_radians();
+    let lat2 = b.y.to_radians();
+    let dlat = (b.y - a.y).to_radians();
+    let dlon = (b.x - a.x).to_radians();
+    let s = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * s.sqrt().asin()
+}
+
+/// Approximate kilometers spanned by one degree of latitude.
+pub fn km_per_degree_lat() -> f64 {
+    EARTH_RADIUS_KM * std::f64::consts::PI / 180.0
+}
+
+/// Approximate kilometers spanned by one degree of longitude at the
+/// given latitude (degrees).
+pub fn km_per_degree_lon(lat_deg: f64) -> f64 {
+    km_per_degree_lat() * lat_deg.to_radians().cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance() {
+        let p = Point::new(-118.24, 34.05);
+        assert_eq!(haversine_km(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Point::new(-118.24, 34.05); // Los Angeles
+        let b = Point::new(-122.42, 37.77); // San Francisco
+        assert!((haversine_km(&a, &b) - haversine_km(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn la_to_sf_is_about_560_km() {
+        let a = Point::new(-118.24, 34.05);
+        let b = Point::new(-122.42, 37.77);
+        let d = haversine_km(&a, &b);
+        assert!((d - 559.0).abs() < 15.0, "got {d}");
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111_km() {
+        let k = km_per_degree_lat();
+        assert!((k - 111.2).abs() < 0.5, "got {k}");
+        // Matches the paper's "0.1 up to 2 degrees (roughly 10 to 200 km)".
+        assert!((0.1 * k - 11.1).abs() < 0.5);
+        assert!((2.0 * k - 222.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn longitude_degrees_shrink_with_latitude() {
+        assert!(km_per_degree_lon(0.0) > km_per_degree_lon(45.0));
+        assert!(km_per_degree_lon(45.0) > km_per_degree_lon(80.0));
+        assert!((km_per_degree_lon(0.0) - km_per_degree_lat()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_matches_small_angle_approximation() {
+        // For tiny separations the flat approximation should agree.
+        let a = Point::new(10.0, 50.0);
+        let b = Point::new(10.0, 50.001);
+        let d = haversine_km(&a, &b);
+        assert!((d - 0.001 * km_per_degree_lat()).abs() < 1e-6);
+    }
+}

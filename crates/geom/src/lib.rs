@@ -1,0 +1,63 @@
+//! Geometry substrate for spatial-fairness auditing.
+//!
+//! This crate provides the geometric vocabulary used throughout the
+//! workspace:
+//!
+//! * [`Point`] — a 2-D location (by convention `x` = longitude, `y` =
+//!   latitude, but nothing in the crate assumes geographic coordinates).
+//! * [`Rect`] — an axis-aligned rectangle, the shape of grid partitions
+//!   and of the square scan regions of the paper's §4.3.
+//! * [`Circle`] — circular scan regions (Kulldorff's classic shape,
+//!   provided as an extension).
+//! * [`ConvexPolygon`] — convex district-style scan regions with an
+//!   exact separating-axis rectangle test (extension).
+//! * [`Region`] — a closed enum over the supported scan-region shapes.
+//! * [`BoundingBox`] — helpers to compute the extent of a point set.
+//! * [`UniformGrid`] — a regular `nx × ny` grid over a bounding box with
+//!   clamped point-to-cell mapping.
+//! * [`Partitioning`] — a rectangular partitioning of space defined by
+//!   sorted split coordinates, including the random-split generator used
+//!   by the paper's `MeanVar` experiments (100 partitionings with 10–40
+//!   splits per axis).
+//!
+//! # Containment conventions
+//!
+//! Scan regions ([`Rect::contains`], [`Circle::contains`]) use *closed*
+//! containment (boundary points belong to the region). Partitionings and
+//! grids never test containment directly; they map a point to exactly one
+//! cell via interval arithmetic (`[s_i, s_{i+1})`, last interval closed),
+//! which guarantees the non-overlap + full-coverage property that the
+//! paper's partitioning-based definitions rely on.
+//!
+//! # Example
+//!
+//! ```rust
+//! use sfgeo::{Partitioning, Point, Rect};
+//!
+//! let bounds = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+//! // The paper's grid partitionings are regular:
+//! let grid = Partitioning::regular(bounds, 4, 2);
+//! assert_eq!(grid.num_partitions(), 8);
+//! // Every point maps to exactly one partition:
+//! let id = grid.partition_of(&Point::new(3.0, 7.0));
+//! assert!(grid.partition_rect(id).contains(&Point::new(3.0, 7.0)));
+//! ```
+
+pub mod bbox;
+pub mod circle;
+pub mod grid;
+pub mod haversine;
+pub mod partition;
+pub mod point;
+pub mod polygon;
+pub mod rect;
+pub mod region;
+
+pub use bbox::BoundingBox;
+pub use circle::Circle;
+pub use grid::UniformGrid;
+pub use partition::{Partitioning, RandomPartitioningConfig};
+pub use point::Point;
+pub use polygon::ConvexPolygon;
+pub use rect::Rect;
+pub use region::Region;

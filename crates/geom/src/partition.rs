@@ -1,0 +1,367 @@
+//! Rectangular partitionings of space.
+//!
+//! A *partitioning* (paper §1, footnote 2) is a set of non-overlapping
+//! regions that collectively cover the space. The `MeanVar` baseline
+//! (Xie et al., AAAI 2022) evaluates the variance of a fairness measure
+//! over the partitions of many rectangular partitionings; the paper's
+//! §4.2 uses 100 random partitionings whose number of horizontal and
+//! vertical splits is drawn uniformly from 10–40.
+
+use crate::{point::Point, rect::Rect};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A rectangular partitioning defined by sorted interior split
+/// coordinates on each axis.
+///
+/// With `k` interior x-splits and `m` interior y-splits the space is
+/// divided into `(k+1) × (m+1)` partitions. Points map to exactly one
+/// partition: the x-interval `[x_i, x_{i+1})` and y-interval
+/// `[y_j, y_{j+1})` they fall in, with points outside the bounds clamped
+/// to the border partitions (so coverage is total, as the definition
+/// requires).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partitioning {
+    bounds: Rect,
+    /// Sorted interior split x-coordinates (strictly inside the bounds).
+    xsplits: Vec<f64>,
+    /// Sorted interior split y-coordinates (strictly inside the bounds).
+    ysplits: Vec<f64>,
+}
+
+impl Partitioning {
+    /// Creates a partitioning from explicit interior splits.
+    ///
+    /// Splits are sorted and deduplicated; splits outside the open
+    /// interval of the bounds are rejected.
+    ///
+    /// # Panics
+    /// Panics if any split lies outside the open bounds interval, or the
+    /// bounds are degenerate.
+    pub fn from_splits(bounds: Rect, mut xsplits: Vec<f64>, mut ysplits: Vec<f64>) -> Self {
+        assert!(
+            bounds.width() > 0.0 && bounds.height() > 0.0,
+            "partitioning bounds must have positive extent"
+        );
+        let sort_dedup = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("split coordinates must not be NaN"));
+            v.dedup();
+        };
+        sort_dedup(&mut xsplits);
+        sort_dedup(&mut ysplits);
+        for &x in &xsplits {
+            assert!(
+                x > bounds.min.x && x < bounds.max.x,
+                "x-split {x} outside open bounds ({}, {})",
+                bounds.min.x,
+                bounds.max.x
+            );
+        }
+        for &y in &ysplits {
+            assert!(
+                y > bounds.min.y && y < bounds.max.y,
+                "y-split {y} outside open bounds ({}, {})",
+                bounds.min.y,
+                bounds.max.y
+            );
+        }
+        Partitioning {
+            bounds,
+            xsplits,
+            ysplits,
+        }
+    }
+
+    /// Creates a regular `nx × ny` grid partitioning (equally spaced
+    /// splits), e.g. the paper's `100×50`, `25×12` and `20×20` grids.
+    pub fn regular(bounds: Rect, nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "partition counts must be positive");
+        let xs = (1..nx)
+            .map(|i| bounds.min.x + bounds.width() * i as f64 / nx as f64)
+            .collect();
+        let ys = (1..ny)
+            .map(|j| bounds.min.y + bounds.height() * j as f64 / ny as f64)
+            .collect();
+        Partitioning {
+            bounds,
+            xsplits: xs,
+            ysplits: ys,
+        }
+    }
+
+    /// Draws a random *regular* partitioning: the number of splits per
+    /// axis is uniform in `config`, and the splits are equally spaced.
+    ///
+    /// This is the reading of the paper's §4.2 setup ("the number of
+    /// horizontal and vertical splits of the space is randomly selected
+    /// between 10 to 40") that reproduces the reported `MeanVar` values
+    /// — the randomness is in the *resolution*, not the split
+    /// positions. See [`Partitioning::random`] for the
+    /// random-positions variant.
+    pub fn random_regular<R: Rng + ?Sized>(
+        bounds: Rect,
+        config: &RandomPartitioningConfig,
+        rng: &mut R,
+    ) -> Self {
+        let nx_splits = rng.gen_range(config.min_splits..=config.max_splits);
+        let ny_splits = rng.gen_range(config.min_splits..=config.max_splits);
+        Self::regular(bounds, nx_splits + 1, ny_splits + 1)
+    }
+
+    /// Draws a random partitioning: the number of splits per axis is
+    /// uniform in `config.splits`, and each split coordinate is uniform
+    /// inside the bounds (duplicates removed).
+    pub fn random<R: Rng + ?Sized>(
+        bounds: Rect,
+        config: &RandomPartitioningConfig,
+        rng: &mut R,
+    ) -> Self {
+        let nx = rng.gen_range(config.min_splits..=config.max_splits);
+        let ny = rng.gen_range(config.min_splits..=config.max_splits);
+        let mut xs: Vec<f64> = (0..nx)
+            .map(|_| rng.gen_range(bounds.min.x..bounds.max.x))
+            .filter(|&x| x > bounds.min.x && x < bounds.max.x)
+            .collect();
+        let mut ys: Vec<f64> = (0..ny)
+            .map(|_| rng.gen_range(bounds.min.y..bounds.max.y))
+            .filter(|&y| y > bounds.min.y && y < bounds.max.y)
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("uniform draws are never NaN"));
+        xs.dedup();
+        ys.sort_by(|a, b| a.partial_cmp(b).expect("uniform draws are never NaN"));
+        ys.dedup();
+        Partitioning {
+            bounds,
+            xsplits: xs,
+            ysplits: ys,
+        }
+    }
+
+    /// The partitioning bounds.
+    #[inline]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Number of columns (`x`-intervals).
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.xsplits.len() + 1
+    }
+
+    /// Number of rows (`y`-intervals).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.ysplits.len() + 1
+    }
+
+    /// Total number of partitions.
+    #[inline]
+    pub fn num_partitions(&self) -> usize {
+        self.ncols() * self.nrows()
+    }
+
+    /// Maps a point to its partition id in `[0, num_partitions)`.
+    ///
+    /// Points outside the bounds are clamped to border partitions, so
+    /// the mapping is total.
+    #[inline]
+    pub fn partition_of(&self, p: &Point) -> usize {
+        let col = interval_index(&self.xsplits, p.x);
+        let row = interval_index(&self.ysplits, p.y);
+        row * self.ncols() + col
+    }
+
+    /// The rectangle of partition `id`.
+    pub fn partition_rect(&self, id: usize) -> Rect {
+        assert!(id < self.num_partitions(), "partition id {id} out of range");
+        let col = id % self.ncols();
+        let row = id / self.ncols();
+        let x0 = if col == 0 {
+            self.bounds.min.x
+        } else {
+            self.xsplits[col - 1]
+        };
+        let x1 = if col == self.xsplits.len() {
+            self.bounds.max.x
+        } else {
+            self.xsplits[col]
+        };
+        let y0 = if row == 0 {
+            self.bounds.min.y
+        } else {
+            self.ysplits[row - 1]
+        };
+        let y1 = if row == self.ysplits.len() {
+            self.bounds.max.y
+        } else {
+            self.ysplits[row]
+        };
+        Rect::from_coords(x0, y0, x1, y1)
+    }
+
+    /// Iterates over `(id, rect)` for all partitions.
+    pub fn iter_partitions(&self) -> impl Iterator<Item = (usize, Rect)> + '_ {
+        (0..self.num_partitions()).map(move |id| (id, self.partition_rect(id)))
+    }
+
+    /// Assigns every point in `points` to its partition id.
+    pub fn assign(&self, points: &[Point]) -> Vec<u32> {
+        points.iter().map(|p| self.partition_of(p) as u32).collect()
+    }
+}
+
+/// Parameters for [`Partitioning::random`].
+///
+/// The paper's §4.2 setup is `min_splits = 10`, `max_splits = 40`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomPartitioningConfig {
+    /// Minimum number of splits per axis (inclusive).
+    pub min_splits: usize,
+    /// Maximum number of splits per axis (inclusive).
+    pub max_splits: usize,
+}
+
+impl RandomPartitioningConfig {
+    /// The paper's §4.2 configuration: 10 to 40 splits per axis.
+    pub const PAPER: RandomPartitioningConfig = RandomPartitioningConfig {
+        min_splits: 10,
+        max_splits: 40,
+    };
+}
+
+impl Default for RandomPartitioningConfig {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// Index of the half-open interval `[s_{i-1}, s_i)` that `v` falls in,
+/// over sorted splits `s`; `0` before the first split, `s.len()` after
+/// the last. Equivalent to "number of splits ≤ v".
+#[inline]
+fn interval_index(splits: &[f64], v: f64) -> usize {
+    // partition_point returns the first index where the predicate fails,
+    // i.e. the count of splits <= v, which is exactly the interval index.
+    splits.partition_point(|&s| s <= v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn bounds() -> Rect {
+        Rect::from_coords(0.0, 0.0, 10.0, 10.0)
+    }
+
+    #[test]
+    fn interval_index_basics() {
+        let s = [2.0, 5.0, 7.0];
+        assert_eq!(interval_index(&s, 0.0), 0);
+        assert_eq!(interval_index(&s, 1.99), 0);
+        assert_eq!(interval_index(&s, 2.0), 1); // boundary goes right
+        assert_eq!(interval_index(&s, 6.0), 2);
+        assert_eq!(interval_index(&s, 7.0), 3);
+        assert_eq!(interval_index(&s, 100.0), 3);
+    }
+
+    #[test]
+    fn regular_counts() {
+        let p = Partitioning::regular(bounds(), 4, 2);
+        assert_eq!(p.ncols(), 4);
+        assert_eq!(p.nrows(), 2);
+        assert_eq!(p.num_partitions(), 8);
+    }
+
+    #[test]
+    fn partition_rects_tile_bounds() {
+        let p = Partitioning::regular(bounds(), 5, 3);
+        let total: f64 = p.iter_partitions().map(|(_, r)| r.area()).sum();
+        assert!((total - p.bounds().area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn each_point_maps_to_the_partition_containing_it() {
+        let p = Partitioning::from_splits(bounds(), vec![3.0, 6.0], vec![5.0]);
+        for (id, r) in p.iter_partitions() {
+            let c = r.center();
+            assert_eq!(p.partition_of(&c), id, "center of {r} should map to {id}");
+            assert!(r.contains(&c));
+        }
+    }
+
+    #[test]
+    fn mapping_is_total_and_non_overlapping() {
+        // Every point maps to exactly one partition by construction;
+        // check that boundary points are assigned consistently with the
+        // half-open convention (they go to the right/upper partition).
+        let p = Partitioning::from_splits(bounds(), vec![5.0], vec![5.0]);
+        assert_eq!(p.partition_of(&Point::new(4.999, 4.999)), 0);
+        assert_eq!(p.partition_of(&Point::new(5.0, 4.999)), 1);
+        assert_eq!(p.partition_of(&Point::new(4.999, 5.0)), 2);
+        assert_eq!(p.partition_of(&Point::new(5.0, 5.0)), 3);
+    }
+
+    #[test]
+    fn outside_points_clamp() {
+        let p = Partitioning::from_splits(bounds(), vec![5.0], vec![5.0]);
+        assert_eq!(p.partition_of(&Point::new(-100.0, -100.0)), 0);
+        assert_eq!(p.partition_of(&Point::new(100.0, 100.0)), 3);
+    }
+
+    #[test]
+    fn from_splits_sorts_and_dedups() {
+        let p = Partitioning::from_splits(bounds(), vec![7.0, 3.0, 7.0], vec![]);
+        assert_eq!(p.ncols(), 3);
+        assert_eq!(p.nrows(), 1);
+        assert_eq!(p.partition_rect(0), Rect::from_coords(0.0, 0.0, 3.0, 10.0));
+        assert_eq!(p.partition_rect(2), Rect::from_coords(7.0, 0.0, 10.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside open bounds")]
+    fn split_on_boundary_rejected() {
+        let _ = Partitioning::from_splits(bounds(), vec![0.0], vec![]);
+    }
+
+    #[test]
+    fn random_respects_config() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let cfg = RandomPartitioningConfig {
+            min_splits: 10,
+            max_splits: 40,
+        };
+        for _ in 0..20 {
+            let p = Partitioning::random(bounds(), &cfg, &mut rng);
+            assert!(p.ncols() >= 2 && p.ncols() <= 41);
+            assert!(p.nrows() >= 2 && p.nrows() <= 41);
+            // All splits interior.
+            let total: f64 = p.iter_partitions().map(|(_, r)| r.area()).sum();
+            assert!((total - p.bounds().area()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let cfg = RandomPartitioningConfig::PAPER;
+        let a = Partitioning::random(bounds(), &cfg, &mut ChaCha8Rng::seed_from_u64(3));
+        let b = Partitioning::random(bounds(), &cfg, &mut ChaCha8Rng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn assign_matches_partition_of() {
+        let p = Partitioning::regular(bounds(), 3, 3);
+        let pts = vec![
+            Point::new(1.0, 1.0),
+            Point::new(9.0, 9.0),
+            Point::new(5.0, 5.0),
+        ];
+        let ids = p.assign(&pts);
+        for (pt, id) in pts.iter().zip(&ids) {
+            assert_eq!(p.partition_of(pt) as u32, *id);
+        }
+    }
+}

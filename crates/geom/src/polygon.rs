@@ -1,0 +1,359 @@
+//! Convex polygon regions.
+//!
+//! The paper's §1 lists "city blocks, zipcodes, districts" as the
+//! spatial units a naive audit would compare. Districts are rarely
+//! rectangles; this module adds convex polygons as first-class scan
+//! regions so audits can use administrative-style shapes directly
+//! (an extension; arbitrary simple polygons can be approximated by
+//! convex pieces).
+//!
+//! Containment is closed (boundary points belong to the polygon), and
+//! rectangle intersection uses the exact separating-axis test, so all
+//! index pruning guarantees carry over.
+
+use crate::{point::Point, rect::Rect};
+use serde::{Deserialize, Serialize};
+
+/// A convex polygon with vertices stored in counter-clockwise order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvexPolygon {
+    vertices: Vec<Point>,
+}
+
+impl ConvexPolygon {
+    /// Creates a convex polygon from at least three vertices.
+    ///
+    /// Vertices may be given in either orientation; they are stored
+    /// counter-clockwise.
+    ///
+    /// # Panics
+    /// Panics if fewer than three vertices are given, any coordinate is
+    /// non-finite, or the vertex sequence is not strictly convex
+    /// (collinear triples are rejected to keep the orientation tests
+    /// exact).
+    pub fn new(mut vertices: Vec<Point>) -> Self {
+        assert!(
+            vertices.len() >= 3,
+            "a polygon needs at least three vertices"
+        );
+        assert!(
+            vertices.iter().all(Point::is_finite),
+            "polygon vertices must be finite"
+        );
+        // Signed area: positive = CCW.
+        let area2: f64 = signed_area2(&vertices);
+        assert!(area2.abs() > 0.0, "polygon must have positive area");
+        if area2 < 0.0 {
+            vertices.reverse();
+        }
+        // Strict convexity: every consecutive triple turns left.
+        let n = vertices.len();
+        for i in 0..n {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % n];
+            let c = vertices[(i + 2) % n];
+            assert!(
+                cross(&a, &b, &c) > 0.0,
+                "vertices must form a strictly convex CCW polygon (violation at index {i})"
+            );
+        }
+        ConvexPolygon { vertices }
+    }
+
+    /// Axis-aligned regular approximation of a circle: an `n`-gon
+    /// inscribed in the circle of the given center and radius.
+    pub fn regular(center: Point, radius: f64, n: usize) -> Self {
+        assert!(n >= 3, "need at least three vertices");
+        assert!(radius > 0.0, "radius must be positive");
+        let vertices = (0..n)
+            .map(|i| {
+                let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                Point::new(
+                    center.x + radius * theta.cos(),
+                    center.y + radius * theta.sin(),
+                )
+            })
+            .collect();
+        ConvexPolygon { vertices }
+    }
+
+    /// The vertices (counter-clockwise).
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Closed containment test: the point is inside or on the boundary.
+    pub fn contains(&self, p: &Point) -> bool {
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if cross(&a, &b, p) < 0.0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The tightest axis-aligned bounding rectangle.
+    pub fn bounding_rect(&self) -> Rect {
+        let mut min = self.vertices[0];
+        let mut max = self.vertices[0];
+        for v in &self.vertices[1..] {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Rect { min, max }
+    }
+
+    /// Returns `true` if the rectangle lies entirely inside the polygon
+    /// (all four corners inside — exact for convex shapes).
+    pub fn contains_rect(&self, r: &Rect) -> bool {
+        self.contains(&r.min)
+            && self.contains(&r.max)
+            && self.contains(&Point::new(r.min.x, r.max.y))
+            && self.contains(&Point::new(r.max.x, r.min.y))
+    }
+
+    /// Exact convex-polygon / rectangle intersection via the separating
+    /// axis theorem (closed semantics: touching shapes intersect).
+    pub fn intersects_rect(&self, r: &Rect) -> bool {
+        // Rect axes: x and y.
+        let (poly_min_x, poly_max_x) = self.project(1.0, 0.0);
+        if poly_max_x < r.min.x || r.max.x < poly_min_x {
+            return false;
+        }
+        let (poly_min_y, poly_max_y) = self.project(0.0, 1.0);
+        if poly_max_y < r.min.y || r.max.y < poly_min_y {
+            return false;
+        }
+        // Polygon edge normals.
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            // Outward normal of CCW edge (a -> b): (dy, -dx).
+            let nx = b.y - a.y;
+            let ny = a.x - b.x;
+            let (p_min, p_max) = self.project(nx, ny);
+            let (r_min, r_max) = project_rect(r, nx, ny);
+            if p_max < r_min || r_max < p_min {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Area of the polygon (shoelace formula).
+    pub fn area(&self) -> f64 {
+        signed_area2(&self.vertices) / 2.0
+    }
+
+    /// Centroid of the polygon.
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a2 = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+            a2 += w;
+        }
+        Point::new(cx / (3.0 * a2), cy / (3.0 * a2))
+    }
+
+    /// Projects the polygon onto the axis `(ax, ay)`.
+    fn project(&self, ax: f64, ay: f64) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for v in &self.vertices {
+            let d = v.x * ax + v.y * ay;
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        (lo, hi)
+    }
+}
+
+impl std::fmt::Display for ConvexPolygon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "polygon[{} vertices around {}]",
+            self.vertices.len(),
+            self.centroid()
+        )
+    }
+}
+
+fn project_rect(r: &Rect, ax: f64, ay: f64) -> (f64, f64) {
+    let corners = [
+        Point::new(r.min.x, r.min.y),
+        Point::new(r.max.x, r.min.y),
+        Point::new(r.min.x, r.max.y),
+        Point::new(r.max.x, r.max.y),
+    ];
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for c in corners {
+        let d = c.x * ax + c.y * ay;
+        lo = lo.min(d);
+        hi = hi.max(d);
+    }
+    (lo, hi)
+}
+
+/// Twice the signed area (positive for CCW).
+fn signed_area2(vertices: &[Point]) -> f64 {
+    let n = vertices.len();
+    let mut acc = 0.0;
+    for i in 0..n {
+        let p = vertices[i];
+        let q = vertices[(i + 1) % n];
+        acc += p.x * q.y - q.x * p.y;
+    }
+    acc
+}
+
+/// Cross product of (b-a) x (p-a).
+#[inline]
+fn cross(a: &Point, b: &Point, p: &Point) -> f64 {
+    (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> ConvexPolygon {
+        ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(2.0, 3.0),
+        ])
+    }
+
+    fn square() -> ConvexPolygon {
+        ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+    }
+
+    #[test]
+    fn orientation_is_normalised() {
+        // Clockwise input is reversed to CCW: same shape (possibly a
+        // rotated vertex cycle), positive area, identical geometry.
+        let cw = ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 3.0),
+            Point::new(4.0, 0.0),
+        ]);
+        let ccw = triangle();
+        assert!(cw.area() > 0.0);
+        assert!((cw.area() - ccw.area()).abs() < 1e-12);
+        assert_eq!(cw.bounding_rect(), ccw.bounding_rect());
+        assert_eq!(cw.centroid(), ccw.centroid());
+        // Every vertex of one appears in the other.
+        for v in cw.vertices() {
+            assert!(ccw.vertices().contains(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly convex")]
+    fn concave_polygon_rejected() {
+        let _ = ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 1.0), // dent
+            Point::new(0.0, 4.0),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn too_few_vertices_rejected() {
+        let _ = ConvexPolygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn contains_is_closed() {
+        let t = triangle();
+        assert!(t.contains(&Point::new(2.0, 1.0))); // interior
+        assert!(t.contains(&Point::new(0.0, 0.0))); // vertex
+        assert!(t.contains(&Point::new(2.0, 0.0))); // edge
+        assert!(!t.contains(&Point::new(2.0, 3.1)));
+        assert!(!t.contains(&Point::new(-0.1, 0.0)));
+    }
+
+    #[test]
+    fn bounding_rect_is_tight() {
+        assert_eq!(
+            triangle().bounding_rect(),
+            Rect::from_coords(0.0, 0.0, 4.0, 3.0)
+        );
+    }
+
+    #[test]
+    fn area_and_centroid() {
+        assert!((triangle().area() - 6.0).abs() < 1e-12);
+        assert!((square().area() - 4.0).abs() < 1e-12);
+        let c = square().centroid();
+        assert!((c.x - 1.0).abs() < 1e-12 && (c.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_rect_cases() {
+        let s = square();
+        assert!(s.contains_rect(&Rect::from_coords(0.5, 0.5, 1.5, 1.5)));
+        assert!(s.contains_rect(&Rect::from_coords(0.0, 0.0, 2.0, 2.0))); // the square itself
+        assert!(!s.contains_rect(&Rect::from_coords(1.5, 1.5, 2.5, 2.5)));
+        // A rect whose corners are inside a triangle is inside (convexity).
+        let t = triangle();
+        assert!(t.contains_rect(&Rect::from_coords(1.5, 0.5, 2.5, 1.0)));
+    }
+
+    #[test]
+    fn sat_intersection_exact() {
+        let t = triangle();
+        // Overlapping.
+        assert!(t.intersects_rect(&Rect::from_coords(1.0, 1.0, 3.0, 2.0)));
+        // Rect overlaps the bounding box but NOT the triangle (top-left
+        // corner area above the left edge).
+        assert!(!t.intersects_rect(&Rect::from_coords(0.0, 2.5, 0.6, 3.0)));
+        // Touching a vertex counts (closed).
+        assert!(t.intersects_rect(&Rect::from_coords(4.0, 0.0, 5.0, 1.0)));
+        // Fully disjoint.
+        assert!(!t.intersects_rect(&Rect::from_coords(10.0, 10.0, 11.0, 11.0)));
+        // Rect fully containing the polygon intersects.
+        assert!(t.intersects_rect(&Rect::from_coords(-1.0, -1.0, 5.0, 4.0)));
+    }
+
+    #[test]
+    fn regular_polygon_approximates_circle() {
+        let p = ConvexPolygon::regular(Point::new(1.0, 1.0), 2.0, 64);
+        assert_eq!(p.vertices().len(), 64);
+        // Area approaches pi r^2 from below.
+        let circle_area = std::f64::consts::PI * 4.0;
+        assert!(p.area() < circle_area);
+        assert!(p.area() > circle_area * 0.99);
+        let c = p.centroid();
+        assert!((c.x - 1.0).abs() < 1e-9 && (c.y - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consistency_contains_implies_intersects() {
+        let t = triangle();
+        let r = Rect::from_coords(1.8, 0.5, 2.2, 0.9);
+        if t.contains_rect(&r) {
+            assert!(t.intersects_rect(&r));
+        }
+    }
+}

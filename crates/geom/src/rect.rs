@@ -1,0 +1,277 @@
+//! Axis-aligned rectangles.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle, stored as its min and max corners.
+///
+/// Rectangles are *closed*: boundary points are contained. This is the
+/// natural semantics for scan regions (the paper's square regions of
+/// §4.3 and grid partitions treated as standalone regions). Exhaustive
+/// partitionings do not use `contains` — see [`crate::Partitioning`].
+///
+/// Invariant: `min.x <= max.x && min.y <= max.y`. Construction through
+/// [`Rect::new`] sorts the corners to maintain it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two arbitrary corners (sorted internally).
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: a.min(&b),
+            max: a.max(&b),
+        }
+    }
+
+    /// Creates a rectangle from raw coordinates `(x0, y0)`–`(x1, y1)`.
+    #[inline]
+    pub fn from_coords(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    /// Creates the axis-aligned square of side `side` centered at `center`.
+    ///
+    /// This is the construction of the paper's §4.3 scan regions
+    /// ("square regions with 20 different side lengths ranging from 0.1
+    /// up to 2 degrees" centered on k-means centers).
+    #[inline]
+    pub fn square(center: Point, side: f64) -> Self {
+        assert!(side >= 0.0, "square side must be non-negative, got {side}");
+        let h = side / 2.0;
+        Rect {
+            min: Point::new(center.x - h, center.y - h),
+            max: Point::new(center.x + h, center.y + h),
+        }
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area (width × height).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(&self.max)
+    }
+
+    /// Closed containment test.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` if `other` lies entirely inside `self` (closed).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.min.x >= self.min.x
+            && other.max.x <= self.max.x
+            && other.min.y >= self.min.y
+            && other.max.y <= self.max.y
+    }
+
+    /// Returns `true` if the two rectangles share at least one point
+    /// (closed semantics: touching edges intersect).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The intersection rectangle, or `None` if disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min: self.min.max(&other.min),
+            max: self.max.min(&other.max),
+        })
+    }
+
+    /// The smallest rectangle covering both inputs.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: self.min.min(&other.min),
+            max: self.max.max(&other.max),
+        }
+    }
+
+    /// Grows the rectangle by `margin` on every side.
+    #[inline]
+    pub fn expanded(&self, margin: f64) -> Rect {
+        Rect {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+
+    /// Squared Euclidean distance from `p` to the rectangle (0 inside).
+    ///
+    /// Used by spatial indexes for pruning circle queries.
+    #[inline]
+    pub fn distance_sq_to_point(&self, p: &Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        dx * dx + dy * dy
+    }
+
+    /// The farthest squared distance from `p` to any point of the rectangle.
+    #[inline]
+    pub fn max_distance_sq_to_point(&self, p: &Point) -> f64 {
+        let dx = (p.x - self.min.x).abs().max((p.x - self.max.x).abs());
+        let dy = (p.y - self.min.y).abs().max((p.y - self.max.y).abs());
+        dx * dx + dy * dy
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:.4}, {:.4}] x [{:.4}, {:.4}]",
+            self.min.x, self.max.x, self.min.y, self.max.y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Rect {
+        Rect::from_coords(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn new_sorts_corners() {
+        let r = Rect::new(Point::new(2.0, -1.0), Point::new(-3.0, 4.0));
+        assert_eq!(r.min, Point::new(-3.0, -1.0));
+        assert_eq!(r.max, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn square_has_expected_extent() {
+        let r = Rect::square(Point::new(1.0, 2.0), 0.5);
+        assert_eq!(r.min, Point::new(0.75, 1.75));
+        assert_eq!(r.max, Point::new(1.25, 2.25));
+        assert!((r.area() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn square_rejects_negative_side() {
+        let _ = Rect::square(Point::ORIGIN, -1.0);
+    }
+
+    #[test]
+    fn contains_is_closed() {
+        let r = unit();
+        assert!(r.contains(&Point::new(0.0, 0.0)));
+        assert!(r.contains(&Point::new(1.0, 1.0)));
+        assert!(r.contains(&Point::new(0.5, 0.5)));
+        assert!(!r.contains(&Point::new(1.0 + 1e-12, 0.5)));
+        assert!(!r.contains(&Point::new(0.5, -1e-12)));
+    }
+
+    #[test]
+    fn intersects_touching_edges() {
+        let a = unit();
+        let b = Rect::from_coords(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        let c = Rect::from_coords(1.1, 0.0, 2.0, 1.0);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn intersection_of_overlapping() {
+        let a = unit();
+        let b = Rect::from_coords(0.5, 0.5, 2.0, 2.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::from_coords(0.5, 0.5, 1.0, 1.0));
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_none() {
+        let a = unit();
+        let b = Rect::from_coords(5.0, 5.0, 6.0, 6.0);
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = unit();
+        let b = Rect::from_coords(2.0, 2.0, 3.0, 3.0);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, Rect::from_coords(0.0, 0.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn contains_rect_cases() {
+        let a = unit();
+        assert!(a.contains_rect(&Rect::from_coords(0.25, 0.25, 0.75, 0.75)));
+        assert!(a.contains_rect(&a));
+        assert!(!a.contains_rect(&Rect::from_coords(0.5, 0.5, 1.5, 0.75)));
+    }
+
+    #[test]
+    fn expanded_grows_all_sides() {
+        let r = unit().expanded(0.5);
+        assert_eq!(r, Rect::from_coords(-0.5, -0.5, 1.5, 1.5));
+    }
+
+    #[test]
+    fn point_distance_inside_is_zero() {
+        let r = unit();
+        assert_eq!(r.distance_sq_to_point(&Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(r.distance_sq_to_point(&Point::new(0.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn point_distance_outside() {
+        let r = unit();
+        // Directly right of the rectangle.
+        assert_eq!(r.distance_sq_to_point(&Point::new(2.0, 0.5)), 1.0);
+        // Diagonal from the corner.
+        assert_eq!(r.distance_sq_to_point(&Point::new(2.0, 2.0)), 2.0);
+    }
+
+    #[test]
+    fn max_distance_reaches_far_corner() {
+        let r = unit();
+        assert_eq!(r.max_distance_sq_to_point(&Point::new(0.0, 0.0)), 2.0);
+        assert_eq!(r.max_distance_sq_to_point(&Point::new(-1.0, 0.0)), 5.0);
+    }
+
+    #[test]
+    fn degenerate_rect_contains_its_point() {
+        let r = Rect::from_coords(1.0, 1.0, 1.0, 1.0);
+        assert!(r.contains(&Point::new(1.0, 1.0)));
+        assert_eq!(r.area(), 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Scan-region shapes.
+
+use crate::{circle::Circle, point::Point, polygon::ConvexPolygon, rect::Rect};
+use serde::{Deserialize, Serialize};
+
+/// A scan region: one of the supported shapes.
+///
+/// The paper's notation calls this `R`. Grid partitions and the §4.3
+/// square regions are [`Region::Rect`]; [`Region::Circle`] is the
+/// Kulldorff-style extension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Region {
+    /// An axis-aligned rectangle.
+    Rect(Rect),
+    /// A circle.
+    Circle(Circle),
+    /// A convex polygon (district-style shapes; extension).
+    Polygon(ConvexPolygon),
+}
+
+impl Region {
+    /// Closed containment test.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        match self {
+            Region::Rect(r) => r.contains(p),
+            Region::Circle(c) => c.contains(p),
+            Region::Polygon(poly) => poly.contains(p),
+        }
+    }
+
+    /// The tightest axis-aligned rectangle covering the region.
+    #[inline]
+    pub fn bounding_rect(&self) -> Rect {
+        match self {
+            Region::Rect(r) => *r,
+            Region::Circle(c) => c.bounding_rect(),
+            Region::Polygon(poly) => poly.bounding_rect(),
+        }
+    }
+
+    /// Returns `true` if the axis-aligned rectangle `r` lies entirely
+    /// inside the region (used by indexes to prune subtree scans).
+    #[inline]
+    pub fn contains_rect(&self, r: &Rect) -> bool {
+        match self {
+            Region::Rect(me) => me.contains_rect(r),
+            Region::Circle(me) => me.contains_rect(r),
+            Region::Polygon(me) => me.contains_rect(r),
+        }
+    }
+
+    /// Returns `true` if the axis-aligned rectangle `r` intersects the
+    /// region.
+    #[inline]
+    pub fn intersects_rect(&self, r: &Rect) -> bool {
+        match self {
+            Region::Rect(me) => me.intersects(r),
+            Region::Circle(me) => me.intersects_rect(r),
+            Region::Polygon(me) => me.intersects_rect(r),
+        }
+    }
+
+    /// Conservative region-region overlap test via shape-specific
+    /// geometry where available, bounding boxes otherwise.
+    ///
+    /// Used by the non-overlapping evidence selection of §4.3; a
+    /// conservative (may-overlap) answer keeps that selection sound.
+    pub fn may_intersect(&self, other: &Region) -> bool {
+        match (self, other) {
+            (Region::Rect(a), Region::Rect(b)) => a.intersects(b),
+            (Region::Circle(a), Region::Circle(b)) => a.intersects(b),
+            (Region::Rect(r), Region::Circle(c)) | (Region::Circle(c), Region::Rect(r)) => {
+                c.intersects_rect(r)
+            }
+            (Region::Polygon(p), Region::Rect(r)) | (Region::Rect(r), Region::Polygon(p)) => {
+                p.intersects_rect(r)
+            }
+            // Polygon/circle and polygon/polygon: conservative bounding
+            // boxes (sound for the non-overlap selection, which only
+            // needs may-overlap).
+            (a, b) => a.bounding_rect().intersects(&b.bounding_rect()),
+        }
+    }
+
+    /// Geometric center of the region.
+    #[inline]
+    pub fn center(&self) -> Point {
+        match self {
+            Region::Rect(r) => r.center(),
+            Region::Circle(c) => c.center,
+            Region::Polygon(p) => p.centroid(),
+        }
+    }
+
+    /// Area of the region.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        match self {
+            Region::Rect(r) => r.area(),
+            Region::Circle(c) => c.area(),
+            Region::Polygon(p) => p.area(),
+        }
+    }
+}
+
+impl From<Rect> for Region {
+    fn from(r: Rect) -> Self {
+        Region::Rect(r)
+    }
+}
+
+impl From<Circle> for Region {
+    fn from(c: Circle) -> Self {
+        Region::Circle(c)
+    }
+}
+
+impl From<ConvexPolygon> for Region {
+    fn from(p: ConvexPolygon) -> Self {
+        Region::Polygon(p)
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Region::Rect(r) => write!(f, "{r}"),
+            Region::Circle(c) => write!(f, "{c}"),
+            Region::Polygon(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_region_delegates() {
+        let r: Region = Rect::from_coords(0.0, 0.0, 1.0, 1.0).into();
+        assert!(r.contains(&Point::new(0.5, 0.5)));
+        assert!(!r.contains(&Point::new(2.0, 0.5)));
+        assert_eq!(r.bounding_rect(), Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(r.center(), Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn circle_region_delegates() {
+        let c: Region = Circle::new(Point::ORIGIN, 1.0).into();
+        assert!(c.contains(&Point::new(0.0, 1.0)));
+        assert!(!c.contains(&Point::new(1.0, 1.0))); // outside the circle
+        assert_eq!(c.bounding_rect(), Rect::from_coords(-1.0, -1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn mixed_intersection_circle_rect() {
+        let c: Region = Circle::new(Point::ORIGIN, 1.0).into();
+        let r: Region = Rect::from_coords(0.9, -0.1, 2.0, 0.1).into();
+        assert!(c.may_intersect(&r));
+        assert!(r.may_intersect(&c));
+        let far: Region = Rect::from_coords(5.0, 5.0, 6.0, 6.0).into();
+        assert!(!c.may_intersect(&far));
+    }
+
+    #[test]
+    fn circle_bbox_overlaps_but_circle_does_not() {
+        // Rect touches the circle's bounding box corner but not the
+        // circle itself; the circle-rect test must be exact.
+        let c: Region = Circle::new(Point::ORIGIN, 1.0).into();
+        let corner: Region = Rect::from_coords(0.9, 0.9, 1.0, 1.0).into();
+        assert!(!c.may_intersect(&corner));
+    }
+
+    #[test]
+    fn contains_rect_pruning_contract() {
+        let c: Region = Circle::new(Point::ORIGIN, 2.0).into();
+        let inner = Rect::from_coords(-0.5, -0.5, 0.5, 0.5);
+        assert!(c.contains_rect(&inner));
+        // Everything the region fully contains must also intersect it.
+        assert!(c.intersects_rect(&inner));
+    }
+
+    #[test]
+    fn area_dispatch() {
+        let r: Region = Rect::from_coords(0.0, 0.0, 2.0, 3.0).into();
+        assert_eq!(r.area(), 6.0);
+        let c: Region = Circle::new(Point::ORIGIN, 1.0).into();
+        assert!((c.area() - std::f64::consts::PI).abs() < 1e-12);
+    }
+}

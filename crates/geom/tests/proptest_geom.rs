@@ -1,0 +1,134 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use sfgeo::{BoundingBox, Circle, Partitioning, Point, Rect, UniformGrid};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000.0..1000.0f64, -1000.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+proptest! {
+    #[test]
+    fn rect_new_maintains_invariant(a in arb_point(), b in arb_point()) {
+        let r = Rect::new(a, b);
+        prop_assert!(r.min.x <= r.max.x);
+        prop_assert!(r.min.y <= r.max.y);
+    }
+
+    #[test]
+    fn rect_contains_center(r in arb_rect()) {
+        prop_assert!(r.contains(&r.center()));
+    }
+
+    #[test]
+    fn rect_intersection_is_commutative_and_contained(a in arb_rect(), b in arb_rect()) {
+        let i1 = a.intersection(&b);
+        let i2 = b.intersection(&a);
+        prop_assert_eq!(i1, i2);
+        if let Some(i) = i1 {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn rect_intersects_iff_intersection_exists(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), a.intersection(&b).is_some());
+    }
+
+    #[test]
+    fn distance_to_point_zero_iff_contained(r in arb_rect(), p in arb_point()) {
+        let d = r.distance_sq_to_point(&p);
+        prop_assert_eq!(d == 0.0, r.contains(&p));
+        prop_assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn circle_bounding_rect_contains_contained_points(
+        c in (arb_point(), 0.0..100.0f64).prop_map(|(p, r)| Circle::new(p, r)),
+        p in arb_point(),
+    ) {
+        if c.contains(&p) {
+            prop_assert!(c.bounding_rect().contains(&p));
+        }
+    }
+
+    #[test]
+    fn bbox_contains_all_points(pts in prop::collection::vec(arb_point(), 1..50)) {
+        let r = BoundingBox::of_points(&pts).unwrap();
+        for p in &pts {
+            prop_assert!(r.contains(p));
+        }
+    }
+
+    #[test]
+    fn grid_cell_of_roundtrips_for_interior_points(
+        nx in 1usize..20,
+        ny in 1usize..20,
+        fx in 0.0..1.0f64,
+        fy in 0.0..1.0f64,
+    ) {
+        let bounds = Rect::from_coords(-5.0, -5.0, 5.0, 5.0);
+        let g = UniformGrid::new(bounds, nx, ny);
+        let p = Point::new(
+            bounds.min.x + fx * bounds.width() * 0.999999,
+            bounds.min.y + fy * bounds.height() * 0.999999,
+        );
+        let (ix, iy) = g.cell_of(&p);
+        prop_assert!(ix < nx && iy < ny);
+        // The cell rect must contain the point (closed boundary caveat:
+        // interior points by construction).
+        let r = g.cell_rect(ix, iy);
+        prop_assert!(r.contains(&p), "cell {:?} rect {} missing {}", (ix, iy), r, p);
+    }
+
+    #[test]
+    fn partitioning_assignment_is_consistent_with_rects(
+        xs in prop::collection::vec(0.001..0.999f64, 0..10),
+        ys in prop::collection::vec(0.001..0.999f64, 0..10),
+        pts in prop::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..50),
+    ) {
+        let bounds = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let part = Partitioning::from_splits(bounds, xs, ys);
+        for (x, y) in pts {
+            let p = Point::new(x, y);
+            let id = part.partition_of(&p);
+            prop_assert!(id < part.num_partitions());
+            let r = part.partition_rect(id);
+            // The assigned partition's closed rect must contain the point.
+            prop_assert!(r.contains(&p), "partition {id} rect {r} missing {p}");
+        }
+    }
+
+    #[test]
+    fn partitioning_partitions_are_disjoint_in_interiors(
+        xs in prop::collection::vec(0.001..0.999f64, 0..6),
+        ys in prop::collection::vec(0.001..0.999f64, 0..6),
+    ) {
+        let bounds = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let part = Partitioning::from_splits(bounds, xs, ys);
+        let rects: Vec<Rect> = part.iter_partitions().map(|(_, r)| r).collect();
+        // Interiors are pairwise disjoint: any intersection has zero area.
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                if let Some(ov) = rects[i].intersection(&rects[j]) {
+                    prop_assert!(ov.area() < 1e-12);
+                }
+            }
+        }
+        // And areas sum to the bounds area (coverage).
+        let total: f64 = rects.iter().map(|r| r.area()).sum();
+        prop_assert!((total - bounds.area()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,265 @@
+//! Uniform-grid bucketing index (CSR layout).
+//!
+//! Points are binned into the cells of a [`sfgeo::UniformGrid`]; each
+//! cell stores its `(n, p)` aggregate and a contiguous id range in a
+//! CSR-style array. A query decomposes the candidate cell range into
+//! *interior* cells (fully inside the region — answered from
+//! aggregates) and *boundary* cells (scanned point-by-point).
+
+use crate::{labels::BitLabels, CountPair, PointVisit, RangeCount};
+use sfgeo::{BoundingBox, Point, Region, UniformGrid};
+
+/// Grid-bucketed range-count index.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    grid: UniformGrid,
+    points: Vec<Point>,
+    labels: BitLabels,
+    /// CSR: `cell_start[c]..cell_start[c+1]` indexes into `cell_ids`.
+    cell_start: Vec<u32>,
+    cell_ids: Vec<u32>,
+    /// Per-cell aggregates.
+    cell_agg: Vec<CountPair>,
+    total: CountPair,
+}
+
+impl GridIndex {
+    /// Builds the index with a grid resolution chosen so the average
+    /// cell holds roughly `target_per_cell` points.
+    pub fn build_auto(points: Vec<Point>, labels: BitLabels, target_per_cell: usize) -> Self {
+        assert!(target_per_cell > 0, "target_per_cell must be positive");
+        let n = points.len().max(1);
+        let cells = (n / target_per_cell).max(1);
+        // Near-square cells over the data's aspect ratio.
+        let bbox = BoundingBox::of_points_expanded(&points, 1e-9)
+            .unwrap_or(sfgeo::Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+        let aspect = (bbox.width() / bbox.height()).max(1e-9);
+        let ny = ((cells as f64 / aspect).sqrt().ceil() as usize).max(1);
+        let nx = cells.div_ceil(ny).max(1);
+        let grid = UniformGrid::new(bbox, nx, ny);
+        Self::build(points, labels, grid)
+    }
+
+    /// Builds the index over an explicit grid.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != points.len()`.
+    pub fn build(points: Vec<Point>, labels: BitLabels, grid: UniformGrid) -> Self {
+        assert_eq!(
+            points.len(),
+            labels.len(),
+            "points and labels must have equal length"
+        );
+        let ncells = grid.num_cells();
+        // Counting sort into cells.
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_of: Vec<u32> = points
+            .iter()
+            .map(|p| grid.cell_index_of(p) as u32)
+            .collect();
+        for &c in &cell_of {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..ncells {
+            counts[i + 1] += counts[i];
+        }
+        let cell_start = counts.clone();
+        let mut fill = counts;
+        let mut cell_ids = vec![0u32; points.len()];
+        for (id, &c) in cell_of.iter().enumerate() {
+            cell_ids[fill[c as usize] as usize] = id as u32;
+            fill[c as usize] += 1;
+        }
+        let mut cell_agg = vec![CountPair::default(); ncells];
+        for c in 0..ncells {
+            let (s, e) = (cell_start[c] as usize, cell_start[c + 1] as usize);
+            let mut agg = CountPair {
+                n: (e - s) as u64,
+                p: 0,
+            };
+            for &id in &cell_ids[s..e] {
+                agg.p += labels.get(id as usize) as u64;
+            }
+            cell_agg[c] = agg;
+        }
+        let total = CountPair {
+            n: points.len() as u64,
+            p: labels.count_ones(),
+        };
+        GridIndex {
+            grid,
+            points,
+            labels,
+            cell_start,
+            cell_ids,
+            cell_agg,
+            total,
+        }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &UniformGrid {
+        &self.grid
+    }
+
+    fn cell_id_range(&self, cell: usize) -> &[u32] {
+        let (s, e) = (
+            self.cell_start[cell] as usize,
+            self.cell_start[cell + 1] as usize,
+        );
+        &self.cell_ids[s..e]
+    }
+}
+
+impl RangeCount for GridIndex {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn total(&self) -> CountPair {
+        self.total
+    }
+
+    fn count(&self, region: &Region) -> CountPair {
+        let bbox = region.bounding_rect();
+        let Some((ix0, iy0, ix1, iy1)) = self.grid.cell_range(&bbox) else {
+            return CountPair::default();
+        };
+        let mut acc = CountPair::default();
+        for iy in iy0..=iy1 {
+            for ix in ix0..=ix1 {
+                let cell = self.grid.flat_index(ix, iy);
+                let cell_rect = self.grid.cell_rect(ix, iy);
+                if !region.intersects_rect(&cell_rect) {
+                    continue;
+                }
+                if region.contains_rect(&cell_rect) {
+                    acc.add(self.cell_agg[cell]);
+                } else {
+                    for &id in self.cell_id_range(cell) {
+                        if region.contains(&self.points[id as usize]) {
+                            acc.n += 1;
+                            acc.p += self.labels.get(id as usize) as u64;
+                        }
+                    }
+                }
+            }
+        }
+        acc
+    }
+}
+
+impl PointVisit for GridIndex {
+    fn for_each_in(&self, region: &Region, visit: &mut dyn FnMut(u32)) {
+        let bbox = region.bounding_rect();
+        let Some((ix0, iy0, ix1, iy1)) = self.grid.cell_range(&bbox) else {
+            return;
+        };
+        for iy in iy0..=iy1 {
+            for ix in ix0..=ix1 {
+                let cell = self.grid.flat_index(ix, iy);
+                let cell_rect = self.grid.cell_rect(ix, iy);
+                if !region.intersects_rect(&cell_rect) {
+                    continue;
+                }
+                let full = region.contains_rect(&cell_rect);
+                for &id in self.cell_id_range(cell) {
+                    if full || region.contains(&self.points[id as usize]) {
+                        visit(id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForceIndex;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use sfgeo::{Circle, Rect};
+
+    fn random_dataset(n: usize, seed: u64) -> (Vec<Point>, BitLabels) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(-10.0..10.0), rng.gen_range(-5.0..5.0)))
+            .collect();
+        let labels = BitLabels::from_fn(n, |_| rng.gen_bool(0.5));
+        (points, labels)
+    }
+
+    #[test]
+    fn empty_index() {
+        let g = GridIndex::build_auto(vec![], BitLabels::zeros(0), 16);
+        assert_eq!(g.total(), CountPair::default());
+        let r: Region = Rect::from_coords(0.0, 0.0, 1.0, 1.0).into();
+        assert_eq!(g.count(&r), CountPair::default());
+    }
+
+    #[test]
+    fn matches_brute_force_on_rects() {
+        let (points, labels) = random_dataset(3000, 21);
+        let gi = GridIndex::build_auto(points.clone(), labels.clone(), 16);
+        let brute = BruteForceIndex::build(points, labels);
+        assert_eq!(gi.total(), brute.total());
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        for _ in 0..200 {
+            let cx = rng.gen_range(-11.0..11.0);
+            let cy = rng.gen_range(-6.0..6.0);
+            let w = rng.gen_range(0.0..8.0);
+            let h = rng.gen_range(0.0..4.0);
+            let r: Region = Rect::from_coords(cx, cy, cx + w, cy + h).into();
+            assert_eq!(gi.count(&r), brute.count(&r), "mismatch for {r}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_circles() {
+        let (points, labels) = random_dataset(2000, 23);
+        let gi = GridIndex::build_auto(points.clone(), labels.clone(), 8);
+        let brute = BruteForceIndex::build(points, labels);
+        let mut rng = ChaCha8Rng::seed_from_u64(24);
+        for _ in 0..150 {
+            let c: Region = Circle::new(
+                Point::new(rng.gen_range(-11.0..11.0), rng.gen_range(-6.0..6.0)),
+                rng.gen_range(0.0..6.0),
+            )
+            .into();
+            assert_eq!(gi.count(&c), brute.count(&c), "mismatch for {c}");
+        }
+    }
+
+    #[test]
+    fn ids_match_brute_force() {
+        let (points, labels) = random_dataset(1000, 25);
+        let gi = GridIndex::build_auto(points.clone(), labels.clone(), 32);
+        let brute = BruteForceIndex::build(points, labels);
+        let r: Region = Rect::from_coords(-4.0, -2.0, 4.0, 2.0).into();
+        assert_eq!(gi.ids_in(&r), brute.ids_in(&r));
+    }
+
+    #[test]
+    fn explicit_grid_resolution() {
+        let (points, labels) = random_dataset(500, 26);
+        let bbox = BoundingBox::of_points_expanded(&points, 1e-9).unwrap();
+        let grid = UniformGrid::new(bbox, 7, 3);
+        let gi = GridIndex::build(points.clone(), labels.clone(), grid);
+        let brute = BruteForceIndex::build(points, labels);
+        let r: Region = Rect::from_coords(-2.0, -1.0, 2.0, 1.0).into();
+        assert_eq!(gi.count(&r), brute.count(&r));
+        assert_eq!(gi.grid().nx(), 7);
+    }
+
+    #[test]
+    fn query_outside_grid_bounds() {
+        let (points, labels) = random_dataset(100, 27);
+        let gi = GridIndex::build_auto(points.clone(), labels.clone(), 16);
+        let r: Region = Rect::from_coords(100.0, 100.0, 101.0, 101.0).into();
+        assert_eq!(gi.count(&r), CountPair::default());
+        // Huge region covering everything.
+        let all: Region = Rect::from_coords(-1e6, -1e6, 1e6, 1e6).into();
+        assert_eq!(gi.count(&all), gi.total());
+    }
+}

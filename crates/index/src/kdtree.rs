@@ -1,0 +1,326 @@
+//! A kd-tree with per-node count aggregates.
+//!
+//! The classic structure for the paper's range-count workload: nodes
+//! store `(n, p)` aggregates so a query region that fully contains a
+//! node's bounding box is answered in `O(1)` for that subtree, and a
+//! disjoint node is pruned outright. Typical query cost is `O(√N + k)`
+//! boundary work for rectangles.
+
+use crate::{labels::BitLabels, CountPair, PointVisit, RangeCount};
+use sfgeo::{BoundingBox, Point, Rect, Region};
+
+const LEAF_SIZE: usize = 32;
+
+#[derive(Debug, Clone)]
+struct Node {
+    bbox: Rect,
+    /// Aggregates for the subtree rooted here.
+    agg: CountPair,
+    /// Range into the permuted id array.
+    start: u32,
+    end: u32,
+    /// Child node indices (`u32::MAX` = leaf).
+    left: u32,
+    right: u32,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.left == u32::MAX
+    }
+}
+
+/// Median-split kd-tree over immutable points with build-time labels.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Point>,
+    labels: BitLabels,
+    /// Permutation of point ids; each node owns a contiguous range.
+    ids: Vec<u32>,
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl KdTree {
+    /// Builds the tree.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != points.len()` or any coordinate is
+    /// non-finite.
+    pub fn build(points: Vec<Point>, labels: BitLabels) -> Self {
+        assert_eq!(
+            points.len(),
+            labels.len(),
+            "points and labels must have equal length"
+        );
+        assert!(
+            points.iter().all(Point::is_finite),
+            "kd-tree points must have finite coordinates"
+        );
+        let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::new();
+        let root = if points.is_empty() {
+            u32::MAX
+        } else {
+            let n = points.len();
+            build_node(&points, &labels, &mut ids, 0, n, &mut nodes)
+        };
+        KdTree {
+            points,
+            labels,
+            ids,
+            nodes,
+            root,
+        }
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of tree nodes (diagnostic).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn count_rec(&self, node_idx: u32, region: &Region, acc: &mut CountPair) {
+        let node = &self.nodes[node_idx as usize];
+        if !region.intersects_rect(&node.bbox) {
+            return;
+        }
+        if region.contains_rect(&node.bbox) {
+            acc.add(node.agg);
+            return;
+        }
+        if node.is_leaf() {
+            for &id in &self.ids[node.start as usize..node.end as usize] {
+                if region.contains(&self.points[id as usize]) {
+                    acc.n += 1;
+                    acc.p += self.labels.get(id as usize) as u64;
+                }
+            }
+            return;
+        }
+        self.count_rec(node.left, region, acc);
+        self.count_rec(node.right, region, acc);
+    }
+
+    fn visit_rec(&self, node_idx: u32, region: &Region, visit: &mut dyn FnMut(u32)) {
+        let node = &self.nodes[node_idx as usize];
+        if !region.intersects_rect(&node.bbox) {
+            return;
+        }
+        if region.contains_rect(&node.bbox) {
+            for &id in &self.ids[node.start as usize..node.end as usize] {
+                visit(id);
+            }
+            return;
+        }
+        if node.is_leaf() {
+            for &id in &self.ids[node.start as usize..node.end as usize] {
+                if region.contains(&self.points[id as usize]) {
+                    visit(id);
+                }
+            }
+            return;
+        }
+        self.visit_rec(node.left, region, visit);
+        self.visit_rec(node.right, region, visit);
+    }
+}
+
+fn build_node(
+    points: &[Point],
+    labels: &BitLabels,
+    ids: &mut [u32],
+    start: usize,
+    end: usize,
+    nodes: &mut Vec<Node>,
+) -> u32 {
+    let slice = &mut ids[start..end];
+    let mut bbox = BoundingBox::new();
+    let mut pos = 0u64;
+    for &id in slice.iter() {
+        bbox.add_point(&points[id as usize]);
+        pos += labels.get(id as usize) as u64;
+    }
+    let bbox = bbox.build().expect("non-empty node");
+    let agg = CountPair {
+        n: (end - start) as u64,
+        p: pos,
+    };
+    let node_idx = nodes.len() as u32;
+    nodes.push(Node {
+        bbox,
+        agg,
+        start: start as u32,
+        end: end as u32,
+        left: u32::MAX,
+        right: u32::MAX,
+    });
+    if end - start <= LEAF_SIZE {
+        return node_idx;
+    }
+    // Split on the wider axis at the median.
+    let mid = (end - start) / 2;
+    let by_x = bbox.width() >= bbox.height();
+    if by_x {
+        slice.select_nth_unstable_by(mid, |&a, &b| {
+            points[a as usize]
+                .x
+                .partial_cmp(&points[b as usize].x)
+                .expect("finite coordinates")
+        });
+    } else {
+        slice.select_nth_unstable_by(mid, |&a, &b| {
+            points[a as usize]
+                .y
+                .partial_cmp(&points[b as usize].y)
+                .expect("finite coordinates")
+        });
+    }
+    let left = build_node(points, labels, ids, start, start + mid, nodes);
+    let right = build_node(points, labels, ids, start + mid, end, nodes);
+    nodes[node_idx as usize].left = left;
+    nodes[node_idx as usize].right = right;
+    node_idx
+}
+
+impl RangeCount for KdTree {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn total(&self) -> CountPair {
+        if self.root == u32::MAX {
+            CountPair::default()
+        } else {
+            self.nodes[self.root as usize].agg
+        }
+    }
+
+    fn count(&self, region: &Region) -> CountPair {
+        let mut acc = CountPair::default();
+        if self.root != u32::MAX {
+            self.count_rec(self.root, region, &mut acc);
+        }
+        acc
+    }
+}
+
+impl PointVisit for KdTree {
+    fn for_each_in(&self, region: &Region, visit: &mut dyn FnMut(u32)) {
+        if self.root != u32::MAX {
+            self.visit_rec(self.root, region, visit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForceIndex;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use sfgeo::Circle;
+
+    fn random_dataset(n: usize, seed: u64) -> (Vec<Point>, BitLabels) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(-10.0..10.0), rng.gen_range(-5.0..5.0)))
+            .collect();
+        let labels = BitLabels::from_fn(n, |_| rng.gen_bool(0.6));
+        (points, labels)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(vec![], BitLabels::zeros(0));
+        assert_eq!(t.total(), CountPair::default());
+        let r: Region = Rect::from_coords(0.0, 0.0, 1.0, 1.0).into();
+        assert_eq!(t.count(&r), CountPair::default());
+        assert_eq!(t.ids_in(&r), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build(vec![Point::new(1.0, 1.0)], BitLabels::from_bools(&[true]));
+        assert_eq!(t.total(), CountPair::new(1, 1));
+        let hit: Region = Rect::from_coords(0.0, 0.0, 2.0, 2.0).into();
+        let miss: Region = Rect::from_coords(2.0, 2.0, 3.0, 3.0).into();
+        assert_eq!(t.count(&hit), CountPair::new(1, 1));
+        assert_eq!(t.count(&miss), CountPair::default());
+    }
+
+    #[test]
+    fn matches_brute_force_on_rects() {
+        let (points, labels) = random_dataset(2000, 1);
+        let kd = KdTree::build(points.clone(), labels.clone());
+        let brute = BruteForceIndex::build(points, labels);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..200 {
+            let cx = rng.gen_range(-11.0..11.0);
+            let cy = rng.gen_range(-6.0..6.0);
+            let w = rng.gen_range(0.0..8.0);
+            let h = rng.gen_range(0.0..4.0);
+            let r: Region = Rect::from_coords(cx, cy, cx + w, cy + h).into();
+            assert_eq!(kd.count(&r), brute.count(&r), "mismatch for {r}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_circles() {
+        let (points, labels) = random_dataset(1500, 3);
+        let kd = KdTree::build(points.clone(), labels.clone());
+        let brute = BruteForceIndex::build(points, labels);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..200 {
+            let c: Region = Circle::new(
+                Point::new(rng.gen_range(-11.0..11.0), rng.gen_range(-6.0..6.0)),
+                rng.gen_range(0.0..5.0),
+            )
+            .into();
+            assert_eq!(kd.count(&c), brute.count(&c), "mismatch for {c}");
+        }
+    }
+
+    #[test]
+    fn ids_match_brute_force() {
+        let (points, labels) = random_dataset(800, 5);
+        let kd = KdTree::build(points.clone(), labels.clone());
+        let brute = BruteForceIndex::build(points, labels);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..50 {
+            let cx = rng.gen_range(-11.0..11.0);
+            let cy = rng.gen_range(-6.0..6.0);
+            let r: Region = Rect::from_coords(cx, cy, cx + 4.0, cy + 2.0).into();
+            assert_eq!(kd.ids_in(&r), brute.ids_in(&r));
+        }
+    }
+
+    #[test]
+    fn count_with_alternate_labels_matches() {
+        let (points, labels) = random_dataset(1000, 7);
+        let kd = KdTree::build(points.clone(), labels.clone());
+        let brute = BruteForceIndex::build(points, labels);
+        let world = BitLabels::from_fn(1000, |i| i % 3 == 0);
+        let r: Region = Rect::from_coords(-5.0, -2.0, 5.0, 2.0).into();
+        assert_eq!(kd.count_with(&r, &world), brute.count_with(&r, &world));
+    }
+
+    #[test]
+    fn duplicate_points_are_counted() {
+        let pts = vec![Point::new(1.0, 1.0); 100];
+        let labels = BitLabels::from_fn(100, |i| i < 40);
+        let kd = KdTree::build(pts, labels);
+        let r: Region = Rect::from_coords(0.5, 0.5, 1.5, 1.5).into();
+        assert_eq!(kd.count(&r), CountPair::new(100, 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_points_rejected() {
+        let _ = KdTree::build(vec![Point::new(f64::NAN, 0.0)], BitLabels::zeros(1));
+    }
+}

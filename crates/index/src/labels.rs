@@ -1,0 +1,218 @@
+//! Compact bitset of binary outcome labels.
+//!
+//! Labels are stored out-of-band from the spatial structures so the
+//! Monte Carlo simulation can redraw them without touching geometry.
+//! For LAR-scale data (206k observations) the whole bitset is ~26 KB —
+//! it fits in L1/L2 cache, which is what makes membership-list
+//! recounting fast.
+
+/// A fixed-length bitset of outcome labels (`true` = positive class).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitLabels {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitLabels {
+    /// Creates an all-negative label set of the given length.
+    pub fn zeros(len: usize) -> Self {
+        BitLabels {
+            blocks: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds from a bool slice.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut l = BitLabels::zeros(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                l.set(i, true);
+            }
+        }
+        l
+    }
+
+    /// Builds by evaluating `f(i)` for every index.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut l = BitLabels::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                l.set(i, true);
+            }
+        }
+        l
+    }
+
+    /// Number of labels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if there are no labels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads label `i`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds via the indexing, in release via the
+    /// explicit assert) if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "label index {i} out of bounds (len {})",
+            self.len
+        );
+        (self.blocks[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes label `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(
+            i < self.len,
+            "label index {i} out of bounds (len {})",
+            self.len
+        );
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.blocks[i / 64] |= mask;
+        } else {
+            self.blocks[i / 64] &= !mask;
+        }
+    }
+
+    /// Total number of positive labels (`P`).
+    pub fn count_ones(&self) -> u64 {
+        self.blocks.iter().map(|b| b.count_ones() as u64).sum()
+    }
+
+    /// Resets every label to negative, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
+    /// Refills by evaluating `f(i)` for every index (allocation reuse
+    /// for per-world label generation).
+    pub fn refill(&mut self, mut f: impl FnMut(usize) -> bool) {
+        self.clear();
+        for i in 0..self.len {
+            if f(i) {
+                self.set(i, true);
+            }
+        }
+    }
+
+    /// Sums the labels at the given (unique) indices — the per-region
+    /// positive count `p(R)` for a membership list.
+    #[inline]
+    pub fn count_at(&self, ids: &[u32]) -> u64 {
+        let mut acc = 0u64;
+        for &id in ids {
+            acc += self.get(id as usize) as u64;
+        }
+        acc
+    }
+
+    /// Iterates over the indices of positive labels.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(move |(bi, &block)| {
+                let mut b = block;
+                std::iter::from_fn(move || {
+                    if b == 0 {
+                        None
+                    } else {
+                        let tz = b.trailing_zeros() as usize;
+                        b &= b - 1;
+                        Some(bi * 64 + tz)
+                    }
+                })
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_then_set_get() {
+        let mut l = BitLabels::zeros(130);
+        assert_eq!(l.len(), 130);
+        assert_eq!(l.count_ones(), 0);
+        l.set(0, true);
+        l.set(64, true);
+        l.set(129, true);
+        assert!(l.get(0) && l.get(64) && l.get(129));
+        assert!(!l.get(1) && !l.get(63) && !l.get(128));
+        assert_eq!(l.count_ones(), 3);
+        l.set(64, false);
+        assert!(!l.get(64));
+        assert_eq!(l.count_ones(), 2);
+    }
+
+    #[test]
+    fn from_bools_roundtrip() {
+        let bools: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let l = BitLabels::from_bools(&bools);
+        for (i, &b) in bools.iter().enumerate() {
+            assert_eq!(l.get(i), b, "mismatch at {i}");
+        }
+        assert_eq!(l.count_ones(), bools.iter().filter(|&&b| b).count() as u64);
+    }
+
+    #[test]
+    fn from_fn_matches_from_bools() {
+        let a = BitLabels::from_fn(100, |i| i % 7 == 0);
+        let bools: Vec<bool> = (0..100).map(|i| i % 7 == 0).collect();
+        assert_eq!(a, BitLabels::from_bools(&bools));
+    }
+
+    #[test]
+    fn count_at_sums_selected() {
+        let l = BitLabels::from_fn(50, |i| i < 10);
+        assert_eq!(l.count_at(&[0, 5, 9]), 3);
+        assert_eq!(l.count_at(&[10, 20, 30]), 0);
+        assert_eq!(l.count_at(&[9, 10]), 1);
+        assert_eq!(l.count_at(&[]), 0);
+    }
+
+    #[test]
+    fn refill_reuses_allocation() {
+        let mut l = BitLabels::from_fn(100, |_| true);
+        assert_eq!(l.count_ones(), 100);
+        l.refill(|i| i == 42);
+        assert_eq!(l.count_ones(), 1);
+        assert!(l.get(42));
+    }
+
+    #[test]
+    fn iter_ones_yields_sorted_positions() {
+        let l = BitLabels::from_fn(300, |i| i % 67 == 1);
+        let ones: Vec<usize> = l.iter_ones().collect();
+        assert_eq!(ones, vec![1, 68, 135, 202, 269]);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let l = BitLabels::zeros(0);
+        assert!(l.is_empty());
+        assert_eq!(l.count_ones(), 0);
+        assert_eq!(l.iter_ones().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let l = BitLabels::zeros(10);
+        let _ = l.get(10);
+    }
+}

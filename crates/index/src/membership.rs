@@ -1,0 +1,198 @@
+//! Precomputed region-membership lists for the Monte Carlo loop.
+//!
+//! The key observation (DESIGN.md §5): across simulated worlds the
+//! *locations* never change — only the labels do. Therefore `n(R)` is
+//! world-invariant and only `p(R)` needs recomputation. Materialising
+//! each region's member ids once turns a world evaluation into a dense
+//! sweep `p(R) = Σ labels[id]` over cached, sorted id lists against a
+//! label bitset that fits in cache.
+
+use crate::{labels::BitLabels, CountPair, PointVisit};
+use sfgeo::Region;
+
+/// Region→member-ids lists with world-invariant `n(R)` counts.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    /// CSR layout: `offsets[r]..offsets[r+1]` indexes `ids`.
+    offsets: Vec<u64>,
+    ids: Vec<u32>,
+    num_points: usize,
+}
+
+impl Membership {
+    /// Builds membership lists for `regions` using any id-enumerating
+    /// index.
+    pub fn build<I: PointVisit + ?Sized>(index: &I, num_points: usize, regions: &[Region]) -> Self {
+        let mut offsets = Vec::with_capacity(regions.len() + 1);
+        offsets.push(0u64);
+        let mut ids: Vec<u32> = Vec::new();
+        for region in regions {
+            let before = ids.len();
+            index.for_each_in(region, &mut |id| ids.push(id));
+            // Sorted member lists give sequential bitset access.
+            ids[before..].sort_unstable();
+            offsets.push(ids.len() as u64);
+        }
+        Membership {
+            offsets,
+            ids,
+            num_points,
+        }
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of points the lists refer to.
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// Member ids of region `r` (sorted).
+    pub fn members(&self, r: usize) -> &[u32] {
+        let (s, e) = (self.offsets[r] as usize, self.offsets[r + 1] as usize);
+        &self.ids[s..e]
+    }
+
+    /// World-invariant observation count `n(R)` of region `r`.
+    pub fn n_of(&self, r: usize) -> u64 {
+        self.offsets[r + 1] - self.offsets[r]
+    }
+
+    /// Counts `(n(R), p(R))` of region `r` against a label set.
+    pub fn count(&self, r: usize, labels: &BitLabels) -> CountPair {
+        assert_eq!(
+            labels.len(),
+            self.num_points,
+            "label set length must match the indexed point count"
+        );
+        CountPair {
+            n: self.n_of(r),
+            p: labels.count_at(self.members(r)),
+        }
+    }
+
+    /// Counts `p(R)` for *all* regions against a label set, reusing the
+    /// output buffer. This is the per-world hot loop.
+    pub fn count_all_into(&self, labels: &BitLabels, out: &mut Vec<u64>) {
+        assert_eq!(
+            labels.len(),
+            self.num_points,
+            "label set length must match the indexed point count"
+        );
+        out.clear();
+        out.reserve(self.num_regions());
+        for r in 0..self.num_regions() {
+            out.push(labels.count_at(self.members(r)));
+        }
+    }
+
+    /// Total number of stored ids (memory diagnostic: 4 bytes each).
+    pub fn total_ids(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BruteForceIndex, RangeCount};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use sfgeo::{Circle, Point, Rect};
+
+    fn setup() -> (BruteForceIndex, Vec<Region>, usize) {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let n = 1000;
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect();
+        let labels = BitLabels::from_fn(n, |_| rng.gen_bool(0.5));
+        let idx = BruteForceIndex::build(points, labels);
+        let mut regions: Vec<Region> = Vec::new();
+        for _ in 0..30 {
+            let cx = rng.gen_range(0.0..10.0);
+            let cy = rng.gen_range(0.0..10.0);
+            regions.push(Rect::square(Point::new(cx, cy), rng.gen_range(0.5..4.0)).into());
+        }
+        regions.push(Circle::new(Point::new(5.0, 5.0), 2.0).into());
+        (idx, regions, n)
+    }
+
+    #[test]
+    fn n_counts_match_direct_queries() {
+        let (idx, regions, n) = setup();
+        let mem = Membership::build(&idx, n, &regions);
+        assert_eq!(mem.num_regions(), regions.len());
+        for (r_idx, region) in regions.iter().enumerate() {
+            let direct = idx.count(region);
+            assert_eq!(mem.n_of(r_idx), direct.n, "n mismatch for region {r_idx}");
+        }
+    }
+
+    #[test]
+    fn alternate_world_counts_match_requery() {
+        let (idx, regions, n) = setup();
+        let mem = Membership::build(&idx, n, &regions);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..5 {
+            let world = BitLabels::from_fn(n, |_| rng.gen_bool(0.62));
+            for (r_idx, region) in regions.iter().enumerate() {
+                let by_mem = mem.count(r_idx, &world);
+                let by_query = idx.count_with(region, &world);
+                assert_eq!(by_mem, by_query, "region {r_idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_all_into_matches_individual_counts() {
+        let (idx, regions, n) = setup();
+        let mem = Membership::build(&idx, n, &regions);
+        let world = BitLabels::from_fn(n, |i| i % 2 == 0);
+        let mut out = Vec::new();
+        mem.count_all_into(&world, &mut out);
+        assert_eq!(out.len(), regions.len());
+        for (r_idx, &p) in out.iter().enumerate() {
+            assert_eq!(p, mem.count(r_idx, &world).p);
+        }
+        // Buffer reuse: second call must not grow.
+        let cap = out.capacity();
+        mem.count_all_into(&world, &mut out);
+        assert_eq!(out.capacity(), cap);
+    }
+
+    #[test]
+    fn members_are_sorted_and_unique() {
+        let (idx, regions, n) = setup();
+        let mem = Membership::build(&idx, n, &regions);
+        for r in 0..mem.num_regions() {
+            let m = mem.members(r);
+            assert!(
+                m.windows(2).all(|w| w[0] < w[1]),
+                "region {r} not sorted/unique"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn wrong_label_length_rejected() {
+        let (idx, regions, n) = setup();
+        let mem = Membership::build(&idx, n, &regions);
+        let bad = BitLabels::zeros(n + 1);
+        let _ = mem.count(0, &bad);
+    }
+
+    #[test]
+    fn empty_regions_have_zero_counts() {
+        let (idx, _, n) = setup();
+        let far: Vec<Region> = vec![Rect::from_coords(99.0, 99.0, 100.0, 100.0).into()];
+        let mem = Membership::build(&idx, n, &far);
+        assert_eq!(mem.n_of(0), 0);
+        let world = BitLabels::from_fn(n, |_| true);
+        assert_eq!(mem.count(0, &world), CountPair::default());
+    }
+}

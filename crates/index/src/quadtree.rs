@@ -1,0 +1,326 @@
+//! A region quadtree with per-node count aggregates.
+//!
+//! Same pruning contract as [`crate::KdTree`], different space
+//! decomposition: nodes split their square extent into four quadrants.
+//! Included as an ablation backend (see DESIGN.md §4) — on the paper's
+//! strongly clustered LAR-like data the kd-tree adapts to density while
+//! the quadtree's splits are data-independent.
+
+use crate::{labels::BitLabels, CountPair, PointVisit, RangeCount};
+use sfgeo::{BoundingBox, Point, Rect, Region};
+
+const LEAF_SIZE: usize = 32;
+const MAX_DEPTH: usize = 24;
+
+#[derive(Debug, Clone)]
+struct Node {
+    bbox: Rect,
+    agg: CountPair,
+    start: u32,
+    end: u32,
+    /// Indices of up to four children; `u32::MAX` = absent.
+    children: [u32; 4],
+    is_leaf: bool,
+}
+
+/// A point-region quadtree over immutable points with build-time labels.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    points: Vec<Point>,
+    labels: BitLabels,
+    ids: Vec<u32>,
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl QuadTree {
+    /// Builds the tree.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != points.len()` or any coordinate is
+    /// non-finite.
+    pub fn build(points: Vec<Point>, labels: BitLabels) -> Self {
+        assert_eq!(
+            points.len(),
+            labels.len(),
+            "points and labels must have equal length"
+        );
+        assert!(
+            points.iter().all(Point::is_finite),
+            "quadtree points must have finite coordinates"
+        );
+        let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::new();
+        let root = if points.is_empty() {
+            u32::MAX
+        } else {
+            let bbox = BoundingBox::of_points(&points).expect("non-empty");
+            let n = points.len();
+            build_node(&points, &labels, &mut ids, 0, n, bbox, 0, &mut nodes)
+        };
+        QuadTree {
+            points,
+            labels,
+            ids,
+            nodes,
+            root,
+        }
+    }
+
+    /// Number of tree nodes (diagnostic).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn count_rec(&self, node_idx: u32, region: &Region, acc: &mut CountPair) {
+        let node = &self.nodes[node_idx as usize];
+        if !region.intersects_rect(&node.bbox) {
+            return;
+        }
+        if region.contains_rect(&node.bbox) {
+            acc.add(node.agg);
+            return;
+        }
+        if node.is_leaf {
+            for &id in &self.ids[node.start as usize..node.end as usize] {
+                if region.contains(&self.points[id as usize]) {
+                    acc.n += 1;
+                    acc.p += self.labels.get(id as usize) as u64;
+                }
+            }
+            return;
+        }
+        for &child in &node.children {
+            if child != u32::MAX {
+                self.count_rec(child, region, acc);
+            }
+        }
+    }
+
+    fn visit_rec(&self, node_idx: u32, region: &Region, visit: &mut dyn FnMut(u32)) {
+        let node = &self.nodes[node_idx as usize];
+        if !region.intersects_rect(&node.bbox) {
+            return;
+        }
+        if region.contains_rect(&node.bbox) {
+            for &id in &self.ids[node.start as usize..node.end as usize] {
+                visit(id);
+            }
+            return;
+        }
+        if node.is_leaf {
+            for &id in &self.ids[node.start as usize..node.end as usize] {
+                if region.contains(&self.points[id as usize]) {
+                    visit(id);
+                }
+            }
+            return;
+        }
+        for &child in &node.children {
+            if child != u32::MAX {
+                self.visit_rec(child, region, visit);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    points: &[Point],
+    labels: &BitLabels,
+    ids: &mut [u32],
+    start: usize,
+    end: usize,
+    bbox: Rect,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+) -> u32 {
+    let mut pos = 0u64;
+    for &id in &ids[start..end] {
+        pos += labels.get(id as usize) as u64;
+    }
+    let agg = CountPair {
+        n: (end - start) as u64,
+        p: pos,
+    };
+    let node_idx = nodes.len() as u32;
+    nodes.push(Node {
+        bbox,
+        agg,
+        start: start as u32,
+        end: end as u32,
+        children: [u32::MAX; 4],
+        is_leaf: true,
+    });
+    if end - start <= LEAF_SIZE || depth >= MAX_DEPTH {
+        return node_idx;
+    }
+    // Partition ids into the four quadrants of the node's extent, in
+    // place: quadrant = (x >= cx) as usize | ((y >= cy) as usize) << 1.
+    let c = bbox.center();
+    let quadrant = |p: &Point| -> usize { (p.x >= c.x) as usize | (((p.y >= c.y) as usize) << 1) };
+    let slice = &mut ids[start..end];
+    slice.sort_unstable_by_key(|&id| quadrant(&points[id as usize]));
+    // Find quadrant boundaries.
+    let mut bounds = [0usize; 5];
+    for q in 0..4 {
+        bounds[q + 1] = bounds[q]
+            + slice[bounds[q]..]
+                .iter()
+                .take_while(|&&id| quadrant(&points[id as usize]) == q)
+                .count();
+    }
+    // A node whose points are all identical would recurse forever into
+    // one quadrant; the depth cap above is the backstop, but also stop
+    // if no split happened.
+    let effective: usize = (0..4).filter(|&q| bounds[q + 1] > bounds[q]).count();
+    if effective <= 1 && bbox.width() <= f64::EPSILON && bbox.height() <= f64::EPSILON {
+        return node_idx;
+    }
+    let child_boxes = [
+        Rect::from_coords(bbox.min.x, bbox.min.y, c.x, c.y),
+        Rect::from_coords(c.x, bbox.min.y, bbox.max.x, c.y),
+        Rect::from_coords(bbox.min.x, c.y, c.x, bbox.max.y),
+        Rect::from_coords(c.x, c.y, bbox.max.x, bbox.max.y),
+    ];
+    let mut children = [u32::MAX; 4];
+    for q in 0..4 {
+        let (s, e) = (start + bounds[q], start + bounds[q + 1]);
+        if s < e {
+            children[q] = build_node(points, labels, ids, s, e, child_boxes[q], depth + 1, nodes);
+        }
+    }
+    nodes[node_idx as usize].children = children;
+    nodes[node_idx as usize].is_leaf = false;
+    node_idx
+}
+
+impl RangeCount for QuadTree {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn total(&self) -> CountPair {
+        if self.root == u32::MAX {
+            CountPair::default()
+        } else {
+            self.nodes[self.root as usize].agg
+        }
+    }
+
+    fn count(&self, region: &Region) -> CountPair {
+        let mut acc = CountPair::default();
+        if self.root != u32::MAX {
+            self.count_rec(self.root, region, &mut acc);
+        }
+        acc
+    }
+}
+
+impl PointVisit for QuadTree {
+    fn for_each_in(&self, region: &Region, visit: &mut dyn FnMut(u32)) {
+        if self.root != u32::MAX {
+            self.visit_rec(self.root, region, visit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForceIndex;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use sfgeo::Circle;
+
+    fn random_dataset(n: usize, seed: u64) -> (Vec<Point>, BitLabels) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(-10.0..10.0), rng.gen_range(-5.0..5.0)))
+            .collect();
+        let labels = BitLabels::from_fn(n, |_| rng.gen_bool(0.4));
+        (points, labels)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = QuadTree::build(vec![], BitLabels::zeros(0));
+        assert_eq!(t.total(), CountPair::default());
+    }
+
+    #[test]
+    fn matches_brute_force_on_rects() {
+        let (points, labels) = random_dataset(2000, 11);
+        let qt = QuadTree::build(points.clone(), labels.clone());
+        let brute = BruteForceIndex::build(points, labels);
+        assert_eq!(qt.total(), brute.total());
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        for _ in 0..200 {
+            let cx = rng.gen_range(-11.0..11.0);
+            let cy = rng.gen_range(-6.0..6.0);
+            let w = rng.gen_range(0.0..8.0);
+            let h = rng.gen_range(0.0..4.0);
+            let r: Region = Rect::from_coords(cx, cy, cx + w, cy + h).into();
+            assert_eq!(qt.count(&r), brute.count(&r), "mismatch for {r}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_circles() {
+        let (points, labels) = random_dataset(1200, 13);
+        let qt = QuadTree::build(points.clone(), labels.clone());
+        let brute = BruteForceIndex::build(points, labels);
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        for _ in 0..100 {
+            let c: Region = Circle::new(
+                Point::new(rng.gen_range(-11.0..11.0), rng.gen_range(-6.0..6.0)),
+                rng.gen_range(0.0..5.0),
+            )
+            .into();
+            assert_eq!(qt.count(&c), brute.count(&c), "mismatch for {c}");
+        }
+    }
+
+    #[test]
+    fn ids_match_brute_force() {
+        let (points, labels) = random_dataset(600, 15);
+        let qt = QuadTree::build(points.clone(), labels.clone());
+        let brute = BruteForceIndex::build(points, labels);
+        let r: Region = Rect::from_coords(-3.0, -2.0, 6.0, 3.0).into();
+        assert_eq!(qt.ids_in(&r), brute.ids_in(&r));
+    }
+
+    #[test]
+    fn duplicate_points_survive_depth_cap() {
+        let pts = vec![Point::new(2.0, 2.0); 500];
+        let labels = BitLabels::from_fn(500, |i| i % 2 == 0);
+        let qt = QuadTree::build(pts, labels);
+        let r: Region = Rect::from_coords(1.0, 1.0, 3.0, 3.0).into();
+        assert_eq!(qt.count(&r), CountPair::new(500, 250));
+    }
+
+    #[test]
+    fn clustered_data_correct() {
+        // Two tight clusters far apart — exercises deep unbalanced paths.
+        let mut rng = ChaCha8Rng::seed_from_u64(16);
+        let mut points = Vec::new();
+        for _ in 0..500 {
+            points.push(Point::new(
+                rng.gen_range(0.0..0.01),
+                rng.gen_range(0.0..0.01),
+            ));
+        }
+        for _ in 0..500 {
+            points.push(Point::new(
+                rng.gen_range(99.99..100.0),
+                rng.gen_range(99.99..100.0),
+            ));
+        }
+        let labels = BitLabels::from_fn(1000, |i| i < 500);
+        let qt = QuadTree::build(points.clone(), labels.clone());
+        let brute = BruteForceIndex::build(points, labels);
+        let r: Region = Rect::from_coords(-1.0, -1.0, 1.0, 1.0).into();
+        assert_eq!(qt.count(&r), brute.count(&r));
+        assert_eq!(qt.count(&r), CountPair::new(500, 500));
+    }
+}

@@ -1,0 +1,353 @@
+//! An STR-packed R-tree with per-node count aggregates.
+//!
+//! The Sort-Tile-Recursive bulk-loading R-tree is the canonical
+//! database spatial index for static data. It joins the backend
+//! ablation for the paper's `Q` factor: unlike the kd-tree it stores
+//! *minimum bounding rectangles* per node, which can overlap, but its
+//! packing gives excellent locality for clustered data.
+
+use crate::{labels::BitLabels, CountPair, PointVisit, RangeCount};
+use sfgeo::{BoundingBox, Point, Rect, Region};
+
+const NODE_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Node {
+    mbr: Rect,
+    agg: CountPair,
+    /// Leaf: range into the sorted point-id array. Internal: range into
+    /// the child-node array.
+    start: u32,
+    end: u32,
+    is_leaf: bool,
+}
+
+/// STR bulk-loaded R-tree over immutable points with build-time labels.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    points: Vec<Point>,
+    labels: BitLabels,
+    ids: Vec<u32>,
+    /// Nodes stored level by level; the last node is the root.
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl RTree {
+    /// Builds the tree with Sort-Tile-Recursive packing.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != points.len()` or any coordinate is
+    /// non-finite.
+    pub fn build(points: Vec<Point>, labels: BitLabels) -> Self {
+        assert_eq!(
+            points.len(),
+            labels.len(),
+            "points and labels must have equal length"
+        );
+        assert!(
+            points.iter().all(Point::is_finite),
+            "r-tree points must have finite coordinates"
+        );
+        if points.is_empty() {
+            return RTree {
+                points,
+                labels,
+                ids: vec![],
+                nodes: vec![],
+                root: u32::MAX,
+            };
+        }
+        // STR: sort by x, slice into vertical strips of ~sqrt(n/cap)
+        // tiles, sort each strip by y, pack runs of NODE_CAPACITY.
+        let n = points.len();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let num_leaves = n.div_ceil(NODE_CAPACITY);
+        let strips = (num_leaves as f64).sqrt().ceil() as usize;
+        let per_strip = n.div_ceil(strips);
+        ids.sort_unstable_by(|&a, &b| {
+            points[a as usize]
+                .x
+                .partial_cmp(&points[b as usize].x)
+                .expect("finite coordinates")
+        });
+        for strip in ids.chunks_mut(per_strip) {
+            strip.sort_unstable_by(|&a, &b| {
+                points[a as usize]
+                    .y
+                    .partial_cmp(&points[b as usize].y)
+                    .expect("finite coordinates")
+            });
+        }
+        // Build leaves.
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut level: Vec<u32> = Vec::new();
+        let mut offset = 0usize;
+        while offset < n {
+            let end = (offset + NODE_CAPACITY).min(n);
+            let mut bbox = BoundingBox::new();
+            let mut pos = 0u64;
+            for &id in &ids[offset..end] {
+                bbox.add_point(&points[id as usize]);
+                pos += labels.get(id as usize) as u64;
+            }
+            level.push(nodes.len() as u32);
+            nodes.push(Node {
+                mbr: bbox.build().expect("non-empty leaf"),
+                agg: CountPair {
+                    n: (end - offset) as u64,
+                    p: pos,
+                },
+                start: offset as u32,
+                end: end as u32,
+                is_leaf: true,
+            });
+            offset = end;
+        }
+        // Pack upper levels until a single root remains.
+        while level.len() > 1 {
+            let mut next: Vec<u32> = Vec::new();
+            for group in level.chunks(NODE_CAPACITY) {
+                let mut bbox = BoundingBox::new();
+                let mut agg = CountPair::default();
+                for &child in group {
+                    bbox.add_rect(&nodes[child as usize].mbr);
+                    agg.add(nodes[child as usize].agg);
+                }
+                // Children of packed groups are contiguous in `nodes`
+                // because each level is appended in order.
+                next.push(nodes.len() as u32);
+                nodes.push(Node {
+                    mbr: bbox.build().expect("non-empty internal node"),
+                    agg,
+                    start: group[0],
+                    end: group[0] + group.len() as u32,
+                    is_leaf: false,
+                });
+            }
+            level = next;
+        }
+        let root = level[0];
+        RTree {
+            points,
+            labels,
+            ids,
+            nodes,
+            root,
+        }
+    }
+
+    /// Number of tree nodes (diagnostic).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn count_rec(&self, node_idx: u32, region: &Region, acc: &mut CountPair) {
+        let node = &self.nodes[node_idx as usize];
+        if !region.intersects_rect(&node.mbr) {
+            return;
+        }
+        if region.contains_rect(&node.mbr) {
+            acc.add(node.agg);
+            return;
+        }
+        if node.is_leaf {
+            for &id in &self.ids[node.start as usize..node.end as usize] {
+                if region.contains(&self.points[id as usize]) {
+                    acc.n += 1;
+                    acc.p += self.labels.get(id as usize) as u64;
+                }
+            }
+            return;
+        }
+        for child in node.start..node.end {
+            self.count_rec(child, region, acc);
+        }
+    }
+
+    fn visit_rec(&self, node_idx: u32, region: &Region, visit: &mut dyn FnMut(u32)) {
+        let node = &self.nodes[node_idx as usize];
+        if !region.intersects_rect(&node.mbr) {
+            return;
+        }
+        if node.is_leaf {
+            let full = region.contains_rect(&node.mbr);
+            for &id in &self.ids[node.start as usize..node.end as usize] {
+                if full || region.contains(&self.points[id as usize]) {
+                    visit(id);
+                }
+            }
+            return;
+        }
+        if region.contains_rect(&node.mbr) {
+            // Fast path: every descendant leaf is fully covered.
+            for child in node.start..node.end {
+                self.visit_all(child, visit);
+            }
+            return;
+        }
+        for child in node.start..node.end {
+            self.visit_rec(child, region, visit);
+        }
+    }
+
+    fn visit_all(&self, node_idx: u32, visit: &mut dyn FnMut(u32)) {
+        let node = &self.nodes[node_idx as usize];
+        if node.is_leaf {
+            for &id in &self.ids[node.start as usize..node.end as usize] {
+                visit(id);
+            }
+        } else {
+            for child in node.start..node.end {
+                self.visit_all(child, visit);
+            }
+        }
+    }
+}
+
+impl RangeCount for RTree {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn total(&self) -> CountPair {
+        if self.root == u32::MAX {
+            CountPair::default()
+        } else {
+            self.nodes[self.root as usize].agg
+        }
+    }
+
+    fn count(&self, region: &Region) -> CountPair {
+        let mut acc = CountPair::default();
+        if self.root != u32::MAX {
+            self.count_rec(self.root, region, &mut acc);
+        }
+        acc
+    }
+}
+
+impl PointVisit for RTree {
+    fn for_each_in(&self, region: &Region, visit: &mut dyn FnMut(u32)) {
+        if self.root != u32::MAX {
+            self.visit_rec(self.root, region, visit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForceIndex;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use sfgeo::Circle;
+
+    fn random_dataset(n: usize, seed: u64) -> (Vec<Point>, BitLabels) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(-10.0..10.0), rng.gen_range(-5.0..5.0)))
+            .collect();
+        let labels = BitLabels::from_fn(n, |_| rng.gen_bool(0.62));
+        (points, labels)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::build(vec![], BitLabels::zeros(0));
+        assert_eq!(t.total(), CountPair::default());
+        let r: Region = Rect::from_coords(0.0, 0.0, 1.0, 1.0).into();
+        assert_eq!(t.count(&r), CountPair::default());
+    }
+
+    #[test]
+    fn single_point_and_small_trees() {
+        for n in [1usize, 2, 15, 16, 17, 255, 256, 257] {
+            let (points, labels) = random_dataset(n, n as u64);
+            let rt = RTree::build(points.clone(), labels.clone());
+            let brute = BruteForceIndex::build(points, labels);
+            assert_eq!(rt.total(), brute.total(), "n={n}");
+            let r: Region = Rect::from_coords(-5.0, -2.0, 5.0, 2.0).into();
+            assert_eq!(rt.count(&r), brute.count(&r), "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_rects() {
+        let (points, labels) = random_dataset(3000, 51);
+        let rt = RTree::build(points.clone(), labels.clone());
+        let brute = BruteForceIndex::build(points, labels);
+        let mut rng = ChaCha8Rng::seed_from_u64(52);
+        for _ in 0..200 {
+            let cx = rng.gen_range(-11.0..11.0);
+            let cy = rng.gen_range(-6.0..6.0);
+            let w = rng.gen_range(0.0..8.0);
+            let h = rng.gen_range(0.0..4.0);
+            let r: Region = Rect::from_coords(cx, cy, cx + w, cy + h).into();
+            assert_eq!(rt.count(&r), brute.count(&r), "mismatch for {r}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_circles() {
+        let (points, labels) = random_dataset(2000, 53);
+        let rt = RTree::build(points.clone(), labels.clone());
+        let brute = BruteForceIndex::build(points, labels);
+        let mut rng = ChaCha8Rng::seed_from_u64(54);
+        for _ in 0..150 {
+            let c: Region = Circle::new(
+                Point::new(rng.gen_range(-11.0..11.0), rng.gen_range(-6.0..6.0)),
+                rng.gen_range(0.0..5.0),
+            )
+            .into();
+            assert_eq!(rt.count(&c), brute.count(&c), "mismatch for {c}");
+        }
+    }
+
+    #[test]
+    fn ids_match_brute_force() {
+        let (points, labels) = random_dataset(1200, 55);
+        let rt = RTree::build(points.clone(), labels.clone());
+        let brute = BruteForceIndex::build(points, labels);
+        let mut rng = ChaCha8Rng::seed_from_u64(56);
+        for _ in 0..50 {
+            let cx = rng.gen_range(-11.0..11.0);
+            let cy = rng.gen_range(-6.0..6.0);
+            let r: Region = Rect::from_coords(cx, cy, cx + 5.0, cy + 3.0).into();
+            assert_eq!(rt.ids_in(&r), brute.ids_in(&r));
+        }
+    }
+
+    #[test]
+    fn clustered_data_correct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(57);
+        let mut points = Vec::new();
+        for c in 0..10 {
+            let cx = (c as f64) * 3.0;
+            for _ in 0..200 {
+                points.push(Point::new(
+                    cx + rng.gen_range(-0.1..0.1),
+                    rng.gen_range(-0.1..0.1),
+                ));
+            }
+        }
+        let labels = BitLabels::from_fn(points.len(), |i| i % 3 == 0);
+        let rt = RTree::build(points.clone(), labels.clone());
+        let brute = BruteForceIndex::build(points, labels);
+        for c in 0..10 {
+            let r: Region =
+                Rect::from_coords((c as f64) * 3.0 - 0.5, -1.0, (c as f64) * 3.0 + 0.5, 1.0).into();
+            assert_eq!(rt.count(&r), brute.count(&r), "cluster {c}");
+        }
+    }
+
+    #[test]
+    fn count_with_alternate_labels() {
+        let (points, labels) = random_dataset(800, 58);
+        let rt = RTree::build(points.clone(), labels.clone());
+        let brute = BruteForceIndex::build(points, labels);
+        let world = BitLabels::from_fn(800, |i| i % 5 == 0);
+        let r: Region = Rect::from_coords(-4.0, -2.0, 4.0, 2.0).into();
+        assert_eq!(rt.count_with(&r, &world), brute.count_with(&r, &world));
+    }
+}

@@ -1,0 +1,271 @@
+//! Column-major tabular datasets.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// How a feature's values should be interpreted by split search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// Ordered values; splits are thresholds (`x <= t`).
+    Numeric,
+    /// Unordered codes; splits are equality tests (`x == c`).
+    Categorical,
+}
+
+/// One feature column.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Human-readable feature name.
+    pub name: String,
+    /// Interpretation for split search.
+    pub kind: FeatureKind,
+    /// Values, one per row. Categorical codes are stored as exact
+    /// small integers in `f64`.
+    pub values: Vec<f64>,
+}
+
+/// A column-major tabular dataset with binary labels.
+#[derive(Debug, Clone, Default)]
+pub struct TabularData {
+    columns: Vec<Column>,
+    labels: Vec<bool>,
+}
+
+impl TabularData {
+    /// Creates an empty dataset (add columns, then labels).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a feature column.
+    ///
+    /// # Panics
+    /// Panics if the column's length differs from existing columns.
+    pub fn push_column(&mut self, name: impl Into<String>, kind: FeatureKind, values: Vec<f64>) {
+        if let Some(first) = self.columns.first() {
+            assert_eq!(
+                first.values.len(),
+                values.len(),
+                "all columns must have the same number of rows"
+            );
+        }
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "feature values must be finite"
+        );
+        self.columns.push(Column {
+            name: name.into(),
+            kind,
+            values,
+        });
+    }
+
+    /// Sets the label column.
+    ///
+    /// # Panics
+    /// Panics if the length differs from the feature columns.
+    pub fn set_labels(&mut self, labels: Vec<bool>) {
+        if let Some(first) = self.columns.first() {
+            assert_eq!(
+                first.values.len(),
+                labels.len(),
+                "labels must match row count"
+            );
+        }
+        self.labels = labels;
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns
+            .first()
+            .map_or(self.labels.len(), |c| c.values.len())
+    }
+
+    /// Number of feature columns.
+    pub fn num_features(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The feature columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Value of feature `f` at row `r`.
+    #[inline]
+    pub fn value(&self, f: usize, r: usize) -> f64 {
+        self.columns[f].values[r]
+    }
+
+    /// One row as a dense feature vector (allocates; prefer
+    /// [`TabularData::value`] in hot loops).
+    pub fn row(&self, r: usize) -> Vec<f64> {
+        self.columns.iter().map(|c| c.values[r]).collect()
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&l| l).count() as f64 / self.labels.len() as f64
+    }
+
+    /// Extracts the subset of rows at `indices` (repeats allowed —
+    /// this is what bootstrap sampling uses).
+    pub fn select_rows(&self, indices: &[usize]) -> TabularData {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Column {
+                name: c.name.clone(),
+                kind: c.kind,
+                values: indices.iter().map(|&i| c.values[i]).collect(),
+            })
+            .collect();
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        TabularData { columns, labels }
+    }
+
+    /// Deterministic shuffled train/test split.
+    ///
+    /// # Panics
+    /// Panics if `test_fraction` is outside `(0, 1)` or labels are
+    /// missing.
+    pub fn train_test_split(&self, test_fraction: f64, seed: u64) -> (TabularData, TabularData) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0,1), got {test_fraction}"
+        );
+        assert_eq!(
+            self.labels.len(),
+            self.num_rows(),
+            "labels must be set before splitting"
+        );
+        let mut idx: Vec<usize> = (0..self.num_rows()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_test = ((self.num_rows() as f64) * test_fraction).round() as usize;
+        let (test_idx, train_idx) = idx.split_at(n_test.min(idx.len()));
+        (self.select_rows(train_idx), self.select_rows(test_idx))
+    }
+
+    /// Like [`TabularData::train_test_split`] but also returns the
+    /// original row indices of the (train, test) rows — needed when
+    /// side information (e.g. locations) must follow the split.
+    pub fn train_test_split_indices(
+        &self,
+        test_fraction: f64,
+        seed: u64,
+    ) -> (Vec<usize>, Vec<usize>) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0,1), got {test_fraction}"
+        );
+        let mut idx: Vec<usize> = (0..self.num_rows()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_test = ((self.num_rows() as f64) * test_fraction).round() as usize;
+        let (test_idx, train_idx) = idx.split_at(n_test.min(idx.len()));
+        (train_idx.to_vec(), test_idx.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> TabularData {
+        let mut d = TabularData::new();
+        d.push_column("x", FeatureKind::Numeric, vec![1.0, 2.0, 3.0, 4.0]);
+        d.push_column("c", FeatureKind::Categorical, vec![0.0, 1.0, 0.0, 1.0]);
+        d.set_labels(vec![false, false, true, true]);
+        d
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.num_rows(), 4);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.value(0, 2), 3.0);
+        assert_eq!(d.row(1), vec![2.0, 1.0]);
+        assert_eq!(d.positive_rate(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of rows")]
+    fn ragged_columns_rejected() {
+        let mut d = TabularData::new();
+        d.push_column("a", FeatureKind::Numeric, vec![1.0, 2.0]);
+        d.push_column("b", FeatureKind::Numeric, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_values_rejected() {
+        let mut d = TabularData::new();
+        d.push_column("a", FeatureKind::Numeric, vec![f64::NAN]);
+    }
+
+    #[test]
+    fn select_rows_with_repeats() {
+        let d = toy();
+        let s = d.select_rows(&[0, 0, 3]);
+        assert_eq!(s.num_rows(), 3);
+        assert_eq!(s.value(0, 0), 1.0);
+        assert_eq!(s.value(0, 1), 1.0);
+        assert_eq!(s.value(0, 2), 4.0);
+        assert_eq!(s.labels(), &[false, false, true]);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let mut d = TabularData::new();
+        d.push_column(
+            "x",
+            FeatureKind::Numeric,
+            (0..100).map(|i| i as f64).collect(),
+        );
+        d.set_labels((0..100).map(|i| i % 2 == 0).collect());
+        let (tr1, te1) = d.train_test_split(0.3, 5);
+        let (tr2, te2) = d.train_test_split(0.3, 5);
+        assert_eq!(tr1.num_rows(), 70);
+        assert_eq!(te1.num_rows(), 30);
+        assert_eq!(tr1.columns()[0].values, tr2.columns()[0].values);
+        assert_eq!(te1.columns()[0].values, te2.columns()[0].values);
+        // Disjoint coverage of all values.
+        let mut all: Vec<f64> = tr1.columns()[0]
+            .values
+            .iter()
+            .chain(te1.columns()[0].values.iter())
+            .copied()
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_indices_match_split() {
+        let mut d = TabularData::new();
+        d.push_column(
+            "x",
+            FeatureKind::Numeric,
+            (0..50).map(|i| i as f64).collect(),
+        );
+        d.set_labels((0..50).map(|i| i % 3 == 0).collect());
+        let (train_idx, test_idx) = d.train_test_split_indices(0.2, 9);
+        let (train, test) = d.train_test_split(0.2, 9);
+        let by_idx: Vec<f64> = train_idx.iter().map(|&i| i as f64).collect();
+        assert_eq!(train.columns()[0].values, by_idx);
+        let by_idx: Vec<f64> = test_idx.iter().map(|&i| i as f64).collect();
+        assert_eq!(test.columns()[0].values, by_idx);
+    }
+}

@@ -1,0 +1,416 @@
+//! Bagged random forests.
+//!
+//! Standard construction: each tree is trained on a bootstrap resample
+//! of the training data with per-node feature subsampling
+//! (`√num_features` by default); the forest predicts the average of
+//! the trees' leaf probabilities.
+
+use crate::data::TabularData;
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use sfstatslike::world_rng;
+
+/// Minimal internal reimplementation of the deterministic per-worker
+/// stream seeding used across the workspace (kept local so `sfml` stays
+/// dependency-light; behaviour matches `sfstats::rng::world_rng`).
+mod sfstatslike {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    pub fn world_rng(base_seed: u64, index: u64) -> ChaCha8Rng {
+        let mut rng = ChaCha8Rng::seed_from_u64(base_seed);
+        rng.set_stream(index.wrapping_add(1));
+        rng
+    }
+}
+
+/// Random-forest training parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Per-tree growth parameters. When `max_features` is `None` the
+    /// forest substitutes `√num_features`.
+    pub tree: TreeConfig,
+    /// Bootstrap sample size as a fraction of the training size.
+    pub sample_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Train trees in parallel (deterministic either way).
+    pub parallel: bool,
+}
+
+impl RandomForestConfig {
+    /// Sensible defaults: 20 trees, depth 12, √features per node.
+    pub fn new(num_trees: usize, seed: u64) -> Self {
+        RandomForestConfig {
+            num_trees,
+            tree: TreeConfig::default(),
+            sample_fraction: 1.0,
+            seed,
+            parallel: true,
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+/// Out-of-bag evaluation of a forest (rows judged only by trees that
+/// never saw them during training).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OobReport {
+    /// Accuracy over covered rows.
+    pub accuracy: f64,
+    /// Fraction of rows with at least one out-of-bag vote.
+    pub coverage: f64,
+}
+
+impl RandomForest {
+    /// Fits the forest.
+    ///
+    /// # Panics
+    /// Panics if `num_trees == 0`, the data is empty, or
+    /// `sample_fraction` is not in `(0, 1]`.
+    pub fn fit(data: &TabularData, config: &RandomForestConfig) -> Self {
+        assert!(config.num_trees > 0, "forest needs at least one tree");
+        assert!(
+            data.num_rows() > 0,
+            "cannot fit a forest on an empty dataset"
+        );
+        assert!(
+            config.sample_fraction > 0.0 && config.sample_fraction <= 1.0,
+            "sample_fraction must be in (0,1], got {}",
+            config.sample_fraction
+        );
+        let mut tree_cfg = config.tree;
+        if tree_cfg.max_features.is_none() {
+            let m = (data.num_features() as f64).sqrt().round().max(1.0) as usize;
+            tree_cfg.max_features = Some(m);
+        }
+        let n = data.num_rows();
+        let sample_n = ((n as f64) * config.sample_fraction).round().max(1.0) as usize;
+        let train_one = |t: usize| -> DecisionTree {
+            let mut rng: ChaCha8Rng = world_rng(config.seed, t as u64);
+            let indices: Vec<usize> = (0..sample_n).map(|_| rng.gen_range(0..n)).collect();
+            let sample = data.select_rows(&indices);
+            DecisionTree::fit(&sample, &tree_cfg, &mut rng)
+        };
+        let trees: Vec<DecisionTree> = if config.parallel {
+            (0..config.num_trees)
+                .into_par_iter()
+                .map(train_one)
+                .collect()
+        } else {
+            (0..config.num_trees).map(train_one).collect()
+        };
+        RandomForest { trees }
+    }
+
+    /// Fits the forest and evaluates it out-of-bag: each training row
+    /// is predicted by averaging only the trees whose bootstrap sample
+    /// missed it, giving an unbiased generalisation estimate without a
+    /// held-out set.
+    pub fn fit_with_oob(data: &TabularData, config: &RandomForestConfig) -> (Self, OobReport) {
+        assert!(config.num_trees > 0, "forest needs at least one tree");
+        assert!(
+            data.num_rows() > 0,
+            "cannot fit a forest on an empty dataset"
+        );
+        let mut tree_cfg = config.tree;
+        if tree_cfg.max_features.is_none() {
+            let m = (data.num_features() as f64).sqrt().round().max(1.0) as usize;
+            tree_cfg.max_features = Some(m);
+        }
+        let n = data.num_rows();
+        let sample_n = ((n as f64) * config.sample_fraction).round().max(1.0) as usize;
+        let train_one = |t: usize| -> (DecisionTree, Vec<bool>) {
+            let mut rng: ChaCha8Rng = world_rng(config.seed, t as u64);
+            let indices: Vec<usize> = (0..sample_n).map(|_| rng.gen_range(0..n)).collect();
+            let mut in_bag = vec![false; n];
+            for &i in &indices {
+                in_bag[i] = true;
+            }
+            let sample = data.select_rows(&indices);
+            (DecisionTree::fit(&sample, &tree_cfg, &mut rng), in_bag)
+        };
+        let results: Vec<(DecisionTree, Vec<bool>)> = if config.parallel {
+            (0..config.num_trees)
+                .into_par_iter()
+                .map(train_one)
+                .collect()
+        } else {
+            (0..config.num_trees).map(train_one).collect()
+        };
+        // OOB aggregation.
+        let mut covered = 0usize;
+        let mut correct = 0usize;
+        for r in 0..n {
+            let mut sum = 0.0;
+            let mut votes = 0usize;
+            for (tree, in_bag) in &results {
+                if !in_bag[r] {
+                    sum += tree.predict_proba_row(data, r);
+                    votes += 1;
+                }
+            }
+            if votes > 0 {
+                covered += 1;
+                let pred = sum / votes as f64 >= 0.5;
+                if pred == data.labels()[r] {
+                    correct += 1;
+                }
+            }
+        }
+        let report = OobReport {
+            accuracy: if covered == 0 {
+                0.0
+            } else {
+                correct as f64 / covered as f64
+            },
+            coverage: covered as f64 / n as f64,
+        };
+        let trees = results.into_iter().map(|(t, _)| t).collect();
+        (RandomForest { trees }, report)
+    }
+
+    /// Forest-level feature importances: the mean of the trees'
+    /// normalised mean-decrease-in-impurity importances (sums to 1 when
+    /// any tree split at all).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let num_features = self
+            .trees
+            .first()
+            .map(|t| t.feature_importances().len())
+            .unwrap_or(0);
+        let mut acc = vec![0.0; num_features];
+        for tree in &self.trees {
+            for (a, v) in acc.iter_mut().zip(tree.feature_importances()) {
+                *a += v;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in &mut acc {
+                *a /= total;
+            }
+        }
+        acc
+    }
+
+    /// Average positive-class probability across trees.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict_proba(features)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Hard classification at the 0.5 threshold.
+    pub fn predict(&self, features: &[f64]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+
+    /// Predicts every row of a dataset (parallel).
+    pub fn predict_batch(&self, data: &TabularData) -> Vec<bool> {
+        (0..data.num_rows())
+            .into_par_iter()
+            .map(|r| {
+                let sum: f64 = self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict_proba_row(data, r))
+                    .sum();
+                sum / self.trees.len() as f64 >= 0.5
+            })
+            .collect()
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::FeatureKind;
+    use crate::metrics::ConfusionMatrix;
+    use rand::SeedableRng;
+
+    /// Noisy two-feature problem: y = (x0 + x1 > 1) with 10% label noise.
+    fn noisy_data(n: usize, seed: u64) -> TabularData {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut x0 = Vec::with_capacity(n);
+        let mut x1 = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f64 = rng.gen();
+            let b: f64 = rng.gen();
+            let clean = a + b > 1.0;
+            let label = if rng.gen_bool(0.1) { !clean } else { clean };
+            x0.push(a);
+            x1.push(b);
+            y.push(label);
+        }
+        let mut d = TabularData::new();
+        d.push_column("x0", FeatureKind::Numeric, x0);
+        d.push_column("x1", FeatureKind::Numeric, x1);
+        d.set_labels(y);
+        d
+    }
+
+    #[test]
+    fn learns_noisy_boundary() {
+        let train = noisy_data(2000, 1);
+        let test = noisy_data(500, 2);
+        let forest = RandomForest::fit(&train, &RandomForestConfig::new(15, 3));
+        let preds = forest.predict_batch(&test);
+        let cm = ConfusionMatrix::from_slices(test.labels(), &preds);
+        // Bayes-optimal accuracy is 0.9 (10% noise); a working forest
+        // should be close.
+        assert!(cm.accuracy() > 0.82, "accuracy {}", cm.accuracy());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_parallelism() {
+        let train = noisy_data(500, 4);
+        let par = RandomForest::fit(&train, &RandomForestConfig::new(8, 5));
+        let mut cfg = RandomForestConfig::new(8, 5);
+        cfg.parallel = false;
+        let seq = RandomForest::fit(&train, &cfg);
+        let test = noisy_data(100, 6);
+        for r in 0..test.num_rows() {
+            let row = test.row(r);
+            assert_eq!(par.predict_proba(&row), seq.predict_proba(&row), "row {r}");
+        }
+    }
+
+    #[test]
+    fn probabilities_average_trees() {
+        let train = noisy_data(300, 7);
+        let forest = RandomForest::fit(&train, &RandomForestConfig::new(10, 8));
+        assert_eq!(forest.num_trees(), 10);
+        let p = forest.predict_proba(&train.row(0));
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn predict_batch_matches_row_predictions() {
+        let train = noisy_data(400, 9);
+        let forest = RandomForest::fit(&train, &RandomForestConfig::new(5, 10));
+        let batch = forest.predict_batch(&train);
+        for (r, &pred) in batch.iter().enumerate().take(50) {
+            assert_eq!(pred, forest.predict(&train.row(r)), "row {r}");
+        }
+    }
+
+    #[test]
+    fn single_tree_forest_works() {
+        let train = noisy_data(200, 11);
+        let forest = RandomForest::fit(&train, &RandomForestConfig::new(1, 12));
+        assert_eq!(forest.num_trees(), 1);
+        let _ = forest.predict(&train.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let train = noisy_data(10, 13);
+        let _ = RandomForest::fit(&train, &RandomForestConfig::new(0, 1));
+    }
+
+    #[test]
+    fn subsampled_training_still_learns() {
+        let train = noisy_data(1000, 14);
+        let mut cfg = RandomForestConfig::new(10, 15);
+        cfg.sample_fraction = 0.5;
+        let forest = RandomForest::fit(&train, &cfg);
+        let preds = forest.predict_batch(&train);
+        let cm = ConfusionMatrix::from_slices(train.labels(), &preds);
+        assert!(cm.accuracy() > 0.8);
+    }
+}
+
+#[cfg(test)]
+mod importance_oob_tests {
+    use super::*;
+    use crate::data::FeatureKind;
+    use rand::{Rng, SeedableRng};
+
+    /// y depends only on feature 0; feature 1 is pure noise.
+    fn signal_vs_noise(n: usize, seed: u64) -> TabularData {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut x0 = Vec::with_capacity(n);
+        let mut x1 = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a: f64 = rng.gen();
+            let b: f64 = rng.gen();
+            x0.push(a);
+            x1.push(b);
+            y.push(a > 0.5);
+        }
+        let mut d = TabularData::new();
+        d.push_column("signal", FeatureKind::Numeric, x0);
+        d.push_column("noise", FeatureKind::Numeric, x1);
+        d.set_labels(y);
+        d
+    }
+
+    #[test]
+    fn importances_identify_the_signal_feature() {
+        let data = signal_vs_noise(2000, 41);
+        let mut cfg = RandomForestConfig::new(10, 42);
+        cfg.tree.max_features = Some(2); // let every split see both features
+        let forest = RandomForest::fit(&data, &cfg);
+        let imp = forest.feature_importances();
+        assert_eq!(imp.len(), 2);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > 0.9, "signal feature should dominate: {imp:?}");
+    }
+
+    #[test]
+    fn importances_of_stump_forest_are_zero() {
+        let data = signal_vs_noise(100, 43);
+        let mut cfg = RandomForestConfig::new(3, 44);
+        cfg.tree.max_depth = 0;
+        let forest = RandomForest::fit(&data, &cfg);
+        assert_eq!(forest.feature_importances(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn oob_estimates_generalisation() {
+        let data = signal_vs_noise(1500, 45);
+        let (forest, oob) = RandomForest::fit_with_oob(&data, &RandomForestConfig::new(20, 46));
+        // Bootstrap leaves ~e^-20 of rows uncovered at 20 trees: ~all covered.
+        assert!(oob.coverage > 0.99, "coverage {}", oob.coverage);
+        // The task is separable: OOB accuracy should be high but below
+        // the (overfit) in-bag accuracy.
+        assert!(oob.accuracy > 0.9, "oob accuracy {}", oob.accuracy);
+        let in_bag = {
+            let preds = forest.predict_batch(&data);
+            crate::metrics::ConfusionMatrix::from_slices(data.labels(), &preds).accuracy()
+        };
+        assert!(
+            in_bag >= oob.accuracy - 0.02,
+            "in-bag {in_bag} vs oob {}",
+            oob.accuracy
+        );
+    }
+
+    #[test]
+    fn oob_matches_between_parallel_and_sequential() {
+        let data = signal_vs_noise(400, 47);
+        let (f1, o1) = RandomForest::fit_with_oob(&data, &RandomForestConfig::new(8, 48));
+        let mut cfg = RandomForestConfig::new(8, 48);
+        cfg.parallel = false;
+        let (f2, o2) = RandomForest::fit_with_oob(&data, &cfg);
+        assert_eq!(o1, o2);
+        assert_eq!(f1.feature_importances(), f2.feature_importances());
+    }
+}

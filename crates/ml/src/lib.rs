@@ -1,0 +1,41 @@
+//! Decision-tree / random-forest substrate.
+//!
+//! The paper's Crime experiment (§4.1) trains "a random forest
+//! classifier to predict the 'seriousness' of the incident" from 7
+//! tabular features and audits the *equal opportunity* (true-positive
+//! rate) of its predictions by location. This crate provides that
+//! classifier, built from scratch:
+//!
+//! * [`data`] — column-major tabular datasets with numeric and
+//!   categorical features, deterministic train/test splitting.
+//! * [`tree`] — CART binary classification trees (Gini impurity,
+//!   threshold splits for numeric features, one-vs-rest equality
+//!   splits for categoricals).
+//! * [`forest`] — bagged random forests with per-node feature
+//!   subsampling and probability averaging.
+//! * [`metrics`] — confusion matrices, accuracy, TPR/FPR — the
+//!   quantities the fairness audit consumes.
+
+//! # Example
+//!
+//! ```rust
+//! use sfml::{FeatureKind, RandomForest, RandomForestConfig, TabularData};
+//!
+//! let mut data = TabularData::new();
+//! data.push_column("x", FeatureKind::Numeric, (0..200).map(|i| i as f64).collect());
+//! data.set_labels((0..200).map(|i| i >= 100).collect());
+//!
+//! let forest = RandomForest::fit(&data, &RandomForestConfig::new(5, 7));
+//! assert!(forest.predict(&[150.0]));
+//! assert!(!forest.predict(&[50.0]));
+//! ```
+
+pub mod data;
+pub mod forest;
+pub mod metrics;
+pub mod tree;
+
+pub use data::{FeatureKind, TabularData};
+pub use forest::{OobReport, RandomForest, RandomForestConfig};
+pub use metrics::ConfusionMatrix;
+pub use tree::{DecisionTree, TreeConfig};

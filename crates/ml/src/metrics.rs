@@ -1,0 +1,189 @@
+//! Classification metrics.
+//!
+//! The fairness audits consume exactly these quantities: *positive
+//! rate* (statistical parity), *true positive rate* (equal
+//! opportunity), and *false positive rate* (equal odds).
+
+/// A binary-classification confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// Predicted positive, actually positive.
+    pub tp: u64,
+    /// Predicted positive, actually negative.
+    pub fp: u64,
+    /// Predicted negative, actually negative.
+    pub tn: u64,
+    /// Predicted negative, actually positive.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from parallel truth/prediction slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn from_slices(truth: &[bool], predicted: &[bool]) -> Self {
+        assert_eq!(
+            truth.len(),
+            predicted.len(),
+            "slices must have equal length"
+        );
+        let mut cm = ConfusionMatrix::default();
+        for (&y, &yh) in truth.iter().zip(predicted) {
+            match (y, yh) {
+                (true, true) => cm.tp += 1,
+                (false, true) => cm.fp += 1,
+                (false, false) => cm.tn += 1,
+                (true, false) => cm.fn_ += 1,
+            }
+        }
+        cm
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct predictions (0 on empty input).
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / t as f64
+        }
+    }
+
+    /// True positive rate `P(ŷ=1 | y=1)` (recall); NaN when no
+    /// positives exist.
+    pub fn tpr(&self) -> f64 {
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// False positive rate `P(ŷ=1 | y=0)`; NaN when no negatives exist.
+    pub fn fpr(&self) -> f64 {
+        self.fp as f64 / (self.fp + self.tn) as f64
+    }
+
+    /// Precision `P(y=1 | ŷ=1)`; NaN when nothing predicted positive.
+    pub fn precision(&self) -> f64 {
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// Positive rate `P(ŷ=1)` — the statistical-parity measure.
+    pub fn positive_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return f64::NAN;
+        }
+        (self.tp + self.fp) as f64 / t as f64
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.tpr();
+        2.0 * p * r / (p + r)
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tp={} fp={} tn={} fn={} (acc={:.3}, tpr={:.3}, fpr={:.3})",
+            self.tp,
+            self.fp,
+            self.tn,
+            self.fn_,
+            self.accuracy(),
+            self.tpr(),
+            self.fpr()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_slices_counts_cells() {
+        let truth = [true, true, false, false, true];
+        let pred = [true, false, true, false, true];
+        let cm = ConfusionMatrix::from_slices(&truth, &pred);
+        assert_eq!(
+            cm,
+            ConfusionMatrix {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+        assert_eq!(cm.total(), 5);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [true, false, true, false];
+        let cm = ConfusionMatrix::from_slices(&y, &y);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.tpr(), 1.0);
+        assert_eq!(cm.fpr(), 0.0);
+        assert_eq!(cm.f1(), 1.0);
+    }
+
+    #[test]
+    fn inverted_predictions() {
+        let y = [true, false, true, false];
+        let inv: Vec<bool> = y.iter().map(|&b| !b).collect();
+        let cm = ConfusionMatrix::from_slices(&y, &inv);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.tpr(), 0.0);
+        assert_eq!(cm.fpr(), 1.0);
+    }
+
+    #[test]
+    fn rates_match_hand_computation() {
+        // 10 positives (7 caught), 20 negatives (4 false alarms).
+        let mut truth = vec![true; 10];
+        truth.extend(vec![false; 20]);
+        let mut pred = vec![true; 7];
+        pred.extend(vec![false; 3]);
+        pred.extend(vec![true; 4]);
+        pred.extend(vec![false; 16]);
+        let cm = ConfusionMatrix::from_slices(&truth, &pred);
+        assert!((cm.tpr() - 0.7).abs() < 1e-12);
+        assert!((cm.fpr() - 0.2).abs() < 1e-12);
+        assert!((cm.accuracy() - 23.0 / 30.0).abs() < 1e-12);
+        assert!((cm.positive_rate() - 11.0 / 30.0).abs() < 1e-12);
+        assert!((cm.precision() - 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cm = ConfusionMatrix::from_slices(&[], &[]);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert!(cm.positive_rate().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_rejected() {
+        let _ = ConfusionMatrix::from_slices(&[true], &[]);
+    }
+
+    #[test]
+    fn display_renders() {
+        let cm = ConfusionMatrix {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        };
+        let s = cm.to_string();
+        assert!(s.contains("tp=1") && s.contains("fn=4"));
+    }
+}

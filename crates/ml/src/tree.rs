@@ -1,0 +1,586 @@
+//! CART binary classification trees (Gini impurity).
+//!
+//! Numeric features use threshold splits found by a histogram sweep
+//! over candidate cut points; categorical features use one-vs-rest
+//! equality splits. Trees support per-node feature subsampling so the
+//! forest can decorrelate them.
+
+use crate::data::{FeatureKind, TabularData};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Tree growth parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Do not split nodes with fewer samples than this.
+    pub min_samples_split: usize,
+    /// Each child must keep at least this many samples.
+    pub min_samples_leaf: usize,
+    /// Features considered per node; `None` = all features.
+    pub max_features: Option<usize>,
+    /// Number of candidate thresholds per numeric feature (quantile
+    /// cuts over the node's values).
+    pub numeric_cuts: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+            numeric_cuts: 32,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Split {
+    /// `x[feature] <= value` goes left.
+    Threshold { feature: usize, value: f64 },
+    /// `x[feature] == value` goes left.
+    Equal { feature: usize, value: f64 },
+}
+
+impl Split {
+    #[inline]
+    fn feature(&self) -> usize {
+        match *self {
+            Split::Threshold { feature, .. } | Split::Equal { feature, .. } => feature,
+        }
+    }
+
+    #[inline]
+    fn goes_left(&self, data: &TabularData, row: usize) -> bool {
+        match *self {
+            Split::Threshold { feature, value } => data.value(feature, row) <= value,
+            Split::Equal { feature, value } => data.value(feature, row) == value,
+        }
+    }
+
+    #[inline]
+    fn goes_left_values(&self, features: &[f64]) -> bool {
+        match *self {
+            Split::Threshold { feature, value } => features[feature] <= value,
+            Split::Equal { feature, value } => features[feature] == value,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    split: Option<Split>,
+    left: u32,
+    right: u32,
+    /// Fraction of positive training samples that reached this node.
+    prob: f64,
+}
+
+/// A trained CART tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    num_features: usize,
+    /// Per-feature total impurity decrease, weighted by node size
+    /// (mean-decrease-in-impurity importance, unnormalised).
+    importances: Vec<f64>,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `data` (all rows).
+    ///
+    /// # Panics
+    /// Panics if `data` has no rows or no labels.
+    pub fn fit(data: &TabularData, config: &TreeConfig, rng: &mut ChaCha8Rng) -> Self {
+        let n = data.num_rows();
+        assert!(n > 0, "cannot fit a tree on an empty dataset");
+        assert_eq!(data.labels().len(), n, "labels must be set");
+        let mut rows: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::new();
+        let mut importances = vec![0.0; data.num_features()];
+        let num_rows = rows.len();
+        grow(
+            data,
+            config,
+            rng,
+            &mut rows,
+            0,
+            num_rows,
+            0,
+            &mut nodes,
+            &mut importances,
+        );
+        DecisionTree {
+            nodes,
+            num_features: data.num_features(),
+            importances,
+        }
+    }
+
+    /// Per-feature importance: total Gini impurity decrease contributed
+    /// by splits on each feature, weighted by the fraction of training
+    /// rows reaching the split, normalised to sum to 1 (all zeros for a
+    /// stump).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let total: f64 = self.importances.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.num_features];
+        }
+        self.importances.iter().map(|v| v / total).collect()
+    }
+
+    /// Probability of the positive class for row `r` of `data`.
+    pub fn predict_proba_row(&self, data: &TabularData, r: usize) -> f64 {
+        let mut cur = 0usize;
+        loop {
+            let node = &self.nodes[cur];
+            match node.split {
+                None => return node.prob,
+                Some(split) => {
+                    cur = if split.goes_left(data, r) {
+                        node.left
+                    } else {
+                        node.right
+                    } as usize;
+                }
+            }
+        }
+    }
+
+    /// Probability of the positive class for a dense feature vector.
+    ///
+    /// # Panics
+    /// Panics if the vector length differs from the training features.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.num_features,
+            "feature vector length mismatch"
+        );
+        let mut cur = 0usize;
+        loop {
+            let node = &self.nodes[cur];
+            match node.split {
+                None => return node.prob,
+                Some(split) => {
+                    cur = if split.goes_left_values(features) {
+                        node.left
+                    } else {
+                        node.right
+                    } as usize;
+                }
+            }
+        }
+    }
+
+    /// Hard classification at the 0.5 threshold.
+    pub fn predict(&self, features: &[f64]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+
+    /// Number of nodes (diagnostic).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (diagnostic; root-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], i: usize) -> usize {
+            match nodes[i].split {
+                None => 0,
+                Some(_) => {
+                    1 + rec(nodes, nodes[i].left as usize).max(rec(nodes, nodes[i].right as usize))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+}
+
+/// Gini impurity of a binary node given positives `p` out of `n`.
+#[inline]
+fn gini(n: f64, p: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let q = p / n;
+    2.0 * q * (1.0 - q)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    data: &TabularData,
+    config: &TreeConfig,
+    rng: &mut ChaCha8Rng,
+    rows: &mut [u32],
+    start: usize,
+    end: usize,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+    importances: &mut [f64],
+) -> u32 {
+    let slice = &rows[start..end];
+    let n = (end - start) as f64;
+    let p = slice.iter().filter(|&&r| data.labels()[r as usize]).count() as f64;
+    let node_idx = nodes.len() as u32;
+    nodes.push(Node {
+        split: None,
+        left: 0,
+        right: 0,
+        prob: p / n,
+    });
+    // Stopping conditions.
+    if depth >= config.max_depth || (end - start) < config.min_samples_split || p == 0.0 || p == n {
+        return node_idx;
+    }
+    let Some((split, gain)) = best_split(data, config, rng, slice) else {
+        return node_idx;
+    };
+    // Partition rows in place.
+    let slice = &mut rows[start..end];
+    let mut lo = 0usize;
+    let mut hi = slice.len();
+    while lo < hi {
+        if split.goes_left(data, slice[lo] as usize) {
+            lo += 1;
+        } else {
+            hi -= 1;
+            slice.swap(lo, hi);
+        }
+    }
+    let n_left = lo;
+    if n_left < config.min_samples_leaf || (end - start - n_left) < config.min_samples_leaf {
+        return node_idx;
+    }
+    // Mean-decrease-in-impurity bookkeeping: node-fraction-weighted
+    // gain attributed to the split feature. (Gain can be ~0 for tie
+    // splits; that is the correct contribution.)
+    importances[split.feature()] += (end - start) as f64 * gain.max(0.0);
+    let left = grow(
+        data,
+        config,
+        rng,
+        rows,
+        start,
+        start + n_left,
+        depth + 1,
+        nodes,
+        importances,
+    );
+    let right = grow(
+        data,
+        config,
+        rng,
+        rows,
+        start + n_left,
+        end,
+        depth + 1,
+        nodes,
+        importances,
+    );
+    nodes[node_idx as usize].split = Some(split);
+    nodes[node_idx as usize].left = left;
+    nodes[node_idx as usize].right = right;
+    node_idx
+}
+
+/// Finds the impurity-minimising split over a (possibly subsampled)
+/// feature set, returning it with its impurity gain; `None` when no
+/// valid split exists.
+fn best_split(
+    data: &TabularData,
+    config: &TreeConfig,
+    rng: &mut ChaCha8Rng,
+    rows: &[u32],
+) -> Option<(Split, f64)> {
+    let n = rows.len() as f64;
+    let p = rows.iter().filter(|&&r| data.labels()[r as usize]).count() as f64;
+    let parent = gini(n, p);
+    let mut features: Vec<usize> = (0..data.num_features()).collect();
+    if let Some(m) = config.max_features {
+        features.shuffle(rng);
+        features.truncate(m.max(1));
+    }
+    let mut best: Option<(f64, Split)> = None;
+    let min_leaf = config.min_samples_leaf as f64;
+    for &f in &features {
+        let candidate = match data.columns()[f].kind {
+            FeatureKind::Numeric => best_threshold_split(data, config, rows, f, rng),
+            FeatureKind::Categorical => best_equality_split(data, rows, f),
+        };
+        if let Some((w_impurity, split, n_left, p_left)) = candidate {
+            let n_right = n - n_left;
+            if n_left < min_leaf || n_right < min_leaf {
+                continue;
+            }
+            let _ = p_left;
+            // Accept zero-gain splits (ties): greedy impurity can be
+            // exactly flat one level above a separable structure (XOR),
+            // and deeper levels then separate it. Recursion still
+            // terminates via max_depth / min_samples / purity.
+            let gain = parent - w_impurity;
+            if gain > -1e-12 && best.as_ref().map_or(true, |(bw, _)| w_impurity < *bw) {
+                best = Some((w_impurity, split));
+            }
+        }
+    }
+    best.map(|(w, s)| (s, parent - w))
+}
+
+/// Best threshold split for a numeric feature. Returns
+/// `(weighted_impurity, split, n_left, p_left)`.
+fn best_threshold_split(
+    data: &TabularData,
+    config: &TreeConfig,
+    rows: &[u32],
+    feature: usize,
+    rng: &mut ChaCha8Rng,
+) -> Option<(f64, Split, f64, f64)> {
+    let n = rows.len() as f64;
+    let p = rows.iter().filter(|&&r| data.labels()[r as usize]).count() as f64;
+    // Candidate thresholds: sample values from the node (cheap quantile
+    // sketch), dedup.
+    let cuts = config.numeric_cuts.max(1);
+    let mut candidates: Vec<f64> = if rows.len() <= cuts {
+        rows.iter()
+            .map(|&r| data.value(feature, r as usize))
+            .collect()
+    } else {
+        (0..cuts)
+            .map(|_| data.value(feature, rows[rng.gen_range(0..rows.len())] as usize))
+            .collect()
+    };
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+    candidates.dedup();
+    if candidates.len() < 2 {
+        return None;
+    }
+    // Drop the max value: "x <= max" sends everything left.
+    candidates.pop();
+    let mut best: Option<(f64, Split, f64, f64)> = None;
+    for &t in &candidates {
+        let mut n_left = 0.0;
+        let mut p_left = 0.0;
+        for &r in rows {
+            if data.value(feature, r as usize) <= t {
+                n_left += 1.0;
+                p_left += data.labels()[r as usize] as u64 as f64;
+            }
+        }
+        if n_left == 0.0 || n_left == n {
+            continue;
+        }
+        let w =
+            (n_left / n) * gini(n_left, p_left) + ((n - n_left) / n) * gini(n - n_left, p - p_left);
+        if best.as_ref().map_or(true, |(bw, ..)| w < *bw) {
+            best = Some((w, Split::Threshold { feature, value: t }, n_left, p_left));
+        }
+    }
+    best
+}
+
+/// Best one-vs-rest equality split for a categorical feature.
+fn best_equality_split(
+    data: &TabularData,
+    rows: &[u32],
+    feature: usize,
+) -> Option<(f64, Split, f64, f64)> {
+    let n = rows.len() as f64;
+    let p = rows.iter().filter(|&&r| data.labels()[r as usize]).count() as f64;
+    // Collect per-category counts.
+    let mut cats: Vec<(f64, f64, f64)> = Vec::new(); // (code, n_c, p_c)
+    for &r in rows {
+        let v = data.value(feature, r as usize);
+        let l = data.labels()[r as usize] as u64 as f64;
+        match cats.iter_mut().find(|(code, _, _)| *code == v) {
+            Some(entry) => {
+                entry.1 += 1.0;
+                entry.2 += l;
+            }
+            None => cats.push((v, 1.0, l)),
+        }
+    }
+    if cats.len() < 2 {
+        return None;
+    }
+    let mut best: Option<(f64, Split, f64, f64)> = None;
+    for &(code, n_c, p_c) in &cats {
+        let w = (n_c / n) * gini(n_c, p_c) + ((n - n_c) / n) * gini(n - n_c, p - p_c);
+        if best.as_ref().map_or(true, |(bw, ..)| w < *bw) {
+            best = Some((
+                w,
+                Split::Equal {
+                    feature,
+                    value: code,
+                },
+                n_c,
+                p_c,
+            ));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0)
+    }
+
+    /// y = x > 0.5, perfectly separable by one threshold.
+    fn separable() -> TabularData {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let ys: Vec<bool> = xs.iter().map(|&x| x > 0.5).collect();
+        let mut d = TabularData::new();
+        d.push_column("x", FeatureKind::Numeric, xs);
+        d.set_labels(ys);
+        d
+    }
+
+    #[test]
+    fn fits_separable_data_perfectly() {
+        let d = separable();
+        let t = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        for r in 0..d.num_rows() {
+            let pred = t.predict_proba_row(&d, r) >= 0.5;
+            assert_eq!(pred, d.labels()[r], "row {r}");
+        }
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let d = separable();
+        let cfg = TreeConfig {
+            max_depth: 2,
+            ..Default::default()
+        };
+        let t = DecisionTree::fit(&d, &cfg, &mut rng());
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn depth_zero_is_a_stump_prior() {
+        let d = separable();
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
+        let t = DecisionTree::fit(&d, &cfg, &mut rng());
+        assert_eq!(t.num_nodes(), 1);
+        // Root probability is the base rate.
+        assert!((t.predict_proba(&[0.3]) - 0.49).abs() < 0.02);
+    }
+
+    #[test]
+    fn pure_node_stops_splitting() {
+        let mut d = TabularData::new();
+        d.push_column("x", FeatureKind::Numeric, vec![1.0, 2.0, 3.0]);
+        d.set_labels(vec![true, true, true]);
+        let t = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.predict_proba(&[9.0]), 1.0);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        // XOR over two binary numeric features: depth-1 can't separate,
+        // depth-2 can.
+        let mut d = TabularData::new();
+        let mut xs = Vec::new();
+        let mut zs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..200 {
+            let a = (i / 2) % 2;
+            let b = i % 2;
+            xs.push(a as f64);
+            zs.push(b as f64);
+            ys.push((a ^ b) == 1);
+        }
+        d.push_column("a", FeatureKind::Numeric, xs);
+        d.push_column("b", FeatureKind::Numeric, zs);
+        d.set_labels(ys.clone());
+        let deep = DecisionTree::fit(
+            &d,
+            &TreeConfig {
+                max_depth: 3,
+                numeric_cuts: 8,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        let correct = (0..d.num_rows())
+            .filter(|&r| (deep.predict_proba_row(&d, r) >= 0.5) == ys[r])
+            .count();
+        assert_eq!(correct, d.num_rows(), "depth-3 tree must solve XOR");
+    }
+
+    #[test]
+    fn categorical_split_separates_codes() {
+        let mut d = TabularData::new();
+        // Category 2 is positive, all others negative.
+        let codes: Vec<f64> = (0..90).map(|i| (i % 3) as f64).collect();
+        let ys: Vec<bool> = codes.iter().map(|&c| c == 2.0).collect();
+        d.push_column("cat", FeatureKind::Categorical, codes);
+        d.set_labels(ys);
+        let t = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        assert_eq!(t.predict_proba(&[2.0]), 1.0);
+        assert_eq!(t.predict_proba(&[0.0]), 0.0);
+        assert_eq!(t.predict_proba(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let d = separable();
+        let cfg = TreeConfig {
+            min_samples_leaf: 40,
+            ..Default::default()
+        };
+        let t = DecisionTree::fit(&d, &cfg, &mut rng());
+        // With 100 rows and min leaf 40, at most one split (60/40-ish)
+        // is possible per path; depth stays small.
+        assert!(t.depth() <= 2, "depth {}", t.depth());
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let d = separable();
+        let t = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        for r in 0..d.num_rows() {
+            let p = t.predict_proba_row(&d, r);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_feature_count_panics() {
+        let d = separable();
+        let t = DecisionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        let _ = t.predict_proba(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        let d = separable();
+        let cfg = TreeConfig {
+            max_features: Some(1),
+            ..Default::default()
+        };
+        let t = DecisionTree::fit(&d, &cfg, &mut rng());
+        let correct = (0..d.num_rows())
+            .filter(|&r| (t.predict_proba_row(&d, r) >= 0.5) == d.labels()[r])
+            .count();
+        assert!(correct >= 95);
+    }
+}

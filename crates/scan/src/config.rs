@@ -1,0 +1,185 @@
+//! Audit configuration.
+
+use crate::direction::Direction;
+use serde::{Deserialize, Serialize};
+
+/// How alternate-world labels are generated for the Monte Carlo
+/// calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum NullModel {
+    /// The paper's model (§3): every label is an independent
+    /// `Bernoulli(ρ̂)` draw, so the total number of positives varies
+    /// across worlds.
+    #[default]
+    Bernoulli,
+    /// Kulldorff-style conditioning: each world is a uniformly random
+    /// permutation of the *observed* labels, so every world has exactly
+    /// `P` positives. Provided as an extension and ablated in the
+    /// benches.
+    Permutation,
+}
+
+/// How per-world region counts are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CountingStrategy {
+    /// Materialise each region's member ids once; every world only
+    /// recounts positives against a fresh label bitset (fast; memory
+    /// proportional to total membership).
+    #[default]
+    Membership,
+    /// Re-run a spatial range query per region per world (no extra
+    /// memory; slower). Exists mainly as the ablation baseline proving
+    /// the membership path is an optimisation, not a semantic change.
+    Requery,
+}
+
+/// Knobs for a spatial-fairness audit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuditConfig {
+    /// Significance level `α` (the paper's experiments use 0.005).
+    pub alpha: f64,
+    /// Number of simulated Monte Carlo worlds (`w − 1`). Must satisfy
+    /// `⌊α·(worlds+1)⌋ ≥ 1` for significance to be reachable; 999 is
+    /// the customary choice for `α = 0.005`.
+    pub worlds: usize,
+    /// Base RNG seed (worlds use independent derived streams).
+    pub seed: u64,
+    /// Which deviation direction the audit is sensitive to.
+    pub direction: Direction,
+    /// Alternate-world label model.
+    pub null_model: NullModel,
+    /// Per-world counting strategy.
+    pub strategy: CountingStrategy,
+    /// Evaluate worlds in parallel (results are identical either way).
+    pub parallel: bool,
+}
+
+impl AuditConfig {
+    /// Creates a config at significance level `alpha` with the paper's
+    /// defaults: 999 worlds, two-sided, Bernoulli null, membership
+    /// counting, parallel.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1)`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
+        AuditConfig {
+            alpha,
+            worlds: 999,
+            seed: 0,
+            direction: Direction::TwoSided,
+            null_model: NullModel::Bernoulli,
+            strategy: CountingStrategy::Membership,
+            parallel: true,
+        }
+    }
+
+    /// The paper's experimental setting: `α = 0.005`, 999 worlds.
+    pub fn paper() -> Self {
+        Self::new(0.005)
+    }
+
+    /// Sets the Monte Carlo budget.
+    pub fn with_worlds(mut self, worlds: usize) -> Self {
+        assert!(worlds > 0, "need at least one simulated world");
+        self.worlds = worlds;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the deviation direction.
+    pub fn with_direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Sets the null model.
+    pub fn with_null_model(mut self, null_model: NullModel) -> Self {
+        self.null_model = null_model;
+        self
+    }
+
+    /// Sets the counting strategy.
+    pub fn with_strategy(mut self, strategy: CountingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Disables parallel Monte Carlo (results unchanged).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Returns `true` when the Monte Carlo budget can reach
+    /// significance at this `alpha` (i.e. `⌊α·w⌋ ≥ 1`).
+    pub fn budget_sufficient(&self) -> bool {
+        (self.alpha * (self.worlds + 1) as f64).floor() >= 1.0
+    }
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = AuditConfig::paper();
+        assert_eq!(c.alpha, 0.005);
+        assert_eq!(c.worlds, 999);
+        assert_eq!(c.direction, Direction::TwoSided);
+        assert_eq!(c.null_model, NullModel::Bernoulli);
+        assert!(c.budget_sufficient());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = AuditConfig::new(0.05)
+            .with_worlds(99)
+            .with_seed(7)
+            .with_direction(Direction::Low)
+            .with_null_model(NullModel::Permutation)
+            .with_strategy(CountingStrategy::Requery)
+            .sequential();
+        assert_eq!(c.worlds, 99);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.direction, Direction::Low);
+        assert_eq!(c.null_model, NullModel::Permutation);
+        assert_eq!(c.strategy, CountingStrategy::Requery);
+        assert!(!c.parallel);
+        assert!(c.budget_sufficient());
+    }
+
+    #[test]
+    fn insufficient_budget_detected() {
+        // 99 worlds cannot certify at alpha = 0.005 (floor(0.5) = 0).
+        let c = AuditConfig::new(0.005).with_worlds(99);
+        assert!(!c.budget_sufficient());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        let _ = AuditConfig::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_worlds_rejected() {
+        let _ = AuditConfig::new(0.05).with_worlds(0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Deviation direction for the audit (re-export of the statistics
+//! substrate's type so users of this crate need not depend on
+//! `sfstats` directly).
+//!
+//! * `TwoSided` — the paper's main setting (§3): the test "does not
+//!   care for the direction of change of the statistic inside and
+//!   outside a region".
+//! * `Low` — §B.2's "red" regions: significantly *fewer* positives
+//!   inside than outside (Figure 11).
+//! * `High` — §B.2's "green" regions: significantly *more* positives
+//!   inside (Figure 12).
+
+pub use sfstats::pvalue::Direction;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_two_sided() {
+        assert_eq!(Direction::default(), Direction::TwoSided);
+    }
+}

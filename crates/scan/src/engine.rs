@@ -1,0 +1,336 @@
+//! Region counting and Monte Carlo world evaluation.
+//!
+//! The scan engine precomputes everything that is *world-invariant*:
+//! the spatial index, each region's member-id list, and therefore every
+//! `n(R)`. A Monte Carlo world then only needs to (a) draw labels from
+//! the null model and (b) recount `p(R)` per region — a cache-friendly
+//! sweep over the membership lists against a label bitset.
+
+use crate::config::{CountingStrategy, NullModel};
+use crate::direction::Direction;
+use crate::outcomes::SpatialOutcomes;
+use crate::regions::RegionSet;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use sfindex::{BitLabels, CountPair, KdTree, Membership, PointVisit, RangeCount};
+use sfstats::llr::{bernoulli_llr_directed, Counts2x2};
+
+/// Result of scanning the *real* world: per-region statistics.
+#[derive(Debug, Clone)]
+pub struct RealScan {
+    /// Per-region `(n(R), p(R))`.
+    pub counts: Vec<CountPair>,
+    /// Per-region log-likelihood ratios.
+    pub llrs: Vec<f64>,
+    /// The test statistic `τ = max LLR`.
+    pub tau: f64,
+    /// Index of the region attaining `τ`.
+    pub best_index: usize,
+}
+
+/// Precomputed scan state shared by the real-world pass and every
+/// Monte Carlo world.
+pub struct ScanEngine {
+    index: KdTree,
+    membership: Option<Membership>,
+    regions: Vec<sfgeo::Region>,
+    region_n: Vec<u64>,
+    n_total: u64,
+    p_total: u64,
+    real_labels: Vec<bool>,
+    strategy: CountingStrategy,
+}
+
+impl ScanEngine {
+    /// Builds the engine: spatial index, membership lists (when the
+    /// strategy asks for them), world-invariant `n(R)`.
+    pub fn build(
+        outcomes: &SpatialOutcomes,
+        regions: &RegionSet,
+        strategy: CountingStrategy,
+    ) -> Self {
+        let labels = outcomes.bit_labels();
+        let index = KdTree::build(outcomes.points().to_vec(), labels);
+        let region_vec = regions.regions().to_vec();
+        let membership = match strategy {
+            CountingStrategy::Membership => {
+                Some(Membership::build(&index, outcomes.len(), &region_vec))
+            }
+            CountingStrategy::Requery => None,
+        };
+        let region_n: Vec<u64> = match &membership {
+            Some(m) => (0..m.num_regions()).map(|r| m.n_of(r)).collect(),
+            None => region_vec.iter().map(|r| index.count(r).n).collect(),
+        };
+        ScanEngine {
+            index,
+            membership,
+            regions: region_vec,
+            region_n,
+            n_total: outcomes.len() as u64,
+            p_total: outcomes.positives(),
+            real_labels: outcomes.labels().to_vec(),
+            strategy,
+        }
+    }
+
+    /// Number of points.
+    pub fn num_points(&self) -> usize {
+        self.n_total as usize
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Global totals `(N, P)`.
+    pub fn totals(&self) -> CountPair {
+        CountPair {
+            n: self.n_total,
+            p: self.p_total,
+        }
+    }
+
+    /// World-invariant region observation counts.
+    pub fn region_n(&self) -> &[u64] {
+        &self.region_n
+    }
+
+    /// Scans the real world: per-region counts, LLRs, and `τ`.
+    pub fn scan_real(&self, direction: Direction) -> RealScan {
+        let real_bits = BitLabels::from_bools(&self.real_labels);
+        let counts: Vec<CountPair> = match (&self.membership, self.strategy) {
+            (Some(m), _) => (0..self.regions.len())
+                .map(|r| m.count(r, &real_bits))
+                .collect(),
+            (None, _) => self.regions.iter().map(|r| self.index.count(r)).collect(),
+        };
+        let mut llrs = Vec::with_capacity(counts.len());
+        let mut tau = 0.0f64;
+        let mut best_index = 0usize;
+        for (i, c) in counts.iter().enumerate() {
+            let llr = bernoulli_llr_directed(
+                &Counts2x2::new(c.n, c.p, self.n_total, self.p_total),
+                direction,
+            );
+            if llr > tau {
+                tau = llr;
+                best_index = i;
+            }
+            llrs.push(llr);
+        }
+        RealScan {
+            counts,
+            llrs,
+            tau,
+            best_index,
+        }
+    }
+
+    /// Draws one alternate world's labels from the null model.
+    ///
+    /// * [`NullModel::Bernoulli`] — each label is `Bernoulli(ρ̂)`
+    ///   (the paper's model; world totals vary).
+    /// * [`NullModel::Permutation`] — a uniform permutation of the
+    ///   observed labels (exactly `P` positives per world).
+    pub fn generate_world(&self, null_model: NullModel, rng: &mut ChaCha8Rng) -> BitLabels {
+        let n = self.n_total as usize;
+        match null_model {
+            NullModel::Bernoulli => {
+                let rho = self.p_total as f64 / self.n_total as f64;
+                BitLabels::from_fn(n, |_| rng.gen_bool(rho))
+            }
+            NullModel::Permutation => {
+                // Partial Fisher-Yates: choose exactly P positions.
+                let p = self.p_total as usize;
+                let mut idx: Vec<u32> = (0..n as u32).collect();
+                let mut labels = BitLabels::zeros(n);
+                for i in 0..p {
+                    let j = rng.gen_range(i..n);
+                    idx.swap(i, j);
+                    labels.set(idx[i] as usize, true);
+                }
+                labels
+            }
+        }
+    }
+
+    /// Evaluates one world: recounts positives per region and returns
+    /// that world's `τ` (computed against the world's own totals, as
+    /// the statistic is a function of the observed data).
+    pub fn eval_world(&self, labels: &BitLabels, direction: Direction) -> f64 {
+        let p_world = labels.count_ones();
+        let mut tau = 0.0f64;
+        match (&self.membership, self.strategy) {
+            (Some(m), _) => {
+                for (r, &n_r) in self.region_n.iter().enumerate() {
+                    if n_r == 0 {
+                        continue;
+                    }
+                    let p_r = labels.count_at(m.members(r));
+                    let llr = bernoulli_llr_directed(
+                        &Counts2x2::new(n_r, p_r, self.n_total, p_world),
+                        direction,
+                    );
+                    if llr > tau {
+                        tau = llr;
+                    }
+                }
+            }
+            (None, _) => {
+                for (region, &n_r) in self.regions.iter().zip(&self.region_n) {
+                    if n_r == 0 {
+                        continue;
+                    }
+                    let c = self.index.count_with(region, labels);
+                    debug_assert_eq!(c.n, n_r, "region n must be world-invariant");
+                    let llr = bernoulli_llr_directed(
+                        &Counts2x2::new(c.n, c.p, self.n_total, p_world),
+                        direction,
+                    );
+                    if llr > tau {
+                        tau = llr;
+                    }
+                }
+            }
+        }
+        tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::RegionSet;
+    use sfgeo::{Point, Rect};
+
+    /// 100 points on a 10x10 grid; left half positive.
+    fn outcomes() -> SpatialOutcomes {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for iy in 0..10 {
+            for ix in 0..10 {
+                points.push(Point::new(ix as f64 + 0.5, iy as f64 + 0.5));
+                labels.push(ix < 5);
+            }
+        }
+        SpatialOutcomes::new(points, labels).unwrap()
+    }
+
+    fn region_set() -> RegionSet {
+        RegionSet::regular_grid(Rect::from_coords(0.0, 0.0, 10.0, 10.0), 2, 1)
+    }
+
+    #[test]
+    fn real_scan_counts_are_exact() {
+        let o = outcomes();
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let real = e.scan_real(Direction::TwoSided);
+        // Left half: 50 obs, all positive. Right half: 50 obs, none.
+        assert_eq!(real.counts[0], CountPair::new(50, 50));
+        assert_eq!(real.counts[1], CountPair::new(50, 0));
+        // Perfect split: LLR = N ln 2 (both halves deterministic vs rho=0.5).
+        let expected = 100.0 * (2.0f64).ln();
+        assert!((real.tau - expected).abs() < 1e-9, "tau {}", real.tau);
+        assert!(real.llrs[0] > 0.0 && real.llrs[1] > 0.0);
+    }
+
+    #[test]
+    fn membership_and_requery_agree() {
+        let o = outcomes();
+        let mem = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let req = ScanEngine::build(&o, &region_set(), CountingStrategy::Requery);
+        let a = mem.scan_real(Direction::TwoSided);
+        let b = req.scan_real(Direction::TwoSided);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.llrs, b.llrs);
+        // And for simulated worlds:
+        let mut rng = sfstats::rng::world_rng(5, 0);
+        let labels = mem.generate_world(NullModel::Bernoulli, &mut rng);
+        let ta = mem.eval_world(&labels, Direction::TwoSided);
+        let tb = req.eval_world(&labels, Direction::TwoSided);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn bernoulli_worlds_vary_in_totals() {
+        let o = outcomes();
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let mut totals = std::collections::HashSet::new();
+        for w in 0..20 {
+            let mut rng = sfstats::rng::world_rng(1, w);
+            let labels = e.generate_world(NullModel::Bernoulli, &mut rng);
+            totals.insert(labels.count_ones());
+        }
+        assert!(totals.len() > 1, "Bernoulli worlds should vary in P");
+    }
+
+    #[test]
+    fn permutation_worlds_preserve_totals() {
+        let o = outcomes();
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        for w in 0..20 {
+            let mut rng = sfstats::rng::world_rng(1, w);
+            let labels = e.generate_world(NullModel::Permutation, &mut rng);
+            assert_eq!(labels.count_ones(), o.positives());
+        }
+    }
+
+    #[test]
+    fn permutation_worlds_shuffle_positions() {
+        let o = outcomes();
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let mut rng = sfstats::rng::world_rng(2, 0);
+        let a = e.generate_world(NullModel::Permutation, &mut rng);
+        let mut rng = sfstats::rng::world_rng(2, 1);
+        let b = e.generate_world(NullModel::Permutation, &mut rng);
+        assert_ne!(a, b, "different worlds must differ");
+    }
+
+    #[test]
+    fn simulated_taus_are_small_for_fair_worlds() {
+        // The real data is maximally unfair; simulated fair worlds must
+        // have much smaller taus.
+        let o = outcomes();
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let real = e.scan_real(Direction::TwoSided);
+        for w in 0..30 {
+            let mut rng = sfstats::rng::world_rng(3, w);
+            let labels = e.generate_world(NullModel::Bernoulli, &mut rng);
+            let tau_w = e.eval_world(&labels, Direction::TwoSided);
+            assert!(
+                tau_w < real.tau * 0.5,
+                "world {w}: tau {tau_w} vs real {}",
+                real.tau
+            );
+        }
+    }
+
+    #[test]
+    fn direction_filters_the_best_region() {
+        let o = outcomes();
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        // Left half (index 0) is the HIGH region; right half is LOW.
+        let high = e.scan_real(Direction::High);
+        assert_eq!(high.best_index, 0);
+        assert_eq!(high.llrs[1], 0.0);
+        let low = e.scan_real(Direction::Low);
+        assert_eq!(low.best_index, 1);
+        assert_eq!(low.llrs[0], 0.0);
+    }
+
+    #[test]
+    fn empty_regions_do_not_contribute() {
+        let o = outcomes();
+        let rs = RegionSet::from_regions(vec![
+            sfgeo::Region::Rect(Rect::from_coords(50.0, 50.0, 60.0, 60.0)), // empty
+            sfgeo::Region::Rect(Rect::from_coords(0.0, 0.0, 5.0, 10.0)),    // left half
+        ]);
+        let e = ScanEngine::build(&o, &rs, CountingStrategy::Membership);
+        let real = e.scan_real(Direction::TwoSided);
+        assert_eq!(real.counts[0], CountPair::default());
+        assert_eq!(real.llrs[0], 0.0);
+        assert_eq!(real.best_index, 1);
+    }
+}

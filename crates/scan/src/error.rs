@@ -1,0 +1,76 @@
+//! Error types for audit construction.
+
+/// Errors raised when assembling audit inputs from user data.
+///
+/// Programmer errors (inconsistent internal state) panic instead; these
+/// variants cover conditions that depend on the *data* a caller feeds
+/// in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanError {
+    /// The outcome set has no observations.
+    EmptyOutcomes,
+    /// Locations and labels have different lengths.
+    LengthMismatch {
+        /// Number of locations provided.
+        points: usize,
+        /// Number of labels provided.
+        labels: usize,
+    },
+    /// A location has a non-finite coordinate.
+    NonFiniteLocation {
+        /// Index of the offending observation.
+        index: usize,
+    },
+    /// The region set is empty.
+    EmptyRegionSet,
+    /// The outcomes are degenerate for the scan statistic: all
+    /// positive or all negative (the test is vacuous; the paper notes
+    /// the idealised definition "can only be satisfied by trivial
+    /// classifiers").
+    DegenerateOutcomes {
+        /// Total observations.
+        n: u64,
+        /// Total positives.
+        p: u64,
+    },
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::EmptyOutcomes => write!(f, "outcome set has no observations"),
+            ScanError::LengthMismatch { points, labels } => {
+                write!(f, "{points} locations but {labels} labels")
+            }
+            ScanError::NonFiniteLocation { index } => {
+                write!(f, "observation {index} has a non-finite coordinate")
+            }
+            ScanError::EmptyRegionSet => write!(f, "region set is empty"),
+            ScanError::DegenerateOutcomes { n, p } => write!(
+                f,
+                "outcomes are degenerate (n={n}, p={p}): scan statistic is vacuous"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ScanError::EmptyOutcomes
+            .to_string()
+            .contains("no observations"));
+        let e = ScanError::LengthMismatch {
+            points: 3,
+            labels: 4,
+        };
+        assert!(e.to_string().contains("3 locations"));
+        let e = ScanError::DegenerateOutcomes { n: 10, p: 10 };
+        assert!(e.to_string().contains("degenerate"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Evidence selection: top-k and non-overlapping region extraction.
+//!
+//! The paper (§3): "We consider all examined regions that have a
+//! statistically significant likelihood ratio, and we rank them in
+//! decreasing order of their likelihood ratio. We then return the
+//! top-k regions as evidence." And for the §4.3 square scans: "As
+//! these regions intersect each other, we select a set of
+//! non-overlapping regions. We examine centers in sequence, and for
+//! each center we keep the region with the highest value of the
+//! statistic."
+
+use crate::report::RegionFinding;
+
+/// Selects a non-overlapping subset of (significant) findings.
+///
+/// When the findings carry scan-center ids (§4.3 square scans), the
+/// paper's procedure is followed: centers are examined in ascending id
+/// order; each center contributes its highest-LLR finding, which is
+/// kept iff it does not intersect an already-kept region.
+///
+/// Without center structure, a greedy pass in descending LLR order is
+/// used (equivalent semantics for partition sets, whose members never
+/// overlap anyway).
+pub fn select_non_overlapping(findings: &[RegionFinding]) -> Vec<RegionFinding> {
+    let has_centers = findings.iter().any(|f| f.center_id.is_some());
+    if has_centers {
+        select_by_center_sequence(findings)
+    } else {
+        select_greedy_by_llr(findings)
+    }
+}
+
+/// The paper's §4.3 center-sequence procedure.
+fn select_by_center_sequence(findings: &[RegionFinding]) -> Vec<RegionFinding> {
+    // Group findings by center id, keeping the best (max LLR) each.
+    let mut best_per_center: Vec<(usize, &RegionFinding)> = Vec::new();
+    for f in findings {
+        let Some(cid) = f.center_id else { continue };
+        match best_per_center.iter_mut().find(|(c, _)| *c == cid) {
+            Some(entry) => {
+                if f.llr > entry.1.llr {
+                    entry.1 = f;
+                }
+            }
+            None => best_per_center.push((cid, f)),
+        }
+    }
+    // Examine centers in sequence (ascending id).
+    best_per_center.sort_by_key(|(c, _)| *c);
+    let mut kept: Vec<RegionFinding> = Vec::new();
+    for (_, cand) in best_per_center {
+        let overlaps = kept.iter().any(|k| k.region.may_intersect(&cand.region));
+        if !overlaps {
+            kept.push(cand.clone());
+        }
+    }
+    kept
+}
+
+/// Greedy fallback: strongest evidence first.
+fn select_greedy_by_llr(findings: &[RegionFinding]) -> Vec<RegionFinding> {
+    let mut order: Vec<&RegionFinding> = findings.iter().collect();
+    order.sort_by(|a, b| b.llr.partial_cmp(&a.llr).expect("LLRs are finite"));
+    let mut kept: Vec<RegionFinding> = Vec::new();
+    for cand in order {
+        let overlaps = kept.iter().any(|k| k.region.may_intersect(&cand.region));
+        if !overlaps {
+            kept.push(cand.clone());
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfgeo::{Rect, Region};
+
+    fn finding(index: usize, center: Option<usize>, rect: Rect, llr: f64) -> RegionFinding {
+        let n = 10;
+        let p = 5;
+        RegionFinding {
+            index,
+            region: Region::Rect(rect),
+            center_id: center,
+            n,
+            p,
+            rate: p as f64 / n as f64,
+            llr,
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(select_non_overlapping(&[]).is_empty());
+    }
+
+    #[test]
+    fn greedy_keeps_strongest_of_overlapping_pair() {
+        let a = finding(0, None, Rect::from_coords(0.0, 0.0, 2.0, 2.0), 5.0);
+        let b = finding(1, None, Rect::from_coords(1.0, 1.0, 3.0, 3.0), 9.0);
+        let out = select_non_overlapping(&[a, b]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].index, 1);
+    }
+
+    #[test]
+    fn greedy_keeps_disjoint_regions() {
+        let a = finding(0, None, Rect::from_coords(0.0, 0.0, 1.0, 1.0), 5.0);
+        let b = finding(1, None, Rect::from_coords(5.0, 5.0, 6.0, 6.0), 9.0);
+        let out = select_non_overlapping(&[a, b]);
+        assert_eq!(out.len(), 2);
+        // Sorted by LLR descending.
+        assert_eq!(out[0].index, 1);
+        assert_eq!(out[1].index, 0);
+    }
+
+    #[test]
+    fn center_sequence_takes_best_per_center() {
+        // Center 0 has two nested squares; the larger has higher LLR.
+        let small = finding(
+            0,
+            Some(0),
+            Rect::square(sfgeo::Point::new(0.0, 0.0), 1.0),
+            3.0,
+        );
+        let large = finding(
+            1,
+            Some(0),
+            Rect::square(sfgeo::Point::new(0.0, 0.0), 2.0),
+            7.0,
+        );
+        // Center 1 is far away.
+        let other = finding(
+            2,
+            Some(1),
+            Rect::square(sfgeo::Point::new(10.0, 10.0), 1.0),
+            4.0,
+        );
+        let out = select_non_overlapping(&[small, large, other]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].index, 1, "center 0 keeps its best region");
+        assert_eq!(out[1].index, 2);
+    }
+
+    #[test]
+    fn center_sequence_drops_overlaps_with_kept() {
+        // Center 0's best overlaps center 1's best; center 1 loses
+        // because centers are examined in sequence.
+        let c0 = finding(0, Some(0), Rect::from_coords(0.0, 0.0, 4.0, 4.0), 5.0);
+        let c1 = finding(1, Some(1), Rect::from_coords(3.0, 3.0, 6.0, 6.0), 50.0);
+        let out = select_non_overlapping(&[c0, c1]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].index, 0,
+            "paper's procedure is sequential, not greedy"
+        );
+    }
+
+    #[test]
+    fn selected_regions_are_pairwise_disjoint() {
+        // A chain of overlapping squares.
+        let findings: Vec<RegionFinding> = (0..10)
+            .map(|i| {
+                finding(
+                    i,
+                    Some(i),
+                    Rect::square(sfgeo::Point::new(i as f64 * 0.6, 0.0), 1.0),
+                    (10 - i) as f64,
+                )
+            })
+            .collect();
+        let out = select_non_overlapping(&findings);
+        for i in 0..out.len() {
+            for j in (i + 1)..out.len() {
+                assert!(
+                    !out[i].region.may_intersect(&out[j].region),
+                    "selected regions {i} and {j} overlap"
+                );
+            }
+        }
+        assert!(!out.is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! The `MeanVar` baseline (Xie et al., AAAI 2022 — "Fairness by
+//! Where"), as described and critiqued in the reproduced paper.
+//!
+//! For each rectangular partitioning, compute the variance of the
+//! fairness measure (local positive rate) across its *non-empty*
+//! partitions; `MeanVar` is the mean of those variances over all
+//! partitionings. Lower values are read as "more fair".
+//!
+//! The paper shows this measure cannot audit ("is it fair?") — on
+//! non-regular spatial distributions a fair-by-design dataset can score
+//! *worse* than an unfair-by-design one (Figure 1: 0.0522 vs 0.0431) —
+//! and cannot testify ("where?") — its top-contributing partitions are
+//! sparse, predominantly one-label cells that arise by chance under the
+//! null (Figures 2(a), 3(b), 4(b)).
+
+use crate::outcomes::SpatialOutcomes;
+use serde::{Deserialize, Serialize};
+use sfgeo::{Partitioning, Rect};
+use sfstats::descriptive::RunningMoments;
+
+/// The `MeanVar` spatial-unfairness score of a set of partitionings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeanVarResult {
+    /// Mean over partitionings of the per-partitioning variance.
+    pub mean_variance: f64,
+    /// The individual per-partitioning variances.
+    pub per_partitioning: Vec<f64>,
+}
+
+/// One partition's share of a partitioning's variance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionContribution {
+    /// Partition id within its partitioning.
+    pub partition_id: usize,
+    /// Partition rectangle.
+    pub rect: Rect,
+    /// Observations in the partition.
+    pub n: u64,
+    /// Positives in the partition.
+    pub p: u64,
+    /// Local rate `p/n`.
+    pub rate: f64,
+    /// Squared deviation from the partitioning's mean rate — the
+    /// partition's contribution to the variance. Note this is
+    /// *independent of `n`*, which is exactly why sparse extreme cells
+    /// dominate the ranking (paper Figure 2(a): a 5-point all-negative
+    /// cell "ties for the largest contribution").
+    pub contribution: f64,
+}
+
+/// The `MeanVar` baseline computations.
+pub struct MeanVar;
+
+impl MeanVar {
+    /// Computes the `MeanVar` score over `partitionings`.
+    ///
+    /// # Panics
+    /// Panics if `partitionings` is empty.
+    pub fn compute(outcomes: &SpatialOutcomes, partitionings: &[Partitioning]) -> MeanVarResult {
+        assert!(
+            !partitionings.is_empty(),
+            "MeanVar needs at least one partitioning"
+        );
+        let per_partitioning: Vec<f64> = partitionings
+            .iter()
+            .map(|p| Self::partitioning_variance(outcomes, p))
+            .collect();
+        let mean_variance = per_partitioning.iter().sum::<f64>() / per_partitioning.len() as f64;
+        MeanVarResult {
+            mean_variance,
+            per_partitioning,
+        }
+    }
+
+    /// Variance of the local positive rate across the non-empty
+    /// partitions of one partitioning.
+    pub fn partitioning_variance(outcomes: &SpatialOutcomes, p: &Partitioning) -> f64 {
+        let (counts, positives) = histogram(outcomes, p);
+        let mut acc = RunningMoments::new();
+        for (n, pp) in counts.iter().zip(&positives) {
+            if *n > 0 {
+                acc.push(*pp as f64 / *n as f64);
+            }
+        }
+        acc.variance_population()
+    }
+
+    /// Per-partition contributions for one partitioning, ranked by
+    /// contribution descending (ties broken by `n` descending, matching
+    /// the paper's display of "the largest of them").
+    pub fn contributions(
+        outcomes: &SpatialOutcomes,
+        p: &Partitioning,
+    ) -> Vec<PartitionContribution> {
+        let (counts, positives) = histogram(outcomes, p);
+        let mut acc = RunningMoments::new();
+        for (n, pp) in counts.iter().zip(&positives) {
+            if *n > 0 {
+                acc.push(*pp as f64 / *n as f64);
+            }
+        }
+        let mean = acc.mean();
+        let mut out: Vec<PartitionContribution> = counts
+            .iter()
+            .zip(&positives)
+            .enumerate()
+            .filter(|(_, (n, _))| **n > 0)
+            .map(|(id, (n, pp))| {
+                let rate = *pp as f64 / *n as f64;
+                let dev = rate - mean;
+                PartitionContribution {
+                    partition_id: id,
+                    rect: p.partition_rect(id),
+                    n: *n,
+                    p: *pp,
+                    rate,
+                    contribution: dev * dev,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.contribution
+                .partial_cmp(&a.contribution)
+                .expect("contributions are finite")
+                .then(b.n.cmp(&a.n))
+        });
+        out
+    }
+}
+
+/// Per-partition `(n, p)` histogram via the partitioning's total point
+/// assignment.
+fn histogram(outcomes: &SpatialOutcomes, p: &Partitioning) -> (Vec<u64>, Vec<u64>) {
+    let mut counts = vec![0u64; p.num_partitions()];
+    let mut positives = vec![0u64; p.num_partitions()];
+    for (pt, &label) in outcomes.points().iter().zip(outcomes.labels()) {
+        let id = p.partition_of(pt);
+        counts[id] += 1;
+        positives[id] += label as u64;
+    }
+    (counts, positives)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfgeo::Point;
+
+    /// 100 points on a 10x10 lattice, left half positive.
+    fn split_outcomes() -> SpatialOutcomes {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for iy in 0..10 {
+            for ix in 0..10 {
+                points.push(Point::new(ix as f64 + 0.5, iy as f64 + 0.5));
+                labels.push(ix < 5);
+            }
+        }
+        SpatialOutcomes::new(points, labels).unwrap()
+    }
+
+    fn bounds() -> Rect {
+        Rect::from_coords(0.0, 0.0, 10.0, 10.0)
+    }
+
+    #[test]
+    fn perfectly_homogeneous_partitioning_has_zero_variance() {
+        // Horizontal strips: every strip has rate 0.5.
+        let p = Partitioning::regular(bounds(), 1, 5);
+        let v = MeanVar::partitioning_variance(&split_outcomes(), &p);
+        assert!(v.abs() < 1e-15, "got {v}");
+    }
+
+    #[test]
+    fn split_partitioning_has_maximal_variance() {
+        // Two vertical halves: rates 1.0 and 0.0 -> population variance
+        // of {1, 0} = 0.25.
+        let p = Partitioning::regular(bounds(), 2, 1);
+        let v = MeanVar::partitioning_variance(&split_outcomes(), &p);
+        assert!((v - 0.25).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn mean_over_partitionings_averages() {
+        let o = split_outcomes();
+        let strips = Partitioning::regular(bounds(), 1, 5); // var 0
+        let halves = Partitioning::regular(bounds(), 2, 1); // var 0.25
+        let r = MeanVar::compute(&o, &[strips, halves]);
+        assert!((r.mean_variance - 0.125).abs() < 1e-12);
+        assert_eq!(r.per_partitioning.len(), 2);
+    }
+
+    #[test]
+    fn empty_partitions_are_excluded() {
+        // Points only in the left half, but partitioning splits into 4
+        // columns: two columns are empty and must not count as rate 0.
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            points.push(Point::new(1.0 + (i as f64) * 0.05, 5.0));
+            labels.push(i % 2 == 0);
+        }
+        let o = SpatialOutcomes::new(points, labels).unwrap();
+        let p = Partitioning::regular(bounds(), 4, 1);
+        // All 20 points are in column 0 (x in 1.0..1.95, column width
+        // 2.5): rate 0.5; the other three columns are empty and must
+        // not enter the variance as rate-0 partitions.
+        let v = MeanVar::partitioning_variance(&o, &p);
+        assert!(v.abs() < 1e-15, "variance should be 0, got {v}");
+    }
+
+    #[test]
+    fn contributions_rank_extreme_cells_first() {
+        // Mostly balanced cells plus one tiny all-negative cell far in
+        // a corner: the tiny cell must top the contribution ranking
+        // even though it has almost no observations (the paper's core
+        // criticism of MeanVar).
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for iy in 0..10 {
+            for ix in 0..10 {
+                points.push(Point::new(ix as f64 + 0.4, iy as f64 + 0.4));
+                labels.push((ix + iy) % 2 == 0); // checkerboard, rate ~0.5
+            }
+        }
+        // Tiny all-negative cluster in the top-right cell.
+        for k in 0..3 {
+            points.push(Point::new(9.7 + (k as f64) * 0.01, 9.7));
+            labels.push(false);
+        }
+        let o = SpatialOutcomes::new(points, labels).unwrap();
+        let p = Partitioning::regular(bounds(), 5, 5);
+        let contribs = MeanVar::contributions(&o, &p);
+        let top = &contribs[0];
+        // The top contributor is the cell containing the tiny cluster
+        // (rate well below the mean).
+        assert!(top.rate < 0.35, "top contributor rate {}", top.rate);
+        assert!(top.contribution > contribs.last().unwrap().contribution);
+    }
+
+    #[test]
+    fn contribution_is_size_independent_for_pure_cells() {
+        // Two all-negative cells of very different sizes tie on
+        // contribution (this is the Figure 2(a) "ties for the largest
+        // contribution" behaviour).
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        // Balanced background in cell (0,0).
+        for i in 0..50 {
+            points.push(Point::new(0.5 + (i as f64) * 0.001, 0.5));
+            labels.push(i % 2 == 0);
+        }
+        // 5-point all-negative cell at (5..6, 5..6) region of space.
+        for i in 0..5 {
+            points.push(Point::new(5.5 + (i as f64) * 0.01, 5.5));
+            labels.push(false);
+        }
+        // 50-point all-negative cell around (9.5, 9.5).
+        for i in 0..50 {
+            points.push(Point::new(9.5 + (i as f64) * 0.001, 9.5));
+            labels.push(false);
+        }
+        let o = SpatialOutcomes::new(points, labels).unwrap();
+        let p = Partitioning::regular(bounds(), 10, 10);
+        let contribs = MeanVar::contributions(&o, &p);
+        // Both all-negative cells have rate 0 -> identical deviation.
+        let zero_rate: Vec<_> = contribs.iter().filter(|c| c.rate == 0.0).collect();
+        assert_eq!(zero_rate.len(), 2);
+        assert!((zero_rate[0].contribution - zero_rate[1].contribution).abs() < 1e-15);
+        // Tie broken by n: the 50-point cell is displayed first.
+        assert!(zero_rate[0].n >= zero_rate[1].n);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partitioning")]
+    fn empty_partitionings_rejected() {
+        let _ = MeanVar::compute(&split_outcomes(), &[]);
+    }
+}

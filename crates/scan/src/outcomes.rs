@@ -1,0 +1,258 @@
+//! The audited data: locations and binary outcomes.
+//!
+//! The paper (§3) frames all fairness notions as the requirement that
+//! an event `M` is independent of the protected attribute. For
+//! location-based audits the observations are `(location, outcome)`
+//! pairs, where the outcome's meaning depends on the chosen
+//! [`Measure`]:
+//!
+//! * **statistical parity** — outcome = `ŷ` over *all* individuals;
+//! * **equal opportunity** — outcome = `ŷ` restricted to individuals
+//!   with `y = 1` (so the local rate is the local TPR);
+//! * **equal odds (FPR side)** — outcome = `ŷ` restricted to `y = 0`.
+
+use crate::error::ScanError;
+use serde::{Deserialize, Serialize};
+use sfgeo::{BoundingBox, Point, Rect};
+use sfindex::BitLabels;
+
+/// Which conditional of the prediction stream is audited (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Measure {
+    /// `M = ŷ`: the positive rate (statistical parity).
+    #[default]
+    StatisticalParity,
+    /// `M = ŷ | y = 1`: the true positive rate (equal opportunity).
+    EqualOpportunity,
+    /// `M = ŷ | y = 0`: the false positive rate (the second half of
+    /// equal odds; the first half is [`Measure::EqualOpportunity`]).
+    EqualOddsFalsePositive,
+}
+
+impl std::fmt::Display for Measure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Measure::StatisticalParity => write!(f, "statistical parity (positive rate)"),
+            Measure::EqualOpportunity => write!(f, "equal opportunity (true positive rate)"),
+            Measure::EqualOddsFalsePositive => write!(f, "equal odds (false positive rate)"),
+        }
+    }
+}
+
+/// A set of located binary outcomes — the input to every audit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialOutcomes {
+    points: Vec<Point>,
+    labels: Vec<bool>,
+}
+
+impl SpatialOutcomes {
+    /// Creates an outcome set from parallel locations and labels.
+    pub fn new(points: Vec<Point>, labels: Vec<bool>) -> Result<Self, ScanError> {
+        if points.len() != labels.len() {
+            return Err(ScanError::LengthMismatch {
+                points: points.len(),
+                labels: labels.len(),
+            });
+        }
+        if points.is_empty() {
+            return Err(ScanError::EmptyOutcomes);
+        }
+        if let Some(index) = points.iter().position(|p| !p.is_finite()) {
+            return Err(ScanError::NonFiniteLocation { index });
+        }
+        Ok(SpatialOutcomes { points, labels })
+    }
+
+    /// Builds the audit view for `measure` from a prediction stream:
+    /// per-individual location, ground truth `y`, and prediction `ŷ`.
+    ///
+    /// For statistical parity every individual is kept with outcome
+    /// `ŷ`; for equal opportunity only `y = 1` individuals are kept
+    /// (paper §4.1: "we retain the predictions for the true positive
+    /// labels"); for the FPR view only `y = 0`.
+    pub fn from_predictions(
+        points: &[Point],
+        y_true: &[bool],
+        y_pred: &[bool],
+        measure: Measure,
+    ) -> Result<Self, ScanError> {
+        if points.len() != y_true.len() || points.len() != y_pred.len() {
+            return Err(ScanError::LengthMismatch {
+                points: points.len(),
+                labels: y_true.len().min(y_pred.len()),
+            });
+        }
+        let keep = |i: usize| match measure {
+            Measure::StatisticalParity => true,
+            Measure::EqualOpportunity => y_true[i],
+            Measure::EqualOddsFalsePositive => !y_true[i],
+        };
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..points.len() {
+            if keep(i) {
+                pts.push(points[i]);
+                labels.push(y_pred[i]);
+            }
+        }
+        SpatialOutcomes::new(pts, labels)
+    }
+
+    /// Number of observations (`N`).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if there are no observations (never true for a
+    /// successfully constructed value; useful for generic code).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The locations.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The outcome labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Number of positive outcomes (`P`).
+    pub fn positives(&self) -> u64 {
+        self.labels.iter().filter(|&&l| l).count() as u64
+    }
+
+    /// The global rate `ρ = P/N` of the audited measure.
+    pub fn rate(&self) -> f64 {
+        self.positives() as f64 / self.len() as f64
+    }
+
+    /// Labels as a bitset (for the index layer).
+    pub fn bit_labels(&self) -> BitLabels {
+        BitLabels::from_bools(&self.labels)
+    }
+
+    /// Tight bounding box of the locations.
+    pub fn bounding_box(&self) -> Rect {
+        BoundingBox::of_points(&self.points).expect("outcomes are non-empty")
+    }
+
+    /// Bounding box expanded so every point is strictly interior —
+    /// what grids and partitionings should be built on.
+    pub fn expanded_bounding_box(&self) -> Rect {
+        BoundingBox::of_points_expanded(&self.points, 1e-6).expect("outcomes are non-empty")
+    }
+
+    /// Validates that the outcome set is auditable: it must contain
+    /// both classes, otherwise the scan statistic is identically zero.
+    pub fn check_auditable(&self) -> Result<(), ScanError> {
+        let n = self.len() as u64;
+        let p = self.positives();
+        if p == 0 || p == n {
+            return Err(ScanError::DegenerateOutcomes { n, p });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let o = SpatialOutcomes::new(pts(4), vec![true, false, true, true]).unwrap();
+        assert_eq!(o.len(), 4);
+        assert_eq!(o.positives(), 3);
+        assert!((o.rate() - 0.75).abs() < 1e-12);
+        assert_eq!(o.bit_labels().count_ones(), 3);
+        assert_eq!(o.bounding_box(), Rect::from_coords(0.0, 0.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(
+            SpatialOutcomes::new(pts(2), vec![true]).unwrap_err(),
+            ScanError::LengthMismatch {
+                points: 2,
+                labels: 1
+            }
+        );
+        assert_eq!(
+            SpatialOutcomes::new(vec![], vec![]).unwrap_err(),
+            ScanError::EmptyOutcomes
+        );
+        let bad = vec![Point::new(0.0, 0.0), Point::new(f64::NAN, 1.0)];
+        assert_eq!(
+            SpatialOutcomes::new(bad, vec![true, false]).unwrap_err(),
+            ScanError::NonFiniteLocation { index: 1 }
+        );
+    }
+
+    #[test]
+    fn statistical_parity_keeps_everyone() {
+        let y = vec![true, false, true, false];
+        let yh = vec![true, true, false, false];
+        let o = SpatialOutcomes::from_predictions(&pts(4), &y, &yh, Measure::StatisticalParity)
+            .unwrap();
+        assert_eq!(o.len(), 4);
+        assert_eq!(o.labels(), yh.as_slice());
+    }
+
+    #[test]
+    fn equal_opportunity_keeps_true_positive_class() {
+        let y = vec![true, false, true, false];
+        let yh = vec![true, true, false, false];
+        let o =
+            SpatialOutcomes::from_predictions(&pts(4), &y, &yh, Measure::EqualOpportunity).unwrap();
+        // Individuals 0 and 2 have y = 1; their predictions are [true, false].
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.labels(), &[true, false]);
+        assert_eq!(o.points()[0].x, 0.0);
+        assert_eq!(o.points()[1].x, 2.0);
+        assert!((o.rate() - 0.5).abs() < 1e-12); // TPR
+    }
+
+    #[test]
+    fn equal_odds_keeps_true_negative_class() {
+        let y = vec![true, false, true, false];
+        let yh = vec![true, true, false, false];
+        let o =
+            SpatialOutcomes::from_predictions(&pts(4), &y, &yh, Measure::EqualOddsFalsePositive)
+                .unwrap();
+        // Individuals 1 and 3 have y = 0; predictions [true, false] -> FPR 0.5.
+        assert_eq!(o.len(), 2);
+        assert!((o.rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_outcomes_flagged() {
+        let o = SpatialOutcomes::new(pts(3), vec![true, true, true]).unwrap();
+        assert!(matches!(
+            o.check_auditable().unwrap_err(),
+            ScanError::DegenerateOutcomes { n: 3, p: 3 }
+        ));
+        let o = SpatialOutcomes::new(pts(3), vec![false, false, false]).unwrap();
+        assert!(o.check_auditable().is_err());
+        let o = SpatialOutcomes::new(pts(3), vec![true, false, true]).unwrap();
+        assert!(o.check_auditable().is_ok());
+    }
+
+    #[test]
+    fn measure_display() {
+        assert!(Measure::StatisticalParity.to_string().contains("parity"));
+        assert!(Measure::EqualOpportunity
+            .to_string()
+            .contains("true positive"));
+        assert!(Measure::EqualOddsFalsePositive
+            .to_string()
+            .contains("false positive"));
+    }
+}

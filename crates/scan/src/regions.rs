@@ -1,0 +1,290 @@
+//! Candidate region enumeration.
+//!
+//! The paper scans a *predetermined set of regions* `R` (§3). This
+//! module provides the sets used in the evaluation plus extensions:
+//!
+//! * the partitions of a regular grid (§4.2: `100×50`, `25×12`,
+//!   `20×20`);
+//! * the partitions of one or many random rectangular partitionings
+//!   (§4.2's `MeanVar`-compatible setting: 100 partitionings with
+//!   10–40 splits per axis);
+//! * square regions of several side lengths centered on k-means
+//!   centers of the observation locations (§4.3: 20 sides from 0.1 to
+//!   2.0 degrees × 100 centers = 2,000 squares);
+//! * circles around the same centers (extension).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sfcluster::{KMeans, KMeansConfig};
+use sfgeo::{Circle, Partitioning, Point, RandomPartitioningConfig, Rect, Region, UniformGrid};
+
+/// A set of candidate scan regions, with optional structure metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSet {
+    regions: Vec<Region>,
+    /// For square/circle scans: the index of the center each region is
+    /// built around (drives the §4.3 non-overlapping selection).
+    center_ids: Option<Vec<usize>>,
+    /// The scan centers themselves, when applicable.
+    centers: Option<Vec<Point>>,
+    /// Human-readable description of how the set was built.
+    description: String,
+}
+
+impl RegionSet {
+    /// Wraps an explicit list of regions.
+    pub fn from_regions(regions: Vec<Region>) -> Self {
+        RegionSet {
+            description: format!("{} explicit regions", regions.len()),
+            regions,
+            center_ids: None,
+            centers: None,
+        }
+    }
+
+    /// The partitions of a regular `nx × ny` grid over `bounds`.
+    pub fn regular_grid(bounds: Rect, nx: usize, ny: usize) -> Self {
+        let grid = UniformGrid::new(bounds, nx, ny);
+        let regions = grid.iter_cells().map(|(_, r)| Region::Rect(r)).collect();
+        RegionSet {
+            regions,
+            center_ids: None,
+            centers: None,
+            description: format!("{nx}x{ny} regular grid partitions"),
+        }
+    }
+
+    /// The partitions of one partitioning.
+    pub fn from_partitioning(p: &Partitioning) -> Self {
+        let regions = p.iter_partitions().map(|(_, r)| Region::Rect(r)).collect();
+        RegionSet {
+            regions,
+            center_ids: None,
+            centers: None,
+            description: format!("partitioning with {}x{} partitions", p.ncols(), p.nrows()),
+        }
+    }
+
+    /// The union of the partitions of many partitionings (the §4.2
+    /// `MeanVar`-compatible setting: "we restrict our methodology to
+    /// only audit for fairness the partitions that belong to the
+    /// partitionings").
+    pub fn from_partitionings(ps: &[Partitioning]) -> Self {
+        let mut regions = Vec::new();
+        for p in ps {
+            regions.extend(p.iter_partitions().map(|(_, r)| Region::Rect(r)));
+        }
+        RegionSet {
+            description: format!(
+                "{} partitions from {} partitionings",
+                regions.len(),
+                ps.len()
+            ),
+            regions,
+            center_ids: None,
+            centers: None,
+        }
+    }
+
+    /// `count` random partitionings drawn per the paper's §4.2 setup.
+    pub fn random_partitionings<R: Rng + ?Sized>(
+        bounds: Rect,
+        count: usize,
+        config: &RandomPartitioningConfig,
+        rng: &mut R,
+    ) -> (Vec<Partitioning>, Self) {
+        let ps: Vec<Partitioning> = (0..count)
+            .map(|_| Partitioning::random(bounds, config, rng))
+            .collect();
+        let set = Self::from_partitionings(&ps);
+        (ps, set)
+    }
+
+    /// Squares of every side length in `sides`, centered on each of
+    /// `centers` (§4.3). Region order is center-major: all sides of
+    /// center 0, then center 1, …
+    pub fn squares(centers: Vec<Point>, sides: &[f64]) -> Self {
+        assert!(!sides.is_empty(), "need at least one side length");
+        let mut regions = Vec::with_capacity(centers.len() * sides.len());
+        let mut center_ids = Vec::with_capacity(regions.capacity());
+        for (ci, c) in centers.iter().enumerate() {
+            for &s in sides {
+                regions.push(Region::Rect(Rect::square(*c, s)));
+                center_ids.push(ci);
+            }
+        }
+        RegionSet {
+            description: format!(
+                "{} squares ({} centers x {} sides)",
+                regions.len(),
+                centers.len(),
+                sides.len()
+            ),
+            regions,
+            center_ids: Some(center_ids),
+            centers: Some(centers),
+        }
+    }
+
+    /// Circles of every radius in `radii` around each center
+    /// (Kulldorff-style extension).
+    pub fn circles(centers: Vec<Point>, radii: &[f64]) -> Self {
+        assert!(!radii.is_empty(), "need at least one radius");
+        let mut regions = Vec::with_capacity(centers.len() * radii.len());
+        let mut center_ids = Vec::with_capacity(regions.capacity());
+        for (ci, c) in centers.iter().enumerate() {
+            for &r in radii {
+                regions.push(Region::Circle(Circle::new(*c, r)));
+                center_ids.push(ci);
+            }
+        }
+        RegionSet {
+            description: format!(
+                "{} circles ({} centers x {} radii)",
+                regions.len(),
+                centers.len(),
+                radii.len()
+            ),
+            regions,
+            center_ids: Some(center_ids),
+            centers: Some(centers),
+        }
+    }
+
+    /// The paper's §4.3 construction: k-means the observation
+    /// locations into `k` centers, then scan squares of the given side
+    /// lengths around each center.
+    pub fn square_scan_kmeans(points: &[Point], k: usize, sides: &[f64], seed: u64) -> Self {
+        let km = KMeans::fit(points, &KMeansConfig::new(k, seed));
+        Self::squares(km.centers, sides)
+    }
+
+    /// The paper's 20 side lengths: 0.1, 0.2, …, 2.0 degrees.
+    pub fn paper_side_lengths() -> Vec<f64> {
+        (1..=20).map(|i| i as f64 * 0.1).collect()
+    }
+
+    /// The regions.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Returns `true` if the set has no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The scan center index a region was built around, when the set
+    /// has center structure.
+    pub fn center_id(&self, region_index: usize) -> Option<usize> {
+        self.center_ids.as_ref().map(|c| c[region_index])
+    }
+
+    /// The scan centers, when applicable.
+    pub fn centers(&self) -> Option<&[Point]> {
+        self.centers.as_deref()
+    }
+
+    /// How the set was constructed (for reports).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn bounds() -> Rect {
+        Rect::from_coords(0.0, 0.0, 10.0, 10.0)
+    }
+
+    #[test]
+    fn regular_grid_counts() {
+        let rs = RegionSet::regular_grid(bounds(), 4, 5);
+        assert_eq!(rs.len(), 20);
+        assert!(rs.center_id(0).is_none());
+        // Areas tile the bounds.
+        let total: f64 = rs.regions().iter().map(|r| r.area()).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_partitionings_concatenates() {
+        let p1 = Partitioning::regular(bounds(), 2, 2);
+        let p2 = Partitioning::regular(bounds(), 3, 1);
+        let rs = RegionSet::from_partitionings(&[p1, p2]);
+        assert_eq!(rs.len(), 4 + 3);
+    }
+
+    #[test]
+    fn random_partitionings_respect_config() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let cfg = RandomPartitioningConfig {
+            min_splits: 2,
+            max_splits: 5,
+        };
+        let (ps, rs) = RegionSet::random_partitionings(bounds(), 10, &cfg, &mut rng);
+        assert_eq!(ps.len(), 10);
+        let expected: usize = ps.iter().map(|p| p.num_partitions()).sum();
+        assert_eq!(rs.len(), expected);
+    }
+
+    #[test]
+    fn squares_center_major_order() {
+        let centers = vec![Point::new(1.0, 1.0), Point::new(5.0, 5.0)];
+        let rs = RegionSet::squares(centers.clone(), &[0.5, 1.0, 2.0]);
+        assert_eq!(rs.len(), 6);
+        assert_eq!(rs.center_id(0), Some(0));
+        assert_eq!(rs.center_id(2), Some(0));
+        assert_eq!(rs.center_id(3), Some(1));
+        assert_eq!(rs.centers().unwrap(), centers.as_slice());
+        // First region is the 0.5-side square at center 0.
+        match rs.regions()[0] {
+            Region::Rect(r) => {
+                assert!((r.width() - 0.5).abs() < 1e-12);
+                assert_eq!(r.center(), centers[0]);
+            }
+            _ => panic!("expected rect"),
+        }
+    }
+
+    #[test]
+    fn paper_side_lengths_match_section_4_3() {
+        let sides = RegionSet::paper_side_lengths();
+        assert_eq!(sides.len(), 20);
+        assert!((sides[0] - 0.1).abs() < 1e-12);
+        assert!((sides[19] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_scan_kmeans_builds_k_times_sides() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let points: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect();
+        let rs = RegionSet::square_scan_kmeans(&points, 7, &[0.5, 1.0], 11);
+        assert_eq!(rs.len(), 14);
+        assert_eq!(rs.centers().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn circles_are_circles() {
+        let rs = RegionSet::circles(vec![Point::ORIGIN], &[1.0, 2.0]);
+        assert_eq!(rs.len(), 2);
+        assert!(matches!(rs.regions()[1], Region::Circle(_)));
+    }
+
+    #[test]
+    fn descriptions_are_informative() {
+        let rs = RegionSet::regular_grid(bounds(), 100, 50);
+        assert!(rs.description().contains("100x50"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Audit results.
+
+use crate::config::AuditConfig;
+use crate::direction::Direction;
+use serde::{Deserialize, Serialize};
+use sfgeo::Region;
+
+/// The audit's answer to "is it fair?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The spatial-fairness null hypothesis is *not* rejected at the
+    /// configured level: the observed outcomes are consistent with a
+    /// single location-independent rate.
+    Fair,
+    /// The null is rejected: some region's outcome distribution differs
+    /// significantly from the rest of the space.
+    Unfair,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Fair => write!(f, "FAIR"),
+            Verdict::Unfair => write!(f, "UNFAIR"),
+        }
+    }
+}
+
+/// One region's evidence in the audit (§3's identification step).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionFinding {
+    /// Index into the scanned region set.
+    pub index: usize,
+    /// The region geometry.
+    pub region: Region,
+    /// Scan-center index this region was built around, when the set
+    /// has center structure (§4.3 square scans).
+    pub center_id: Option<usize>,
+    /// Observations inside (`n(R)`).
+    pub n: u64,
+    /// Positives inside (`p(R)`).
+    pub p: u64,
+    /// Local rate `ρ(R) = p/n`.
+    pub rate: f64,
+    /// Log-likelihood ratio (the log-domain SUL ranking key).
+    pub llr: f64,
+}
+
+impl std::fmt::Display for RegionFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "region #{}: n={}, p={}, rate={:.3}, LLR={:.2} @ {}",
+            self.index, self.n, self.p, self.rate, self.llr, self.region
+        )
+    }
+}
+
+/// Full result of a spatial-fairness audit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Configuration the audit ran with.
+    pub config: AuditConfig,
+    /// Total observations `N`.
+    pub n_total: u64,
+    /// Total positives `P`.
+    pub p_total: u64,
+    /// Global rate `ρ = P/N` of the audited measure.
+    pub rate: f64,
+    /// Number of regions scanned.
+    pub num_regions: usize,
+    /// Description of the scanned region set.
+    pub region_set: String,
+    /// The test statistic `τ = max_R LLR(R)` of the real world.
+    pub tau: f64,
+    /// Index of the region attaining `τ`.
+    pub best_region_index: usize,
+    /// Monte Carlo p-value `k/w` of `τ`.
+    pub p_value: f64,
+    /// Critical LLR value at the configured `α` (regions above it are
+    /// individually significant; the paper's "9.6 at the 0.005 level").
+    pub critical_value: f64,
+    /// All individually significant regions, sorted by LLR descending
+    /// (the paper's ranking by SUL).
+    pub findings: Vec<RegionFinding>,
+    /// The simulated max-statistic distribution (diagnostics; length =
+    /// number of simulated worlds).
+    pub simulated: Vec<f64>,
+}
+
+impl AuditReport {
+    /// The audit verdict at the configured significance level.
+    pub fn verdict(&self) -> Verdict {
+        if self.p_value <= self.config.alpha {
+            Verdict::Unfair
+        } else {
+            Verdict::Fair
+        }
+    }
+
+    /// `true` iff the verdict is [`Verdict::Unfair`].
+    pub fn is_unfair(&self) -> bool {
+        self.verdict() == Verdict::Unfair
+    }
+
+    /// `true` iff the verdict is [`Verdict::Fair`].
+    pub fn is_fair(&self) -> bool {
+        self.verdict() == Verdict::Fair
+    }
+
+    /// The top-`k` findings by LLR (the paper's evidence step: "we
+    /// then return the top-k regions as evidence").
+    pub fn top_k(&self, k: usize) -> &[RegionFinding] {
+        &self.findings[..k.min(self.findings.len())]
+    }
+
+    /// Serialises the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Spatial fairness audit")?;
+        writeln!(
+            f,
+            "  data: N={}, P={}, rate={:.4}",
+            self.n_total, self.p_total, self.rate
+        )?;
+        writeln!(f, "  regions: {} ({})", self.num_regions, self.region_set)?;
+        writeln!(
+            f,
+            "  direction: {}, alpha={}, worlds={}",
+            self.config.direction, self.config.alpha, self.config.worlds
+        )?;
+        writeln!(
+            f,
+            "  tau={:.3}, p-value={:.4}, critical LLR={:.3}",
+            self.tau, self.p_value, self.critical_value
+        )?;
+        writeln!(
+            f,
+            "  verdict: {} ({} significant regions)",
+            self.verdict(),
+            self.findings.len()
+        )?;
+        for finding in self.top_k(5) {
+            writeln!(f, "    {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compile-time sanity: keep `Direction` re-exported type in the public
+/// report path so serialisation stays stable.
+#[allow(dead_code)]
+fn _assert_direction_serde(d: Direction) -> String {
+    serde_json::to_string(&d).expect("direction serialises")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfgeo::Rect;
+
+    fn report(p_value: f64) -> AuditReport {
+        AuditReport {
+            config: AuditConfig::new(0.05).with_worlds(99),
+            n_total: 100,
+            p_total: 60,
+            rate: 0.6,
+            num_regions: 4,
+            region_set: "test regions".into(),
+            tau: 12.5,
+            best_region_index: 2,
+            p_value,
+            critical_value: 9.6,
+            findings: vec![RegionFinding {
+                index: 2,
+                region: Region::Rect(Rect::from_coords(0.0, 0.0, 1.0, 1.0)),
+                center_id: None,
+                n: 30,
+                p: 28,
+                rate: 28.0 / 30.0,
+                llr: 12.5,
+            }],
+            simulated: vec![1.0; 99],
+        }
+    }
+
+    #[test]
+    fn verdict_thresholds() {
+        assert_eq!(report(0.01).verdict(), Verdict::Unfair);
+        assert_eq!(report(0.05).verdict(), Verdict::Unfair); // <= alpha
+        assert_eq!(report(0.06).verdict(), Verdict::Fair);
+        assert!(report(0.01).is_unfair());
+        assert!(report(0.5).is_fair());
+    }
+
+    #[test]
+    fn top_k_clamps() {
+        let r = report(0.01);
+        assert_eq!(r.top_k(0).len(), 0);
+        assert_eq!(r.top_k(1).len(), 1);
+        assert_eq!(r.top_k(10).len(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = report(0.02);
+        let json = r.to_json();
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn display_contains_verdict_and_stats() {
+        let s = report(0.01).to_string();
+        assert!(s.contains("UNFAIR"));
+        assert!(s.contains("tau=12.500"));
+        assert!(s.contains("N=100"));
+    }
+
+    #[test]
+    fn finding_display() {
+        let r = report(0.01);
+        let s = r.findings[0].to_string();
+        assert!(s.contains("n=30"));
+        assert!(s.contains("LLR=12.50"));
+    }
+}

@@ -1,0 +1,231 @@
+//! One-call audit suites.
+//!
+//! A real deployment rarely runs a single test: the paper itself audits
+//! two-sided (Figure 5), one-sided low (Figure 11, "red") and one-sided
+//! high (Figure 12, "green") on the same data and region set. The
+//! suite runs all three with one engine configuration and decorates
+//! every finding with a Wilson confidence interval for its local rate,
+//! giving an auditor the complete §4.3-style picture in one call.
+
+use crate::audit::Auditor;
+use crate::config::AuditConfig;
+use crate::direction::Direction;
+use crate::error::ScanError;
+use crate::identify::select_non_overlapping;
+use crate::outcomes::SpatialOutcomes;
+use crate::regions::RegionSet;
+use crate::report::{AuditReport, RegionFinding};
+use serde::{Deserialize, Serialize};
+use sfstats::interval::{wilson_interval, ProportionInterval, Z_95};
+use sfstats::rng::derive_seed;
+
+/// A finding decorated with its rate confidence interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnotatedFinding {
+    /// The underlying finding.
+    pub finding: RegionFinding,
+    /// Wilson 95% interval for the region's local rate.
+    pub rate_ci: ProportionInterval,
+}
+
+impl std::fmt::Display for AnnotatedFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rate CI [{:.3}, {:.3}]",
+            self.finding, self.rate_ci.lo, self.rate_ci.hi
+        )
+    }
+}
+
+/// Results of one direction within a suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DirectionalResult {
+    /// The direction audited.
+    pub direction: Direction,
+    /// The full report.
+    pub report: AuditReport,
+    /// Non-overlapping evidence (the §4.3 presentation pass),
+    /// decorated with confidence intervals.
+    pub evidence: Vec<AnnotatedFinding>,
+}
+
+/// A complete three-direction audit of one outcome set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Two-sided result (the headline verdict).
+    pub two_sided: DirectionalResult,
+    /// One-sided low ("red", under-served regions).
+    pub low: DirectionalResult,
+    /// One-sided high ("green", over-served regions).
+    pub high: DirectionalResult,
+}
+
+impl SuiteReport {
+    /// The headline verdict (two-sided).
+    pub fn verdict(&self) -> crate::report::Verdict {
+        self.two_sided.report.verdict()
+    }
+
+    /// Serialises the suite as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("suite serialisation cannot fail")
+    }
+}
+
+impl std::fmt::Display for SuiteReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Audit suite: {} (two-sided p={:.4})",
+            self.verdict(),
+            self.two_sided.report.p_value
+        )?;
+        for dir in [&self.two_sided, &self.low, &self.high] {
+            writeln!(
+                f,
+                "  {}: {} significant, {} non-overlapping",
+                dir.direction,
+                dir.report.findings.len(),
+                dir.evidence.len()
+            )?;
+            for e in dir.evidence.iter().take(3) {
+                writeln!(f, "    {e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the three-direction suite.
+///
+/// Each direction gets an independent Monte Carlo seed derived from the
+/// base config's seed, so the three calibrations are independent while
+/// the whole suite stays deterministic.
+pub fn run_suite(
+    config: AuditConfig,
+    outcomes: &SpatialOutcomes,
+    regions: &RegionSet,
+) -> Result<SuiteReport, ScanError> {
+    let run_one = |direction: Direction, tag: &str| -> Result<DirectionalResult, ScanError> {
+        let cfg = config
+            .with_direction(direction)
+            .with_seed(derive_seed(config.seed, tag));
+        let report = Auditor::new(cfg).audit(outcomes, regions)?;
+        let evidence = select_non_overlapping(&report.findings)
+            .into_iter()
+            .map(|finding| AnnotatedFinding {
+                rate_ci: wilson_interval(finding.p, finding.n, Z_95),
+                finding,
+            })
+            .collect();
+        Ok(DirectionalResult {
+            direction,
+            report,
+            evidence,
+        })
+    };
+    Ok(SuiteReport {
+        two_sided: run_one(Direction::TwoSided, "suite-two-sided")?,
+        low: run_one(Direction::Low, "suite-low")?,
+        high: run_one(Direction::High, "suite-high")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use sfgeo::{Point, Rect};
+
+    fn split_outcomes(n: usize, seed: u64) -> SpatialOutcomes {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut points = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..10.0);
+            let y: f64 = rng.gen_range(0.0..10.0);
+            let rate = if x < 5.0 { 0.8 } else { 0.3 };
+            points.push(Point::new(x, y));
+            labels.push(rng.gen_bool(rate));
+        }
+        SpatialOutcomes::new(points, labels).unwrap()
+    }
+
+    fn regions() -> RegionSet {
+        RegionSet::regular_grid(Rect::from_coords(0.0, 0.0, 10.0, 10.0), 4, 4)
+    }
+
+    #[test]
+    fn suite_runs_all_three_directions() {
+        let o = split_outcomes(3000, 1);
+        let cfg = AuditConfig::new(0.01).with_worlds(199).with_seed(2);
+        let suite = run_suite(cfg, &o, &regions()).unwrap();
+        assert!(suite.two_sided.report.is_unfair());
+        assert!(suite.low.report.is_unfair());
+        assert!(suite.high.report.is_unfair());
+        // Directions are recorded correctly.
+        assert_eq!(suite.low.direction, Direction::Low);
+        assert_eq!(suite.high.direction, Direction::High);
+        // Evidence is non-empty and annotated with sane intervals.
+        for dir in [&suite.two_sided, &suite.low, &suite.high] {
+            assert!(!dir.evidence.is_empty());
+            for e in &dir.evidence {
+                assert!(e.rate_ci.contains(e.finding.rate));
+            }
+        }
+    }
+
+    #[test]
+    fn low_and_high_evidence_sit_on_their_sides() {
+        let o = split_outcomes(3000, 3);
+        let cfg = AuditConfig::new(0.01).with_worlds(199).with_seed(4);
+        let suite = run_suite(cfg, &o, &regions()).unwrap();
+        for e in &suite.low.evidence {
+            assert!(
+                e.finding.region.center().x > 5.0,
+                "red evidence on the right half"
+            );
+        }
+        for e in &suite.high.evidence {
+            assert!(
+                e.finding.region.center().x < 5.0,
+                "green evidence on the left half"
+            );
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let o = split_outcomes(800, 5);
+        let cfg = AuditConfig::new(0.05).with_worlds(99).with_seed(6);
+        let a = run_suite(cfg, &o, &regions()).unwrap();
+        let b = run_suite(cfg, &o, &regions()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn suite_serialises() {
+        let o = split_outcomes(500, 7);
+        let cfg = AuditConfig::new(0.05).with_worlds(49).with_seed(8);
+        let suite = run_suite(cfg, &o, &regions()).unwrap();
+        let json = suite.to_json();
+        let back: SuiteReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, suite);
+        // Display renders without panicking and mentions the verdict.
+        let s = suite.to_string();
+        assert!(s.contains("Audit suite"));
+    }
+
+    #[test]
+    fn degenerate_data_errors_cleanly() {
+        let o = SpatialOutcomes::new(
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)],
+            vec![true, true],
+        )
+        .unwrap();
+        let cfg = AuditConfig::new(0.05).with_worlds(49).with_seed(9);
+        assert!(run_suite(cfg, &o, &regions()).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Walker's alias method for O(1) categorical sampling.
+//!
+//! The Poisson/rate audit's Monte Carlo conditions on the total event
+//! count and redistributes events over cells proportionally to
+//! exposure — a multinomial draw realised as `C` categorical samples.
+//! The alias method makes each sample O(1) after O(K) preprocessing,
+//! so a world costs O(C + K).
+
+use rand::Rng;
+
+/// Precomputed alias table over `K` categories.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability per slot (scaled to [0,1]).
+    prob: Vec<f64>,
+    /// Alias category per slot.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one category"
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let k = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * k as f64 / total).collect();
+        let mut alias: Vec<u32> = (0..k as u32).collect();
+        // Partition into under- and over-full slots.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Donate mass from l to fill s's slot.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are numerically-full slots.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns `true` if the table has no categories (never true for a
+    /// successfully constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let slot = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot] as usize
+        }
+    }
+
+    /// Draws `count` samples and returns the per-category histogram —
+    /// one multinomial realisation.
+    pub fn sample_counts<R: Rng + ?Sized>(&self, count: u64, rng: &mut R) -> Vec<u64> {
+        let mut hist = vec![0u64; self.len()];
+        for _ in 0..count {
+            hist[self.sample(rng)] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn single_category_always_wins() {
+        let t = AliasTable::new(&[3.5]);
+        let mut rng = seeded_rng(1);
+        for _ in 0..50 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_drawn() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0, 0.0]);
+        let mut rng = seeded_rng(2);
+        let hist = t.sample_counts(10_000, &mut rng);
+        assert_eq!(hist[1], 0);
+        assert_eq!(hist[3], 0);
+        assert_eq!(hist[0] + hist[2], 10_000);
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights);
+        let mut rng = seeded_rng(3);
+        let n = 200_000u64;
+        let hist = t.sample_counts(n, &mut rng);
+        let total_w: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total_w;
+            let observed = hist[i] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "category {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_weights_are_handled() {
+        // One dominant category plus a long tail.
+        let mut weights = vec![1e-6; 100];
+        weights[7] = 1e6;
+        let t = AliasTable::new(&weights);
+        let mut rng = seeded_rng(4);
+        let hist = t.sample_counts(10_000, &mut rng);
+        assert!(hist[7] > 9_900, "dominant category drew {}", hist[7]);
+    }
+
+    #[test]
+    fn uniform_weights_are_uniform() {
+        let t = AliasTable::new(&[1.0; 10]);
+        let mut rng = seeded_rng(5);
+        let hist = t.sample_counts(100_000, &mut rng);
+        for &h in &hist {
+            assert!((h as f64 - 10_000.0).abs() < 500.0, "count {h}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = AliasTable::new(&[0.2, 0.3, 0.5]);
+        let a = t.sample_counts(1000, &mut seeded_rng(6));
+        let b = t.sample_counts(1000, &mut seeded_rng(6));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_weights_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = AliasTable::new(&[1.0, -0.1]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Binomial distribution utilities.
+//!
+//! The scan statistic itself only needs `xlogy`-style kernels (see
+//! [`crate::llr`]); this module provides the full Binomial toolkit used
+//! by tests, the exact per-region binomial cross-check (an extension;
+//! see DESIGN.md §6), and the figure-6 demonstration that all-negative
+//! clusters arise by chance under the null.
+
+use serde::{Deserialize, Serialize};
+
+/// Natural log of `n!`, exact-table for small `n`, Stirling series
+/// otherwise (absolute error < 1e-10 for all `n`).
+pub fn ln_factorial(n: u64) -> f64 {
+    const TABLE_LEN: usize = 257;
+    // Lazily built exact table for n < 257.
+    static TABLE: std::sync::OnceLock<[f64; TABLE_LEN]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0.0f64; TABLE_LEN];
+        let mut acc = 0.0f64;
+        for (i, slot) in t.iter_mut().enumerate().skip(1) {
+            acc += (i as f64).ln();
+            *slot = acc;
+        }
+        t
+    });
+    if (n as usize) < TABLE_LEN {
+        return table[n as usize];
+    }
+    // Stirling's series with three correction terms.
+    let x = n as f64;
+    let ln2pi = (2.0 * std::f64::consts::PI).ln();
+    (x + 0.5) * x.ln() - x + 0.5 * ln2pi + 1.0 / (12.0 * x) - 1.0 / (360.0 * x.powi(3))
+        + 1.0 / (1260.0 * x.powi(5))
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose: k={k} > n={n}");
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Log of the Binomial(n, rho) probability mass at `k`.
+///
+/// Returns `-inf` for impossible outcomes (e.g. `k > 0` when `rho = 0`).
+pub fn ln_binomial_pmf(k: u64, n: u64, rho: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&rho),
+        "rho must be in [0,1], got {rho}"
+    );
+    assert!(k <= n, "ln_binomial_pmf: k={k} > n={n}");
+    if rho == 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    if rho == 1.0 {
+        return if k == n { 0.0 } else { f64::NEG_INFINITY };
+    }
+    ln_choose(n, k) + k as f64 * rho.ln() + (n - k) as f64 * (1.0 - rho).ln()
+}
+
+/// Binomial(n, rho) probability mass at `k`.
+pub fn binomial_pmf(k: u64, n: u64, rho: f64) -> f64 {
+    ln_binomial_pmf(k, n, rho).exp()
+}
+
+/// Binomial(n, rho) lower cumulative probability `P(X ≤ k)`.
+///
+/// Direct summation; O(k). Fine for the test/extension workloads this
+/// crate serves (the scan kernel never calls it).
+pub fn binomial_cdf(k: u64, n: u64, rho: f64) -> f64 {
+    assert!(k <= n, "binomial_cdf: k={k} > n={n}");
+    let mut acc = 0.0;
+    for i in 0..=k {
+        acc += binomial_pmf(i, n, rho);
+    }
+    acc.min(1.0)
+}
+
+/// Result of an exact binomial test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinomialTest {
+    /// Observed successes.
+    pub k: u64,
+    /// Trials.
+    pub n: u64,
+    /// Null success probability.
+    pub rho: f64,
+    /// Two-sided p-value (small-pmf method).
+    pub p_value: f64,
+}
+
+/// Exact two-sided binomial test (small-pmf method: sums the masses of
+/// all outcomes no more likely than the observed one).
+///
+/// Used as a per-region cross-check for the scan statistic: a region
+/// flagged by a huge LLR should also have a tiny binomial p-value
+/// against the global rate (ignoring multiplicity).
+pub fn binomial_test_two_sided(k: u64, n: u64, rho: f64) -> BinomialTest {
+    assert!(k <= n, "binomial_test: k={k} > n={n}");
+    let observed = binomial_pmf(k, n, rho);
+    // Tolerance for "no more likely": relative epsilon guards float noise.
+    let thresh = observed * (1.0 + 1e-7);
+    let mut p = 0.0;
+    for i in 0..=n {
+        let m = binomial_pmf(i, n, rho);
+        if m <= thresh {
+            p += m;
+        }
+    }
+    BinomialTest {
+        k,
+        n,
+        rho,
+        p_value: p.min(1.0),
+    }
+}
+
+/// Probability that a fixed set of `m` specific observations is
+/// all-negative under a fair Bernoulli(ρ) labelling: `(1-ρ)^m`.
+///
+/// This is the quantity behind the paper's Appendix A: "it is not that
+/// uncommon to find a region that contains at least five negatives and
+/// no positives by chance".
+pub fn all_negative_probability(m: u64, rho: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&rho));
+    (1.0 - rho).powi(m as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_small_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3628800f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_factorial_stirling_is_continuous_at_table_edge() {
+        // Compare table value at 256 with recursion from Stirling at 257.
+        let lhs = ln_factorial(257);
+        let rhs = ln_factorial(256) + 257f64.ln();
+        assert!((lhs - rhs).abs() < 1e-9, "diff {}", (lhs - rhs).abs());
+    }
+
+    #[test]
+    fn ln_factorial_large_matches_recurrence() {
+        let lhs = ln_factorial(10_000);
+        let rhs = ln_factorial(9_999) + 10_000f64.ln();
+        assert!((lhs - rhs).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ln_choose_known_values() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(10, 5) - 252f64.ln()).abs() < 1e-12);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, rho) in &[(10u64, 0.3), (25, 0.62), (100, 0.05)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(k, n, rho)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n} rho={rho} total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_known_value() {
+        // Binomial(4, 0.5) at 2 = 6/16.
+        assert!((binomial_pmf(2, 4, 0.5) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_degenerate_rho() {
+        assert_eq!(binomial_pmf(0, 5, 0.0), 1.0);
+        assert_eq!(binomial_pmf(1, 5, 0.0), 0.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binomial_pmf(4, 5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let n = 30;
+        let rho = 0.62;
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = binomial_cdf(k, n, rho);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert!((binomial_cdf(n, n, rho) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn two_sided_test_is_symmetric_for_fair_coin() {
+        let lo = binomial_test_two_sided(2, 20, 0.5);
+        let hi = binomial_test_two_sided(18, 20, 0.5);
+        assert!((lo.p_value - hi.p_value).abs() < 1e-10);
+        assert!(lo.p_value < 0.01);
+    }
+
+    #[test]
+    fn two_sided_test_center_is_not_significant() {
+        let t = binomial_test_two_sided(10, 20, 0.5);
+        assert!(t.p_value > 0.5);
+    }
+
+    #[test]
+    fn two_sided_test_handles_extremes() {
+        let t = binomial_test_two_sided(0, 50, 0.5);
+        assert!(t.p_value < 1e-12);
+        let t = binomial_test_two_sided(25, 50, 0.5);
+        assert!((t.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_negative_probability_matches_paper_intuition() {
+        // Five negatives under rho=0.62: a single fixed set of 5 points
+        // is all-negative with probability 0.38^5 ≈ 0.0079 — rare for
+        // ONE set, but with thousands of candidate regions such a
+        // cluster appears essentially always (Appendix A).
+        let p = all_negative_probability(5, 0.62);
+        assert!((p - 0.38f64.powi(5)).abs() < 1e-12);
+        // Expected count among 5000 disjoint 5-point cells: ~40.
+        assert!(5000.0 * p > 30.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Descriptive statistics: numerically stable moments and quantiles.
+//!
+//! The `MeanVar` baseline averages the variance of per-partition
+//! positive rates over many partitionings; these helpers provide the
+//! stable one-pass variance (Welford) it is built on.
+
+use serde::{Deserialize, Serialize};
+
+/// One-pass running mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divide by `n`; 0 when fewer than 1 value).
+    ///
+    /// The `MeanVar` baseline uses the population convention: variance
+    /// of the actual finite set of partition measures.
+    pub fn variance_population(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).max(0.0)
+        }
+    }
+
+    /// Sample variance (divide by `n − 1`; 0 when fewer than 2 values).
+    pub fn variance_sample(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).max(0.0)
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev_population(&self) -> f64 {
+        self.variance_population().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel-friendly).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+/// Computes the population mean and variance of a slice in one pass.
+pub fn mean_variance_population(values: &[f64]) -> (f64, f64) {
+    let mut acc = RunningMoments::new();
+    for &v in values {
+        acc.push(v);
+    }
+    (acc.mean(), acc.variance_population())
+}
+
+/// Linear-interpolation quantile of a slice (the `q`-th quantile for
+/// `q ∈ [0, 1]`), equivalent to numpy's default.
+///
+/// # Panics
+/// Panics if `values` is empty, `q` is outside `[0, 1]`, or any value
+/// is NaN.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile level must be in [0,1], got {q}"
+    );
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("quantile input must not contain NaN")
+    });
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator() {
+        let m = RunningMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance_population(), 0.0);
+        assert_eq!(m.variance_sample(), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut m = RunningMoments::new();
+        m.push(5.0);
+        assert_eq!(m.mean(), 5.0);
+        assert_eq!(m.variance_population(), 0.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        // Values 1..5: mean 3, population var 2, sample var 2.5.
+        let (mean, var) = mean_variance_population(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((mean - 3.0).abs() < 1e-12);
+        assert!((var - 2.0).abs() < 1e-12);
+        let mut m = RunningMoments::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            m.push(v);
+        }
+        assert!((m.variance_sample() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Naive sum-of-squares would catastrophically cancel here.
+        let offset = 1e9;
+        let vals: Vec<f64> = [1.0, 2.0, 3.0, 4.0, 5.0]
+            .iter()
+            .map(|v| v + offset)
+            .collect();
+        let (_, var) = mean_variance_population(&vals);
+        assert!((var - 2.0).abs() < 1e-6, "got {var}");
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningMoments::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance_population() - whole.variance_population()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningMoments::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&RunningMoments::new());
+        assert_eq!(a, before);
+        let mut e = RunningMoments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 3.0);
+        assert_eq!(quantile(&v, 0.5), 2.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile(&v, 0.25), 2.5);
+        assert_eq!(quantile(&v, 0.75), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Confidence intervals for proportions.
+//!
+//! Audit reports display local positive rates of flagged regions; the
+//! Wilson score interval quantifies their sampling uncertainty (it
+//! behaves well even for the extreme rates and small counts of the
+//! `MeanVar` false-evidence cells, unlike the Wald interval).
+
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval for a proportion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProportionInterval {
+    /// Lower bound (clamped to `[0, 1]`).
+    pub lo: f64,
+    /// Point estimate `k/n`.
+    pub estimate: f64,
+    /// Upper bound (clamped to `[0, 1]`).
+    pub hi: f64,
+}
+
+impl ProportionInterval {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval contains a value.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+}
+
+/// The z-value for a 95% two-sided interval.
+pub const Z_95: f64 = 1.959963984540054;
+
+/// The z-value for a 99% two-sided interval.
+pub const Z_99: f64 = 2.5758293035489004;
+
+/// Wilson score interval for `k` successes in `n` trials at the given
+/// z-value.
+///
+/// # Panics
+/// Panics if `n == 0`, `k > n`, or `z <= 0`.
+pub fn wilson_interval(k: u64, n: u64, z: f64) -> ProportionInterval {
+    assert!(n > 0, "Wilson interval needs at least one trial");
+    assert!(k <= n, "successes ({k}) exceed trials ({n})");
+    assert!(z > 0.0, "z must be positive");
+    let nf = n as f64;
+    let p = k as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = (p + z2 / (2.0 * nf)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
+    // At k=0 / k=n the bounds are mathematically exactly 0 / 1 but can
+    // round past the point estimate; clamp so `lo <= estimate <= hi`
+    // always holds.
+    ProportionInterval {
+        lo: (center - half).max(0.0).min(p),
+        estimate: p,
+        hi: (center + half).min(1.0).max(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_the_estimate() {
+        for &(k, n) in &[(0u64, 10u64), (5, 10), (10, 10), (62, 100), (1, 1000)] {
+            let ci = wilson_interval(k, n, Z_95);
+            assert!(ci.contains(ci.estimate), "k={k} n={n}");
+            assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+            assert!(ci.lo <= ci.hi);
+        }
+    }
+
+    #[test]
+    fn known_value_half_in_100() {
+        // Wilson 95% for 50/100: approximately (0.404, 0.596).
+        let ci = wilson_interval(50, 100, Z_95);
+        assert!((ci.lo - 0.4038).abs() < 0.001, "lo {}", ci.lo);
+        assert!((ci.hi - 0.5962).abs() < 0.001, "hi {}", ci.hi);
+    }
+
+    #[test]
+    fn extreme_rates_are_not_degenerate() {
+        // Unlike Wald, Wilson gives a non-zero-width interval at k=0.
+        let ci = wilson_interval(0, 5, Z_95);
+        assert_eq!(ci.estimate, 0.0);
+        assert_eq!(ci.lo, 0.0);
+        assert!(ci.hi > 0.3, "5 observations say little: hi {}", ci.hi);
+        // This is the paper's Figure 2(a) point, quantified: a 5-point
+        // all-negative cell is consistent with a true rate well above
+        // zero — even above 0.4.
+        assert!(ci.contains(0.43));
+    }
+
+    #[test]
+    fn width_shrinks_with_n() {
+        let small = wilson_interval(5, 10, Z_95);
+        let large = wilson_interval(500, 1000, Z_95);
+        assert!(large.width() < small.width() / 3.0);
+    }
+
+    #[test]
+    fn higher_confidence_is_wider() {
+        let z95 = wilson_interval(30, 100, Z_95);
+        let z99 = wilson_interval(30, 100, Z_99);
+        assert!(z99.width() > z95.width());
+        assert!(z99.lo <= z95.lo && z99.hi >= z95.hi);
+    }
+
+    #[test]
+    fn symmetric_under_complement() {
+        let a = wilson_interval(30, 100, Z_95);
+        let b = wilson_interval(70, 100, Z_95);
+        assert!((a.lo - (1.0 - b.hi)).abs() < 1e-12);
+        assert!((a.hi - (1.0 - b.lo)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = wilson_interval(0, 0, Z_95);
+    }
+}

@@ -1,0 +1,55 @@
+//! Statistics substrate for spatial-fairness auditing.
+//!
+//! This crate implements the statistical machinery of the paper:
+//!
+//! * [`llr`] — the **Bernoulli scan-statistic kernel** (paper §3,
+//!   Eq. 1): the spatial unfairness likelihood (SUL) and the
+//!   log-likelihood ratio of the alternate hypothesis
+//!   (`inside ≠ outside`) over the null (`inside = outside`), in
+//!   two-sided and one-sided (paper §B.2 "red"/"green") forms.
+//! * [`montecarlo`] — the Monte Carlo simulation used to calibrate the
+//!   test statistic's distribution (paper §3): parallel, deterministic
+//!   world evaluation with per-world RNG streams.
+//! * [`pvalue`] — rank-based p-values (`k/w`) and critical values (the
+//!   "log-likelihood differences beyond 9.6 are significant at the
+//!   0.005 level" machinery of §4.2).
+//! * [`binomial`] — log-factorials, binomial coefficients, pmf/cdf and
+//!   an exact two-sided binomial test used as a per-region cross-check.
+//! * [`descriptive`] — numerically stable mean/variance (Welford) and
+//!   quantiles, used by the `MeanVar` baseline.
+//! * [`rng`] — deterministic seeding helpers (independent per-world
+//!   ChaCha streams).
+//!
+//! # Example: the scan statistic and its calibration
+//!
+//! ```rust
+//! use sfstats::llr::{bernoulli_llr, Counts2x2};
+//! use sfstats::montecarlo::MonteCarlo;
+//! use rand::Rng;
+//!
+//! // A region with 30 of 40 positives in a world of 1000 with 500:
+//! let llr = bernoulli_llr(&Counts2x2::new(40, 30, 1000, 500));
+//! assert!(llr > 0.0);
+//!
+//! // Calibrate any statistic with deterministic Monte Carlo worlds:
+//! let mc = MonteCarlo::new(99, 7);
+//! let result = mc.run(llr, |rng| rng.gen::<f64>() * 3.0);
+//! assert!(result.p_value() <= 0.01); // llr ~ 6.6 dwarfs U(0,3) draws
+//! ```
+
+pub mod alias;
+pub mod binomial;
+pub mod descriptive;
+pub mod interval;
+pub mod llr;
+pub mod montecarlo;
+pub mod poisson;
+pub mod pvalue;
+pub mod rng;
+
+pub use alias::AliasTable;
+pub use interval::{wilson_interval, ProportionInterval};
+pub use llr::{bernoulli_llr, bernoulli_llr_directed, Counts2x2};
+pub use montecarlo::{MonteCarlo, MonteCarloResult};
+pub use poisson::{poisson_llr, poisson_llr_directed, PoissonCounts};
+pub use pvalue::{critical_value, rank_p_value, Direction};

@@ -1,0 +1,213 @@
+//! Monte Carlo calibration of the scan test statistic (paper §3).
+//!
+//! "We create alternate worlds assuming that the `N` individuals are
+//! located as in our data, but their label is determined by a Bernoulli
+//! trial with success probability `ρ`. … For each alternate world, we
+//! compute the `τ` statistic."
+//!
+//! This module provides the orchestration: the caller supplies a
+//! *world evaluator* — a closure that, given the world's RNG, generates
+//! labels and returns that world's maximum statistic `τ`. The engine
+//! runs the `w − 1` worlds in parallel with deterministic per-world RNG
+//! streams and assembles p-value and critical-value information.
+//!
+//! Keeping label generation in the caller lets the scan layer use its
+//! fast membership-list counting without this crate depending on
+//! spatial types.
+
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::pvalue::{critical_value, rank_p_value};
+use crate::rng::world_rng;
+
+/// Configuration and driver for a Monte Carlo significance simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonteCarlo {
+    /// Number of *simulated* worlds (`w − 1` in the paper's notation;
+    /// the real world makes it `w`).
+    pub worlds: usize,
+    /// Base seed; world `i` uses the independent stream
+    /// `world_rng(seed, i)`.
+    pub seed: u64,
+    /// Evaluate worlds in parallel (deterministic either way).
+    pub parallel: bool,
+}
+
+impl MonteCarlo {
+    /// Creates a simulation with the given number of simulated worlds.
+    pub fn new(worlds: usize, seed: u64) -> Self {
+        MonteCarlo {
+            worlds,
+            seed,
+            parallel: true,
+        }
+    }
+
+    /// Disables parallel evaluation (useful for benchmarks isolating
+    /// single-thread cost; results are identical).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Runs the simulation.
+    ///
+    /// `eval_world` receives the world's deterministic RNG and must
+    /// return that world's maximum statistic `τ`. `observed` is the real
+    /// world's statistic.
+    ///
+    /// # Panics
+    /// Panics if `worlds == 0`.
+    pub fn run<F>(&self, observed: f64, eval_world: F) -> MonteCarloResult
+    where
+        F: Fn(&mut ChaCha8Rng) -> f64 + Sync,
+    {
+        assert!(
+            self.worlds > 0,
+            "Monte Carlo needs at least one simulated world"
+        );
+        let simulate = |i: usize| -> f64 {
+            let mut rng = world_rng(self.seed, i as u64);
+            eval_world(&mut rng)
+        };
+        let simulated: Vec<f64> = if self.parallel {
+            (0..self.worlds).into_par_iter().map(simulate).collect()
+        } else {
+            (0..self.worlds).map(simulate).collect()
+        };
+        MonteCarloResult::new(observed, simulated)
+    }
+}
+
+/// Outcome of a Monte Carlo simulation: the observed statistic, the
+/// simulated max-statistic distribution, and derived quantities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloResult {
+    /// The real world's statistic `τ`.
+    pub observed: f64,
+    /// The `w − 1` simulated statistics.
+    pub simulated: Vec<f64>,
+}
+
+impl MonteCarloResult {
+    /// Builds a result from raw pieces (validating non-emptiness).
+    pub fn new(observed: f64, simulated: Vec<f64>) -> Self {
+        assert!(!simulated.is_empty(), "need at least one simulated world");
+        MonteCarloResult {
+            observed,
+            simulated,
+        }
+    }
+
+    /// Total number of worlds `w` (simulated + the real one).
+    pub fn num_worlds(&self) -> usize {
+        self.simulated.len() + 1
+    }
+
+    /// The rank p-value `k/w` of the observed statistic.
+    pub fn p_value(&self) -> f64 {
+        rank_p_value(self.observed, &self.simulated)
+    }
+
+    /// The significance threshold for *any* statistic at level `alpha`
+    /// (see [`critical_value`]): region statistics above this value are
+    /// individually significant.
+    pub fn critical_value(&self, alpha: f64) -> f64 {
+        critical_value(&self.simulated, alpha)
+    }
+
+    /// Whether the observed statistic is significant at `alpha`
+    /// (equivalently: `p_value() <= alpha`).
+    pub fn is_significant(&self, alpha: f64) -> bool {
+        self.p_value() <= alpha
+    }
+
+    /// Mean of the simulated distribution (diagnostic).
+    pub fn simulated_mean(&self) -> f64 {
+        self.simulated.iter().sum::<f64>() / self.simulated.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_across_runs_and_parallelism() {
+        let mc = MonteCarlo::new(50, 123);
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        let a = mc.run(0.5, eval);
+        let b = mc.run(0.5, eval);
+        assert_eq!(a, b);
+        let seq = MonteCarlo::new(50, 123).sequential().run(0.5, eval);
+        assert_eq!(a, seq, "parallel and sequential must agree exactly");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        let a = MonteCarlo::new(20, 1).run(0.5, eval);
+        let b = MonteCarlo::new(20, 2).run(0.5, eval);
+        assert_ne!(a.simulated, b.simulated);
+    }
+
+    #[test]
+    fn p_value_of_extreme_observation_is_minimal() {
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        let r = MonteCarlo::new(99, 7).run(1e9, eval);
+        assert_eq!(r.p_value(), 1.0 / 100.0);
+        assert!(r.is_significant(0.05));
+    }
+
+    #[test]
+    fn p_value_of_typical_observation_is_large() {
+        // Observation drawn from the same distribution as the sims
+        // should not be significant (median p around 0.5).
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        let r = MonteCarlo::new(999, 11).run(0.5, eval);
+        assert!(r.p_value() > 0.2 && r.p_value() < 0.8, "p={}", r.p_value());
+        assert!(!r.is_significant(0.05));
+    }
+
+    #[test]
+    fn uniform_null_calibration() {
+        // For a continuous statistic, the MC p-value of a null draw is
+        // (sub-)uniform: P(p <= alpha) ≈ alpha. Check the 10% level by
+        // repeating small simulations.
+        let mut hits = 0;
+        let trials = 200;
+        for t in 0..trials {
+            let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+            let mut obs_rng = crate::rng::seeded_rng(50_000 + t);
+            let observed: f64 = obs_rng.gen();
+            let r = MonteCarlo::new(39, 1000 + t).run(observed, eval);
+            if r.p_value() <= 0.1 {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!(
+            (rate - 0.1).abs() < 0.06,
+            "null rejection rate {rate} not ~0.1"
+        );
+    }
+
+    #[test]
+    fn critical_value_consistency() {
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        let r = MonteCarlo::new(999, 3).run(0.5, eval);
+        let c = r.critical_value(0.005);
+        // Exactly floor(0.005 * 1000) = 5 sims are >= c.
+        let above_eq = r.simulated.iter().filter(|&&s| s >= c).count();
+        assert_eq!(above_eq, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_worlds_rejected() {
+        let _ = MonteCarlo::new(0, 1).run(0.0, |_| 0.0);
+    }
+}

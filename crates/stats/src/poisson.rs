@@ -1,0 +1,198 @@
+//! Poisson spatial scan statistic (extension; see DESIGN.md §6).
+//!
+//! The paper's framework instantiates the *Bernoulli* scan statistic
+//! because its outcomes are per-individual binary labels. Kulldorff's
+//! companion model — cited by the paper in §2.3 — is the **Poisson**
+//! scan statistic for count data: each region has an observed event
+//! count `c(R)` and an expected count `μ(R)` (its share of exposure,
+//! e.g. population). This enables rate-style audits such as the
+//! paper's crime-forecasting motivation ("the predicted crime rate
+//! should not differ greatly from the observed crime rate in all
+//! areas") when only area-level counts are available.
+//!
+//! Under H0 events arise with a single relative risk everywhere; under
+//! H1 the risk inside `R` differs. The maximised log-likelihood ratio
+//! is
+//!
+//! ```text
+//! LLR = c·ln(c/μ) + (C−c)·ln((C−c)/(C−μ))
+//! ```
+//!
+//! when the inside rate `c/μ` differs from the outside rate
+//! `(C−c)/(C−μ)`, and 0 otherwise — with the same `xlogy`-style guard
+//! conventions as the Bernoulli kernel.
+
+use crate::llr::xlogy;
+use crate::pvalue::Direction;
+use serde::{Deserialize, Serialize};
+
+/// Sufficient statistic for a region in the Poisson model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonCounts {
+    /// Observed events inside the region (`c(R)`).
+    pub c_in: f64,
+    /// Expected events inside under H0 (`μ(R)`), proportional to the
+    /// region's exposure share.
+    pub mu_in: f64,
+    /// Total observed events (`C`).
+    pub c_total: f64,
+    /// Total expected events (must equal `C` after calibration; kept
+    /// separate so callers can pass raw exposure).
+    pub mu_total: f64,
+}
+
+impl PoissonCounts {
+    /// Creates and validates the counts.
+    ///
+    /// # Panics
+    /// Panics on negative counts, `c_in > c_total`, `mu_in > mu_total`,
+    /// or zero totals.
+    pub fn new(c_in: f64, mu_in: f64, c_total: f64, mu_total: f64) -> Self {
+        assert!(
+            c_in >= 0.0 && mu_in >= 0.0 && c_total > 0.0 && mu_total > 0.0,
+            "counts must be non-negative with positive totals"
+        );
+        assert!(
+            c_in <= c_total,
+            "inside events ({c_in}) exceed total ({c_total})"
+        );
+        assert!(
+            mu_in <= mu_total,
+            "inside exposure ({mu_in}) exceeds total ({mu_total})"
+        );
+        PoissonCounts {
+            c_in,
+            mu_in,
+            c_total,
+            mu_total,
+        }
+    }
+
+    /// Expected events inside, rescaled so expectations sum to the
+    /// observed total (the standard conditioning `Σμ = C`).
+    #[inline]
+    pub fn mu_in_calibrated(&self) -> f64 {
+        self.mu_in * self.c_total / self.mu_total
+    }
+}
+
+/// Two-sided Poisson scan LLR.
+pub fn poisson_llr(counts: &PoissonCounts) -> f64 {
+    poisson_llr_directed(counts, Direction::TwoSided)
+}
+
+/// Directional Poisson scan LLR (`High` = elevated risk inside, `Low` =
+/// depressed risk inside).
+pub fn poisson_llr_directed(counts: &PoissonCounts, direction: Direction) -> f64 {
+    let c = counts.c_in;
+    let cc = counts.c_total;
+    let mu = counts.mu_in_calibrated();
+    if mu <= 0.0 || mu >= cc {
+        // Degenerate exposure: no outside (or no inside) to compare.
+        return 0.0;
+    }
+    let rate_in = c / mu;
+    let rate_out = (cc - c) / (cc - mu);
+    match direction {
+        Direction::TwoSided => {}
+        Direction::High => {
+            if rate_in <= rate_out {
+                return 0.0;
+            }
+        }
+        Direction::Low => {
+            if rate_in >= rate_out {
+                return 0.0;
+            }
+        }
+    }
+    if rate_in == rate_out {
+        return 0.0;
+    }
+    let llr = xlogy(c, rate_in) + xlogy(cc - c, rate_out);
+    llr.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_when_observed_matches_expected() {
+        // c/mu == 1 everywhere.
+        let c = PoissonCounts::new(10.0, 10.0, 100.0, 100.0);
+        assert_eq!(poisson_llr(&c), 0.0);
+    }
+
+    #[test]
+    fn positive_for_excess_risk() {
+        let c = PoissonCounts::new(30.0, 10.0, 100.0, 100.0);
+        let llr = poisson_llr(&c);
+        assert!(llr > 0.0);
+        // Hand computation: 30 ln 3 + 70 ln(70/90).
+        let expected = 30.0 * 3.0f64.ln() + 70.0 * (70.0f64 / 90.0).ln();
+        assert!((llr - expected).abs() < 1e-10, "{llr} vs {expected}");
+    }
+
+    #[test]
+    fn positive_for_deficit_risk_two_sided() {
+        let c = PoissonCounts::new(1.0, 10.0, 100.0, 100.0);
+        assert!(poisson_llr(&c) > 0.0);
+    }
+
+    #[test]
+    fn direction_filters() {
+        let excess = PoissonCounts::new(30.0, 10.0, 100.0, 100.0);
+        let deficit = PoissonCounts::new(1.0, 10.0, 100.0, 100.0);
+        assert!(poisson_llr_directed(&excess, Direction::High) > 0.0);
+        assert_eq!(poisson_llr_directed(&excess, Direction::Low), 0.0);
+        assert!(poisson_llr_directed(&deficit, Direction::Low) > 0.0);
+        assert_eq!(poisson_llr_directed(&deficit, Direction::High), 0.0);
+    }
+
+    #[test]
+    fn llr_grows_with_deviation() {
+        let base = poisson_llr(&PoissonCounts::new(15.0, 10.0, 100.0, 100.0));
+        let more = poisson_llr(&PoissonCounts::new(25.0, 10.0, 100.0, 100.0));
+        assert!(more > base);
+    }
+
+    #[test]
+    fn exposure_calibration_is_scale_invariant() {
+        // Passing raw exposure (e.g. population) vs pre-normalised
+        // expectations gives identical statistics.
+        let raw = PoissonCounts::new(30.0, 5_000.0, 100.0, 50_000.0);
+        let calibrated = PoissonCounts::new(30.0, 10.0, 100.0, 100.0);
+        assert!((poisson_llr(&raw) - poisson_llr(&calibrated)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_events_inside_is_finite() {
+        let c = PoissonCounts::new(0.0, 10.0, 100.0, 100.0);
+        let llr = poisson_llr(&c);
+        assert!(llr.is_finite() && llr > 0.0);
+        // Exact: 100 ln(100/90).
+        assert!((llr - 100.0 * (100.0f64 / 90.0).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_exposure_yields_zero() {
+        assert_eq!(
+            poisson_llr(&PoissonCounts::new(50.0, 100.0, 100.0, 100.0)),
+            0.0
+        );
+        let tiny = PoissonCounts {
+            c_in: 0.0,
+            mu_in: 0.0,
+            c_total: 100.0,
+            mu_total: 100.0,
+        };
+        assert_eq!(poisson_llr(&tiny), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn validation_rejects_inconsistency() {
+        let _ = PoissonCounts::new(101.0, 10.0, 100.0, 100.0);
+    }
+}

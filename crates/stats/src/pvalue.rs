@@ -1,0 +1,178 @@
+//! Rank-based Monte Carlo p-values and critical values.
+//!
+//! The paper (§3): "Suppose we simulate `w − 1` worlds, and the `τ`
+//! statistic of the real world ranks at the `k`-th highest position
+//! among all worlds. Then the p-value of the real world's statistic is
+//! `k/w`." A region-level result is *significant at level α* when its
+//! statistic exceeds the critical value derived from the same simulated
+//! distribution — this is how the paper's §4.2 obtains "log-likelihood
+//! differences beyond 9.6 are significant at the 0.005 level".
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of the deviation the audit is sensitive to.
+///
+/// The paper's main test is two-sided; §B.2 audits one-sided variants
+/// ("red" regions with significantly fewer positives inside, "green"
+/// regions with significantly more).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Direction {
+    /// Deviations in either direction count (the paper's main setting).
+    #[default]
+    TwoSided,
+    /// Only inside-rate *above* outside-rate counts ("green", Fig. 12).
+    High,
+    /// Only inside-rate *below* outside-rate counts ("red", Fig. 11).
+    Low,
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Direction::TwoSided => write!(f, "two-sided"),
+            Direction::High => write!(f, "high (green)"),
+            Direction::Low => write!(f, "low (red)"),
+        }
+    }
+}
+
+/// Monte Carlo rank p-value `k/w`.
+///
+/// `observed` is the real world's statistic; `simulated` holds the
+/// `w − 1` simulated statistics. The real world's rank `k` counts ties
+/// conservatively (a simulated value equal to the observed one pushes
+/// the observed rank down), so the p-value is never understated.
+///
+/// The returned value lies in `[1/w, 1]`.
+///
+/// # Panics
+/// Panics if `simulated` is empty or `observed` is NaN.
+pub fn rank_p_value(observed: f64, simulated: &[f64]) -> f64 {
+    assert!(!simulated.is_empty(), "need at least one simulated world");
+    assert!(!observed.is_nan(), "observed statistic must not be NaN");
+    let w = simulated.len() + 1;
+    let k = 1 + simulated.iter().filter(|&&s| s >= observed).count();
+    k as f64 / w as f64
+}
+
+/// Critical value at level `alpha` from the simulated max-statistic
+/// distribution: the smallest threshold `c` such that any statistic
+/// strictly greater than `c` has rank p-value ≤ `alpha`.
+///
+/// With `w = len + 1` worlds, a statistic `t` is significant iff
+/// `#{sims ≥ t} + 1 ≤ α·w`; the threshold is the `m`-th largest
+/// simulated value with `m = ⌊α·w⌋`. Returns `f64::INFINITY` when the
+/// Monte Carlo budget is too small to ever reach significance
+/// (`⌊α·w⌋ < 1`), mirroring the fact that with too few worlds nothing
+/// can be declared significant.
+///
+/// # Panics
+/// Panics if `simulated` is empty or `alpha` is outside `(0, 1)`.
+pub fn critical_value(simulated: &[f64], alpha: f64) -> f64 {
+    assert!(!simulated.is_empty(), "need at least one simulated world");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "alpha must be in (0,1), got {alpha}"
+    );
+    let w = simulated.len() + 1;
+    let m = (alpha * w as f64).floor() as usize;
+    if m < 1 {
+        return f64::INFINITY;
+    }
+    // m-th largest simulated value.
+    let mut sorted: Vec<f64> = simulated.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("statistics must not be NaN"));
+    sorted[m - 1]
+}
+
+/// Returns `true` when a statistic is significant at `alpha` given the
+/// simulated distribution, consistently with [`critical_value`] and
+/// [`rank_p_value`].
+pub fn is_significant(statistic: f64, simulated: &[f64], alpha: f64) -> bool {
+    rank_p_value(statistic, simulated) <= alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_value_when_observed_is_highest() {
+        let sims = vec![1.0, 2.0, 3.0];
+        assert_eq!(rank_p_value(10.0, &sims), 0.25); // k=1, w=4
+    }
+
+    #[test]
+    fn p_value_when_observed_is_lowest() {
+        let sims = vec![1.0, 2.0, 3.0];
+        assert_eq!(rank_p_value(0.0, &sims), 1.0); // k=4, w=4
+    }
+
+    #[test]
+    fn p_value_counts_ties_conservatively() {
+        let sims = vec![5.0, 5.0, 1.0];
+        // observed 5.0 ties with two sims -> k = 3, w = 4.
+        assert_eq!(rank_p_value(5.0, &sims), 0.75);
+    }
+
+    #[test]
+    fn p_value_min_is_one_over_w() {
+        let sims = vec![0.0; 999];
+        assert_eq!(rank_p_value(1.0, &sims), 1.0 / 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn p_value_requires_sims() {
+        let _ = rank_p_value(1.0, &[]);
+    }
+
+    #[test]
+    fn critical_value_matches_paper_setup() {
+        // w = 1000 (999 sims), alpha = 0.005 -> m = 5 -> 5th largest.
+        let mut sims: Vec<f64> = (1..=999).map(|i| i as f64).collect();
+        sims.reverse();
+        let c = critical_value(&sims, 0.005);
+        assert_eq!(c, 995.0); // 5th largest of 1..=999
+                              // Anything above c is significant:
+        assert!(is_significant(995.1, &sims, 0.005));
+        // c itself is NOT (tie counts against): k = 1 + 5 = 6 > 5.
+        assert!(!is_significant(995.0, &sims, 0.005));
+    }
+
+    #[test]
+    fn critical_value_infinite_when_budget_too_small() {
+        // 99 sims (w=100) cannot reach alpha = 0.005.
+        let sims = vec![1.0; 99];
+        assert_eq!(critical_value(&sims, 0.005), f64::INFINITY);
+        assert!(!is_significant(f64::MAX, &sims, 0.005));
+    }
+
+    #[test]
+    fn critical_value_alpha_05_with_19_sims() {
+        // w=20, alpha=0.05 -> m=1 -> largest sim is the threshold.
+        let sims: Vec<f64> = (1..=19).map(|i| i as f64).collect();
+        assert_eq!(critical_value(&sims, 0.05), 19.0);
+        assert!(is_significant(19.5, &sims, 0.05));
+        assert!(!is_significant(19.0, &sims, 0.05));
+    }
+
+    #[test]
+    fn significance_consistent_with_p_value() {
+        let sims: Vec<f64> = (0..999).map(|i| (i as f64) * 0.01).collect();
+        let alpha = 0.005;
+        let c = critical_value(&sims, alpha);
+        for t in [0.0, 5.0, 9.9, 9.94, 9.95, 9.98, 20.0] {
+            let by_p = rank_p_value(t, &sims) <= alpha;
+            let by_c = t > c;
+            assert_eq!(by_p, by_c, "inconsistent at t={t}, c={c}");
+        }
+    }
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(Direction::TwoSided.to_string(), "two-sided");
+        assert_eq!(Direction::High.to_string(), "high (green)");
+        assert_eq!(Direction::Low.to_string(), "low (red)");
+    }
+}

@@ -1,0 +1,86 @@
+//! Crime-model audit (the paper's Crime scenario, §4.1/Figure 4).
+//!
+//! ```sh
+//! cargo run --release --example crime_audit
+//! ```
+//!
+//! End-to-end **equal opportunity** audit of a real ML pipeline built
+//! entirely in this workspace:
+//!
+//! 1. generate synthetic LA crime incidents (7 tabular features,
+//!    locations clustered around precincts, ground-truth seriousness);
+//! 2. train a random forest (location is NOT a feature);
+//! 3. predict on a held-out test set;
+//! 4. audit whether the model's *true positive rate* is independent of
+//!    location — i.e. does the model work equally well everywhere?
+
+use spatial_fairness::data::crime::{hollywood_region, CrimeConfig, CrimeData};
+use spatial_fairness::ml::RandomForestConfig;
+use spatial_fairness::prelude::*;
+
+fn main() {
+    // 1-3. Generate, train, predict (the pipeline of the paper's §4.1).
+    let data = CrimeData::generate(&CrimeConfig::medium());
+    let mut rf = RandomForestConfig::new(20, 5);
+    rf.tree.max_depth = 12;
+    let pipeline = data.run_pipeline(&rf);
+    println!(
+        "model: accuracy {:.3}, TPR {:.3}, FPR {:.3} on the test set",
+        pipeline.accuracy, pipeline.tpr, pipeline.fpr
+    );
+    // What the model relies on (the 7 features of §4.1; location is absent).
+    let model = spatial_fairness::ml::RandomForest::fit(&data.features, &rf);
+    let names: Vec<&str> = data
+        .features
+        .columns()
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    let mut ranked: Vec<(f64, &str)> = model.feature_importances().into_iter().zip(names).collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let summary: Vec<String> = ranked
+        .iter()
+        .map(|(imp, name)| format!("{name} {:.2}", imp))
+        .collect();
+    println!("feature importances: {}", summary.join(", "));
+    println!(
+        "equal-opportunity view: {} serious incidents; global TPR {:.3}\n",
+        pipeline.outcomes.len(),
+        pipeline.outcomes.rate()
+    );
+
+    // 4. Audit the TPR by location on the paper's 20x20 grid.
+    let regions = RegionSet::regular_grid(pipeline.outcomes.expanded_bounding_box(), 20, 20);
+    let config = AuditConfig::new(0.005).with_worlds(999).with_seed(17);
+    let report = Auditor::new(config)
+        .audit(&pipeline.outcomes, &regions)
+        .expect("auditable");
+
+    println!(
+        "verdict: {} (p={:.3}); {} significant partitions",
+        report.verdict(),
+        report.p_value,
+        report.findings.len()
+    );
+    let hollywood = hollywood_region();
+    for f in report.top_k(5) {
+        let in_hw = f.region.bounding_rect().intersects(&hollywood);
+        println!(
+            "  cell with {} serious incidents: local TPR {:.2} vs global {:.2}, LLR {:.1}{}",
+            f.n,
+            f.rate,
+            pipeline.outcomes.rate(),
+            f.llr,
+            if in_hw {
+                "   <- inside the drifted 'Hollywood' area"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "\nInterpretation: the model never sees location, yet its accuracy is\n\
+         location-dependent (concept drift inside the Hollywood region) —\n\
+         exactly the situation the paper's equal-opportunity audit detects."
+    );
+}

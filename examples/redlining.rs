@@ -1,0 +1,77 @@
+//! Redlining detection (the paper's §1 motivating scenario).
+//!
+//! ```sh
+//! cargo run --release --example redlining
+//! ```
+//!
+//! A lending policy penalises applications from certain *districts*.
+//! It never looks at the protected attribute — but because the
+//! protected group concentrates in those districts, the group is
+//! indirectly harmed ("fairness by unawareness … is not sufficient",
+//! §2.1). The spatial audit exposes the policy from the outcomes
+//! alone: no group labels, no knowledge of the district map.
+
+use spatial_fairness::data::redlining::{RedliningConfig, RedliningScenario};
+use spatial_fairness::prelude::*;
+use spatial_fairness::scan::identify::select_non_overlapping;
+
+fn main() {
+    let scenario = RedliningScenario::generate(&RedliningConfig::default());
+    let (prot_rate, rest_rate) = scenario.group_rates();
+    println!(
+        "policy under audit: approval {:.3} overall; protected group {:.3} vs others {:.3}",
+        scenario.outcomes.rate(),
+        prot_rate,
+        rest_rate
+    );
+    println!("(the policy never sees the group attribute; the gap arises via location)\n");
+
+    // The auditor sees ONLY (location, outcome). Scan square regions
+    // around k-means centers — no administrative boundaries assumed.
+    let regions = RegionSet::square_scan_kmeans(
+        scenario.outcomes.points(),
+        40,
+        &[0.1, 0.15, 0.2, 0.3, 0.45],
+        3,
+    );
+    let config = AuditConfig::new(0.005)
+        .with_worlds(999)
+        .with_seed(4)
+        .with_direction(Direction::Low); // under-approved areas
+    let report = Auditor::new(config)
+        .audit(&scenario.outcomes, &regions)
+        .unwrap();
+    println!(
+        "audit: {} (p={:.3}); {} significant under-approved regions",
+        report.verdict(),
+        report.p_value,
+        report.findings.len()
+    );
+
+    // How well does the evidence recover the hidden redlined map?
+    let kept = select_non_overlapping(&report.findings);
+    let mut hits = 0;
+    for f in &kept {
+        let c = f.region.center();
+        if scenario.redlined_districts.iter().any(|d| d.contains(&c)) {
+            hits += 1;
+        }
+    }
+    println!(
+        "evidence: {} non-overlapping regions; {} of them centered inside a truly \
+         redlined district",
+        kept.len(),
+        hits
+    );
+    for f in kept.iter().take(5) {
+        println!(
+            "   region at ({:.2}, {:.2}): {} applications, approval {:.2} (global {:.2}), LLR {:.0}",
+            f.region.center().x,
+            f.region.center().y,
+            f.n,
+            f.rate,
+            scenario.outcomes.rate(),
+            f.llr
+        );
+    }
+}

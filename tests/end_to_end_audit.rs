@@ -1,0 +1,212 @@
+//! Cross-crate integration tests: the full audit pipeline from data
+//! generation (sfdata) through region enumeration (sfgeo, sfcluster),
+//! counting (sfindex), statistics (sfstats) and the auditor (sfscan).
+
+use spatial_fairness::data::lar::{LarConfig, LarDataset};
+use spatial_fairness::data::semisynth::SemiSynthConfig;
+use spatial_fairness::data::synth::SynthConfig;
+use spatial_fairness::prelude::*;
+use spatial_fairness::scan::identify::select_non_overlapping;
+use spatial_fairness::scan::{CountingStrategy, NullModel};
+
+fn small_lar() -> LarDataset {
+    LarDataset::generate(&LarConfig::small())
+}
+
+#[test]
+fn synth_is_unfair_and_semisynth_is_fair() {
+    let synth = SynthConfig {
+        per_half: 2_000,
+        ..SynthConfig::paper()
+    }
+    .generate(1);
+    let lar = small_lar();
+    let semisynth = SemiSynthConfig {
+        observations: 4_000,
+        rate: 0.5,
+    }
+    .generate_from_lar(&lar, 2);
+
+    let config = AuditConfig::new(0.01).with_worlds(199).with_seed(3);
+    let synth_regions = RegionSet::regular_grid(synth.expanded_bounding_box(), 8, 4);
+    let synth_report = Auditor::new(config).audit(&synth, &synth_regions).unwrap();
+    assert!(synth_report.is_unfair(), "Synth p={}", synth_report.p_value);
+
+    let semi_regions = RegionSet::regular_grid(semisynth.expanded_bounding_box(), 8, 4);
+    let semi_report = Auditor::new(config)
+        .audit(&semisynth, &semi_regions)
+        .unwrap();
+    assert!(semi_report.is_fair(), "SemiSynth p={}", semi_report.p_value);
+}
+
+#[test]
+fn synth_significant_regions_sit_in_the_correct_half() {
+    let synth = SynthConfig {
+        per_half: 3_000,
+        ..SynthConfig::paper()
+    }
+    .generate(4);
+    let config = AuditConfig::new(0.01).with_worlds(199).with_seed(5);
+    let regions = RegionSet::regular_grid(synth.expanded_bounding_box(), 8, 4);
+    let report = Auditor::new(config).audit(&synth, &regions).unwrap();
+    assert!(report.is_unfair());
+    let mid = 1.0; // Synth bounds are [0,2]x[0,1]
+    for f in &report.findings {
+        let cx = f.region.center().x;
+        if f.rate > synth.rate() {
+            assert!(
+                cx < mid,
+                "high-rate finding should be in the left half: {f}"
+            );
+        } else {
+            assert!(
+                cx > mid,
+                "low-rate finding should be in the right half: {f}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lar_audit_finds_the_calibrated_structure() {
+    let lar = small_lar();
+    let regions = RegionSet::regular_grid(lar.outcomes.expanded_bounding_box(), 40, 20);
+    let config = AuditConfig::new(0.005).with_worlds(399).with_seed(6);
+    let report = Auditor::new(config).audit(&lar.outcomes, &regions).unwrap();
+    assert!(report.is_unfair());
+    // The strongest finding must be the Northern California block.
+    let best = &report.findings[0];
+    let (metro, _) = LarDataset::nearest_metro(&best.region.center());
+    assert!(
+        [
+            "San Jose, CA",
+            "San Francisco, CA",
+            "Oakland, CA",
+            "Sacramento, CA"
+        ]
+        .contains(&metro.name),
+        "best finding near {} (expected Northern California)",
+        metro.name
+    );
+    assert!(best.rate > 0.78, "NorCal approval rate {}", best.rate);
+}
+
+#[test]
+fn square_scan_with_kmeans_centers_works_end_to_end() {
+    let lar = small_lar();
+    let regions =
+        RegionSet::square_scan_kmeans(&lar.locations, 30, &RegionSet::paper_side_lengths(), 7);
+    assert_eq!(regions.len(), 600);
+    let config = AuditConfig::new(0.01).with_worlds(199).with_seed(8);
+    let report = Auditor::new(config).audit(&lar.outcomes, &regions).unwrap();
+    assert!(report.is_unfair());
+
+    // Non-overlapping selection invariants.
+    let kept = select_non_overlapping(&report.findings);
+    assert!(!kept.is_empty());
+    assert!(kept.len() <= 30, "at most one region per center");
+    for i in 0..kept.len() {
+        for j in (i + 1)..kept.len() {
+            assert!(
+                !kept[i].region.may_intersect(&kept[j].region),
+                "kept regions {i} and {j} overlap"
+            );
+        }
+    }
+    // Each kept region is that center's best significant region.
+    for k in &kept {
+        let cid = k.center_id.expect("square scans carry center ids");
+        let best_for_center = report
+            .findings
+            .iter()
+            .filter(|f| f.center_id == Some(cid))
+            .map(|f| f.llr)
+            .fold(f64::MIN, f64::max);
+        assert_eq!(k.llr, best_for_center);
+    }
+}
+
+#[test]
+fn directed_audits_agree_with_two_sided_split() {
+    let lar = small_lar();
+    let regions = RegionSet::regular_grid(lar.outcomes.expanded_bounding_box(), 20, 10);
+    let base = AuditConfig::new(0.01).with_worlds(199).with_seed(9);
+    let two = Auditor::new(base).audit(&lar.outcomes, &regions).unwrap();
+    let high = Auditor::new(base.with_direction(Direction::High))
+        .audit(&lar.outcomes, &regions)
+        .unwrap();
+    let low = Auditor::new(base.with_direction(Direction::Low))
+        .audit(&lar.outcomes, &regions)
+        .unwrap();
+    // The two-sided tau equals the max of the directional taus.
+    assert_eq!(two.tau, high.tau.max(low.tau));
+    // Directional findings deviate in their own direction only.
+    for f in &high.findings {
+        assert!(f.rate > lar.outcomes.rate());
+    }
+    for f in &low.findings {
+        assert!(f.rate < lar.outcomes.rate());
+    }
+}
+
+#[test]
+fn null_models_agree_on_clear_cut_data() {
+    let synth = SynthConfig {
+        per_half: 2_000,
+        ..SynthConfig::paper()
+    }
+    .generate(10);
+    let regions = RegionSet::regular_grid(synth.expanded_bounding_box(), 4, 2);
+    let base = AuditConfig::new(0.01).with_worlds(199).with_seed(11);
+    let bern = Auditor::new(base).audit(&synth, &regions).unwrap();
+    let perm = Auditor::new(base.with_null_model(NullModel::Permutation))
+        .audit(&synth, &regions)
+        .unwrap();
+    assert!(bern.is_unfair());
+    assert!(perm.is_unfair());
+    // Same real-world statistic; only the calibration differs.
+    assert_eq!(bern.tau, perm.tau);
+}
+
+#[test]
+fn counting_strategies_are_bit_identical() {
+    let lar = small_lar();
+    let regions = RegionSet::regular_grid(lar.outcomes.expanded_bounding_box(), 10, 5);
+    let base = AuditConfig::new(0.05).with_worlds(99).with_seed(12);
+    let mem = Auditor::new(base.with_strategy(CountingStrategy::Membership))
+        .audit(&lar.outcomes, &regions)
+        .unwrap();
+    let req = Auditor::new(base.with_strategy(CountingStrategy::Requery))
+        .audit(&lar.outcomes, &regions)
+        .unwrap();
+    assert_eq!(mem.tau, req.tau);
+    assert_eq!(mem.p_value, req.p_value);
+    assert_eq!(mem.simulated, req.simulated);
+    assert_eq!(mem.findings, req.findings);
+}
+
+#[test]
+fn report_json_roundtrip_through_the_facade() {
+    let synth = SynthConfig::small().generate(13);
+    let regions = RegionSet::regular_grid(synth.expanded_bounding_box(), 4, 2);
+    let config = AuditConfig::new(0.05).with_worlds(99).with_seed(14);
+    let report = Auditor::new(config).audit(&synth, &regions).unwrap();
+    let json = report.to_json();
+    let back: AuditReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+}
+
+#[test]
+fn csv_persistence_roundtrips_through_an_audit() {
+    let synth = SynthConfig::small().generate(15);
+    let mut buf = Vec::new();
+    spatial_fairness::data::csv::write_outcomes(&mut buf, &synth).unwrap();
+    let loaded = spatial_fairness::data::csv::read_outcomes(std::io::Cursor::new(buf)).unwrap();
+    assert_eq!(loaded, synth);
+    // Audits of the original and the roundtripped data are identical.
+    let regions = RegionSet::regular_grid(synth.expanded_bounding_box(), 4, 2);
+    let config = AuditConfig::new(0.05).with_worlds(49).with_seed(16);
+    let a = Auditor::new(config).audit(&synth, &regions).unwrap();
+    let b = Auditor::new(config).audit(&loaded, &regions).unwrap();
+    assert_eq!(a, b);
+}

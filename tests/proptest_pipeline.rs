@@ -1,0 +1,121 @@
+//! Property-based integration tests over the whole pipeline.
+
+use proptest::prelude::*;
+use spatial_fairness::prelude::*;
+use spatial_fairness::scan::identify::select_non_overlapping;
+use spatial_fairness::scan::CountingStrategy;
+
+/// Arbitrary small outcome sets guaranteed to contain both classes.
+fn arb_outcomes() -> impl Strategy<Value = SpatialOutcomes> {
+    prop::collection::vec(((0.0..10.0f64), (0.0..10.0f64), any::<bool>()), 20..200).prop_map(
+        |mut rows| {
+            // Force both classes to exist so the audit is non-degenerate.
+            rows[0].2 = true;
+            rows[1].2 = false;
+            let points = rows.iter().map(|&(x, y, _)| Point::new(x, y)).collect();
+            let labels = rows.iter().map(|&(_, _, l)| l).collect();
+            SpatialOutcomes::new(points, labels).unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn audit_invariants_hold_on_arbitrary_data(
+        outcomes in arb_outcomes(),
+        nx in 2usize..8,
+        ny in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let regions = RegionSet::regular_grid(outcomes.expanded_bounding_box(), nx, ny);
+        let config = AuditConfig::new(0.05).with_worlds(39).with_seed(seed);
+        let report = Auditor::new(config).audit(&outcomes, &regions).unwrap();
+
+        // p-value bounds: k/w with w = 40.
+        prop_assert!(report.p_value >= 1.0 / 40.0 - 1e-12);
+        prop_assert!(report.p_value <= 1.0);
+        // tau is the max over a set including empty regions -> >= 0.
+        prop_assert!(report.tau >= 0.0);
+        // findings: significant, sorted, consistent counts.
+        let mut prev = f64::INFINITY;
+        for f in &report.findings {
+            prop_assert!(f.llr > report.critical_value);
+            prop_assert!(f.llr <= prev + 1e-12);
+            prev = f.llr;
+            prop_assert!(f.p <= f.n);
+            prop_assert!(f.n <= report.n_total);
+        }
+        // Verdict consistent with p-value.
+        prop_assert_eq!(report.is_unfair(), report.p_value <= 0.05);
+    }
+
+    #[test]
+    fn audit_is_deterministic_and_strategy_independent(
+        outcomes in arb_outcomes(),
+        seed in 0u64..100,
+    ) {
+        let regions = RegionSet::regular_grid(outcomes.expanded_bounding_box(), 4, 4);
+        let base = AuditConfig::new(0.1).with_worlds(19).with_seed(seed);
+        let a = Auditor::new(base).audit(&outcomes, &regions).unwrap();
+        let b = Auditor::new(base).audit(&outcomes, &regions).unwrap();
+        prop_assert_eq!(&a, &b);
+        let req = Auditor::new(base.with_strategy(CountingStrategy::Requery))
+            .audit(&outcomes, &regions)
+            .unwrap();
+        prop_assert_eq!(a.simulated, req.simulated);
+        prop_assert_eq!(a.tau, req.tau);
+    }
+
+    #[test]
+    fn label_flip_preserves_two_sided_tau(outcomes in arb_outcomes(), seed in 0u64..100) {
+        // Swapping the positive/negative convention must not change the
+        // two-sided statistic (it is direction-free).
+        let flipped = SpatialOutcomes::new(
+            outcomes.points().to_vec(),
+            outcomes.labels().iter().map(|&l| !l).collect(),
+        )
+        .unwrap();
+        let regions = RegionSet::regular_grid(outcomes.expanded_bounding_box(), 4, 4);
+        let config = AuditConfig::new(0.1).with_worlds(19).with_seed(seed);
+        let a = Auditor::new(config).audit(&outcomes, &regions).unwrap();
+        let b = Auditor::new(config).audit(&flipped, &regions).unwrap();
+        prop_assert!((a.tau - b.tau).abs() < 1e-9, "{} vs {}", a.tau, b.tau);
+    }
+
+    #[test]
+    fn non_overlapping_selection_is_sound(outcomes in arb_outcomes(), seed in 0u64..100) {
+        let centers: Vec<Point> =
+            (0..5).map(|i| Point::new(1.0 + 2.0 * i as f64, 5.0)).collect();
+        let regions = RegionSet::squares(centers, &[0.5, 1.5, 3.0]);
+        let config = AuditConfig::new(0.2).with_worlds(19).with_seed(seed);
+        let report = Auditor::new(config).audit(&outcomes, &regions).unwrap();
+        let kept = select_non_overlapping(&report.findings);
+        // Pairwise disjoint and a subset of the findings.
+        for i in 0..kept.len() {
+            prop_assert!(report.findings.contains(&kept[i]));
+            for j in (i + 1)..kept.len() {
+                prop_assert!(!kept[i].region.may_intersect(&kept[j].region));
+            }
+        }
+    }
+
+    #[test]
+    fn meanvar_is_invariant_to_observation_order(
+        outcomes in arb_outcomes(),
+        nx in 2usize..6,
+        ny in 2usize..6,
+    ) {
+        let p = Partitioning::regular(outcomes.expanded_bounding_box(), nx, ny);
+        let forward = MeanVar::compute(&outcomes, std::slice::from_ref(&p)).mean_variance;
+        // Reverse the observation order.
+        let reversed = SpatialOutcomes::new(
+            outcomes.points().iter().rev().copied().collect(),
+            outcomes.labels().iter().rev().copied().collect(),
+        )
+        .unwrap();
+        let backward = MeanVar::compute(&reversed, &[p]).mean_variance;
+        prop_assert!((forward - backward).abs() < 1e-12);
+    }
+}
