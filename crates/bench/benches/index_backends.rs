@@ -6,9 +6,12 @@
 #![allow(missing_docs)] // criterion macros generate undocumented items
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use sfbench::clustered_points;
+use sfbench::{clustered_points, small_lar};
 use sfgeo::{Point, Rect, Region};
-use sfindex::{BruteForceIndex, GridIndex, KdTree, QuadTree, RTree, RangeCount};
+use sfindex::{
+    BruteForceIndex, GridIndex, IndexBackend, KdTree, QuadTree, RTree, RangeCount, Substrate,
+};
+use sfscan::{AuditConfig, Auditor, CountingStrategy, RegionSet};
 use sfstats::rng::seeded_rng;
 
 use rand::Rng;
@@ -74,6 +77,49 @@ fn bench(c: &mut Criterion) {
     g.bench_function("rtree", |b| {
         b.iter(|| RTree::build(black_box(points.clone()), black_box(labels.clone())))
     });
+    g.finish();
+
+    // Runtime-selected substrate, same queries: the dispatch overhead
+    // over the direct structures above is the price of pluggability.
+    let mut g = c.benchmark_group("substrate_range_count_50k_points_200_queries");
+    for backend in IndexBackend::ALL {
+        let substrate = Substrate::build(backend, points.clone(), labels.clone());
+        g.bench_with_input(
+            BenchmarkId::new("substrate", backend.name()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for q in &qs {
+                        acc += substrate.count(black_box(q)).n;
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // End-to-end audits through each backend with per-world requery,
+    // where the Q factor dominates the whole pipeline.
+    let lar = small_lar();
+    let regions = RegionSet::regular_grid(lar.outcomes.expanded_bounding_box(), 20, 10);
+    let mut g = c.benchmark_group("audit_requery_10k_points_200_regions");
+    g.sample_size(10);
+    for backend in IndexBackend::ALL {
+        let cfg = AuditConfig::new(0.05)
+            .with_worlds(19)
+            .with_seed(5)
+            .with_backend(backend)
+            .with_strategy(CountingStrategy::Requery);
+        g.bench_with_input(BenchmarkId::new("audit", backend.name()), &cfg, |b, cfg| {
+            b.iter(|| {
+                Auditor::new(*cfg)
+                    .audit(black_box(&lar.outcomes), black_box(&regions))
+                    .expect("auditable")
+            })
+        });
+    }
     g.finish();
 }
 

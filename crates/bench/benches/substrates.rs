@@ -8,7 +8,7 @@ use sfbench::{clustered_points, small_lar};
 use sfcluster::{KMeans, KMeansConfig};
 use sfdata::crime::{CrimeConfig, CrimeData};
 use sfgeo::UniformGrid;
-use sfindex::{KdTree, Membership, SummedAreaTable};
+use sfindex::{IndexBackend, KdTree, Membership, Substrate, SummedAreaTable};
 use sfml::RandomForestConfig;
 use sfscan::RegionSet;
 
@@ -74,6 +74,23 @@ fn bench(c: &mut Criterion) {
             ))
         })
     });
+
+    // Runtime-selected substrate construction: the build-cost side of
+    // the backend choice (query costs live in `index_backends`).
+    for backend in IndexBackend::ALL {
+        g.bench_function(
+            format!("substrate_build_50k_points/{}", backend.name()),
+            |b| {
+                b.iter(|| {
+                    black_box(Substrate::build(
+                        backend,
+                        black_box(points.clone()),
+                        black_box(labels.clone()),
+                    ))
+                })
+            },
+        );
+    }
     g.finish();
 }
 

@@ -104,7 +104,7 @@ pub fn largest_pure_negative_cluster(outcomes: &SpatialOutcomes) -> Option<PureC
             count += 1;
             radius_sq = d;
         }
-        if best.map_or(true, |b| count > b.count) {
+        if best.is_none_or(|b| count > b.count) {
             // Inflate the radius by one ulp-scale factor: squaring the
             // square root can otherwise drop the farthest member.
             let radius = radius_sq.sqrt() * (1.0 + 1e-12);

@@ -5,6 +5,7 @@ use sfdata::lar::{LarConfig, LarDataset};
 use sfgeo::Rect;
 use sfml::RandomForestConfig;
 use sfscan::outcomes::SpatialOutcomes;
+use sfscan::{AuditConfig, IndexBackend, McStrategy};
 use std::time::Instant;
 
 /// Global harness options.
@@ -16,6 +17,10 @@ pub struct Options {
     pub seed: u64,
     /// Monte Carlo worlds (`w − 1`).
     pub worlds: usize,
+    /// Spatial index backend serving every audit's range counts.
+    pub backend: IndexBackend,
+    /// Stop each Monte Carlo calibration at the first decided batch.
+    pub early_stop: bool,
 }
 
 impl Default for Options {
@@ -24,6 +29,8 @@ impl Default for Options {
             quick: false,
             seed: 42,
             worlds: 999,
+            backend: IndexBackend::default(),
+            early_stop: false,
         }
     }
 }
@@ -31,6 +38,17 @@ impl Default for Options {
 impl Options {
     /// The significance level used throughout the paper's evaluation.
     pub const ALPHA: f64 = 0.005;
+
+    /// Applies the harness-level audit knobs (index backend, Monte
+    /// Carlo budget strategy) to a figure's config.
+    pub fn decorate(&self, config: AuditConfig) -> AuditConfig {
+        let config = config.with_backend(self.backend);
+        if self.early_stop {
+            config.with_mc_strategy(McStrategy::early_stop())
+        } else {
+            config
+        }
+    }
 
     /// LAR generator config at the selected scale.
     pub fn lar_config(&self) -> LarConfig {

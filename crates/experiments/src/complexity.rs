@@ -28,9 +28,11 @@ pub fn run(opts: &Options) {
     println!("\n  sweep M (worlds), fixed N=400 grid regions:");
     let regions = RegionSet::regular_grid(outcomes.expanded_bounding_box(), 20, 20);
     for worlds in [99, 199, 399, 799] {
-        let config = AuditConfig::new(0.01)
-            .with_worlds(worlds)
-            .with_seed(derive_seed(opts.seed, "complexity-m"));
+        let config = opts.decorate(
+            AuditConfig::new(0.01)
+                .with_worlds(worlds)
+                .with_seed(derive_seed(opts.seed, "complexity-m")),
+        );
         let t = Instant::now();
         let _ = Auditor::new(config)
             .audit(outcomes, &regions)
@@ -42,9 +44,11 @@ pub fn run(opts: &Options) {
     println!("\n  sweep N (regions), fixed M-1=199 worlds:");
     for (nx, ny) in [(10, 5), (20, 10), (40, 20), (80, 40)] {
         let regions = RegionSet::regular_grid(outcomes.expanded_bounding_box(), nx, ny);
-        let config = AuditConfig::new(0.01)
-            .with_worlds(199)
-            .with_seed(derive_seed(opts.seed, "complexity-n"));
+        let config = opts.decorate(
+            AuditConfig::new(0.01)
+                .with_worlds(199)
+                .with_seed(derive_seed(opts.seed, "complexity-n")),
+        );
         let t = Instant::now();
         let _ = Auditor::new(config)
             .audit(outcomes, &regions)

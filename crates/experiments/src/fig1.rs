@@ -104,9 +104,11 @@ fn evaluate(opts: &Options, name: &str, outcomes: &SpatialOutcomes, seed: u64) -
     let mv = MeanVar::compute(outcomes, &partitionings);
 
     let regions = RegionSet::from_partitionings(&partitionings);
-    let config = AuditConfig::new(Options::ALPHA)
-        .with_worlds(opts.effective_worlds())
-        .with_seed(derive_seed(seed, "audit"));
+    let config = opts.decorate(
+        AuditConfig::new(Options::ALPHA)
+            .with_worlds(opts.effective_worlds())
+            .with_seed(derive_seed(seed, "audit")),
+    );
     let report = Auditor::new(config)
         .audit(outcomes, &regions)
         .expect("auditable");

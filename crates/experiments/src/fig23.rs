@@ -135,9 +135,11 @@ pub fn scan_lar_grid(
     let lar = crate::common::build_lar(opts);
     let bounds = lar.outcomes.expanded_bounding_box();
     let regions = RegionSet::regular_grid(bounds, nx, ny);
-    let config = AuditConfig::new(Options::ALPHA)
-        .with_worlds(opts.effective_worlds())
-        .with_seed(derive_seed(opts.seed, "lar-grid-audit"));
+    let config = opts.decorate(
+        AuditConfig::new(Options::ALPHA)
+            .with_worlds(opts.effective_worlds())
+            .with_seed(derive_seed(opts.seed, "lar-grid-audit")),
+    );
     let t = std::time::Instant::now();
     let report = Auditor::new(config)
         .audit(&lar.outcomes, &regions)

@@ -17,9 +17,11 @@ pub fn run(opts: &Options) {
 
     let bounds = outcomes.expanded_bounding_box();
     let regions = RegionSet::regular_grid(bounds, 20, 20);
-    let config = AuditConfig::new(Options::ALPHA)
-        .with_worlds(opts.effective_worlds())
-        .with_seed(derive_seed(opts.seed, "crime-grid-audit"));
+    let config = opts.decorate(
+        AuditConfig::new(Options::ALPHA)
+            .with_worlds(opts.effective_worlds())
+            .with_seed(derive_seed(opts.seed, "crime-grid-audit")),
+    );
     let report = Auditor::new(config)
         .audit(outcomes, &regions)
         .expect("auditable");

@@ -33,10 +33,12 @@ fn build_square_scan(opts: &Options, lar: &LarDataset) -> RegionSet {
 fn audit_squares(opts: &Options, direction: Direction) -> (LarDataset, RegionSet, AuditReport) {
     let lar = build_lar(opts);
     let regions = build_square_scan(opts, &lar);
-    let config = AuditConfig::new(Options::ALPHA)
-        .with_worlds(opts.effective_worlds())
-        .with_seed(derive_seed(opts.seed, "square-audit"))
-        .with_direction(direction);
+    let config = opts.decorate(
+        AuditConfig::new(Options::ALPHA)
+            .with_worlds(opts.effective_worlds())
+            .with_seed(derive_seed(opts.seed, "square-audit"))
+            .with_direction(direction),
+    );
     let t = std::time::Instant::now();
     let report = Auditor::new(config)
         .audit(&lar.outcomes, &regions)

@@ -49,9 +49,11 @@ pub fn run(opts: &Options) {
     for w in 0..4 {
         let world = fw.world(w);
         let regions = RegionSet::regular_grid(world.expanded_bounding_box(), 10, 10);
-        let config = AuditConfig::new(Options::ALPHA)
-            .with_worlds(opts.effective_worlds())
-            .with_seed(derive_seed(opts.seed, "fair-world-audit") + w);
+        let config = opts.decorate(
+            AuditConfig::new(Options::ALPHA)
+                .with_worlds(opts.effective_worlds())
+                .with_seed(derive_seed(opts.seed, "fair-world-audit") + w),
+        );
         let report = Auditor::new(config)
             .audit(&world, &regions)
             .expect("auditable");

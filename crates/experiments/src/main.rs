@@ -22,7 +22,9 @@
 //! ```
 //!
 //! Options: `--quick` (reduced scales for smoke runs), `--seed <u64>`,
-//! `--worlds <n>`.
+//! `--worlds <n>`, `--backend <brute|kdtree|quadtree|rtree|grid>`
+//! (counting substrate; results are backend-invariant), `--early-stop`
+//! (batched sequential Monte Carlo; same verdicts, fewer worlds).
 
 mod common;
 mod complexity;
@@ -58,6 +60,18 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--worlds needs a positive integer"));
             }
+            "--backend" => {
+                i += 1;
+                opts.backend = match args.get(i).map(String::as_str) {
+                    Some("brute") => sfindex::IndexBackend::Brute,
+                    Some("kdtree") => sfindex::IndexBackend::KdTree,
+                    Some("quadtree") => sfindex::IndexBackend::QuadTree,
+                    Some("rtree") => sfindex::IndexBackend::RTree,
+                    Some("grid") => sfindex::IndexBackend::Grid,
+                    _ => die("--backend needs one of: brute, kdtree, quadtree, rtree, grid"),
+                };
+            }
+            "--early-stop" => opts.early_stop = true,
             arg if !arg.starts_with('-') && command.is_none() => {
                 command = Some(arg.to_string());
             }
@@ -109,6 +123,9 @@ fn run(command: &str, opts: &Options) {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: experiments <fig1..fig12|complexity|all> [--quick] [--seed N] [--worlds N]");
+    eprintln!(
+        "usage: experiments <fig1..fig12|complexity|all> [--quick] [--seed N] [--worlds N] \
+         [--backend <brute|kdtree|quadtree|rtree|grid>] [--early-stop]"
+    );
     std::process::exit(2);
 }

@@ -49,6 +49,7 @@ pub mod membership;
 pub mod quadtree;
 pub mod rtree;
 pub mod sat;
+pub mod substrate;
 
 pub use brute::BruteForceIndex;
 pub use gridindex::GridIndex;
@@ -58,6 +59,7 @@ pub use membership::Membership;
 pub use quadtree::QuadTree;
 pub use rtree::RTree;
 pub use sat::SummedAreaTable;
+pub use substrate::{CountingSubstrate, IndexBackend, Substrate};
 
 use sfgeo::Region;
 

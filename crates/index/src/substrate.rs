@@ -1,0 +1,252 @@
+//! Pluggable counting substrates.
+//!
+//! The paper's audit cost is `O(M · N · Q)` where `Q` is the cost of
+//! one spatial range-count query — which makes the index backend the
+//! single biggest lever on audit latency. This module turns the
+//! backend into a *runtime decision*:
+//!
+//! * [`CountingSubstrate`] — the capability a scan engine needs from
+//!   an index: exact range counts ([`RangeCount`]) *and* member-id
+//!   enumeration ([`PointVisit`], used to materialize membership lists
+//!   and to recount simulated worlds).
+//! * [`IndexBackend`] — a serializable config knob naming a backend.
+//! * [`Substrate`] — the runtime-selected backend, dispatching to the
+//!   concrete index structures.
+//!
+//! [`SummedAreaTable`](crate::SummedAreaTable) is deliberately *not* a
+//! substrate: it only answers grid-aligned cell ranges and cannot
+//! enumerate member ids, so it keeps its specialized role in
+//! partition-based pipelines.
+//!
+//! Every substrate is exact — backends differ in build and query cost
+//! only, never in results. The differential proptests in this crate
+//! and the cross-backend audit tests in `sfscan` hold them to
+//! bit-identical answers.
+
+use crate::{
+    BitLabels, BruteForceIndex, CountPair, GridIndex, KdTree, PointVisit, QuadTree, RTree,
+    RangeCount,
+};
+use serde::{Deserialize, Serialize};
+use sfgeo::{Point, Region};
+
+/// Everything a scan engine needs from a spatial index: exact range
+/// counts plus member-id enumeration.
+///
+/// Blanket-implemented for every type providing both capabilities, so
+/// custom backends participate automatically.
+pub trait CountingSubstrate: RangeCount + PointVisit + Send + Sync {}
+
+impl<T: RangeCount + PointVisit + Send + Sync> CountingSubstrate for T {}
+
+/// Config knob selecting a counting backend.
+///
+/// All backends return bit-identical counts; they differ in build
+/// time, memory, and per-query cost. See the crate docs for guidance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum IndexBackend {
+    /// Linear scan per query; no build cost. Best for tiny datasets
+    /// and as the differential-testing oracle.
+    Brute,
+    /// Median-split kd-tree with per-node aggregates (the default:
+    /// robust across dataset shapes and region types).
+    #[default]
+    KdTree,
+    /// Region quadtree with aggregate pruning; strong on spatially
+    /// clustered data.
+    QuadTree,
+    /// STR bulk-loaded R-tree, the canonical database spatial index.
+    RTree,
+    /// Uniform-grid bucketing (CSR layout) with per-cell aggregates;
+    /// excels on rectangle queries over uniform-density data.
+    Grid,
+}
+
+impl IndexBackend {
+    /// All selectable backends (used by cross-backend tests and the
+    /// comparison benches).
+    pub const ALL: [IndexBackend; 5] = [
+        IndexBackend::Brute,
+        IndexBackend::KdTree,
+        IndexBackend::QuadTree,
+        IndexBackend::RTree,
+        IndexBackend::Grid,
+    ];
+
+    /// Stable lowercase name (CLI/bench labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexBackend::Brute => "brute",
+            IndexBackend::KdTree => "kdtree",
+            IndexBackend::QuadTree => "quadtree",
+            IndexBackend::RTree => "rtree",
+            IndexBackend::Grid => "grid",
+        }
+    }
+}
+
+impl std::fmt::Display for IndexBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Target mean points per cell for [`IndexBackend::Grid`] (matches the
+/// sizing the index benches found competitive across workloads).
+pub const GRID_TARGET_PER_CELL: usize = 64;
+
+/// A runtime-selected counting backend.
+///
+/// Built from an [`IndexBackend`] knob via [`Substrate::build`];
+/// dispatches [`RangeCount`] and [`PointVisit`] to the concrete index.
+#[derive(Debug, Clone)]
+pub enum Substrate {
+    /// Brute-force linear scans.
+    Brute(BruteForceIndex),
+    /// kd-tree.
+    KdTree(KdTree),
+    /// Quadtree.
+    QuadTree(QuadTree),
+    /// R-tree.
+    RTree(RTree),
+    /// Uniform grid.
+    Grid(GridIndex),
+}
+
+impl Substrate {
+    /// Builds the backend named by `backend` over `points`/`labels`.
+    pub fn build(backend: IndexBackend, points: Vec<Point>, labels: BitLabels) -> Self {
+        match backend {
+            IndexBackend::Brute => Substrate::Brute(BruteForceIndex::build(points, labels)),
+            IndexBackend::KdTree => Substrate::KdTree(KdTree::build(points, labels)),
+            IndexBackend::QuadTree => Substrate::QuadTree(QuadTree::build(points, labels)),
+            IndexBackend::RTree => Substrate::RTree(RTree::build(points, labels)),
+            IndexBackend::Grid => {
+                Substrate::Grid(GridIndex::build_auto(points, labels, GRID_TARGET_PER_CELL))
+            }
+        }
+    }
+
+    /// The knob this substrate was built from.
+    pub fn backend(&self) -> IndexBackend {
+        match self {
+            Substrate::Brute(_) => IndexBackend::Brute,
+            Substrate::KdTree(_) => IndexBackend::KdTree,
+            Substrate::QuadTree(_) => IndexBackend::QuadTree,
+            Substrate::RTree(_) => IndexBackend::RTree,
+            Substrate::Grid(_) => IndexBackend::Grid,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            Substrate::Brute($inner) => $body,
+            Substrate::KdTree($inner) => $body,
+            Substrate::QuadTree($inner) => $body,
+            Substrate::RTree($inner) => $body,
+            Substrate::Grid($inner) => $body,
+        }
+    };
+}
+
+impl RangeCount for Substrate {
+    fn len(&self) -> usize {
+        dispatch!(self, inner => inner.len())
+    }
+
+    fn total(&self) -> CountPair {
+        dispatch!(self, inner => inner.total())
+    }
+
+    fn count(&self, region: &Region) -> CountPair {
+        dispatch!(self, inner => inner.count(region))
+    }
+}
+
+impl PointVisit for Substrate {
+    fn for_each_in(&self, region: &Region, visit: &mut dyn FnMut(u32)) {
+        dispatch!(self, inner => inner.for_each_in(region, visit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use sfgeo::{Circle, Rect};
+
+    fn dataset(n: usize, seed: u64) -> (Vec<Point>, BitLabels) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points = (0..n)
+            .map(|_| Point::new(rng.gen_range(-8.0..8.0), rng.gen_range(-8.0..8.0)))
+            .collect();
+        let labels = BitLabels::from_fn(n, |_| rng.gen_bool(0.4));
+        (points, labels)
+    }
+
+    fn regions() -> Vec<Region> {
+        vec![
+            Rect::from_coords(-8.0, -8.0, 0.0, 8.0).into(),
+            Rect::from_coords(-1.0, -1.0, 1.0, 1.0).into(),
+            Circle::new(Point::new(2.0, 2.0), 3.0).into(),
+            Rect::from_coords(20.0, 20.0, 30.0, 30.0).into(), // empty
+        ]
+    }
+
+    #[test]
+    fn every_backend_is_constructible_and_exact() {
+        let (points, labels) = dataset(800, 1);
+        let oracle = BruteForceIndex::build(points.clone(), labels.clone());
+        for backend in IndexBackend::ALL {
+            let substrate = Substrate::build(backend, points.clone(), labels.clone());
+            assert_eq!(substrate.backend(), backend);
+            assert_eq!(substrate.len(), oracle.len(), "{backend}");
+            assert_eq!(substrate.total(), oracle.total(), "{backend}");
+            for region in &regions() {
+                assert_eq!(substrate.count(region), oracle.count(region), "{backend}");
+                assert_eq!(substrate.ids_in(region), oracle.ids_in(region), "{backend}");
+            }
+        }
+    }
+
+    #[test]
+    fn substrate_serves_alternate_world_counts() {
+        let (points, labels) = dataset(500, 2);
+        let n = points.len();
+        let world = BitLabels::from_fn(n, |i| i % 3 == 0);
+        let oracle = BruteForceIndex::build(points.clone(), labels.clone());
+        for backend in IndexBackend::ALL {
+            let substrate = Substrate::build(backend, points.clone(), labels.clone());
+            for region in &regions() {
+                assert_eq!(
+                    substrate.count_with(region, &world),
+                    oracle.count_with(region, &world),
+                    "{backend}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backend_knob_serializes_by_name() {
+        for backend in IndexBackend::ALL {
+            let json = serde_json::to_string(&backend).unwrap();
+            let back: IndexBackend = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, backend);
+        }
+        assert_eq!(IndexBackend::default(), IndexBackend::KdTree);
+        assert_eq!(IndexBackend::Grid.to_string(), "grid");
+    }
+
+    #[test]
+    fn empty_dataset_supported() {
+        for backend in IndexBackend::ALL {
+            let substrate = Substrate::build(backend, Vec::new(), BitLabels::zeros(0));
+            assert!(substrate.is_empty(), "{backend}");
+            assert_eq!(substrate.count(&regions()[0]), CountPair::default());
+        }
+    }
+}

@@ -327,7 +327,7 @@ fn best_split(
             // and deeper levels then separate it. Recursion still
             // terminates via max_depth / min_samples / purity.
             let gain = parent - w_impurity;
-            if gain > -1e-12 && best.as_ref().map_or(true, |(bw, _)| w_impurity < *bw) {
+            if gain > -1e-12 && best.as_ref().is_none_or(|(bw, _)| w_impurity < *bw) {
                 best = Some((w_impurity, split));
             }
         }
@@ -380,7 +380,7 @@ fn best_threshold_split(
         }
         let w =
             (n_left / n) * gini(n_left, p_left) + ((n - n_left) / n) * gini(n - n_left, p - p_left);
-        if best.as_ref().map_or(true, |(bw, ..)| w < *bw) {
+        if best.as_ref().is_none_or(|(bw, ..)| w < *bw) {
             best = Some((w, Split::Threshold { feature, value: t }, n_left, p_left));
         }
     }
@@ -414,7 +414,7 @@ fn best_equality_split(
     let mut best: Option<(f64, Split, f64, f64)> = None;
     for &(code, n_c, p_c) in &cats {
         let w = (n_c / n) * gini(n_c, p_c) + ((n - n_c) / n) * gini(n - n_c, p - p_c);
-        if best.as_ref().map_or(true, |(bw, ..)| w < *bw) {
+        if best.as_ref().is_none_or(|(bw, ..)| w < *bw) {
             best = Some((
                 w,
                 Split::Equal {

@@ -51,14 +51,14 @@ impl Auditor {
             return Err(ScanError::EmptyRegionSet);
         }
         let cfg = self.config;
-        let engine = ScanEngine::build(outcomes, regions, cfg.strategy);
+        let engine = ScanEngine::build_with(outcomes, regions, cfg.backend, cfg.strategy);
         let real = engine.scan_real(cfg.direction);
 
-        let mut mc = MonteCarlo::new(cfg.worlds, cfg.seed);
+        let mut mc = MonteCarlo::new(cfg.worlds, cfg.seed).with_strategy(cfg.mc_strategy);
         if !cfg.parallel {
             mc = mc.sequential();
         }
-        let mc_result = mc.run(real.tau, |rng| {
+        let mc_result = mc.run_adaptive(real.tau, cfg.alpha, |rng| {
             let labels = engine.generate_world(cfg.null_model, rng);
             engine.eval_world(&labels, cfg.direction)
         });
@@ -103,6 +103,7 @@ impl Auditor {
             p_value,
             critical_value,
             findings,
+            worlds_evaluated: mc_result.worlds_evaluated,
             simulated: mc_result.simulated,
         })
     }
@@ -250,6 +251,77 @@ mod tests {
             assert!(f.region.center().x > 5.0, "red finding at {}", f.region);
             assert!(f.rate < o.rate());
         }
+    }
+
+    #[test]
+    fn backends_produce_bit_identical_reports() {
+        use sfindex::IndexBackend;
+        let o = unfair_outcomes(1500, 21);
+        let reference = Auditor::new(config()).audit(&o, &grid()).unwrap();
+        for backend in IndexBackend::ALL {
+            let mut report = Auditor::new(config().with_backend(backend))
+                .audit(&o, &grid())
+                .unwrap();
+            // The report embeds its config; align the backend knob so
+            // the comparison checks the *results* are bit-identical.
+            report.config.backend = reference.config.backend;
+            assert_eq!(report, reference, "backend {backend} diverged");
+        }
+    }
+
+    #[test]
+    fn auto_strategy_matches_explicit_membership() {
+        let o = unfair_outcomes(800, 22);
+        let mem = Auditor::new(config().with_strategy(CountingStrategy::Membership))
+            .audit(&o, &grid())
+            .unwrap();
+        let mut auto = Auditor::new(config().with_strategy(CountingStrategy::Auto))
+            .audit(&o, &grid())
+            .unwrap();
+        auto.config.strategy = mem.config.strategy;
+        assert_eq!(auto, mem);
+    }
+
+    #[test]
+    fn early_stop_agrees_and_saves_worlds() {
+        use sfstats::montecarlo::McStrategy;
+        // Clearly unfair: certainty stop fires before the budget.
+        let o = unfair_outcomes(2000, 23);
+        let full = Auditor::new(config()).audit(&o, &grid()).unwrap();
+        let stopped =
+            Auditor::new(config().with_mc_strategy(McStrategy::EarlyStop { batch_size: 16 }))
+                .audit(&o, &grid())
+                .unwrap();
+        assert!(full.is_unfair());
+        assert_eq!(stopped.is_unfair(), full.is_unfair());
+        assert_eq!(full.worlds_evaluated, 199);
+        assert!(
+            stopped.worlds_evaluated < full.worlds_evaluated,
+            "certainty stop should save worlds ({} vs {})",
+            stopped.worlds_evaluated,
+            full.worlds_evaluated
+        );
+        // Evaluated worlds are a prefix of the full run (bit-identical
+        // per-world values regardless of stopping).
+        assert_eq!(
+            full.simulated[..stopped.worlds_evaluated],
+            stopped.simulated[..]
+        );
+
+        // Clearly fair: futility stop fires much earlier.
+        let o = fair_outcomes(2000, 24);
+        let full = Auditor::new(config()).audit(&o, &grid()).unwrap();
+        let stopped =
+            Auditor::new(config().with_mc_strategy(McStrategy::EarlyStop { batch_size: 16 }))
+                .audit(&o, &grid())
+                .unwrap();
+        assert!(full.is_fair());
+        assert_eq!(stopped.is_fair(), full.is_fair());
+        assert!(
+            stopped.worlds_evaluated <= 64,
+            "futility stop should fire fast, used {}",
+            stopped.worlds_evaluated
+        );
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use crate::direction::Direction;
 use serde::{Deserialize, Serialize};
+pub use sfindex::IndexBackend;
+pub use sfstats::montecarlo::McStrategy;
 
 /// How alternate-world labels are generated for the Monte Carlo
 /// calibration.
@@ -31,6 +33,14 @@ pub enum CountingStrategy {
     /// memory; slower). Exists mainly as the ablation baseline proving
     /// the membership path is an optimisation, not a semantic change.
     Requery,
+    /// Measure the membership density `Σ n(R)` against its `M·N` worst
+    /// case at build time and pick: [`CountingStrategy::Membership`]
+    /// while the id lists stay cheap, [`CountingStrategy::Requery`]
+    /// once materialising them would approach the dense extreme (see
+    /// `ScanEngine`'s docs for the exact rule). Counts are identical
+    /// either way — this knob only trades memory against per-world
+    /// constant factors.
+    Auto,
 }
 
 /// Knobs for a spatial-fairness audit.
@@ -50,6 +60,12 @@ pub struct AuditConfig {
     pub null_model: NullModel,
     /// Per-world counting strategy.
     pub strategy: CountingStrategy,
+    /// Spatial index backend answering the range-count queries (the
+    /// `Q` in the paper's `O(M · N · Q)` cost model).
+    pub backend: IndexBackend,
+    /// Monte Carlo budget strategy: spend the full budget, or stop at
+    /// the first batch where the verdict at `alpha` is decided.
+    pub mc_strategy: McStrategy,
     /// Evaluate worlds in parallel (results are identical either way).
     pub parallel: bool,
 }
@@ -57,7 +73,7 @@ pub struct AuditConfig {
 impl AuditConfig {
     /// Creates a config at significance level `alpha` with the paper's
     /// defaults: 999 worlds, two-sided, Bernoulli null, membership
-    /// counting, parallel.
+    /// counting, kd-tree backend, full Monte Carlo budget, parallel.
     ///
     /// # Panics
     /// Panics if `alpha` is outside `(0, 1)`.
@@ -73,6 +89,8 @@ impl AuditConfig {
             direction: Direction::TwoSided,
             null_model: NullModel::Bernoulli,
             strategy: CountingStrategy::Membership,
+            backend: IndexBackend::KdTree,
+            mc_strategy: McStrategy::FullBudget,
             parallel: true,
         }
     }
@@ -113,6 +131,27 @@ impl AuditConfig {
         self
     }
 
+    /// Sets the spatial index backend.
+    pub fn with_backend(mut self, backend: IndexBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the Monte Carlo budget strategy.
+    pub fn with_mc_strategy(mut self, mc_strategy: McStrategy) -> Self {
+        if let McStrategy::EarlyStop { batch_size } = mc_strategy {
+            assert!(batch_size > 0, "batch_size must be positive");
+        }
+        self.mc_strategy = mc_strategy;
+        self
+    }
+
+    /// Enables batched early-stopping Monte Carlo with the default
+    /// batch size (see [`McStrategy::EarlyStop`]).
+    pub fn with_early_stop(self) -> Self {
+        self.with_mc_strategy(McStrategy::early_stop())
+    }
+
     /// Disables parallel Monte Carlo (results unchanged).
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
@@ -143,6 +182,8 @@ mod tests {
         assert_eq!(c.worlds, 999);
         assert_eq!(c.direction, Direction::TwoSided);
         assert_eq!(c.null_model, NullModel::Bernoulli);
+        assert_eq!(c.backend, IndexBackend::KdTree);
+        assert_eq!(c.mc_strategy, McStrategy::FullBudget);
         assert!(c.budget_sufficient());
     }
 
@@ -154,14 +195,30 @@ mod tests {
             .with_direction(Direction::Low)
             .with_null_model(NullModel::Permutation)
             .with_strategy(CountingStrategy::Requery)
+            .with_backend(IndexBackend::Grid)
+            .with_mc_strategy(McStrategy::EarlyStop { batch_size: 16 })
             .sequential();
         assert_eq!(c.worlds, 99);
         assert_eq!(c.seed, 7);
         assert_eq!(c.direction, Direction::Low);
         assert_eq!(c.null_model, NullModel::Permutation);
         assert_eq!(c.strategy, CountingStrategy::Requery);
+        assert_eq!(c.backend, IndexBackend::Grid);
+        assert_eq!(c.mc_strategy, McStrategy::EarlyStop { batch_size: 16 });
         assert!(!c.parallel);
         assert!(c.budget_sufficient());
+    }
+
+    #[test]
+    fn early_stop_convenience() {
+        let c = AuditConfig::new(0.05).with_early_stop();
+        assert_eq!(c.mc_strategy, McStrategy::early_stop());
+    }
+
+    #[test]
+    fn auto_strategy_selectable() {
+        let c = AuditConfig::new(0.05).with_strategy(CountingStrategy::Auto);
+        assert_eq!(c.strategy, CountingStrategy::Auto);
     }
 
     #[test]
@@ -181,5 +238,11 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_worlds_rejected() {
         let _ = AuditConfig::new(0.05).with_worlds(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn zero_batch_rejected() {
+        let _ = AuditConfig::new(0.05).with_mc_strategy(McStrategy::EarlyStop { batch_size: 0 });
     }
 }

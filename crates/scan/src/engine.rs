@@ -5,6 +5,28 @@
 //! `n(R)`. A Monte Carlo world then only needs to (a) draw labels from
 //! the null model and (b) recount `p(R)` per region — a cache-friendly
 //! sweep over the membership lists against a label bitset.
+//!
+//! # Pluggable substrates
+//!
+//! The engine is generic over its [`CountingSubstrate`]: any index
+//! providing exact range counts and member-id enumeration can serve
+//! the scan. Production callers pick a backend at runtime through
+//! [`ScanEngine::build_with`] (driven by
+//! [`AuditConfig::backend`](crate::config::AuditConfig)); library
+//! users with a custom index use [`ScanEngine::from_index`]. Backends
+//! are exact, so every choice produces **bit-identical** audits — the
+//! cross-backend agreement tests pin that property.
+//!
+//! # Auto counting strategy
+//!
+//! [`CountingStrategy::Auto`] resolves Membership vs Requery from the
+//! measured membership density at build time: with `M` regions over
+//! `N` points, materialised id lists hold `Σ n(R)` of the `M·N`
+//! possible entries (4 bytes each). Auto picks Membership while that
+//! stays cheap (`Σ n(R) ≤ 2^26` ids, i.e. 256 MiB) and falls back to
+//! Requery when the lists grow past the cap *or* past half the dense
+//! `M·N` extreme on large inputs — the regime where replaying ids
+//! loses its cache advantage and the memory bill dominates.
 
 use crate::config::{CountingStrategy, NullModel};
 use crate::direction::Direction;
@@ -12,8 +34,38 @@ use crate::outcomes::SpatialOutcomes;
 use crate::regions::RegionSet;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use sfindex::{BitLabels, CountPair, KdTree, Membership, PointVisit, RangeCount};
+use sfindex::{BitLabels, CountPair, CountingSubstrate, IndexBackend, Membership, Substrate};
 use sfstats::llr::{bernoulli_llr_directed, Counts2x2};
+use std::cell::RefCell;
+
+/// Membership id cap for [`CountingStrategy::Auto`]: 2^26 ids
+/// (256 MiB of `u32`s).
+const AUTO_MAX_MEMBERSHIP_IDS: u64 = 1 << 26;
+
+/// Density threshold for [`CountingStrategy::Auto`] on large inputs:
+/// above half the dense `M·N` extreme, requery wins on memory without
+/// losing asymptotics.
+const AUTO_DENSITY_CAP: f64 = 0.5;
+
+/// When the *measured* membership total `Σ n(R)` is below this many
+/// ids, Auto always takes Membership (density is irrelevant when the
+/// materialized lists fit in cache).
+const AUTO_SMALL_INPUT_IDS: u64 = 1 << 22;
+
+/// Largest capacity (in ids) the per-thread Fisher–Yates scratch
+/// keeps between worlds: 2^22 ids = 16 MiB per worker thread. Audits
+/// beyond this size re-allocate per world rather than pinning the
+/// buffer for the thread's lifetime.
+const FISHER_YATES_RETAIN_CAP: usize = 1 << 22;
+
+thread_local! {
+    /// Reusable partial-Fisher–Yates index buffer: permutation worlds
+    /// need a `0..n` id array to sample exactly `P` positive positions;
+    /// reusing one buffer per thread removes an `O(n)` allocation from
+    /// every world while keeping results bit-identical (the buffer is
+    /// deterministically re-initialised per world).
+    static FISHER_YATES_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Result of scanning the *real* world: per-region statistics.
 #[derive(Debug, Clone)]
@@ -29,38 +81,91 @@ pub struct RealScan {
 }
 
 /// Precomputed scan state shared by the real-world pass and every
-/// Monte Carlo world.
-pub struct ScanEngine {
-    index: KdTree,
+/// Monte Carlo world, generic over the counting substrate.
+pub struct ScanEngine<I: CountingSubstrate = Substrate> {
+    index: I,
     membership: Option<Membership>,
     regions: Vec<sfgeo::Region>,
     region_n: Vec<u64>,
     n_total: u64,
     p_total: u64,
     real_labels: Vec<bool>,
-    strategy: CountingStrategy,
+    /// The strategy actually in effect (`Auto` is resolved at build).
+    resolved_strategy: CountingStrategy,
 }
 
-impl ScanEngine {
-    /// Builds the engine: spatial index, membership lists (when the
-    /// strategy asks for them), world-invariant `n(R)`.
+impl ScanEngine<Substrate> {
+    /// Builds the engine over the default backend
+    /// ([`IndexBackend::KdTree`]): spatial index, membership lists
+    /// (when the strategy asks for them), world-invariant `n(R)`.
     pub fn build(
         outcomes: &SpatialOutcomes,
         regions: &RegionSet,
         strategy: CountingStrategy,
     ) -> Self {
+        Self::build_with(outcomes, regions, IndexBackend::default(), strategy)
+    }
+
+    /// Builds the engine over the backend named by `backend`.
+    pub fn build_with(
+        outcomes: &SpatialOutcomes,
+        regions: &RegionSet,
+        backend: IndexBackend,
+        strategy: CountingStrategy,
+    ) -> Self {
         let labels = outcomes.bit_labels();
-        let index = KdTree::build(outcomes.points().to_vec(), labels);
+        let index = Substrate::build(backend, outcomes.points().to_vec(), labels);
+        Self::from_index(index, outcomes, regions, strategy)
+    }
+}
+
+impl<I: CountingSubstrate> ScanEngine<I> {
+    /// Builds the engine over a caller-provided substrate (custom
+    /// indexes plug in here).
+    pub fn from_index(
+        index: I,
+        outcomes: &SpatialOutcomes,
+        regions: &RegionSet,
+        strategy: CountingStrategy,
+    ) -> Self {
+        assert_eq!(
+            index.len(),
+            outcomes.len(),
+            "substrate must index exactly the audited points"
+        );
         let region_vec = regions.regions().to_vec();
-        let membership = match strategy {
+        // World-invariant n(R). The Membership path reads it from the
+        // id lists it builds anyway; Requery/Auto measure it with one
+        // range-count query per region (for Auto that measurement IS
+        // the membership density the resolution rule decides on).
+        let count_region_n =
+            |index: &I| -> Vec<u64> { region_vec.iter().map(|r| index.count(r).n).collect() };
+        let membership_region_n =
+            |m: &Membership| -> Vec<u64> { (0..m.num_regions()).map(|r| m.n_of(r)).collect() };
+        let (resolved_strategy, membership, region_n) = match strategy {
             CountingStrategy::Membership => {
-                Some(Membership::build(&index, outcomes.len(), &region_vec))
+                let m = Membership::build(&index, outcomes.len(), &region_vec);
+                let region_n = membership_region_n(&m);
+                (CountingStrategy::Membership, Some(m), region_n)
             }
-            CountingStrategy::Requery => None,
-        };
-        let region_n: Vec<u64> = match &membership {
-            Some(m) => (0..m.num_regions()).map(|r| m.n_of(r)).collect(),
-            None => region_vec.iter().map(|r| index.count(r).n).collect(),
+            CountingStrategy::Requery => (CountingStrategy::Requery, None, count_region_n(&index)),
+            CountingStrategy::Auto => {
+                let region_n = count_region_n(&index);
+                let total_ids: u64 = region_n.iter().sum();
+                let resolved = resolve_strategy(
+                    strategy,
+                    total_ids,
+                    region_vec.len() as u64,
+                    outcomes.len() as u64,
+                );
+                match resolved {
+                    CountingStrategy::Membership => {
+                        let m = Membership::build(&index, outcomes.len(), &region_vec);
+                        (resolved, Some(m), region_n)
+                    }
+                    _ => (resolved, None, region_n),
+                }
+            }
         };
         ScanEngine {
             index,
@@ -70,7 +175,7 @@ impl ScanEngine {
             n_total: outcomes.len() as u64,
             p_total: outcomes.positives(),
             real_labels: outcomes.labels().to_vec(),
-            strategy,
+            resolved_strategy,
         }
     }
 
@@ -97,14 +202,31 @@ impl ScanEngine {
         &self.region_n
     }
 
+    /// Total membership ids `Σ n(R)` — the measured density numerator
+    /// that [`CountingStrategy::Auto`] decides on.
+    pub fn total_membership_ids(&self) -> u64 {
+        self.region_n.iter().sum()
+    }
+
+    /// The strategy in effect after resolving
+    /// [`CountingStrategy::Auto`] (never `Auto` itself).
+    pub fn resolved_strategy(&self) -> CountingStrategy {
+        self.resolved_strategy
+    }
+
+    /// The substrate serving this engine's range counts.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
     /// Scans the real world: per-region counts, LLRs, and `τ`.
     pub fn scan_real(&self, direction: Direction) -> RealScan {
         let real_bits = BitLabels::from_bools(&self.real_labels);
-        let counts: Vec<CountPair> = match (&self.membership, self.strategy) {
-            (Some(m), _) => (0..self.regions.len())
+        let counts: Vec<CountPair> = match &self.membership {
+            Some(m) => (0..self.regions.len())
                 .map(|r| m.count(r, &real_bits))
                 .collect(),
-            (None, _) => self.regions.iter().map(|r| self.index.count(r)).collect(),
+            None => self.regions.iter().map(|r| self.index.count(r)).collect(),
         };
         let mut llrs = Vec::with_capacity(counts.len());
         let mut tau = 0.0f64;
@@ -133,7 +255,9 @@ impl ScanEngine {
     /// * [`NullModel::Bernoulli`] — each label is `Bernoulli(ρ̂)`
     ///   (the paper's model; world totals vary).
     /// * [`NullModel::Permutation`] — a uniform permutation of the
-    ///   observed labels (exactly `P` positives per world).
+    ///   observed labels (exactly `P` positives per world), sampled by
+    ///   a partial Fisher–Yates over a reusable per-thread scratch
+    ///   buffer (no per-world allocation).
     pub fn generate_world(&self, null_model: NullModel, rng: &mut ChaCha8Rng) -> BitLabels {
         let n = self.n_total as usize;
         match null_model {
@@ -144,13 +268,25 @@ impl ScanEngine {
             NullModel::Permutation => {
                 // Partial Fisher-Yates: choose exactly P positions.
                 let p = self.p_total as usize;
-                let mut idx: Vec<u32> = (0..n as u32).collect();
                 let mut labels = BitLabels::zeros(n);
-                for i in 0..p {
-                    let j = rng.gen_range(i..n);
-                    idx.swap(i, j);
-                    labels.set(idx[i] as usize, true);
-                }
+                FISHER_YATES_SCRATCH.with(|scratch| {
+                    let mut idx = scratch.borrow_mut();
+                    // Deterministic re-init per world: same contents as
+                    // a fresh `(0..n).collect()`, without the alloc.
+                    idx.clear();
+                    idx.extend(0..n as u32);
+                    for i in 0..p {
+                        let j = rng.gen_range(i..n);
+                        idx.swap(i, j);
+                        labels.set(idx[i] as usize, true);
+                    }
+                    // Don't let one huge audit pin a worker-lifetime
+                    // buffer: long-lived processes serve many engines.
+                    if idx.capacity() > FISHER_YATES_RETAIN_CAP {
+                        idx.clear();
+                        idx.shrink_to(FISHER_YATES_RETAIN_CAP);
+                    }
+                });
                 labels
             }
         }
@@ -162,8 +298,8 @@ impl ScanEngine {
     pub fn eval_world(&self, labels: &BitLabels, direction: Direction) -> f64 {
         let p_world = labels.count_ones();
         let mut tau = 0.0f64;
-        match (&self.membership, self.strategy) {
-            (Some(m), _) => {
+        match &self.membership {
+            Some(m) => {
                 for (r, &n_r) in self.region_n.iter().enumerate() {
                     if n_r == 0 {
                         continue;
@@ -178,7 +314,7 @@ impl ScanEngine {
                     }
                 }
             }
-            (None, _) => {
+            None => {
                 for (region, &n_r) in self.regions.iter().zip(&self.region_n) {
                     if n_r == 0 {
                         continue;
@@ -196,6 +332,34 @@ impl ScanEngine {
             }
         }
         tau
+    }
+}
+
+/// Resolves [`CountingStrategy::Auto`] from the measured membership
+/// density (see the module docs for the rule and rationale).
+fn resolve_strategy(
+    requested: CountingStrategy,
+    total_ids: u64,
+    num_regions: u64,
+    num_points: u64,
+) -> CountingStrategy {
+    match requested {
+        CountingStrategy::Membership | CountingStrategy::Requery => requested,
+        CountingStrategy::Auto => {
+            if total_ids <= AUTO_SMALL_INPUT_IDS {
+                return CountingStrategy::Membership;
+            }
+            if total_ids > AUTO_MAX_MEMBERSHIP_IDS {
+                return CountingStrategy::Requery;
+            }
+            let dense_extreme = (num_regions as f64) * (num_points as f64);
+            let density = total_ids as f64 / dense_extreme.max(1.0);
+            if density > AUTO_DENSITY_CAP {
+                CountingStrategy::Requery
+            } else {
+                CountingStrategy::Membership
+            }
+        }
     }
 }
 
@@ -254,6 +418,71 @@ mod tests {
     }
 
     #[test]
+    fn all_backends_produce_identical_scans_and_worlds() {
+        let o = outcomes();
+        let reference = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let ref_real = reference.scan_real(Direction::TwoSided);
+        for backend in IndexBackend::ALL {
+            for strategy in [
+                CountingStrategy::Membership,
+                CountingStrategy::Requery,
+                CountingStrategy::Auto,
+            ] {
+                let e = ScanEngine::build_with(&o, &region_set(), backend, strategy);
+                let real = e.scan_real(Direction::TwoSided);
+                assert_eq!(real.counts, ref_real.counts, "{backend} {strategy:?}");
+                assert_eq!(real.llrs, ref_real.llrs, "{backend} {strategy:?}");
+                assert_eq!(real.tau, ref_real.tau, "{backend} {strategy:?}");
+                for world in 0..5 {
+                    let mut rng = sfstats::rng::world_rng(9, world);
+                    let labels = e.generate_world(NullModel::Permutation, &mut rng);
+                    let mut ref_rng = sfstats::rng::world_rng(9, world);
+                    let ref_labels = reference.generate_world(NullModel::Permutation, &mut ref_rng);
+                    assert_eq!(labels, ref_labels, "worlds must not depend on backend");
+                    assert_eq!(
+                        e.eval_world(&labels, Direction::TwoSided),
+                        reference.eval_world(&ref_labels, Direction::TwoSided),
+                        "{backend} {strategy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_resolves_to_membership_on_small_inputs() {
+        let o = outcomes();
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Auto);
+        assert_eq!(e.resolved_strategy(), CountingStrategy::Membership);
+        assert_eq!(e.total_membership_ids(), 100);
+    }
+
+    #[test]
+    fn auto_resolution_rule() {
+        use CountingStrategy::*;
+        // Small inputs: always membership, even at density 1.
+        assert_eq!(
+            resolve_strategy(Auto, 1 << 20, 1 << 10, 1 << 10),
+            Membership
+        );
+        // Over the absolute id cap: requery.
+        assert_eq!(
+            resolve_strategy(Auto, (1 << 26) + 1, 1 << 13, 1 << 20),
+            Requery
+        );
+        // Large but sparse: membership.
+        assert_eq!(
+            resolve_strategy(Auto, 1 << 24, 1 << 10, 1 << 20),
+            Membership
+        );
+        // Large and dense (> half of M*N): requery.
+        assert_eq!(resolve_strategy(Auto, 1 << 24, 1 << 4, 1 << 20), Requery);
+        // Explicit strategies pass through untouched.
+        assert_eq!(resolve_strategy(Membership, u64::MAX, 1, 1), Membership);
+        assert_eq!(resolve_strategy(Requery, 0, 1, 1), Requery);
+    }
+
+    #[test]
     fn bernoulli_worlds_vary_in_totals() {
         let o = outcomes();
         let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
@@ -286,6 +515,29 @@ mod tests {
         let mut rng = sfstats::rng::world_rng(2, 1);
         let b = e.generate_world(NullModel::Permutation, &mut rng);
         assert_ne!(a, b, "different worlds must differ");
+    }
+
+    #[test]
+    fn permutation_scratch_reuse_is_deterministic() {
+        // Generating the same world repeatedly on one thread (dirty
+        // scratch buffer) must give identical labels every time.
+        let o = outcomes();
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let draws: Vec<BitLabels> = (0..3)
+            .map(|_| {
+                let mut rng = sfstats::rng::world_rng(4, 7);
+                e.generate_world(NullModel::Permutation, &mut rng)
+            })
+            .collect();
+        assert_eq!(draws[0], draws[1]);
+        assert_eq!(draws[1], draws[2]);
+        // And interleaving different worlds does not cross-contaminate.
+        let mut rng = sfstats::rng::world_rng(4, 8);
+        let other = e.generate_world(NullModel::Permutation, &mut rng);
+        let mut rng = sfstats::rng::world_rng(4, 7);
+        let again = e.generate_world(NullModel::Permutation, &mut rng);
+        assert_ne!(other, draws[0]);
+        assert_eq!(again, draws[0]);
     }
 
     #[test]

@@ -30,9 +30,20 @@
 //! * [`regions`] — candidate region enumeration: grid partitions,
 //!   random rectangular partitionings, §4.3 square scans around
 //!   k-means centers, circles.
-//! * [`engine`] — region counting (via `sfindex`) and the fast
+//! * [`engine`] — region counting over a pluggable
+//!   [`sfindex::CountingSubstrate`] (brute force, kd-tree, quadtree,
+//!   R-tree, or uniform grid — selected at runtime via
+//!   [`config::AuditConfig::backend`], all bit-identical) and the fast
 //!   membership-based Monte Carlo world evaluation.
+//!   [`config::CountingStrategy::Auto`] resolves Membership vs Requery
+//!   counting from the measured membership density `Σ n(R)` vs `M·N`.
 //! * [`audit`] — the [`audit::Auditor`] driver tying it together.
+//!   With [`config::McStrategy::EarlyStop`], the Monte Carlo
+//!   calibration evaluates worlds in batches and stops at the first
+//!   batch where the verdict at `α` is decided (Besag–Clifford-style
+//!   sequential stopping); the verdict always matches the full-budget
+//!   run, and [`report::AuditReport::worlds_evaluated`] records the
+//!   spend.
 //! * [`identify`] — evidence selection: top-k and the §4.3
 //!   non-overlapping greedy pass.
 //! * [`meanvar`] — the baseline and its per-partition contribution
@@ -60,7 +71,7 @@ pub mod report;
 pub mod suite;
 
 pub use audit::Auditor;
-pub use config::{AuditConfig, CountingStrategy, NullModel};
+pub use config::{AuditConfig, CountingStrategy, IndexBackend, McStrategy, NullModel};
 pub use direction::Direction;
 pub use error::ScanError;
 pub use meanvar::{MeanVar, MeanVarResult, PartitionContribution};

@@ -99,6 +99,9 @@ pub struct RateReport {
     pub critical_value: f64,
     /// Significance level used.
     pub alpha: f64,
+    /// Monte Carlo worlds actually evaluated (fewer than the budget
+    /// when early stopping decided the verdict sooner).
+    pub worlds_evaluated: usize,
     /// Significant cells, ranked by LLR descending.
     pub findings: Vec<RateFinding>,
 }
@@ -113,8 +116,9 @@ impl RateReport {
 /// Audits an area-level rate surface for spatial homogeneity.
 ///
 /// Uses `config.alpha`, `config.worlds`, `config.seed`,
-/// `config.direction` and `config.parallel`; the Bernoulli-specific
-/// fields (null model, counting strategy) do not apply here.
+/// `config.direction`, `config.mc_strategy` and `config.parallel`; the
+/// Bernoulli-specific fields (null model, counting strategy, index
+/// backend) do not apply here.
 pub fn audit_rates(config: &AuditConfig, data: &CellCounts) -> Result<RateReport, ScanError> {
     let c_total = data.total_observed();
     let mu_total = data.total_exposure();
@@ -139,12 +143,14 @@ pub fn audit_rates(config: &AuditConfig, data: &CellCounts) -> Result<RateReport
     let observed_tau = eval(&data.observed);
 
     // Null calibration: condition on C and redistribute by exposure.
+    // The Monte Carlo budget strategy (early stopping) applies here
+    // exactly as in the Bernoulli audit.
     let alias = AliasTable::new(&data.exposure);
-    let mut mc = MonteCarlo::new(config.worlds, config.seed);
+    let mut mc = MonteCarlo::new(config.worlds, config.seed).with_strategy(config.mc_strategy);
     if !config.parallel {
         mc = mc.sequential();
     }
-    let result = mc.run(observed_tau, |rng| {
+    let result = mc.run_adaptive(observed_tau, config.alpha, |rng| {
         let world = alias.sample_counts(c_total, rng);
         eval(&world)
     });
@@ -180,6 +186,7 @@ pub fn audit_rates(config: &AuditConfig, data: &CellCounts) -> Result<RateReport
         p_value,
         critical_value,
         alpha: config.alpha,
+        worlds_evaluated: result.worlds_evaluated,
         findings,
     })
 }

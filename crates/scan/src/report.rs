@@ -82,9 +82,20 @@ pub struct AuditReport {
     pub critical_value: f64,
     /// All individually significant regions, sorted by LLR descending
     /// (the paper's ranking by SUL).
+    ///
+    /// Under early stopping the critical value these are filtered by
+    /// comes from the truncated simulated distribution, so *marginal*
+    /// findings can differ from a full-budget run (the verdict never
+    /// does); see
+    /// [`McStrategy::EarlyStop`](crate::config::McStrategy).
     pub findings: Vec<RegionFinding>,
+    /// Monte Carlo worlds actually evaluated: equals the configured
+    /// budget unless early stopping
+    /// ([`McStrategy::EarlyStop`](crate::config::McStrategy)) decided
+    /// the verdict sooner.
+    pub worlds_evaluated: usize,
     /// The simulated max-statistic distribution (diagnostics; length =
-    /// number of simulated worlds).
+    /// `worlds_evaluated`).
     pub simulated: Vec<f64>,
 }
 
@@ -134,6 +145,13 @@ impl std::fmt::Display for AuditReport {
             "  direction: {}, alpha={}, worlds={}",
             self.config.direction, self.config.alpha, self.config.worlds
         )?;
+        if self.worlds_evaluated < self.config.worlds {
+            writeln!(
+                f,
+                "  early stop: verdict decided after {} of {} worlds",
+                self.worlds_evaluated, self.config.worlds
+            )?;
+        }
         writeln!(
             f,
             "  tau={:.3}, p-value={:.4}, critical LLR={:.3}",
@@ -185,6 +203,7 @@ mod tests {
                 rate: 28.0 / 30.0,
                 llr: 12.5,
             }],
+            worlds_evaluated: 99,
             simulated: vec![1.0; 99],
         }
     }

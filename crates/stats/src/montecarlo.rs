@@ -8,8 +8,45 @@
 //! This module provides the orchestration: the caller supplies a
 //! *world evaluator* — a closure that, given the world's RNG, generates
 //! labels and returns that world's maximum statistic `τ`. The engine
-//! runs the `w − 1` worlds in parallel with deterministic per-world RNG
-//! streams and assembles p-value and critical-value information.
+//! runs worlds in parallel with deterministic per-world RNG streams and
+//! assembles p-value and critical-value information.
+//!
+//! # Adaptive early termination
+//!
+//! [`MonteCarlo::run_adaptive`] evaluates worlds in fixed-size batches
+//! and stops — Besag–Clifford-style sequential stopping (Besag &
+//! Clifford, *Biometrika* 1991) — as soon as the final rank p-value
+//! can no longer cross the significance level `α` in either direction.
+//! After `m` of the `W` budgeted worlds, with `e_m` simulated
+//! statistics `≥ τ`, the full-budget rank `k_W = 1 + e_W` is bounded
+//! by `1 + e_m ≤ k_W ≤ 1 + e_m + (W − m)`; writing `K` for the
+//! largest rank with `K/(W+1) ≤ α` (computed with the same
+//! floating-point comparison the verdict uses, NOT `⌊α·(W+1)⌋`,
+//! whose multiply can round across an integer boundary):
+//!
+//! * **futility** — `1 + e_m > K`: no future outcome can reach
+//!   significance (the common case on *fair* data, where `e` grows
+//!   linearly and the audit stops after roughly `2K` worlds instead
+//!   of `W`);
+//! * **certainty** — `1 + e_m + (W − m) ≤ K`: even if every remaining
+//!   world exceeded `τ`, the result stays significant (saves up to
+//!   `K` worlds on clearly-unfair data).
+//!
+//! Both stopping rules are *sound*, including in floating point: the
+//! truncated rank p-value `(1 + e_m)/(m + 1)` lands on the same side
+//! of `α` as the full-budget p-value would. In real arithmetic,
+//! futility gives `(1+e_m)/(m+1) ≥ (1+e_m)/w ≥ (K+1)/w` and certainty
+//! gives `(1+e_m)/(m+1) ≤ (K−(W−m))/(w−(W−m)) ≤ K/w`; correctly
+//! rounded division is monotone, so the rounded p-values inherit the
+//! comparisons `> α` and `≤ α` from `K`'s defining property. Hence
+//! [`MonteCarloResult::is_significant`] at the stopping `α` always
+//! agrees with the full run — a property pinned by this crate's
+//! proptests and the ulp-boundary regression tests.
+//!
+//! Because every world `i` draws from the independent stream
+//! `world_rng(seed, i)`, batching changes *which* worlds are
+//! evaluated, never their values: a run that reaches the full budget
+//! is bit-identical to [`MonteCarlo::run`].
 //!
 //! Keeping label generation in the caller lets the scan layer use its
 //! fast membership-list counting without this crate depending on
@@ -19,8 +56,65 @@ use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::pvalue::{critical_value, rank_p_value};
+use crate::pvalue::{critical_value, largest_significant_rank, rank_p_value};
 use crate::rng::world_rng;
+
+/// How the Monte Carlo budget is spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum McStrategy {
+    /// Always evaluate every budgeted world (the paper's procedure).
+    #[default]
+    FullBudget,
+    /// Evaluate worlds in fixed-size batches and stop at the first
+    /// batch boundary where the verdict at the configured `α` is
+    /// decided (see the module docs). Results are bit-identical to
+    /// [`McStrategy::FullBudget`] whenever the full budget is reached.
+    ///
+    /// What is guaranteed on an early stop is the **global verdict**
+    /// (`is_significant` at the stopping `α`). Quantities derived
+    /// from the simulated distribution's exact shape — the critical
+    /// value, and therefore marginal entries of a per-region findings
+    /// list — come from the truncated sample and can differ at the
+    /// edges from a full-budget run. Audits that publish per-region
+    /// evidence at full fidelity should keep `FullBudget`.
+    EarlyStop {
+        /// Worlds per batch (the stopping rule is checked at batch
+        /// boundaries; smaller batches stop sooner but synchronize
+        /// more often).
+        batch_size: usize,
+    },
+}
+
+impl McStrategy {
+    /// The default batch size for [`McStrategy::EarlyStop`].
+    pub const DEFAULT_BATCH: usize = 64;
+
+    /// Early stopping with the default batch size.
+    pub fn early_stop() -> Self {
+        McStrategy::EarlyStop {
+            batch_size: Self::DEFAULT_BATCH,
+        }
+    }
+
+    /// Stable lowercase name (CLI/bench labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            McStrategy::FullBudget => "full-budget",
+            McStrategy::EarlyStop { .. } => "early-stop",
+        }
+    }
+}
+
+impl std::fmt::Display for McStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            McStrategy::FullBudget => f.write_str("full-budget"),
+            McStrategy::EarlyStop { batch_size } => {
+                write!(f, "early-stop(batch={batch_size})")
+            }
+        }
+    }
+}
 
 /// Configuration and driver for a Monte Carlo significance simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,6 +127,8 @@ pub struct MonteCarlo {
     pub seed: u64,
     /// Evaluate worlds in parallel (deterministic either way).
     pub parallel: bool,
+    /// Budget strategy honored by [`MonteCarlo::run_adaptive`].
+    pub strategy: McStrategy,
 }
 
 impl MonteCarlo {
@@ -42,6 +138,7 @@ impl MonteCarlo {
             worlds,
             seed,
             parallel: true,
+            strategy: McStrategy::FullBudget,
         }
     }
 
@@ -52,7 +149,16 @@ impl MonteCarlo {
         self
     }
 
-    /// Runs the simulation.
+    /// Sets the budget strategy used by [`MonteCarlo::run_adaptive`].
+    pub fn with_strategy(mut self, strategy: McStrategy) -> Self {
+        if let McStrategy::EarlyStop { batch_size } = strategy {
+            assert!(batch_size > 0, "batch_size must be positive");
+        }
+        self.strategy = strategy;
+        self
+    }
+
+    /// Runs the simulation over the full budget.
     ///
     /// `eval_world` receives the world's deterministic RNG and must
     /// return that world's maximum statistic `τ`. `observed` is the real
@@ -68,16 +174,91 @@ impl MonteCarlo {
             self.worlds > 0,
             "Monte Carlo needs at least one simulated world"
         );
+        let simulated = self.eval_range(0, self.worlds, &eval_world);
+        MonteCarloResult::new(observed, simulated)
+    }
+
+    /// Runs the simulation honoring [`MonteCarlo::strategy`], stopping
+    /// early once the verdict at significance level `alpha` is decided
+    /// (see the module docs for the stopping rule and its soundness).
+    ///
+    /// With [`McStrategy::FullBudget`] this is exactly [`MonteCarlo::run`].
+    ///
+    /// # Panics
+    /// Panics if `worlds == 0` or `alpha` is outside `(0, 1)`.
+    pub fn run_adaptive<F>(&self, observed: f64, alpha: f64, eval_world: F) -> MonteCarloResult
+    where
+        F: Fn(&mut ChaCha8Rng) -> f64 + Sync,
+    {
+        assert!(
+            self.worlds > 0,
+            "Monte Carlo needs at least one simulated world"
+        );
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
+        let batch_size = match self.strategy {
+            McStrategy::FullBudget => return self.run(observed, eval_world),
+            McStrategy::EarlyStop { batch_size } => {
+                // The builders assert this too, but the fields are pub
+                // (and deserializable): reject consistently rather than
+                // silently clamping.
+                assert!(batch_size > 0, "batch_size must be positive");
+                batch_size
+            }
+        };
+        let budget = self.worlds;
+        let w = budget + 1;
+        // Significance needs final rank k = 1 + e_W <= K, where K is
+        // the largest rank with k/w <= alpha — derived with the SAME
+        // floating-point comparison `is_significant` uses, not from
+        // `floor(alpha*w)`: the multiply can round across an integer
+        // boundary (e.g. alpha one ulp below 0.9 with w = 10 gives
+        // `alpha*10.0 == 9.0` exactly), and any mismatch would let an
+        // early stop contradict the full-budget verdict.
+        let k_allow = largest_significant_rank(alpha, w);
+        debug_assert!(
+            (k_allow == 0 || (k_allow as f64) / (w as f64) <= alpha)
+                && (k_allow == w || ((k_allow + 1) as f64) / (w as f64) > alpha),
+            "k_allow must be the exact significance boundary"
+        );
+
+        let mut simulated: Vec<f64> = Vec::with_capacity(batch_size.min(budget));
+        let mut exceed = 0usize;
+        let mut next = 0usize;
+        while next < budget {
+            let end = (next + batch_size).min(budget);
+            let batch = self.eval_range(next, end, &eval_world);
+            exceed += batch.iter().filter(|&&tau| tau >= observed).count();
+            simulated.extend_from_slice(&batch);
+            next = end;
+
+            let evaluated = simulated.len();
+            let remaining = budget - evaluated;
+            let futile = 1 + exceed > k_allow;
+            let certain = 1 + exceed + remaining <= k_allow;
+            if futile || certain {
+                break;
+            }
+        }
+        MonteCarloResult::with_budget(observed, simulated, budget)
+    }
+
+    /// Evaluates worlds `start..end` with their deterministic streams.
+    fn eval_range<F>(&self, start: usize, end: usize, eval_world: &F) -> Vec<f64>
+    where
+        F: Fn(&mut ChaCha8Rng) -> f64 + Sync,
+    {
         let simulate = |i: usize| -> f64 {
             let mut rng = world_rng(self.seed, i as u64);
             eval_world(&mut rng)
         };
-        let simulated: Vec<f64> = if self.parallel {
-            (0..self.worlds).into_par_iter().map(simulate).collect()
+        if self.parallel {
+            (start..end).into_par_iter().map(simulate).collect()
         } else {
-            (0..self.worlds).map(simulate).collect()
-        };
-        MonteCarloResult::new(observed, simulated)
+            (start..end).map(simulate).collect()
+        }
     }
 }
 
@@ -87,26 +268,57 @@ impl MonteCarlo {
 pub struct MonteCarloResult {
     /// The real world's statistic `τ`.
     pub observed: f64,
-    /// The `w − 1` simulated statistics.
+    /// The simulated statistics of every *evaluated* world (the full
+    /// `w − 1` unless the run stopped early).
     pub simulated: Vec<f64>,
+    /// Number of worlds actually evaluated (`== simulated.len()`).
+    pub worlds_evaluated: usize,
+    /// The configured budget (`w − 1`); `worlds_evaluated < budget`
+    /// iff the run stopped early.
+    pub budget: usize,
 }
 
 impl MonteCarloResult {
-    /// Builds a result from raw pieces (validating non-emptiness).
+    /// Builds a full-budget result from raw pieces (validating
+    /// non-emptiness).
     pub fn new(observed: f64, simulated: Vec<f64>) -> Self {
+        let budget = simulated.len();
+        Self::with_budget(observed, simulated, budget)
+    }
+
+    /// Builds a result that may have stopped before exhausting
+    /// `budget`.
+    pub fn with_budget(observed: f64, simulated: Vec<f64>, budget: usize) -> Self {
         assert!(!simulated.is_empty(), "need at least one simulated world");
+        assert!(
+            simulated.len() <= budget,
+            "evaluated {} worlds but budget is {budget}",
+            simulated.len()
+        );
         MonteCarloResult {
             observed,
+            worlds_evaluated: simulated.len(),
             simulated,
+            budget,
         }
     }
 
-    /// Total number of worlds `w` (simulated + the real one).
+    /// Total number of evaluated worlds `w` (simulated + the real one).
     pub fn num_worlds(&self) -> usize {
         self.simulated.len() + 1
     }
 
-    /// The rank p-value `k/w` of the observed statistic.
+    /// `true` iff the run stopped before exhausting its budget.
+    pub fn early_stopped(&self) -> bool {
+        self.worlds_evaluated < self.budget
+    }
+
+    /// The rank p-value `k/w` of the observed statistic over the
+    /// evaluated worlds.
+    ///
+    /// For an early-stopped run this is the Besag–Clifford sequential
+    /// p-value: a valid p-value whose comparison against the stopping
+    /// `α` always matches the full-budget verdict (module docs).
     pub fn p_value(&self) -> f64 {
         rank_p_value(self.observed, &self.simulated)
     }
@@ -114,6 +326,11 @@ impl MonteCarloResult {
     /// The significance threshold for *any* statistic at level `alpha`
     /// (see [`critical_value`]): region statistics above this value are
     /// individually significant.
+    ///
+    /// For an early-stopped run the threshold comes from the truncated
+    /// simulated distribution — coarser, but only futility stops can
+    /// truncate aggressively, and those runs have no significant
+    /// regions to rank.
     pub fn critical_value(&self, alpha: f64) -> f64 {
         critical_value(&self.simulated, alpha)
     }
@@ -160,6 +377,9 @@ mod tests {
         let r = MonteCarlo::new(99, 7).run(1e9, eval);
         assert_eq!(r.p_value(), 1.0 / 100.0);
         assert!(r.is_significant(0.05));
+        assert!(!r.early_stopped());
+        assert_eq!(r.worlds_evaluated, 99);
+        assert_eq!(r.budget, 99);
     }
 
     #[test]
@@ -209,5 +429,186 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_worlds_rejected() {
         let _ = MonteCarlo::new(0, 1).run(0.0, |_| 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive early stopping
+    // ------------------------------------------------------------------
+
+    fn adaptive(worlds: usize, seed: u64, batch: usize) -> MonteCarlo {
+        MonteCarlo::new(worlds, seed).with_strategy(McStrategy::EarlyStop { batch_size: batch })
+    }
+
+    #[test]
+    fn full_budget_strategy_is_bit_identical_via_adaptive() {
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        let full = MonteCarlo::new(199, 5).run(0.42, eval);
+        let adaptive = MonteCarlo::new(199, 5).run_adaptive(0.42, 0.05, eval);
+        assert_eq!(full, adaptive, "FullBudget run_adaptive must match run");
+    }
+
+    #[test]
+    fn completed_early_stop_run_matches_full_run_exactly() {
+        // An observation near the middle keeps the verdict undecided
+        // until late; when the budget is exhausted, the result must be
+        // bit-identical to the non-adaptive run.
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        let full = MonteCarlo::new(99, 6).run(0.0, eval);
+        let adapt = adaptive(99, 6, 10).run_adaptive(0.0, 0.5, eval);
+        // observed 0.0 is below every sim: futility can only trigger
+        // once enough sims accumulate. With alpha=0.5, K=50, futility
+        // needs e_m > 49 -> m >= 50; so it stops early but every
+        // evaluated world equals the full run's prefix.
+        assert_eq!(
+            full.simulated[..adapt.worlds_evaluated],
+            adapt.simulated[..],
+            "prefix property: batching never changes world values"
+        );
+    }
+
+    #[test]
+    fn futility_stops_early_on_null_observations() {
+        // Observed statistic from the null's bulk at a small alpha:
+        // e_m exceeds K long before the budget is spent.
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        let r = adaptive(999, 7, 32).run_adaptive(0.4, 0.01, eval);
+        assert!(r.early_stopped());
+        assert!(
+            r.worlds_evaluated < 200,
+            "futility should fire fast, used {}",
+            r.worlds_evaluated
+        );
+        assert!(!r.is_significant(0.01));
+        // Agrees with the full-budget verdict.
+        let full = MonteCarlo::new(999, 7).run(0.4, eval);
+        assert_eq!(full.is_significant(0.01), r.is_significant(0.01));
+    }
+
+    #[test]
+    fn certainty_stops_before_budget_on_extreme_observations() {
+        // Observed far above every sim: once remaining worlds cannot
+        // flip the verdict, stop. Saves floor(alpha*w) worlds.
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        let r = adaptive(999, 8, 64).run_adaptive(1e9, 0.05, eval);
+        assert!(r.early_stopped());
+        // K = floor(0.05*1000) = 50; certainty at m >= 999 - 49 = 950,
+        // so the batch covering world 950..960 triggers it (=960).
+        assert!(
+            r.worlds_evaluated <= 999 - 32,
+            "certainty should save at least half a batch, used {}",
+            r.worlds_evaluated
+        );
+        assert!(r.is_significant(0.05));
+        let full = MonteCarlo::new(999, 8).run(1e9, eval);
+        assert_eq!(full.is_significant(0.05), r.is_significant(0.05));
+    }
+
+    #[test]
+    fn early_stop_verdicts_match_full_budget_across_observations() {
+        // Sweep observations across the distribution at several alphas
+        // and batch sizes; the decided verdict must always agree.
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        for &alpha in &[0.01, 0.05, 0.1, 0.25] {
+            for &batch in &[1usize, 7, 32, 1000] {
+                for obs_i in 0..20 {
+                    let observed = obs_i as f64 / 20.0;
+                    let full = MonteCarlo::new(199, 9).run(observed, eval);
+                    let adapt = adaptive(199, 9, batch).run_adaptive(observed, alpha, eval);
+                    assert_eq!(
+                        full.is_significant(alpha),
+                        adapt.is_significant(alpha),
+                        "verdict mismatch at obs={observed}, alpha={alpha}, batch={batch}, \
+                         evaluated={}",
+                        adapt.worlds_evaluated
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_stop_agrees_at_floating_point_alpha_boundaries() {
+        // Regression: alpha one ulp below a rank boundary k/w makes
+        // `floor(alpha*w)` round UP across the integer (e.g. alpha =
+        // prev(0.9), w = 10: alpha*10.0 == 9.0 exactly), which made the
+        // old certainty rule fire on a non-significant observation.
+        // k_allow must come from the same k/w <= alpha comparison the
+        // verdict uses.
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        let prev = |x: f64| f64::from_bits(x.to_bits() - 1);
+        let next = |x: f64| f64::from_bits(x.to_bits() + 1);
+        for worlds in [9usize, 19, 39] {
+            let w = worlds + 1;
+            for k in 1..w {
+                let boundary = k as f64 / w as f64;
+                for alpha in [prev(boundary), boundary, next(boundary)] {
+                    if !(alpha > 0.0 && alpha < 1.0) {
+                        continue;
+                    }
+                    for obs_i in 0..=10 {
+                        let observed = obs_i as f64 / 10.0;
+                        let full = MonteCarlo::new(worlds, 31).run(observed, eval);
+                        for batch in [1usize, 4, 64] {
+                            let adapt =
+                                adaptive(worlds, 31, batch).run_adaptive(observed, alpha, eval);
+                            assert_eq!(
+                                full.is_significant(alpha),
+                                adapt.is_significant(alpha),
+                                "worlds={worlds}, k={k}, alpha={alpha:.17}, \
+                                 observed={observed}, batch={batch}, evaluated={}",
+                                adapt.worlds_evaluated
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn largest_significant_rank_matches_verdict_comparison() {
+        let prev = |x: f64| f64::from_bits(x.to_bits() - 1);
+        for w in [2usize, 10, 20, 100, 1000] {
+            for k in 1..w.min(50) {
+                for alpha in [k as f64 / w as f64, prev(k as f64 / w as f64), 0.005, 0.05] {
+                    if !(alpha > 0.0 && alpha < 1.0) {
+                        continue;
+                    }
+                    let k_allow = largest_significant_rank(alpha, w);
+                    // Exactly the verdict comparison on both sides of
+                    // the boundary.
+                    if k_allow > 0 {
+                        assert!(
+                            k_allow as f64 / w as f64 <= alpha,
+                            "w={w}, alpha={alpha:.17}"
+                        );
+                    }
+                    if k_allow < w {
+                        assert!(
+                            (k_allow + 1) as f64 / w as f64 > alpha,
+                            "w={w}, alpha={alpha:.17}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_serializes() {
+        for strategy in [McStrategy::FullBudget, McStrategy::early_stop()] {
+            let mc = MonteCarlo::new(9, 1).with_strategy(strategy);
+            let json = serde_json::to_string(&mc).unwrap();
+            let back: MonteCarlo = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, mc);
+        }
+        assert_eq!(McStrategy::early_stop().name(), "early-stop");
+        assert_eq!(McStrategy::FullBudget.to_string(), "full-budget");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn zero_batch_rejected() {
+        let _ = MonteCarlo::new(9, 1).with_strategy(McStrategy::EarlyStop { batch_size: 0 });
     }
 }

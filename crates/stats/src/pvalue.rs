@@ -55,16 +55,39 @@ pub fn rank_p_value(observed: f64, simulated: &[f64]) -> f64 {
     k as f64 / w as f64
 }
 
+/// The largest rank `k` with `k/w ≤ alpha` under the exact
+/// floating-point comparison [`rank_p_value`] verdicts use. Returns 0
+/// when even rank 1 (`1/w`) is not significant.
+///
+/// This deliberately does NOT use `⌊α·w⌋`: the multiply can round
+/// across an integer boundary (e.g. `α` one ulp below `0.9` with
+/// `w = 10` gives `α·10.0 == 9.0` exactly), and every consumer —
+/// [`critical_value`] here, the early-stopping rule in
+/// [`crate::montecarlo`] — must agree with the division-based verdict
+/// comparison bit for bit.
+pub fn largest_significant_rank(alpha: f64, w: usize) -> usize {
+    // Start from the floor estimate, then correct for the multiply's
+    // rounding in either direction.
+    let mut k = ((alpha * w as f64).floor() as usize).min(w);
+    while k > 0 && (k as f64) / (w as f64) > alpha {
+        k -= 1;
+    }
+    while k < w && ((k + 1) as f64) / (w as f64) <= alpha {
+        k += 1;
+    }
+    k
+}
+
 /// Critical value at level `alpha` from the simulated max-statistic
 /// distribution: the smallest threshold `c` such that any statistic
 /// strictly greater than `c` has rank p-value ≤ `alpha`.
 ///
-/// With `w = len + 1` worlds, a statistic `t` is significant iff
-/// `#{sims ≥ t} + 1 ≤ α·w`; the threshold is the `m`-th largest
-/// simulated value with `m = ⌊α·w⌋`. Returns `f64::INFINITY` when the
-/// Monte Carlo budget is too small to ever reach significance
-/// (`⌊α·w⌋ < 1`), mirroring the fact that with too few worlds nothing
-/// can be declared significant.
+/// With `w = len + 1` worlds, a statistic `t` is significant iff its
+/// rank `#{sims ≥ t} + 1` is at most [`largest_significant_rank`]
+/// `m`; the threshold is the `m`-th largest simulated value. Returns
+/// `f64::INFINITY` when the Monte Carlo budget is too small to ever
+/// reach significance (`m < 1`), mirroring the fact that with too few
+/// worlds nothing can be declared significant.
 ///
 /// # Panics
 /// Panics if `simulated` is empty or `alpha` is outside `(0, 1)`.
@@ -75,7 +98,7 @@ pub fn critical_value(simulated: &[f64], alpha: f64) -> f64 {
         "alpha must be in (0,1), got {alpha}"
     );
     let w = simulated.len() + 1;
-    let m = (alpha * w as f64).floor() as usize;
+    let m = largest_significant_rank(alpha, w);
     if m < 1 {
         return f64::INFINITY;
     }
@@ -167,6 +190,36 @@ mod tests {
             let by_c = t > c;
             assert_eq!(by_p, by_c, "inconsistent at t={t}, c={c}");
         }
+    }
+
+    #[test]
+    fn critical_value_consistent_at_ulp_alpha_boundaries() {
+        // Regression: alpha one ulp below 9/10 with w = 10 made the old
+        // floor(alpha*w) rank round UP to 9, flagging statistics whose
+        // rank p-value exceeds alpha. The rank must come from the same
+        // k/w <= alpha comparison the verdict uses.
+        let sims: Vec<f64> = (1..=9).map(|i| i as f64).collect(); // w = 10
+        let alpha = f64::from_bits(0.9f64.to_bits() - 1);
+        assert_eq!(largest_significant_rank(alpha, 10), 8);
+        let c = critical_value(&sims, alpha);
+        assert_eq!(c, 2.0); // 8th largest, not the 9th (= 1.0)
+        for t in [0.5, 1.5, 2.0, 2.5, 5.0, 9.5] {
+            assert_eq!(
+                is_significant(t, &sims, alpha),
+                t > c,
+                "inconsistent at t={t}, c={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn largest_significant_rank_basics() {
+        // Paper setting: w = 1000, alpha = 0.005 -> rank 5.
+        assert_eq!(largest_significant_rank(0.005, 1000), 5);
+        // Budget too small: rank 0.
+        assert_eq!(largest_significant_rank(0.005, 100), 0);
+        // Exact boundary alpha keeps its rank.
+        assert_eq!(largest_significant_rank(0.9, 10), 9);
     }
 
     #[test]

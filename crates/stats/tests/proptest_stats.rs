@@ -1,9 +1,12 @@
 //! Property-based tests for the statistics substrate.
 
 use proptest::prelude::*;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
 use sfstats::binomial::{binomial_cdf, binomial_pmf, ln_choose, ln_factorial};
 use sfstats::descriptive::{mean_variance_population, quantile};
 use sfstats::llr::{bernoulli_llr, bernoulli_llr_directed, Counts2x2};
+use sfstats::montecarlo::{McStrategy, MonteCarlo};
 use sfstats::pvalue::{critical_value, rank_p_value};
 use sfstats::Direction;
 
@@ -151,5 +154,62 @@ proptest! {
         let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(qv >= min - 1e-12 && qv <= max + 1e-12);
+    }
+
+    #[test]
+    fn early_stop_always_agrees_with_full_budget_on_significance(
+        worlds in 1usize..250,
+        seed in 0u64..1_000,
+        batch in 1usize..64,
+        alpha_num in 1usize..40,
+        observed in 0.0..1.2f64,
+    ) {
+        // The core early-termination contract: for ANY budget, seed,
+        // batch size, stopping level, and observed statistic, the
+        // early-stopped run reaches the same is_significant verdict as
+        // spending the full budget — and the worlds it did evaluate
+        // are a bit-identical prefix of the full run's.
+        let alpha = alpha_num as f64 / 41.0; // (0, 1)
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        let full = MonteCarlo::new(worlds, seed).run(observed, eval);
+        let adaptive = MonteCarlo::new(worlds, seed)
+            .with_strategy(McStrategy::EarlyStop { batch_size: batch })
+            .run_adaptive(observed, alpha, eval);
+        prop_assert_eq!(
+            full.is_significant(alpha),
+            adaptive.is_significant(alpha),
+            "worlds={}, seed={}, batch={}, alpha={}, observed={}, evaluated={}",
+            worlds, seed, batch, alpha, observed, adaptive.worlds_evaluated
+        );
+        prop_assert!(adaptive.worlds_evaluated <= full.worlds_evaluated);
+        prop_assert_eq!(
+            &full.simulated[..adaptive.worlds_evaluated],
+            &adaptive.simulated[..]
+        );
+    }
+
+    #[test]
+    fn early_stop_sequential_p_value_sides_with_the_verdict(
+        worlds in 10usize..200,
+        seed in 0u64..500,
+        batch in 1usize..32,
+        alpha_num in 1usize..20,
+        observed in 0.0..1.2f64,
+    ) {
+        // The truncated rank p-value must land on the same side of the
+        // stopping alpha as the full-budget p-value (module docs give
+        // the proof; this pins it numerically).
+        let alpha = alpha_num as f64 / 21.0;
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        let full = MonteCarlo::new(worlds, seed).run(observed, eval);
+        let adaptive = MonteCarlo::new(worlds, seed)
+            .with_strategy(McStrategy::EarlyStop { batch_size: batch })
+            .run_adaptive(observed, alpha, eval);
+        prop_assert_eq!(
+            full.p_value() <= alpha,
+            adaptive.p_value() <= alpha,
+            "full p={}, adaptive p={} at alpha={}",
+            full.p_value(), adaptive.p_value(), alpha
+        );
     }
 }

@@ -1,0 +1,166 @@
+//! Cross-backend agreement: the index backend and counting strategy
+//! are pure performance knobs — every combination must produce
+//! **bit-identical** audits. These tests pin that contract end to end
+//! through the public API, over mixed region shapes (rectangles and
+//! circles) that exercise every backend's pruning paths.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use spatial_fairness::prelude::*;
+use spatial_fairness::scan::{run_suite, CountingStrategy, IndexBackend, McStrategy};
+
+/// Clustered, mildly unfair data: three blobs, one with a depressed
+/// positive rate.
+fn outcomes(n: usize, seed: u64) -> SpatialOutcomes {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let centers = [(2.0, 2.0, 0.55), (7.0, 7.0, 0.55), (8.0, 2.0, 0.25)];
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (cx, cy, rate) = centers[rng.gen_range(0..centers.len())];
+        points.push(sfgeo::Point::new(
+            cx + rng.gen_range(-1.5..1.5),
+            cy + rng.gen_range(-1.5..1.5),
+        ));
+        labels.push(rng.gen_bool(rate));
+    }
+    SpatialOutcomes::new(points, labels).unwrap()
+}
+
+/// Grid cells plus circles: regions that stress rectangle fast paths
+/// and exact circle containment alike.
+fn mixed_regions(outcomes: &SpatialOutcomes) -> RegionSet {
+    let bb = outcomes.expanded_bounding_box();
+    let mut regions: Vec<sfgeo::Region> = RegionSet::regular_grid(bb, 5, 5).regions().to_vec();
+    for (cx, cy) in [(2.0, 2.0), (7.0, 7.0), (8.0, 2.0), (5.0, 5.0)] {
+        regions.push(sfgeo::Circle::new(sfgeo::Point::new(cx, cy), 1.2).into());
+    }
+    RegionSet::from_regions(regions)
+}
+
+fn strategies() -> [CountingStrategy; 3] {
+    [
+        CountingStrategy::Membership,
+        CountingStrategy::Requery,
+        CountingStrategy::Auto,
+    ]
+}
+
+#[test]
+fn every_backend_and_strategy_yields_bit_identical_reports() {
+    let o = outcomes(3000, 1);
+    let regions = mixed_regions(&o);
+    let base = AuditConfig::new(0.05).with_worlds(99).with_seed(3);
+    let reference = Auditor::new(base).audit(&o, &regions).unwrap();
+    assert!(reference.is_unfair(), "p={}", reference.p_value);
+
+    for backend in IndexBackend::ALL {
+        for strategy in strategies() {
+            let cfg = base.with_backend(backend).with_strategy(strategy);
+            let report = Auditor::new(cfg).audit(&o, &regions).unwrap();
+            assert_eq!(report.tau, reference.tau, "{backend}/{strategy:?}");
+            assert_eq!(report.p_value, reference.p_value, "{backend}/{strategy:?}");
+            assert_eq!(
+                report.critical_value, reference.critical_value,
+                "{backend}/{strategy:?}"
+            );
+            assert_eq!(
+                report.findings, reference.findings,
+                "{backend}/{strategy:?}"
+            );
+            assert_eq!(
+                report.simulated, reference.simulated,
+                "{backend}/{strategy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn backend_agreement_holds_under_permutation_null_and_directions() {
+    use spatial_fairness::scan::{Direction, NullModel};
+    let o = outcomes(1500, 2);
+    let regions = mixed_regions(&o);
+    for direction in [Direction::TwoSided, Direction::Low, Direction::High] {
+        let base = AuditConfig::new(0.05)
+            .with_worlds(49)
+            .with_seed(11)
+            .with_direction(direction)
+            .with_null_model(NullModel::Permutation);
+        let reference = Auditor::new(base).audit(&o, &regions).unwrap();
+        for backend in IndexBackend::ALL {
+            let report = Auditor::new(base.with_backend(backend))
+                .audit(&o, &regions)
+                .unwrap();
+            assert_eq!(report.tau, reference.tau, "{backend} {direction}");
+            assert_eq!(report.p_value, reference.p_value, "{backend} {direction}");
+            assert_eq!(report.findings, reference.findings, "{backend} {direction}");
+        }
+    }
+}
+
+#[test]
+fn suite_reports_are_backend_invariant() {
+    let o = outcomes(1200, 4);
+    let regions = mixed_regions(&o);
+    let base = AuditConfig::new(0.05).with_worlds(49).with_seed(5);
+    let reference = run_suite(base, &o, &regions).unwrap();
+    for backend in IndexBackend::ALL {
+        let suite = run_suite(base.with_backend(backend), &o, &regions).unwrap();
+        for (dir, ref_dir) in [
+            (&suite.two_sided, &reference.two_sided),
+            (&suite.low, &reference.low),
+            (&suite.high, &reference.high),
+        ] {
+            assert_eq!(dir.report.tau, ref_dir.report.tau, "{backend}");
+            assert_eq!(dir.report.p_value, ref_dir.report.p_value, "{backend}");
+            assert_eq!(dir.report.findings, ref_dir.report.findings, "{backend}");
+            assert_eq!(dir.evidence, ref_dir.evidence, "{backend}");
+        }
+    }
+}
+
+#[test]
+fn early_stop_is_backend_invariant_and_verdict_preserving() {
+    let o = outcomes(2500, 6);
+    let regions = mixed_regions(&o);
+    let base = AuditConfig::new(0.05).with_worlds(199).with_seed(8);
+    let full = Auditor::new(base).audit(&o, &regions).unwrap();
+    let mut stopped_reports = Vec::new();
+    for backend in IndexBackend::ALL {
+        let cfg = base
+            .with_backend(backend)
+            .with_mc_strategy(McStrategy::EarlyStop { batch_size: 16 });
+        let report = Auditor::new(cfg).audit(&o, &regions).unwrap();
+        assert_eq!(report.verdict(), full.verdict(), "{backend}");
+        // Evaluated worlds are a prefix of the full run's.
+        assert_eq!(
+            full.simulated[..report.worlds_evaluated],
+            report.simulated[..],
+            "{backend}"
+        );
+        stopped_reports.push((backend, report));
+    }
+    // All backends stop at the same batch with the same truncated
+    // distribution.
+    let (_, first) = &stopped_reports[0];
+    for (backend, report) in &stopped_reports[1..] {
+        assert_eq!(report.worlds_evaluated, first.worlds_evaluated, "{backend}");
+        assert_eq!(report.p_value, first.p_value, "{backend}");
+    }
+}
+
+#[test]
+fn auto_strategy_report_matches_reference_json() {
+    // Belt and braces: Auto must not even perturb serialization-level
+    // content (beyond the recorded strategy knob itself).
+    let o = outcomes(900, 9);
+    let regions = mixed_regions(&o);
+    let base = AuditConfig::new(0.05).with_worlds(49).with_seed(13);
+    let reference = Auditor::new(base).audit(&o, &regions).unwrap();
+    let mut auto = Auditor::new(base.with_strategy(CountingStrategy::Auto))
+        .audit(&o, &regions)
+        .unwrap();
+    auto.config.strategy = reference.config.strategy;
+    assert_eq!(auto.to_json(), reference.to_json());
+}

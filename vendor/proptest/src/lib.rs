@@ -1,0 +1,617 @@
+//! Offline vendored property-testing harness.
+//!
+//! Implements the subset of the `proptest` API this workspace's tests
+//! use: the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `boxed`, range and tuple and collection
+//! strategies, [`arbitrary::any`], the [`proptest!`] test macro with
+//! `proptest_config`, and the `prop_assert*` / [`prop_assume!`]
+//! macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! deterministic case index so it can be re-run), and rejected
+//! assumptions count toward the case budget. Case generation is fully
+//! deterministic per (test path, case index), so failures are
+//! reproducible across runs and machines.
+
+/// Deterministic RNG + config + error types for the test runner.
+pub mod test_runner {
+    /// Test-runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Property violated.
+        Fail(String),
+        /// Assumption rejected; the case does not count as a failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed case.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// A rejected case.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    /// Deterministic RNG used to generate test cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derives a generator from a test path and case index.
+        pub fn deterministic(test_path: &str, case: u64) -> Self {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in test_path.bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut rng = TestRng {
+                state: hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            };
+            // Warm up the mixer so nearby seeds decorrelate.
+            rng.next_u64();
+            rng
+        }
+
+        /// Next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform integer in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "bound must be positive");
+            // 128-bit multiply-shift; bias is negligible for test sizes.
+            (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// builds from it (dependent generation).
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        variants: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union of alternatives.
+        ///
+        /// # Panics
+        /// Panics if `variants` is empty.
+        pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+            Union { variants }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let index = rng.below(self.variants.len() as u64) as usize;
+            self.variants[index].generate(rng)
+        }
+    }
+
+    /// Exact-value strategy (`Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    // Ranges ----------------------------------------------------------
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + (hi - lo) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    // Tuples ----------------------------------------------------------
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!(
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F),
+    );
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// That strategy's type.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Canonical strategy types.
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    macro_rules! impl_arbitrary_full_range_int {
+        ($($t:ty => $strat:ident),* $(,)?) => {$(
+            /// Full-range integer strategy.
+            pub struct $strat;
+            impl Strategy for $strat {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = $strat;
+                fn arbitrary() -> $strat { $strat }
+            }
+        )*};
+    }
+    impl_arbitrary_full_range_int!(
+        u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64, usize => AnyUsize,
+        i8 => AnyI8, i16 => AnyI16, i32 => AnyI32, i64 => AnyI64, isize => AnyIsize,
+    );
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive-exclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo
+                + if span > 0 {
+                    rng.below(span) as usize
+                } else {
+                    0
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test module needs.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// Each contained function runs `config.cases` deterministic cases;
+/// the bindings before `in` receive values generated from the
+/// strategies after it.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..(config.cases as u64) {
+                let mut proptest_rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(
+                            let $arg = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                &mut proptest_rng,
+                            );
+                        )*
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest property `{}` failed at deterministic case {}: {}",
+                            stringify!($name),
+                            case,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {} == {}",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {} != {}",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniformly picks among alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 10u64..20, y in -5.0..5.0f64, z in 0usize..=3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5.0..5.0).contains(&y));
+            prop_assert!(z <= 3);
+        }
+
+        #[test]
+        fn map_and_flat_map(v in (1u64..10).prop_flat_map(|n| {
+            crate::collection::vec(0u64..n, 1..5).prop_map(move |xs| (n, xs))
+        })) {
+            let (n, xs) = v;
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            for x in xs {
+                prop_assert!(x < n, "{} >= {}", x, n);
+            }
+        }
+
+        #[test]
+        fn oneof_and_any(flag in any::<bool>(), pick in prop_oneof![0u64..1, 10u64..11]) {
+            let _ = flag;
+            prop_assert!(pick == 0 || pick == 10);
+        }
+
+        #[test]
+        fn assume_rejects(k in 0u64..10) {
+            prop_assume!(k % 2 == 0);
+            prop_assert_eq!(k % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 3..10);
+        let mut a_rng = crate::test_runner::TestRng::deterministic("x", 5);
+        let mut b_rng = crate::test_runner::TestRng::deterministic("x", 5);
+        assert_eq!(strat.generate(&mut a_rng), strat.generate(&mut b_rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at deterministic case")]
+    fn failure_reports_case() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

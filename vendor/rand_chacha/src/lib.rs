@@ -1,0 +1,193 @@
+//! Offline vendored ChaCha8 random number generator.
+//!
+//! Implements the ChaCha stream cipher with 8 rounds as an RNG, with
+//! the [`ChaCha8Rng::set_stream`] API the workspace uses for cheap
+//! independent per-world substreams. Output is deterministic, portable
+//! across platforms, and stable across releases of this shim (it is a
+//! direct implementation of the ChaCha block function); it is not
+//! intended to be bit-compatible with the upstream `rand_chacha`
+//! crate.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 8;
+
+/// A ChaCha RNG with 8 rounds: fast, high quality, seekable streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buffer: [u32; 16],
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    /// Selects the nonce/stream. Streams are independent: the same key
+    /// with different streams produces unrelated output sequences.
+    ///
+    /// Any buffered output from the previous stream is discarded; the
+    /// block counter is left unchanged.
+    pub fn set_stream(&mut self, stream: u64) {
+        if stream != self.stream {
+            self.stream = stream;
+            self.index = 16; // force a refill from the new stream
+        }
+    }
+
+    /// The currently selected stream.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    #[inline]
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        input[4..12].copy_from_slice(&self.key);
+        input[12] = self.counter as u32;
+        input[13] = (self.counter >> 32) as u32;
+        input[14] = self.stream as u32;
+        input[15] = (self.stream >> 32) as u32;
+
+        let mut working = input;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, inp)) in self.buffer.iter_mut().zip(working.iter().zip(input.iter())) {
+            *out = w.wrapping_add(*inp);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let value = self.buffer[self.index];
+        self.index += 1;
+        value
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a: Vec<u64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            (0..16).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            (0..16).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = ChaCha8Rng::seed_from_u64(1).next_u64();
+        let b = ChaCha8Rng::seed_from_u64(2).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn streams_differ_and_are_reproducible() {
+        let draw = |stream: u64| -> Vec<u64> {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            rng.set_stream(stream);
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        assert_ne!(draw(0), draw(1));
+        assert_ne!(draw(1), draw(2));
+        assert_eq!(draw(5), draw(5));
+    }
+
+    #[test]
+    fn set_stream_discards_buffered_output() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let _ = rng.next_u32(); // fills the buffer from stream 0
+        rng.set_stream(3);
+        let after = rng.next_u64();
+        let mut fresh = ChaCha8Rng::seed_from_u64(9);
+        fresh.set_stream(3);
+        // The fresh generator starts at counter 0, the other at counter 1,
+        // so outputs differ — but both must come from stream 3 blocks.
+        let fresh_first = fresh.next_u64();
+        assert_ne!(after, fresh_first);
+        assert_eq!(rng.get_stream(), 3);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn chacha_block_known_structure() {
+        // Counter advances once per 16 output words.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..16 {
+            let _ = rng.next_u32();
+        }
+        assert_eq!(rng.counter, 1);
+        let _ = rng.next_u32();
+        assert_eq!(rng.counter, 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The workspace's parallelism pattern is exclusively
+//! `(0..n).into_par_iter().map(f).collect::<Vec<T>>()`; this shim
+//! implements exactly that with `std::thread::scope`, statically
+//! chunking the index range over the available cores. Results are
+//! written into pre-assigned slots, so ordering — and therefore every
+//! deterministic-RNG guarantee in the workspace — is identical to the
+//! sequential evaluation.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Number of worker threads to use (available parallelism, at least 1).
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// A parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index through `f` in parallel.
+    pub fn map<T, F>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        ParMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator (the only shape the workspace collects).
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    /// Evaluates the map over all indices and collects the results in
+    /// index order.
+    pub fn collect<C, T>(self) -> C
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+        C: FromParResults<T>,
+    {
+        let n = self.range.len();
+        let start = self.range.start;
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let threads = num_threads().min(n.max(1));
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for (c, out) in slots.chunks_mut(chunk).enumerate() {
+                let base = start + c * chunk;
+                scope.spawn(move || {
+                    for (offset, slot) in out.iter_mut().enumerate() {
+                        *slot = Some(f(base + offset));
+                    }
+                });
+            }
+        });
+        C::from_par_results(slots.into_iter().map(|s| s.expect("worker filled slot")))
+    }
+}
+
+/// Collection targets for parallel results.
+pub trait FromParResults<T> {
+    /// Builds the collection from results in index order.
+    fn from_par_results<I: Iterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T> FromParResults<T> for Vec<T> {
+    fn from_par_results<I: Iterator<Item = T>>(iter: I) -> Self {
+        iter.collect()
+    }
+}
+
+/// Prelude mirroring upstream layout.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParMap, ParRange};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range() {
+        let out: Vec<u8> = (0..0).into_par_iter().map(|_| 1u8).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nontrivial_offset() {
+        let out: Vec<usize> = (10..25).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (11..26).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_side_work() {
+        let seq: Vec<u64> = (0..257)
+            .map(|i| (i as u64).wrapping_mul(0x9e3779b9))
+            .collect();
+        let par: Vec<u64> = (0..257)
+            .into_par_iter()
+            .map(|i| (i as u64).wrapping_mul(0x9e3779b9))
+            .collect();
+        assert_eq!(seq, par);
+    }
+}

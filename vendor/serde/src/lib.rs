@@ -1,0 +1,375 @@
+//! Offline vendored serialization framework.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides the slice of the `serde` surface the workspace uses: the
+//! [`Serialize`] / [`Deserialize`] traits (value-based rather than
+//! visitor-based), derive macros re-exported from `serde_derive`, and
+//! the [`Value`] tree that `serde_json` renders and parses.
+//!
+//! Design notes:
+//! * Numbers keep their integer/float identity ([`Value::U64`],
+//!   [`Value::I64`], [`Value::F64`]) so `u64` counters round-trip
+//!   exactly; deserialization of floats accepts any numeric value.
+//! * Objects are ordered key/value vectors — field order is stable and
+//!   equality is structural.
+//! * Non-finite floats are preserved (rendered by `serde_json` as
+//!   `NaN` / `Infinity` / `-Infinity`), so audit reports containing an
+//!   infinite critical value survive a round trip.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically typed serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A floating-point number (possibly non-finite).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An ordered map.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(u) => Some(u as f64),
+            Value::I64(i) => Some(i as f64),
+            Value::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(u) => Some(u),
+            Value::I64(i) if i >= 0 => Some(i as u64),
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(u) if u <= i64::MAX as u64 => Some(u as i64),
+            Value::I64(i) => Some(i),
+            Value::F64(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Error {
+    /// Creates an error from any message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself as a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Extracts and deserializes a named field from an object value
+/// (used by derived `Deserialize` impls).
+pub fn get_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    match value.get(name) {
+        Some(field) => {
+            T::from_value(field).map_err(|e| Error::msg(format!("field `{name}`: {}", e.message)))
+        }
+        None => Err(Error::msg(format!("missing field `{name}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let u = value.as_u64().ok_or_else(|| {
+                    Error::msg(format!("expected unsigned integer, got {}", value.kind()))
+                })?;
+                <$t>::try_from(u).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let i = value.as_i64().ok_or_else(|| {
+                    Error::msg(format!("expected integer, got {}", value.kind()))
+                })?;
+                <$t>::try_from(i).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::msg(format!("expected number, got {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        Ok(($({
+                            let _ = $idx; // positional
+                            $name::from_value(
+                                it.next().ok_or_else(|| Error::msg("tuple too short"))?,
+                            )?
+                        },)+))
+                    }
+                    other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+                }
+            }
+        }
+    )+};
+}
+impl_serde_tuple!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_identity_preserved() {
+        assert_eq!(42u64.to_value(), Value::U64(42));
+        assert_eq!((-3i64).to_value(), Value::I64(-3));
+        assert_eq!(3i64.to_value(), Value::U64(3));
+        assert_eq!(1.5f64.to_value(), Value::F64(1.5));
+    }
+
+    #[test]
+    fn float_accepts_integer_values() {
+        assert_eq!(f64::from_value(&Value::U64(1)).unwrap(), 1.0);
+        assert_eq!(f64::from_value(&Value::I64(-2)).unwrap(), -2.0);
+    }
+
+    #[test]
+    fn option_round_trip() {
+        let some: Option<u32> = Some(7);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&some.to_value()).unwrap(), some);
+        assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), none);
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn object_lookup() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(obj.get("a"), Some(&Value::U64(1)));
+        assert_eq!(obj.get("b"), None);
+        assert!(get_field::<u64>(&obj, "b").is_err());
+        assert_eq!(get_field::<u64>(&obj, "a").unwrap(), 1);
+    }
+
+    #[test]
+    fn out_of_range_integers_rejected() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+    }
+}
