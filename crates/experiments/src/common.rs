@@ -5,11 +5,11 @@ use sfdata::lar::{LarConfig, LarDataset};
 use sfgeo::Rect;
 use sfml::RandomForestConfig;
 use sfscan::outcomes::SpatialOutcomes;
-use sfscan::{AuditConfig, IndexBackend, McStrategy};
+use sfscan::{AuditConfig, CountingStrategy, IndexBackend, McStrategy};
 use std::time::Instant;
 
 /// Global harness options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Options {
     /// Reduced scales for smoke runs.
     pub quick: bool,
@@ -19,8 +19,14 @@ pub struct Options {
     pub worlds: usize,
     /// Spatial index backend serving every audit's range counts.
     pub backend: IndexBackend,
-    /// Stop each Monte Carlo calibration at the first decided batch.
-    pub early_stop: bool,
+    /// Per-world counting strategy.
+    pub strategy: CountingStrategy,
+    /// Monte Carlo budget strategy for every calibration.
+    pub mc_strategy: McStrategy,
+    /// `serve-bench`: number of queued audit requests.
+    pub requests: usize,
+    /// `serve-bench`: output path for the machine-readable results.
+    pub out: String,
 }
 
 impl Default for Options {
@@ -30,7 +36,10 @@ impl Default for Options {
             seed: 42,
             worlds: 999,
             backend: IndexBackend::default(),
-            early_stop: false,
+            strategy: CountingStrategy::default(),
+            mc_strategy: McStrategy::FullBudget,
+            requests: 24,
+            out: "BENCH_PR2.json".to_string(),
         }
     }
 }
@@ -39,15 +48,13 @@ impl Options {
     /// The significance level used throughout the paper's evaluation.
     pub const ALPHA: f64 = 0.005;
 
-    /// Applies the harness-level audit knobs (index backend, Monte
-    /// Carlo budget strategy) to a figure's config.
+    /// Applies the harness-level audit knobs (index backend, counting
+    /// strategy, Monte Carlo budget strategy) to a figure's config.
     pub fn decorate(&self, config: AuditConfig) -> AuditConfig {
-        let config = config.with_backend(self.backend);
-        if self.early_stop {
-            config.with_mc_strategy(McStrategy::early_stop())
-        } else {
-            config
-        }
+        config
+            .with_backend(self.backend)
+            .with_strategy(self.strategy)
+            .with_mc_strategy(self.mc_strategy)
     }
 
     /// LAR generator config at the selected scale.

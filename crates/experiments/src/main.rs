@@ -18,13 +18,20 @@
 //! cargo run --release -p experiments -- fig11     # one-sided "red" regions (B.2)
 //! cargo run --release -p experiments -- fig12     # one-sided "green" regions (B.2)
 //! cargo run --release -p experiments -- complexity# O(M*N*Q) cost model measurements
+//! cargo run --release -p experiments -- serve-bench # batched serving vs rebuild-per-request
 //! cargo run --release -p experiments -- all       # everything above in order
 //! ```
 //!
 //! Options: `--quick` (reduced scales for smoke runs), `--seed <u64>`,
 //! `--worlds <n>`, `--backend <brute|kdtree|quadtree|rtree|grid>`
-//! (counting substrate; results are backend-invariant), `--early-stop`
-//! (batched sequential Monte Carlo; same verdicts, fewer worlds).
+//! (counting substrate; results are backend-invariant), `--strategy
+//! <membership|requery|auto>` (per-world counting), `--mc
+//! <full-budget|early-stop|early-stop(batch=N)>` (budget strategy),
+//! `--early-stop` (shorthand for `--mc early-stop`). `serve-bench`
+//! additionally takes `--requests <n>` and `--out <path>` (default
+//! `BENCH_PR2.json`). The backend/strategy/mc values are parsed with
+//! the types' `FromStr` impls, so error messages list the valid
+//! values.
 
 mod common;
 mod complexity;
@@ -35,8 +42,22 @@ mod fig5;
 mod fig6;
 mod fig78;
 mod fig9;
+mod servebench;
 
 use common::Options;
+
+/// Parses a flag value with the target type's `FromStr`, dying with
+/// the parse error's own message (which lists the valid values).
+fn parse_flag<T>(flag: &str, value: Option<&String>) -> T
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let value = value.unwrap_or_else(|| die(&format!("{flag} needs a value")));
+    value
+        .parse()
+        .unwrap_or_else(|e| die(&format!("{flag}: {e}")))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,30 +69,36 @@ fn main() {
             "--quick" => opts.quick = true,
             "--seed" => {
                 i += 1;
-                opts.seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--seed needs a u64 value"));
+                opts.seed = parse_flag("--seed", args.get(i));
             }
             "--worlds" => {
                 i += 1;
-                opts.worlds = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--worlds needs a positive integer"));
+                opts.worlds = parse_flag("--worlds", args.get(i));
             }
             "--backend" => {
                 i += 1;
-                opts.backend = match args.get(i).map(String::as_str) {
-                    Some("brute") => sfindex::IndexBackend::Brute,
-                    Some("kdtree") => sfindex::IndexBackend::KdTree,
-                    Some("quadtree") => sfindex::IndexBackend::QuadTree,
-                    Some("rtree") => sfindex::IndexBackend::RTree,
-                    Some("grid") => sfindex::IndexBackend::Grid,
-                    _ => die("--backend needs one of: brute, kdtree, quadtree, rtree, grid"),
-                };
+                opts.backend = parse_flag("--backend", args.get(i));
             }
-            "--early-stop" => opts.early_stop = true,
+            "--strategy" => {
+                i += 1;
+                opts.strategy = parse_flag("--strategy", args.get(i));
+            }
+            "--mc" => {
+                i += 1;
+                opts.mc_strategy = parse_flag("--mc", args.get(i));
+            }
+            "--early-stop" => opts.mc_strategy = sfscan::McStrategy::early_stop(),
+            "--requests" => {
+                i += 1;
+                opts.requests = parse_flag("--requests", args.get(i));
+            }
+            "--out" => {
+                i += 1;
+                opts.out = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("--out needs a path"));
+            }
             arg if !arg.starts_with('-') && command.is_none() => {
                 command = Some(arg.to_string());
             }
@@ -98,6 +125,7 @@ fn run(command: &str, opts: &Options) {
         "fig11" => fig5::run_fig11(opts),
         "fig12" => fig5::run_fig12(opts),
         "complexity" => complexity::run(opts),
+        "serve-bench" => servebench::run(opts),
         "all" => {
             for c in [
                 "fig1",
@@ -113,6 +141,7 @@ fn run(command: &str, opts: &Options) {
                 "fig11",
                 "fig12",
                 "complexity",
+                "serve-bench",
             ] {
                 run(c, opts);
             }
@@ -124,8 +153,11 @@ fn run(command: &str, opts: &Options) {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <fig1..fig12|complexity|all> [--quick] [--seed N] [--worlds N] \
-         [--backend <brute|kdtree|quadtree|rtree|grid>] [--early-stop]"
+        "usage: experiments <fig1..fig12|complexity|serve-bench|all> [--quick] [--seed N] \
+         [--worlds N] [--backend <brute|kdtree|quadtree|rtree|grid>] \
+         [--strategy <membership|requery|auto>] \
+         [--mc <full-budget|early-stop|early-stop(batch=N)>] [--early-stop] \
+         [--requests N] [--out PATH]"
     );
     std::process::exit(2);
 }

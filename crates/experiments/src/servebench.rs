@@ -1,0 +1,223 @@
+//! `serve-bench`: batched multi-audit serving vs rebuild-per-request.
+//!
+//! The serving layer's promise is that the expensive artifacts (index,
+//! membership CSR, region totals) and the simulated worlds are shared
+//! across a request stream. This benchmark queues a mixed batch of
+//! audit requests (directions × alphas × seeds × budget strategies),
+//! serves it two ways —
+//!
+//! * **rebuild**: a fresh [`Auditor`] per request (engine rebuilt every
+//!   time, worlds generated per request), and
+//! * **batched**: one [`AuditServer`] holding one `PreparedAudit`,
+//!   every request submitted then drained as a single batch —
+//!
+//! verifies the reports are **bit-identical**, and persists the
+//! machine-readable comparison (throughput, speedup, world counts) so
+//! the performance trajectory is tracked across PRs.
+
+use crate::common::{banner, report_row, Options};
+use serde::Serialize;
+use sfdata::synth::SynthConfig;
+use sfscan::prepared::AuditRequest;
+use sfscan::{AuditConfig, Auditor, Direction, McStrategy, RegionSet};
+use sfserve::AuditServer;
+use std::time::Instant;
+
+/// Machine-readable benchmark record (written to `--out`,
+/// `BENCH_PR2.json` by default).
+#[derive(Debug, Clone, Serialize)]
+struct ServeBenchRecord {
+    /// What produced this record.
+    benchmark: String,
+    /// Observations audited.
+    points: usize,
+    /// Candidate regions scanned.
+    regions: usize,
+    /// Monte Carlo budget per request (`w − 1`).
+    worlds_per_request: usize,
+    /// Queued audit requests.
+    requests: usize,
+    /// World-sharing groups the batch planned into.
+    groups: usize,
+    /// Rebuild-per-request wall time, milliseconds.
+    rebuild_ms: f64,
+    /// Batched-serving wall time, milliseconds.
+    batched_ms: f64,
+    /// `rebuild_ms / batched_ms`.
+    speedup: f64,
+    /// Rebuild path throughput, audits per second.
+    rebuild_per_s: f64,
+    /// Batched path throughput, audits per second.
+    batched_per_s: f64,
+    /// Worlds generated + counted by the rebuild path.
+    rebuild_worlds: usize,
+    /// Unique worlds generated + counted by the batched path.
+    batched_unique_worlds: usize,
+    /// Worlds answered from a shared stream instead of regenerated.
+    worlds_shared: usize,
+    /// Worlds early stopping saved across the batch.
+    worlds_saved: usize,
+    /// Reports bit-identical between the two paths.
+    bit_identical: bool,
+}
+
+/// The deterministic request mix: directions × alphas × seeds with a
+/// sprinkle of early stopping — the shape of a realistic multi-tenant
+/// queue (many cheap knob variations over one dataset).
+fn request_mix(base: &AuditConfig, count: usize) -> Vec<AuditRequest> {
+    let directions = [Direction::TwoSided, Direction::High, Direction::Low];
+    let alphas = [0.05, 0.01];
+    (0..count)
+        .map(|i| {
+            let mut request = AuditRequest::from_config(base)
+                .with_direction(directions[i % directions.len()])
+                .with_seed(base.seed + (i / 12) as u64);
+            request.alpha = alphas[(i / 3) % alphas.len()];
+            if i % 8 == 7 {
+                request = request.with_mc_strategy(McStrategy::early_stop());
+            }
+            request
+        })
+        .collect()
+}
+
+/// Runs the benchmark and writes the JSON record.
+pub fn run(opts: &Options) {
+    banner("serve-bench: batched serving vs rebuild-per-request");
+
+    let n = if opts.quick { 4_000 } else { 20_000 };
+    // Default per-request budget: the CLI default of 999 worlds is a
+    // sensible audit setting but overkill for a timing comparison, so
+    // an *unset* --worlds is reduced; an explicit --worlds is honored
+    // (and quick mode clamps loudly, like every figure harness).
+    let default_worlds = Options::default().worlds;
+    let worlds = if opts.worlds == default_worlds {
+        if opts.quick {
+            99
+        } else {
+            199
+        }
+    } else {
+        opts.effective_worlds()
+    };
+    if worlds != opts.worlds {
+        println!(
+            "[serve-bench] note: running {worlds} worlds per request \
+             (--worlds {} {})",
+            opts.worlds,
+            if opts.worlds == default_worlds {
+                "is the default; pass an explicit value to override"
+            } else {
+                "clamped by --quick"
+            }
+        );
+    }
+    // The acceptance target is defined over >= 16 queued audits.
+    let num_requests = opts.requests.max(16);
+    if num_requests != opts.requests {
+        println!(
+            "[serve-bench] note: raising --requests {} to the 16-audit minimum",
+            opts.requests
+        );
+    }
+    let outcomes = SynthConfig {
+        per_half: n / 2,
+        ..SynthConfig::paper()
+    }
+    .generate(opts.seed);
+    let regions = RegionSet::regular_grid(outcomes.expanded_bounding_box(), 16, 16);
+    let base = opts.decorate(
+        AuditConfig::new(Options::ALPHA)
+            .with_worlds(worlds)
+            .with_seed(opts.seed),
+    );
+    let requests = request_mix(&base, num_requests);
+    println!(
+        "[data] Synth: N={}, {} regions, {} requests x {} worlds",
+        outcomes.len(),
+        regions.len(),
+        requests.len(),
+        worlds
+    );
+
+    // Path A: rebuild the engine for every request (the pre-serving
+    // architecture: one Auditor::audit call per request).
+    let t = Instant::now();
+    let rebuilt: Vec<_> = requests
+        .iter()
+        .map(|request| {
+            Auditor::new(request.apply_to(base))
+                .audit(&outcomes, &regions)
+                .expect("auditable")
+        })
+        .collect();
+    let rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
+    let rebuild_worlds: usize = rebuilt.iter().map(|r| r.worlds_evaluated).sum();
+
+    // Path B: prepare once, submit everything, drain one batch.
+    let t = Instant::now();
+    let mut server = AuditServer::new(&outcomes, &regions, base).expect("auditable");
+    for request in &requests {
+        server.submit(*request);
+    }
+    let responses = server.drain();
+    let batched_ms = t.elapsed().as_secs_f64() * 1e3;
+    let stats = *server.stats();
+
+    let bit_identical = rebuilt.iter().zip(&responses).all(|(a, b)| *a == b.report);
+    assert!(
+        bit_identical,
+        "batched serving must be bit-identical to sequential audits"
+    );
+
+    let groups = sfscan::prepared::ExecutionPlan::new(requests.clone())
+        .groups()
+        .len();
+    let record = ServeBenchRecord {
+        benchmark: "serve-bench".to_string(),
+        points: outcomes.len(),
+        regions: regions.len(),
+        worlds_per_request: worlds,
+        requests: requests.len(),
+        groups,
+        rebuild_ms,
+        batched_ms,
+        speedup: rebuild_ms / batched_ms,
+        rebuild_per_s: requests.len() as f64 / (rebuild_ms / 1e3),
+        batched_per_s: requests.len() as f64 / (batched_ms / 1e3),
+        rebuild_worlds,
+        batched_unique_worlds: stats.unique_worlds as usize,
+        worlds_shared: stats.worlds_shared() as usize,
+        worlds_saved: stats.worlds_saved() as usize,
+        bit_identical,
+    };
+
+    report_row(
+        "rebuild-per-request",
+        "—",
+        &format!("{rebuild_ms:.0} ms ({:.1} audits/s)", record.rebuild_per_s),
+    );
+    report_row(
+        "batched shared engine",
+        "—",
+        &format!("{batched_ms:.0} ms ({:.1} audits/s)", record.batched_per_s),
+    );
+    report_row(
+        "speedup",
+        ">= 3x target",
+        &format!("{:.2}x", record.speedup),
+    );
+    report_row(
+        "worlds generated",
+        &format!("{rebuild_worlds} sequential"),
+        &format!(
+            "{} unique ({} shared, {} saved)",
+            record.batched_unique_worlds, record.worlds_shared, record.worlds_saved
+        ),
+    );
+
+    let json = serde_json::to_string_pretty(&record).expect("record serialises");
+    std::fs::write(&opts.out, json + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out));
+    println!("[serve-bench] wrote {}", opts.out);
+}

@@ -59,7 +59,7 @@ pub use membership::Membership;
 pub use quadtree::QuadTree;
 pub use rtree::RTree;
 pub use sat::SummedAreaTable;
-pub use substrate::{CountingSubstrate, IndexBackend, Substrate};
+pub use substrate::{CountingSubstrate, IndexBackend, ParseBackendError, Substrate};
 
 use sfgeo::Region;
 

@@ -91,6 +91,42 @@ impl std::fmt::Display for IndexBackend {
     }
 }
 
+/// Error from parsing an [`IndexBackend`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown index backend {:?}; valid values: ", self.input)?;
+        for (i, backend) in IndexBackend::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(backend.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl std::str::FromStr for IndexBackend {
+    type Err = ParseBackendError;
+
+    /// Parses the [`Display`](std::fmt::Display) name back (`brute`,
+    /// `kdtree`, `quadtree`, `rtree`, `grid`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        IndexBackend::ALL
+            .into_iter()
+            .find(|backend| backend.name() == s.trim())
+            .ok_or_else(|| ParseBackendError {
+                input: s.to_string(),
+            })
+    }
+}
+
 /// Target mean points per cell for [`IndexBackend::Grid`] (matches the
 /// sizing the index benches found competitive across workloads).
 pub const GRID_TARGET_PER_CELL: usize = 64;
@@ -239,6 +275,20 @@ mod tests {
         }
         assert_eq!(IndexBackend::default(), IndexBackend::KdTree);
         assert_eq!(IndexBackend::Grid.to_string(), "grid");
+    }
+
+    #[test]
+    fn backend_parse_round_trips() {
+        for backend in IndexBackend::ALL {
+            let shown = backend.to_string();
+            assert_eq!(shown.parse::<IndexBackend>().unwrap(), backend);
+        }
+        let err = "ball-tree".parse::<IndexBackend>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("ball-tree"), "{msg}");
+        for backend in IndexBackend::ALL {
+            assert!(msg.contains(backend.name()), "{msg} missing {backend}");
+        }
     }
 
     #[test]

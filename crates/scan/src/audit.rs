@@ -9,14 +9,20 @@
 //! 3. derive the p-value (`k/w`) and the per-region critical value;
 //! 4. assemble the evidence: all individually significant regions
 //!    ranked by their likelihood ratio (SUL ranking).
+//!
+//! Since the serving-layer refactor this type is a thin client of the
+//! prepare/plan/execute path in [`crate::prepared`]: one audit is a
+//! [`PreparedAudit`] serving a single-request batch. Callers running
+//! many audits over one dataset should hold the [`PreparedAudit`]
+//! (or an `sfserve::AuditServer`) instead of looping over
+//! [`Auditor::audit`], which rebuilds the engine every call.
 
 use crate::config::AuditConfig;
-use crate::engine::ScanEngine;
 use crate::error::ScanError;
 use crate::outcomes::SpatialOutcomes;
+use crate::prepared::{AuditRequest, PreparedAudit};
 use crate::regions::RegionSet;
-use crate::report::{AuditReport, RegionFinding};
-use sfstats::montecarlo::MonteCarlo;
+use crate::report::AuditReport;
 
 /// Executes spatial-fairness audits.
 #[derive(Debug, Clone, Copy)]
@@ -46,66 +52,8 @@ impl Auditor {
         outcomes: &SpatialOutcomes,
         regions: &RegionSet,
     ) -> Result<AuditReport, ScanError> {
-        outcomes.check_auditable()?;
-        if regions.is_empty() {
-            return Err(ScanError::EmptyRegionSet);
-        }
-        let cfg = self.config;
-        let engine = ScanEngine::build_with(outcomes, regions, cfg.backend, cfg.strategy);
-        let real = engine.scan_real(cfg.direction);
-
-        let mut mc = MonteCarlo::new(cfg.worlds, cfg.seed).with_strategy(cfg.mc_strategy);
-        if !cfg.parallel {
-            mc = mc.sequential();
-        }
-        let mc_result = mc.run_adaptive(real.tau, cfg.alpha, |rng| {
-            let labels = engine.generate_world(cfg.null_model, rng);
-            engine.eval_world(&labels, cfg.direction)
-        });
-
-        let p_value = mc_result.p_value();
-        let critical_value = mc_result.critical_value(cfg.alpha);
-
-        // Evidence: individually significant regions, ranked by LLR.
-        let mut findings: Vec<RegionFinding> = real
-            .llrs
-            .iter()
-            .enumerate()
-            .filter(|(_, &llr)| llr > critical_value)
-            .map(|(i, &llr)| {
-                let c = real.counts[i];
-                RegionFinding {
-                    index: i,
-                    region: regions.regions()[i].clone(),
-                    center_id: regions.center_id(i),
-                    n: c.n,
-                    p: c.p,
-                    rate: if c.n == 0 {
-                        f64::NAN
-                    } else {
-                        c.p as f64 / c.n as f64
-                    },
-                    llr,
-                }
-            })
-            .collect();
-        findings.sort_by(|a, b| b.llr.partial_cmp(&a.llr).expect("LLRs are finite"));
-
-        Ok(AuditReport {
-            config: cfg,
-            n_total: outcomes.len() as u64,
-            p_total: outcomes.positives(),
-            rate: outcomes.rate(),
-            num_regions: regions.len(),
-            region_set: regions.description().to_string(),
-            tau: real.tau,
-            best_region_index: real.best_index,
-            p_value,
-            critical_value,
-            findings,
-            worlds_evaluated: mc_result.worlds_evaluated,
-            simulated: mc_result.simulated,
-        })
+        let prepared = PreparedAudit::prepare(outcomes, regions, self.config)?;
+        Ok(prepared.run(&AuditRequest::from_config(&self.config)))
     }
 }
 

@@ -43,6 +43,71 @@ pub enum CountingStrategy {
     Auto,
 }
 
+impl CountingStrategy {
+    /// All selectable strategies (drives parse-error messages and
+    /// ablation sweeps).
+    pub const ALL: [CountingStrategy; 3] = [
+        CountingStrategy::Membership,
+        CountingStrategy::Requery,
+        CountingStrategy::Auto,
+    ];
+
+    /// Stable lowercase name (CLI/bench labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CountingStrategy::Membership => "membership",
+            CountingStrategy::Requery => "requery",
+            CountingStrategy::Auto => "auto",
+        }
+    }
+}
+
+impl std::fmt::Display for CountingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing a [`CountingStrategy`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStrategyError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown counting strategy {:?}; valid values: ",
+            self.input
+        )?;
+        for (i, strategy) in CountingStrategy::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(strategy.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+impl std::str::FromStr for CountingStrategy {
+    type Err = ParseStrategyError;
+
+    /// Parses the [`Display`](std::fmt::Display) name back
+    /// (`membership`, `requery`, `auto`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CountingStrategy::ALL
+            .into_iter()
+            .find(|strategy| strategy.name() == s.trim())
+            .ok_or_else(|| ParseStrategyError {
+                input: s.to_string(),
+            })
+    }
+}
+
 /// Knobs for a spatial-fairness audit.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AuditConfig {
@@ -219,6 +284,20 @@ mod tests {
     fn auto_strategy_selectable() {
         let c = AuditConfig::new(0.05).with_strategy(CountingStrategy::Auto);
         assert_eq!(c.strategy, CountingStrategy::Auto);
+    }
+
+    #[test]
+    fn strategy_parse_round_trips() {
+        for strategy in CountingStrategy::ALL {
+            let shown = strategy.to_string();
+            assert_eq!(shown.parse::<CountingStrategy>().unwrap(), strategy);
+        }
+        let err = "bitmap".parse::<CountingStrategy>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bitmap"), "{msg}");
+        for strategy in CountingStrategy::ALL {
+            assert!(msg.contains(strategy.name()), "{msg}");
+        }
     }
 
     #[test]

@@ -296,8 +296,39 @@ impl<I: CountingSubstrate> ScanEngine<I> {
     /// that world's `τ` (computed against the world's own totals, as
     /// the statistic is a function of the observed data).
     pub fn eval_world(&self, labels: &BitLabels, direction: Direction) -> f64 {
+        let mut tau = [0.0f64];
+        self.eval_world_into(labels, &[direction], &mut tau);
+        tau[0]
+    }
+
+    /// Evaluates one world for *several* directions at once, writing
+    /// each direction's `τ` into `out`.
+    ///
+    /// Recounting `p(R)` per region is the expensive,
+    /// direction-independent part of a world; the per-direction LLR is
+    /// cheap arithmetic on the same `(n, p)` pair. Batched multi-audit
+    /// serving exploits this: one counting pass serves every request
+    /// direction sharing the world. Each `out[d]` is bit-identical to
+    /// `eval_world(labels, directions[d])` — the single-direction path
+    /// IS this one with a one-element slice.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != directions.len()`.
+    pub fn eval_world_into(&self, labels: &BitLabels, directions: &[Direction], out: &mut [f64]) {
+        assert_eq!(directions.len(), out.len(), "one output slot per direction");
         let p_world = labels.count_ones();
-        let mut tau = 0.0f64;
+        out.fill(0.0);
+        let mut fold = |n_r: u64, p_r: u64| {
+            for (tau, &direction) in out.iter_mut().zip(directions) {
+                let llr = bernoulli_llr_directed(
+                    &Counts2x2::new(n_r, p_r, self.n_total, p_world),
+                    direction,
+                );
+                if llr > *tau {
+                    *tau = llr;
+                }
+            }
+        };
         match &self.membership {
             Some(m) => {
                 for (r, &n_r) in self.region_n.iter().enumerate() {
@@ -305,13 +336,7 @@ impl<I: CountingSubstrate> ScanEngine<I> {
                         continue;
                     }
                     let p_r = labels.count_at(m.members(r));
-                    let llr = bernoulli_llr_directed(
-                        &Counts2x2::new(n_r, p_r, self.n_total, p_world),
-                        direction,
-                    );
-                    if llr > tau {
-                        tau = llr;
-                    }
+                    fold(n_r, p_r);
                 }
             }
             None => {
@@ -321,17 +346,10 @@ impl<I: CountingSubstrate> ScanEngine<I> {
                     }
                     let c = self.index.count_with(region, labels);
                     debug_assert_eq!(c.n, n_r, "region n must be world-invariant");
-                    let llr = bernoulli_llr_directed(
-                        &Counts2x2::new(c.n, c.p, self.n_total, p_world),
-                        direction,
-                    );
-                    if llr > tau {
-                        tau = llr;
-                    }
+                    fold(c.n, c.p);
                 }
             }
         }
-        tau
     }
 }
 
@@ -538,6 +556,38 @@ mod tests {
         let again = e.generate_world(NullModel::Permutation, &mut rng);
         assert_ne!(other, draws[0]);
         assert_eq!(again, draws[0]);
+    }
+
+    #[test]
+    fn multi_direction_eval_matches_single_direction() {
+        let o = outcomes();
+        let dirs = [Direction::TwoSided, Direction::High, Direction::Low];
+        for strategy in [CountingStrategy::Membership, CountingStrategy::Requery] {
+            let e = ScanEngine::build(&o, &region_set(), strategy);
+            for w in 0..10 {
+                let mut rng = sfstats::rng::world_rng(6, w);
+                let labels = e.generate_world(NullModel::Bernoulli, &mut rng);
+                let mut out = [0.0; 3];
+                e.eval_world_into(&labels, &dirs, &mut out);
+                for (tau, &d) in out.iter().zip(&dirs) {
+                    assert_eq!(
+                        *tau,
+                        e.eval_world(&labels, d),
+                        "world {w}, {d}, {strategy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot")]
+    fn multi_direction_eval_validates_slots() {
+        let o = outcomes();
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let labels = BitLabels::from_bools(o.labels());
+        let mut out = [0.0; 1];
+        e.eval_world_into(&labels, &[Direction::High, Direction::Low], &mut out);
     }
 
     #[test]

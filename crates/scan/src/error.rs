@@ -33,6 +33,13 @@ pub enum ScanError {
         /// Total positives.
         p: u64,
     },
+    /// An audit request carries invalid knobs (the fields are public
+    /// and wire-deserializable, so malformed values can arrive from
+    /// outside the builder methods).
+    InvalidRequest {
+        /// What is wrong with the request.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ScanError {
@@ -50,6 +57,9 @@ impl std::fmt::Display for ScanError {
                 f,
                 "outcomes are degenerate (n={n}, p={p}): scan statistic is vacuous"
             ),
+            ScanError::InvalidRequest { reason } => {
+                write!(f, "invalid audit request: {reason}")
+            }
         }
     }
 }

@@ -65,18 +65,22 @@ pub mod error;
 pub mod identify;
 pub mod meanvar;
 pub mod outcomes;
+pub mod prepared;
 pub mod rates;
 pub mod regions;
 pub mod report;
 pub mod suite;
 
 pub use audit::Auditor;
-pub use config::{AuditConfig, CountingStrategy, IndexBackend, McStrategy, NullModel};
+pub use config::{
+    AuditConfig, CountingStrategy, IndexBackend, McStrategy, NullModel, ParseStrategyError,
+};
 pub use direction::Direction;
 pub use error::ScanError;
 pub use meanvar::{MeanVar, MeanVarResult, PartitionContribution};
 pub use outcomes::{Measure, SpatialOutcomes};
-pub use rates::{audit_rates, CellCounts, RateReport};
+pub use prepared::{AuditRequest, BatchStats, ExecutionPlan, PlanGroup, PreparedAudit};
+pub use rates::{audit_rates, audit_rates_batch, CellCounts, RateReport};
 pub use regions::RegionSet;
 pub use report::{AuditReport, RegionFinding, Verdict};
 pub use suite::{run_suite, SuiteReport};

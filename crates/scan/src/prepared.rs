@@ -1,0 +1,829 @@
+//! The audit serving layer: **prepare → plan → execute**.
+//!
+//! A spatial-fairness audit is read-mostly: the expensive artifacts —
+//! the spatial index, the region membership lists, the world-invariant
+//! `n(R)` totals — depend only on the *dataset and regions*, while each
+//! audit request varies only cheap knobs (direction, `α`, seed, Monte
+//! Carlo budget, null model). This module splits the one-shot
+//! [`Auditor::audit`](crate::audit::Auditor) pipeline into three phases
+//! so those artifacts are built once and served many times:
+//!
+//! 1. **prepare** — [`PreparedAudit::prepare`] builds the immutable
+//!    engine (index + membership + totals) from the dataset, regions,
+//!    and the expensive [`AuditConfig`] knobs (backend, counting
+//!    strategy).
+//! 2. **plan** — [`ExecutionPlan::new`] groups a batch of
+//!    [`AuditRequest`]s into *world classes* `(null model, seed)`:
+//!    requests in one class draw exactly the same simulated worlds, so
+//!    each world is generated and recounted **once** and its per-region
+//!    positives are replayed against every member request's direction.
+//! 3. **execute** — [`PreparedAudit::execute`] walks each group's
+//!    shared world stream in spans chosen by
+//!    [`BudgetScheduler`](sfstats::montecarlo::BudgetScheduler):
+//!    every span ends at the nearest early-stop checkpoint of any
+//!    still-contested request, so worlds freed by futility/certainty
+//!    stops are spent only on requests whose verdicts are still open.
+//!    Worlds within a span are evaluated in parallel (rayon) with
+//!    deterministic per-world RNG streams.
+//!
+//! **Bit-identity guarantee.** Every per-request
+//! [`AuditReport`] — verdict, p-value, critical value, findings, and
+//! the `simulated` prefix — is exactly what a standalone
+//! [`Auditor::audit`](crate::audit::Auditor) with the equivalent
+//! config produces. World values depend only on `(seed, index, null
+//! model)`; the per-direction LLR fold is the same code path
+//! ([`ScanEngine::eval_world_into`]); and the stopping rule is replayed
+//! by the same [`WorldLane`](sfstats::montecarlo::WorldLane) a
+//! standalone adaptive run uses. The cross-checks live in the
+//! `serve_equivalence` proptests.
+
+use crate::config::{AuditConfig, NullModel};
+use crate::direction::Direction;
+use crate::engine::{RealScan, ScanEngine};
+use crate::error::ScanError;
+use crate::outcomes::SpatialOutcomes;
+use crate::regions::RegionSet;
+use crate::report::{AuditReport, RegionFinding};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use sfindex::Substrate;
+use sfstats::montecarlo::{BudgetScheduler, McStrategy, MonteCarloResult, WorldLane};
+use sfstats::rng::world_rng;
+
+/// One audit request: the cheap per-query knobs of an audit. The
+/// expensive knobs (dataset, regions, index backend, counting strategy)
+/// live in the [`PreparedAudit`] the request runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuditRequest {
+    /// Significance level `α`.
+    pub alpha: f64,
+    /// Monte Carlo budget (`w − 1` simulated worlds).
+    pub worlds: usize,
+    /// Base RNG seed. Requests sharing `(null_model, seed)` draw the
+    /// same worlds and are served from one shared stream.
+    pub seed: u64,
+    /// Deviation direction the audit is sensitive to.
+    pub direction: Direction,
+    /// Alternate-world label model.
+    pub null_model: NullModel,
+    /// Monte Carlo budget strategy.
+    pub mc_strategy: McStrategy,
+}
+
+impl AuditRequest {
+    /// A request at significance level `alpha` with the base config's
+    /// defaults: 999 worlds, seed 0, two-sided, Bernoulli null, full
+    /// budget.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1)`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
+        AuditRequest {
+            alpha,
+            worlds: 999,
+            seed: 0,
+            direction: Direction::TwoSided,
+            null_model: NullModel::Bernoulli,
+            mc_strategy: McStrategy::FullBudget,
+        }
+    }
+
+    /// The request equivalent to `config`'s per-query knobs.
+    pub fn from_config(config: &AuditConfig) -> Self {
+        AuditRequest {
+            alpha: config.alpha,
+            worlds: config.worlds,
+            seed: config.seed,
+            direction: config.direction,
+            null_model: config.null_model,
+            mc_strategy: config.mc_strategy,
+        }
+    }
+
+    /// Sets the Monte Carlo budget.
+    pub fn with_worlds(mut self, worlds: usize) -> Self {
+        assert!(worlds > 0, "need at least one simulated world");
+        self.worlds = worlds;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the deviation direction.
+    pub fn with_direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Sets the null model.
+    pub fn with_null_model(mut self, null_model: NullModel) -> Self {
+        self.null_model = null_model;
+        self
+    }
+
+    /// Sets the Monte Carlo budget strategy.
+    pub fn with_mc_strategy(mut self, mc_strategy: McStrategy) -> Self {
+        if let McStrategy::EarlyStop { batch_size } = mc_strategy {
+            assert!(batch_size > 0, "batch_size must be positive");
+        }
+        self.mc_strategy = mc_strategy;
+        self
+    }
+
+    /// The full [`AuditConfig`] this request denotes against `base`
+    /// (the prepared engine's expensive knobs + this request's cheap
+    /// ones) — also the config a bit-identical standalone
+    /// [`Auditor`](crate::audit::Auditor) run would use.
+    pub fn apply_to(&self, mut base: AuditConfig) -> AuditConfig {
+        base.alpha = self.alpha;
+        base.worlds = self.worlds;
+        base.seed = self.seed;
+        base.direction = self.direction;
+        base.null_model = self.null_model;
+        base.mc_strategy = self.mc_strategy;
+        base
+    }
+
+    /// Validates field invariants without panicking. The builders
+    /// assert these, but the fields are pub and wire-deserializable —
+    /// serving layers should call this on untrusted requests *before*
+    /// queueing them (a queue that defers validation to execution
+    /// would lose its whole batch to one malformed payload).
+    ///
+    /// # Errors
+    /// [`ScanError::InvalidRequest`] naming the offending knob:
+    /// `alpha` outside `(0, 1)`, zero `worlds`, or a zero early-stop
+    /// batch size.
+    pub fn validate(&self) -> Result<(), ScanError> {
+        let invalid = |reason: String| ScanError::InvalidRequest { reason };
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(invalid(format!(
+                "alpha must be in (0,1), got {}",
+                self.alpha
+            )));
+        }
+        if self.worlds == 0 {
+            return Err(invalid("need at least one simulated world".into()));
+        }
+        if let McStrategy::EarlyStop { batch_size } = self.mc_strategy {
+            if batch_size == 0 {
+                return Err(invalid("batch_size must be positive".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The world class this request draws simulated worlds from:
+    /// requests agreeing on it share every world.
+    fn world_class(&self) -> (NullModel, u64) {
+        (self.null_model, self.seed)
+    }
+}
+
+impl Default for AuditRequest {
+    /// The paper's setting: `α = 0.005`, 999 worlds.
+    fn default() -> Self {
+        AuditRequest::new(0.005)
+    }
+}
+
+/// One world-sharing group of an [`ExecutionPlan`]: the requests that
+/// draw from one simulated world stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanGroup {
+    /// Null model every member draws worlds from.
+    pub null_model: NullModel,
+    /// Seed of the shared world stream.
+    pub seed: u64,
+    /// Indices into the planned request batch, in submission order.
+    pub members: Vec<usize>,
+    /// Distinct member directions in first-appearance order; each
+    /// world is counted once and its LLR folded per entry here.
+    pub directions: Vec<Direction>,
+    /// Largest member budget — the most worlds this group can need.
+    pub max_budget: usize,
+}
+
+/// A batch of requests grouped into world classes, ready to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionPlan {
+    requests: Vec<AuditRequest>,
+    groups: Vec<PlanGroup>,
+}
+
+impl ExecutionPlan {
+    /// Plans a batch: groups requests by `(null model, seed)` in
+    /// first-appearance order, recording each group's distinct
+    /// directions and maximum budget.
+    ///
+    /// # Panics
+    /// Panics if any request carries invalid knobs (see
+    /// [`AuditRequest::validate`] — serving layers validate untrusted
+    /// requests before they get here).
+    pub fn new(requests: Vec<AuditRequest>) -> Self {
+        let mut groups: Vec<PlanGroup> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            if let Err(e) = request.validate() {
+                panic!("{e}");
+            }
+            let class = request.world_class();
+            let group = match groups.iter_mut().find(|g| (g.null_model, g.seed) == class) {
+                Some(group) => group,
+                None => {
+                    groups.push(PlanGroup {
+                        null_model: request.null_model,
+                        seed: request.seed,
+                        members: Vec::new(),
+                        directions: Vec::new(),
+                        max_budget: 0,
+                    });
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            group.members.push(i);
+            if !group.directions.contains(&request.direction) {
+                group.directions.push(request.direction);
+            }
+            group.max_budget = group.max_budget.max(request.worlds);
+        }
+        ExecutionPlan { requests, groups }
+    }
+
+    /// The planned requests, in submission order.
+    pub fn requests(&self) -> &[AuditRequest] {
+        &self.requests
+    }
+
+    /// The world-sharing groups.
+    pub fn groups(&self) -> &[PlanGroup] {
+        &self.groups
+    }
+
+    /// Total worlds the batch would cost without sharing or early
+    /// stopping (`Σ` member budgets).
+    pub fn budget_total(&self) -> usize {
+        self.requests.iter().map(|r| r.worlds).sum()
+    }
+
+    /// Upper bound on unique worlds with sharing (`Σ` group max
+    /// budgets); the shortfall vs [`ExecutionPlan::budget_total`] is
+    /// the work sharing saves before early stopping saves more.
+    pub fn shared_budget_total(&self) -> usize {
+        self.groups.iter().map(|g| g.max_budget).sum()
+    }
+}
+
+/// Accounting for one executed batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Requests served.
+    pub requests: usize,
+    /// World-sharing groups the batch planned into.
+    pub groups: usize,
+    /// Worlds actually generated and counted (each one serving every
+    /// compatible request).
+    pub unique_worlds: usize,
+    /// `Σ` per-request `worlds_evaluated` — what sequential single
+    /// audits would have generated and counted.
+    pub lane_worlds: usize,
+    /// `Σ` per-request budgets — the cost ceiling without sharing or
+    /// early stopping.
+    pub budget_total: usize,
+}
+
+impl BatchStats {
+    /// Worlds that were *replayed* from a shared stream instead of
+    /// being regenerated (`lane_worlds − unique_worlds`).
+    pub fn worlds_shared(&self) -> usize {
+        self.lane_worlds.saturating_sub(self.unique_worlds)
+    }
+
+    /// Worlds early stopping saved across the batch
+    /// (`budget_total − lane_worlds`).
+    pub fn worlds_saved(&self) -> usize {
+        self.budget_total.saturating_sub(self.lane_worlds)
+    }
+}
+
+/// The immutable phase-1 artifact: everything an audit needs that
+/// depends only on the dataset and regions.
+///
+/// Build it once with [`PreparedAudit::prepare`], then serve any number
+/// of [`AuditRequest`]s with [`PreparedAudit::run`] /
+/// [`PreparedAudit::run_batch`] — no per-request index or membership
+/// construction, and batched requests share simulated worlds whenever
+/// their world class matches.
+pub struct PreparedAudit {
+    engine: ScanEngine<Substrate>,
+    regions: RegionSet,
+    base: AuditConfig,
+    n_total: u64,
+    p_total: u64,
+    rate: f64,
+}
+
+impl std::fmt::Debug for PreparedAudit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedAudit")
+            .field("n_total", &self.n_total)
+            .field("p_total", &self.p_total)
+            .field("num_regions", &self.regions.len())
+            .field("backend", &self.base.backend)
+            .field("resolved_strategy", &self.engine.resolved_strategy())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PreparedAudit {
+    /// Phase 1: validates the inputs and builds the scan engine from
+    /// the expensive `config` knobs (index backend, counting strategy).
+    /// The remaining config fields become the base every request's
+    /// report config is derived from.
+    ///
+    /// # Errors
+    /// * [`ScanError::EmptyRegionSet`] — no regions to scan.
+    /// * [`ScanError::DegenerateOutcomes`] — all labels equal; the scan
+    ///   statistic is vacuous.
+    pub fn prepare(
+        outcomes: &SpatialOutcomes,
+        regions: &RegionSet,
+        config: AuditConfig,
+    ) -> Result<Self, ScanError> {
+        outcomes.check_auditable()?;
+        if regions.is_empty() {
+            return Err(ScanError::EmptyRegionSet);
+        }
+        let engine = ScanEngine::build_with(outcomes, regions, config.backend, config.strategy);
+        Ok(PreparedAudit {
+            engine,
+            regions: regions.clone(),
+            base: config,
+            n_total: outcomes.len() as u64,
+            p_total: outcomes.positives(),
+            rate: outcomes.rate(),
+        })
+    }
+
+    /// The base config requests are completed against.
+    pub fn base_config(&self) -> &AuditConfig {
+        &self.base
+    }
+
+    /// The shared scan engine.
+    pub fn engine(&self) -> &ScanEngine<Substrate> {
+        &self.engine
+    }
+
+    /// Number of candidate regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Number of audited observations.
+    pub fn num_points(&self) -> usize {
+        self.n_total as usize
+    }
+
+    /// Runs one request. Equivalent to a single-element
+    /// [`PreparedAudit::run_batch`] — and bit-identical to
+    /// [`Auditor::audit`](crate::audit::Auditor) with
+    /// [`AuditRequest::apply_to`]`(base_config)`.
+    pub fn run(&self, request: &AuditRequest) -> AuditReport {
+        self.run_batch(std::slice::from_ref(request))
+            .pop()
+            .expect("one request yields one report")
+    }
+
+    /// Phases 2+3 for a batch: plans the requests into world-sharing
+    /// groups and executes them, returning one report per request in
+    /// submission order.
+    pub fn run_batch(&self, requests: &[AuditRequest]) -> Vec<AuditReport> {
+        self.run_batch_with_stats(requests).0
+    }
+
+    /// [`PreparedAudit::run_batch`] plus the batch accounting.
+    pub fn run_batch_with_stats(
+        &self,
+        requests: &[AuditRequest],
+    ) -> (Vec<AuditReport>, BatchStats) {
+        self.execute(&ExecutionPlan::new(requests.to_vec()))
+    }
+
+    /// Phase 3: executes a plan against the shared engine. Reports come
+    /// back in the plan's request order.
+    pub fn execute(&self, plan: &ExecutionPlan) -> (Vec<AuditReport>, BatchStats) {
+        let mut reports: Vec<Option<AuditReport>> = Vec::new();
+        reports.resize_with(plan.requests().len(), || None);
+        let mut stats = BatchStats {
+            requests: plan.requests().len(),
+            groups: plan.groups().len(),
+            ..BatchStats::default()
+        };
+        for group in plan.groups() {
+            self.execute_group(plan, group, &mut reports, &mut stats);
+        }
+        let reports = reports
+            .into_iter()
+            .map(|r| r.expect("every request belongs to exactly one group"))
+            .collect();
+        (reports, stats)
+    }
+
+    /// Executes one world-sharing group: scans the real world once per
+    /// distinct direction, then walks the shared world stream through
+    /// [`run_world_group`], folding each world's per-region counts into
+    /// every member lane that still needs it.
+    fn execute_group(
+        &self,
+        plan: &ExecutionPlan,
+        group: &PlanGroup,
+        reports: &mut [Option<AuditReport>],
+        stats: &mut BatchStats,
+    ) {
+        // Real-world scans are direction-dependent but request-invariant:
+        // one per distinct direction, shared across the group.
+        let reals: Vec<RealScan> = group
+            .directions
+            .iter()
+            .map(|&d| self.engine.scan_real(d))
+            .collect();
+        let observed: Vec<f64> = reals.iter().map(|r| r.tau).collect();
+        let lane_dirs =
+            member_direction_indices(plan.requests(), &group.members, &group.directions);
+        let eval_one = |i: usize| -> Vec<f64> {
+            let mut rng = world_rng(group.seed, i as u64);
+            let labels = self.engine.generate_world(group.null_model, &mut rng);
+            let mut taus = vec![0.0; group.directions.len()];
+            self.engine
+                .eval_world_into(&labels, &group.directions, &mut taus);
+            taus
+        };
+        let (results, unique_worlds) = run_world_group(
+            plan.requests(),
+            &group.members,
+            &lane_dirs,
+            &observed,
+            self.base.parallel,
+            eval_one,
+        );
+        stats.unique_worlds += unique_worlds;
+
+        // Assemble per-request reports from each lane's truncated
+        // distribution and its direction's shared real scan.
+        for ((result, &ri), &di) in results.into_iter().zip(&group.members).zip(&lane_dirs) {
+            let request = &plan.requests()[ri];
+            stats.lane_worlds += result.worlds_evaluated;
+            stats.budget_total += request.worlds;
+            let real = &reals[di];
+            let p_value = result.p_value();
+            let critical_value = result.critical_value(request.alpha);
+            reports[ri] = Some(AuditReport {
+                config: request.apply_to(self.base),
+                n_total: self.n_total,
+                p_total: self.p_total,
+                rate: self.rate,
+                num_regions: self.regions.len(),
+                region_set: self.regions.description().to_string(),
+                tau: real.tau,
+                best_region_index: real.best_index,
+                p_value,
+                critical_value,
+                findings: build_findings(real, &self.regions, critical_value),
+                worlds_evaluated: result.worlds_evaluated,
+                simulated: result.simulated,
+            });
+        }
+    }
+}
+
+/// Distinct member directions in first-appearance order, paired with
+/// each member's index into that list.
+pub(crate) fn distinct_directions(
+    requests: &[AuditRequest],
+    members: &[usize],
+) -> (Vec<Direction>, Vec<usize>) {
+    let mut directions: Vec<Direction> = Vec::new();
+    for &i in members {
+        if !directions.contains(&requests[i].direction) {
+            directions.push(requests[i].direction);
+        }
+    }
+    let lane_dirs = member_direction_indices(requests, members, &directions);
+    (directions, lane_dirs)
+}
+
+/// Each member's index into `directions`.
+fn member_direction_indices(
+    requests: &[AuditRequest],
+    members: &[usize],
+    directions: &[Direction],
+) -> Vec<usize> {
+    members
+        .iter()
+        .map(|&i| {
+            directions
+                .iter()
+                .position(|&d| d == requests[i].direction)
+                .expect("every member direction is recorded")
+        })
+        .collect()
+}
+
+/// The engine-agnostic core of batched execution: walks one shared
+/// world stream for a group of member requests.
+///
+/// Builds a [`WorldLane`] per member (observed statistic taken from its
+/// direction's entry in `observed`), then evaluates
+/// [`BudgetScheduler`] spans — in parallel when `parallel` is set;
+/// per-world independent RNG streams inside `eval_world` keep that
+/// deterministic — and feeds each world's per-direction statistics
+/// into every lane that still needs them. `eval_world` receives a
+/// world index and returns one `τ` per entry of the group's distinct
+/// direction list (`lane_dirs[m]` maps member `m` into it).
+///
+/// Returns one [`MonteCarloResult`] per member (in `members` order,
+/// each bit-identical to a standalone adaptive run of that request)
+/// plus the number of unique worlds generated. Both the Bernoulli
+/// executor above and the Poisson rate batch
+/// ([`crate::rates::audit_rates_batch`]) run on this loop, so the
+/// stopping/scheduling semantics cannot drift between them.
+pub(crate) fn run_world_group<F>(
+    requests: &[AuditRequest],
+    members: &[usize],
+    lane_dirs: &[usize],
+    observed: &[f64],
+    parallel: bool,
+    eval_world: F,
+) -> (Vec<MonteCarloResult>, usize)
+where
+    F: Fn(usize) -> Vec<f64> + Sync,
+{
+    let mut lanes: Vec<WorldLane> = members
+        .iter()
+        .zip(lane_dirs)
+        .map(|(&i, &di)| {
+            let r = &requests[i];
+            WorldLane::new(observed[di], r.alpha, r.mc_strategy, r.worlds)
+        })
+        .collect();
+    let mut unique_worlds = 0usize;
+    let mut scheduler = BudgetScheduler::new();
+    while let Some(span) = scheduler.next_span(&lanes) {
+        let world_taus: Vec<Vec<f64>> = if parallel {
+            span.clone().into_par_iter().map(&eval_world).collect()
+        } else {
+            span.clone().map(&eval_world).collect()
+        };
+        unique_worlds += world_taus.len();
+        for taus in &world_taus {
+            for (lane, &di) in lanes.iter_mut().zip(lane_dirs) {
+                if !lane.is_done() {
+                    lane.push(taus[di]);
+                }
+            }
+        }
+    }
+    (
+        lanes.into_iter().map(WorldLane::into_result).collect(),
+        unique_worlds,
+    )
+}
+
+/// Evidence assembly shared by every execution path: individually
+/// significant regions, ranked by LLR descending (SUL ranking).
+pub(crate) fn build_findings(
+    real: &RealScan,
+    regions: &RegionSet,
+    critical_value: f64,
+) -> Vec<RegionFinding> {
+    let mut findings: Vec<RegionFinding> = real
+        .llrs
+        .iter()
+        .enumerate()
+        .filter(|(_, &llr)| llr > critical_value)
+        .map(|(i, &llr)| {
+            let c = real.counts[i];
+            RegionFinding {
+                index: i,
+                region: regions.regions()[i].clone(),
+                center_id: regions.center_id(i),
+                n: c.n,
+                p: c.p,
+                rate: if c.n == 0 {
+                    f64::NAN
+                } else {
+                    c.p as f64 / c.n as f64
+                },
+                llr,
+            }
+        })
+        .collect();
+    findings.sort_by(|a, b| b.llr.partial_cmp(&a.llr).expect("LLRs are finite"));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::Auditor;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use sfgeo::{Point, Rect};
+
+    fn outcomes(n: usize, seed: u64, split: bool) -> SpatialOutcomes {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut points = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..10.0);
+            let y: f64 = rng.gen_range(0.0..10.0);
+            let rate = if split && x < 5.0 { 0.85 } else { 0.3 };
+            points.push(Point::new(x, y));
+            labels.push(rng.gen_bool(rate));
+        }
+        SpatialOutcomes::new(points, labels).unwrap()
+    }
+
+    fn grid() -> RegionSet {
+        RegionSet::regular_grid(Rect::from_coords(0.0, 0.0, 10.0, 10.0), 4, 4)
+    }
+
+    fn base() -> AuditConfig {
+        AuditConfig::new(0.05).with_worlds(99).with_seed(3)
+    }
+
+    #[test]
+    fn plan_groups_by_world_class() {
+        let r = AuditRequest::new(0.05).with_worlds(99);
+        let batch = vec![
+            r.with_seed(1),
+            r.with_seed(1).with_direction(Direction::High),
+            r.with_seed(2),
+            r.with_seed(1).with_null_model(NullModel::Permutation),
+            r.with_seed(1).with_worlds(199),
+        ];
+        let plan = ExecutionPlan::new(batch);
+        assert_eq!(plan.groups().len(), 3);
+        let g0 = &plan.groups()[0];
+        assert_eq!(g0.members, vec![0, 1, 4]);
+        assert_eq!(g0.directions, vec![Direction::TwoSided, Direction::High]);
+        assert_eq!(g0.max_budget, 199);
+        assert_eq!(plan.groups()[1].members, vec![2]);
+        assert_eq!(plan.groups()[2].members, vec![3]);
+        assert_eq!(plan.budget_total(), 99 * 4 + 199);
+        assert_eq!(plan.shared_budget_total(), 199 + 99 + 99);
+    }
+
+    #[test]
+    fn batched_reports_match_standalone_audits() {
+        let o = outcomes(1200, 1, true);
+        let rs = grid();
+        let prepared = PreparedAudit::prepare(&o, &rs, base()).unwrap();
+        let requests = vec![
+            AuditRequest::from_config(&base()),
+            AuditRequest::from_config(&base()).with_direction(Direction::High),
+            AuditRequest::from_config(&base()).with_direction(Direction::Low),
+            AuditRequest::from_config(&base()).with_seed(9),
+            AuditRequest::from_config(&base())
+                .with_mc_strategy(McStrategy::EarlyStop { batch_size: 16 }),
+        ];
+        let (reports, stats) = prepared.run_batch_with_stats(&requests);
+        assert_eq!(reports.len(), requests.len());
+        for (request, report) in requests.iter().zip(&reports) {
+            let expected = Auditor::new(request.apply_to(base()))
+                .audit(&o, &rs)
+                .unwrap();
+            assert_eq!(*report, expected, "request {request:?}");
+        }
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.groups, 2);
+        assert!(
+            stats.worlds_shared() > 0,
+            "same-class requests must share worlds: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn single_run_equals_batch_of_one() {
+        let o = outcomes(600, 2, true);
+        let rs = grid();
+        let prepared = PreparedAudit::prepare(&o, &rs, base()).unwrap();
+        let request = AuditRequest::from_config(&base());
+        let solo = prepared.run(&request);
+        let batch = prepared.run_batch(std::slice::from_ref(&request));
+        assert_eq!(batch, vec![solo]);
+    }
+
+    #[test]
+    fn batch_order_is_request_order() {
+        let o = outcomes(600, 3, true);
+        let rs = grid();
+        let prepared = PreparedAudit::prepare(&o, &rs, base()).unwrap();
+        let a = AuditRequest::from_config(&base()).with_seed(1);
+        let b = AuditRequest::from_config(&base()).with_seed(2);
+        let fwd = prepared.run_batch(&[a, b]);
+        let rev = prepared.run_batch(&[b, a]);
+        assert_eq!(fwd[0], rev[1]);
+        assert_eq!(fwd[1], rev[0]);
+    }
+
+    #[test]
+    fn early_stop_savings_are_reallocated_not_lost() {
+        // Fair data: the futility stop fires fast for early-stop lanes
+        // while a full-budget lane keeps the stream alive; unique
+        // worlds stay bounded by the largest single need.
+        let o = outcomes(1500, 4, false);
+        let rs = grid();
+        let prepared = PreparedAudit::prepare(&o, &rs, base()).unwrap();
+        let stopper = AuditRequest::from_config(&base())
+            .with_mc_strategy(McStrategy::EarlyStop { batch_size: 8 });
+        let full = AuditRequest::from_config(&base());
+        let (reports, stats) = prepared.run_batch_with_stats(&[stopper, full]);
+        assert!(reports[0].worlds_evaluated < reports[1].worlds_evaluated);
+        assert_eq!(reports[1].worlds_evaluated, 99);
+        assert_eq!(stats.unique_worlds, 99, "shared stream generated once");
+        assert_eq!(
+            stats.lane_worlds,
+            reports[0].worlds_evaluated + reports[1].worlds_evaluated
+        );
+        assert!(stats.worlds_saved() > 0);
+    }
+
+    #[test]
+    fn sequential_base_config_matches_parallel() {
+        let o = outcomes(800, 5, true);
+        let rs = grid();
+        let requests = [
+            AuditRequest::from_config(&base()),
+            AuditRequest::from_config(&base()).with_direction(Direction::High),
+        ];
+        let par = PreparedAudit::prepare(&o, &rs, base())
+            .unwrap()
+            .run_batch(&requests);
+        let seq = PreparedAudit::prepare(&o, &rs, base().sequential())
+            .unwrap()
+            .run_batch(&requests);
+        for (a, mut b) in par.into_iter().zip(seq) {
+            b.config.parallel = true;
+            assert_eq!(a, b, "parallel and sequential batches must agree");
+        }
+    }
+
+    #[test]
+    fn prepare_validates_inputs() {
+        let o = outcomes(100, 6, false);
+        let empty = RegionSet::from_regions(vec![]);
+        assert_eq!(
+            PreparedAudit::prepare(&o, &empty, base()).unwrap_err(),
+            ScanError::EmptyRegionSet
+        );
+        let degenerate = SpatialOutcomes::new(
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)],
+            vec![true, true],
+        )
+        .unwrap();
+        assert!(matches!(
+            PreparedAudit::prepare(&degenerate, &grid(), base()).unwrap_err(),
+            ScanError::DegenerateOutcomes { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let o = outcomes(200, 7, false);
+        let prepared = PreparedAudit::prepare(&o, &grid(), base()).unwrap();
+        let (reports, stats) = prepared.run_batch_with_stats(&[]);
+        assert!(reports.is_empty());
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.unique_worlds, 0);
+    }
+
+    #[test]
+    fn request_serde_round_trip() {
+        let request = AuditRequest::new(0.01)
+            .with_worlds(199)
+            .with_seed(5)
+            .with_direction(Direction::Low)
+            .with_null_model(NullModel::Permutation)
+            .with_mc_strategy(McStrategy::early_stop());
+        let json = serde_json::to_string(&request).unwrap();
+        let back: AuditRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, request);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_request_alpha_rejected_at_plan_time() {
+        let mut request = AuditRequest::new(0.05);
+        request.alpha = 2.0;
+        let _ = ExecutionPlan::new(vec![request]);
+    }
+}

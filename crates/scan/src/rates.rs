@@ -16,12 +16,14 @@
 //! method).
 
 use crate::config::AuditConfig;
+use crate::direction::Direction;
 use crate::error::ScanError;
+use crate::prepared::{distinct_directions, run_world_group, AuditRequest};
 use serde::{Deserialize, Serialize};
 use sfgeo::Rect;
 use sfstats::alias::AliasTable;
-use sfstats::montecarlo::MonteCarlo;
 use sfstats::poisson::{poisson_llr_directed, PoissonCounts};
+use sfstats::rng::world_rng;
 
 /// Area-level count data: one entry per cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -119,7 +121,39 @@ impl RateReport {
 /// `config.direction`, `config.mc_strategy` and `config.parallel`; the
 /// Bernoulli-specific fields (null model, counting strategy, index
 /// backend) do not apply here.
+///
+/// A thin client of the batched path: equivalent to
+/// [`audit_rates_batch`] with the one request the config denotes.
 pub fn audit_rates(config: &AuditConfig, data: &CellCounts) -> Result<RateReport, ScanError> {
+    let mut reports = audit_rates_batch(config, data, &[AuditRequest::from_config(config)])?;
+    Ok(reports.pop().expect("one request yields one report"))
+}
+
+/// Batched rate audits over one shared null-world stream.
+///
+/// The Poisson null conditions on the total event count and
+/// redistributes events multinomially by exposure — a sampled world
+/// depends only on `(seed, world index)`, so requests sharing a seed
+/// share every sampled world: each world's counts are drawn **once**
+/// and scored per distinct request direction (`null_model` does not
+/// apply to rate audits and is ignored). Per-request early stopping is
+/// replayed on [`WorldLane`]s over the shared stream, with
+/// [`BudgetScheduler`] spans reallocating worlds freed by futility
+/// stops to still-contested requests — the same machinery the
+/// Bernoulli serving layer uses, so every report is bit-identical to
+/// running its request alone.
+///
+/// `config.parallel` controls span parallelism; reports come back in
+/// request order.
+///
+/// # Errors
+/// [`ScanError::DegenerateOutcomes`] when the surface has no events,
+/// [`ScanError::InvalidRequest`] when a request carries invalid knobs.
+pub fn audit_rates_batch(
+    config: &AuditConfig,
+    data: &CellCounts,
+    requests: &[AuditRequest],
+) -> Result<Vec<RateReport>, ScanError> {
     let c_total = data.total_observed();
     let mu_total = data.total_exposure();
     if c_total == 0 || mu_total <= 0.0 {
@@ -128,67 +162,100 @@ pub fn audit_rates(config: &AuditConfig, data: &CellCounts) -> Result<RateReport
             p: c_total,
         });
     }
-    let direction = config.direction;
-    let eval = |observed: &[u64]| -> f64 {
-        let mut tau = 0.0f64;
+    for request in requests {
+        request.validate()?;
+    }
+    let eval_into = |observed: &[u64], directions: &[Direction], out: &mut [f64]| {
+        out.fill(0.0);
         for (i, &c) in observed.iter().enumerate() {
             let counts = PoissonCounts::new(c as f64, data.exposure[i], c_total as f64, mu_total);
-            let llr = poisson_llr_directed(&counts, direction);
-            if llr > tau {
-                tau = llr;
+            for (tau, &direction) in out.iter_mut().zip(directions) {
+                let llr = poisson_llr_directed(&counts, direction);
+                if llr > *tau {
+                    *tau = llr;
+                }
             }
         }
-        tau
     };
-    let observed_tau = eval(&data.observed);
 
-    // Null calibration: condition on C and redistribute by exposure.
-    // The Monte Carlo budget strategy (early stopping) applies here
-    // exactly as in the Bernoulli audit.
-    let alias = AliasTable::new(&data.exposure);
-    let mut mc = MonteCarlo::new(config.worlds, config.seed).with_strategy(config.mc_strategy);
-    if !config.parallel {
-        mc = mc.sequential();
+    // Plan: group requests by seed (the rate-audit world class), then
+    // run each group's shared stream on the serving layer's common
+    // lane/scheduler loop.
+    let mut reports: Vec<Option<RateReport>> = Vec::new();
+    reports.resize_with(requests.len(), || None);
+    let mut seeds_seen: Vec<u64> = Vec::new();
+    for request in requests {
+        if !seeds_seen.contains(&request.seed) {
+            seeds_seen.push(request.seed);
+        }
     }
-    let result = mc.run_adaptive(observed_tau, config.alpha, |rng| {
-        let world = alias.sample_counts(c_total, rng);
-        eval(&world)
-    });
+    let alias = AliasTable::new(&data.exposure);
+    for seed in seeds_seen {
+        let members: Vec<usize> = (0..requests.len())
+            .filter(|&i| requests[i].seed == seed)
+            .collect();
+        let (directions, lane_dirs) = distinct_directions(requests, &members);
+        let mut observed_taus = vec![0.0; directions.len()];
+        eval_into(&data.observed, &directions, &mut observed_taus);
+        let eval_one = |w: usize| -> Vec<f64> {
+            let mut rng = world_rng(seed, w as u64);
+            let world = alias.sample_counts(c_total, &mut rng);
+            let mut taus = vec![0.0; directions.len()];
+            eval_into(&world, &directions, &mut taus);
+            taus
+        };
+        let (results, _unique_worlds) = run_world_group(
+            requests,
+            &members,
+            &lane_dirs,
+            &observed_taus,
+            config.parallel,
+            eval_one,
+        );
 
-    let p_value = result.p_value();
-    let critical_value = result.critical_value(config.alpha);
-    let mut findings: Vec<RateFinding> = data
-        .observed
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &c)| {
-            let counts = PoissonCounts::new(c as f64, data.exposure[i], c_total as f64, mu_total);
-            let llr = poisson_llr_directed(&counts, direction);
-            if llr > critical_value {
-                let expected = counts.mu_in_calibrated();
-                Some(RateFinding {
-                    cell: i,
-                    rect: data.cells[i],
-                    observed: c,
-                    expected,
-                    relative_risk: c as f64 / expected,
-                    llr,
+        for ((result, &ri), &di) in results.into_iter().zip(&members).zip(&lane_dirs) {
+            let request = &requests[ri];
+            let p_value = result.p_value();
+            let critical_value = result.critical_value(request.alpha);
+            let direction = directions[di];
+            let mut findings: Vec<RateFinding> = data
+                .observed
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &c)| {
+                    let counts =
+                        PoissonCounts::new(c as f64, data.exposure[i], c_total as f64, mu_total);
+                    let llr = poisson_llr_directed(&counts, direction);
+                    if llr > critical_value {
+                        let expected = counts.mu_in_calibrated();
+                        Some(RateFinding {
+                            cell: i,
+                            rect: data.cells[i],
+                            observed: c,
+                            expected,
+                            relative_risk: c as f64 / expected,
+                            llr,
+                        })
+                    } else {
+                        None
+                    }
                 })
-            } else {
-                None
-            }
-        })
-        .collect();
-    findings.sort_by(|a, b| b.llr.partial_cmp(&a.llr).expect("finite LLRs"));
-
-    Ok(RateReport {
-        tau: observed_tau,
-        p_value,
-        critical_value,
-        alpha: config.alpha,
-        worlds_evaluated: result.worlds_evaluated,
-        findings,
-    })
+                .collect();
+            findings.sort_by(|a, b| b.llr.partial_cmp(&a.llr).expect("finite LLRs"));
+            reports[ri] = Some(RateReport {
+                tau: observed_taus[di],
+                p_value,
+                critical_value,
+                alpha: request.alpha,
+                worlds_evaluated: result.worlds_evaluated,
+                findings,
+            });
+        }
+    }
+    Ok(reports
+        .into_iter()
+        .map(|r| r.expect("every request belongs to exactly one seed group"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -315,6 +382,33 @@ mod tests {
         let seq = audit_rates(&config().sequential(), &data).unwrap();
         assert_eq!(a.tau, seq.tau);
         assert_eq!(a.p_value, seq.p_value);
+    }
+
+    #[test]
+    fn batched_rate_audits_match_standalone_runs() {
+        use sfstats::montecarlo::McStrategy;
+        let data = city(1.5, 6);
+        let base = config();
+        let requests = vec![
+            AuditRequest::from_config(&base),
+            AuditRequest::from_config(&base).with_direction(Direction::High),
+            AuditRequest::from_config(&base).with_direction(Direction::Low),
+            AuditRequest::from_config(&base).with_seed(99),
+            AuditRequest::from_config(&base)
+                .with_mc_strategy(McStrategy::EarlyStop { batch_size: 16 }),
+        ];
+        let batch = audit_rates_batch(&base, &data, &requests).unwrap();
+        assert_eq!(batch.len(), requests.len());
+        for (request, report) in requests.iter().zip(&batch) {
+            let mut cfg = base;
+            cfg.alpha = request.alpha;
+            cfg.worlds = request.worlds;
+            cfg.seed = request.seed;
+            cfg.direction = request.direction;
+            cfg.mc_strategy = request.mc_strategy;
+            let expected = audit_rates(&cfg, &data).unwrap();
+            assert_eq!(*report, expected, "request {request:?}");
+        }
     }
 
     #[test]

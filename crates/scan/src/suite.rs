@@ -7,12 +7,12 @@
 //! every finding with a Wilson confidence interval for its local rate,
 //! giving an auditor the complete §4.3-style picture in one call.
 
-use crate::audit::Auditor;
 use crate::config::AuditConfig;
 use crate::direction::Direction;
 use crate::error::ScanError;
 use crate::identify::select_non_overlapping;
 use crate::outcomes::SpatialOutcomes;
+use crate::prepared::{AuditRequest, PreparedAudit};
 use crate::regions::RegionSet;
 use crate::report::{AuditReport, RegionFinding};
 use serde::{Deserialize, Serialize};
@@ -102,16 +102,29 @@ impl std::fmt::Display for SuiteReport {
 /// Each direction gets an independent Monte Carlo seed derived from the
 /// base config's seed, so the three calibrations are independent while
 /// the whole suite stays deterministic.
+///
+/// A thin client of the serving layer: the engine is prepared **once**
+/// and the three directions run as one batch over it (the derived seeds
+/// put each direction in its own world class, so no worlds are shared —
+/// but the index, membership lists, and region totals are).
 pub fn run_suite(
     config: AuditConfig,
     outcomes: &SpatialOutcomes,
     regions: &RegionSet,
 ) -> Result<SuiteReport, ScanError> {
-    let run_one = |direction: Direction, tag: &str| -> Result<DirectionalResult, ScanError> {
-        let cfg = config
+    let prepared = PreparedAudit::prepare(outcomes, regions, config)?;
+    let request = |direction: Direction, tag: &str| -> AuditRequest {
+        AuditRequest::from_config(&config)
             .with_direction(direction)
-            .with_seed(derive_seed(config.seed, tag));
-        let report = Auditor::new(cfg).audit(outcomes, regions)?;
+            .with_seed(derive_seed(config.seed, tag))
+    };
+    let mut reports = prepared.run_batch(&[
+        request(Direction::TwoSided, "suite-two-sided"),
+        request(Direction::Low, "suite-low"),
+        request(Direction::High, "suite-high"),
+    ]);
+    let mut decorate = |direction: Direction| -> DirectionalResult {
+        let report = reports.remove(0);
         let evidence = select_non_overlapping(&report.findings)
             .into_iter()
             .map(|finding| AnnotatedFinding {
@@ -119,16 +132,16 @@ pub fn run_suite(
                 finding,
             })
             .collect();
-        Ok(DirectionalResult {
+        DirectionalResult {
             direction,
             report,
             evidence,
-        })
+        }
     };
     Ok(SuiteReport {
-        two_sided: run_one(Direction::TwoSided, "suite-two-sided")?,
-        low: run_one(Direction::Low, "suite-low")?,
-        high: run_one(Direction::High, "suite-high")?,
+        two_sided: decorate(Direction::TwoSided),
+        low: decorate(Direction::Low),
+        high: decorate(Direction::High),
     })
 }
 

@@ -1,0 +1,438 @@
+//! # sfserve — the audit serving surface
+//!
+//! A spatial-fairness audit service is read-mostly: the expensive
+//! artifacts (spatial index, membership CSR, region totals) depend only
+//! on the dataset and regions, while each audit request varies only
+//! cheap knobs. [`AuditServer`] wraps the prepare/plan/execute pipeline
+//! of [`sfscan::prepared`] behind a queue:
+//!
+//! * **[`AuditServer::new`]** prepares the engine once (phase 1);
+//! * **[`AuditServer::submit`]** enqueues an [`AuditRequest`] and
+//!   returns its [`RequestId`] — nothing expensive happens yet;
+//! * **[`AuditServer::drain`]** plans the queued batch into
+//!   world-sharing groups and executes it (phases 2 + 3), returning one
+//!   [`AuditResponse`] per request, each **bit-identical** to running
+//!   that request alone through [`sfscan::Auditor`].
+//!
+//! Requests and responses round-trip through JSON
+//! ([`AuditServer::submit_json`], [`AuditResponse::to_json`]) so the
+//! server drops into any transport.
+//!
+//! ```
+//! use sfscan::{AuditConfig, AuditRequest, Direction, RegionSet, SpatialOutcomes};
+//! use sfserve::AuditServer;
+//! use sfgeo::{Point, Rect};
+//!
+//! // A tiny dataset: left half positive, right half negative.
+//! let points: Vec<Point> = (0..100)
+//!     .map(|i| Point::new((i % 10) as f64 + 0.5, (i / 10) as f64 + 0.5))
+//!     .collect();
+//! let labels: Vec<bool> = (0..100).map(|i| i % 10 < 5).collect();
+//! let outcomes = SpatialOutcomes::new(points, labels).unwrap();
+//! let regions = RegionSet::regular_grid(Rect::from_coords(0.0, 0.0, 10.0, 10.0), 2, 1);
+//!
+//! // Prepare once, serve many.
+//! let config = AuditConfig::new(0.05).with_worlds(99);
+//! let mut server = AuditServer::new(&outcomes, &regions, config).unwrap();
+//! let base = AuditRequest::from_config(&config);
+//! let two_sided = server.submit(base);
+//! let green = server.submit(base.with_direction(Direction::High));
+//!
+//! let responses = server.drain();
+//! assert_eq!(responses.len(), 2);
+//! assert_eq!(responses[0].id, two_sided);
+//! assert_eq!(responses[1].id, green);
+//! assert!(responses[0].report.is_unfair());
+//! assert_eq!(server.stats().requests_served, 2);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use sfscan::prepared::{AuditRequest, BatchStats, ExecutionPlan, PreparedAudit};
+use sfscan::{AuditConfig, AuditReport, RegionSet, ScanError, SpatialOutcomes};
+
+/// Opaque id of a submitted request, unique per server instance and
+/// assigned in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+// The vendored serde derive shim only handles braced structs; a bare
+// numeric encoding is the right wire format for an id anyway.
+impl Serialize for RequestId {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for RequestId {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        u64::from_value(value).map(RequestId)
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request-{}", self.0)
+    }
+}
+
+/// One served audit: the id it was submitted under and its full report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditResponse {
+    /// The id [`AuditServer::submit`] returned.
+    pub id: RequestId,
+    /// The audit result — bit-identical to a standalone
+    /// [`sfscan::Auditor`] run of the same request.
+    pub report: AuditReport,
+}
+
+impl AuditResponse {
+    /// Serialises the response as JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("response serialisation cannot fail")
+    }
+
+    /// Deserialises a response from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Cumulative serving statistics across every drained batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Requests served over the server's lifetime.
+    pub requests_served: u64,
+    /// Batches drained.
+    pub batches: u64,
+    /// Worlds generated and counted.
+    pub unique_worlds: u64,
+    /// Worlds sequential single audits would have generated
+    /// (`Σ worlds_evaluated`).
+    pub lane_worlds: u64,
+    /// Worlds the per-request budgets allowed in total.
+    pub budget_total: u64,
+}
+
+impl ServerStats {
+    /// Worlds answered from a shared stream instead of being
+    /// regenerated.
+    pub fn worlds_shared(&self) -> u64 {
+        self.lane_worlds.saturating_sub(self.unique_worlds)
+    }
+
+    /// Worlds early stopping saved across all batches.
+    pub fn worlds_saved(&self) -> u64 {
+        self.budget_total.saturating_sub(self.lane_worlds)
+    }
+
+    fn absorb(&mut self, batch: &BatchStats) {
+        self.requests_served += batch.requests as u64;
+        self.batches += 1;
+        self.unique_worlds += batch.unique_worlds as u64;
+        self.lane_worlds += batch.lane_worlds as u64;
+        self.budget_total += batch.budget_total as u64;
+    }
+}
+
+/// A queueing front-end over one [`PreparedAudit`]: build the engine
+/// once, serve any number of audit requests in shared batches.
+#[derive(Debug)]
+pub struct AuditServer {
+    prepared: PreparedAudit,
+    queue: Vec<(RequestId, AuditRequest)>,
+    next_id: u64,
+    stats: ServerStats,
+}
+
+impl AuditServer {
+    /// Prepares the serving engine from the dataset, candidate regions,
+    /// and base config (whose backend/strategy are the expensive knobs;
+    /// the rest become per-request defaults).
+    ///
+    /// # Errors
+    /// Propagates [`PreparedAudit::prepare`]'s validation errors
+    /// ([`ScanError::EmptyRegionSet`],
+    /// [`ScanError::DegenerateOutcomes`]).
+    pub fn new(
+        outcomes: &SpatialOutcomes,
+        regions: &RegionSet,
+        config: AuditConfig,
+    ) -> Result<Self, ScanError> {
+        Ok(Self::from_prepared(PreparedAudit::prepare(
+            outcomes, regions, config,
+        )?))
+    }
+
+    /// Wraps an already-prepared engine.
+    pub fn from_prepared(prepared: PreparedAudit) -> Self {
+        AuditServer {
+            prepared,
+            queue: Vec::new(),
+            next_id: 0,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// The prepared engine serving this queue.
+    pub fn prepared(&self) -> &PreparedAudit {
+        &self.prepared
+    }
+
+    /// The base config requests are completed against.
+    pub fn base_config(&self) -> &AuditConfig {
+        self.prepared.base_config()
+    }
+
+    /// A request with this server's per-request defaults.
+    pub fn default_request(&self) -> AuditRequest {
+        AuditRequest::from_config(self.base_config())
+    }
+
+    /// Enqueues a request; returns the id its response will carry.
+    /// Queued requests cost nothing until [`AuditServer::drain`].
+    ///
+    /// # Panics
+    /// Panics if the request carries invalid knobs (a programmer
+    /// error: the [`AuditRequest`] builders maintain the invariants;
+    /// hand-mutated fields can break them). Validation happens here —
+    /// before queueing — so a bad request can never take an already
+    /// queued batch down with it. Untrusted wire payloads go through
+    /// [`AuditServer::submit_json`], which returns an error instead.
+    pub fn submit(&mut self, request: AuditRequest) -> RequestId {
+        if let Err(e) = request.validate() {
+            panic!("{e}");
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.queue.push((id, request));
+        id
+    }
+
+    /// Enqueues a JSON-encoded [`AuditRequest`].
+    ///
+    /// # Errors
+    /// Returns an error — without touching the queue — when the
+    /// payload does not decode *or* decodes to a request with invalid
+    /// knobs (`alpha` outside `(0, 1)`, zero `worlds`, zero early-stop
+    /// batch). Wire payloads are untrusted; rejecting them here keeps
+    /// one malformed request from panicking a later [`drain`] and
+    /// losing the rest of the batch.
+    ///
+    /// [`drain`]: AuditServer::drain
+    pub fn submit_json(&mut self, json: &str) -> Result<RequestId, serde::Error> {
+        let request: AuditRequest = serde_json::from_str(json)?;
+        request
+            .validate()
+            .map_err(|e| serde::Error::msg(e.to_string()))?;
+        Ok(self.submit(request))
+    }
+
+    /// Number of queued, not-yet-served requests.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The execution plan the current queue would run as (world-sharing
+    /// groups, budgets) — for introspection; the queue is untouched.
+    pub fn plan(&self) -> ExecutionPlan {
+        ExecutionPlan::new(self.queue.iter().map(|(_, r)| *r).collect())
+    }
+
+    /// Serves every queued request as one batch: plans world-sharing
+    /// groups, executes them over the shared engine, and returns the
+    /// responses in submission order. The queue is left empty.
+    pub fn drain(&mut self) -> Vec<AuditResponse> {
+        if self.queue.is_empty() {
+            return Vec::new();
+        }
+        let queued = std::mem::take(&mut self.queue);
+        let requests: Vec<AuditRequest> = queued.iter().map(|(_, r)| *r).collect();
+        let (reports, batch_stats) = self.prepared.run_batch_with_stats(&requests);
+        self.stats.absorb(&batch_stats);
+        queued
+            .into_iter()
+            .zip(reports)
+            .map(|((id, _), report)| AuditResponse { id, report })
+            .collect()
+    }
+
+    /// Cumulative serving statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use sfgeo::{Point, Rect};
+    use sfscan::{Auditor, Direction, McStrategy};
+
+    fn outcomes(n: usize, seed: u64) -> SpatialOutcomes {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut points = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(0.0..10.0);
+            let y: f64 = rng.gen_range(0.0..10.0);
+            points.push(Point::new(x, y));
+            labels.push(rng.gen_bool(if x < 5.0 { 0.8 } else { 0.3 }));
+        }
+        SpatialOutcomes::new(points, labels).unwrap()
+    }
+
+    fn grid() -> RegionSet {
+        RegionSet::regular_grid(Rect::from_coords(0.0, 0.0, 10.0, 10.0), 4, 4)
+    }
+
+    fn base() -> AuditConfig {
+        AuditConfig::new(0.05).with_worlds(99).with_seed(5)
+    }
+
+    #[test]
+    fn served_responses_match_standalone_audits() {
+        let o = outcomes(1000, 1);
+        let rs = grid();
+        let mut server = AuditServer::new(&o, &rs, base()).unwrap();
+        let requests = [
+            server.default_request(),
+            server.default_request().with_direction(Direction::High),
+            server.default_request().with_seed(7),
+            server
+                .default_request()
+                .with_mc_strategy(McStrategy::EarlyStop { batch_size: 16 }),
+        ];
+        let ids: Vec<RequestId> = requests.iter().map(|r| server.submit(*r)).collect();
+        assert_eq!(server.pending(), 4);
+        let responses = server.drain();
+        assert_eq!(server.pending(), 0);
+        for ((request, id), response) in requests.iter().zip(&ids).zip(&responses) {
+            assert_eq!(response.id, *id);
+            let expected = Auditor::new(request.apply_to(base()))
+                .audit(&o, &rs)
+                .unwrap();
+            assert_eq!(response.report, expected);
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_across_batches() {
+        let o = outcomes(400, 2);
+        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
+        let a = server.submit(server.default_request());
+        assert_eq!(server.drain().len(), 1);
+        let b = server.submit(server.default_request().with_seed(9));
+        assert!(b > a, "ids must keep increasing across drains");
+        let responses = server.drain();
+        assert_eq!(responses[0].id, b);
+        assert_eq!(server.stats().requests_served, 2);
+        assert_eq!(server.stats().batches, 2);
+    }
+
+    #[test]
+    fn drain_on_empty_queue_is_a_no_op() {
+        let o = outcomes(200, 3);
+        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
+        assert!(server.drain().is_empty());
+        assert_eq!(server.stats().batches, 0);
+    }
+
+    #[test]
+    fn stats_account_for_sharing_and_saving() {
+        let o = outcomes(1500, 4);
+        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
+        // Three same-class requests (different directions) plus one
+        // early stopper: worlds are generated once per class.
+        for direction in [Direction::TwoSided, Direction::High, Direction::Low] {
+            server.submit(server.default_request().with_direction(direction));
+        }
+        server.submit(
+            server
+                .default_request()
+                .with_mc_strategy(McStrategy::EarlyStop { batch_size: 8 }),
+        );
+        server.drain();
+        let stats = *server.stats();
+        assert_eq!(stats.requests_served, 4);
+        assert_eq!(stats.unique_worlds, 99, "one shared stream");
+        assert!(stats.worlds_shared() > 0, "{stats:?}");
+        assert_eq!(stats.budget_total, 4 * 99, "budget ceiling is per-request");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let o = outcomes(500, 5);
+        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
+        let request = server.default_request().with_direction(Direction::Low);
+        let id = server
+            .submit_json(&serde_json::to_string(&request).unwrap())
+            .unwrap();
+        let responses = server.drain();
+        assert_eq!(responses[0].id, id);
+        let json = responses[0].to_json();
+        let back = AuditResponse::from_json(&json).unwrap();
+        assert_eq!(back, responses[0]);
+        // Malformed payloads leave the queue untouched.
+        assert!(server.submit_json("{not json}").is_err());
+        assert_eq!(server.pending(), 0);
+    }
+
+    #[test]
+    fn invalid_wire_requests_are_rejected_at_submit_not_drain() {
+        let o = outcomes(300, 8);
+        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
+        let good = server.submit(server.default_request());
+        // Well-formed JSON, invalid knobs: rejected up front, with the
+        // offending knob named; the queued batch survives.
+        let mut bad = server.default_request();
+        bad.alpha = 2.0;
+        let err = server
+            .submit_json(&serde_json::to_string(&bad).unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("alpha"), "{err}");
+        bad.alpha = 0.05;
+        bad.worlds = 0;
+        let err = server
+            .submit_json(&serde_json::to_string(&bad).unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("world"), "{err}");
+        assert_eq!(server.pending(), 1);
+        let responses = server.drain();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].id, good);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_typed_request_panics_before_queueing() {
+        let o = outcomes(200, 9);
+        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
+        let mut bad = server.default_request();
+        bad.alpha = -1.0;
+        let _ = server.submit(bad);
+    }
+
+    #[test]
+    fn plan_introspection_reports_grouping() {
+        let o = outcomes(300, 6);
+        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
+        server.submit(server.default_request());
+        server.submit(server.default_request().with_direction(Direction::High));
+        server.submit(server.default_request().with_seed(42));
+        let plan = server.plan();
+        assert_eq!(plan.groups().len(), 2);
+        assert_eq!(server.pending(), 3, "planning does not consume the queue");
+    }
+
+    #[test]
+    fn prepare_errors_propagate() {
+        let o = outcomes(100, 7);
+        let empty = RegionSet::from_regions(vec![]);
+        assert_eq!(
+            AuditServer::new(&o, &empty, base()).unwrap_err(),
+            ScanError::EmptyRegionSet
+        );
+    }
+}

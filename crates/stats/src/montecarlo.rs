@@ -116,6 +116,52 @@ impl std::fmt::Display for McStrategy {
     }
 }
 
+/// Error from parsing an [`McStrategy`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMcStrategyError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseMcStrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown Monte Carlo strategy {:?}; valid values: full-budget, early-stop, \
+             early-stop(batch=N) with N > 0",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseMcStrategyError {}
+
+impl std::str::FromStr for McStrategy {
+    type Err = ParseMcStrategyError;
+
+    /// Parses the [`Display`](std::fmt::Display) form back: `full-budget`,
+    /// `early-stop` (default batch), or `early-stop(batch=N)`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseMcStrategyError {
+            input: s.to_string(),
+        };
+        match s.trim() {
+            "full-budget" => Ok(McStrategy::FullBudget),
+            "early-stop" => Ok(McStrategy::early_stop()),
+            other => {
+                let inner = other
+                    .strip_prefix("early-stop(batch=")
+                    .and_then(|rest| rest.strip_suffix(')'))
+                    .ok_or_else(err)?;
+                let batch_size: usize = inner.parse().map_err(|_| err())?;
+                if batch_size == 0 {
+                    return Err(err());
+                }
+                Ok(McStrategy::EarlyStop { batch_size })
+            }
+        }
+    }
+}
+
 /// Configuration and driver for a Monte Carlo significance simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MonteCarlo {
@@ -198,51 +244,21 @@ impl MonteCarlo {
             alpha > 0.0 && alpha < 1.0,
             "alpha must be in (0,1), got {alpha}"
         );
-        let batch_size = match self.strategy {
-            McStrategy::FullBudget => return self.run(observed, eval_world),
-            McStrategy::EarlyStop { batch_size } => {
-                // The builders assert this too, but the fields are pub
-                // (and deserializable): reject consistently rather than
-                // silently clamping.
-                assert!(batch_size > 0, "batch_size must be positive");
-                batch_size
-            }
-        };
-        let budget = self.worlds;
-        let w = budget + 1;
-        // Significance needs final rank k = 1 + e_W <= K, where K is
-        // the largest rank with k/w <= alpha — derived with the SAME
-        // floating-point comparison `is_significant` uses, not from
-        // `floor(alpha*w)`: the multiply can round across an integer
-        // boundary (e.g. alpha one ulp below 0.9 with w = 10 gives
-        // `alpha*10.0 == 9.0` exactly), and any mismatch would let an
-        // early stop contradict the full-budget verdict.
-        let k_allow = largest_significant_rank(alpha, w);
-        debug_assert!(
-            (k_allow == 0 || (k_allow as f64) / (w as f64) <= alpha)
-                && (k_allow == w || ((k_allow + 1) as f64) / (w as f64) > alpha),
-            "k_allow must be the exact significance boundary"
-        );
-
-        let mut simulated: Vec<f64> = Vec::with_capacity(batch_size.min(budget));
-        let mut exceed = 0usize;
-        let mut next = 0usize;
-        while next < budget {
-            let end = (next + batch_size).min(budget);
-            let batch = self.eval_range(next, end, &eval_world);
-            exceed += batch.iter().filter(|&&tau| tau >= observed).count();
-            simulated.extend_from_slice(&batch);
-            next = end;
-
-            let evaluated = simulated.len();
-            let remaining = budget - evaluated;
-            let futile = 1 + exceed > k_allow;
-            let certain = 1 + exceed + remaining <= k_allow;
-            if futile || certain {
-                break;
+        if self.strategy == McStrategy::FullBudget {
+            return self.run(observed, eval_world);
+        }
+        // Single-lane instance of the batched machinery: the same
+        // WorldLane the multi-audit executor replays, so a standalone
+        // adaptive run and a batched one stop at the same world by
+        // construction.
+        let mut lane = WorldLane::new(observed, alpha, self.strategy, self.worlds);
+        while let Some(end) = lane.next_checkpoint() {
+            let start = lane.cursor();
+            for tau in self.eval_range(start, end, &eval_world) {
+                lane.push(tau);
             }
         }
-        MonteCarloResult::with_budget(observed, simulated, budget)
+        lane.into_result()
     }
 
     /// Evaluates worlds `start..end` with their deterministic streams.
@@ -259,6 +275,197 @@ impl MonteCarlo {
         } else {
             (start..end).map(simulate).collect()
         }
+    }
+}
+
+/// One audit request's view of a (possibly shared) stream of simulated
+/// world statistics, replaying the sequential stopping rule of
+/// [`MonteCarlo::run_adaptive`] incrementally.
+///
+/// Worlds are pushed in stream order; the lane counts exceedances and,
+/// under [`McStrategy::EarlyStop`], consults the Besag–Clifford
+/// futility/certainty rule at exactly the batch boundaries a standalone
+/// adaptive run would — so a lane fed from a *shared* world stream (the
+/// batched multi-audit executor) produces a [`MonteCarloResult`] that
+/// is bit-identical to running its request alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldLane {
+    observed: f64,
+    strategy: McStrategy,
+    budget: usize,
+    /// Largest significant rank at the lane's `alpha` (see
+    /// [`largest_significant_rank`]); drives the stopping rule.
+    k_allow: usize,
+    simulated: Vec<f64>,
+    exceed: usize,
+    stopped: bool,
+}
+
+impl WorldLane {
+    /// Creates a lane for one request: `observed` statistic, stopping
+    /// level `alpha`, budget strategy, and world budget (`w − 1`).
+    ///
+    /// # Panics
+    /// Panics if `budget == 0`, `alpha` is outside `(0, 1)`, or an
+    /// early-stop batch size is zero.
+    pub fn new(observed: f64, alpha: f64, strategy: McStrategy, budget: usize) -> Self {
+        assert!(budget > 0, "Monte Carlo needs at least one simulated world");
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
+        if let McStrategy::EarlyStop { batch_size } = strategy {
+            assert!(batch_size > 0, "batch_size must be positive");
+        }
+        let w = budget + 1;
+        // Significance needs final rank k = 1 + e_W <= K, where K is
+        // the largest rank with k/w <= alpha — derived with the SAME
+        // floating-point comparison `is_significant` uses, not from
+        // `floor(alpha*w)`: the multiply can round across an integer
+        // boundary (e.g. alpha one ulp below 0.9 with w = 10 gives
+        // `alpha*10.0 == 9.0` exactly), and any mismatch would let an
+        // early stop contradict the full-budget verdict.
+        let k_allow = largest_significant_rank(alpha, w);
+        debug_assert!(
+            (k_allow == 0 || (k_allow as f64) / (w as f64) <= alpha)
+                && (k_allow == w || ((k_allow + 1) as f64) / (w as f64) > alpha),
+            "k_allow must be the exact significance boundary"
+        );
+        WorldLane {
+            observed,
+            strategy,
+            budget,
+            k_allow,
+            simulated: Vec::new(),
+            exceed: 0,
+            stopped: false,
+        }
+    }
+
+    /// The observed statistic this lane ranks against.
+    pub fn observed(&self) -> f64 {
+        self.observed
+    }
+
+    /// The configured world budget (`w − 1`).
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of worlds consumed so far — also the index of the next
+    /// world this lane needs from its stream.
+    pub fn cursor(&self) -> usize {
+        self.simulated.len()
+    }
+
+    /// `true` once the lane needs no further worlds: the budget is
+    /// exhausted or the stopping rule fired.
+    pub fn is_done(&self) -> bool {
+        self.stopped || self.simulated.len() == self.budget
+    }
+
+    /// The next stream position at which this lane can possibly stop:
+    /// its next early-stop batch boundary, or the budget end under
+    /// [`McStrategy::FullBudget`]. `None` once the lane is done.
+    ///
+    /// Between [`WorldLane::cursor`] and this position the lane is
+    /// committed to consuming every world, which is what lets a
+    /// scheduler evaluate whole spans in parallel without overshooting
+    /// any lane's stopping point.
+    pub fn next_checkpoint(&self) -> Option<usize> {
+        if self.is_done() {
+            return None;
+        }
+        Some(match self.strategy {
+            McStrategy::FullBudget => self.budget,
+            McStrategy::EarlyStop { batch_size } => {
+                ((self.simulated.len() / batch_size + 1) * batch_size).min(self.budget)
+            }
+        })
+    }
+
+    /// Feeds the next world's statistic; at batch boundaries, applies
+    /// the futility/certainty rule (module docs).
+    ///
+    /// # Panics
+    /// Panics if the lane [`is_done`](WorldLane::is_done).
+    pub fn push(&mut self, tau: f64) {
+        assert!(!self.is_done(), "lane needs no further worlds");
+        if tau >= self.observed {
+            self.exceed += 1;
+        }
+        self.simulated.push(tau);
+        if let McStrategy::EarlyStop { batch_size } = self.strategy {
+            let m = self.simulated.len();
+            if m.is_multiple_of(batch_size) || m == self.budget {
+                let remaining = self.budget - m;
+                let futile = 1 + self.exceed > self.k_allow;
+                let certain = 1 + self.exceed + remaining <= self.k_allow;
+                if futile || certain {
+                    self.stopped = true;
+                }
+            }
+        }
+    }
+
+    /// Finalises the lane into a [`MonteCarloResult`].
+    ///
+    /// # Panics
+    /// Panics if the lane still needs worlds.
+    pub fn into_result(self) -> MonteCarloResult {
+        assert!(
+            self.stopped || self.simulated.len() == self.budget,
+            "lane still needs worlds ({} of {})",
+            self.simulated.len(),
+            self.budget
+        );
+        MonteCarloResult::with_budget(self.observed, self.simulated, self.budget)
+    }
+}
+
+/// Plans world-evaluation spans for a group of [`WorldLane`]s replaying
+/// one shared world stream.
+///
+/// Every span runs from the common frontier to the *nearest* stopping
+/// checkpoint of any still-active lane, so the group never evaluates a
+/// world past a point where some lane could have stopped. Lanes that
+/// stop early (futility/certainty) simply drop out of the minimum: the
+/// worlds their budgets no longer claim are spent only on the lanes
+/// whose verdicts are still contested — the early-stop-aware budget
+/// reallocation of the batched executor.
+#[derive(Debug, Clone, Default)]
+pub struct BudgetScheduler {
+    frontier: usize,
+}
+
+impl BudgetScheduler {
+    /// A scheduler at stream position 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stream position the next span starts from.
+    pub fn frontier(&self) -> usize {
+        self.frontier
+    }
+
+    /// The next span of world indices to evaluate, or `None` when every
+    /// lane is done. All active lanes are guaranteed to consume the
+    /// whole span (their cursors sit at the frontier and no checkpoint
+    /// falls strictly inside it).
+    pub fn next_span(&mut self, lanes: &[WorldLane]) -> Option<std::ops::Range<usize>> {
+        let end = lanes.iter().filter_map(WorldLane::next_checkpoint).min()?;
+        debug_assert!(end > self.frontier, "checkpoints must advance the frontier");
+        debug_assert!(
+            lanes
+                .iter()
+                .filter(|l| !l.is_done())
+                .all(|l| l.cursor() == self.frontier),
+            "active lanes must sit at the frontier"
+        );
+        let span = self.frontier..end;
+        self.frontier = end;
+        Some(span)
     }
 }
 
@@ -591,6 +798,152 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn lane_replay_matches_run_adaptive_everywhere() {
+        // A lane fed the same stream must agree with run_adaptive on
+        // every field: stopping point, simulated prefix, budget.
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        for &(worlds, batch) in &[(199usize, 10usize), (99, 7), (50, 64), (31, 1)] {
+            let taus: Vec<f64> = (0..worlds)
+                .map(|i| {
+                    let mut rng = world_rng(17, i as u64);
+                    eval(&mut rng)
+                })
+                .collect();
+            for &alpha in &[0.01, 0.05, 0.3] {
+                for obs_i in 0..10 {
+                    let observed = obs_i as f64 / 10.0;
+                    let strategy = McStrategy::EarlyStop { batch_size: batch };
+                    let reference = MonteCarlo::new(worlds, 17)
+                        .with_strategy(strategy)
+                        .run_adaptive(observed, alpha, eval);
+                    let mut lane = WorldLane::new(observed, alpha, strategy, worlds);
+                    for &tau in &taus {
+                        if lane.is_done() {
+                            break;
+                        }
+                        lane.push(tau);
+                    }
+                    assert_eq!(lane.into_result(), reference);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_full_budget_consumes_everything() {
+        let mut lane = WorldLane::new(0.5, 0.05, McStrategy::FullBudget, 5);
+        assert_eq!(lane.next_checkpoint(), Some(5));
+        for i in 0..5 {
+            assert_eq!(lane.cursor(), i);
+            lane.push(i as f64);
+        }
+        assert!(lane.is_done());
+        assert_eq!(lane.next_checkpoint(), None);
+        let r = lane.into_result();
+        assert_eq!(r.worlds_evaluated, 5);
+        assert!(!r.early_stopped());
+    }
+
+    #[test]
+    fn lane_checkpoints_are_batch_boundaries() {
+        let lane = WorldLane::new(0.5, 0.05, McStrategy::EarlyStop { batch_size: 8 }, 20);
+        assert_eq!(lane.next_checkpoint(), Some(8));
+        let mut lane = lane;
+        for _ in 0..8 {
+            lane.push(0.0);
+        }
+        assert_eq!(lane.next_checkpoint(), Some(16));
+        for _ in 0..8 {
+            lane.push(0.0);
+        }
+        // Final partial batch is clamped to the budget.
+        assert_eq!(lane.next_checkpoint(), Some(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs no further worlds")]
+    fn lane_rejects_overfeeding() {
+        let mut lane = WorldLane::new(0.5, 0.05, McStrategy::FullBudget, 1);
+        lane.push(0.0);
+        lane.push(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "still needs worlds")]
+    fn incomplete_lane_cannot_finalise() {
+        let lane = WorldLane::new(0.5, 0.05, McStrategy::FullBudget, 2);
+        let _ = lane.into_result();
+    }
+
+    #[test]
+    fn scheduler_spans_stop_at_nearest_checkpoint() {
+        // Two lanes: budgets 10 and 30, batch sizes 4 and 64. Spans
+        // must advance to the nearest checkpoint of any active lane.
+        let mut lanes = vec![
+            WorldLane::new(f64::MAX, 0.5, McStrategy::EarlyStop { batch_size: 4 }, 10),
+            WorldLane::new(f64::MAX, 0.5, McStrategy::FullBudget, 30),
+        ];
+        // observed = MAX means no sim ever exceeds it; with alpha 0.5
+        // and budget 10 (K = 5), certainty fires at the first boundary
+        // where remaining <= K - 1, i.e. m = 8 (remaining 2).
+        let mut scheduler = BudgetScheduler::new();
+        let mut spans = Vec::new();
+        while let Some(span) = scheduler.next_span(&lanes) {
+            spans.push(span.clone());
+            for _ in span {
+                for lane in &mut lanes {
+                    if !lane.is_done() {
+                        lane.push(0.0);
+                    }
+                }
+            }
+        }
+        assert_eq!(spans[0], 0..4);
+        assert_eq!(spans[1], 4..8);
+        // Lane 0 stopped (certainty) at 8: the rest of the stream is
+        // spent only on lane 1, in one span to its budget end.
+        assert_eq!(spans[2], 8..30);
+        assert_eq!(spans.len(), 3);
+        assert!(lanes[0].is_done() && lanes[1].is_done());
+        assert_eq!(lanes[0].cursor(), 8, "lane 0 saved its last 2 worlds");
+        assert_eq!(lanes[1].cursor(), 30);
+    }
+
+    #[test]
+    fn scheduler_handles_empty_and_finished_groups() {
+        let mut scheduler = BudgetScheduler::new();
+        assert_eq!(scheduler.next_span(&[]), None);
+        let mut lane = WorldLane::new(0.5, 0.05, McStrategy::FullBudget, 1);
+        lane.push(1.0);
+        assert_eq!(scheduler.next_span(std::slice::from_ref(&lane)), None);
+        assert_eq!(scheduler.frontier(), 0);
+    }
+
+    #[test]
+    fn strategy_parse_round_trips() {
+        for strategy in [
+            McStrategy::FullBudget,
+            McStrategy::early_stop(),
+            McStrategy::EarlyStop { batch_size: 7 },
+        ] {
+            let shown = strategy.to_string();
+            let back: McStrategy = shown.parse().unwrap();
+            assert_eq!(back, strategy, "round trip via {shown:?}");
+        }
+        // The bare name uses the default batch.
+        assert_eq!(
+            "early-stop".parse::<McStrategy>().unwrap(),
+            McStrategy::early_stop()
+        );
+        for bad in ["", "full", "early-stop(batch=0)", "early-stop(batch=x)"] {
+            let err = bad.parse::<McStrategy>().unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("full-budget"), "{msg}");
+            assert!(msg.contains("early-stop"), "{msg}");
         }
     }
 

@@ -18,7 +18,10 @@
 //!   classifier substrate).
 //! * [`scan`] — **the paper's contribution**: the spatial-fairness
 //!   auditor, region enumeration, evidence identification, and the
-//!   `MeanVar` baseline.
+//!   `MeanVar` baseline — plus the prepare/plan/execute serving layer
+//!   ([`scan::prepared`]).
+//! * [`serve`] — the audit serving surface: queue many requests
+//!   against one prepared engine ([`serve::AuditServer`]).
 //! * [`data`] — dataset generators calibrated to the paper's evaluation
 //!   (Synth, SemiSynth, synthetic LAR and Crime clones).
 //!
@@ -50,6 +53,7 @@ pub use sfgeo as geo;
 pub use sfindex as index;
 pub use sfml as ml;
 pub use sfscan as scan;
+pub use sfserve as serve;
 pub use sfstats as stats;
 
 /// Convenience re-exports of the most frequently used types.
@@ -62,8 +66,10 @@ pub mod prelude {
         direction::Direction,
         meanvar::MeanVar,
         outcomes::{Measure, SpatialOutcomes},
+        prepared::{AuditRequest, PreparedAudit},
         regions::RegionSet,
         report::AuditReport,
     };
+    pub use sfserve::{AuditResponse, AuditServer, RequestId};
     pub use sfstats::llr::bernoulli_llr;
 }

@@ -1,0 +1,158 @@
+//! Batched-vs-sequential bit-identity: the serving layer's core
+//! contract, pinned property-based.
+//!
+//! Any shuffled batch of audit requests — mixed directions, alphas,
+//! seeds, budgets, null models, early stopping on and off — served
+//! through one `PreparedAudit` must yield exactly the same
+//! `AuditResult`s as running each request alone through `Auditor`
+//! (which rebuilds the engine per call). "Exactly" means full struct
+//! equality: verdict, p-value, critical value, findings, the truncated
+//! `simulated` distribution, and the embedded config.
+
+use proptest::prelude::*;
+use spatial_fairness::prelude::*;
+use spatial_fairness::scan::prepared::ExecutionPlan;
+use spatial_fairness::scan::{McStrategy, NullModel};
+use spatial_fairness::serve::AuditServer;
+
+/// Arbitrary small outcome sets guaranteed to contain both classes.
+fn arb_outcomes() -> impl Strategy<Value = SpatialOutcomes> {
+    prop::collection::vec(((0.0..10.0f64), (0.0..10.0f64), any::<bool>()), 40..200).prop_map(
+        |mut rows| {
+            rows[0].2 = true;
+            rows[1].2 = false;
+            let points = rows.iter().map(|&(x, y, _)| Point::new(x, y)).collect();
+            let labels = rows.iter().map(|&(_, _, l)| l).collect();
+            SpatialOutcomes::new(points, labels).unwrap()
+        },
+    )
+}
+
+/// Arbitrary requests over a small knob grid: enough collisions for
+/// world sharing, enough variety to exercise every grouping axis.
+fn arb_request() -> impl Strategy<Value = AuditRequest> {
+    (
+        0usize..3,
+        0usize..3,
+        0u64..3,
+        0usize..3,
+        any::<bool>(),
+        0usize..3,
+    )
+        .prop_map(|(alpha_i, worlds_i, seed, dir_i, permutation, mc_i)| {
+            let alphas = [0.25, 0.1, 0.05];
+            let worlds = [19usize, 39, 60];
+            let directions = [Direction::TwoSided, Direction::High, Direction::Low];
+            let strategies = [
+                McStrategy::FullBudget,
+                McStrategy::EarlyStop { batch_size: 8 },
+                McStrategy::EarlyStop { batch_size: 16 },
+            ];
+            let mut request = AuditRequest::new(alphas[alpha_i])
+                .with_worlds(worlds[worlds_i])
+                .with_seed(seed)
+                .with_direction(directions[dir_i])
+                .with_mc_strategy(strategies[mc_i]);
+            if permutation {
+                request = request.with_null_model(NullModel::Permutation);
+            }
+            request
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn any_shuffled_batch_is_bit_identical_to_sequential_audits(
+        outcomes in arb_outcomes(),
+        requests in prop::collection::vec(arb_request(), 1..9),
+        grid_seed in 0u64..100,
+    ) {
+        let regions = RegionSet::regular_grid(
+            outcomes.expanded_bounding_box(),
+            2 + (grid_seed % 3) as usize,
+            2 + (grid_seed % 4) as usize,
+        );
+        let base = AuditConfig::new(0.05).with_worlds(39).with_seed(grid_seed);
+        let prepared = PreparedAudit::prepare(&outcomes, &regions, base).unwrap();
+        let batched = prepared.run_batch(&requests);
+        prop_assert_eq!(batched.len(), requests.len());
+        for (request, report) in requests.iter().zip(&batched) {
+            let solo = Auditor::new(request.apply_to(base))
+                .audit(&outcomes, &regions)
+                .unwrap();
+            prop_assert_eq!(report, &solo, "request {:?}", request);
+        }
+    }
+
+    #[test]
+    fn batch_results_are_order_invariant(
+        outcomes in arb_outcomes(),
+        requests in prop::collection::vec(arb_request(), 2..7),
+        rotation in 0usize..6,
+    ) {
+        // The same requests in a different submission order must get
+        // the same per-request reports (sharing changes scheduling,
+        // never results).
+        let regions = RegionSet::regular_grid(outcomes.expanded_bounding_box(), 3, 3);
+        let base = AuditConfig::new(0.05).with_worlds(39).with_seed(7);
+        let prepared = PreparedAudit::prepare(&outcomes, &regions, base).unwrap();
+
+        let mut shuffled = requests.clone();
+        let len = shuffled.len();
+        shuffled.rotate_left(rotation % len);
+        let original = prepared.run_batch(&requests);
+        let rotated = prepared.run_batch(&shuffled);
+        for (request, report) in requests.iter().zip(&original) {
+            let position = shuffled
+                .iter()
+                .position(|r| r == request)
+                .expect("rotation preserves membership");
+            prop_assert_eq!(report, &rotated[position]);
+        }
+    }
+
+    #[test]
+    fn server_drain_matches_direct_batch(
+        outcomes in arb_outcomes(),
+        requests in prop::collection::vec(arb_request(), 1..6),
+    ) {
+        let regions = RegionSet::regular_grid(outcomes.expanded_bounding_box(), 3, 3);
+        let base = AuditConfig::new(0.05).with_worlds(19).with_seed(1);
+        let prepared = PreparedAudit::prepare(&outcomes, &regions, base).unwrap();
+        let direct = prepared.run_batch(&requests);
+
+        let mut server = AuditServer::new(&outcomes, &regions, base).unwrap();
+        for request in &requests {
+            server.submit(*request);
+        }
+        let responses = server.drain();
+        for (expected, response) in direct.iter().zip(&responses) {
+            prop_assert_eq!(expected, &response.report);
+        }
+        prop_assert_eq!(server.stats().requests_served, requests.len() as u64);
+    }
+
+    #[test]
+    fn plan_accounting_is_consistent(
+        requests in prop::collection::vec(arb_request(), 1..12),
+    ) {
+        let plan = ExecutionPlan::new(requests.clone());
+        // Every request lands in exactly one group.
+        let mut seen = vec![false; requests.len()];
+        for group in plan.groups() {
+            for &member in &group.members {
+                prop_assert!(!seen[member], "request in two groups");
+                seen[member] = true;
+                let request = &requests[member];
+                prop_assert_eq!(request.null_model, group.null_model);
+                prop_assert_eq!(request.seed, group.seed);
+                prop_assert!(group.directions.contains(&request.direction));
+                prop_assert!(request.worlds <= group.max_budget);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        prop_assert!(plan.shared_budget_total() <= plan.budget_total());
+    }
+}
