@@ -22,8 +22,9 @@ use sfstats::rng::world_rng;
 fn bench(c: &mut Criterion) {
     let lar = small_lar();
     let regions = RegionSet::regular_grid(lar.outcomes.expanded_bounding_box(), 40, 20);
-    let mem_engine = ScanEngine::build(&lar.outcomes, &regions, CountingStrategy::Membership);
-    let req_engine = ScanEngine::build(&lar.outcomes, &regions, CountingStrategy::Requery);
+    let mem_engine =
+        ScanEngine::build(&lar.outcomes, &regions, CountingStrategy::Membership).unwrap();
+    let req_engine = ScanEngine::build(&lar.outcomes, &regions, CountingStrategy::Requery).unwrap();
 
     let mut g = c.benchmark_group("world_generation_10k_points");
     g.bench_function("bernoulli", |b| {

@@ -39,7 +39,7 @@ impl Default for Options {
             strategy: CountingStrategy::default(),
             mc_strategy: McStrategy::FullBudget,
             requests: 24,
-            out: "BENCH_PR2.json".to_string(),
+            out: "BENCH_PR3.json".to_string(),
         }
     }
 }

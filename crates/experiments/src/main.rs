@@ -25,11 +25,11 @@
 //! Options: `--quick` (reduced scales for smoke runs), `--seed <u64>`,
 //! `--worlds <n>`, `--backend <brute|kdtree|quadtree|rtree|grid>`
 //! (counting substrate; results are backend-invariant), `--strategy
-//! <membership|requery|auto>` (per-world counting), `--mc
+//! <membership|requery|blocked|auto>` (per-world counting), `--mc
 //! <full-budget|early-stop|early-stop(batch=N)>` (budget strategy),
 //! `--early-stop` (shorthand for `--mc early-stop`). `serve-bench`
 //! additionally takes `--requests <n>` and `--out <path>` (default
-//! `BENCH_PR2.json`). The backend/strategy/mc values are parsed with
+//! `BENCH_PR3.json`). The backend/strategy/mc values are parsed with
 //! the types' `FromStr` impls, so error messages list the valid
 //! values.
 
@@ -155,7 +155,7 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: experiments <fig1..fig12|complexity|serve-bench|all> [--quick] [--seed N] \
          [--worlds N] [--backend <brute|kdtree|quadtree|rtree|grid>] \
-         [--strategy <membership|requery|auto>] \
+         [--strategy <membership|requery|blocked|auto>] \
          [--mc <full-budget|early-stop|early-stop(batch=N)>] [--early-stop] \
          [--requests N] [--out PATH]"
     );

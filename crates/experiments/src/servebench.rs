@@ -1,30 +1,42 @@
-//! `serve-bench`: batched multi-audit serving vs rebuild-per-request.
+//! `serve-bench`: batched multi-audit serving vs rebuild-per-request,
+//! plus blocked vs scalar world counting on the same workload.
 //!
 //! The serving layer's promise is that the expensive artifacts (index,
 //! membership CSR, region totals) and the simulated worlds are shared
 //! across a request stream. This benchmark queues a mixed batch of
 //! audit requests (directions × alphas × seeds × budget strategies),
-//! serves it two ways —
+//! serves it three ways —
 //!
 //! * **rebuild**: a fresh [`Auditor`] per request (engine rebuilt every
-//!   time, worlds generated per request), and
+//!   time, worlds generated per request),
 //! * **batched**: one [`AuditServer`] holding one `PreparedAudit`,
-//!   every request submitted then drained as a single batch —
+//!   every request submitted then drained as a single batch, and
+//! * **batched+blocked**: the same server with
+//!   [`CountingStrategy::Blocked`], so every shared world is counted
+//!   by masked popcounts over the Morton-blocked membership CSR —
 //!
-//! verifies the reports are **bit-identical**, and persists the
-//! machine-readable comparison (throughput, speedup, world counts) so
-//! the performance trajectory is tracked across PRs.
+//! verifies all reports are **bit-identical**, isolates the per-world
+//! counting pass (scalar `count_at` membership replay vs blocked
+//! popcnt sweep, asserted `>= 3x` at full scale), and persists the
+//! machine-readable comparison so the performance trajectory is
+//! tracked across PRs (`BENCH_PR3.json`; format documented in the
+//! README's benchmark-artifact section).
 
 use crate::common::{banner, report_row, Options};
 use serde::Serialize;
 use sfdata::synth::SynthConfig;
+use sfscan::engine::ScanEngine;
 use sfscan::prepared::AuditRequest;
-use sfscan::{AuditConfig, Auditor, Direction, McStrategy, RegionSet};
+use sfscan::{AuditConfig, Auditor, CountingStrategy, Direction, McStrategy, NullModel, RegionSet};
 use sfserve::AuditServer;
 use std::time::Instant;
 
+/// The speedup the blocked counting path must clear over the scalar
+/// membership replay at full scale (the PR 3 acceptance bar).
+const COUNTING_SPEEDUP_TARGET: f64 = 3.0;
+
 /// Machine-readable benchmark record (written to `--out`,
-/// `BENCH_PR2.json` by default).
+/// `BENCH_PR3.json` by default).
 #[derive(Debug, Clone, Serialize)]
 struct ServeBenchRecord {
     /// What produced this record.
@@ -43,12 +55,18 @@ struct ServeBenchRecord {
     rebuild_ms: f64,
     /// Batched-serving wall time, milliseconds.
     batched_ms: f64,
+    /// Batched serving with blocked counting, milliseconds.
+    batched_blocked_ms: f64,
     /// `rebuild_ms / batched_ms`.
     speedup: f64,
+    /// `rebuild_ms / batched_blocked_ms`.
+    blocked_speedup: f64,
     /// Rebuild path throughput, audits per second.
     rebuild_per_s: f64,
     /// Batched path throughput, audits per second.
     batched_per_s: f64,
+    /// Batched+blocked throughput, audits per second.
+    batched_blocked_per_s: f64,
     /// Worlds generated + counted by the rebuild path.
     rebuild_worlds: usize,
     /// Unique worlds generated + counted by the batched path.
@@ -57,8 +75,23 @@ struct ServeBenchRecord {
     worlds_shared: usize,
     /// Worlds early stopping saved across the batch.
     worlds_saved: usize,
-    /// Reports bit-identical between the two paths.
+    /// Reports bit-identical across all three paths.
     bit_identical: bool,
+    /// Counting isolation: worlds timed in the scalar-vs-blocked pass.
+    counting_worlds: usize,
+    /// Scalar `count_at` membership replay over those worlds, ms.
+    counting_scalar_ms: f64,
+    /// Blocked masked-popcount sweep over the same worlds, ms.
+    counting_blocked_ms: f64,
+    /// `counting_scalar_ms / counting_blocked_ms` — the tentpole
+    /// number; asserted `>= 3` at full scale.
+    counting_speedup: f64,
+    /// Measured mask density of the blocked compilation (member ids
+    /// per touched 64-bit word under the Morton layout).
+    blocked_ids_per_word: f64,
+    /// Per-region counts identical between scalar and blocked on every
+    /// timed world.
+    counting_bit_identical: bool,
 }
 
 /// The deterministic request mix: directions × alphas × seeds with a
@@ -164,11 +197,86 @@ pub fn run(opts: &Options) {
     let batched_ms = t.elapsed().as_secs_f64() * 1e3;
     let stats = *server.stats();
 
-    let bit_identical = rebuilt.iter().zip(&responses).all(|(a, b)| *a == b.report);
+    // Path C: the same batch with blocked world counting.
+    let blocked_base = base.with_strategy(CountingStrategy::Blocked);
+    let t = Instant::now();
+    let mut blocked_server =
+        AuditServer::new(&outcomes, &regions, blocked_base).expect("auditable");
+    for request in &requests {
+        blocked_server.submit(*request);
+    }
+    let blocked_responses = blocked_server.drain();
+    let batched_blocked_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let bit_identical = rebuilt.iter().zip(&responses).all(|(a, b)| *a == b.report)
+        && rebuilt.iter().zip(&blocked_responses).all(|(a, b)| {
+            // The report embeds its config; align the strategy knob so
+            // the comparison checks the *results* are bit-identical.
+            let mut report = b.report.clone();
+            report.config.strategy = a.config.strategy;
+            *a == report
+        });
     assert!(
         bit_identical,
-        "batched serving must be bit-identical to sequential audits"
+        "batched serving (scalar and blocked) must be bit-identical to sequential audits"
     );
+
+    // Counting isolation: the per-world `p(R)` recount pass alone —
+    // scalar `count_at` membership replay vs the blocked popcnt sweep
+    // — over this workload's engine, regions, and world stream. The
+    // engines expose the exact counting structures production serves
+    // with, so the timed code is the production path, built once.
+    let scalar_engine = ScanEngine::build_with(
+        &outcomes,
+        &regions,
+        base.backend,
+        CountingStrategy::Membership,
+    )
+    .expect("auditable");
+    let blocked_engine =
+        ScanEngine::build_with(&outcomes, &regions, base.backend, CountingStrategy::Blocked)
+            .expect("auditable");
+    let membership = scalar_engine
+        .membership()
+        .expect("membership strategy engines expose their lists");
+    let blocked = blocked_engine
+        .blocked()
+        .expect("blocked strategy engines expose their masks");
+    let counting_worlds = worlds;
+    let mut scalar_counts = Vec::new();
+    let mut blocked_counts = Vec::new();
+    let mut counting_bit_identical = true;
+    let mut counting_scalar_ms = 0.0f64;
+    let mut counting_blocked_ms = 0.0f64;
+    for w in 0..counting_worlds {
+        // Same world drawn once per layout (identical RNG streams).
+        let mut rng = sfstats::rng::world_rng(base.seed, w as u64);
+        let world = scalar_engine.generate_world(NullModel::Bernoulli, &mut rng);
+        let mut rng = sfstats::rng::world_rng(base.seed, w as u64);
+        let blocked_world = blocked_engine.generate_world(NullModel::Bernoulli, &mut rng);
+
+        let t = Instant::now();
+        membership.count_all_into(&world, &mut scalar_counts);
+        counting_scalar_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        blocked.count_all_into(&blocked_world, &mut blocked_counts);
+        counting_blocked_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        counting_bit_identical &= scalar_counts == blocked_counts;
+    }
+    assert!(
+        counting_bit_identical,
+        "blocked counting must be bit-identical to the scalar membership replay"
+    );
+    let counting_speedup = counting_scalar_ms / counting_blocked_ms;
+    if !opts.quick {
+        assert!(
+            counting_speedup >= COUNTING_SPEEDUP_TARGET,
+            "blocked counting speedup {counting_speedup:.2}x below the \
+             {COUNTING_SPEEDUP_TARGET}x target"
+        );
+    }
 
     let groups = sfscan::prepared::ExecutionPlan::new(requests.clone())
         .groups()
@@ -182,14 +290,23 @@ pub fn run(opts: &Options) {
         groups,
         rebuild_ms,
         batched_ms,
+        batched_blocked_ms,
         speedup: rebuild_ms / batched_ms,
+        blocked_speedup: rebuild_ms / batched_blocked_ms,
         rebuild_per_s: requests.len() as f64 / (rebuild_ms / 1e3),
         batched_per_s: requests.len() as f64 / (batched_ms / 1e3),
+        batched_blocked_per_s: requests.len() as f64 / (batched_blocked_ms / 1e3),
         rebuild_worlds,
         batched_unique_worlds: stats.unique_worlds as usize,
         worlds_shared: stats.worlds_shared() as usize,
         worlds_saved: stats.worlds_saved() as usize,
         bit_identical,
+        counting_worlds,
+        counting_scalar_ms,
+        counting_blocked_ms,
+        counting_speedup,
+        blocked_ids_per_word: blocked.ids_per_word(),
+        counting_bit_identical,
     };
 
     report_row(
@@ -203,9 +320,32 @@ pub fn run(opts: &Options) {
         &format!("{batched_ms:.0} ms ({:.1} audits/s)", record.batched_per_s),
     );
     report_row(
+        "batched + blocked counting",
+        "—",
+        &format!(
+            "{batched_blocked_ms:.0} ms ({:.1} audits/s)",
+            record.batched_blocked_per_s
+        ),
+    );
+    report_row(
         "speedup",
         ">= 3x target",
-        &format!("{:.2}x", record.speedup),
+        &format!(
+            "{:.2}x batched, {:.2}x blocked",
+            record.speedup, record.blocked_speedup
+        ),
+    );
+    report_row(
+        "counting pass (scalar vs blocked)",
+        ">= 3x target",
+        &format!(
+            "{:.2}x ({:.2} ms vs {:.2} ms over {} worlds, {:.1} ids/word)",
+            record.counting_speedup,
+            record.counting_scalar_ms,
+            record.counting_blocked_ms,
+            record.counting_worlds,
+            record.blocked_ids_per_word
+        ),
     );
     report_row(
         "worlds generated",

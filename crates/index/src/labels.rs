@@ -92,6 +92,19 @@ impl BitLabels {
         self.blocks.iter().map(|b| b.count_ones() as u64).sum()
     }
 
+    /// The raw 64-bit blocks backing the bitset, little-endian within
+    /// each block (bit `i % 64` of block `i / 64` is label `i`).
+    ///
+    /// Invariant: bits at positions `>= len` are always zero — every
+    /// mutation path ([`BitLabels::set`], [`BitLabels::refill`],
+    /// [`BitLabels::clear`]) preserves this, so popcount-style
+    /// consumers ([`crate::BlockedMembership`]) can AND whole blocks
+    /// without masking off the tail.
+    #[inline]
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
     /// Resets every label to negative, keeping the allocation.
     pub fn clear(&mut self) {
         self.blocks.fill(0);
@@ -110,11 +123,25 @@ impl BitLabels {
 
     /// Sums the labels at the given (unique) indices — the per-region
     /// positive count `p(R)` for a membership list.
+    ///
+    /// This is the per-world hot loop of membership counting, so ids
+    /// are read by direct block indexing with no per-id bounds assert:
+    /// callers must guarantee `id < len` for every id. [`Membership`]
+    /// (the only production caller) validates that once at
+    /// construction, which is where genuinely out-of-range input still
+    /// panics. Debug builds keep the per-id check.
+    ///
+    /// [`Membership`]: crate::Membership
     #[inline]
     pub fn count_at(&self, ids: &[u32]) -> u64 {
         let mut acc = 0u64;
         for &id in ids {
-            acc += self.get(id as usize) as u64;
+            debug_assert!(
+                (id as usize) < self.len,
+                "label index {id} out of bounds (len {})",
+                self.len
+            );
+            acc += (self.blocks[(id >> 6) as usize] >> (id & 63)) & 1;
         }
         acc
     }
@@ -214,5 +241,27 @@ mod tests {
     fn get_out_of_bounds_panics() {
         let l = BitLabels::zeros(10);
         let _ = l.get(10);
+    }
+
+    #[test]
+    fn blocks_expose_exact_bits_with_zero_tail() {
+        let mut l = BitLabels::from_fn(70, |i| i % 2 == 0);
+        assert_eq!(l.blocks().len(), 2);
+        // Tail bits (70..128) stay zero through every mutation path.
+        l.set(69, true);
+        l.set(69, false);
+        l.refill(|i| i >= 64);
+        assert_eq!(l.blocks()[0], 0);
+        assert_eq!(l.blocks()[1], 0b11_1111);
+        let total: u64 = l.blocks().iter().map(|b| b.count_ones() as u64).sum();
+        assert_eq!(total, l.count_ones());
+    }
+
+    #[test]
+    fn count_at_matches_get_on_valid_ids() {
+        let l = BitLabels::from_fn(200, |i| i % 5 == 0 || i % 7 == 0);
+        let ids: Vec<u32> = (0..200).step_by(3).map(|i| i as u32).collect();
+        let expected: u64 = ids.iter().map(|&i| l.get(i as usize) as u64).sum();
+        assert_eq!(l.count_at(&ids), expected);
     }
 }

@@ -22,6 +22,11 @@
 //! * [`Membership`] — precomputed region→member-id lists that make the
 //!   Monte Carlo loop cheap: `n(R)` never changes across worlds, so
 //!   each world only recounts `p(R)` against a fresh label bitset.
+//! * [`BlockedMembership`] — the membership lists compiled into
+//!   word-aligned `(block, mask)` popcnt runs over the [`BitLabels`]
+//!   block array (with a Morton-order id layout, [`morton_layout`],
+//!   that packs compact regions into dense masks), turning the
+//!   per-world recount into ~64-ids-per-instruction popcounts.
 //!
 //! Labels are stored out-of-band in a [`BitLabels`] bitset so the same
 //! spatial structure serves both the real world and the simulated ones.
@@ -41,6 +46,7 @@
 //! assert_eq!((counts.n, counts.p), (2, 1)); // two points inside, one positive
 //! ```
 
+pub mod blocked;
 pub mod brute;
 pub mod gridindex;
 pub mod kdtree;
@@ -51,6 +57,7 @@ pub mod rtree;
 pub mod sat;
 pub mod substrate;
 
+pub use blocked::{morton_layout, BlockedBuildError, BlockedMembership};
 pub use brute::BruteForceIndex;
 pub use gridindex::GridIndex;
 pub use kdtree::KdTree;

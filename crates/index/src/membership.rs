@@ -22,15 +22,29 @@ pub struct Membership {
 impl Membership {
     /// Builds membership lists for `regions` using any id-enumerating
     /// index.
+    ///
+    /// # Panics
+    /// Panics if the index enumerates an id `>= num_points`. Validating
+    /// here — once, at construction — is what lets the per-world hot
+    /// loop ([`BitLabels::count_at`]) index label blocks directly with
+    /// no per-id bounds check.
     pub fn build<I: PointVisit + ?Sized>(index: &I, num_points: usize, regions: &[Region]) -> Self {
         let mut offsets = Vec::with_capacity(regions.len() + 1);
         offsets.push(0u64);
         let mut ids: Vec<u32> = Vec::new();
-        for region in regions {
+        for (r, region) in regions.iter().enumerate() {
             let before = ids.len();
             index.for_each_in(region, &mut |id| ids.push(id));
             // Sorted member lists give sequential bitset access.
             ids[before..].sort_unstable();
+            // Sorted, so the last id is the maximum for this region.
+            if let Some(&max_id) = ids.last().filter(|_| ids.len() > before) {
+                assert!(
+                    (max_id as usize) < num_points,
+                    "index enumerated member id {max_id} for region {r}, \
+                     but only {num_points} points are indexed"
+                );
+            }
             offsets.push(ids.len() as u64);
         }
         Membership {
@@ -184,6 +198,24 @@ mod tests {
         let mem = Membership::build(&idx, n, &regions);
         let bad = BitLabels::zeros(n + 1);
         let _ = mem.count(0, &bad);
+    }
+
+    /// An index that enumerates ids past the declared point count —
+    /// the construction-time input [`Membership::build`] must reject.
+    struct OutOfRangeIndex;
+
+    impl PointVisit for OutOfRangeIndex {
+        fn for_each_in(&self, _region: &Region, visit: &mut dyn FnMut(u32)) {
+            visit(3);
+            visit(1000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "enumerated member id 1000")]
+    fn out_of_range_member_id_rejected_at_construction() {
+        let regions: Vec<Region> = vec![Rect::from_coords(0.0, 0.0, 1.0, 1.0).into()];
+        let _ = Membership::build(&OutOfRangeIndex, 10, &regions);
     }
 
     #[test]

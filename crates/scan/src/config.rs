@@ -33,22 +33,33 @@ pub enum CountingStrategy {
     /// memory; slower). Exists mainly as the ablation baseline proving
     /// the membership path is an optimisation, not a semantic change.
     Requery,
+    /// Compile the member-id lists into word-aligned `(block, mask)`
+    /// popcnt runs over the label bitset's block array, laid out in
+    /// Morton id order so compact regions own dense masks
+    /// ([`sfindex::BlockedMembership`]). The per-world recount becomes
+    /// a branch-free masked-popcount sweep — up to 64 ids per
+    /// instruction instead of one bitset read per id. Counts are
+    /// bit-identical to the other strategies.
+    Blocked,
     /// Measure the membership density `Σ n(R)` against its `M·N` worst
     /// case at build time and pick: [`CountingStrategy::Membership`]
     /// while the id lists stay cheap, [`CountingStrategy::Requery`]
     /// once materialising them would approach the dense extreme (see
-    /// `ScanEngine`'s docs for the exact rule). Counts are identical
-    /// either way — this knob only trades memory against per-world
-    /// constant factors.
+    /// `ScanEngine`'s docs for the exact rule) — and when the
+    /// membership path wins, upgrade to [`CountingStrategy::Blocked`]
+    /// if the measured mask density clears the popcnt break-even.
+    /// Counts are identical in every case — this knob only trades
+    /// memory against per-world constant factors.
     Auto,
 }
 
 impl CountingStrategy {
     /// All selectable strategies (drives parse-error messages and
     /// ablation sweeps).
-    pub const ALL: [CountingStrategy; 3] = [
+    pub const ALL: [CountingStrategy; 4] = [
         CountingStrategy::Membership,
         CountingStrategy::Requery,
+        CountingStrategy::Blocked,
         CountingStrategy::Auto,
     ];
 
@@ -57,6 +68,7 @@ impl CountingStrategy {
         match self {
             CountingStrategy::Membership => "membership",
             CountingStrategy::Requery => "requery",
+            CountingStrategy::Blocked => "blocked",
             CountingStrategy::Auto => "auto",
         }
     }
@@ -97,7 +109,7 @@ impl std::str::FromStr for CountingStrategy {
     type Err = ParseStrategyError;
 
     /// Parses the [`Display`](std::fmt::Display) name back
-    /// (`membership`, `requery`, `auto`).
+    /// (`membership`, `requery`, `blocked`, `auto`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         CountingStrategy::ALL
             .into_iter()

@@ -17,6 +17,17 @@
 //! are exact, so every choice produces **bit-identical** audits — the
 //! cross-backend agreement tests pin that property.
 //!
+//! # Blocked world counting
+//!
+//! [`CountingStrategy::Blocked`] compiles the membership CSR into
+//! word-aligned `(block, mask)` popcnt runs
+//! ([`sfindex::BlockedMembership`]) under a Morton-order id layout, so
+//! a world recount is a branch-free masked-popcount sweep instead of a
+//! per-id bitset gather. Blocked engines generate worlds directly in
+//! *layout space* (the RNG stream and the physical label of every
+//! point are unchanged — only the bit position holding it moves), so
+//! every `τ` is bit-identical to the scalar strategies.
+//!
 //! # Auto counting strategy
 //!
 //! [`CountingStrategy::Auto`] resolves Membership vs Requery from the
@@ -26,15 +37,36 @@
 //! stays cheap (`Σ n(R) ≤ 2^26` ids, i.e. 256 MiB) and falls back to
 //! Requery when the lists grow past the cap *or* past half the dense
 //! `M·N` extreme on large inputs — the regime where replaying ids
-//! loses its cache advantage and the memory bill dominates.
+//! loses its cache advantage and the memory bill dominates. When
+//! Membership wins, Auto additionally compiles the blocked masks and
+//! upgrades to [`CountingStrategy::Blocked`] if the measured mask
+//! density (member ids per touched word) clears
+//! [`AUTO_BLOCKED_MIN_IDS_PER_WORD`] — below that, the masks are so
+//! sparse the popcnt sweep degenerates to one word per id and the
+//! scalar gather is just as good.
+//!
+//! # Count integrity
+//!
+//! The requery path trusts two *independent* answers from the
+//! substrate: the aggregate `count(R).n` measured once at build
+//! (world-invariant `n(R)`) and the per-world id enumeration behind
+//! `count_with`. A substrate bug that makes them disagree would
+//! silently corrupt every simulated `τ` in release builds, so engine
+//! construction cross-validates them once per region — in every build
+//! profile — and returns [`ScanError::CountIntegrity`] instead of an
+//! engine rather than serve corrupt counts.
 
 use crate::config::{CountingStrategy, NullModel};
 use crate::direction::Direction;
+use crate::error::ScanError;
 use crate::outcomes::SpatialOutcomes;
 use crate::regions::RegionSet;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use sfindex::{BitLabels, CountPair, CountingSubstrate, IndexBackend, Membership, Substrate};
+use sfindex::{
+    morton_layout, BitLabels, BlockedMembership, CountPair, CountingSubstrate, IndexBackend,
+    Membership, Substrate,
+};
 use sfstats::llr::{bernoulli_llr_directed, Counts2x2};
 use std::cell::RefCell;
 
@@ -51,6 +83,13 @@ const AUTO_DENSITY_CAP: f64 = 0.5;
 /// ids, Auto always takes Membership (density is irrelevant when the
 /// materialized lists fit in cache).
 const AUTO_SMALL_INPUT_IDS: u64 = 1 << 22;
+
+/// Mask-density floor for [`CountingStrategy::Auto`] to upgrade a
+/// membership engine to blocked counting: with fewer member ids per
+/// touched word than this, the masked-popcount sweep reads about as
+/// many words as the scalar gather reads ids and the compilation buys
+/// nothing.
+pub const AUTO_BLOCKED_MIN_IDS_PER_WORD: f64 = 4.0;
 
 /// Largest capacity (in ids) the per-thread Fisher–Yates scratch
 /// keeps between worlds: 2^22 ids = 16 MiB per worker thread. Audits
@@ -80,11 +119,22 @@ pub struct RealScan {
     pub best_index: usize,
 }
 
+/// The per-world counting structure actually in effect after strategy
+/// resolution.
+enum Counting {
+    /// Scalar replay of the membership id lists.
+    Membership(Membership),
+    /// Masked-popcount sweep over blocked runs (Morton id layout).
+    Blocked(Box<BlockedMembership>),
+    /// Range query per region per world.
+    Requery,
+}
+
 /// Precomputed scan state shared by the real-world pass and every
 /// Monte Carlo world, generic over the counting substrate.
 pub struct ScanEngine<I: CountingSubstrate = Substrate> {
     index: I,
-    membership: Option<Membership>,
+    counting: Counting,
     regions: Vec<sfgeo::Region>,
     region_n: Vec<u64>,
     n_total: u64,
@@ -96,23 +146,31 @@ pub struct ScanEngine<I: CountingSubstrate = Substrate> {
 
 impl ScanEngine<Substrate> {
     /// Builds the engine over the default backend
-    /// ([`IndexBackend::KdTree`]): spatial index, membership lists
-    /// (when the strategy asks for them), world-invariant `n(R)`.
+    /// ([`IndexBackend::KdTree`]): spatial index, membership lists or
+    /// blocked masks (when the strategy asks for them),
+    /// world-invariant `n(R)`.
+    ///
+    /// # Errors
+    /// [`ScanError::CountIntegrity`] — the substrate's aggregate
+    /// counts disagree with its id enumeration (see the module docs).
     pub fn build(
         outcomes: &SpatialOutcomes,
         regions: &RegionSet,
         strategy: CountingStrategy,
-    ) -> Self {
+    ) -> Result<Self, ScanError> {
         Self::build_with(outcomes, regions, IndexBackend::default(), strategy)
     }
 
     /// Builds the engine over the backend named by `backend`.
+    ///
+    /// # Errors
+    /// [`ScanError::CountIntegrity`] — see [`ScanEngine::build`].
     pub fn build_with(
         outcomes: &SpatialOutcomes,
         regions: &RegionSet,
         backend: IndexBackend,
         strategy: CountingStrategy,
-    ) -> Self {
+    ) -> Result<Self, ScanError> {
         let labels = outcomes.bit_labels();
         let index = Substrate::build(backend, outcomes.points().to_vec(), labels);
         Self::from_index(index, outcomes, regions, strategy)
@@ -122,33 +180,83 @@ impl ScanEngine<Substrate> {
 impl<I: CountingSubstrate> ScanEngine<I> {
     /// Builds the engine over a caller-provided substrate (custom
     /// indexes plug in here).
+    ///
+    /// # Errors
+    /// [`ScanError::CountIntegrity`] — the substrate's aggregate
+    /// `count(R).n` disagrees with its member-id enumeration for some
+    /// region. The requery world loop trusts both answers, so the
+    /// engine cross-validates them here, once, in every build profile
+    /// (a `debug_assert` alone would let the corruption through in
+    /// release).
+    ///
+    /// # Panics
+    /// Panics if the substrate indexes a different number of points
+    /// than `outcomes` holds (programmer error, not data-dependent).
     pub fn from_index(
         index: I,
         outcomes: &SpatialOutcomes,
         regions: &RegionSet,
         strategy: CountingStrategy,
-    ) -> Self {
+    ) -> Result<Self, ScanError> {
         assert_eq!(
             index.len(),
             outcomes.len(),
             "substrate must index exactly the audited points"
         );
         let region_vec = regions.regions().to_vec();
-        // World-invariant n(R). The Membership path reads it from the
-        // id lists it builds anyway; Requery/Auto measure it with one
-        // range-count query per region (for Auto that measurement IS
-        // the membership density the resolution rule decides on).
+        // World-invariant n(R). The Membership/Blocked paths read it
+        // from the id lists they build anyway; Requery/Auto measure it
+        // with one range-count query per region (for Auto that
+        // measurement IS the membership density the resolution rule
+        // decides on).
         let count_region_n =
             |index: &I| -> Vec<u64> { region_vec.iter().map(|r| index.count(r).n).collect() };
         let membership_region_n =
             |m: &Membership| -> Vec<u64> { (0..m.num_regions()).map(|r| m.n_of(r)).collect() };
-        let (resolved_strategy, membership, region_n) = match strategy {
+        let build_membership = || Membership::build(&index, outcomes.len(), &region_vec);
+        // Membership::build sorts and range-validates, but a substrate
+        // that enumerates an id twice still gets through it — surface
+        // that as a ScanError through the fallible build, not a panic.
+        let compile_blocked = |m: &Membership| -> Result<Box<BlockedMembership>, ScanError> {
+            let layout = morton_layout(outcomes.points());
+            BlockedMembership::compile_with_layout(m, layout)
+                .map(Box::new)
+                .map_err(|e| ScanError::MembershipIntegrity {
+                    reason: e.to_string(),
+                })
+        };
+        let (resolved_strategy, counting, region_n) = match strategy {
             CountingStrategy::Membership => {
-                let m = Membership::build(&index, outcomes.len(), &region_vec);
+                let m = build_membership();
+                // The other strategies validate the enumeration as a
+                // side effect (blocked compilation rejects duplicates;
+                // Requery/Auto cross-check aggregates). Scalar replay
+                // consults nothing else, so check the one corruption
+                // `Membership::build` cannot — duplicate visits —
+                // directly on the sorted lists.
+                validate_membership_unique(&m)?;
                 let region_n = membership_region_n(&m);
-                (CountingStrategy::Membership, Some(m), region_n)
+                (
+                    CountingStrategy::Membership,
+                    Counting::Membership(m),
+                    region_n,
+                )
             }
-            CountingStrategy::Requery => (CountingStrategy::Requery, None, count_region_n(&index)),
+            CountingStrategy::Blocked => {
+                let m = build_membership();
+                let region_n = membership_region_n(&m);
+                let blocked = compile_blocked(&m)?;
+                (
+                    CountingStrategy::Blocked,
+                    Counting::Blocked(blocked),
+                    region_n,
+                )
+            }
+            CountingStrategy::Requery => {
+                let region_n = count_region_n(&index);
+                validate_count_integrity(&index, &region_vec, &region_n)?;
+                (CountingStrategy::Requery, Counting::Requery, region_n)
+            }
             CountingStrategy::Auto => {
                 let region_n = count_region_n(&index);
                 let total_ids: u64 = region_n.iter().sum();
@@ -160,23 +268,54 @@ impl<I: CountingSubstrate> ScanEngine<I> {
                 );
                 match resolved {
                     CountingStrategy::Membership => {
-                        let m = Membership::build(&index, outcomes.len(), &region_vec);
-                        (resolved, Some(m), region_n)
+                        let m = build_membership();
+                        // The aggregate counts that drove the density
+                        // decision must agree with the enumeration the
+                        // worlds will actually be counted with —
+                        // otherwise scan_real and the Monte Carlo fold
+                        // would silently use different n(R). Both
+                        // vectors are already in hand; compare them.
+                        let enumerated_n = membership_region_n(&m);
+                        if let Some(r) =
+                            (0..region_n.len()).find(|&r| region_n[r] != enumerated_n[r])
+                        {
+                            return Err(ScanError::CountIntegrity {
+                                region: r,
+                                aggregate_n: region_n[r],
+                                enumerated_n: enumerated_n[r],
+                            });
+                        }
+                        // The blocked upgrade: compile the masks and
+                        // keep them only if the measured density says
+                        // the popcnt sweep beats the scalar gather.
+                        let blocked = compile_blocked(&m)?;
+                        if blocked.ids_per_word() >= AUTO_BLOCKED_MIN_IDS_PER_WORD {
+                            (
+                                CountingStrategy::Blocked,
+                                Counting::Blocked(blocked),
+                                region_n,
+                            )
+                        } else {
+                            (resolved, Counting::Membership(m), region_n)
+                        }
                     }
-                    _ => (resolved, None, region_n),
+                    _ => {
+                        validate_count_integrity(&index, &region_vec, &region_n)?;
+                        (resolved, Counting::Requery, region_n)
+                    }
                 }
             }
         };
-        ScanEngine {
+        Ok(ScanEngine {
             index,
-            membership,
+            counting,
             regions: region_vec,
             region_n,
             n_total: outcomes.len() as u64,
             p_total: outcomes.positives(),
             real_labels: outcomes.labels().to_vec(),
             resolved_strategy,
-        }
+        })
     }
 
     /// Number of points.
@@ -214,6 +353,32 @@ impl<I: CountingSubstrate> ScanEngine<I> {
         self.resolved_strategy
     }
 
+    /// Measured mask density of the blocked compilation (member ids
+    /// per touched word), when this engine counts via blocked masks.
+    /// This is the number the Auto upgrade rule compared against
+    /// [`AUTO_BLOCKED_MIN_IDS_PER_WORD`].
+    pub fn blocked_ids_per_word(&self) -> Option<f64> {
+        self.blocked().map(BlockedMembership::ids_per_word)
+    }
+
+    /// The membership lists this engine replays per world, when the
+    /// resolved strategy is [`CountingStrategy::Membership`].
+    pub fn membership(&self) -> Option<&Membership> {
+        match &self.counting {
+            Counting::Membership(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The blocked mask compilation this engine sweeps per world, when
+    /// the resolved strategy is [`CountingStrategy::Blocked`].
+    pub fn blocked(&self) -> Option<&BlockedMembership> {
+        match &self.counting {
+            Counting::Blocked(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// The substrate serving this engine's range counts.
     pub fn index(&self) -> &I {
         &self.index
@@ -221,12 +386,23 @@ impl<I: CountingSubstrate> ScanEngine<I> {
 
     /// Scans the real world: per-region counts, LLRs, and `τ`.
     pub fn scan_real(&self, direction: Direction) -> RealScan {
-        let real_bits = BitLabels::from_bools(&self.real_labels);
-        let counts: Vec<CountPair> = match &self.membership {
-            Some(m) => (0..self.regions.len())
-                .map(|r| m.count(r, &real_bits))
-                .collect(),
-            None => self.regions.iter().map(|r| self.index.count(r)).collect(),
+        let counts: Vec<CountPair> = match &self.counting {
+            Counting::Membership(m) => {
+                let real_bits = BitLabels::from_bools(&self.real_labels);
+                (0..self.regions.len())
+                    .map(|r| m.count(r, &real_bits))
+                    .collect()
+            }
+            Counting::Blocked(b) => {
+                let real_bits = b.layout_labels(&self.real_labels);
+                (0..self.regions.len())
+                    .map(|r| CountPair {
+                        n: b.n_of(r),
+                        p: b.count(r, &real_bits),
+                    })
+                    .collect()
+            }
+            Counting::Requery => self.regions.iter().map(|r| self.index.count(r)).collect(),
         };
         let mut llrs = Vec::with_capacity(counts.len());
         let mut tau = 0.0f64;
@@ -250,6 +426,17 @@ impl<I: CountingSubstrate> ScanEngine<I> {
         }
     }
 
+    /// The bit position holding point `id`'s label in this engine's
+    /// world layout: identity for the scalar strategies, the Morton
+    /// rank for blocked engines.
+    #[inline]
+    fn world_position(&self, id: u32) -> usize {
+        match &self.counting {
+            Counting::Blocked(b) => b.position_of(id) as usize,
+            _ => id as usize,
+        }
+    }
+
     /// Draws one alternate world's labels from the null model.
     ///
     /// * [`NullModel::Bernoulli`] — each label is `Bernoulli(ρ̂)`
@@ -258,12 +445,25 @@ impl<I: CountingSubstrate> ScanEngine<I> {
     ///   observed labels (exactly `P` positives per world), sampled by
     ///   a partial Fisher–Yates over a reusable per-thread scratch
     ///   buffer (no per-world allocation).
+    ///
+    /// The returned bitset is in this engine's *world layout*: blocked
+    /// engines place point `id`'s label at its Morton rank so the
+    /// masked-popcount sweep reads dense words. The RNG stream and the
+    /// label drawn for every physical point are identical across
+    /// layouts — only the storage position moves — which is what keeps
+    /// every strategy's `τ` bit-identical.
     pub fn generate_world(&self, null_model: NullModel, rng: &mut ChaCha8Rng) -> BitLabels {
         let n = self.n_total as usize;
         match null_model {
             NullModel::Bernoulli => {
                 let rho = self.p_total as f64 / self.n_total as f64;
-                BitLabels::from_fn(n, |_| rng.gen_bool(rho))
+                let mut labels = BitLabels::zeros(n);
+                for i in 0..n {
+                    if rng.gen_bool(rho) {
+                        labels.set(self.world_position(i as u32), true);
+                    }
+                }
+                labels
             }
             NullModel::Permutation => {
                 // Partial Fisher-Yates: choose exactly P positions.
@@ -278,7 +478,7 @@ impl<I: CountingSubstrate> ScanEngine<I> {
                     for i in 0..p {
                         let j = rng.gen_range(i..n);
                         idx.swap(i, j);
-                        labels.set(idx[i] as usize, true);
+                        labels.set(self.world_position(idx[i]), true);
                     }
                     // Don't let one huge audit pin a worker-lifetime
                     // buffer: long-lived processes serve many engines.
@@ -295,6 +495,10 @@ impl<I: CountingSubstrate> ScanEngine<I> {
     /// Evaluates one world: recounts positives per region and returns
     /// that world's `τ` (computed against the world's own totals, as
     /// the statistic is a function of the observed data).
+    ///
+    /// `labels` must come from **this engine's**
+    /// [`ScanEngine::generate_world`] (see the layout contract on
+    /// [`ScanEngine::eval_world_into`]).
     pub fn eval_world(&self, labels: &BitLabels, direction: Direction) -> f64 {
         let mut tau = [0.0f64];
         self.eval_world_into(labels, &[direction], &mut tau);
@@ -312,10 +516,27 @@ impl<I: CountingSubstrate> ScanEngine<I> {
     /// `eval_world(labels, directions[d])` — the single-direction path
     /// IS this one with a one-element slice.
     ///
+    /// **Layout contract:** `labels` must be in this engine's world
+    /// layout — i.e. produced by this engine's
+    /// [`ScanEngine::generate_world`] (or by an engine with the same
+    /// resolved strategy and dataset). Blocked-resolved engines
+    /// (including [`CountingStrategy::Auto`] upgrades) store worlds in
+    /// Morton id order; handing them an identity-layout bitset
+    /// type-checks but counts the wrong bits. `BitLabels` carries no
+    /// layout tag, so this cannot be asserted — keep world generation
+    /// and evaluation on the same engine.
+    ///
     /// # Panics
-    /// Panics if `out.len() != directions.len()`.
+    /// Panics if `out.len() != directions.len()`, or if `labels` is
+    /// not one bit per indexed point (a wrong-length world would
+    /// silently undercount in release builds otherwise).
     pub fn eval_world_into(&self, labels: &BitLabels, directions: &[Direction], out: &mut [f64]) {
         assert_eq!(directions.len(), out.len(), "one output slot per direction");
+        assert_eq!(
+            labels.len(),
+            self.n_total as usize,
+            "world label set must be one bit per indexed point"
+        );
         let p_world = labels.count_ones();
         out.fill(0.0);
         let mut fold = |n_r: u64, p_r: u64| {
@@ -329,8 +550,8 @@ impl<I: CountingSubstrate> ScanEngine<I> {
                 }
             }
         };
-        match &self.membership {
-            Some(m) => {
+        match &self.counting {
+            Counting::Membership(m) => {
                 for (r, &n_r) in self.region_n.iter().enumerate() {
                     if n_r == 0 {
                         continue;
@@ -339,12 +560,24 @@ impl<I: CountingSubstrate> ScanEngine<I> {
                     fold(n_r, p_r);
                 }
             }
-            None => {
+            Counting::Blocked(b) => {
+                for (r, &n_r) in self.region_n.iter().enumerate() {
+                    if n_r == 0 {
+                        continue;
+                    }
+                    let p_r = b.count(r, labels);
+                    fold(n_r, p_r);
+                }
+            }
+            Counting::Requery => {
                 for (region, &n_r) in self.regions.iter().zip(&self.region_n) {
                     if n_r == 0 {
                         continue;
                     }
                     let c = self.index.count_with(region, labels);
+                    // Unreachable after the build-time integrity check
+                    // (count_with's n is label-independent); kept as a
+                    // debug-build tripwire only.
                     debug_assert_eq!(c.n, n_r, "region n must be world-invariant");
                     fold(c.n, c.p);
                 }
@@ -353,8 +586,50 @@ impl<I: CountingSubstrate> ScanEngine<I> {
     }
 }
 
-/// Resolves [`CountingStrategy::Auto`] from the measured membership
-/// density (see the module docs for the rule and rationale).
+/// Rejects member lists in which the substrate enumerated the same id
+/// twice for one region: the scalar replay would silently double-count
+/// `p(R)` (and inflate `n(R)`) in every world. Lists are sorted by
+/// construction, so one adjacent-equality sweep suffices.
+fn validate_membership_unique(m: &Membership) -> Result<(), ScanError> {
+    for r in 0..m.num_regions() {
+        if let Some(pair) = m.members(r).windows(2).find(|pair| pair[0] == pair[1]) {
+            return Err(ScanError::MembershipIntegrity {
+                reason: format!("region {r}: duplicate member id {}", pair[0]),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Cross-validates the substrate's aggregate region counts against its
+/// member-id enumeration — the two answers the requery world loop
+/// trusts to agree. Runs once per engine build, in release builds too
+/// (this is the promotion of the old hot-loop `debug_assert`, moved
+/// where it costs one enumeration instead of one branch per region per
+/// world).
+fn validate_count_integrity<I: CountingSubstrate>(
+    index: &I,
+    regions: &[sfgeo::Region],
+    region_n: &[u64],
+) -> Result<(), ScanError> {
+    for (r, (region, &aggregate_n)) in regions.iter().zip(region_n).enumerate() {
+        let mut enumerated_n = 0u64;
+        index.for_each_in(region, &mut |_| enumerated_n += 1);
+        if enumerated_n != aggregate_n {
+            return Err(ScanError::CountIntegrity {
+                region: r,
+                aggregate_n,
+                enumerated_n,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Resolves [`CountingStrategy::Auto`]'s membership-vs-requery leg
+/// from the measured membership density (see the module docs for the
+/// rule and rationale; the blocked upgrade happens afterwards, once
+/// the masks exist to measure).
 fn resolve_strategy(
     requested: CountingStrategy,
     total_ids: u64,
@@ -362,7 +637,9 @@ fn resolve_strategy(
     num_points: u64,
 ) -> CountingStrategy {
     match requested {
-        CountingStrategy::Membership | CountingStrategy::Requery => requested,
+        CountingStrategy::Membership | CountingStrategy::Requery | CountingStrategy::Blocked => {
+            requested
+        }
         CountingStrategy::Auto => {
             if total_ids <= AUTO_SMALL_INPUT_IDS {
                 return CountingStrategy::Membership;
@@ -407,7 +684,7 @@ mod tests {
     #[test]
     fn real_scan_counts_are_exact() {
         let o = outcomes();
-        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
         let real = e.scan_real(Direction::TwoSided);
         // Left half: 50 obs, all positive. Right half: 50 obs, none.
         assert_eq!(real.counts[0], CountPair::new(50, 50));
@@ -421,8 +698,8 @@ mod tests {
     #[test]
     fn membership_and_requery_agree() {
         let o = outcomes();
-        let mem = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
-        let req = ScanEngine::build(&o, &region_set(), CountingStrategy::Requery);
+        let mem = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
+        let req = ScanEngine::build(&o, &region_set(), CountingStrategy::Requery).unwrap();
         let a = mem.scan_real(Direction::TwoSided);
         let b = req.scan_real(Direction::TwoSided);
         assert_eq!(a.counts, b.counts);
@@ -438,15 +715,11 @@ mod tests {
     #[test]
     fn all_backends_produce_identical_scans_and_worlds() {
         let o = outcomes();
-        let reference = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let reference = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
         let ref_real = reference.scan_real(Direction::TwoSided);
         for backend in IndexBackend::ALL {
-            for strategy in [
-                CountingStrategy::Membership,
-                CountingStrategy::Requery,
-                CountingStrategy::Auto,
-            ] {
-                let e = ScanEngine::build_with(&o, &region_set(), backend, strategy);
+            for strategy in CountingStrategy::ALL {
+                let e = ScanEngine::build_with(&o, &region_set(), backend, strategy).unwrap();
                 let real = e.scan_real(Direction::TwoSided);
                 assert_eq!(real.counts, ref_real.counts, "{backend} {strategy:?}");
                 assert_eq!(real.llrs, ref_real.llrs, "{backend} {strategy:?}");
@@ -456,7 +729,14 @@ mod tests {
                     let labels = e.generate_world(NullModel::Permutation, &mut rng);
                     let mut ref_rng = sfstats::rng::world_rng(9, world);
                     let ref_labels = reference.generate_world(NullModel::Permutation, &mut ref_rng);
-                    assert_eq!(labels, ref_labels, "worlds must not depend on backend");
+                    if e.resolved_strategy() == CountingStrategy::Blocked {
+                        // Blocked engines store the same world in
+                        // Morton layout: the label multiset (and every
+                        // count) is unchanged, only bit positions move.
+                        assert_eq!(labels.count_ones(), ref_labels.count_ones());
+                    } else {
+                        assert_eq!(labels, ref_labels, "worlds must not depend on backend");
+                    }
                     assert_eq!(
                         e.eval_world(&labels, Direction::TwoSided),
                         reference.eval_world(&ref_labels, Direction::TwoSided),
@@ -468,11 +748,173 @@ mod tests {
     }
 
     #[test]
-    fn auto_resolves_to_membership_on_small_inputs() {
+    fn auto_upgrades_dense_small_inputs_to_blocked() {
+        // 100 grid points, two half-plane regions: the Morton layout
+        // packs each half into a handful of words, so Auto's
+        // membership pick upgrades to blocked counting.
         let o = outcomes();
-        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Auto);
-        assert_eq!(e.resolved_strategy(), CountingStrategy::Membership);
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Auto).unwrap();
+        assert_eq!(e.resolved_strategy(), CountingStrategy::Blocked);
         assert_eq!(e.total_membership_ids(), 100);
+        assert!(
+            e.blocked_ids_per_word().unwrap() >= AUTO_BLOCKED_MIN_IDS_PER_WORD,
+            "density {:?}",
+            e.blocked_ids_per_word()
+        );
+    }
+
+    #[test]
+    fn auto_keeps_membership_when_masks_are_sparse() {
+        // One-point regions: every mask holds a single bit, so the
+        // popcnt sweep cannot beat the scalar gather and Auto stays on
+        // membership replay.
+        let o = outcomes();
+        let singles = RegionSet::from_regions(
+            o.points()
+                .iter()
+                .step_by(7)
+                .map(|p| sfgeo::Region::Rect(Rect::square(*p, 0.2)))
+                .collect(),
+        );
+        let e = ScanEngine::build(&o, &singles, CountingStrategy::Auto).unwrap();
+        assert_eq!(e.resolved_strategy(), CountingStrategy::Membership);
+        assert!(e.blocked_ids_per_word().is_none());
+    }
+
+    #[test]
+    fn blocked_strategy_matches_membership_taus() {
+        let o = outcomes();
+        let mem = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
+        let blk = ScanEngine::build(&o, &region_set(), CountingStrategy::Blocked).unwrap();
+        assert_eq!(blk.resolved_strategy(), CountingStrategy::Blocked);
+        let a = mem.scan_real(Direction::TwoSided);
+        let b = blk.scan_real(Direction::TwoSided);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.llrs, b.llrs);
+        for null_model in [NullModel::Bernoulli, NullModel::Permutation] {
+            for w in 0..10 {
+                let mut rng = sfstats::rng::world_rng(31, w);
+                let mem_world = mem.generate_world(null_model, &mut rng);
+                let mut rng = sfstats::rng::world_rng(31, w);
+                let blk_world = blk.generate_world(null_model, &mut rng);
+                assert_eq!(mem_world.count_ones(), blk_world.count_ones());
+                assert_eq!(
+                    mem.eval_world(&mem_world, Direction::TwoSided),
+                    blk.eval_world(&blk_world, Direction::TwoSided),
+                    "{null_model:?} world {w}"
+                );
+            }
+        }
+    }
+
+    /// A substrate whose aggregate counts lie relative to its id
+    /// enumeration — the corruption class the build-time integrity
+    /// check exists to catch (in release builds, where a
+    /// `debug_assert` would wave it through).
+    struct LyingIndex {
+        inner: sfindex::BruteForceIndex,
+    }
+
+    impl sfindex::RangeCount for LyingIndex {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn total(&self) -> CountPair {
+            self.inner.total()
+        }
+        fn count(&self, region: &sfgeo::Region) -> CountPair {
+            let c = self.inner.count(region);
+            // Inflate n(R): enumeration will disagree.
+            CountPair { n: c.n + 1, p: c.p }
+        }
+    }
+
+    impl sfindex::PointVisit for LyingIndex {
+        fn for_each_in(&self, region: &sfgeo::Region, visit: &mut dyn FnMut(u32)) {
+            self.inner.for_each_in(region, visit)
+        }
+    }
+
+    #[test]
+    fn count_integrity_violation_is_rejected_at_build() {
+        // Both strategies that consult aggregate counts must refuse a
+        // lying substrate: Requery (worlds re-enumerate against the
+        // aggregate n(R)) and Auto (the aggregate drives the density
+        // decision but enumeration does the counting).
+        let o = outcomes();
+        for strategy in [CountingStrategy::Requery, CountingStrategy::Auto] {
+            let index = LyingIndex {
+                inner: sfindex::BruteForceIndex::build(o.points().to_vec(), o.bit_labels()),
+            };
+            let err = ScanEngine::from_index(index, &o, &region_set(), strategy)
+                .err()
+                .expect("a lying substrate must not produce an engine");
+            // This must hold in release builds too — it replaced a
+            // debug_assert in the world-evaluation hot path.
+            assert!(
+                matches!(
+                    err,
+                    ScanError::CountIntegrity {
+                        region: 0,
+                        aggregate_n: 51,
+                        enumerated_n: 50,
+                    }
+                ),
+                "unexpected error {err:?} for {strategy:?}"
+            );
+            assert!(err.to_string().contains("count integrity"));
+        }
+    }
+
+    /// A substrate that enumerates an id twice — `Membership::build`
+    /// sorts and range-checks but cannot reject duplicates, so the
+    /// blocked compilation is the backstop.
+    struct DoubleVisitIndex {
+        inner: sfindex::BruteForceIndex,
+    }
+
+    impl sfindex::RangeCount for DoubleVisitIndex {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn total(&self) -> CountPair {
+            self.inner.total()
+        }
+        fn count(&self, region: &sfgeo::Region) -> CountPair {
+            self.inner.count(region)
+        }
+    }
+
+    impl sfindex::PointVisit for DoubleVisitIndex {
+        fn for_each_in(&self, region: &sfgeo::Region, visit: &mut dyn FnMut(u32)) {
+            let mut first = true;
+            self.inner.for_each_in(region, &mut |id| {
+                if first {
+                    // Repeat the first member of every region.
+                    visit(id);
+                    first = false;
+                }
+                visit(id);
+            });
+        }
+    }
+
+    #[test]
+    fn duplicate_enumeration_is_an_error_not_a_panic() {
+        let o = outcomes();
+        for strategy in [CountingStrategy::Blocked, CountingStrategy::Membership] {
+            let index = DoubleVisitIndex {
+                inner: sfindex::BruteForceIndex::build(o.points().to_vec(), o.bit_labels()),
+            };
+            let err = ScanEngine::from_index(index, &o, &region_set(), strategy)
+                .err()
+                .expect("duplicate member ids must not count");
+            assert!(
+                matches!(err, ScanError::MembershipIntegrity { .. }),
+                "unexpected error {err:?} for {strategy:?}"
+            );
+            assert!(err.to_string().contains("duplicate"));
+        }
     }
 
     #[test]
@@ -498,12 +940,13 @@ mod tests {
         // Explicit strategies pass through untouched.
         assert_eq!(resolve_strategy(Membership, u64::MAX, 1, 1), Membership);
         assert_eq!(resolve_strategy(Requery, 0, 1, 1), Requery);
+        assert_eq!(resolve_strategy(Blocked, u64::MAX, 1, 1), Blocked);
     }
 
     #[test]
     fn bernoulli_worlds_vary_in_totals() {
         let o = outcomes();
-        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
         let mut totals = std::collections::HashSet::new();
         for w in 0..20 {
             let mut rng = sfstats::rng::world_rng(1, w);
@@ -516,7 +959,7 @@ mod tests {
     #[test]
     fn permutation_worlds_preserve_totals() {
         let o = outcomes();
-        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
         for w in 0..20 {
             let mut rng = sfstats::rng::world_rng(1, w);
             let labels = e.generate_world(NullModel::Permutation, &mut rng);
@@ -527,7 +970,7 @@ mod tests {
     #[test]
     fn permutation_worlds_shuffle_positions() {
         let o = outcomes();
-        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
         let mut rng = sfstats::rng::world_rng(2, 0);
         let a = e.generate_world(NullModel::Permutation, &mut rng);
         let mut rng = sfstats::rng::world_rng(2, 1);
@@ -540,7 +983,7 @@ mod tests {
         // Generating the same world repeatedly on one thread (dirty
         // scratch buffer) must give identical labels every time.
         let o = outcomes();
-        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
         let draws: Vec<BitLabels> = (0..3)
             .map(|_| {
                 let mut rng = sfstats::rng::world_rng(4, 7);
@@ -562,8 +1005,12 @@ mod tests {
     fn multi_direction_eval_matches_single_direction() {
         let o = outcomes();
         let dirs = [Direction::TwoSided, Direction::High, Direction::Low];
-        for strategy in [CountingStrategy::Membership, CountingStrategy::Requery] {
-            let e = ScanEngine::build(&o, &region_set(), strategy);
+        for strategy in [
+            CountingStrategy::Membership,
+            CountingStrategy::Requery,
+            CountingStrategy::Blocked,
+        ] {
+            let e = ScanEngine::build(&o, &region_set(), strategy).unwrap();
             for w in 0..10 {
                 let mut rng = sfstats::rng::world_rng(6, w);
                 let labels = e.generate_world(NullModel::Bernoulli, &mut rng);
@@ -584,10 +1031,23 @@ mod tests {
     #[should_panic(expected = "one output slot")]
     fn multi_direction_eval_validates_slots() {
         let o = outcomes();
-        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
         let labels = BitLabels::from_bools(o.labels());
         let mut out = [0.0; 1];
         e.eval_world_into(&labels, &[Direction::High, Direction::Low], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bit per indexed point")]
+    fn eval_world_rejects_wrong_length_labels() {
+        // A 70-bit world over a 100-point engine occupies the same
+        // number of blocks, so without the explicit length check the
+        // tail ids would silently read zero — this must fail fast in
+        // release builds too.
+        let o = outcomes();
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
+        let short = BitLabels::from_fn(70, |i| i % 2 == 0);
+        let _ = e.eval_world(&short, Direction::TwoSided);
     }
 
     #[test]
@@ -595,7 +1055,7 @@ mod tests {
         // The real data is maximally unfair; simulated fair worlds must
         // have much smaller taus.
         let o = outcomes();
-        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
         let real = e.scan_real(Direction::TwoSided);
         for w in 0..30 {
             let mut rng = sfstats::rng::world_rng(3, w);
@@ -612,7 +1072,7 @@ mod tests {
     #[test]
     fn direction_filters_the_best_region() {
         let o = outcomes();
-        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership);
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
         // Left half (index 0) is the HIGH region; right half is LOW.
         let high = e.scan_real(Direction::High);
         assert_eq!(high.best_index, 0);
@@ -629,7 +1089,7 @@ mod tests {
             sfgeo::Region::Rect(Rect::from_coords(50.0, 50.0, 60.0, 60.0)), // empty
             sfgeo::Region::Rect(Rect::from_coords(0.0, 0.0, 5.0, 10.0)),    // left half
         ]);
-        let e = ScanEngine::build(&o, &rs, CountingStrategy::Membership);
+        let e = ScanEngine::build(&o, &rs, CountingStrategy::Membership).unwrap();
         let real = e.scan_real(Direction::TwoSided);
         assert_eq!(real.counts[0], CountPair::default());
         assert_eq!(real.llrs[0], 0.0);

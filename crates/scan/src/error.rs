@@ -40,6 +40,31 @@ pub enum ScanError {
         /// What is wrong with the request.
         reason: String,
     },
+    /// The index's aggregate range count disagrees with its member-id
+    /// enumeration for a region. Every Monte Carlo world trusts the
+    /// world-invariant `n(R)` measured at engine build, so a
+    /// disagreement would silently corrupt every simulated `τ` — the
+    /// engine validates the two answers against each other once at
+    /// build time (in release builds too) and refuses to serve a
+    /// substrate that fails.
+    CountIntegrity {
+        /// Region where the counts disagree.
+        region: usize,
+        /// `n(R)` from the aggregate range-count query.
+        aggregate_n: u64,
+        /// `n(R)` from enumerating member ids.
+        enumerated_n: u64,
+    },
+    /// The index's member-id enumeration produced lists the blocked
+    /// compilation rejects (e.g. the same id visited twice for one
+    /// region). `Membership::build` sorts and range-checks what the
+    /// substrate enumerates, but duplicates still get through it —
+    /// compiling them into masks would silently undercount, so the
+    /// engine surfaces the compilation error instead.
+    MembershipIntegrity {
+        /// The blocked compiler's rejection, verbatim.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ScanError {
@@ -60,6 +85,21 @@ impl std::fmt::Display for ScanError {
             ScanError::InvalidRequest { reason } => {
                 write!(f, "invalid audit request: {reason}")
             }
+            ScanError::CountIntegrity {
+                region,
+                aggregate_n,
+                enumerated_n,
+            } => write!(
+                f,
+                "count integrity violation in region {region}: aggregate n(R) = {aggregate_n} \
+                 but id enumeration yields {enumerated_n}; refusing to serve a substrate whose \
+                 counts disagree"
+            ),
+            ScanError::MembershipIntegrity { reason } => write!(
+                f,
+                "membership integrity violation: {reason}; refusing to serve a substrate whose \
+                 member-id enumeration cannot compile into exact counting masks"
+            ),
         }
     }
 }

@@ -352,6 +352,10 @@ impl PreparedAudit {
     /// * [`ScanError::EmptyRegionSet`] — no regions to scan.
     /// * [`ScanError::DegenerateOutcomes`] — all labels equal; the scan
     ///   statistic is vacuous.
+    /// * [`ScanError::CountIntegrity`] — the index backend's aggregate
+    ///   counts disagree with its id enumeration (engine build
+    ///   cross-validates them once rather than letting every simulated
+    ///   `τ` silently corrupt).
     pub fn prepare(
         outcomes: &SpatialOutcomes,
         regions: &RegionSet,
@@ -361,7 +365,7 @@ impl PreparedAudit {
         if regions.is_empty() {
             return Err(ScanError::EmptyRegionSet);
         }
-        let engine = ScanEngine::build_with(outcomes, regions, config.backend, config.strategy);
+        let engine = ScanEngine::build_with(outcomes, regions, config.backend, config.strategy)?;
         Ok(PreparedAudit {
             engine,
             regions: regions.clone(),

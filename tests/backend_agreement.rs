@@ -38,12 +38,8 @@ fn mixed_regions(outcomes: &SpatialOutcomes) -> RegionSet {
     RegionSet::from_regions(regions)
 }
 
-fn strategies() -> [CountingStrategy; 3] {
-    [
-        CountingStrategy::Membership,
-        CountingStrategy::Requery,
-        CountingStrategy::Auto,
-    ]
+fn strategies() -> [CountingStrategy; 4] {
+    CountingStrategy::ALL
 }
 
 #[test]

@@ -73,7 +73,8 @@ fn polygon_counts_match_brute_force_through_the_engine() {
         &outcomes,
         &region_set,
         spatial_fairness::scan::CountingStrategy::Membership,
-    );
+    )
+    .unwrap();
     let real = engine.scan_real(Direction::TwoSided);
     assert_eq!(real.counts[0].n, n);
     assert_eq!(real.counts[0].p, p);
