@@ -10,7 +10,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sfdata::synth::SynthConfig;
 use sfscan::prepared::{AuditRequest, PreparedAudit};
-use sfscan::{AuditConfig, Auditor, Direction, McStrategy, RegionSet};
+use sfscan::{AuditConfig, Auditor, Direction, McStrategy, RegionSet, WorldCache};
 
 fn request_mix(base: &AuditConfig, count: usize) -> Vec<AuditRequest> {
     let directions = [Direction::TwoSided, Direction::High, Direction::Low];
@@ -73,6 +73,18 @@ fn bench(c: &mut Criterion) {
     // long-lived; measure the steady-state drain cost too.
     g.bench_function("batched_prepared_once", |b| {
         b.iter(|| prepared.run_batch(black_box(&requests)))
+    });
+    // The cross-batch cache hit: one cold batch warms the cache, then
+    // every iteration replays its τ-streams — zero simulated worlds.
+    let mut warm_cache = WorldCache::new();
+    let (warm_reports, _) = prepared.run_batch_cached(&requests, &mut warm_cache);
+    assert_eq!(warm_reports, batched, "cached path stays bit-identical");
+    g.bench_function("batched_warm_cache", |b| {
+        b.iter(|| {
+            let (reports, stats) = prepared.run_batch_cached(black_box(&requests), &mut warm_cache);
+            assert_eq!(stats.unique_worlds, 0, "warm drains simulate nothing");
+            reports
+        })
     });
     g.finish();
 }

@@ -27,6 +27,11 @@ pub struct Options {
     pub requests: usize,
     /// `serve-bench`: output path for the machine-readable results.
     pub out: String,
+    /// `serve`: JSONL request file (None reads stdin).
+    pub input: Option<String>,
+    /// `serve`: drain policy — execute a handle's queue as soon as it
+    /// holds this many requests (None = manual, flush at EOF).
+    pub max_pending: Option<usize>,
 }
 
 impl Default for Options {
@@ -39,7 +44,9 @@ impl Default for Options {
             strategy: CountingStrategy::default(),
             mc_strategy: McStrategy::FullBudget,
             requests: 24,
-            out: "BENCH_PR3.json".to_string(),
+            out: "BENCH_PR4.json".to_string(),
+            input: None,
+            max_pending: None,
         }
     }
 }

@@ -19,6 +19,7 @@
 //! cargo run --release -p experiments -- fig12     # one-sided "green" regions (B.2)
 //! cargo run --release -p experiments -- complexity# O(M*N*Q) cost model measurements
 //! cargo run --release -p experiments -- serve-bench # batched serving vs rebuild-per-request
+//! cargo run --release -p experiments -- serve     # JSONL request/response loop (AuditService)
 //! cargo run --release -p experiments -- all       # everything above in order
 //! ```
 //!
@@ -29,9 +30,11 @@
 //! <full-budget|early-stop|early-stop(batch=N)>` (budget strategy),
 //! `--early-stop` (shorthand for `--mc early-stop`). `serve-bench`
 //! additionally takes `--requests <n>` and `--out <path>` (default
-//! `BENCH_PR3.json`). The backend/strategy/mc values are parsed with
-//! the types' `FromStr` impls, so error messages list the valid
-//! values.
+//! `BENCH_PR4.json`); `serve` takes `--input <path>` (JSONL request
+//! envelopes; default stdin) and `--max-pending <n>` (drain policy;
+//! default manual, one batch at EOF). The backend/strategy/mc values
+//! are parsed with the types' `FromStr` impls, so error messages list
+//! the valid values.
 
 mod common;
 mod complexity;
@@ -42,6 +45,7 @@ mod fig5;
 mod fig6;
 mod fig78;
 mod fig9;
+mod serve_cmd;
 mod servebench;
 
 use common::Options;
@@ -99,6 +103,18 @@ fn main() {
                     .cloned()
                     .unwrap_or_else(|| die("--out needs a path"));
             }
+            "--input" => {
+                i += 1;
+                opts.input = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--input needs a path")),
+                );
+            }
+            "--max-pending" => {
+                i += 1;
+                opts.max_pending = Some(parse_flag("--max-pending", args.get(i)));
+            }
             arg if !arg.starts_with('-') && command.is_none() => {
                 command = Some(arg.to_string());
             }
@@ -126,6 +142,7 @@ fn run(command: &str, opts: &Options) {
         "fig12" => fig5::run_fig12(opts),
         "complexity" => complexity::run(opts),
         "serve-bench" => servebench::run(opts),
+        "serve" => serve_cmd::run(opts),
         "all" => {
             for c in [
                 "fig1",
@@ -153,11 +170,11 @@ fn run(command: &str, opts: &Options) {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <fig1..fig12|complexity|serve-bench|all> [--quick] [--seed N] \
+        "usage: experiments <fig1..fig12|complexity|serve-bench|serve|all> [--quick] [--seed N] \
          [--worlds N] [--backend <brute|kdtree|quadtree|rtree|grid>] \
          [--strategy <membership|requery|blocked|auto>] \
          [--mc <full-budget|early-stop|early-stop(batch=N)>] [--early-stop] \
-         [--requests N] [--out PATH]"
+         [--requests N] [--out PATH] [--input PATH] [--max-pending N]"
     );
     std::process::exit(2);
 }

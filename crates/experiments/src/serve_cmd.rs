@@ -1,0 +1,140 @@
+//! `serve`: the JSONL reference transport over one [`AuditService`].
+//!
+//! Reads [`RequestEnvelope`] lines (`{"handle": 0, "request": {…}}`)
+//! from `--input <path>` (or stdin), routes them through a service
+//! hosting the synthetic benchmark dataset, and writes exactly one
+//! [`ResponseEnvelope`] line per input line to stdout, in input order:
+//!
+//! ```text
+//! {"ticket": 0, "status": "ready", "report": {…}, "error": null}
+//! {"ticket": null, "status": "rejected", "report": null, "error": "…"}
+//! ```
+//!
+//! Stdout is *pure* JSONL (all narration goes to stderr), so the
+//! output pipes straight into `jq`/`grep`-style consumers — the CI
+//! smoke step does exactly that. Handles are assigned `0, 1, …` in
+//! registration order; this harness registers one dataset, so request
+//! lines address `"handle": 0` (announced on stderr).
+//!
+//! `--max-pending N` switches the drain policy from manual
+//! (everything executes in one batch at EOF) to
+//! [`DrainPolicy::MaxPending`], so batches execute mid-stream exactly
+//! as a long-running deployment's would. Either way every accepted
+//! ticket is ready once the final flush runs, and repeated request
+//! lines are answered from the session's world cache (the closing
+//! stderr summary prints the `ServerStats` line with the cache
+//! counters).
+
+use crate::common::Options;
+use sfdata::synth::SynthConfig;
+use sfscan::{AuditConfig, RegionSet};
+use sfserve::{AuditService, DrainPolicy, ResponseEnvelope, Ticket};
+use std::io::{BufRead, Write};
+
+/// One input line's fate: a ticket to poll at the end, or an
+/// immediate rejection message.
+type LineOutcome = Result<Ticket, String>;
+
+/// Runs the JSONL serving loop.
+pub fn run(opts: &Options) {
+    // Unlike the figure harnesses, all narration goes to stderr:
+    // stdout carries nothing but response envelopes.
+    eprintln!("[serve] JSONL request/response envelopes over one AuditService");
+
+    let n = if opts.quick { 2_000 } else { 20_000 };
+    let outcomes = SynthConfig {
+        per_half: n / 2,
+        ..SynthConfig::paper()
+    }
+    .generate(opts.seed);
+    let regions = RegionSet::regular_grid(outcomes.expanded_bounding_box(), 16, 16);
+    let base = opts.decorate(
+        AuditConfig::new(Options::ALPHA)
+            .with_worlds(opts.effective_worlds())
+            .with_seed(opts.seed),
+    );
+
+    let mut service = match opts.max_pending {
+        Some(limit) => AuditService::new().with_policy(DrainPolicy::MaxPending(limit)),
+        None => AuditService::new(),
+    };
+    let handle = service
+        .register(&outcomes, &regions, base)
+        .expect("the synthetic benchmark dataset is auditable");
+    eprintln!(
+        "[serve] registered {} points x {} regions as handle {} \
+         (request lines use \"handle\": {})",
+        outcomes.len(),
+        regions.len(),
+        handle.0,
+        handle.0
+    );
+
+    let outcomes_per_line = match &opts.input {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .unwrap_or_else(|e| panic!("cannot open --input {path}: {e}"));
+            read_lines(std::io::BufReader::new(file), &mut service)
+        }
+        None => {
+            eprintln!("[serve] reading JSONL requests from stdin");
+            let stdin = std::io::stdin();
+            let lock = stdin.lock();
+            read_lines(lock, &mut service)
+        }
+    };
+
+    // EOF: execute whatever the policy left queued, then answer every
+    // line in input order.
+    service.flush();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut served = 0usize;
+    for outcome in &outcomes_per_line {
+        let envelope = match outcome {
+            // take() claims the response outright — no poll-then-take
+            // double clone of the embedded simulated distribution.
+            Ok(ticket) => match service.take(*ticket) {
+                Some(response) => {
+                    served += 1;
+                    ResponseEnvelope::ready(response)
+                }
+                None => ResponseEnvelope::from_status(*ticket, service.poll(*ticket)),
+            },
+            Err(message) => ResponseEnvelope {
+                ticket: None,
+                status: sfserve::WireStatus::Rejected,
+                report: None,
+                error: Some(message.clone()),
+            },
+        };
+        writeln!(out, "{}", envelope.to_json()).expect("stdout is writable");
+    }
+    out.flush().expect("stdout is writable");
+    eprintln!(
+        "[serve] {} lines in, {} served, {} rejected; {}",
+        outcomes_per_line.len(),
+        served,
+        outcomes_per_line.len() - served,
+        service.stats()
+    );
+}
+
+/// Feeds every input line to the service, recording each line's fate.
+fn read_lines(reader: impl BufRead, service: &mut AuditService) -> Vec<LineOutcome> {
+    let mut outcomes = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.unwrap_or_else(|e| panic!("cannot read request line {}: {e}", i + 1));
+        if line.trim().is_empty() {
+            continue;
+        }
+        outcomes.push(match service.submit_json(&line) {
+            Ok(ticket) => Ok(ticket),
+            Err(e) => {
+                eprintln!("[serve] line {}: rejected: {e}", i + 1);
+                Err(e.to_string())
+            }
+        });
+    }
+    outcomes
+}

@@ -1,17 +1,22 @@
 //! `serve-bench`: batched multi-audit serving vs rebuild-per-request,
-//! plus blocked vs scalar world counting on the same workload.
+//! warm-cache vs cold-batch serving, plus blocked vs scalar world
+//! counting on the same workload.
 //!
 //! The serving layer's promise is that the expensive artifacts (index,
 //! membership CSR, region totals) and the simulated worlds are shared
-//! across a request stream. This benchmark queues a mixed batch of
-//! audit requests (directions × alphas × seeds × budget strategies),
-//! serves it three ways —
+//! across a request stream — and, since the v2 [`AuditService`], across
+//! *batches* via the per-session world cache. This benchmark queues a
+//! mixed batch of audit requests (directions × alphas × seeds × budget
+//! strategies), serves it four ways —
 //!
 //! * **rebuild**: a fresh [`Auditor`] per request (engine rebuilt every
 //!   time, worlds generated per request),
-//! * **batched**: one [`AuditServer`] holding one `PreparedAudit`,
-//!   every request submitted then drained as a single batch, and
-//! * **batched+blocked**: the same server with
+//! * **batched**: one [`AuditService`] session, every request
+//!   submitted (tickets) then flushed as a single cold batch,
+//! * **warm**: the *same* requests resubmitted to the same session, so
+//!   every world class replays its cached τ-stream — **zero** new
+//!   simulated worlds, proven by `CacheStats`, and
+//! * **batched+blocked**: a cold service with
 //!   [`CountingStrategy::Blocked`], so every shared world is counted
 //!   by masked popcounts over the Morton-blocked membership CSR —
 //!
@@ -19,7 +24,7 @@
 //! counting pass (scalar `count_at` membership replay vs blocked
 //! popcnt sweep, asserted `>= 3x` at full scale), and persists the
 //! machine-readable comparison so the performance trajectory is
-//! tracked across PRs (`BENCH_PR3.json`; format documented in the
+//! tracked across PRs (`BENCH_PR4.json`; format documented in the
 //! README's benchmark-artifact section).
 
 use crate::common::{banner, report_row, Options};
@@ -28,7 +33,7 @@ use sfdata::synth::SynthConfig;
 use sfscan::engine::ScanEngine;
 use sfscan::prepared::AuditRequest;
 use sfscan::{AuditConfig, Auditor, CountingStrategy, Direction, McStrategy, NullModel, RegionSet};
-use sfserve::AuditServer;
+use sfserve::AuditService;
 use std::time::Instant;
 
 /// The speedup the blocked counting path must clear over the scalar
@@ -36,7 +41,7 @@ use std::time::Instant;
 const COUNTING_SPEEDUP_TARGET: f64 = 3.0;
 
 /// Machine-readable benchmark record (written to `--out`,
-/// `BENCH_PR3.json` by default).
+/// `BENCH_PR4.json` by default).
 #[derive(Debug, Clone, Serialize)]
 struct ServeBenchRecord {
     /// What produced this record.
@@ -57,6 +62,23 @@ struct ServeBenchRecord {
     batched_ms: f64,
     /// Batched serving with blocked counting, milliseconds.
     batched_blocked_ms: f64,
+    /// One-time session registration (engine build) inside
+    /// `batched_ms`, milliseconds.
+    register_ms: f64,
+    /// The same requests resubmitted to the warmed session, ms.
+    warm_ms: f64,
+    /// `(batched_ms − register_ms) / warm_ms` — what the cross-batch
+    /// world cache saves a repeat batch, serve time vs serve time (a
+    /// repeat never pays registration).
+    warm_speedup: f64,
+    /// Worlds simulated by the warm batch (asserted **0**).
+    warm_unique_worlds: u64,
+    /// Worlds the warm batch replayed from the session cache.
+    warm_worlds_replayed: u64,
+    /// Warm-batch group executions that hit the cache.
+    warm_cache_hits: u64,
+    /// Warm responses byte-equal to the cold ones (asserted).
+    warm_bit_identical: bool,
     /// `rebuild_ms / batched_ms`.
     speedup: f64,
     /// `rebuild_ms / batched_blocked_ms`.
@@ -187,25 +209,66 @@ pub fn run(opts: &Options) {
     let rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
     let rebuild_worlds: usize = rebuilt.iter().map(|r| r.worlds_evaluated).sum();
 
-    // Path B: prepare once, submit everything, drain one batch.
+    // Path B: register once, submit everything (tickets), flush one
+    // cold batch. Registration (the one-time engine build) is timed
+    // separately so the warm comparison below is serve-vs-serve.
     let t = Instant::now();
-    let mut server = AuditServer::new(&outcomes, &regions, base).expect("auditable");
+    let mut service = AuditService::new();
+    let handle = service
+        .register(&outcomes, &regions, base)
+        .expect("auditable");
+    let register_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
     for request in &requests {
-        server.submit(*request);
+        service.submit(handle, *request).expect("valid request");
     }
-    let responses = server.drain();
-    let batched_ms = t.elapsed().as_secs_f64() * 1e3;
-    let stats = *server.stats();
+    service.flush();
+    let responses = service.take_ready();
+    let batched_serve_ms = t.elapsed().as_secs_f64() * 1e3;
+    let batched_ms = register_ms + batched_serve_ms;
+    let stats = *service.stats();
 
-    // Path C: the same batch with blocked world counting.
+    // Path B': the SAME requests against the warmed session — every
+    // world class replays its cached τ-stream; nothing is simulated.
+    let t = Instant::now();
+    for request in &requests {
+        service.submit(handle, *request).expect("valid request");
+    }
+    service.flush();
+    let warm_responses = service.take_ready();
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    let warm_stats = *service.stats();
+    let warm_unique_worlds = warm_stats.unique_worlds - stats.unique_worlds;
+    let warm_worlds_replayed = warm_stats.worlds_replayed - stats.worlds_replayed;
+    let warm_cache_hits = warm_stats.cache_hits - stats.cache_hits;
+    let warm_bit_identical = responses
+        .iter()
+        .zip(&warm_responses)
+        .all(|(a, b)| a.report == b.report);
+    assert!(
+        warm_bit_identical,
+        "warm-cache responses must be bit-identical to the cold batch"
+    );
+    assert_eq!(
+        warm_unique_worlds, 0,
+        "a repeat batch must simulate ZERO new worlds ({warm_stats:?})"
+    );
+    assert!(warm_worlds_replayed > 0 && warm_cache_hits > 0);
+
+    // Path C: a cold service with blocked world counting.
     let blocked_base = base.with_strategy(CountingStrategy::Blocked);
     let t = Instant::now();
-    let mut blocked_server =
-        AuditServer::new(&outcomes, &regions, blocked_base).expect("auditable");
+    let mut blocked_service = AuditService::new();
+    let blocked_handle = blocked_service
+        .register(&outcomes, &regions, blocked_base)
+        .expect("auditable");
     for request in &requests {
-        blocked_server.submit(*request);
+        blocked_service
+            .submit(blocked_handle, *request)
+            .expect("valid request");
     }
-    let blocked_responses = blocked_server.drain();
+    blocked_service.flush();
+    let blocked_responses = blocked_service.take_ready();
     let batched_blocked_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let bit_identical = rebuilt.iter().zip(&responses).all(|(a, b)| *a == b.report)
@@ -291,6 +354,13 @@ pub fn run(opts: &Options) {
         rebuild_ms,
         batched_ms,
         batched_blocked_ms,
+        register_ms,
+        warm_ms,
+        warm_speedup: batched_serve_ms / warm_ms,
+        warm_unique_worlds,
+        warm_worlds_replayed,
+        warm_cache_hits,
+        warm_bit_identical,
         speedup: rebuild_ms / batched_ms,
         blocked_speedup: rebuild_ms / batched_blocked_ms,
         rebuild_per_s: requests.len() as f64 / (rebuild_ms / 1e3),
@@ -325,6 +395,14 @@ pub fn run(opts: &Options) {
         &format!(
             "{batched_blocked_ms:.0} ms ({:.1} audits/s)",
             record.batched_blocked_per_s
+        ),
+    );
+    report_row(
+        "warm cache (repeat batch)",
+        "0 new worlds",
+        &format!(
+            "{warm_ms:.0} ms ({:.2}x over cold, {} replayed, {} simulated)",
+            record.warm_speedup, record.warm_worlds_replayed, record.warm_unique_worlds
         ),
     );
     report_row(

@@ -67,6 +67,18 @@ pub enum ScanError {
     },
 }
 
+impl ScanError {
+    /// An [`ScanError::InvalidRequest`] with the given reason —
+    /// convenience for the request-validation call sites (the scan
+    /// layer's [`AuditRequest::validate`](crate::prepared::AuditRequest::validate)
+    /// and the serving layer's submission guards build these).
+    pub fn invalid_request(reason: impl Into<String>) -> Self {
+        ScanError::InvalidRequest {
+            reason: reason.into(),
+        }
+    }
+}
+
 impl std::fmt::Display for ScanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

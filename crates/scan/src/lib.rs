@@ -73,6 +73,7 @@ pub mod rates;
 pub mod regions;
 pub mod report;
 pub mod suite;
+pub mod worldcache;
 
 pub use audit::Auditor;
 pub use config::{
@@ -87,3 +88,4 @@ pub use rates::{audit_rates, audit_rates_batch, CellCounts, RateReport};
 pub use regions::RegionSet;
 pub use report::{AuditReport, RegionFinding, Verdict};
 pub use suite::{run_suite, SuiteReport};
+pub use worldcache::{CacheStats, WorldCache};

@@ -44,6 +44,7 @@ use crate::error::ScanError;
 use crate::outcomes::SpatialOutcomes;
 use crate::regions::RegionSet;
 use crate::report::{AuditReport, RegionFinding};
+use crate::worldcache::WorldCache;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use sfindex::Substrate;
@@ -163,19 +164,20 @@ impl AuditRequest {
     /// `alpha` outside `(0, 1)`, zero `worlds`, or a zero early-stop
     /// batch size.
     pub fn validate(&self) -> Result<(), ScanError> {
-        let invalid = |reason: String| ScanError::InvalidRequest { reason };
         if !(self.alpha > 0.0 && self.alpha < 1.0) {
-            return Err(invalid(format!(
+            return Err(ScanError::invalid_request(format!(
                 "alpha must be in (0,1), got {}",
                 self.alpha
             )));
         }
         if self.worlds == 0 {
-            return Err(invalid("need at least one simulated world".into()));
+            return Err(ScanError::invalid_request(
+                "need at least one simulated world",
+            ));
         }
         if let McStrategy::EarlyStop { batch_size } = self.mc_strategy {
             if batch_size == 0 {
-                return Err(invalid("batch_size must be positive".into()));
+                return Err(ScanError::invalid_request("batch_size must be positive"));
             }
         }
         Ok(())
@@ -281,34 +283,43 @@ impl ExecutionPlan {
     }
 }
 
-/// Accounting for one executed batch.
+/// Accounting for one executed batch. Counters are `u64` end-to-end
+/// so lifetime aggregation (`ServerStats` in `sfserve`) absorbs them
+/// without a single lossy cast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct BatchStats {
     /// Requests served.
-    pub requests: usize,
+    pub requests: u64,
     /// World-sharing groups the batch planned into.
-    pub groups: usize,
-    /// Worlds actually generated and counted (each one serving every
-    /// compatible request).
-    pub unique_worlds: usize,
+    pub groups: u64,
+    /// Worlds actually generated and counted this batch (each one
+    /// serving every compatible request).
+    pub unique_worlds: u64,
+    /// Worlds answered from a prior batch's cached τ-stream instead of
+    /// being simulated (the cross-batch [`WorldCache`] resume path).
+    pub worlds_replayed: u64,
+    /// Groups that replayed at least one cached world.
+    pub cache_hits: u64,
     /// `Σ` per-request `worlds_evaluated` — what sequential single
     /// audits would have generated and counted.
-    pub lane_worlds: usize,
+    pub lane_worlds: u64,
     /// `Σ` per-request budgets — the cost ceiling without sharing or
     /// early stopping.
-    pub budget_total: usize,
+    pub budget_total: u64,
 }
 
 impl BatchStats {
-    /// Worlds that were *replayed* from a shared stream instead of
-    /// being regenerated (`lane_worlds − unique_worlds`).
-    pub fn worlds_shared(&self) -> usize {
-        self.lane_worlds.saturating_sub(self.unique_worlds)
+    /// Lane-worlds that were *replayed* from this batch's shared
+    /// streams instead of being regenerated
+    /// (`lane_worlds − unique_worlds − worlds_replayed`).
+    pub fn worlds_shared(&self) -> u64 {
+        self.lane_worlds
+            .saturating_sub(self.unique_worlds + self.worlds_replayed)
     }
 
     /// Worlds early stopping saved across the batch
     /// (`budget_total − lane_worlds`).
-    pub fn worlds_saved(&self) -> usize {
+    pub fn worlds_saved(&self) -> u64 {
         self.budget_total.saturating_sub(self.lane_worlds)
     }
 }
@@ -421,18 +432,57 @@ impl PreparedAudit {
         self.execute(&ExecutionPlan::new(requests.to_vec()))
     }
 
+    /// [`PreparedAudit::run_batch_with_stats`] resuming from (and
+    /// extending) a cross-batch [`WorldCache`].
+    pub fn run_batch_cached(
+        &self,
+        requests: &[AuditRequest],
+        cache: &mut WorldCache,
+    ) -> (Vec<AuditReport>, BatchStats) {
+        self.execute_cached(&ExecutionPlan::new(requests.to_vec()), cache)
+    }
+
     /// Phase 3: executes a plan against the shared engine. Reports come
     /// back in the plan's request order.
     pub fn execute(&self, plan: &ExecutionPlan) -> (Vec<AuditReport>, BatchStats) {
+        self.execute_inner(plan, None)
+    }
+
+    /// Phase 3 with cross-batch world caching: each group replays the
+    /// cached τ-stream prefix of its world class through the ordinary
+    /// lane stopping rule and simulates only the un-cached suffix,
+    /// which is then committed back so the *next* batch resumes even
+    /// further in. Reports are bit-identical to [`PreparedAudit::execute`]
+    /// by construction — the lanes consume the same values in the same
+    /// order whether a world was replayed or simulated.
+    ///
+    /// The cache must only ever be used with the engine that filled it
+    /// (cached τ values are meaningless against other data); keep one
+    /// cache per `PreparedAudit`.
+    pub fn execute_cached(
+        &self,
+        plan: &ExecutionPlan,
+        cache: &mut WorldCache,
+    ) -> (Vec<AuditReport>, BatchStats) {
+        self.execute_inner(plan, Some(cache))
+    }
+
+    /// One loop for both phase-3 paths: a cold run is a resume with no
+    /// cache to consult and nothing retained for one.
+    fn execute_inner(
+        &self,
+        plan: &ExecutionPlan,
+        mut cache: Option<&mut WorldCache>,
+    ) -> (Vec<AuditReport>, BatchStats) {
         let mut reports: Vec<Option<AuditReport>> = Vec::new();
         reports.resize_with(plan.requests().len(), || None);
         let mut stats = BatchStats {
-            requests: plan.requests().len(),
-            groups: plan.groups().len(),
+            requests: plan.requests().len() as u64,
+            groups: plan.groups().len() as u64,
             ..BatchStats::default()
         };
         for group in plan.groups() {
-            self.execute_group(plan, group, &mut reports, &mut stats);
+            self.execute_group(plan, group, cache.as_deref_mut(), &mut reports, &mut stats);
         }
         let reports = reports
             .into_iter()
@@ -443,50 +493,88 @@ impl PreparedAudit {
 
     /// Executes one world-sharing group: scans the real world once per
     /// distinct direction, then walks the shared world stream through
-    /// [`run_world_group`], folding each world's per-region counts into
-    /// every member lane that still needs it.
+    /// [`run_world_group`] — replaying the class's cached prefix first,
+    /// simulating the rest — folding each world's per-region counts
+    /// into every member lane that still needs it.
     fn execute_group(
         &self,
         plan: &ExecutionPlan,
         group: &PlanGroup,
+        mut cache: Option<&mut WorldCache>,
         reports: &mut [Option<AuditReport>],
         stats: &mut BatchStats,
     ) {
+        // The cache dictates the per-world direction list: a superset
+        // of the group's needs, so replayed rows line up and fresh rows
+        // stay column-complete for future batches. Extra directions
+        // cost one more LLR fold per region — counting dominates. The
+        // prefix rows are *moved* out of the cache and reinstalled by
+        // the commit below; no copy on the warm path.
+        let (eval_dirs, prefix) = match &mut cache {
+            Some(cache) => {
+                let resume = cache.resume(group.null_model, group.seed, &group.directions);
+                (resume.eval_dirs, resume.prefix)
+            }
+            None => (group.directions.clone(), Vec::new()),
+        };
+        let lane_dirs = member_direction_indices(plan.requests(), &group.members, &eval_dirs);
         // Real-world scans are direction-dependent but request-invariant:
-        // one per distinct direction, shared across the group.
-        let reals: Vec<RealScan> = group
-            .directions
+        // one per direction some member actually uses, shared across the
+        // group. Cache-carried directions no member requests this batch
+        // get no scan (worlds still evaluate them — the cheap LLR fold —
+        // to keep cached rows column-complete); their observed slot is
+        // NaN and, by construction, never read.
+        let mut reals: Vec<Option<RealScan>> = Vec::new();
+        reals.resize_with(eval_dirs.len(), || None);
+        for &di in &lane_dirs {
+            if reals[di].is_none() {
+                reals[di] = Some(self.engine.scan_real(eval_dirs[di]));
+            }
+        }
+        let observed: Vec<f64> = reals
             .iter()
-            .map(|&d| self.engine.scan_real(d))
+            .map(|r| r.as_ref().map_or(f64::NAN, |real| real.tau))
             .collect();
-        let observed: Vec<f64> = reals.iter().map(|r| r.tau).collect();
-        let lane_dirs =
-            member_direction_indices(plan.requests(), &group.members, &group.directions);
         let eval_one = |i: usize| -> Vec<f64> {
             let mut rng = world_rng(group.seed, i as u64);
             let labels = self.engine.generate_world(group.null_model, &mut rng);
-            let mut taus = vec![0.0; group.directions.len()];
-            self.engine
-                .eval_world_into(&labels, &group.directions, &mut taus);
+            let mut taus = vec![0.0; eval_dirs.len()];
+            self.engine.eval_world_into(&labels, &eval_dirs, &mut taus);
             taus
         };
-        let (results, unique_worlds) = run_world_group(
+        let run = run_world_group(
             plan.requests(),
             &group.members,
             &lane_dirs,
             &observed,
             self.base.parallel,
+            &prefix,
+            cache.is_some(),
             eval_one,
         );
-        stats.unique_worlds += unique_worlds;
+        stats.unique_worlds += run.unique_worlds as u64;
+        stats.worlds_replayed += run.replayed as u64;
+        if run.replayed > 0 {
+            stats.cache_hits += 1;
+        }
+        if let Some(cache) = cache {
+            cache.commit(
+                group.null_model,
+                group.seed,
+                eval_dirs,
+                prefix,
+                run.replayed,
+                run.fresh,
+            );
+        }
 
         // Assemble per-request reports from each lane's truncated
         // distribution and its direction's shared real scan.
-        for ((result, &ri), &di) in results.into_iter().zip(&group.members).zip(&lane_dirs) {
+        for ((result, &ri), &di) in run.results.into_iter().zip(&group.members).zip(&lane_dirs) {
             let request = &plan.requests()[ri];
-            stats.lane_worlds += result.worlds_evaluated;
-            stats.budget_total += request.worlds;
-            let real = &reals[di];
+            stats.lane_worlds += result.worlds_evaluated as u64;
+            stats.budget_total += request.worlds as u64;
+            let real = reals[di].as_ref().expect("member directions are scanned");
             let p_value = result.p_value();
             let critical_value = result.critical_value(request.alpha);
             reports[ri] = Some(AuditReport {
@@ -541,32 +629,57 @@ fn member_direction_indices(
         .collect()
 }
 
+/// Outcome of [`run_world_group`]: per-member results plus the world
+/// accounting a cross-batch cache needs to commit the run.
+pub(crate) struct GroupRun {
+    /// One [`MonteCarloResult`] per member, in `members` order — each
+    /// bit-identical to a standalone adaptive run of that request.
+    pub results: Vec<MonteCarloResult>,
+    /// Worlds served from the cached prefix instead of simulated.
+    pub replayed: usize,
+    /// Worlds newly simulated.
+    pub unique_worlds: usize,
+    /// The newly simulated per-direction rows, in stream order starting
+    /// at world index `replayed` (the cached prefix is consumed first).
+    /// Empty unless `collect_fresh` was set — retaining every row only
+    /// pays off when a cache will commit them.
+    pub fresh: Vec<Vec<f64>>,
+}
+
 /// The engine-agnostic core of batched execution: walks one shared
-/// world stream for a group of member requests.
+/// world stream for a group of member requests, resuming from an
+/// optional cached stream prefix.
 ///
 /// Builds a [`WorldLane`] per member (observed statistic taken from its
 /// direction's entry in `observed`), then evaluates
-/// [`BudgetScheduler`] spans — in parallel when `parallel` is set;
-/// per-world independent RNG streams inside `eval_world` keep that
-/// deterministic — and feeds each world's per-direction statistics
-/// into every lane that still needs them. `eval_world` receives a
-/// world index and returns one `τ` per entry of the group's distinct
-/// direction list (`lane_dirs[m]` maps member `m` into it).
+/// [`BudgetScheduler`] spans. Worlds whose index falls inside `cached`
+/// are *replayed* — their per-direction rows are fed to the lanes
+/// as-is, no simulation — and only indices past the cached prefix call
+/// `eval_world` (in parallel when `parallel` is set; per-world
+/// independent RNG streams inside `eval_world` keep that
+/// deterministic). Because the lanes cannot tell a replayed value from
+/// a simulated one, a resumed run is bit-identical to a cold run by
+/// construction. `eval_world` receives a world index and returns one
+/// `τ` per entry of the group's evaluated direction list
+/// (`lane_dirs[m]` maps member `m` into it; `cached` rows must align
+/// with the same list). With `collect_fresh`, the simulated rows are
+/// retained in [`GroupRun::fresh`] for a cache commit; without it they
+/// are dropped span by span, as a cacheless run always did.
 ///
-/// Returns one [`MonteCarloResult`] per member (in `members` order,
-/// each bit-identical to a standalone adaptive run of that request)
-/// plus the number of unique worlds generated. Both the Bernoulli
-/// executor above and the Poisson rate batch
+/// Both the Bernoulli executor above and the Poisson rate batch
 /// ([`crate::rates::audit_rates_batch`]) run on this loop, so the
 /// stopping/scheduling semantics cannot drift between them.
+#[allow(clippy::too_many_arguments)] // one call site per executor; a config struct would only rename the positions
 pub(crate) fn run_world_group<F>(
     requests: &[AuditRequest],
     members: &[usize],
     lane_dirs: &[usize],
     observed: &[f64],
     parallel: bool,
+    cached: &[Vec<f64>],
+    collect_fresh: bool,
     eval_world: F,
-) -> (Vec<MonteCarloResult>, usize)
+) -> GroupRun
 where
     F: Fn(usize) -> Vec<f64> + Sync,
 {
@@ -578,27 +691,43 @@ where
             WorldLane::new(observed[di], r.alpha, r.mc_strategy, r.worlds)
         })
         .collect();
+    let mut fresh: Vec<Vec<f64>> = Vec::new();
+    let mut replayed = 0usize;
     let mut unique_worlds = 0usize;
     let mut scheduler = BudgetScheduler::new();
     while let Some(span) = scheduler.next_span(&lanes) {
-        let world_taus: Vec<Vec<f64>> = if parallel {
-            span.clone().into_par_iter().map(&eval_world).collect()
+        // Spans are contiguous from 0, so the cached prefix is consumed
+        // exactly once, in order, before any world is simulated.
+        let cut = span.end.min(cached.len()).max(span.start);
+        let simulated: Vec<Vec<f64>> = if parallel {
+            (cut..span.end).into_par_iter().map(&eval_world).collect()
         } else {
-            span.clone().map(&eval_world).collect()
+            (cut..span.end).map(&eval_world).collect()
         };
-        unique_worlds += world_taus.len();
-        for taus in &world_taus {
+        replayed += cut - span.start;
+        unique_worlds += simulated.len();
+        for i in span.clone() {
+            let taus = if i < cut {
+                &cached[i]
+            } else {
+                &simulated[i - cut]
+            };
             for (lane, &di) in lanes.iter_mut().zip(lane_dirs) {
                 if !lane.is_done() {
                     lane.push(taus[di]);
                 }
             }
         }
+        if collect_fresh {
+            fresh.extend(simulated);
+        }
     }
-    (
-        lanes.into_iter().map(WorldLane::into_result).collect(),
+    GroupRun {
+        results: lanes.into_iter().map(WorldLane::into_result).collect(),
+        replayed,
         unique_worlds,
-    )
+        fresh,
+    }
 }
 
 /// Evidence assembly shared by every execution path: individually
@@ -756,7 +885,7 @@ mod tests {
         assert_eq!(stats.unique_worlds, 99, "shared stream generated once");
         assert_eq!(
             stats.lane_worlds,
-            reports[0].worlds_evaluated + reports[1].worlds_evaluated
+            (reports[0].worlds_evaluated + reports[1].worlds_evaluated) as u64
         );
         assert!(stats.worlds_saved() > 0);
     }
@@ -808,6 +937,93 @@ mod tests {
         assert!(reports.is_empty());
         assert_eq!(stats.requests, 0);
         assert_eq!(stats.unique_worlds, 0);
+    }
+
+    #[test]
+    fn repeated_batch_is_served_from_the_world_cache() {
+        let o = outcomes(900, 8, true);
+        let rs = grid();
+        let prepared = PreparedAudit::prepare(&o, &rs, base()).unwrap();
+        let requests = vec![
+            AuditRequest::from_config(&base()),
+            AuditRequest::from_config(&base()).with_direction(Direction::High),
+        ];
+        let mut cache = WorldCache::new();
+        let (cold, cold_stats) = prepared.run_batch_cached(&requests, &mut cache);
+        assert_eq!(cold_stats.worlds_replayed, 0);
+        assert_eq!(cold_stats.unique_worlds, 99);
+        // The exact same batch again: zero new simulated worlds, every
+        // report bit-identical.
+        let (warm, warm_stats) = prepared.run_batch_cached(&requests, &mut cache);
+        assert_eq!(warm, cold);
+        assert_eq!(warm_stats.unique_worlds, 0, "{warm_stats:?}");
+        assert_eq!(warm_stats.worlds_replayed, 99);
+        assert_eq!(warm_stats.cache_hits, 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().worlds_replayed, 99);
+    }
+
+    #[test]
+    fn extended_budget_simulates_only_the_uncached_suffix() {
+        let o = outcomes(700, 9, true);
+        let rs = grid();
+        let prepared = PreparedAudit::prepare(&o, &rs, base()).unwrap();
+        let small = AuditRequest::from_config(&base()).with_worlds(40);
+        let big = AuditRequest::from_config(&base()).with_worlds(99);
+        let mut cache = WorldCache::new();
+        let (_, s1) = prepared.run_batch_cached(std::slice::from_ref(&small), &mut cache);
+        assert_eq!(s1.unique_worlds, 40);
+        let (extended, s2) = prepared.run_batch_cached(std::slice::from_ref(&big), &mut cache);
+        assert_eq!(s2.worlds_replayed, 40);
+        assert_eq!(s2.unique_worlds, 99 - 40, "only the suffix is simulated");
+        // And a smaller budget afterwards costs nothing new.
+        let (shrunk, s3) = prepared.run_batch_cached(std::slice::from_ref(&small), &mut cache);
+        assert_eq!(s3.unique_worlds, 0);
+        assert_eq!(s3.worlds_replayed, 40);
+        // Both resumed runs are bit-identical to cold standalone runs.
+        assert_eq!(extended[0], prepared.run(&big));
+        assert_eq!(shrunk[0], prepared.run(&small));
+    }
+
+    #[test]
+    fn new_direction_resimulates_then_covers_the_union() {
+        let o = outcomes(800, 10, true);
+        let rs = grid();
+        let prepared = PreparedAudit::prepare(&o, &rs, base()).unwrap();
+        let two_sided = AuditRequest::from_config(&base());
+        let high = AuditRequest::from_config(&base()).with_direction(Direction::High);
+        let mut cache = WorldCache::new();
+        prepared.run_batch_cached(std::slice::from_ref(&two_sided), &mut cache);
+        // A direction the cache has not seen: full re-simulation…
+        let (r_high, s_high) = prepared.run_batch_cached(std::slice::from_ref(&high), &mut cache);
+        assert_eq!(s_high.worlds_replayed, 0);
+        assert_eq!(s_high.unique_worlds, 99);
+        assert_eq!(r_high[0], prepared.run(&high));
+        // …after which the entry covers BOTH directions.
+        let both = vec![two_sided, high];
+        let (warm, s_both) = prepared.run_batch_cached(&both, &mut cache);
+        assert_eq!(s_both.unique_worlds, 0, "{s_both:?}");
+        assert_eq!(warm, prepared.run_batch(&both));
+    }
+
+    #[test]
+    fn cached_early_stop_replays_to_the_same_stopping_world() {
+        // Fair data: the early stopper fires futility fast; the cached
+        // prefix must replay it to exactly the same stopping point.
+        let o = outcomes(1000, 11, false);
+        let rs = grid();
+        let prepared = PreparedAudit::prepare(&o, &rs, base()).unwrap();
+        let stopper = AuditRequest::from_config(&base())
+            .with_mc_strategy(McStrategy::EarlyStop { batch_size: 8 });
+        let mut cache = WorldCache::new();
+        let (cold, s_cold) = prepared.run_batch_cached(std::slice::from_ref(&stopper), &mut cache);
+        let (warm, s_warm) = prepared.run_batch_cached(std::slice::from_ref(&stopper), &mut cache);
+        assert_eq!(warm, cold);
+        assert_eq!(s_warm.unique_worlds, 0);
+        assert_eq!(
+            s_warm.worlds_replayed as usize, cold[0].worlds_evaluated,
+            "replay stops exactly where the cold run stopped ({s_cold:?})"
+        );
     }
 
     #[test]

@@ -204,16 +204,18 @@ pub fn audit_rates_batch(
             eval_into(&world, &directions, &mut taus);
             taus
         };
-        let (results, _unique_worlds) = run_world_group(
+        let run = run_world_group(
             requests,
             &members,
             &lane_dirs,
             &observed_taus,
             config.parallel,
+            &[],
+            false,
             eval_one,
         );
 
-        for ((result, &ri), &di) in results.into_iter().zip(&members).zip(&lane_dirs) {
+        for ((result, &ri), &di) in run.results.into_iter().zip(&members).zip(&lane_dirs) {
             let request = &requests[ri];
             let p_value = result.p_value();
             let critical_value = result.critical_value(request.alpha);

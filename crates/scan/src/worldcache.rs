@@ -1,0 +1,479 @@
+//! Cross-batch world caching: remember each world class's simulated
+//! τ-stream so later batches resume instead of re-simulating.
+//!
+//! A simulated world is expensive (generate labels + recount every
+//! region) but its *output* per audit direction is one `f64`: the
+//! world's maximum directed LLR `τ`. Those values are fully
+//! deterministic in `(engine, null model, seed, world index,
+//! direction)` — so once a batch has paid for worlds `0..k` of a world
+//! class, any later batch over the same prepared engine can replay the
+//! cached τ values through the ordinary
+//! [`WorldLane`](sfstats::montecarlo::WorldLane) stopping rule and
+//! only simulate the suffix it actually needs. A repeated request
+//! (same class, same or smaller budget) costs **zero** new simulated
+//! worlds; an extended request (bigger budget) pays only for the
+//! un-cached tail. Results are bit-identical to a cold run *by
+//! construction*: the lanes consume exactly the same values in exactly
+//! the same order either way.
+//!
+//! The cache is keyed by world class `(null model, seed)` — the same
+//! key [`ExecutionPlan`](crate::prepared::ExecutionPlan) groups
+//! requests by. One class can hold several entries, each a contiguous
+//! stream *prefix* (one row per world, one column per cached
+//! [`Direction`]): when a batch needs a direction no entry covers, the
+//! executor re-simulates from world 0 evaluating the *union* of the
+//! class's widest entry and the needed directions (counting dominates
+//! per-world cost, so extra LLR folds are nearly free) and the result
+//! is stored as its own entry — so shorter-budget requests in a new
+//! direction become cache hits on their next repeat instead of
+//! re-simulating forever, while the longer old prefix survives for the
+//! directions it already serves. Entries that end up covering no more
+//! directions and no more worlds than a newly committed one are
+//! pruned.
+//!
+//! Resume hands an entry's rows out **by move** and commit reinstalls
+//! them (extended by whatever was freshly simulated), so the warm path
+//! never copies the cached stream.
+//!
+//! [`WorldCache`] is deliberately dumb storage plus accounting
+//! ([`CacheStats`]); the resume/commit choreography lives in
+//! [`PreparedAudit::execute_cached`](crate::prepared::PreparedAudit::execute_cached).
+
+use crate::config::NullModel;
+use crate::direction::Direction;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative cache accounting, folded into the serving layer's
+/// `ServerStats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Group executions that replayed at least one cached world.
+    pub hits: u64,
+    /// Group executions that replayed nothing (cold class, or a
+    /// direction no entry covered yet).
+    pub misses: u64,
+    /// Worlds answered from the cache instead of being simulated.
+    pub worlds_replayed: u64,
+    /// Worlds simulated and recorded into the cache.
+    pub worlds_simulated: u64,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} replayed={} simulated={}",
+            self.hits, self.misses, self.worlds_replayed, self.worlds_simulated
+        )
+    }
+}
+
+/// One cached τ-stream prefix of a world class.
+#[derive(Debug, Clone, PartialEq)]
+struct CachedClass {
+    null_model: NullModel,
+    seed: u64,
+    /// Directions the rows carry, in storage order.
+    dirs: Vec<Direction>,
+    /// `rows[w][d]` = τ of world `w` in direction `dirs[d]`. Always a
+    /// contiguous prefix of the class's world stream.
+    rows: Vec<Vec<f64>>,
+}
+
+impl CachedClass {
+    fn is_class(&self, null_model: NullModel, seed: u64) -> bool {
+        self.null_model == null_model && self.seed == seed
+    }
+
+    fn covers(&self, needed: &[Direction]) -> bool {
+        needed.iter().all(|d| self.dirs.contains(d))
+    }
+}
+
+/// What the executor should do for one group: which directions to
+/// evaluate per world (a superset of the group's needs) and the cached
+/// rows, aligned to that direction list, it can replay before
+/// simulating. The rows are *moved* out of the cache;
+/// [`WorldCache::commit`] reinstalls them.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ResumePoint {
+    /// Direction list every evaluated world must produce a τ for.
+    pub eval_dirs: Vec<Direction>,
+    /// Cached stream prefix aligned to `eval_dirs` (empty on a miss).
+    pub prefix: Vec<Vec<f64>>,
+}
+
+/// Per-engine cache of simulated world statistics, keyed by world
+/// class `(null model, seed)`.
+///
+/// Owned by whoever owns the
+/// [`PreparedAudit`](crate::prepared::PreparedAudit) — one cache per
+/// prepared dataset; entries are only meaningful against the engine
+/// they were filled from.
+#[derive(Debug, Clone, Default)]
+pub struct WorldCache {
+    classes: Vec<CachedClass>,
+    stats: CacheStats,
+}
+
+impl WorldCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached stream prefixes (a world class can hold more
+    /// than one, for different direction sets).
+    pub fn entries(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total cached worlds across every entry.
+    pub fn cached_worlds(&self) -> usize {
+        self.classes.iter().map(|c| c.rows.len()).sum()
+    }
+
+    /// Longest cached prefix for one class, if present.
+    pub fn class_worlds(&self, null_model: NullModel, seed: u64) -> Option<usize> {
+        self.classes
+            .iter()
+            .filter(|c| c.is_class(null_model, seed))
+            .map(|c| c.rows.len())
+            .max()
+    }
+
+    /// Cumulative hit/replay accounting.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Drops every entry (accounting is kept).
+    pub fn clear(&mut self) {
+        self.classes.clear();
+    }
+
+    /// Resolves the resume point for a group needing `needed`
+    /// directions from class `(null_model, seed)`.
+    ///
+    /// * Some entry covers every needed direction → move out the
+    ///   longest such entry's whole prefix (evaluating the entry's
+    ///   full direction list keeps appended rows column-complete).
+    /// * No entry covers → no replay; evaluate the union of the
+    ///   class's widest entry and the needed directions, so the
+    ///   re-simulated rows serve both old and new directions from now
+    ///   on.
+    ///
+    /// Every `resume` must be paired with one [`WorldCache::commit`]
+    /// (the covering entry's rows sit empty in between).
+    pub(crate) fn resume(
+        &mut self,
+        null_model: NullModel,
+        seed: u64,
+        needed: &[Direction],
+    ) -> ResumePoint {
+        let covering = self
+            .classes
+            .iter_mut()
+            .filter(|c| c.is_class(null_model, seed) && c.covers(needed))
+            .max_by_key(|c| c.rows.len());
+        if let Some(entry) = covering {
+            return ResumePoint {
+                eval_dirs: entry.dirs.clone(),
+                prefix: std::mem::take(&mut entry.rows),
+            };
+        }
+        let mut eval_dirs = self
+            .classes
+            .iter()
+            .filter(|c| c.is_class(null_model, seed))
+            .max_by_key(|c| c.rows.len())
+            .map(|c| c.dirs.clone())
+            .unwrap_or_default();
+        for &d in needed {
+            if !eval_dirs.contains(&d) {
+                eval_dirs.push(d);
+            }
+        }
+        ResumePoint {
+            eval_dirs,
+            prefix: Vec::new(),
+        }
+    }
+
+    /// Records one group execution: `replayed` worlds came from the
+    /// `prefix` handed out by [`WorldCache::resume`] (reinstalled
+    /// here), `fresh` rows (aligned to that resume's `eval_dirs`) were
+    /// simulated after it.
+    ///
+    /// Rows stay a contiguous stream prefix: fresh rows extend the
+    /// prefix only when it was consumed whole. A commit under a
+    /// direction set no entry holds becomes a new entry, pruning any
+    /// entry of the class it strictly subsumes (no extra direction, no
+    /// extra world).
+    pub(crate) fn commit(
+        &mut self,
+        null_model: NullModel,
+        seed: u64,
+        eval_dirs: Vec<Direction>,
+        mut prefix: Vec<Vec<f64>>,
+        replayed: usize,
+        fresh: Vec<Vec<f64>>,
+    ) {
+        if replayed > 0 {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        self.stats.worlds_replayed += replayed as u64;
+        self.stats.worlds_simulated += fresh.len() as u64;
+        // Fresh rows continue exactly where the prefix ends iff the
+        // run consumed the whole prefix (a run that stopped inside it
+        // simulated nothing).
+        if replayed == prefix.len() {
+            prefix.extend(fresh);
+        }
+        match self
+            .classes
+            .iter_mut()
+            .find(|c| c.is_class(null_model, seed) && c.dirs == eval_dirs)
+        {
+            // The entry resume() emptied (its dirs were echoed back to
+            // us): reinstall the possibly-extended rows.
+            Some(entry) => entry.rows = prefix,
+            None if prefix.is_empty() => {}
+            None => {
+                self.classes.retain(|c| {
+                    !(c.is_class(null_model, seed)
+                        && c.dirs.iter().all(|d| eval_dirs.contains(d))
+                        && c.rows.len() <= prefix.len())
+                });
+                self.classes.push(CachedClass {
+                    null_model,
+                    seed,
+                    dirs: eval_dirs,
+                    rows: prefix,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TS: Direction = Direction::TwoSided;
+    const HI: Direction = Direction::High;
+
+    fn rows(n: usize, cols: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|w| vec![w as f64; cols]).collect()
+    }
+
+    #[test]
+    fn cold_resume_is_a_miss_and_commit_creates_the_entry() {
+        let mut cache = WorldCache::new();
+        let r = cache.resume(NullModel::Bernoulli, 7, &[TS]);
+        assert_eq!(r.eval_dirs, vec![TS]);
+        assert!(r.prefix.is_empty());
+        cache.commit(
+            NullModel::Bernoulli,
+            7,
+            r.eval_dirs,
+            r.prefix,
+            0,
+            rows(5, 1),
+        );
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(cache.cached_worlds(), 5);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().worlds_simulated, 5);
+    }
+
+    #[test]
+    fn covered_resume_moves_the_prefix_out_and_commit_extends_it() {
+        let mut cache = WorldCache::new();
+        let r = cache.resume(NullModel::Bernoulli, 7, &[TS]);
+        cache.commit(
+            NullModel::Bernoulli,
+            7,
+            r.eval_dirs,
+            r.prefix,
+            0,
+            rows(5, 1),
+        );
+        let r = cache.resume(NullModel::Bernoulli, 7, &[TS]);
+        assert_eq!(r.prefix.len(), 5);
+        assert_eq!(
+            cache.cached_worlds(),
+            0,
+            "the prefix is moved, not cloned; commit reinstalls it"
+        );
+        // The run consumed the prefix and simulated 3 more.
+        cache.commit(
+            NullModel::Bernoulli,
+            7,
+            r.eval_dirs,
+            r.prefix,
+            5,
+            rows(3, 1),
+        );
+        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 7), Some(8));
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().worlds_replayed, 5);
+    }
+
+    #[test]
+    fn partial_replay_reinstalls_the_whole_prefix() {
+        let mut cache = WorldCache::new();
+        cache.commit(
+            NullModel::Bernoulli,
+            1,
+            vec![TS],
+            Vec::new(),
+            0,
+            rows(10, 1),
+        );
+        // A smaller-budget run stopped after 4 of the 10 cached worlds:
+        // nothing fresh, the entry must keep its 10 rows.
+        let r = cache.resume(NullModel::Bernoulli, 1, &[TS]);
+        cache.commit(
+            NullModel::Bernoulli,
+            1,
+            r.eval_dirs,
+            r.prefix,
+            4,
+            Vec::new(),
+        );
+        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 1), Some(10));
+    }
+
+    #[test]
+    fn uncovered_direction_becomes_its_own_entry_and_then_hits() {
+        let mut cache = WorldCache::new();
+        cache.commit(NullModel::Bernoulli, 2, vec![TS], Vec::new(), 0, rows(6, 1));
+        // HI is uncovered: cold, but evaluated as the union with the
+        // widest entry so the new rows serve both directions.
+        let r = cache.resume(NullModel::Bernoulli, 2, &[HI]);
+        assert_eq!(r.eval_dirs, vec![TS, HI], "union keeps cached directions");
+        assert!(r.prefix.is_empty(), "uncovered direction cannot replay");
+        // A shorter re-simulation coexists with the longer old prefix…
+        cache.commit(
+            NullModel::Bernoulli,
+            2,
+            r.eval_dirs,
+            r.prefix,
+            0,
+            rows(4, 2),
+        );
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 2), Some(6));
+        // …and the SECOND short-budget HI request is now a pure hit —
+        // uncovered-direction repeats must not re-simulate forever.
+        let r2 = cache.resume(NullModel::Bernoulli, 2, &[HI]);
+        assert_eq!(r2.prefix.len(), 4);
+        cache.commit(
+            NullModel::Bernoulli,
+            2,
+            r2.eval_dirs,
+            r2.prefix,
+            4,
+            Vec::new(),
+        );
+        assert_eq!(cache.stats().hits, 1);
+        // Extending the union entry past the old one: both survive
+        // (pruning happens only when a NEW entry lands)…
+        let r3 = cache.resume(NullModel::Bernoulli, 2, &[TS, HI]);
+        assert_eq!(r3.prefix.len(), 4);
+        cache.commit(
+            NullModel::Bernoulli,
+            2,
+            r3.eval_dirs,
+            r3.prefix,
+            4,
+            rows(3, 2),
+        );
+        assert_eq!(cache.entries(), 2);
+        // …and the longest covering entry wins the next resume.
+        let r4 = cache.resume(NullModel::Bernoulli, 2, &[TS]);
+        assert_eq!(r4.prefix.len(), 7, "[TS,HI](7) out-lasts [TS](6)");
+        cache.commit(
+            NullModel::Bernoulli,
+            2,
+            r4.eval_dirs,
+            r4.prefix,
+            7,
+            Vec::new(),
+        );
+    }
+
+    #[test]
+    fn subsumed_entries_are_pruned_when_a_wider_equal_length_entry_lands() {
+        let mut cache = WorldCache::new();
+        cache.commit(NullModel::Bernoulli, 5, vec![TS], Vec::new(), 0, rows(6, 1));
+        let r = cache.resume(NullModel::Bernoulli, 5, &[HI]);
+        // Union re-simulation reaches the old entry's length: the
+        // narrower [TS] entry is subsumed and dropped.
+        cache.commit(
+            NullModel::Bernoulli,
+            5,
+            r.eval_dirs,
+            r.prefix,
+            0,
+            rows(6, 2),
+        );
+        assert_eq!(cache.entries(), 1);
+        let r2 = cache.resume(NullModel::Bernoulli, 5, &[TS, HI]);
+        assert_eq!(r2.prefix.len(), 6);
+        cache.commit(
+            NullModel::Bernoulli,
+            5,
+            r2.eval_dirs,
+            r2.prefix,
+            6,
+            Vec::new(),
+        );
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 2, "cold TS commit + uncovered HI");
+    }
+
+    #[test]
+    fn classes_are_keyed_by_null_model_and_seed() {
+        let mut cache = WorldCache::new();
+        cache.commit(NullModel::Bernoulli, 3, vec![TS], Vec::new(), 0, rows(2, 1));
+        cache.commit(
+            NullModel::Permutation,
+            3,
+            vec![TS],
+            Vec::new(),
+            0,
+            rows(3, 1),
+        );
+        cache.commit(NullModel::Bernoulli, 4, vec![TS], Vec::new(), 0, rows(4, 1));
+        assert_eq!(cache.entries(), 3);
+        assert_eq!(cache.cached_worlds(), 9);
+        assert_eq!(cache.class_worlds(NullModel::Permutation, 3), Some(3));
+        assert_eq!(cache.class_worlds(NullModel::Permutation, 4), None);
+        cache.clear();
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.cached_worlds(), 0);
+    }
+
+    #[test]
+    fn stats_display_summarises() {
+        let mut cache = WorldCache::new();
+        cache.commit(NullModel::Bernoulli, 1, vec![TS], Vec::new(), 0, rows(5, 1));
+        let r = cache.resume(NullModel::Bernoulli, 1, &[TS]);
+        cache.commit(
+            NullModel::Bernoulli,
+            1,
+            r.eval_dirs,
+            r.prefix,
+            5,
+            Vec::new(),
+        );
+        let line = cache.stats().to_string();
+        assert!(line.contains("hits=1"), "{line}");
+        assert!(line.contains("replayed=5"), "{line}");
+    }
+}

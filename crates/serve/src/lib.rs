@@ -3,24 +3,39 @@
 //! A spatial-fairness audit service is read-mostly: the expensive
 //! artifacts (spatial index, membership CSR, region totals) depend only
 //! on the dataset and regions, while each audit request varies only
-//! cheap knobs. [`AuditServer`] wraps the prepare/plan/execute pipeline
-//! of [`sfscan::prepared`] behind a queue:
+//! cheap knobs — and the same authority answers the same dataset's
+//! audits over and over. [`AuditService`] is built for that workload:
 //!
-//! * **[`AuditServer::new`]** prepares the engine once (phase 1);
-//! * **[`AuditServer::submit`]** enqueues an [`AuditRequest`] and
-//!   returns its [`RequestId`] — nothing expensive happens yet;
-//! * **[`AuditServer::drain`]** plans the queued batch into
-//!   world-sharing groups and executes it (phases 2 + 3), returning one
-//!   [`AuditResponse`] per request, each **bit-identical** to running
-//!   that request alone through [`sfscan::Auditor`].
-//!
-//! Requests and responses round-trip through JSON
-//! ([`AuditServer::submit_json`], [`AuditResponse::to_json`]) so the
-//! server drops into any transport.
+//! * **Sessions** — [`AuditService::register`] prepares a dataset's
+//!   engine once and returns a [`DatasetHandle`]; one service hosts
+//!   many datasets, requests route by handle, and
+//!   [`AuditService::unregister`] evicts a session (engine, queue, and
+//!   world cache).
+//! * **Tickets** — [`AuditService::submit`] validates and queues,
+//!   returning a [`Ticket`] immediately (typed [`SubmitError`]s, no
+//!   panics); [`AuditService::poll`] and [`AuditService::take`]
+//!   decouple submission from execution.
+//! * **Drain policies** — [`DrainPolicy`] ([`Manual`](DrainPolicy::Manual),
+//!   [`MaxPending`](DrainPolicy::MaxPending),
+//!   [`Deadline`](DrainPolicy::Deadline)) decides when queues execute,
+//!   driven by the explicit [`AuditService::tick`] clock — no
+//!   wall-clock reads, so batching is deterministic and testable —
+//!   with [`AuditService::flush`] as the manual escape hatch.
+//! * **Cross-batch world cache** — each executed batch records its
+//!   simulated worlds' τ-streams per world class `(null model, seed)`;
+//!   later batches replay the cached prefix through the same stopping
+//!   rule and simulate only the un-cached suffix. A repeated request
+//!   costs **zero** new simulated worlds, and every resumed result is
+//!   **bit-identical** to a cold run by construction
+//!   ([`sfscan::WorldCache`]).
+//! * **Wire envelopes** — [`RequestEnvelope`] / [`ResponseEnvelope`]
+//!   JSONL lines over the existing serde layer, so the service drops
+//!   into any byte transport (`experiments serve` is the reference
+//!   loop).
 //!
 //! ```
 //! use sfscan::{AuditConfig, AuditRequest, Direction, RegionSet, SpatialOutcomes};
-//! use sfserve::AuditServer;
+//! use sfserve::{AuditService, DrainPolicy, Status};
 //! use sfgeo::{Point, Rect};
 //!
 //! // A tiny dataset: left half positive, right half negative.
@@ -31,236 +46,42 @@
 //! let outcomes = SpatialOutcomes::new(points, labels).unwrap();
 //! let regions = RegionSet::regular_grid(Rect::from_coords(0.0, 0.0, 10.0, 10.0), 2, 1);
 //!
-//! // Prepare once, serve many.
+//! // Register once, serve many.
+//! let mut service = AuditService::new().with_policy(DrainPolicy::MaxPending(2));
 //! let config = AuditConfig::new(0.05).with_worlds(99);
-//! let mut server = AuditServer::new(&outcomes, &regions, config).unwrap();
-//! let base = AuditRequest::from_config(&config);
-//! let two_sided = server.submit(base);
-//! let green = server.submit(base.with_direction(Direction::High));
+//! let handle = service.register(&outcomes, &regions, config).unwrap();
 //!
-//! let responses = server.drain();
-//! assert_eq!(responses.len(), 2);
-//! assert_eq!(responses[0].id, two_sided);
-//! assert_eq!(responses[1].id, green);
-//! assert!(responses[0].report.is_unfair());
-//! assert_eq!(server.stats().requests_served, 2);
+//! let base = AuditRequest::from_config(&config);
+//! let two_sided = service.submit(handle, base).unwrap();
+//! assert!(service.poll(two_sided).is_queued());
+//! // The second submission reaches MaxPending(2): the batch executes.
+//! let green = service.submit(handle, base.with_direction(Direction::High)).unwrap();
+//!
+//! let Status::Ready(response) = service.poll(two_sided) else { panic!("executed") };
+//! assert!(response.report.is_unfair());
+//! assert!(service.take(green).is_some());
+//! assert_eq!(service.stats().requests_served, 2);
+//!
+//! // Resubmitting the same audit replays the cached worlds: zero new
+//! // simulation, bit-identical report.
+//! let again = service.submit(handle, base).unwrap();
+//! service.flush();
+//! assert_eq!(service.take(again).unwrap().report, response.report);
+//! assert_eq!(service.stats().unique_worlds, 99, "no new worlds for the repeat");
 //! ```
 
-use serde::{Deserialize, Serialize};
-use sfscan::prepared::{AuditRequest, BatchStats, ExecutionPlan, PreparedAudit};
-use sfscan::{AuditConfig, AuditReport, RegionSet, ScanError, SpatialOutcomes};
+mod compat;
+mod service;
+mod wire;
 
-/// Opaque id of a submitted request, unique per server instance and
-/// assigned in submission order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct RequestId(pub u64);
-
-// The vendored serde derive shim only handles braced structs; a bare
-// numeric encoding is the right wire format for an id anyway.
-impl Serialize for RequestId {
-    fn to_value(&self) -> serde::Value {
-        self.0.to_value()
-    }
-}
-
-impl Deserialize for RequestId {
-    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
-        u64::from_value(value).map(RequestId)
-    }
-}
-
-impl std::fmt::Display for RequestId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "request-{}", self.0)
-    }
-}
-
-/// One served audit: the id it was submitted under and its full report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct AuditResponse {
-    /// The id [`AuditServer::submit`] returned.
-    pub id: RequestId,
-    /// The audit result — bit-identical to a standalone
-    /// [`sfscan::Auditor`] run of the same request.
-    pub report: AuditReport,
-}
-
-impl AuditResponse {
-    /// Serialises the response as JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("response serialisation cannot fail")
-    }
-
-    /// Deserialises a response from JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde::Error> {
-        serde_json::from_str(json)
-    }
-}
-
-/// Cumulative serving statistics across every drained batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct ServerStats {
-    /// Requests served over the server's lifetime.
-    pub requests_served: u64,
-    /// Batches drained.
-    pub batches: u64,
-    /// Worlds generated and counted.
-    pub unique_worlds: u64,
-    /// Worlds sequential single audits would have generated
-    /// (`Σ worlds_evaluated`).
-    pub lane_worlds: u64,
-    /// Worlds the per-request budgets allowed in total.
-    pub budget_total: u64,
-}
-
-impl ServerStats {
-    /// Worlds answered from a shared stream instead of being
-    /// regenerated.
-    pub fn worlds_shared(&self) -> u64 {
-        self.lane_worlds.saturating_sub(self.unique_worlds)
-    }
-
-    /// Worlds early stopping saved across all batches.
-    pub fn worlds_saved(&self) -> u64 {
-        self.budget_total.saturating_sub(self.lane_worlds)
-    }
-
-    fn absorb(&mut self, batch: &BatchStats) {
-        self.requests_served += batch.requests as u64;
-        self.batches += 1;
-        self.unique_worlds += batch.unique_worlds as u64;
-        self.lane_worlds += batch.lane_worlds as u64;
-        self.budget_total += batch.budget_total as u64;
-    }
-}
-
-/// A queueing front-end over one [`PreparedAudit`]: build the engine
-/// once, serve any number of audit requests in shared batches.
-#[derive(Debug)]
-pub struct AuditServer {
-    prepared: PreparedAudit,
-    queue: Vec<(RequestId, AuditRequest)>,
-    next_id: u64,
-    stats: ServerStats,
-}
-
-impl AuditServer {
-    /// Prepares the serving engine from the dataset, candidate regions,
-    /// and base config (whose backend/strategy are the expensive knobs;
-    /// the rest become per-request defaults).
-    ///
-    /// # Errors
-    /// Propagates [`PreparedAudit::prepare`]'s validation errors
-    /// ([`ScanError::EmptyRegionSet`],
-    /// [`ScanError::DegenerateOutcomes`]).
-    pub fn new(
-        outcomes: &SpatialOutcomes,
-        regions: &RegionSet,
-        config: AuditConfig,
-    ) -> Result<Self, ScanError> {
-        Ok(Self::from_prepared(PreparedAudit::prepare(
-            outcomes, regions, config,
-        )?))
-    }
-
-    /// Wraps an already-prepared engine.
-    pub fn from_prepared(prepared: PreparedAudit) -> Self {
-        AuditServer {
-            prepared,
-            queue: Vec::new(),
-            next_id: 0,
-            stats: ServerStats::default(),
-        }
-    }
-
-    /// The prepared engine serving this queue.
-    pub fn prepared(&self) -> &PreparedAudit {
-        &self.prepared
-    }
-
-    /// The base config requests are completed against.
-    pub fn base_config(&self) -> &AuditConfig {
-        self.prepared.base_config()
-    }
-
-    /// A request with this server's per-request defaults.
-    pub fn default_request(&self) -> AuditRequest {
-        AuditRequest::from_config(self.base_config())
-    }
-
-    /// Enqueues a request; returns the id its response will carry.
-    /// Queued requests cost nothing until [`AuditServer::drain`].
-    ///
-    /// # Panics
-    /// Panics if the request carries invalid knobs (a programmer
-    /// error: the [`AuditRequest`] builders maintain the invariants;
-    /// hand-mutated fields can break them). Validation happens here —
-    /// before queueing — so a bad request can never take an already
-    /// queued batch down with it. Untrusted wire payloads go through
-    /// [`AuditServer::submit_json`], which returns an error instead.
-    pub fn submit(&mut self, request: AuditRequest) -> RequestId {
-        if let Err(e) = request.validate() {
-            panic!("{e}");
-        }
-        let id = RequestId(self.next_id);
-        self.next_id += 1;
-        self.queue.push((id, request));
-        id
-    }
-
-    /// Enqueues a JSON-encoded [`AuditRequest`].
-    ///
-    /// # Errors
-    /// Returns an error — without touching the queue — when the
-    /// payload does not decode *or* decodes to a request with invalid
-    /// knobs (`alpha` outside `(0, 1)`, zero `worlds`, zero early-stop
-    /// batch). Wire payloads are untrusted; rejecting them here keeps
-    /// one malformed request from panicking a later [`drain`] and
-    /// losing the rest of the batch.
-    ///
-    /// [`drain`]: AuditServer::drain
-    pub fn submit_json(&mut self, json: &str) -> Result<RequestId, serde::Error> {
-        let request: AuditRequest = serde_json::from_str(json)?;
-        request
-            .validate()
-            .map_err(|e| serde::Error::msg(e.to_string()))?;
-        Ok(self.submit(request))
-    }
-
-    /// Number of queued, not-yet-served requests.
-    pub fn pending(&self) -> usize {
-        self.queue.len()
-    }
-
-    /// The execution plan the current queue would run as (world-sharing
-    /// groups, budgets) — for introspection; the queue is untouched.
-    pub fn plan(&self) -> ExecutionPlan {
-        ExecutionPlan::new(self.queue.iter().map(|(_, r)| *r).collect())
-    }
-
-    /// Serves every queued request as one batch: plans world-sharing
-    /// groups, executes them over the shared engine, and returns the
-    /// responses in submission order. The queue is left empty.
-    pub fn drain(&mut self) -> Vec<AuditResponse> {
-        if self.queue.is_empty() {
-            return Vec::new();
-        }
-        let queued = std::mem::take(&mut self.queue);
-        let requests: Vec<AuditRequest> = queued.iter().map(|(_, r)| *r).collect();
-        let (reports, batch_stats) = self.prepared.run_batch_with_stats(&requests);
-        self.stats.absorb(&batch_stats);
-        queued
-            .into_iter()
-            .zip(reports)
-            .map(|((id, _), report)| AuditResponse { id, report })
-            .collect()
-    }
-
-    /// Cumulative serving statistics.
-    pub fn stats(&self) -> &ServerStats {
-        &self.stats
-    }
-}
+#[allow(deprecated)]
+pub use compat::{AuditServer, RequestId};
+pub use service::{
+    AuditResponse, AuditService, DatasetHandle, DrainPolicy, ServerStats, Status, SubmitError,
+    Ticket,
+};
+pub use sfscan::worldcache::CacheStats;
+pub use wire::{RequestEnvelope, ResponseEnvelope, WireStatus};
 
 #[cfg(test)]
 mod tests {
@@ -268,7 +89,10 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
     use sfgeo::{Point, Rect};
-    use sfscan::{Auditor, Direction, McStrategy};
+    use sfscan::{
+        AuditConfig, Auditor, Direction, McStrategy, NullModel, RegionSet, ScanError,
+        SpatialOutcomes,
+    };
 
     fn outcomes(n: usize, seed: u64) -> SpatialOutcomes {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -291,148 +115,349 @@ mod tests {
         AuditConfig::new(0.05).with_worlds(99).with_seed(5)
     }
 
+    fn service_with(n: usize, seed: u64) -> (AuditService, DatasetHandle, SpatialOutcomes) {
+        let o = outcomes(n, seed);
+        let mut service = AuditService::new();
+        let handle = service.register(&o, &grid(), base()).unwrap();
+        (service, handle, o)
+    }
+
     #[test]
-    fn served_responses_match_standalone_audits() {
-        let o = outcomes(1000, 1);
-        let rs = grid();
-        let mut server = AuditServer::new(&o, &rs, base()).unwrap();
+    fn ticketed_flow_matches_standalone_audits() {
+        let (mut service, handle, o) = service_with(1000, 1);
+        let base_request = service.default_request(handle).unwrap();
         let requests = [
-            server.default_request(),
-            server.default_request().with_direction(Direction::High),
-            server.default_request().with_seed(7),
-            server
-                .default_request()
-                .with_mc_strategy(McStrategy::EarlyStop { batch_size: 16 }),
+            base_request,
+            base_request.with_direction(Direction::High),
+            base_request.with_seed(7),
+            base_request.with_mc_strategy(McStrategy::EarlyStop { batch_size: 16 }),
         ];
-        let ids: Vec<RequestId> = requests.iter().map(|r| server.submit(*r)).collect();
-        assert_eq!(server.pending(), 4);
-        let responses = server.drain();
-        assert_eq!(server.pending(), 0);
-        for ((request, id), response) in requests.iter().zip(&ids).zip(&responses) {
-            assert_eq!(response.id, *id);
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| service.submit(handle, *r).unwrap())
+            .collect();
+        assert_eq!(service.pending(handle), Some(4));
+        for &t in &tickets {
+            assert!(service.poll(t).is_queued());
+        }
+        assert_eq!(service.flush(), 4);
+        assert_eq!(service.pending(handle), Some(0));
+        for (request, &ticket) in requests.iter().zip(&tickets) {
+            let Status::Ready(response) = service.poll(ticket) else {
+                panic!("flushed tickets are ready");
+            };
+            assert_eq!(response.ticket, ticket);
             let expected = Auditor::new(request.apply_to(base()))
-                .audit(&o, &rs)
+                .audit(&o, &grid())
                 .unwrap();
             assert_eq!(response.report, expected);
+            assert_eq!(service.take(ticket).unwrap().report, expected);
+            assert_eq!(
+                service.poll(ticket),
+                Status::Unknown,
+                "taken tickets vanish"
+            );
         }
+        assert_eq!(service.stats().requests_served, 4);
     }
 
     #[test]
-    fn ids_are_stable_across_batches() {
-        let o = outcomes(400, 2);
-        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
-        let a = server.submit(server.default_request());
-        assert_eq!(server.drain().len(), 1);
-        let b = server.submit(server.default_request().with_seed(9));
-        assert!(b > a, "ids must keep increasing across drains");
-        let responses = server.drain();
-        assert_eq!(responses[0].id, b);
-        assert_eq!(server.stats().requests_served, 2);
-        assert_eq!(server.stats().batches, 2);
-    }
-
-    #[test]
-    fn drain_on_empty_queue_is_a_no_op() {
-        let o = outcomes(200, 3);
-        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
-        assert!(server.drain().is_empty());
-        assert_eq!(server.stats().batches, 0);
-    }
-
-    #[test]
-    fn stats_account_for_sharing_and_saving() {
-        let o = outcomes(1500, 4);
-        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
-        // Three same-class requests (different directions) plus one
-        // early stopper: worlds are generated once per class.
-        for direction in [Direction::TwoSided, Direction::High, Direction::Low] {
-            server.submit(server.default_request().with_direction(direction));
-        }
-        server.submit(
-            server
-                .default_request()
-                .with_mc_strategy(McStrategy::EarlyStop { batch_size: 8 }),
+    fn requests_route_by_handle() {
+        let o1 = outcomes(500, 2);
+        let o2 = outcomes(500, 3);
+        let mut service = AuditService::new();
+        let h1 = service.register(&o1, &grid(), base()).unwrap();
+        let h2 = service.register(&o2, &grid(), base()).unwrap();
+        assert_eq!(service.handles(), vec![h1, h2]);
+        assert_ne!(h1, h2);
+        let request = service.default_request(h1).unwrap();
+        let t1 = service.submit(h1, request).unwrap();
+        let t2 = service.submit(h2, request).unwrap();
+        service.flush();
+        let r1 = service.take(t1).unwrap();
+        let r2 = service.take(t2).unwrap();
+        assert_ne!(
+            r1.report, r2.report,
+            "different datasets, different answers"
         );
-        server.drain();
-        let stats = *server.stats();
-        assert_eq!(stats.requests_served, 4);
-        assert_eq!(stats.unique_worlds, 99, "one shared stream");
-        assert!(stats.worlds_shared() > 0, "{stats:?}");
-        assert_eq!(stats.budget_total, 4 * 99, "budget ceiling is per-request");
-    }
-
-    #[test]
-    fn json_round_trips() {
-        let o = outcomes(500, 5);
-        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
-        let request = server.default_request().with_direction(Direction::Low);
-        let id = server
-            .submit_json(&serde_json::to_string(&request).unwrap())
+        let e1 = Auditor::new(request.apply_to(base()))
+            .audit(&o1, &grid())
             .unwrap();
-        let responses = server.drain();
-        assert_eq!(responses[0].id, id);
-        let json = responses[0].to_json();
-        let back = AuditResponse::from_json(&json).unwrap();
-        assert_eq!(back, responses[0]);
-        // Malformed payloads leave the queue untouched.
-        assert!(server.submit_json("{not json}").is_err());
-        assert_eq!(server.pending(), 0);
+        let e2 = Auditor::new(request.apply_to(base()))
+            .audit(&o2, &grid())
+            .unwrap();
+        assert_eq!(r1.report, e1);
+        assert_eq!(r2.report, e2);
     }
 
     #[test]
-    fn invalid_wire_requests_are_rejected_at_submit_not_drain() {
-        let o = outcomes(300, 8);
-        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
-        let good = server.submit(server.default_request());
-        // Well-formed JSON, invalid knobs: rejected up front, with the
-        // offending knob named; the queued batch survives.
-        let mut bad = server.default_request();
+    fn submit_errors_are_typed_not_panics() {
+        let (mut service, handle, _) = service_with(300, 4);
+        let mut bad = service.default_request(handle).unwrap();
         bad.alpha = 2.0;
-        let err = server
-            .submit_json(&serde_json::to_string(&bad).unwrap())
-            .unwrap_err();
+        let err = service.submit(handle, bad).unwrap_err();
+        assert!(matches!(err, SubmitError::InvalidRequest { .. }), "{err}");
         assert!(err.to_string().contains("alpha"), "{err}");
         bad.alpha = 0.05;
         bad.worlds = 0;
-        let err = server
-            .submit_json(&serde_json::to_string(&bad).unwrap())
-            .unwrap_err();
+        let err = service.submit(handle, bad).unwrap_err();
         assert!(err.to_string().contains("world"), "{err}");
-        assert_eq!(server.pending(), 1);
-        let responses = server.drain();
-        assert_eq!(responses.len(), 1);
-        assert_eq!(responses[0].id, good);
+        let ghost = DatasetHandle(999);
+        let err = service
+            .submit(ghost, service.default_request(handle).unwrap())
+            .unwrap_err();
+        assert_eq!(err, SubmitError::UnknownHandle(ghost));
+        assert_eq!(service.pending_total(), 0, "rejections never queue");
     }
 
     #[test]
-    #[should_panic(expected = "alpha")]
-    fn invalid_typed_request_panics_before_queueing() {
-        let o = outcomes(200, 9);
-        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
-        let mut bad = server.default_request();
-        bad.alpha = -1.0;
-        let _ = server.submit(bad);
+    fn manual_policy_runs_nothing_until_flush() {
+        let (mut service, handle, _) = service_with(300, 5);
+        assert_eq!(service.policy(), DrainPolicy::Manual);
+        let t = service
+            .submit(handle, service.default_request(handle).unwrap())
+            .unwrap();
+        service.tick(1_000_000);
+        assert!(service.poll(t).is_queued(), "Manual ignores the clock");
+        assert_eq!(service.stats().batches, 0);
+        assert_eq!(service.flush(), 1);
+        assert!(service.poll(t).is_ready());
     }
 
     #[test]
-    fn plan_introspection_reports_grouping() {
-        let o = outcomes(300, 6);
-        let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
-        server.submit(server.default_request());
-        server.submit(server.default_request().with_direction(Direction::High));
-        server.submit(server.default_request().with_seed(42));
-        let plan = server.plan();
-        assert_eq!(plan.groups().len(), 2);
-        assert_eq!(server.pending(), 3, "planning does not consume the queue");
+    fn max_pending_policy_executes_on_the_nth_submission() {
+        let (mut service, handle, _) = service_with(400, 6);
+        service.set_policy(DrainPolicy::MaxPending(3));
+        let request = service.default_request(handle).unwrap();
+        let t1 = service.submit(handle, request).unwrap();
+        let t2 = service
+            .submit(handle, request.with_direction(Direction::High))
+            .unwrap();
+        assert_eq!(service.pending(handle), Some(2));
+        assert_eq!(service.stats().batches, 0);
+        let t3 = service
+            .submit(handle, request.with_direction(Direction::Low))
+            .unwrap();
+        assert_eq!(service.pending(handle), Some(0), "third submission fired");
+        assert_eq!(service.stats().batches, 1);
+        for t in [t1, t2, t3] {
+            assert!(service.poll(t).is_ready());
+        }
     }
 
     #[test]
-    fn prepare_errors_propagate() {
-        let o = outcomes(100, 7);
-        let empty = RegionSet::from_regions(vec![]);
+    fn deadline_policy_fires_on_tick_not_before() {
+        let (mut service, handle, _) = service_with(400, 7);
+        service.set_policy(DrainPolicy::Deadline(10));
+        service.tick(100);
+        let t = service
+            .submit(handle, service.default_request(handle).unwrap())
+            .unwrap();
+        assert_eq!(service.tick(105), 0, "deadline not reached");
+        assert!(service.poll(t).is_queued());
+        assert_eq!(service.tick(110), 1, "10 ticks after submission");
+        assert!(service.poll(t).is_ready());
+        // The clock is monotonic: going backwards is ignored.
+        service.tick(50);
+        assert_eq!(service.clock(), 110);
+    }
+
+    #[test]
+    fn repeat_requests_are_served_from_the_world_cache() {
+        let (mut service, handle, _) = service_with(900, 8);
+        let request = service.default_request(handle).unwrap();
+        let t_cold = service.submit(handle, request).unwrap();
+        service.flush();
+        let cold = service.take(t_cold).unwrap();
+        let after_cold = *service.stats();
+        assert_eq!(after_cold.unique_worlds, 99);
+        assert_eq!(after_cold.cache_hits, 0);
+
+        let t_warm = service.submit(handle, request).unwrap();
+        service.flush();
+        let warm = service.take(t_warm).unwrap();
+        assert_eq!(warm.report, cold.report, "bit-identical to the cold run");
+        let stats = *service.stats();
+        assert_eq!(stats.unique_worlds, 99, "ZERO new simulated worlds");
+        assert_eq!(stats.worlds_replayed, 99);
+        assert_eq!(stats.cache_hits, 1);
+        let cache = service.cache_stats(handle).unwrap();
+        assert_eq!(cache.worlds_replayed, 99);
+        assert_eq!(service.cached_worlds(handle), Some(99));
+    }
+
+    #[test]
+    fn unregister_evicts_the_session_and_frees_its_cache() {
+        let (mut service, handle, _) = service_with(600, 9);
+        let request = service.default_request(handle).unwrap();
+        service.submit(handle, request).unwrap();
+        service.flush();
+        assert!(service.cached_worlds(handle).unwrap() > 0);
+        // A pending ticket at eviction time is dropped…
+        let orphan = service.submit(handle, request.with_seed(3)).unwrap();
+        let final_cache = service.unregister(handle).unwrap();
+        assert_eq!(final_cache.worlds_simulated, 99);
+        // …the handle stops routing…
+        assert_eq!(service.cache_stats(handle), None);
+        assert_eq!(service.cached_worlds(handle), None);
+        assert_eq!(service.pending(handle), None);
+        assert_eq!(service.poll(orphan), Status::Unknown);
         assert_eq!(
-            AuditServer::new(&o, &empty, base()).unwrap_err(),
+            service.submit(handle, request).unwrap_err(),
+            SubmitError::UnknownHandle(handle)
+        );
+        assert_eq!(
+            service.unregister(handle).unwrap_err(),
+            SubmitError::UnknownHandle(handle)
+        );
+        // …and a re-registration is a fresh session under a NEW handle
+        // with a cold cache.
+        let o = outcomes(600, 9);
+        let fresh = service.register(&o, &grid(), base()).unwrap();
+        assert_ne!(fresh, handle, "handles are never reused");
+        assert_eq!(service.cached_worlds(fresh), Some(0));
+    }
+
+    #[test]
+    fn take_ready_returns_submission_order() {
+        let (mut service, handle, _) = service_with(400, 10);
+        let request = service.default_request(handle).unwrap();
+        let tickets = [
+            service.submit(handle, request).unwrap(),
+            service
+                .submit(handle, request.with_direction(Direction::High))
+                .unwrap(),
+            service.submit(handle, request.with_seed(9)).unwrap(),
+        ];
+        service.flush();
+        let responses = service.take_ready();
+        assert_eq!(
+            responses.iter().map(|r| r.ticket).collect::<Vec<_>>(),
+            tickets
+        );
+        assert_eq!(service.ready_total(), 0);
+    }
+
+    #[test]
+    fn stats_display_is_the_summary_line() {
+        let (mut service, handle, _) = service_with(700, 11);
+        let request = service.default_request(handle).unwrap();
+        service.submit(handle, request).unwrap();
+        service
+            .submit(handle, request.with_direction(Direction::High))
+            .unwrap();
+        service.flush();
+        service.submit(handle, request).unwrap();
+        service.flush();
+        let line = service.stats().to_string();
+        assert!(line.starts_with("requests=3"), "{line}");
+        for token in ["worlds: unique=", "shared=", "saved=", "cache_hits=1"] {
+            assert!(line.contains(token), "{line}");
+        }
+    }
+
+    #[test]
+    fn wire_envelopes_round_trip_and_reject_malformed_lines() {
+        let (mut service, handle, _) = service_with(500, 12);
+        let request = service
+            .default_request(handle)
+            .unwrap()
+            .with_direction(Direction::Low)
+            .with_null_model(NullModel::Permutation);
+        let envelope = RequestEnvelope { handle, request };
+        let line = envelope.to_json();
+        assert_eq!(RequestEnvelope::from_json(&line).unwrap(), envelope);
+        let ticket = service.submit_json(&line).unwrap();
+        assert_eq!(
+            ResponseEnvelope::from_status(ticket, service.poll(ticket)),
+            ResponseEnvelope::queued(ticket)
+        );
+        service.flush();
+        let out = ResponseEnvelope::from_status(ticket, service.poll(ticket));
+        assert_eq!(out.status, WireStatus::Ready);
+        assert_eq!(out.ticket, Some(ticket));
+        assert!(out.report.is_some());
+        assert_eq!(out.error, None);
+        let back = ResponseEnvelope::from_json(&out.to_json()).unwrap();
+        assert_eq!(back, out);
+
+        // Malformed and invalid lines are rejected without queueing.
+        let err = service.submit_json("{not json}").unwrap_err();
+        assert!(matches!(err, SubmitError::Malformed { .. }), "{err}");
+        let mut bad = envelope;
+        bad.request.alpha = 5.0;
+        let err = service.submit_json(&bad.to_json()).unwrap_err();
+        assert!(matches!(err, SubmitError::InvalidRequest { .. }), "{err}");
+        let rejected = ResponseEnvelope::rejected(&err);
+        assert_eq!(rejected.status, WireStatus::Rejected);
+        assert!(rejected.error.unwrap().contains("alpha"));
+        assert_eq!(service.pending_total(), 0);
+    }
+
+    #[test]
+    fn prepare_errors_propagate_from_register() {
+        let o = outcomes(100, 13);
+        let empty = RegionSet::from_regions(vec![]);
+        let mut service = AuditService::new();
+        assert_eq!(
+            service.register(&o, &empty, base()).unwrap_err(),
             ScanError::EmptyRegionSet
         );
+    }
+
+    #[allow(deprecated)]
+    mod compat_shim {
+        use super::*;
+
+        #[test]
+        fn v1_surface_still_works_over_the_service() {
+            let o = outcomes(800, 20);
+            let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
+            let a = server.submit(server.default_request());
+            let b = server.submit(server.default_request().with_direction(Direction::High));
+            assert_eq!(server.pending(), 2);
+            assert_eq!(server.plan().groups().len(), 1);
+            let responses = server.drain();
+            assert_eq!(responses.len(), 2);
+            assert_eq!(responses[0].ticket, a);
+            assert_eq!(responses[1].ticket, b);
+            let expected = Auditor::new(server.default_request().apply_to(base()))
+                .audit(&o, &grid())
+                .unwrap();
+            assert_eq!(responses[0].report, expected);
+            assert_eq!(server.stats().requests_served, 2);
+            // Ids keep increasing across drains, and the v2 cache works
+            // underneath: a repeat drain simulates nothing new.
+            let c = server.submit(server.default_request());
+            assert!(c > b);
+            let repeat = server.drain();
+            assert_eq!(repeat[0].report, expected);
+            assert_eq!(server.stats().unique_worlds, 99);
+            assert!(server.stats().worlds_replayed > 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "alpha")]
+        fn v1_submit_still_panics_on_invalid_requests() {
+            let o = outcomes(200, 21);
+            let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
+            let mut bad = server.default_request();
+            bad.alpha = -1.0;
+            let _ = server.submit(bad);
+        }
+
+        #[test]
+        fn v1_submit_json_rejects_without_queueing() {
+            let o = outcomes(300, 22);
+            let mut server = AuditServer::new(&o, &grid(), base()).unwrap();
+            assert!(server.submit_json("{not json}").is_err());
+            let mut bad = server.default_request();
+            bad.worlds = 0;
+            let err = server
+                .submit_json(&serde_json::to_string(&bad).unwrap())
+                .unwrap_err();
+            assert!(err.to_string().contains("world"), "{err}");
+            assert_eq!(server.pending(), 0);
+        }
     }
 }

@@ -1,0 +1,177 @@
+//! JSONL wire envelopes over the existing serde layer.
+//!
+//! One request per line, one response per line — the framing is the
+//! newline, the payload is plain JSON, so the service drops into any
+//! byte transport (files, pipes, sockets). `experiments serve` is the
+//! reference loop: it reads [`RequestEnvelope`] lines from a
+//! file/stdin, routes them through one [`AuditService`], and emits one
+//! [`ResponseEnvelope`] line per input line.
+//!
+//! * request line — `{"handle": H, "request": {…}}` where `H` is the
+//!   numeric [`DatasetHandle`] (handles are assigned `0, 1, …` in
+//!   registration order, so transcripts can hardcode them);
+//! * response line — `{"ticket": T|null, "status":
+//!   "ready"|"queued"|"rejected", "report": {…}|null, "error":
+//!   "…"|null}`.
+
+use crate::service::{AuditResponse, AuditService, DatasetHandle, Status, SubmitError, Ticket};
+use serde::{Deserialize, Serialize};
+use sfscan::prepared::AuditRequest;
+use sfscan::AuditReport;
+
+/// One submitted request on the wire: which session it routes to and
+/// the request itself.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Routing handle ([`AuditService::register`] assigns `0, 1, …`).
+    pub handle: DatasetHandle,
+    /// The audit request.
+    pub request: AuditRequest,
+}
+
+impl RequestEnvelope {
+    /// Serialises the envelope as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("envelope serialisation cannot fail")
+    }
+
+    /// Deserialises an envelope from a JSONL line.
+    pub fn from_json(json: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Wire rendering of a ticket's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireStatus {
+    /// Accepted, not yet executed.
+    Queued,
+    /// Executed; the envelope carries the report.
+    Ready,
+    /// Rejected at submission; the envelope carries the error.
+    Rejected,
+}
+
+impl WireStatus {
+    /// The lowercase wire token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WireStatus::Queued => "queued",
+            WireStatus::Ready => "ready",
+            WireStatus::Rejected => "rejected",
+        }
+    }
+}
+
+impl std::fmt::Display for WireStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for WireStatus {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for WireStatus {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value.as_str() {
+            Some("queued") => Ok(WireStatus::Queued),
+            Some("ready") => Ok(WireStatus::Ready),
+            Some("rejected") => Ok(WireStatus::Rejected),
+            _ => Err(serde::Error::msg(format!(
+                "expected \"queued\"/\"ready\"/\"rejected\", got {}",
+                value.kind()
+            ))),
+        }
+    }
+}
+
+/// One response on the wire. Every field is always present; absent
+/// values render as JSON `null` so line consumers never key-check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// The ticket the submission was assigned (`null` when it was
+    /// rejected before a ticket existed).
+    pub ticket: Option<Ticket>,
+    /// `"ready"`, `"queued"`, or `"rejected"`.
+    pub status: WireStatus,
+    /// The audit report (`null` unless `status == "ready"`).
+    pub report: Option<AuditReport>,
+    /// The rejection reason (`null` unless `status == "rejected"`).
+    pub error: Option<String>,
+}
+
+impl ResponseEnvelope {
+    /// A served response.
+    pub fn ready(response: AuditResponse) -> Self {
+        ResponseEnvelope {
+            ticket: Some(response.ticket),
+            status: WireStatus::Ready,
+            report: Some(response.report),
+            error: None,
+        }
+    }
+
+    /// An accepted-but-not-yet-executed response.
+    pub fn queued(ticket: Ticket) -> Self {
+        ResponseEnvelope {
+            ticket: Some(ticket),
+            status: WireStatus::Queued,
+            report: None,
+            error: None,
+        }
+    }
+
+    /// A rejected submission.
+    pub fn rejected(error: &SubmitError) -> Self {
+        ResponseEnvelope {
+            ticket: None,
+            status: WireStatus::Rejected,
+            report: None,
+            error: Some(error.to_string()),
+        }
+    }
+
+    /// The wire view of a polled ticket.
+    pub fn from_status(ticket: Ticket, status: Status) -> Self {
+        match status {
+            Status::Ready(response) => ResponseEnvelope::ready(response),
+            Status::Queued => ResponseEnvelope::queued(ticket),
+            Status::Unknown => ResponseEnvelope {
+                ticket: Some(ticket),
+                status: WireStatus::Rejected,
+                report: None,
+                error: Some(format!("unknown {ticket}")),
+            },
+        }
+    }
+
+    /// Serialises the envelope as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("envelope serialisation cannot fail")
+    }
+
+    /// Deserialises an envelope from a JSONL line.
+    pub fn from_json(json: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl AuditService {
+    /// Decodes one [`RequestEnvelope`] JSONL line and submits it.
+    ///
+    /// # Errors
+    /// [`SubmitError::Malformed`] when the line does not decode;
+    /// otherwise whatever [`AuditService::submit`] returns. The queue
+    /// is untouched on any error — one bad wire payload can never take
+    /// an already queued batch down with it.
+    pub fn submit_json(&mut self, line: &str) -> Result<Ticket, SubmitError> {
+        let envelope = RequestEnvelope::from_json(line).map_err(|e| SubmitError::Malformed {
+            reason: e.to_string(),
+        })?;
+        self.submit(envelope.handle, envelope.request)
+    }
+}

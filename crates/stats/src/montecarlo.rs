@@ -254,9 +254,7 @@ impl MonteCarlo {
         let mut lane = WorldLane::new(observed, alpha, self.strategy, self.worlds);
         while let Some(end) = lane.next_checkpoint() {
             let start = lane.cursor();
-            for tau in self.eval_range(start, end, &eval_world) {
-                lane.push(tau);
-            }
+            lane.feed(&self.eval_range(start, end, &eval_world));
         }
         lane.into_result()
     }
@@ -406,6 +404,29 @@ impl WorldLane {
                 }
             }
         }
+    }
+
+    /// Bulk-feeds a prefix of the lane's world stream — the replay
+    /// primitive of cross-batch world caching: a cached τ-stream
+    /// prefix from an earlier batch is pushed through the *same*
+    /// stopping rule a live stream would be, so a resumed run stops at
+    /// exactly the world a cold run stops at.
+    ///
+    /// Consumes values in order until the lane is done or the slice is
+    /// exhausted; returns how many values were consumed. Unlike
+    /// [`WorldLane::push`], feeding a done lane is a no-op (returns
+    /// 0), which is what lets a shared cached prefix be offered to
+    /// every lane of a group regardless of where each one stops.
+    pub fn feed(&mut self, taus: &[f64]) -> usize {
+        let mut consumed = 0;
+        for &tau in taus {
+            if self.is_done() {
+                break;
+            }
+            self.push(tau);
+            consumed += 1;
+        }
+        consumed
     }
 
     /// Finalises the lane into a [`MonteCarloResult`].
@@ -831,6 +852,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn lane_feed_replays_a_cached_prefix_identically() {
+        // A lane fed a whole cached stream in one call must land in
+        // exactly the state of a lane fed world by world.
+        let eval = |rng: &mut ChaCha8Rng| -> f64 { rng.gen::<f64>() };
+        let taus: Vec<f64> = (0..199)
+            .map(|i| {
+                let mut rng = world_rng(23, i as u64);
+                eval(&mut rng)
+            })
+            .collect();
+        for &(alpha, batch) in &[(0.05, 8usize), (0.25, 1), (0.01, 64)] {
+            for obs_i in 0..8 {
+                let observed = obs_i as f64 / 8.0;
+                let strategy = McStrategy::EarlyStop { batch_size: batch };
+                let mut stepped = WorldLane::new(observed, alpha, strategy, 199);
+                for &tau in &taus {
+                    if stepped.is_done() {
+                        break;
+                    }
+                    stepped.push(tau);
+                }
+                let mut fed = WorldLane::new(observed, alpha, strategy, 199);
+                let consumed = fed.feed(&taus);
+                assert_eq!(consumed, stepped.cursor());
+                assert_eq!(fed.into_result(), stepped.into_result());
+            }
+        }
+    }
+
+    #[test]
+    fn lane_feed_is_incremental_and_tolerates_done_lanes() {
+        // Feeding in arbitrary chunks equals feeding at once; feeding a
+        // finished lane consumes nothing instead of panicking.
+        let mut chunked = WorldLane::new(0.5, 0.05, McStrategy::FullBudget, 10);
+        let stream: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+        assert_eq!(chunked.feed(&stream[..3]), 3);
+        assert_eq!(chunked.feed(&stream[3..7]), 4);
+        assert_eq!(chunked.feed(&stream[7..]), 3, "budget caps consumption");
+        assert!(chunked.is_done());
+        assert_eq!(chunked.feed(&stream), 0, "done lanes consume nothing");
+        let mut whole = WorldLane::new(0.5, 0.05, McStrategy::FullBudget, 10);
+        assert_eq!(whole.feed(&stream), 10);
+        assert_eq!(chunked.into_result(), whole.into_result());
     }
 
     #[test]

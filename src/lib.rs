@@ -20,8 +20,10 @@
 //!   auditor, region enumeration, evidence identification, and the
 //!   `MeanVar` baseline — plus the prepare/plan/execute serving layer
 //!   ([`scan::prepared`]).
-//! * [`serve`] — the audit serving surface: queue many requests
-//!   against one prepared engine ([`serve::AuditServer`]).
+//! * [`serve`] — the audit serving surface: a multi-dataset
+//!   [`serve::AuditService`] with ticketed submission, deterministic
+//!   drain policies, a cross-batch world cache, and JSONL wire
+//!   envelopes.
 //! * [`data`] — dataset generators calibrated to the paper's evaluation
 //!   (Synth, SemiSynth, synthetic LAR and Crime clones).
 //!
@@ -70,6 +72,11 @@ pub mod prelude {
         regions::RegionSet,
         report::AuditReport,
     };
-    pub use sfserve::{AuditResponse, AuditServer, RequestId};
+    pub use sfserve::{
+        AuditResponse, AuditService, DatasetHandle, DrainPolicy, ServerStats, Status, SubmitError,
+        Ticket,
+    };
+    #[allow(deprecated)]
+    pub use sfserve::{AuditServer, RequestId};
     pub use sfstats::llr::bernoulli_llr;
 }

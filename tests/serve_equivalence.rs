@@ -8,12 +8,18 @@
 //! (which rebuilds the engine per call). "Exactly" means full struct
 //! equality: verdict, p-value, critical value, findings, the truncated
 //! `simulated` distribution, and the embedded config.
+//!
+//! The v2 `AuditService` adds the cross-batch world cache, so the
+//! contract extends across *drains*: any interleaving of
+//! repeat/extended/fresh requests over any flush pattern must stay
+//! bit-identical to standalone audits, and strict repeats must cost
+//! zero newly simulated worlds.
 
 use proptest::prelude::*;
 use spatial_fairness::prelude::*;
 use spatial_fairness::scan::prepared::ExecutionPlan;
 use spatial_fairness::scan::{McStrategy, NullModel};
-use spatial_fairness::serve::AuditServer;
+use spatial_fairness::serve::{AuditService, Ticket};
 
 /// Arbitrary small outcome sets guaranteed to contain both classes.
 fn arb_outcomes() -> impl Strategy<Value = SpatialOutcomes> {
@@ -114,7 +120,7 @@ proptest! {
     }
 
     #[test]
-    fn server_drain_matches_direct_batch(
+    fn service_flush_matches_direct_batch(
         outcomes in arb_outcomes(),
         requests in prop::collection::vec(arb_request(), 1..6),
     ) {
@@ -123,15 +129,64 @@ proptest! {
         let prepared = PreparedAudit::prepare(&outcomes, &regions, base).unwrap();
         let direct = prepared.run_batch(&requests);
 
-        let mut server = AuditServer::new(&outcomes, &regions, base).unwrap();
-        for request in &requests {
-            server.submit(*request);
-        }
-        let responses = server.drain();
-        for (expected, response) in direct.iter().zip(&responses) {
+        let mut service = AuditService::new();
+        let handle = service.register(&outcomes, &regions, base).unwrap();
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| service.submit(handle, *r).unwrap())
+            .collect();
+        service.flush();
+        for (expected, ticket) in direct.iter().zip(&tickets) {
+            let response = service.take(*ticket).expect("flushed tickets are ready");
             prop_assert_eq!(expected, &response.report);
         }
-        prop_assert_eq!(server.stats().requests_served, requests.len() as u64);
+        prop_assert_eq!(service.stats().requests_served, requests.len() as u64);
+    }
+
+    #[test]
+    fn interleaved_drains_through_the_world_cache_match_standalone_audits(
+        outcomes in arb_outcomes(),
+        pool in prop::collection::vec(arb_request(), 2..5),
+        ops in prop::collection::vec((0usize..8, any::<bool>()), 1..12),
+    ) {
+        // Any interleaving of repeat / extended / fresh requests (the
+        // pool's knob grid collides on world classes, so later picks
+        // replay or extend earlier ones' cached τ-streams) across any
+        // flush pattern must be bit-identical to standalone audits.
+        let regions = RegionSet::regular_grid(outcomes.expanded_bounding_box(), 3, 3);
+        let base = AuditConfig::new(0.05).with_worlds(19).with_seed(2);
+        let mut service = AuditService::new();
+        let handle = service.register(&outcomes, &regions, base).unwrap();
+        let mut submitted: Vec<(Ticket, AuditRequest)> = Vec::new();
+        for &(pick, flush) in &ops {
+            let request = pool[pick % pool.len()];
+            let ticket = service.submit(handle, request).unwrap();
+            submitted.push((ticket, request));
+            if flush {
+                service.flush();
+            }
+        }
+        service.flush();
+        for (ticket, request) in &submitted {
+            let response = service.take(*ticket).expect("flushed tickets are ready");
+            let solo = Auditor::new(request.apply_to(base))
+                .audit(&outcomes, &regions)
+                .unwrap();
+            prop_assert_eq!(&response.report, &solo, "request {:?}", request);
+        }
+        // A strict repeat of anything already served costs ZERO newly
+        // simulated worlds — the acceptance bar of the world cache.
+        let repeat = submitted[0].1;
+        let before = service.stats().unique_worlds;
+        let ticket = service.submit(handle, repeat).unwrap();
+        service.flush();
+        let warm = service.take(ticket).expect("ready");
+        prop_assert_eq!(service.stats().unique_worlds, before,
+            "repeat request must be answered entirely from the cache");
+        let solo = Auditor::new(repeat.apply_to(base))
+            .audit(&outcomes, &regions)
+            .unwrap();
+        prop_assert_eq!(&warm.report, &solo);
     }
 
     #[test]
