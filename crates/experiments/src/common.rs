@@ -5,7 +5,7 @@ use sfdata::lar::{LarConfig, LarDataset};
 use sfgeo::Rect;
 use sfml::RandomForestConfig;
 use sfscan::outcomes::SpatialOutcomes;
-use sfscan::{AuditConfig, CountingStrategy, IndexBackend, McStrategy};
+use sfscan::{AuditConfig, CountingStrategy, IndexBackend, McStrategy, WorldGen};
 use std::time::Instant;
 
 /// Global harness options.
@@ -23,6 +23,8 @@ pub struct Options {
     pub strategy: CountingStrategy,
     /// Monte Carlo budget strategy for every calibration.
     pub mc_strategy: McStrategy,
+    /// World-generation algorithm version for every calibration.
+    pub worldgen: WorldGen,
     /// `serve-bench`: number of queued audit requests.
     pub requests: usize,
     /// `serve-bench`: output path for the machine-readable results.
@@ -43,8 +45,9 @@ impl Default for Options {
             backend: IndexBackend::default(),
             strategy: CountingStrategy::default(),
             mc_strategy: McStrategy::FullBudget,
+            worldgen: WorldGen::Scalar,
             requests: 24,
-            out: "BENCH_PR4.json".to_string(),
+            out: "BENCH_PR5.json".to_string(),
             input: None,
             max_pending: None,
         }
@@ -56,12 +59,14 @@ impl Options {
     pub const ALPHA: f64 = 0.005;
 
     /// Applies the harness-level audit knobs (index backend, counting
-    /// strategy, Monte Carlo budget strategy) to a figure's config.
+    /// strategy, Monte Carlo budget strategy, world generator) to a
+    /// figure's config.
     pub fn decorate(&self, config: AuditConfig) -> AuditConfig {
         config
             .with_backend(self.backend)
             .with_strategy(self.strategy)
             .with_mc_strategy(self.mc_strategy)
+            .with_worldgen(self.worldgen)
     }
 
     /// LAR generator config at the selected scale.

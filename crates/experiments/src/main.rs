@@ -28,13 +28,15 @@
 //! (counting substrate; results are backend-invariant), `--strategy
 //! <membership|requery|blocked|auto>` (per-world counting), `--mc
 //! <full-budget|early-stop|early-stop(batch=N)>` (budget strategy),
-//! `--early-stop` (shorthand for `--mc early-stop`). `serve-bench`
-//! additionally takes `--requests <n>` and `--out <path>` (default
-//! `BENCH_PR4.json`); `serve` takes `--input <path>` (JSONL request
-//! envelopes; default stdin) and `--max-pending <n>` (drain policy;
-//! default manual, one batch at EOF). The backend/strategy/mc values
-//! are parsed with the types' `FromStr` impls, so error messages list
-//! the valid values.
+//! `--early-stop` (shorthand for `--mc early-stop`), `--worldgen
+//! <scalar|word>` (world-generation version; `word` draws Bernoulli
+//! labels 64 per RNG pass). `serve-bench` additionally takes
+//! `--requests <n>` and `--out <path>` (default `BENCH_PR5.json`);
+//! `serve` takes `--input <path>` (JSONL request envelopes; default
+//! stdin) and `--max-pending <n>` (drain policy; default manual, one
+//! batch at EOF). The backend/strategy/mc/worldgen values are parsed
+//! with the types' `FromStr` impls, so error messages list the valid
+//! values.
 
 mod common;
 mod complexity;
@@ -92,6 +94,10 @@ fn main() {
                 opts.mc_strategy = parse_flag("--mc", args.get(i));
             }
             "--early-stop" => opts.mc_strategy = sfscan::McStrategy::early_stop(),
+            "--worldgen" => {
+                i += 1;
+                opts.worldgen = parse_flag("--worldgen", args.get(i));
+            }
             "--requests" => {
                 i += 1;
                 opts.requests = parse_flag("--requests", args.get(i));
@@ -174,6 +180,7 @@ fn die(msg: &str) -> ! {
          [--worlds N] [--backend <brute|kdtree|quadtree|rtree|grid>] \
          [--strategy <membership|requery|blocked|auto>] \
          [--mc <full-budget|early-stop|early-stop(batch=N)>] [--early-stop] \
+         [--worldgen <scalar|word>] \
          [--requests N] [--out PATH] [--input PATH] [--max-pending N]"
     );
     std::process::exit(2);

@@ -1,13 +1,14 @@
 //! `serve-bench`: batched multi-audit serving vs rebuild-per-request,
-//! warm-cache vs cold-batch serving, plus blocked vs scalar world
-//! counting on the same workload.
+//! warm-cache vs cold-batch serving, blocked vs scalar world counting,
+//! and word-parallel vs scalar world *generation* on the same
+//! workload.
 //!
 //! The serving layer's promise is that the expensive artifacts (index,
 //! membership CSR, region totals) and the simulated worlds are shared
 //! across a request stream — and, since the v2 [`AuditService`], across
 //! *batches* via the per-session world cache. This benchmark queues a
 //! mixed batch of audit requests (directions × alphas × seeds × budget
-//! strategies), serves it four ways —
+//! strategies), serves it five ways —
 //!
 //! * **rebuild**: a fresh [`Auditor`] per request (engine rebuilt every
 //!   time, worlds generated per request),
@@ -15,30 +16,48 @@
 //!   submitted (tickets) then flushed as a single cold batch,
 //! * **warm**: the *same* requests resubmitted to the same session, so
 //!   every world class replays its cached τ-stream — **zero** new
-//!   simulated worlds, proven by `CacheStats`, and
+//!   simulated worlds, proven by `CacheStats`,
 //! * **batched+blocked**: a cold service with
 //!   [`CountingStrategy::Blocked`], so every shared world is counted
-//!   by masked popcounts over the Morton-blocked membership CSR —
+//!   by masked popcounts over the Morton-blocked membership CSR, and
+//! * **batched+blocked+word**: the same cold workload under
+//!   [`WorldGen::Word`] — counting by popcnt *and* generation by bulk
+//!   64-labels-per-pass Bernoulli draws written straight into the
+//!   blocked layout words (the full v2 fast path) —
 //!
-//! verifies all reports are **bit-identical**, isolates the per-world
-//! counting pass (scalar `count_at` membership replay vs blocked
-//! popcnt sweep, asserted `>= 3x` at full scale), and persists the
-//! machine-readable comparison so the performance trajectory is
-//! tracked across PRs (`BENCH_PR4.json`; format documented in the
-//! README's benchmark-artifact section).
+//! verifies all reports are **bit-identical** within their generator
+//! version, isolates the per-world counting pass (scalar `count_at`
+//! membership replay vs blocked popcnt sweep, asserted `>= 3x` at
+//! full scale) *and* the per-world generation pass (scalar `gen_bool`
+//! per point vs word-parallel bulk draws, asserted `>= 4x` at full
+//! scale, with the cold word batch asserted `>= 2x` end to end), and
+//! persists the machine-readable comparison so the performance
+//! trajectory is tracked across PRs (`BENCH_PR5.json`; format
+//! documented in the README's benchmark-artifact section).
 
 use crate::common::{banner, report_row, Options};
 use serde::Serialize;
 use sfdata::synth::SynthConfig;
 use sfscan::engine::ScanEngine;
-use sfscan::prepared::AuditRequest;
-use sfscan::{AuditConfig, Auditor, CountingStrategy, Direction, McStrategy, NullModel, RegionSet};
+use sfscan::prepared::{AuditRequest, PreparedAudit};
+use sfscan::{
+    AuditConfig, Auditor, CountingStrategy, Direction, McStrategy, NullModel, RegionSet, WorldGen,
+};
 use sfserve::AuditService;
 use std::time::Instant;
 
 /// The speedup the blocked counting path must clear over the scalar
 /// membership replay at full scale (the PR 3 acceptance bar).
 const COUNTING_SPEEDUP_TARGET: f64 = 3.0;
+
+/// The cold world-generation speedup `WorldGen::Word` must clear over
+/// `WorldGen::Scalar` on the blocked engine at full scale (the PR 5
+/// acceptance bar)…
+const WORLD_GEN_SPEEDUP_TARGET: f64 = 4.0;
+
+/// …and the end-to-end cold-batch speedup of the word path over the
+/// scalar path on the same blocked serving workload.
+const WORD_BATCH_SPEEDUP_TARGET: f64 = 2.0;
 
 /// Machine-readable benchmark record (written to `--out`,
 /// `BENCH_PR4.json` by default).
@@ -114,6 +133,30 @@ struct ServeBenchRecord {
     /// Per-region counts identical between scalar and blocked on every
     /// timed world.
     counting_bit_identical: bool,
+    /// Generation isolation: worlds timed in the scalar-vs-word pass.
+    gen_worlds: usize,
+    /// Scalar (`gen_bool` per point) world generation over those
+    /// worlds on the blocked engine, Bernoulli null, ms.
+    gen_scalar_ms: f64,
+    /// Word-parallel bulk generation over the same configuration, ms.
+    gen_word_ms: f64,
+    /// `gen_scalar_ms / gen_word_ms` — the PR 5 tentpole number;
+    /// asserted `>= 4` at full scale.
+    gen_speedup: f64,
+    /// Serve-only time of the cold blocked batch (scalar generation),
+    /// ms — the word comparison's baseline.
+    blocked_serve_ms: f64,
+    /// Serve-only time of the same cold batch under `WorldGen::Word`,
+    /// ms.
+    word_serve_ms: f64,
+    /// `blocked_serve_ms / word_serve_ms` — end-to-end cold-batch
+    /// gain of word generation; asserted `>= 2` at full scale.
+    word_batch_speedup: f64,
+    /// Word-path reports bit-identical between the blocked service and
+    /// a scalar-strategy prepared engine (per-world label sets agree
+    /// across storage layouts), and word-world per-region counts
+    /// identical between membership and blocked counting.
+    word_bit_identical: bool,
 }
 
 /// The deterministic request mix: directions × alphas × seeds with a
@@ -255,13 +298,16 @@ pub fn run(opts: &Options) {
     );
     assert!(warm_worlds_replayed > 0 && warm_cache_hits > 0);
 
-    // Path C: a cold service with blocked world counting.
+    // Path C: a cold service with blocked world counting. Register is
+    // timed separately so the word comparison below is serve-vs-serve.
     let blocked_base = base.with_strategy(CountingStrategy::Blocked);
     let t = Instant::now();
     let mut blocked_service = AuditService::new();
     let blocked_handle = blocked_service
         .register(&outcomes, &regions, blocked_base)
         .expect("auditable");
+    let blocked_register_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
     for request in &requests {
         blocked_service
             .submit(blocked_handle, *request)
@@ -269,7 +315,49 @@ pub fn run(opts: &Options) {
     }
     blocked_service.flush();
     let blocked_responses = blocked_service.take_ready();
-    let batched_blocked_ms = t.elapsed().as_secs_f64() * 1e3;
+    let blocked_serve_ms = t.elapsed().as_secs_f64() * 1e3;
+    let batched_blocked_ms = blocked_register_ms + blocked_serve_ms;
+
+    // Path D: the same cold workload under WorldGen::Word — blocked
+    // popcnt counting plus word-parallel generation, the full v2 fast
+    // path. Word worlds are a different (statistically equivalent)
+    // stream, so these responses are compared against their own
+    // scalar-strategy reference, not against Path C's.
+    let word_requests: Vec<AuditRequest> = requests
+        .iter()
+        .map(|r| r.with_worldgen(WorldGen::Word))
+        .collect();
+    let mut word_service = AuditService::new();
+    let word_handle = word_service
+        .register(
+            &outcomes,
+            &regions,
+            blocked_base.with_worldgen(WorldGen::Word),
+        )
+        .expect("auditable");
+    let t = Instant::now();
+    for request in &word_requests {
+        word_service
+            .submit(word_handle, *request)
+            .expect("valid request");
+    }
+    word_service.flush();
+    let word_responses = word_service.take_ready();
+    let word_serve_ms = t.elapsed().as_secs_f64() * 1e3;
+    let word_batch_speedup = blocked_serve_ms / word_serve_ms;
+
+    // Word bit-identity across counting strategies: the blocked
+    // service's word reports must equal a scalar-strategy prepared
+    // engine's word reports (same physical labels, different storage
+    // layout).
+    let word_reference = PreparedAudit::prepare(&outcomes, &regions, base)
+        .expect("auditable")
+        .run_batch(&word_requests);
+    let mut word_bit_identical = word_reference.iter().zip(&word_responses).all(|(a, b)| {
+        let mut report = b.report.clone();
+        report.config.strategy = a.config.strategy;
+        *a == report
+    });
 
     let bit_identical = rebuilt.iter().zip(&responses).all(|(a, b)| *a == b.report)
         && rebuilt.iter().zip(&blocked_responses).all(|(a, b)| {
@@ -341,6 +429,64 @@ pub fn run(opts: &Options) {
         );
     }
 
+    // Generation isolation: the per-world label-draw pass alone —
+    // scalar `gen_bool` per point vs word-parallel bulk draws — on the
+    // blocked engine (Bernoulli null), the exact configuration the v2
+    // serve path runs cold. The drawn totals are accumulated so the
+    // optimizer cannot elide a pass.
+    let gen_worlds = worlds;
+    let mut gen_scalar_ones = 0u64;
+    let t = Instant::now();
+    for w in 0..gen_worlds {
+        let mut rng = sfstats::rng::world_rng(base.seed, w as u64);
+        gen_scalar_ones += blocked_engine
+            .generate_world_with(NullModel::Bernoulli, WorldGen::Scalar, &mut rng)
+            .count_ones();
+    }
+    let gen_scalar_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut gen_word_ones = 0u64;
+    let t = Instant::now();
+    for w in 0..gen_worlds {
+        let mut rng = sfstats::rng::world_rng(base.seed, w as u64);
+        gen_word_ones += blocked_engine
+            .generate_world_with(NullModel::Bernoulli, WorldGen::Word, &mut rng)
+            .count_ones();
+    }
+    let gen_word_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(gen_scalar_ones > 0 && gen_word_ones > 0);
+    let gen_speedup = gen_scalar_ms / gen_word_ms;
+    if !opts.quick {
+        assert!(
+            gen_speedup >= WORLD_GEN_SPEEDUP_TARGET,
+            "word generation speedup {gen_speedup:.2}x below the \
+             {WORLD_GEN_SPEEDUP_TARGET}x target"
+        );
+        assert!(
+            word_batch_speedup >= WORD_BATCH_SPEEDUP_TARGET,
+            "cold word batch speedup {word_batch_speedup:.2}x below the \
+             {WORD_BATCH_SPEEDUP_TARGET}x target"
+        );
+    }
+
+    // Word-world count integrity across layouts: the same word world,
+    // generated by the scalar-strategy and blocked engines, must
+    // produce identical per-region counts (the harness that pins the
+    // cross-strategy bit-identity of the τ comparison above, at the
+    // counting level).
+    for w in 0..counting_worlds.min(64) {
+        let mut rng = sfstats::rng::world_rng(base.seed, w as u64);
+        let mw = scalar_engine.generate_world_with(NullModel::Bernoulli, WorldGen::Word, &mut rng);
+        let mut rng = sfstats::rng::world_rng(base.seed, w as u64);
+        let bw = blocked_engine.generate_world_with(NullModel::Bernoulli, WorldGen::Word, &mut rng);
+        membership.count_all_into(&mw, &mut scalar_counts);
+        blocked.count_all_into(&bw, &mut blocked_counts);
+        word_bit_identical &= scalar_counts == blocked_counts;
+    }
+    assert!(
+        word_bit_identical,
+        "word worlds must be bit-identical across counting strategies"
+    );
+
     let groups = sfscan::prepared::ExecutionPlan::new(requests.clone())
         .groups()
         .len();
@@ -377,6 +523,14 @@ pub fn run(opts: &Options) {
         counting_speedup,
         blocked_ids_per_word: blocked.ids_per_word(),
         counting_bit_identical,
+        gen_worlds,
+        gen_scalar_ms,
+        gen_word_ms,
+        gen_speedup,
+        blocked_serve_ms,
+        word_serve_ms,
+        word_batch_speedup,
+        word_bit_identical,
     };
 
     report_row(
@@ -423,6 +577,22 @@ pub fn run(opts: &Options) {
             record.counting_blocked_ms,
             record.counting_worlds,
             record.blocked_ids_per_word
+        ),
+    );
+    report_row(
+        "generation pass (scalar vs word)",
+        ">= 4x target",
+        &format!(
+            "{:.2}x ({:.2} ms vs {:.2} ms over {} worlds)",
+            record.gen_speedup, record.gen_scalar_ms, record.gen_word_ms, record.gen_worlds
+        ),
+    );
+    report_row(
+        "cold word batch (blocked+word vs blocked)",
+        ">= 2x target",
+        &format!(
+            "{:.2}x ({:.0} ms vs {:.0} ms serve-only)",
+            record.word_batch_speedup, record.word_serve_ms, record.blocked_serve_ms
         ),
     );
     report_row(

@@ -105,6 +105,38 @@ impl BitLabels {
         &self.blocks
     }
 
+    /// Number of 64-bit blocks backing the bitset (`⌈len/64⌉`).
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Writes 64 labels at once: lane `i` of `bits` becomes label
+    /// `64·w + i`. Lanes at positions `>= len` are masked off, so the
+    /// zero-tail invariant of [`BitLabels::blocks`] holds no matter
+    /// what the caller puts in the tail lanes — this is the
+    /// word-parallel write path of bulk world generation
+    /// (`WorldGen::Word` fills a whole layout-space world with one
+    /// store per 64 labels instead of one [`BitLabels::set`] per bit).
+    ///
+    /// # Panics
+    /// Panics if `w` is not a valid block index.
+    #[inline]
+    pub fn set_word(&mut self, w: usize, bits: u64) {
+        assert!(
+            w < self.blocks.len(),
+            "block index {w} out of bounds ({} blocks)",
+            self.blocks.len()
+        );
+        let remaining = self.len - w * 64;
+        let mask = if remaining >= 64 {
+            !0
+        } else {
+            (1u64 << remaining) - 1
+        };
+        self.blocks[w] = bits & mask;
+    }
+
     /// Resets every label to negative, keeping the allocation.
     pub fn clear(&mut self) {
         self.blocks.fill(0);
@@ -255,6 +287,37 @@ mod tests {
         assert_eq!(l.blocks()[1], 0b11_1111);
         let total: u64 = l.blocks().iter().map(|b| b.count_ones() as u64).sum();
         assert_eq!(total, l.count_ones());
+    }
+
+    #[test]
+    fn set_word_writes_whole_blocks_and_masks_the_tail() {
+        let mut l = BitLabels::zeros(70);
+        assert_eq!(l.num_blocks(), 2);
+        l.set_word(0, 0xDEAD_BEEF_0123_4567);
+        assert_eq!(l.blocks()[0], 0xDEAD_BEEF_0123_4567);
+        // Tail word: only the low 6 lanes are real labels.
+        l.set_word(1, !0);
+        assert_eq!(l.blocks()[1], 0b11_1111, "tail lanes must be masked");
+        assert_eq!(
+            l.count_ones(),
+            0xDEAD_BEEF_0123_4567u64.count_ones() as u64 + 6
+        );
+        // Word writes and bit writes see the same storage.
+        let mut bitwise = BitLabels::zeros(70);
+        for i in 0..70 {
+            bitwise.set(i, l.get(i));
+        }
+        assert_eq!(bitwise, l);
+        // Overwrite clears previous content.
+        l.set_word(0, 0);
+        assert_eq!(l.blocks()[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block index")]
+    fn set_word_out_of_bounds_panics() {
+        let mut l = BitLabels::zeros(64);
+        l.set_word(1, 0);
     }
 
     #[test]

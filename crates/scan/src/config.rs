@@ -3,6 +3,7 @@
 use crate::direction::Direction;
 use serde::{Deserialize, Serialize};
 pub use sfindex::IndexBackend;
+pub use sfstats::bulk::WorldGen;
 pub use sfstats::montecarlo::McStrategy;
 
 /// How alternate-world labels are generated for the Monte Carlo
@@ -121,7 +122,7 @@ impl std::str::FromStr for CountingStrategy {
 }
 
 /// Knobs for a spatial-fairness audit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AuditConfig {
     /// Significance level `α` (the paper's experiments use 0.005).
     pub alpha: f64,
@@ -143,8 +144,61 @@ pub struct AuditConfig {
     /// Monte Carlo budget strategy: spend the full budget, or stop at
     /// the first batch where the verdict at `alpha` is decided.
     pub mc_strategy: McStrategy,
+    /// World-generation algorithm version. [`WorldGen::Scalar`] (the
+    /// default for one release) draws one RNG value per point;
+    /// [`WorldGen::Word`] draws Bernoulli labels 64 at a time directly
+    /// into the engine's layout-space label words. The versions are
+    /// statistically equivalent but consume the RNG stream
+    /// differently, so this knob is part of the world-class identity
+    /// `(null model, seed, worldgen)` everywhere worlds are shared or
+    /// cached.
+    pub worldgen: WorldGen,
     /// Evaluate worlds in parallel (results are identical either way).
     pub parallel: bool,
+}
+
+// Manual wire impls instead of the derive: `worldgen` was added after
+// the v1 wire format shipped, and configs are embedded in every
+// serialized `AuditReport`/response envelope — v1 payloads without
+// the field must keep decoding (they mean the v1 Scalar generator).
+// The derive would hard-error on the missing field.
+impl Serialize for AuditConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (String::from("alpha"), self.alpha.to_value()),
+            (String::from("worlds"), self.worlds.to_value()),
+            (String::from("seed"), self.seed.to_value()),
+            (String::from("direction"), self.direction.to_value()),
+            (String::from("null_model"), self.null_model.to_value()),
+            (String::from("strategy"), self.strategy.to_value()),
+            (String::from("backend"), self.backend.to_value()),
+            (String::from("mc_strategy"), self.mc_strategy.to_value()),
+            (String::from("worldgen"), self.worldgen.to_value()),
+            (String::from("parallel"), self.parallel.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for AuditConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(AuditConfig {
+            alpha: serde::get_field(value, "alpha")?,
+            worlds: serde::get_field(value, "worlds")?,
+            seed: serde::get_field(value, "seed")?,
+            direction: serde::get_field(value, "direction")?,
+            null_model: serde::get_field(value, "null_model")?,
+            strategy: serde::get_field(value, "strategy")?,
+            backend: serde::get_field(value, "backend")?,
+            mc_strategy: serde::get_field(value, "mc_strategy")?,
+            worldgen: match value.get("worldgen") {
+                Some(v) => WorldGen::from_value(v)
+                    .map_err(|e| serde::Error::msg(format!("field `worldgen`: {}", e.message)))?,
+                // Absent on v1 payloads: the v1 generator.
+                None => WorldGen::Scalar,
+            },
+            parallel: serde::get_field(value, "parallel")?,
+        })
+    }
 }
 
 impl AuditConfig {
@@ -168,6 +222,7 @@ impl AuditConfig {
             strategy: CountingStrategy::Membership,
             backend: IndexBackend::KdTree,
             mc_strategy: McStrategy::FullBudget,
+            worldgen: WorldGen::Scalar,
             parallel: true,
         }
     }
@@ -229,6 +284,12 @@ impl AuditConfig {
         self.with_mc_strategy(McStrategy::early_stop())
     }
 
+    /// Sets the world-generation algorithm version.
+    pub fn with_worldgen(mut self, worldgen: WorldGen) -> Self {
+        self.worldgen = worldgen;
+        self
+    }
+
     /// Disables parallel Monte Carlo (results unchanged).
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
@@ -261,7 +322,21 @@ mod tests {
         assert_eq!(c.null_model, NullModel::Bernoulli);
         assert_eq!(c.backend, IndexBackend::KdTree);
         assert_eq!(c.mc_strategy, McStrategy::FullBudget);
+        assert_eq!(
+            c.worldgen,
+            WorldGen::Scalar,
+            "v1 stays default for one release"
+        );
         assert!(c.budget_sufficient());
+    }
+
+    #[test]
+    fn worldgen_selectable() {
+        let c = AuditConfig::new(0.05).with_worldgen(WorldGen::Word);
+        assert_eq!(c.worldgen, WorldGen::Word);
+        for gen in WorldGen::ALL {
+            assert_eq!(gen.to_string().parse::<WorldGen>().unwrap(), gen);
+        }
     }
 
     #[test]
@@ -310,6 +385,30 @@ mod tests {
         for strategy in CountingStrategy::ALL {
             assert!(msg.contains(strategy.name()), "{msg}");
         }
+    }
+
+    #[test]
+    fn config_serde_round_trips_and_defaults_missing_worldgen() {
+        let config = AuditConfig::new(0.01)
+            .with_worlds(199)
+            .with_seed(5)
+            .with_strategy(CountingStrategy::Blocked)
+            .with_worldgen(WorldGen::Word)
+            .sequential();
+        let json = serde_json::to_string(&config).unwrap();
+        assert!(json.contains("\"worldgen\":\"Word\""), "{json}");
+        let back: AuditConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+        // A v1 config payload (no "worldgen" key — the shape embedded
+        // in every pre-v2 serialized AuditReport) keeps decoding and
+        // means the v1 Scalar generator.
+        let v1 = r#"{"alpha": 0.005, "worlds": 999, "seed": 0,
+                     "direction": "TwoSided", "null_model": "Bernoulli",
+                     "strategy": "Membership", "backend": "KdTree",
+                     "mc_strategy": "FullBudget", "parallel": true}"#;
+        let config: AuditConfig = serde_json::from_str(v1).unwrap();
+        assert_eq!(config.worldgen, WorldGen::Scalar);
+        assert_eq!(config, AuditConfig::paper());
     }
 
     #[test]

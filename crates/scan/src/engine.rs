@@ -45,6 +45,20 @@
 //! sparse the popcnt sweep degenerates to one word per id and the
 //! scalar gather is just as good.
 //!
+//! # World generation versions
+//!
+//! [`ScanEngine::generate_world_with`] draws a world under a versioned
+//! generator ([`WorldGen`]): `Scalar` is the v1 one-RNG-value-per-point
+//! stream; `Word` draws Bernoulli labels 64 at a time
+//! ([`sfstats::bulk::BulkBernoulli`]) in canonical Morton-rank order —
+//! whole-word stores straight into a blocked engine's layout-space
+//! label blocks, a set-lane scatter for identity-layout engines — and
+//! permutation worlds write the dense majority side as whole words and
+//! Fisher–Yates-select only the minority. Versions are statistically
+//! equivalent but consume the RNG stream differently; within a
+//! version, every strategy and backend produces bit-identical `τ`
+//! streams.
+//!
 //! # Count integrity
 //!
 //! The requery path trusts two *independent* answers from the
@@ -56,7 +70,7 @@
 //! profile — and returns [`ScanError::CountIntegrity`] instead of an
 //! engine rather than serve corrupt counts.
 
-use crate::config::{CountingStrategy, NullModel};
+use crate::config::{CountingStrategy, NullModel, WorldGen};
 use crate::direction::Direction;
 use crate::error::ScanError;
 use crate::outcomes::SpatialOutcomes;
@@ -67,6 +81,7 @@ use sfindex::{
     morton_layout, BitLabels, BlockedMembership, CountPair, CountingSubstrate, IndexBackend,
     Membership, Substrate,
 };
+use sfstats::bulk::{tail_mask, BulkBernoulli};
 use sfstats::llr::{bernoulli_llr_directed, Counts2x2};
 use std::cell::RefCell;
 
@@ -142,6 +157,15 @@ pub struct ScanEngine<I: CountingSubstrate = Substrate> {
     real_labels: Vec<bool>,
     /// The strategy actually in effect (`Auto` is resolved at build).
     resolved_strategy: CountingStrategy,
+    /// [`WorldGen::Word`]'s canonical generation order, `rank → id`:
+    /// worlds are always drawn in Morton-rank order, whatever the
+    /// engine's storage layout, so the physical label of every point —
+    /// and therefore every `τ` — is identical across strategies and
+    /// backends. `None` for blocked engines, whose storage position
+    /// *is* the Morton rank (lane `j` lands at bit `j` with no
+    /// indirection); `Some` for identity-layout engines, which scatter
+    /// rank `j`'s label to bit `order[j]`.
+    word_order: Option<Vec<u32>>,
 }
 
 impl ScanEngine<Substrate> {
@@ -214,12 +238,22 @@ impl<I: CountingSubstrate> ScanEngine<I> {
         let membership_region_n =
             |m: &Membership| -> Vec<u64> { (0..m.num_regions()).map(|r| m.n_of(r)).collect() };
         let build_membership = || Membership::build(&index, outcomes.len(), &region_vec);
+        // The Morton id layout is computed once per build: blocked
+        // compilations store worlds in it, and WorldGen::Word draws
+        // every world in it (its canonical generation order), so even
+        // identity-layout engines need the permutation at hand —
+        // eagerly, because worldgen is a *request-level* knob: any
+        // engine can be asked for a Word world at any time, and the
+        // points needed to derive the layout lazily are not retained.
+        // Cost for Scalar-only engines: one u32 sort + a 4n-byte
+        // table, a small fraction of a build that already enumerates
+        // every region's members for count integrity.
+        let to_pos = morton_layout(outcomes.points());
         // Membership::build sorts and range-validates, but a substrate
         // that enumerates an id twice still gets through it — surface
         // that as a ScanError through the fallible build, not a panic.
         let compile_blocked = |m: &Membership| -> Result<Box<BlockedMembership>, ScanError> {
-            let layout = morton_layout(outcomes.points());
-            BlockedMembership::compile_with_layout(m, layout)
+            BlockedMembership::compile_with_layout(m, to_pos.clone())
                 .map(Box::new)
                 .map_err(|e| ScanError::MembershipIntegrity {
                     reason: e.to_string(),
@@ -306,6 +340,18 @@ impl<I: CountingSubstrate> ScanEngine<I> {
                 }
             }
         };
+        // Identity-layout engines scatter Word-generated ranks back to
+        // ids; blocked engines read ranks as positions directly.
+        let word_order = match &counting {
+            Counting::Blocked(_) => None,
+            _ => {
+                let mut order = vec![0u32; to_pos.len()];
+                for (id, &pos) in to_pos.iter().enumerate() {
+                    order[pos as usize] = id as u32;
+                }
+                Some(order)
+            }
+        };
         Ok(ScanEngine {
             index,
             counting,
@@ -315,6 +361,7 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             p_total: outcomes.positives(),
             real_labels: outcomes.labels().to_vec(),
             resolved_strategy,
+            word_order,
         })
     }
 
@@ -437,7 +484,16 @@ impl<I: CountingSubstrate> ScanEngine<I> {
         }
     }
 
-    /// Draws one alternate world's labels from the null model.
+    /// Draws one alternate world with the v1 [`WorldGen::Scalar`]
+    /// generator — shorthand for [`ScanEngine::generate_world_with`]
+    /// with [`WorldGen::Scalar`] (the stream every released artifact
+    /// was computed under).
+    pub fn generate_world(&self, null_model: NullModel, rng: &mut ChaCha8Rng) -> BitLabels {
+        self.generate_world_with(null_model, WorldGen::Scalar, rng)
+    }
+
+    /// Draws one alternate world's labels from the null model with the
+    /// given generator version.
     ///
     /// * [`NullModel::Bernoulli`] — each label is `Bernoulli(ρ̂)`
     ///   (the paper's model; world totals vary).
@@ -448,11 +504,38 @@ impl<I: CountingSubstrate> ScanEngine<I> {
     ///
     /// The returned bitset is in this engine's *world layout*: blocked
     /// engines place point `id`'s label at its Morton rank so the
-    /// masked-popcount sweep reads dense words. The RNG stream and the
-    /// label drawn for every physical point are identical across
-    /// layouts — only the storage position moves — which is what keeps
-    /// every strategy's `τ` bit-identical.
-    pub fn generate_world(&self, null_model: NullModel, rng: &mut ChaCha8Rng) -> BitLabels {
+    /// masked-popcount sweep reads dense words.
+    ///
+    /// **Generator versions.** [`WorldGen::Scalar`] draws one RNG
+    /// value per point, in id order; [`WorldGen::Word`] draws
+    /// Bernoulli labels 64 at a time ([`BulkBernoulli`]) in *Morton
+    /// rank* order — for blocked engines that is one whole-word store
+    /// per 64 labels straight into the layout-space block array, with
+    /// no per-bit writes; identity-layout engines scatter each drawn
+    /// word's set lanes back to ids. Word permutation worlds select
+    /// ranks by partial Fisher–Yates, initialising the dense majority
+    /// side with whole-word writes and scattering only the minority
+    /// (`min(P, N−P)` bits). The two versions consume the RNG stream
+    /// differently, so they are distinct world classes — but *within*
+    /// each version, the physical label of every point is identical
+    /// across layouts, strategies, and backends (generation order is
+    /// canonical: id order for Scalar, Morton-rank order for Word),
+    /// which is what keeps every strategy's `τ` bit-identical.
+    pub fn generate_world_with(
+        &self,
+        null_model: NullModel,
+        worldgen: WorldGen,
+        rng: &mut ChaCha8Rng,
+    ) -> BitLabels {
+        match worldgen {
+            WorldGen::Scalar => self.generate_world_scalar(null_model, rng),
+            WorldGen::Word => self.generate_world_word(null_model, rng),
+        }
+    }
+
+    /// The v1 per-point generator (see
+    /// [`ScanEngine::generate_world_with`]).
+    fn generate_world_scalar(&self, null_model: NullModel, rng: &mut ChaCha8Rng) -> BitLabels {
         let n = self.n_total as usize;
         match null_model {
             NullModel::Bernoulli => {
@@ -469,27 +552,104 @@ impl<I: CountingSubstrate> ScanEngine<I> {
                 // Partial Fisher-Yates: choose exactly P positions.
                 let p = self.p_total as usize;
                 let mut labels = BitLabels::zeros(n);
-                FISHER_YATES_SCRATCH.with(|scratch| {
-                    let mut idx = scratch.borrow_mut();
-                    // Deterministic re-init per world: same contents as
-                    // a fresh `(0..n).collect()`, without the alloc.
-                    idx.clear();
-                    idx.extend(0..n as u32);
+                with_fisher_yates_scratch(n, |idx| {
                     for i in 0..p {
                         let j = rng.gen_range(i..n);
                         idx.swap(i, j);
                         labels.set(self.world_position(idx[i]), true);
                     }
-                    // Don't let one huge audit pin a worker-lifetime
-                    // buffer: long-lived processes serve many engines.
-                    if idx.capacity() > FISHER_YATES_RETAIN_CAP {
-                        idx.clear();
-                        idx.shrink_to(FISHER_YATES_RETAIN_CAP);
-                    }
                 });
                 labels
             }
         }
+    }
+
+    /// The v2 word-parallel generator (see
+    /// [`ScanEngine::generate_world_with`]). Lane `j` of drawn word
+    /// `w` is the label of Morton rank `64·w + j`; `word_order` maps
+    /// ranks back to ids for identity-layout engines.
+    fn generate_world_word(&self, null_model: NullModel, rng: &mut ChaCha8Rng) -> BitLabels {
+        let n = self.n_total as usize;
+        let mut labels = BitLabels::zeros(n);
+        match null_model {
+            NullModel::Bernoulli => {
+                let rho = self.p_total as f64 / self.n_total as f64;
+                let sampler = BulkBernoulli::new(rho);
+                match &self.word_order {
+                    // Blocked storage: rank IS the bit position — the
+                    // direct-to-mask fast path, one store per word.
+                    None => {
+                        for w in 0..labels.num_blocks() {
+                            labels.set_word(w, sampler.sample_word(rng));
+                        }
+                    }
+                    // Identity storage: scatter each word's set lanes
+                    // to their ids (RNG consumption is identical to
+                    // the direct path — same sample_word calls).
+                    Some(order) => {
+                        for w in 0..n.div_ceil(64) {
+                            let mut bits = sampler.sample_word(rng) & tail_mask(n, w);
+                            while bits != 0 {
+                                let rank = w * 64 + bits.trailing_zeros() as usize;
+                                labels.set(order[rank] as usize, true);
+                                bits &= bits - 1;
+                            }
+                        }
+                    }
+                }
+            }
+            NullModel::Permutation => {
+                // Word-masked partial Fisher–Yates over ranks: write
+                // the dense majority side as whole words, then select
+                // and scatter only the minority side — min(P, N−P)
+                // single-bit writes and RNG draws instead of P. The
+                // layout/polarity dispatch is hoisted out of the
+                // selection loop so each variant is a tight
+                // monomorphic swap-and-set.
+                let p = self.p_total as usize;
+                let (select, dense_ones) = if 2 * p <= n {
+                    (p, false)
+                } else {
+                    (n - p, true)
+                };
+                if dense_ones {
+                    for w in 0..labels.num_blocks() {
+                        labels.set_word(w, !0);
+                    }
+                }
+                with_fisher_yates_scratch(n, |idx| match (&self.word_order, dense_ones) {
+                    (None, false) => {
+                        for i in 0..select {
+                            let j = rng.gen_range(i..n);
+                            idx.swap(i, j);
+                            labels.set(idx[i] as usize, true);
+                        }
+                    }
+                    (None, true) => {
+                        for i in 0..select {
+                            let j = rng.gen_range(i..n);
+                            idx.swap(i, j);
+                            labels.set(idx[i] as usize, false);
+                        }
+                    }
+                    (Some(order), false) => {
+                        for i in 0..select {
+                            let j = rng.gen_range(i..n);
+                            idx.swap(i, j);
+                            labels.set(order[idx[i] as usize] as usize, true);
+                        }
+                    }
+                    (Some(order), true) => {
+                        for i in 0..select {
+                            let j = rng.gen_range(i..n);
+                            idx.swap(i, j);
+                            labels.set(order[idx[i] as usize] as usize, false);
+                        }
+                    }
+                });
+            }
+        }
+        labels
     }
 
     /// Evaluates one world: recounts positives per region and returns
@@ -584,6 +744,24 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             }
         }
     }
+}
+
+/// Runs `f` over the per-thread Fisher–Yates index buffer,
+/// deterministically re-initialised to `0..n` (same contents as a
+/// fresh `(0..n).collect()`, without the alloc), then bounds the
+/// retained capacity so one huge audit cannot pin a worker-lifetime
+/// buffer in a long-lived process.
+fn with_fisher_yates_scratch(n: usize, f: impl FnOnce(&mut Vec<u32>)) {
+    FISHER_YATES_SCRATCH.with(|scratch| {
+        let mut idx = scratch.borrow_mut();
+        idx.clear();
+        idx.extend(0..n as u32);
+        f(&mut idx);
+        if idx.capacity() > FISHER_YATES_RETAIN_CAP {
+            idx.clear();
+            idx.shrink_to(FISHER_YATES_RETAIN_CAP);
+        }
+    });
 }
 
 /// Rejects member lists in which the substrate enumerated the same id
@@ -941,6 +1119,116 @@ mod tests {
         assert_eq!(resolve_strategy(Membership, u64::MAX, 1, 1), Membership);
         assert_eq!(resolve_strategy(Requery, 0, 1, 1), Requery);
         assert_eq!(resolve_strategy(Blocked, u64::MAX, 1, 1), Blocked);
+    }
+
+    /// 100 grid points, 70% positive — exercises the Word permutation
+    /// generator's dense-majority complement path (`2P > N`).
+    fn dense_outcomes() -> SpatialOutcomes {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for iy in 0..10 {
+            for ix in 0..10 {
+                points.push(Point::new(ix as f64 + 0.5, iy as f64 + 0.5));
+                labels.push((ix + 10 * iy) % 10 < 7);
+            }
+        }
+        SpatialOutcomes::new(points, labels).unwrap()
+    }
+
+    #[test]
+    fn word_generator_is_bit_identical_across_strategies_and_backends() {
+        // The Word tentpole invariant: same (seed, null model) => same
+        // per-point labels and same τ, whatever the storage layout,
+        // counting strategy, or index backend.
+        for o in [outcomes(), dense_outcomes()] {
+            let reference =
+                ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
+            for backend in IndexBackend::ALL {
+                for strategy in CountingStrategy::ALL {
+                    let e = ScanEngine::build_with(&o, &region_set(), backend, strategy).unwrap();
+                    for null_model in [NullModel::Bernoulli, NullModel::Permutation] {
+                        for w in 0..5 {
+                            let mut rng = sfstats::rng::world_rng(13, w);
+                            let labels =
+                                e.generate_world_with(null_model, WorldGen::Word, &mut rng);
+                            let mut ref_rng = sfstats::rng::world_rng(13, w);
+                            let ref_labels = reference.generate_world_with(
+                                null_model,
+                                WorldGen::Word,
+                                &mut ref_rng,
+                            );
+                            assert_eq!(labels.count_ones(), ref_labels.count_ones());
+                            if e.resolved_strategy() != CountingStrategy::Blocked {
+                                assert_eq!(labels, ref_labels, "{backend} {strategy:?}");
+                            }
+                            assert_eq!(
+                                e.eval_world(&labels, Direction::TwoSided),
+                                reference.eval_world(&ref_labels, Direction::TwoSided),
+                                "{backend} {strategy:?} {null_model:?} world {w}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_permutation_preserves_exact_totals_on_both_density_sides() {
+        // Exactly P positives whether the generator scatters positives
+        // (sparse side) or negatives (dense-majority complement side).
+        for o in [outcomes(), dense_outcomes()] {
+            for strategy in [CountingStrategy::Membership, CountingStrategy::Blocked] {
+                let e = ScanEngine::build(&o, &region_set(), strategy).unwrap();
+                for w in 0..20 {
+                    let mut rng = sfstats::rng::world_rng(15, w);
+                    let labels =
+                        e.generate_world_with(NullModel::Permutation, WorldGen::Word, &mut rng);
+                    assert_eq!(labels.count_ones(), o.positives(), "{strategy:?} world {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_and_scalar_are_distinct_streams_but_same_distribution_family() {
+        // Different RNG consumption => different worlds (why worldgen
+        // is part of the world-class key); totals still hover around
+        // the same ρ̂·N.
+        let o = outcomes();
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Membership).unwrap();
+        let mut scalar_total = 0u64;
+        let mut word_total = 0u64;
+        let mut identical = true;
+        for w in 0..40 {
+            let mut rng = sfstats::rng::world_rng(17, w);
+            let scalar = e.generate_world_with(NullModel::Bernoulli, WorldGen::Scalar, &mut rng);
+            let mut rng = sfstats::rng::world_rng(17, w);
+            let word = e.generate_world_with(NullModel::Bernoulli, WorldGen::Word, &mut rng);
+            scalar_total += scalar.count_ones();
+            word_total += word.count_ones();
+            identical &= scalar == word;
+        }
+        assert!(!identical, "the two generators must not alias one stream");
+        let (s, w) = (scalar_total as f64 / 4000.0, word_total as f64 / 4000.0);
+        assert!((s - 0.5).abs() < 0.05, "scalar rate {s}");
+        assert!((w - 0.5).abs() < 0.05, "word rate {w}");
+    }
+
+    #[test]
+    fn word_generation_is_deterministic() {
+        let o = outcomes();
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Blocked).unwrap();
+        for null_model in [NullModel::Bernoulli, NullModel::Permutation] {
+            let draws: Vec<BitLabels> = (0..3)
+                .map(|_| {
+                    let mut rng = sfstats::rng::world_rng(19, 4);
+                    e.generate_world_with(null_model, WorldGen::Word, &mut rng)
+                })
+                .collect();
+            assert_eq!(draws[0], draws[1]);
+            assert_eq!(draws[1], draws[2]);
+        }
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub mod worldcache;
 pub use audit::Auditor;
 pub use config::{
     AuditConfig, CountingStrategy, IndexBackend, McStrategy, NullModel, ParseStrategyError,
+    WorldGen,
 };
 pub use direction::Direction;
 pub use error::ScanError;
@@ -88,4 +89,4 @@ pub use rates::{audit_rates, audit_rates_batch, CellCounts, RateReport};
 pub use regions::RegionSet;
 pub use report::{AuditReport, RegionFinding, Verdict};
 pub use suite::{run_suite, SuiteReport};
-pub use worldcache::{CacheStats, WorldCache};
+pub use worldcache::{CacheStats, TauRows, WorldCache};

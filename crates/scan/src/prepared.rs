@@ -37,14 +37,14 @@
 //! standalone adaptive run uses. The cross-checks live in the
 //! `serve_equivalence` proptests.
 
-use crate::config::{AuditConfig, NullModel};
+use crate::config::{AuditConfig, NullModel, WorldGen};
 use crate::direction::Direction;
 use crate::engine::{RealScan, ScanEngine};
 use crate::error::ScanError;
 use crate::outcomes::SpatialOutcomes;
 use crate::regions::RegionSet;
 use crate::report::{AuditReport, RegionFinding};
-use crate::worldcache::WorldCache;
+use crate::worldcache::{ResumePoint, TauRows, WorldCache};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use sfindex::Substrate;
@@ -54,14 +54,14 @@ use sfstats::rng::world_rng;
 /// One audit request: the cheap per-query knobs of an audit. The
 /// expensive knobs (dataset, regions, index backend, counting strategy)
 /// live in the [`PreparedAudit`] the request runs against.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AuditRequest {
     /// Significance level `α`.
     pub alpha: f64,
     /// Monte Carlo budget (`w − 1` simulated worlds).
     pub worlds: usize,
-    /// Base RNG seed. Requests sharing `(null_model, seed)` draw the
-    /// same worlds and are served from one shared stream.
+    /// Base RNG seed. Requests sharing `(null_model, seed, worldgen)`
+    /// draw the same worlds and are served from one shared stream.
     pub seed: u64,
     /// Deviation direction the audit is sensitive to.
     pub direction: Direction,
@@ -69,6 +69,47 @@ pub struct AuditRequest {
     pub null_model: NullModel,
     /// Monte Carlo budget strategy.
     pub mc_strategy: McStrategy,
+    /// World-generation algorithm version (part of the world-class
+    /// identity: [`WorldGen::Scalar`] and [`WorldGen::Word`] consume
+    /// the RNG stream differently, so they never share worlds).
+    pub worldgen: WorldGen,
+}
+
+// Manual wire impls instead of the derive: `worldgen` was added after
+// the v1 wire format shipped, so request payloads without the field
+// must keep decoding (they mean the v1 Scalar generator). The derive
+// would hard-error on the missing field.
+impl Serialize for AuditRequest {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (String::from("alpha"), self.alpha.to_value()),
+            (String::from("worlds"), self.worlds.to_value()),
+            (String::from("seed"), self.seed.to_value()),
+            (String::from("direction"), self.direction.to_value()),
+            (String::from("null_model"), self.null_model.to_value()),
+            (String::from("mc_strategy"), self.mc_strategy.to_value()),
+            (String::from("worldgen"), self.worldgen.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for AuditRequest {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(AuditRequest {
+            alpha: serde::get_field(value, "alpha")?,
+            worlds: serde::get_field(value, "worlds")?,
+            seed: serde::get_field(value, "seed")?,
+            direction: serde::get_field(value, "direction")?,
+            null_model: serde::get_field(value, "null_model")?,
+            mc_strategy: serde::get_field(value, "mc_strategy")?,
+            worldgen: match value.get("worldgen") {
+                Some(v) => WorldGen::from_value(v)
+                    .map_err(|e| serde::Error::msg(format!("field `worldgen`: {}", e.message)))?,
+                // Absent on v1 payloads: the v1 generator.
+                None => WorldGen::Scalar,
+            },
+        })
+    }
 }
 
 impl AuditRequest {
@@ -90,6 +131,7 @@ impl AuditRequest {
             direction: Direction::TwoSided,
             null_model: NullModel::Bernoulli,
             mc_strategy: McStrategy::FullBudget,
+            worldgen: WorldGen::Scalar,
         }
     }
 
@@ -102,6 +144,7 @@ impl AuditRequest {
             direction: config.direction,
             null_model: config.null_model,
             mc_strategy: config.mc_strategy,
+            worldgen: config.worldgen,
         }
     }
 
@@ -139,6 +182,12 @@ impl AuditRequest {
         self
     }
 
+    /// Sets the world-generation algorithm version.
+    pub fn with_worldgen(mut self, worldgen: WorldGen) -> Self {
+        self.worldgen = worldgen;
+        self
+    }
+
     /// The full [`AuditConfig`] this request denotes against `base`
     /// (the prepared engine's expensive knobs + this request's cheap
     /// ones) — also the config a bit-identical standalone
@@ -150,6 +199,7 @@ impl AuditRequest {
         base.direction = self.direction;
         base.null_model = self.null_model;
         base.mc_strategy = self.mc_strategy;
+        base.worldgen = self.worldgen;
         base
     }
 
@@ -184,9 +234,11 @@ impl AuditRequest {
     }
 
     /// The world class this request draws simulated worlds from:
-    /// requests agreeing on it share every world.
-    fn world_class(&self) -> (NullModel, u64) {
-        (self.null_model, self.seed)
+    /// requests agreeing on it share every world. The generator
+    /// version is part of the class — `Scalar` and `Word` streams are
+    /// statistically equivalent but value-wise disjoint.
+    fn world_class(&self) -> (NullModel, u64, WorldGen) {
+        (self.null_model, self.seed, self.worldgen)
     }
 }
 
@@ -205,6 +257,8 @@ pub struct PlanGroup {
     pub null_model: NullModel,
     /// Seed of the shared world stream.
     pub seed: u64,
+    /// Generator version of the shared world stream.
+    pub worldgen: WorldGen,
     /// Indices into the planned request batch, in submission order.
     pub members: Vec<usize>,
     /// Distinct member directions in first-appearance order; each
@@ -222,9 +276,9 @@ pub struct ExecutionPlan {
 }
 
 impl ExecutionPlan {
-    /// Plans a batch: groups requests by `(null model, seed)` in
-    /// first-appearance order, recording each group's distinct
-    /// directions and maximum budget.
+    /// Plans a batch: groups requests by `(null model, seed,
+    /// worldgen)` in first-appearance order, recording each group's
+    /// distinct directions and maximum budget.
     ///
     /// # Panics
     /// Panics if any request carries invalid knobs (see
@@ -237,12 +291,16 @@ impl ExecutionPlan {
                 panic!("{e}");
             }
             let class = request.world_class();
-            let group = match groups.iter_mut().find(|g| (g.null_model, g.seed) == class) {
+            let group = match groups
+                .iter_mut()
+                .find(|g| (g.null_model, g.seed, g.worldgen) == class)
+            {
                 Some(group) => group,
                 None => {
                     groups.push(PlanGroup {
                         null_model: request.null_model,
                         seed: request.seed,
+                        worldgen: request.worldgen,
                         members: Vec::new(),
                         directions: Vec::new(),
                         max_budget: 0,
@@ -469,6 +527,20 @@ impl PreparedAudit {
 
     /// One loop for both phase-3 paths: a cold run is a resume with no
     /// cache to consult and nothing retained for one.
+    ///
+    /// When parallel execution is on and the plan holds several world
+    /// classes, execution is staged: every group's cache resume
+    /// happens first (the only step needing `&mut` cache access), the
+    /// groups themselves — each with its own seeded,
+    /// scheduling-independent world stream — fan out over the rayon
+    /// pool, and the commits land back in plan order (transient
+    /// memory: every in-flight group's fresh rows, the price of the
+    /// fan-out). A sequential run instead streams resume → execute →
+    /// commit one group at a time, so a byte-capped cache bounds peak
+    /// memory to roughly the cap plus one group's rows, exactly as
+    /// the pre-parallel executor did. Results are bit-identical on
+    /// both paths, because nothing a group computes depends on any
+    /// other group.
     fn execute_inner(
         &self,
         plan: &ExecutionPlan,
@@ -481,8 +553,81 @@ impl PreparedAudit {
             groups: plan.groups().len() as u64,
             ..BatchStats::default()
         };
-        for group in plan.groups() {
-            self.execute_group(plan, group, cache.as_deref_mut(), &mut reports, &mut stats);
+        let collect_fresh = cache.is_some();
+        // Resume: move a class's cached prefix out (a no-copy move;
+        // the commit reinstalls it). Groups are distinct world
+        // classes, so their resume points are disjoint.
+        let resume_group = |cache: &mut Option<&mut WorldCache>, group: &PlanGroup| match cache {
+            Some(cache) => cache.resume(
+                group.null_model,
+                group.seed,
+                group.worldgen,
+                &group.directions,
+            ),
+            None => ResumePoint {
+                eval_dirs: group.directions.clone(),
+                prefix: TauRows::new(group.directions.len()),
+            },
+        };
+        // Commit + assemble, in plan order on both paths.
+        let mut finish = |cache: &mut Option<&mut WorldCache>,
+                          group: &PlanGroup,
+                          resume: ResumePoint,
+                          output: GroupOutput| {
+            stats.unique_worlds += output.unique_worlds as u64;
+            stats.worlds_replayed += output.replayed as u64;
+            stats.lane_worlds += output.lane_worlds;
+            stats.budget_total += output.budget_total;
+            if output.replayed > 0 {
+                stats.cache_hits += 1;
+            }
+            if let Some(cache) = cache {
+                cache.commit(
+                    group.null_model,
+                    group.seed,
+                    group.worldgen,
+                    resume.eval_dirs,
+                    resume.prefix,
+                    output.replayed,
+                    output.fresh,
+                );
+            }
+            for (ri, report) in output.reports {
+                reports[ri] = Some(report);
+            }
+        };
+        if self.base.parallel && plan.groups().len() > 1 {
+            // Fan the classes out. This nests with the per-span
+            // parallelism inside run_world_group on purpose: batches
+            // usually hold far fewer classes than the machine has
+            // cores, so class-only parallelism would leave most cores
+            // idle, while the nested fan-out stays CPU-bound with
+            // bounded oversubscription (classes × cores worst case) —
+            // measured faster than either level alone on the serve
+            // workload.
+            let resumes: Vec<ResumePoint> = plan
+                .groups()
+                .iter()
+                .map(|group| resume_group(&mut cache, group))
+                .collect();
+            let run_group = |gi: usize| -> GroupOutput {
+                self.execute_group(plan, &plan.groups()[gi], &resumes[gi], collect_fresh)
+            };
+            let outputs: Vec<GroupOutput> = (0..plan.groups().len())
+                .into_par_iter()
+                .map(run_group)
+                .collect();
+            for ((group, resume), output) in plan.groups().iter().zip(resumes).zip(outputs) {
+                finish(&mut cache, group, resume, output);
+            }
+        } else {
+            // Stream the classes: each group's rows are committed (and
+            // the cache cap enforced) before the next group simulates.
+            for group in plan.groups() {
+                let resume = resume_group(&mut cache, group);
+                let output = self.execute_group(plan, group, &resume, collect_fresh);
+                finish(&mut cache, group, resume, output);
+            }
         }
         let reports = reports
             .into_iter()
@@ -495,29 +640,23 @@ impl PreparedAudit {
     /// distinct direction, then walks the shared world stream through
     /// [`run_world_group`] — replaying the class's cached prefix first,
     /// simulating the rest — folding each world's per-region counts
-    /// into every member lane that still needs it.
+    /// into every member lane that still needs it. Pure with respect
+    /// to the cache and the other groups, which is what lets
+    /// [`PreparedAudit::execute_inner`] fan world classes out in
+    /// parallel.
     fn execute_group(
         &self,
         plan: &ExecutionPlan,
         group: &PlanGroup,
-        mut cache: Option<&mut WorldCache>,
-        reports: &mut [Option<AuditReport>],
-        stats: &mut BatchStats,
-    ) {
+        resume: &ResumePoint,
+        collect_fresh: bool,
+    ) -> GroupOutput {
         // The cache dictates the per-world direction list: a superset
         // of the group's needs, so replayed rows line up and fresh rows
         // stay column-complete for future batches. Extra directions
-        // cost one more LLR fold per region — counting dominates. The
-        // prefix rows are *moved* out of the cache and reinstalled by
-        // the commit below; no copy on the warm path.
-        let (eval_dirs, prefix) = match &mut cache {
-            Some(cache) => {
-                let resume = cache.resume(group.null_model, group.seed, &group.directions);
-                (resume.eval_dirs, resume.prefix)
-            }
-            None => (group.directions.clone(), Vec::new()),
-        };
-        let lane_dirs = member_direction_indices(plan.requests(), &group.members, &eval_dirs);
+        // cost one more LLR fold per region — counting dominates.
+        let eval_dirs = &resume.eval_dirs;
+        let lane_dirs = member_direction_indices(plan.requests(), &group.members, eval_dirs);
         // Real-world scans are direction-dependent but request-invariant:
         // one per direction some member actually uses, shared across the
         // group. Cache-carried directions no member requests this batch
@@ -535,12 +674,12 @@ impl PreparedAudit {
             .iter()
             .map(|r| r.as_ref().map_or(f64::NAN, |real| real.tau))
             .collect();
-        let eval_one = |i: usize| -> Vec<f64> {
+        let eval_one = |i: usize, out: &mut [f64]| {
             let mut rng = world_rng(group.seed, i as u64);
-            let labels = self.engine.generate_world(group.null_model, &mut rng);
-            let mut taus = vec![0.0; eval_dirs.len()];
-            self.engine.eval_world_into(&labels, &eval_dirs, &mut taus);
-            taus
+            let labels =
+                self.engine
+                    .generate_world_with(group.null_model, group.worldgen, &mut rng);
+            self.engine.eval_world_into(&labels, eval_dirs, out);
         };
         let run = run_world_group(
             plan.requests(),
@@ -548,52 +687,64 @@ impl PreparedAudit {
             &lane_dirs,
             &observed,
             self.base.parallel,
-            &prefix,
-            cache.is_some(),
+            &resume.prefix,
+            collect_fresh,
             eval_one,
         );
-        stats.unique_worlds += run.unique_worlds as u64;
-        stats.worlds_replayed += run.replayed as u64;
-        if run.replayed > 0 {
-            stats.cache_hits += 1;
-        }
-        if let Some(cache) = cache {
-            cache.commit(
-                group.null_model,
-                group.seed,
-                eval_dirs,
-                prefix,
-                run.replayed,
-                run.fresh,
-            );
-        }
 
         // Assemble per-request reports from each lane's truncated
         // distribution and its direction's shared real scan.
+        let mut lane_worlds = 0u64;
+        let mut budget_total = 0u64;
+        let mut reports = Vec::with_capacity(group.members.len());
         for ((result, &ri), &di) in run.results.into_iter().zip(&group.members).zip(&lane_dirs) {
             let request = &plan.requests()[ri];
-            stats.lane_worlds += result.worlds_evaluated as u64;
-            stats.budget_total += request.worlds as u64;
+            lane_worlds += result.worlds_evaluated as u64;
+            budget_total += request.worlds as u64;
             let real = reals[di].as_ref().expect("member directions are scanned");
             let p_value = result.p_value();
             let critical_value = result.critical_value(request.alpha);
-            reports[ri] = Some(AuditReport {
-                config: request.apply_to(self.base),
-                n_total: self.n_total,
-                p_total: self.p_total,
-                rate: self.rate,
-                num_regions: self.regions.len(),
-                region_set: self.regions.description().to_string(),
-                tau: real.tau,
-                best_region_index: real.best_index,
-                p_value,
-                critical_value,
-                findings: build_findings(real, &self.regions, critical_value),
-                worlds_evaluated: result.worlds_evaluated,
-                simulated: result.simulated,
-            });
+            reports.push((
+                ri,
+                AuditReport {
+                    config: request.apply_to(self.base),
+                    n_total: self.n_total,
+                    p_total: self.p_total,
+                    rate: self.rate,
+                    num_regions: self.regions.len(),
+                    region_set: self.regions.description().to_string(),
+                    tau: real.tau,
+                    best_region_index: real.best_index,
+                    p_value,
+                    critical_value,
+                    findings: build_findings(real, &self.regions, critical_value),
+                    worlds_evaluated: result.worlds_evaluated,
+                    simulated: result.simulated,
+                },
+            ));
+        }
+        GroupOutput {
+            reports,
+            replayed: run.replayed,
+            unique_worlds: run.unique_worlds,
+            fresh: run.fresh,
+            lane_worlds,
+            budget_total,
         }
     }
+}
+
+/// Everything one executed group hands back to the sequential
+/// commit/assembly stage: per-request reports tagged with their batch
+/// position, plus the world accounting the cache and [`BatchStats`]
+/// need.
+struct GroupOutput {
+    reports: Vec<(usize, AuditReport)>,
+    replayed: usize,
+    unique_worlds: usize,
+    fresh: TauRows,
+    lane_worlds: u64,
+    budget_total: u64,
 }
 
 /// Distinct member directions in first-appearance order, paired with
@@ -612,19 +763,28 @@ pub(crate) fn distinct_directions(
     (directions, lane_dirs)
 }
 
-/// Each member's index into `directions`.
+/// Each member's index into `directions` — a constant-time table
+/// lookup per member. The table is built once per group (O(D) over
+/// the tiny direction alphabet), replacing the old per-member rescan
+/// of the direction list (O(members × D) position() calls).
 fn member_direction_indices(
     requests: &[AuditRequest],
     members: &[usize],
     directions: &[Direction],
 ) -> Vec<usize> {
+    let mut table = [usize::MAX; Direction::ALL.len()];
+    for (i, d) in directions.iter().enumerate() {
+        let slot = &mut table[d.ordinal()];
+        if *slot == usize::MAX {
+            *slot = i;
+        }
+    }
     members
         .iter()
         .map(|&i| {
-            directions
-                .iter()
-                .position(|&d| d == requests[i].direction)
-                .expect("every member direction is recorded")
+            let di = table[requests[i].direction.ordinal()];
+            assert_ne!(di, usize::MAX, "every member direction is recorded");
+            di
         })
         .collect()
 }
@@ -643,7 +803,7 @@ pub(crate) struct GroupRun {
     /// at world index `replayed` (the cached prefix is consumed first).
     /// Empty unless `collect_fresh` was set — retaining every row only
     /// pays off when a cache will commit them.
-    pub fresh: Vec<Vec<f64>>,
+    pub fresh: TauRows,
 }
 
 /// The engine-agnostic core of batched execution: walks one shared
@@ -653,18 +813,23 @@ pub(crate) struct GroupRun {
 /// Builds a [`WorldLane`] per member (observed statistic taken from its
 /// direction's entry in `observed`), then evaluates
 /// [`BudgetScheduler`] spans. Worlds whose index falls inside `cached`
-/// are *replayed* — their per-direction rows are fed to the lanes
-/// as-is, no simulation — and only indices past the cached prefix call
-/// `eval_world` (in parallel when `parallel` is set; per-world
-/// independent RNG streams inside `eval_world` keep that
-/// deterministic). Because the lanes cannot tell a replayed value from
-/// a simulated one, a resumed run is bit-identical to a cold run by
-/// construction. `eval_world` receives a world index and returns one
-/// `τ` per entry of the group's evaluated direction list
+/// are *replayed* — their flat per-direction rows are fed to the lanes
+/// as-is ([`WorldLane::feed_strided`]), no simulation — and only
+/// indices past the cached prefix call `eval_world` (in parallel when
+/// `parallel` is set; per-world independent RNG streams inside
+/// `eval_world` keep that deterministic). Because the lanes cannot
+/// tell a replayed value from a simulated one, a resumed run is
+/// bit-identical to a cold run by construction.
+///
+/// `eval_world` receives a world index and a `stride`-wide output
+/// slot — one `τ` per entry of the group's evaluated direction list
 /// (`lane_dirs[m]` maps member `m` into it; `cached` rows must align
-/// with the same list). With `collect_fresh`, the simulated rows are
-/// retained in [`GroupRun::fresh`] for a cache commit; without it they
-/// are dropped span by span, as a cacheless run always did.
+/// with the same list). Each span is evaluated into **one flat
+/// reusable buffer** carved into per-world chunks, so the span loop
+/// performs no per-world heap allocation (the old `Vec<Vec<f64>>`
+/// boxes). With `collect_fresh`, the simulated rows are appended to
+/// the flat [`GroupRun::fresh`] matrix for a cache commit; without it
+/// the buffer is simply reused span after span.
 ///
 /// Both the Bernoulli executor above and the Poisson rate batch
 /// ([`crate::rates::audit_rates_batch`]) run on this loop, so the
@@ -676,13 +841,19 @@ pub(crate) fn run_world_group<F>(
     lane_dirs: &[usize],
     observed: &[f64],
     parallel: bool,
-    cached: &[Vec<f64>],
+    cached: &TauRows,
     collect_fresh: bool,
     eval_world: F,
 ) -> GroupRun
 where
-    F: Fn(usize) -> Vec<f64> + Sync,
+    F: Fn(usize, &mut [f64]) + Sync,
 {
+    let stride = observed.len();
+    debug_assert!(stride > 0, "a group evaluates at least one direction");
+    debug_assert!(
+        cached.is_empty() || cached.stride() == stride,
+        "cached rows must align with the evaluated direction list"
+    );
     let mut lanes: Vec<WorldLane> = members
         .iter()
         .zip(lane_dirs)
@@ -691,35 +862,46 @@ where
             WorldLane::new(observed[di], r.alpha, r.mc_strategy, r.worlds)
         })
         .collect();
-    let mut fresh: Vec<Vec<f64>> = Vec::new();
+    let mut fresh = TauRows::new(stride);
+    let mut span_buf: Vec<f64> = Vec::new();
     let mut replayed = 0usize;
     let mut unique_worlds = 0usize;
     let mut scheduler = BudgetScheduler::new();
     while let Some(span) = scheduler.next_span(&lanes) {
         // Spans are contiguous from 0, so the cached prefix is consumed
         // exactly once, in order, before any world is simulated.
-        let cut = span.end.min(cached.len()).max(span.start);
-        let simulated: Vec<Vec<f64>> = if parallel {
-            (cut..span.end).into_par_iter().map(&eval_world).collect()
+        let cut = span.end.min(cached.worlds()).max(span.start);
+        let simulated = span.end - cut;
+        span_buf.clear();
+        span_buf.resize(simulated * stride, 0.0);
+        if parallel {
+            span_buf
+                .par_chunks_mut(stride)
+                .enumerate()
+                .for_each(|(k, out)| eval_world(cut + k, out));
         } else {
-            (cut..span.end).map(&eval_world).collect()
-        };
-        replayed += cut - span.start;
-        unique_worlds += simulated.len();
-        for i in span.clone() {
-            let taus = if i < cut {
-                &cached[i]
-            } else {
-                &simulated[i - cut]
-            };
-            for (lane, &di) in lanes.iter_mut().zip(lane_dirs) {
-                if !lane.is_done() {
-                    lane.push(taus[di]);
-                }
+            for (k, out) in span_buf.chunks_mut(stride).enumerate() {
+                eval_world(cut + k, out);
             }
         }
+        replayed += cut - span.start;
+        unique_worlds += simulated;
+        // Every active lane sits at the span start and is committed to
+        // the whole span (scheduler invariant), so feeding the cached
+        // segment then the simulated segment per lane pushes exactly
+        // the values the per-world loop used to; done lanes consume
+        // nothing.
+        let cached_part = if cut > span.start {
+            &cached.values()[span.start * stride..cut * stride]
+        } else {
+            &[][..]
+        };
+        for (lane, &di) in lanes.iter_mut().zip(lane_dirs) {
+            lane.feed_strided(cached_part, stride, di);
+            lane.feed_strided(&span_buf, stride, di);
+        }
         if collect_fresh {
-            fresh.extend(simulated);
+            fresh.extend_from_values(&span_buf);
         }
     }
     GroupRun {
@@ -1027,13 +1209,125 @@ mod tests {
     }
 
     #[test]
+    fn worldgen_versions_are_distinct_world_classes() {
+        let r = AuditRequest::new(0.05).with_worlds(99);
+        let plan = ExecutionPlan::new(vec![
+            r,
+            r.with_worldgen(WorldGen::Word),
+            r,
+            r.with_worldgen(WorldGen::Word)
+                .with_direction(Direction::High),
+        ]);
+        assert_eq!(plan.groups().len(), 2, "scalar and word never share worlds");
+        assert_eq!(plan.groups()[0].worldgen, WorldGen::Scalar);
+        assert_eq!(plan.groups()[0].members, vec![0, 2]);
+        assert_eq!(plan.groups()[1].worldgen, WorldGen::Word);
+        assert_eq!(plan.groups()[1].members, vec![1, 3]);
+    }
+
+    #[test]
+    fn word_batches_match_standalone_word_audits() {
+        let o = outcomes(900, 12, true);
+        let rs = grid();
+        let prepared = PreparedAudit::prepare(&o, &rs, base()).unwrap();
+        let requests = vec![
+            AuditRequest::from_config(&base()).with_worldgen(WorldGen::Word),
+            AuditRequest::from_config(&base())
+                .with_worldgen(WorldGen::Word)
+                .with_direction(Direction::High),
+            AuditRequest::from_config(&base()), // scalar rider in the same batch
+        ];
+        let (reports, stats) = prepared.run_batch_with_stats(&requests);
+        assert_eq!(stats.groups, 2);
+        for (request, report) in requests.iter().zip(&reports) {
+            let expected = Auditor::new(request.apply_to(base()))
+                .audit(&o, &rs)
+                .unwrap();
+            assert_eq!(*report, expected, "request {request:?}");
+        }
+        // Word and Scalar simulated streams are genuinely different.
+        assert_ne!(reports[0].simulated, reports[2].simulated);
+    }
+
+    #[test]
+    fn word_world_cache_replays_word_batches() {
+        let o = outcomes(700, 13, true);
+        let rs = grid();
+        let prepared = PreparedAudit::prepare(&o, &rs, base()).unwrap();
+        let word = AuditRequest::from_config(&base()).with_worldgen(WorldGen::Word);
+        let mut cache = WorldCache::new();
+        let (cold, s_cold) = prepared.run_batch_cached(std::slice::from_ref(&word), &mut cache);
+        assert_eq!(s_cold.unique_worlds, 99);
+        // The same request replays entirely; a Scalar request of the
+        // same (null model, seed) must NOT touch the Word prefix.
+        let scalar = AuditRequest::from_config(&base());
+        let (warm, s_warm) = prepared.run_batch_cached(std::slice::from_ref(&word), &mut cache);
+        assert_eq!(warm, cold);
+        assert_eq!(s_warm.unique_worlds, 0);
+        assert_eq!(s_warm.worlds_replayed, 99);
+        let (_, s_scalar) = prepared.run_batch_cached(std::slice::from_ref(&scalar), &mut cache);
+        assert_eq!(
+            s_scalar.worlds_replayed, 0,
+            "scalar classes never replay word prefixes"
+        );
+        assert_eq!(s_scalar.unique_worlds, 99);
+    }
+
+    #[test]
+    fn parallel_class_execution_matches_sequential_class_walk() {
+        // Many distinct world classes in one batch: the rayon fan-out
+        // over classes must be bit-identical to the sequential walk.
+        let o = outcomes(800, 14, true);
+        let rs = grid();
+        let requests: Vec<AuditRequest> = (0..6)
+            .map(|i| {
+                let mut r = AuditRequest::from_config(&base()).with_seed(100 + i as u64);
+                if i % 2 == 0 {
+                    r = r.with_worldgen(WorldGen::Word);
+                }
+                if i % 3 == 0 {
+                    r = r.with_null_model(NullModel::Permutation);
+                }
+                r
+            })
+            .collect();
+        let par = PreparedAudit::prepare(&o, &rs, base())
+            .unwrap()
+            .run_batch(&requests);
+        let seq = PreparedAudit::prepare(&o, &rs, base().sequential())
+            .unwrap()
+            .run_batch(&requests);
+        for (a, mut b) in par.into_iter().zip(seq) {
+            b.config.parallel = true;
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn request_serde_defaults_missing_worldgen_to_scalar() {
+        // v1 wire payloads (no "worldgen" key) must keep decoding as
+        // the v1 generator; the new field round-trips when present.
+        let v1 = r#"{"alpha": 0.05, "worlds": 99, "seed": 3, "direction": "TwoSided",
+                     "null_model": "Bernoulli", "mc_strategy": "FullBudget"}"#;
+        let request: AuditRequest = serde_json::from_str(v1).unwrap();
+        assert_eq!(request.worldgen, WorldGen::Scalar);
+        assert_eq!(request.worlds, 99);
+        let word = AuditRequest::new(0.05).with_worldgen(WorldGen::Word);
+        let json = serde_json::to_string(&word).unwrap();
+        assert!(json.contains("\"worldgen\":\"Word\""), "{json}");
+        let back: AuditRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, word);
+    }
+
+    #[test]
     fn request_serde_round_trip() {
         let request = AuditRequest::new(0.01)
             .with_worlds(199)
             .with_seed(5)
             .with_direction(Direction::Low)
             .with_null_model(NullModel::Permutation)
-            .with_mc_strategy(McStrategy::early_stop());
+            .with_mc_strategy(McStrategy::early_stop())
+            .with_worldgen(WorldGen::Word);
         let json = serde_json::to_string(&request).unwrap();
         let back: AuditRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(back, request);

@@ -19,6 +19,7 @@ use crate::config::AuditConfig;
 use crate::direction::Direction;
 use crate::error::ScanError;
 use crate::prepared::{distinct_directions, run_world_group, AuditRequest};
+use crate::worldcache::TauRows;
 use serde::{Deserialize, Serialize};
 use sfgeo::Rect;
 use sfstats::alias::AliasTable;
@@ -197,12 +198,10 @@ pub fn audit_rates_batch(
         let (directions, lane_dirs) = distinct_directions(requests, &members);
         let mut observed_taus = vec![0.0; directions.len()];
         eval_into(&data.observed, &directions, &mut observed_taus);
-        let eval_one = |w: usize| -> Vec<f64> {
+        let eval_one = |w: usize, out: &mut [f64]| {
             let mut rng = world_rng(seed, w as u64);
             let world = alias.sample_counts(c_total, &mut rng);
-            let mut taus = vec![0.0; directions.len()];
-            eval_into(&world, &directions, &mut taus);
-            taus
+            eval_into(&world, &directions, out);
         };
         let run = run_world_group(
             requests,
@@ -210,7 +209,7 @@ pub fn audit_rates_batch(
             &lane_dirs,
             &observed_taus,
             config.parallel,
-            &[],
+            &TauRows::new(directions.len()),
             false,
             eval_one,
         );

@@ -4,10 +4,10 @@
 //! A simulated world is expensive (generate labels + recount every
 //! region) but its *output* per audit direction is one `f64`: the
 //! world's maximum directed LLR `τ`. Those values are fully
-//! deterministic in `(engine, null model, seed, world index,
-//! direction)` — so once a batch has paid for worlds `0..k` of a world
-//! class, any later batch over the same prepared engine can replay the
-//! cached τ values through the ordinary
+//! deterministic in `(engine, null model, seed, worldgen, world
+//! index, direction)` — so once a batch has paid for worlds `0..k` of
+//! a world class, any later batch over the same prepared engine can
+//! replay the cached τ values through the ordinary
 //! [`WorldLane`](sfstats::montecarlo::WorldLane) stopping rule and
 //! only simulate the suffix it actually needs. A repeated request
 //! (same class, same or smaller budget) costs **zero** new simulated
@@ -16,32 +16,153 @@
 //! construction*: the lanes consume exactly the same values in exactly
 //! the same order either way.
 //!
-//! The cache is keyed by world class `(null model, seed)` — the same
-//! key [`ExecutionPlan`](crate::prepared::ExecutionPlan) groups
-//! requests by. One class can hold several entries, each a contiguous
-//! stream *prefix* (one row per world, one column per cached
-//! [`Direction`]): when a batch needs a direction no entry covers, the
-//! executor re-simulates from world 0 evaluating the *union* of the
-//! class's widest entry and the needed directions (counting dominates
-//! per-world cost, so extra LLR folds are nearly free) and the result
-//! is stored as its own entry — so shorter-budget requests in a new
-//! direction become cache hits on their next repeat instead of
-//! re-simulating forever, while the longer old prefix survives for the
-//! directions it already serves. Entries that end up covering no more
-//! directions and no more worlds than a newly committed one are
-//! pruned.
+//! The cache is keyed by world class `(null model, seed, worldgen)` —
+//! the same key [`ExecutionPlan`](crate::prepared::ExecutionPlan)
+//! groups requests by. The generator version is part of the key
+//! because [`WorldGen::Scalar`] and [`WorldGen::Word`] consume the RNG
+//! stream differently: their τ-streams are two different (if
+//! statistically equivalent) sequences, and splicing a `Scalar` prefix
+//! onto a `Word` suffix would corrupt both. One class can hold several
+//! entries, each a contiguous stream *prefix* stored as a **flat
+//! row-major `f64` buffer** ([`TauRows`]: one row per world, `stride`
+//! = one column per cached [`Direction`]): when a batch needs a
+//! direction no entry covers, the executor re-simulates from world 0
+//! evaluating the *union* of the class's widest entry and the needed
+//! directions (counting dominates per-world cost, so extra LLR folds
+//! are nearly free) and the result is stored as its own entry — so
+//! shorter-budget requests in a new direction become cache hits on
+//! their next repeat instead of re-simulating forever, while the
+//! longer old prefix survives for the directions it already serves.
+//! Entries that end up covering no more directions and no more worlds
+//! than a newly committed one are pruned.
 //!
 //! Resume hands an entry's rows out **by move** and commit reinstalls
 //! them (extended by whatever was freshly simulated), so the warm path
 //! never copies the cached stream.
 //!
+//! # Size cap
+//!
+//! [`WorldCache::with_capacity_bytes`] bounds the resident τ-buffer
+//! bytes: after every commit, the least-recently-used entries are
+//! evicted (oldest first) until the cache fits. The flat buffers make
+//! the accounting exact — an entry's cost is `worlds × directions × 8`
+//! bytes. [`CacheStats::evictions`] counts evicted entries and
+//! [`CacheStats::resident_bytes`] gauges the current footprint.
+//!
 //! [`WorldCache`] is deliberately dumb storage plus accounting
 //! ([`CacheStats`]); the resume/commit choreography lives in
 //! [`PreparedAudit::execute_cached`](crate::prepared::PreparedAudit::execute_cached).
 
-use crate::config::NullModel;
+use crate::config::{NullModel, WorldGen};
 use crate::direction::Direction;
 use serde::{Deserialize, Serialize};
+
+/// A flat row-major matrix of per-world τ values: world `w`'s value
+/// for direction column `d` lives at `values[w·stride + d]`.
+///
+/// This is the storage format of every simulated τ-stream in the
+/// serving stack — the cache entries here, and the fresh rows the
+/// batched executor collects — replacing the per-world
+/// `Vec<Vec<f64>>` boxes (one heap allocation per world per span)
+/// with one growable buffer whose byte cost is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TauRows {
+    /// Row width; always `>= 1` ([`TauRows::new`] enforces it, and
+    /// there is deliberately no `Default` — a stride-0 matrix has no
+    /// valid row shape).
+    stride: usize,
+    values: Vec<f64>,
+}
+
+impl TauRows {
+    /// An empty matrix whose rows will carry `stride` directions.
+    ///
+    /// # Panics
+    /// Panics if `stride == 0` (a row must hold at least one value).
+    pub fn new(stride: usize) -> Self {
+        assert!(stride > 0, "a τ-row needs at least one direction column");
+        TauRows {
+            stride,
+            values: Vec::new(),
+        }
+    }
+
+    /// Directions per world (row width).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of complete rows (worlds).
+    #[inline]
+    pub fn worlds(&self) -> usize {
+        self.values.len() / self.stride
+    }
+
+    /// `true` when no world is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// World `w`'s row of per-direction τ values.
+    #[inline]
+    pub fn row(&self, w: usize) -> &[f64] {
+        &self.values[w * self.stride..(w + 1) * self.stride]
+    }
+
+    /// The flat backing buffer, row-major.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Appends one world's row.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != stride`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.stride, "row width must equal the stride");
+        self.values.extend_from_slice(row);
+    }
+
+    /// Appends whole rows from a flat row-major buffer of the same
+    /// stride (the executor's span buffer).
+    ///
+    /// # Panics
+    /// Panics if `values.len()` is not a multiple of the stride.
+    pub fn extend_from_values(&mut self, values: &[f64]) {
+        assert!(
+            self.stride > 0 && values.len().is_multiple_of(self.stride),
+            "flat buffer of {} values does not hold whole rows of stride {}",
+            values.len(),
+            self.stride
+        );
+        self.values.extend_from_slice(values);
+    }
+
+    /// Appends another matrix of the same stride.
+    ///
+    /// # Panics
+    /// Panics if the strides differ (unless `other` is empty).
+    pub fn append(&mut self, other: TauRows) {
+        if other.is_empty() {
+            return;
+        }
+        assert_eq!(
+            self.stride, other.stride,
+            "cannot append rows of a different stride"
+        );
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// Payload bytes of the stored τ values (`worlds × stride × 8`) —
+    /// the unit the cache capacity is accounted in.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+    }
+}
 
 /// Cumulative cache accounting, folded into the serving layer's
 /// `ServerStats`.
@@ -56,14 +177,25 @@ pub struct CacheStats {
     pub worlds_replayed: u64,
     /// Worlds simulated and recorded into the cache.
     pub worlds_simulated: u64,
+    /// Entries evicted by the size cap (see
+    /// [`WorldCache::with_capacity_bytes`]).
+    pub evictions: u64,
+    /// Resident τ-buffer bytes right now — a gauge, not a counter:
+    /// commits raise it, evictions and [`WorldCache::clear`] lower it.
+    pub resident_bytes: u64,
 }
 
 impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "hits={} misses={} replayed={} simulated={}",
-            self.hits, self.misses, self.worlds_replayed, self.worlds_simulated
+            "hits={} misses={} replayed={} simulated={} evictions={} resident_bytes={}",
+            self.hits,
+            self.misses,
+            self.worlds_replayed,
+            self.worlds_simulated,
+            self.evictions,
+            self.resident_bytes
         )
     }
 }
@@ -73,16 +205,20 @@ impl std::fmt::Display for CacheStats {
 struct CachedClass {
     null_model: NullModel,
     seed: u64,
-    /// Directions the rows carry, in storage order.
+    worldgen: WorldGen,
+    /// Directions the rows carry, in storage (column) order.
     dirs: Vec<Direction>,
-    /// `rows[w][d]` = τ of world `w` in direction `dirs[d]`. Always a
-    /// contiguous prefix of the class's world stream.
-    rows: Vec<Vec<f64>>,
+    /// Flat τ matrix: row `w`, column `d` = τ of world `w` in
+    /// direction `dirs[d]`. Always a contiguous prefix of the class's
+    /// world stream.
+    rows: TauRows,
+    /// Last resume/commit tick — the eviction ordering.
+    last_touch: u64,
 }
 
 impl CachedClass {
-    fn is_class(&self, null_model: NullModel, seed: u64) -> bool {
-        self.null_model == null_model && self.seed == seed
+    fn is_class(&self, null_model: NullModel, seed: u64, worldgen: WorldGen) -> bool {
+        self.null_model == null_model && self.seed == seed && self.worldgen == worldgen
     }
 
     fn covers(&self, needed: &[Direction]) -> bool {
@@ -100,11 +236,11 @@ pub(crate) struct ResumePoint {
     /// Direction list every evaluated world must produce a τ for.
     pub eval_dirs: Vec<Direction>,
     /// Cached stream prefix aligned to `eval_dirs` (empty on a miss).
-    pub prefix: Vec<Vec<f64>>,
+    pub prefix: TauRows,
 }
 
 /// Per-engine cache of simulated world statistics, keyed by world
-/// class `(null model, seed)`.
+/// class `(null model, seed, worldgen)`.
 ///
 /// Owned by whoever owns the
 /// [`PreparedAudit`](crate::prepared::PreparedAudit) — one cache per
@@ -114,12 +250,37 @@ pub(crate) struct ResumePoint {
 pub struct WorldCache {
     classes: Vec<CachedClass>,
     stats: CacheStats,
+    /// Hard bound on resident τ-buffer bytes (`None` = unbounded).
+    capacity_bytes: Option<usize>,
+    /// Monotonic touch clock driving LRU eviction.
+    clock: u64,
 }
 
 impl WorldCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache that evicts its least-recently-used entries
+    /// whenever the resident τ-buffer bytes exceed `cap` (checked
+    /// after every commit; the bound is hard, so a single entry larger
+    /// than `cap` is itself evicted).
+    pub fn with_capacity_bytes(cap: usize) -> Self {
+        WorldCache {
+            capacity_bytes: Some(cap),
+            ..Self::default()
+        }
+    }
+
+    /// The configured byte cap (`None` = unbounded).
+    pub fn capacity_bytes(&self) -> Option<usize> {
+        self.capacity_bytes
+    }
+
+    /// Resident τ-buffer bytes across every entry.
+    pub fn resident_bytes(&self) -> usize {
+        self.classes.iter().map(|c| c.rows.bytes()).sum()
     }
 
     /// Number of cached stream prefixes (a world class can hold more
@@ -130,15 +291,20 @@ impl WorldCache {
 
     /// Total cached worlds across every entry.
     pub fn cached_worlds(&self) -> usize {
-        self.classes.iter().map(|c| c.rows.len()).sum()
+        self.classes.iter().map(|c| c.rows.worlds()).sum()
     }
 
     /// Longest cached prefix for one class, if present.
-    pub fn class_worlds(&self, null_model: NullModel, seed: u64) -> Option<usize> {
+    pub fn class_worlds(
+        &self,
+        null_model: NullModel,
+        seed: u64,
+        worldgen: WorldGen,
+    ) -> Option<usize> {
         self.classes
             .iter()
-            .filter(|c| c.is_class(null_model, seed))
-            .map(|c| c.rows.len())
+            .filter(|c| c.is_class(null_model, seed, worldgen))
+            .map(|c| c.rows.worlds())
             .max()
     }
 
@@ -147,13 +313,20 @@ impl WorldCache {
         &self.stats
     }
 
-    /// Drops every entry (accounting is kept).
+    /// Drops every entry (accounting is kept; the resident gauge goes
+    /// to zero).
     pub fn clear(&mut self) {
         self.classes.clear();
+        self.stats.resident_bytes = 0;
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
     }
 
     /// Resolves the resume point for a group needing `needed`
-    /// directions from class `(null_model, seed)`.
+    /// directions from class `(null_model, seed, worldgen)`.
     ///
     /// * Some entry covers every needed direction → move out the
     ///   longest such entry's whole prefix (evaluating the entry's
@@ -169,24 +342,28 @@ impl WorldCache {
         &mut self,
         null_model: NullModel,
         seed: u64,
+        worldgen: WorldGen,
         needed: &[Direction],
     ) -> ResumePoint {
+        let now = self.touch();
         let covering = self
             .classes
             .iter_mut()
-            .filter(|c| c.is_class(null_model, seed) && c.covers(needed))
-            .max_by_key(|c| c.rows.len());
+            .filter(|c| c.is_class(null_model, seed, worldgen) && c.covers(needed))
+            .max_by_key(|c| c.rows.worlds());
         if let Some(entry) = covering {
+            entry.last_touch = now;
+            let stride = entry.dirs.len();
             return ResumePoint {
                 eval_dirs: entry.dirs.clone(),
-                prefix: std::mem::take(&mut entry.rows),
+                prefix: std::mem::replace(&mut entry.rows, TauRows::new(stride)),
             };
         }
         let mut eval_dirs = self
             .classes
             .iter()
-            .filter(|c| c.is_class(null_model, seed))
-            .max_by_key(|c| c.rows.len())
+            .filter(|c| c.is_class(null_model, seed, worldgen))
+            .max_by_key(|c| c.rows.worlds())
             .map(|c| c.dirs.clone())
             .unwrap_or_default();
         for &d in needed {
@@ -194,9 +371,10 @@ impl WorldCache {
                 eval_dirs.push(d);
             }
         }
+        let stride = eval_dirs.len().max(1);
         ResumePoint {
             eval_dirs,
-            prefix: Vec::new(),
+            prefix: TauRows::new(stride),
         }
     }
 
@@ -209,51 +387,83 @@ impl WorldCache {
     /// prefix only when it was consumed whole. A commit under a
     /// direction set no entry holds becomes a new entry, pruning any
     /// entry of the class it strictly subsumes (no extra direction, no
-    /// extra world).
+    /// extra world). When a byte cap is configured, least-recently-
+    /// used entries are evicted afterwards until the cache fits.
+    #[allow(clippy::too_many_arguments)] // one call site (the executor's commit stage); the args ARE the class key + run outcome
     pub(crate) fn commit(
         &mut self,
         null_model: NullModel,
         seed: u64,
+        worldgen: WorldGen,
         eval_dirs: Vec<Direction>,
-        mut prefix: Vec<Vec<f64>>,
+        mut prefix: TauRows,
         replayed: usize,
-        fresh: Vec<Vec<f64>>,
+        fresh: TauRows,
     ) {
+        let now = self.touch();
         if replayed > 0 {
             self.stats.hits += 1;
         } else {
             self.stats.misses += 1;
         }
         self.stats.worlds_replayed += replayed as u64;
-        self.stats.worlds_simulated += fresh.len() as u64;
+        self.stats.worlds_simulated += fresh.worlds() as u64;
         // Fresh rows continue exactly where the prefix ends iff the
         // run consumed the whole prefix (a run that stopped inside it
         // simulated nothing).
-        if replayed == prefix.len() {
-            prefix.extend(fresh);
+        if replayed == prefix.worlds() {
+            prefix.append(fresh);
         }
         match self
             .classes
             .iter_mut()
-            .find(|c| c.is_class(null_model, seed) && c.dirs == eval_dirs)
+            .find(|c| c.is_class(null_model, seed, worldgen) && c.dirs == eval_dirs)
         {
             // The entry resume() emptied (its dirs were echoed back to
             // us): reinstall the possibly-extended rows.
-            Some(entry) => entry.rows = prefix,
+            Some(entry) => {
+                entry.rows = prefix;
+                entry.last_touch = now;
+            }
             None if prefix.is_empty() => {}
             None => {
                 self.classes.retain(|c| {
-                    !(c.is_class(null_model, seed)
+                    !(c.is_class(null_model, seed, worldgen)
                         && c.dirs.iter().all(|d| eval_dirs.contains(d))
-                        && c.rows.len() <= prefix.len())
+                        && c.rows.worlds() <= prefix.worlds())
                 });
                 self.classes.push(CachedClass {
                     null_model,
                     seed,
+                    worldgen,
                     dirs: eval_dirs,
                     rows: prefix,
+                    last_touch: now,
                 });
             }
+        }
+        self.enforce_capacity();
+        self.stats.resident_bytes = self.resident_bytes() as u64;
+    }
+
+    /// Evicts least-recently-used entries until the resident bytes fit
+    /// the configured cap.
+    fn enforce_capacity(&mut self) {
+        let Some(cap) = self.capacity_bytes else {
+            return;
+        };
+        let mut resident = self.resident_bytes();
+        while resident > cap && !self.classes.is_empty() {
+            let oldest = self
+                .classes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.last_touch)
+                .map(|(i, _)| i)
+                .expect("non-empty class list has a minimum");
+            let evicted = self.classes.remove(oldest);
+            resident -= evicted.rows.bytes();
+            self.stats.evictions += 1;
         }
     }
 }
@@ -264,20 +474,64 @@ mod tests {
 
     const TS: Direction = Direction::TwoSided;
     const HI: Direction = Direction::High;
+    const SCALAR: WorldGen = WorldGen::Scalar;
+    const WORD: WorldGen = WorldGen::Word;
 
-    fn rows(n: usize, cols: usize) -> Vec<Vec<f64>> {
-        (0..n).map(|w| vec![w as f64; cols]).collect()
+    fn rows(n: usize, cols: usize) -> TauRows {
+        let mut rows = TauRows::new(cols);
+        for w in 0..n {
+            rows.push_row(&vec![w as f64; cols]);
+        }
+        rows
+    }
+
+    #[test]
+    fn tau_rows_flat_storage_round_trips() {
+        let mut t = TauRows::new(2);
+        assert!(t.is_empty());
+        t.push_row(&[1.0, 2.0]);
+        t.push_row(&[3.0, 4.0]);
+        assert_eq!(t.worlds(), 2);
+        assert_eq!(t.row(0), &[1.0, 2.0]);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+        assert_eq!(t.values(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.bytes(), 32);
+        t.extend_from_values(&[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(t.worlds(), 4);
+        let mut other = TauRows::new(2);
+        other.push_row(&[9.0, 10.0]);
+        t.append(other);
+        assert_eq!(t.worlds(), 5);
+        assert_eq!(t.row(4), &[9.0, 10.0]);
+        // Appending an empty matrix of any stride is a no-op.
+        t.append(TauRows::new(7));
+        assert_eq!(t.worlds(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn tau_rows_reject_ragged_rows() {
+        let mut t = TauRows::new(3);
+        t.push_row(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn tau_rows_reject_partial_flat_buffers() {
+        let mut t = TauRows::new(2);
+        t.extend_from_values(&[1.0, 2.0, 3.0]);
     }
 
     #[test]
     fn cold_resume_is_a_miss_and_commit_creates_the_entry() {
         let mut cache = WorldCache::new();
-        let r = cache.resume(NullModel::Bernoulli, 7, &[TS]);
+        let r = cache.resume(NullModel::Bernoulli, 7, SCALAR, &[TS]);
         assert_eq!(r.eval_dirs, vec![TS]);
         assert!(r.prefix.is_empty());
         cache.commit(
             NullModel::Bernoulli,
             7,
+            SCALAR,
             r.eval_dirs,
             r.prefix,
             0,
@@ -287,22 +541,25 @@ mod tests {
         assert_eq!(cache.cached_worlds(), 5);
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().worlds_simulated, 5);
+        assert_eq!(cache.stats().resident_bytes, 5 * 8);
+        assert_eq!(cache.resident_bytes(), 40);
     }
 
     #[test]
     fn covered_resume_moves_the_prefix_out_and_commit_extends_it() {
         let mut cache = WorldCache::new();
-        let r = cache.resume(NullModel::Bernoulli, 7, &[TS]);
+        let r = cache.resume(NullModel::Bernoulli, 7, SCALAR, &[TS]);
         cache.commit(
             NullModel::Bernoulli,
             7,
+            SCALAR,
             r.eval_dirs,
             r.prefix,
             0,
             rows(5, 1),
         );
-        let r = cache.resume(NullModel::Bernoulli, 7, &[TS]);
-        assert_eq!(r.prefix.len(), 5);
+        let r = cache.resume(NullModel::Bernoulli, 7, SCALAR, &[TS]);
+        assert_eq!(r.prefix.worlds(), 5);
         assert_eq!(
             cache.cached_worlds(),
             0,
@@ -312,12 +569,13 @@ mod tests {
         cache.commit(
             NullModel::Bernoulli,
             7,
+            SCALAR,
             r.eval_dirs,
             r.prefix,
             5,
             rows(3, 1),
         );
-        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 7), Some(8));
+        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 7, SCALAR), Some(8));
         assert_eq!(cache.entries(), 1);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().worlds_replayed, 5);
@@ -329,65 +587,81 @@ mod tests {
         cache.commit(
             NullModel::Bernoulli,
             1,
+            SCALAR,
             vec![TS],
-            Vec::new(),
+            TauRows::new(1),
             0,
             rows(10, 1),
         );
         // A smaller-budget run stopped after 4 of the 10 cached worlds:
         // nothing fresh, the entry must keep its 10 rows.
-        let r = cache.resume(NullModel::Bernoulli, 1, &[TS]);
+        let r = cache.resume(NullModel::Bernoulli, 1, SCALAR, &[TS]);
         cache.commit(
             NullModel::Bernoulli,
             1,
+            SCALAR,
             r.eval_dirs,
             r.prefix,
             4,
-            Vec::new(),
+            TauRows::new(1),
         );
-        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 1), Some(10));
+        assert_eq!(
+            cache.class_worlds(NullModel::Bernoulli, 1, SCALAR),
+            Some(10)
+        );
     }
 
     #[test]
     fn uncovered_direction_becomes_its_own_entry_and_then_hits() {
         let mut cache = WorldCache::new();
-        cache.commit(NullModel::Bernoulli, 2, vec![TS], Vec::new(), 0, rows(6, 1));
+        cache.commit(
+            NullModel::Bernoulli,
+            2,
+            SCALAR,
+            vec![TS],
+            TauRows::new(1),
+            0,
+            rows(6, 1),
+        );
         // HI is uncovered: cold, but evaluated as the union with the
         // widest entry so the new rows serve both directions.
-        let r = cache.resume(NullModel::Bernoulli, 2, &[HI]);
+        let r = cache.resume(NullModel::Bernoulli, 2, SCALAR, &[HI]);
         assert_eq!(r.eval_dirs, vec![TS, HI], "union keeps cached directions");
         assert!(r.prefix.is_empty(), "uncovered direction cannot replay");
         // A shorter re-simulation coexists with the longer old prefix…
         cache.commit(
             NullModel::Bernoulli,
             2,
+            SCALAR,
             r.eval_dirs,
             r.prefix,
             0,
             rows(4, 2),
         );
         assert_eq!(cache.entries(), 2);
-        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 2), Some(6));
+        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 2, SCALAR), Some(6));
         // …and the SECOND short-budget HI request is now a pure hit —
         // uncovered-direction repeats must not re-simulate forever.
-        let r2 = cache.resume(NullModel::Bernoulli, 2, &[HI]);
-        assert_eq!(r2.prefix.len(), 4);
+        let r2 = cache.resume(NullModel::Bernoulli, 2, SCALAR, &[HI]);
+        assert_eq!(r2.prefix.worlds(), 4);
         cache.commit(
             NullModel::Bernoulli,
             2,
+            SCALAR,
             r2.eval_dirs,
             r2.prefix,
             4,
-            Vec::new(),
+            TauRows::new(2),
         );
         assert_eq!(cache.stats().hits, 1);
         // Extending the union entry past the old one: both survive
         // (pruning happens only when a NEW entry lands)…
-        let r3 = cache.resume(NullModel::Bernoulli, 2, &[TS, HI]);
-        assert_eq!(r3.prefix.len(), 4);
+        let r3 = cache.resume(NullModel::Bernoulli, 2, SCALAR, &[TS, HI]);
+        assert_eq!(r3.prefix.worlds(), 4);
         cache.commit(
             NullModel::Bernoulli,
             2,
+            SCALAR,
             r3.eval_dirs,
             r3.prefix,
             4,
@@ -395,85 +669,250 @@ mod tests {
         );
         assert_eq!(cache.entries(), 2);
         // …and the longest covering entry wins the next resume.
-        let r4 = cache.resume(NullModel::Bernoulli, 2, &[TS]);
-        assert_eq!(r4.prefix.len(), 7, "[TS,HI](7) out-lasts [TS](6)");
+        let r4 = cache.resume(NullModel::Bernoulli, 2, SCALAR, &[TS]);
+        assert_eq!(r4.prefix.worlds(), 7, "[TS,HI](7) out-lasts [TS](6)");
         cache.commit(
             NullModel::Bernoulli,
             2,
+            SCALAR,
             r4.eval_dirs,
             r4.prefix,
             7,
-            Vec::new(),
+            TauRows::new(2),
         );
     }
 
     #[test]
     fn subsumed_entries_are_pruned_when_a_wider_equal_length_entry_lands() {
         let mut cache = WorldCache::new();
-        cache.commit(NullModel::Bernoulli, 5, vec![TS], Vec::new(), 0, rows(6, 1));
-        let r = cache.resume(NullModel::Bernoulli, 5, &[HI]);
+        cache.commit(
+            NullModel::Bernoulli,
+            5,
+            SCALAR,
+            vec![TS],
+            TauRows::new(1),
+            0,
+            rows(6, 1),
+        );
+        let r = cache.resume(NullModel::Bernoulli, 5, SCALAR, &[HI]);
         // Union re-simulation reaches the old entry's length: the
         // narrower [TS] entry is subsumed and dropped.
         cache.commit(
             NullModel::Bernoulli,
             5,
+            SCALAR,
             r.eval_dirs,
             r.prefix,
             0,
             rows(6, 2),
         );
         assert_eq!(cache.entries(), 1);
-        let r2 = cache.resume(NullModel::Bernoulli, 5, &[TS, HI]);
-        assert_eq!(r2.prefix.len(), 6);
+        let r2 = cache.resume(NullModel::Bernoulli, 5, SCALAR, &[TS, HI]);
+        assert_eq!(r2.prefix.worlds(), 6);
         cache.commit(
             NullModel::Bernoulli,
             5,
+            SCALAR,
             r2.eval_dirs,
             r2.prefix,
             6,
-            Vec::new(),
+            TauRows::new(2),
         );
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().misses, 2, "cold TS commit + uncovered HI");
     }
 
     #[test]
-    fn classes_are_keyed_by_null_model_and_seed() {
+    fn classes_are_keyed_by_null_model_seed_and_worldgen() {
         let mut cache = WorldCache::new();
-        cache.commit(NullModel::Bernoulli, 3, vec![TS], Vec::new(), 0, rows(2, 1));
+        cache.commit(
+            NullModel::Bernoulli,
+            3,
+            SCALAR,
+            vec![TS],
+            TauRows::new(1),
+            0,
+            rows(2, 1),
+        );
         cache.commit(
             NullModel::Permutation,
             3,
+            SCALAR,
             vec![TS],
-            Vec::new(),
+            TauRows::new(1),
             0,
             rows(3, 1),
         );
-        cache.commit(NullModel::Bernoulli, 4, vec![TS], Vec::new(), 0, rows(4, 1));
+        cache.commit(
+            NullModel::Bernoulli,
+            4,
+            SCALAR,
+            vec![TS],
+            TauRows::new(1),
+            0,
+            rows(4, 1),
+        );
         assert_eq!(cache.entries(), 3);
         assert_eq!(cache.cached_worlds(), 9);
-        assert_eq!(cache.class_worlds(NullModel::Permutation, 3), Some(3));
-        assert_eq!(cache.class_worlds(NullModel::Permutation, 4), None);
+        assert_eq!(
+            cache.class_worlds(NullModel::Permutation, 3, SCALAR),
+            Some(3)
+        );
+        assert_eq!(cache.class_worlds(NullModel::Permutation, 4, SCALAR), None);
         cache.clear();
         assert_eq!(cache.entries(), 0);
         assert_eq!(cache.cached_worlds(), 0);
+        assert_eq!(cache.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn scalar_and_word_prefixes_never_mix() {
+        // The satellite invariant: a Word resume must never see a
+        // Scalar prefix (and vice versa) — their RNG streams differ,
+        // so splicing them would corrupt both τ-streams.
+        let mut cache = WorldCache::new();
+        cache.commit(
+            NullModel::Bernoulli,
+            9,
+            SCALAR,
+            vec![TS],
+            TauRows::new(1),
+            0,
+            rows(8, 1),
+        );
+        let word = cache.resume(NullModel::Bernoulli, 9, WORD, &[TS]);
+        assert!(
+            word.prefix.is_empty(),
+            "a Word class must not replay a Scalar prefix"
+        );
+        cache.commit(
+            NullModel::Bernoulli,
+            9,
+            WORD,
+            word.eval_dirs,
+            word.prefix,
+            0,
+            rows(5, 1),
+        );
+        assert_eq!(cache.entries(), 2, "one entry per generator version");
+        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 9, SCALAR), Some(8));
+        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 9, WORD), Some(5));
+        // And the Scalar entry still replays untouched.
+        let scalar = cache.resume(NullModel::Bernoulli, 9, SCALAR, &[TS]);
+        assert_eq!(scalar.prefix.worlds(), 8);
+        cache.commit(
+            NullModel::Bernoulli,
+            9,
+            SCALAR,
+            scalar.eval_dirs,
+            scalar.prefix,
+            8,
+            TauRows::new(1),
+        );
+    }
+
+    #[test]
+    fn capacity_cap_evicts_the_oldest_entries_first() {
+        // Cap fits two 10-world single-direction entries (80 bytes
+        // each) but not three.
+        let mut cache = WorldCache::with_capacity_bytes(180);
+        assert_eq!(cache.capacity_bytes(), Some(180));
+        for seed in 0..3u64 {
+            cache.commit(
+                NullModel::Bernoulli,
+                seed,
+                SCALAR,
+                vec![TS],
+                TauRows::new(1),
+                0,
+                rows(10, 1),
+            );
+        }
+        assert_eq!(cache.entries(), 2, "third commit evicts the oldest");
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.resident_bytes() <= 180);
+        assert_eq!(
+            cache.class_worlds(NullModel::Bernoulli, 0, SCALAR),
+            None,
+            "seed 0 was the least recently used"
+        );
+        assert!(cache
+            .class_worlds(NullModel::Bernoulli, 1, SCALAR)
+            .is_some());
+        assert!(cache
+            .class_worlds(NullModel::Bernoulli, 2, SCALAR)
+            .is_some());
+        // Touching seed 1 (resume + commit) protects it from the next
+        // eviction; seed 2 goes instead.
+        let r = cache.resume(NullModel::Bernoulli, 1, SCALAR, &[TS]);
+        cache.commit(
+            NullModel::Bernoulli,
+            1,
+            SCALAR,
+            r.eval_dirs,
+            r.prefix,
+            10,
+            TauRows::new(1),
+        );
+        cache.commit(
+            NullModel::Bernoulli,
+            3,
+            SCALAR,
+            vec![TS],
+            TauRows::new(1),
+            0,
+            rows(10, 1),
+        );
+        assert_eq!(cache.stats().evictions, 2);
+        assert!(cache
+            .class_worlds(NullModel::Bernoulli, 1, SCALAR)
+            .is_some());
+        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 2, SCALAR), None);
+    }
+
+    #[test]
+    fn oversized_single_entry_is_hard_bounded() {
+        let mut cache = WorldCache::with_capacity_bytes(64);
+        cache.commit(
+            NullModel::Bernoulli,
+            1,
+            SCALAR,
+            vec![TS],
+            TauRows::new(1),
+            0,
+            rows(100, 1),
+        );
+        assert_eq!(cache.entries(), 0, "the cap is hard");
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().resident_bytes, 0);
     }
 
     #[test]
     fn stats_display_summarises() {
         let mut cache = WorldCache::new();
-        cache.commit(NullModel::Bernoulli, 1, vec![TS], Vec::new(), 0, rows(5, 1));
-        let r = cache.resume(NullModel::Bernoulli, 1, &[TS]);
         cache.commit(
             NullModel::Bernoulli,
             1,
+            SCALAR,
+            vec![TS],
+            TauRows::new(1),
+            0,
+            rows(5, 1),
+        );
+        let r = cache.resume(NullModel::Bernoulli, 1, SCALAR, &[TS]);
+        cache.commit(
+            NullModel::Bernoulli,
+            1,
+            SCALAR,
             r.eval_dirs,
             r.prefix,
             5,
-            Vec::new(),
+            TauRows::new(1),
         );
         let line = cache.stats().to_string();
         assert!(line.contains("hits=1"), "{line}");
         assert!(line.contains("replayed=5"), "{line}");
+        assert!(line.contains("evictions=0"), "{line}");
+        assert!(line.contains("resident_bytes=40"), "{line}");
     }
 }

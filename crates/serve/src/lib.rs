@@ -287,6 +287,96 @@ mod tests {
     }
 
     #[test]
+    fn cache_capacity_bounds_session_memory_with_lru_eviction() {
+        use sfscan::WorldGen;
+        let o = outcomes(600, 20);
+        // One 99-world single-direction class costs 99 × 8 bytes; cap
+        // the cache so only two classes fit.
+        let mut service = AuditService::new().with_cache_capacity_bytes(2 * 99 * 8);
+        assert_eq!(service.cache_capacity_bytes(), Some(1584));
+        let handle = service.register(&o, &grid(), base()).unwrap();
+        let request = service.default_request(handle).unwrap();
+        for seed in [1u64, 2, 3] {
+            service.submit(handle, request.with_seed(seed)).unwrap();
+            service.flush();
+        }
+        let cache = service.cache_stats(handle).unwrap();
+        assert_eq!(cache.evictions, 1, "third class evicted the oldest");
+        assert!(cache.resident_bytes <= 1584, "{cache:?}");
+        // Seed 1 was evicted: repeating it simulates again; seed 3 is
+        // still resident and replays.
+        let before = service.stats().unique_worlds;
+        service.submit(handle, request.with_seed(3)).unwrap();
+        service.flush();
+        assert_eq!(service.stats().unique_worlds, before, "seed 3 replayed");
+        service.submit(handle, request.with_seed(1)).unwrap();
+        service.flush();
+        assert_eq!(
+            service.stats().unique_worlds,
+            before + 99,
+            "evicted seed 1 re-simulates"
+        );
+        // An uncapped service still reports None.
+        assert_eq!(AuditService::new().cache_capacity_bytes(), None);
+        // Worldgen knob rides through the service unchanged and stays
+        // bit-identical to the standalone auditor.
+        let word = request.with_worldgen(WorldGen::Word);
+        let ticket = service.submit(handle, word).unwrap();
+        service.flush();
+        let response = service.take(ticket).unwrap();
+        let expected = Auditor::new(word.apply_to(base()))
+            .audit(&o, &grid())
+            .unwrap();
+        assert_eq!(response.report, expected);
+    }
+
+    #[test]
+    fn wire_requests_without_worldgen_decode_as_scalar() {
+        use sfscan::WorldGen;
+        let (mut service, handle, o) = service_with(500, 21);
+        // A v1 transcript line (no "worldgen" key) keeps decoding and
+        // means the v1 Scalar stream.
+        let v1_line = format!(
+            "{{\"handle\": {}, \"request\": {{\"alpha\": 0.05, \"worlds\": 99, \"seed\": 5, \
+             \"direction\": \"TwoSided\", \"null_model\": \"Bernoulli\", \
+             \"mc_strategy\": \"FullBudget\"}}}}",
+            handle.0
+        );
+        let t_v1 = service.submit_json(&v1_line).unwrap();
+        // A v2 line selects the word generator explicitly.
+        let word_request = service
+            .default_request(handle)
+            .unwrap()
+            .with_worldgen(WorldGen::Word);
+        let t_word = service
+            .submit_json(
+                &RequestEnvelope {
+                    handle,
+                    request: word_request,
+                }
+                .to_json(),
+            )
+            .unwrap();
+        service.flush();
+        let scalar_report = service.take(t_v1).unwrap().report;
+        let word_report = service.take(t_word).unwrap().report;
+        assert_eq!(scalar_report.config.worldgen, WorldGen::Scalar);
+        assert_eq!(word_report.config.worldgen, WorldGen::Word);
+        let scalar_expected =
+            Auditor::new(service.default_request(handle).unwrap().apply_to(base()))
+                .audit(&o, &grid())
+                .unwrap();
+        assert_eq!(
+            scalar_report, scalar_expected,
+            "v1 lines stay bit-identical"
+        );
+        assert_ne!(
+            scalar_report.simulated, word_report.simulated,
+            "the generators draw distinct streams"
+        );
+    }
+
+    #[test]
     fn unregister_evicts_the_session_and_frees_its_cache() {
         let (mut service, handle, _) = service_with(600, 9);
         let request = service.default_request(handle).unwrap();

@@ -288,6 +288,9 @@ pub struct AuditService {
     next_ticket: u64,
     clock: u64,
     policy: DrainPolicy,
+    /// Per-session world-cache byte cap applied at registration
+    /// (`None` = unbounded caches).
+    cache_capacity_bytes: Option<usize>,
     stats: ServerStats,
 }
 
@@ -301,6 +304,21 @@ impl AuditService {
     pub fn with_policy(mut self, policy: DrainPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Caps every *subsequently registered* session's world cache at
+    /// `bytes` resident τ-buffer bytes ([`WorldCache::with_capacity_bytes`]):
+    /// long-lived deployments trade repeat-batch replays for bounded
+    /// memory, with least-recently-used world classes evicted first.
+    /// Existing sessions keep the cache they were registered with.
+    pub fn with_cache_capacity_bytes(mut self, bytes: usize) -> Self {
+        self.cache_capacity_bytes = Some(bytes);
+        self
+    }
+
+    /// The per-session world-cache byte cap (`None` = unbounded).
+    pub fn cache_capacity_bytes(&self) -> Option<usize> {
+        self.cache_capacity_bytes
     }
 
     /// The active drain policy.
@@ -345,7 +363,10 @@ impl AuditService {
         self.sessions.push(Session {
             handle,
             prepared,
-            cache: WorldCache::new(),
+            cache: match self.cache_capacity_bytes {
+                Some(bytes) => WorldCache::with_capacity_bytes(bytes),
+                None => WorldCache::new(),
+            },
             queue: Vec::new(),
             queued_since: None,
         });

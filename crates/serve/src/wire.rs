@@ -9,7 +9,12 @@
 //!
 //! * request line — `{"handle": H, "request": {…}}` where `H` is the
 //!   numeric [`DatasetHandle`] (handles are assigned `0, 1, …` in
-//!   registration order, so transcripts can hardcode them);
+//!   registration order, so transcripts can hardcode them). The
+//!   request's optional `"worldgen"` field (`"Scalar"`/`"Word"`)
+//!   selects the world-generation version; v1 payloads without it mean
+//!   `Scalar`, so existing transcripts keep decoding — and keep their
+//!   exact v1 results, because the generator version is part of the
+//!   world-class identity end to end;
 //! * response line — `{"ticket": T|null, "status":
 //!   "ready"|"queued"|"rejected", "report": {…}|null, "error":
 //!   "…"|null}`.

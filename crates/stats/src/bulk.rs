@@ -1,0 +1,420 @@
+//! Bulk Bernoulli sampling: 64 labels per threshold-refinement pass.
+//!
+//! The Monte Carlo hot loop draws one Bernoulli label per audited
+//! point per world. The scalar generator (`rng.gen_bool(ρ)`) costs one
+//! `next_u64` **per bit**; this module's [`BulkBernoulli`] draws a
+//! whole 64-lane word of independent labels from a handful of random
+//! words, so label generation stops being the per-world bottleneck
+//! once counting is blocked/popcnt-fast.
+//!
+//! # Algorithm
+//!
+//! A Bernoulli(ρ) label is `U < T` for a uniform 53-bit integer `U`
+//! and the fixed threshold `T = ⌈ρ·2^53⌉` — exactly the comparison the
+//! scalar `gen_bool` path performs (53 mantissa bits against `ρ`), so
+//! the word sampler's marginal distribution is *identical* to the
+//! scalar one, not merely close. The comparison is resolved lazily,
+//! most-significant bit first, across 64 lanes at once:
+//!
+//! * one `next_u64` supplies bit `b` of all 64 lanes' `U`s;
+//! * where `T`'s bit `b` is 1, lanes whose `U`-bit is 0 decide *true*
+//!   (`U < T` is settled) and lanes with 1 stay open;
+//! * where `T`'s bit is 0, lanes whose `U`-bit is 1 decide *false*
+//!   and lanes with 0 stay open.
+//!
+//! Each pass halves the open-lane count in expectation, so a word of
+//! 64 labels costs ~`log₂ 64 + 2 ≈ 8` RNG words instead of 64 — and
+//! the loop is **exact**: the per-word fixup for the fractional tail
+//! of ρ is simply running the refinement down to `T`'s last bit, where
+//! any still-open lane has `U = T` and decides *false*. No label is
+//! ever approximated.
+//!
+//! The scan engine's `WorldGen::Word` generator draws words one
+//! [`BulkBernoulli::sample_word`] at a time and stores them directly
+//! into its layout-space label blocks (which mask the tail lanes
+//! themselves); [`BulkBernoulli::fill_words`] is the standalone
+//! fill-a-buffer convenience for callers without a bitset type.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Versioned world-generation algorithm.
+///
+/// The two versions draw **statistically equivalent** worlds (same
+/// per-label distribution, pinned by the workspace's distribution
+/// tests) but consume the RNG stream differently, so their simulated
+/// `τ`-streams differ value by value. Any layer that caches or shares
+/// simulated worlds must therefore key them by `(null model, seed,
+/// worldgen)` — mixing versions inside one world class would silently
+/// splice two different streams.
+///
+/// Within one version, worlds are bit-identical across every index
+/// backend and counting strategy (the same cross-engine harness that
+/// pins [`McStrategy`](crate::montecarlo::McStrategy)-independent
+/// world values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WorldGen {
+    /// One RNG draw per label (`gen_bool` / per-id Fisher–Yates) — the
+    /// v1 stream every released artifact was computed under. Stays the
+    /// default for one release.
+    #[default]
+    Scalar,
+    /// Word-parallel v2: Bernoulli labels 64 at a time via
+    /// [`BulkBernoulli`], written directly into the engine's
+    /// layout-space label words; permutation worlds select ranks with
+    /// a complement-aware partial Fisher–Yates that initialises the
+    /// dense side with whole-word writes.
+    Word,
+}
+
+impl WorldGen {
+    /// All generator versions (drives parse-error messages and
+    /// ablation sweeps).
+    pub const ALL: [WorldGen; 2] = [WorldGen::Scalar, WorldGen::Word];
+
+    /// Stable lowercase name (CLI/bench labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorldGen::Scalar => "scalar",
+            WorldGen::Word => "word",
+        }
+    }
+}
+
+impl std::fmt::Display for WorldGen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing a [`WorldGen`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWorldGenError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseWorldGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown world generator {:?}; valid values: ",
+            self.input
+        )?;
+        for (i, gen) in WorldGen::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(gen.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseWorldGenError {}
+
+impl std::str::FromStr for WorldGen {
+    type Err = ParseWorldGenError;
+
+    /// Parses the [`Display`](std::fmt::Display) name back (`scalar`,
+    /// `word`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        WorldGen::ALL
+            .into_iter()
+            .find(|gen| gen.name() == s.trim())
+            .ok_or_else(|| ParseWorldGenError {
+                input: s.to_string(),
+            })
+    }
+}
+
+/// Number of significand bits in the threshold (and in the uniform
+/// each lane compares against) — the same 53-bit resolution the scalar
+/// `gen_bool` comparison has.
+const THRESHOLD_BITS: u32 = 53;
+
+/// Word-parallel exact Bernoulli sampler (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BulkBernoulli {
+    /// `⌈p·2^53⌉`, in `[0, 2^53]`. A lane is *true* iff its uniform
+    /// 53-bit integer is `< threshold`.
+    threshold: u64,
+}
+
+impl BulkBernoulli {
+    /// A sampler for success probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]` (mirrors `Rng::gen_bool`).
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        // Multiplying by a power of two is exact; ceil keeps the
+        // acceptance set {u : u/2^53 < p} — the same set the scalar
+        // comparison `(next_u64 >> 11)·2^-53 < p` accepts, so Scalar
+        // and Word draw from the identical per-label distribution.
+        BulkBernoulli {
+            threshold: (p * (1u64 << THRESHOLD_BITS) as f64).ceil() as u64,
+        }
+    }
+
+    /// The fixed-point acceptance threshold `⌈p·2^53⌉`.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Draws 64 independent Bernoulli labels as one word (lane `i` =
+    /// label `i`).
+    ///
+    /// Consumes a *variable* number of `next_u64` draws (expected ≈ 8,
+    /// at most 53): one per refinement pass while any lane's
+    /// comparison is still open. The consumption is a deterministic
+    /// function of the RNG stream, so replays are reproducible — but
+    /// it differs from 64 scalar `gen_bool` draws, which is why the
+    /// generator version is part of the world-class identity.
+    #[inline]
+    pub fn sample_word<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.threshold >= 1u64 << THRESHOLD_BITS {
+            // p == 1: every uniform is below the threshold.
+            return !0;
+        }
+        if self.threshold == 0 {
+            return 0;
+        }
+        let mut decided = 0u64; // lanes settled true
+        let mut open = !0u64; // lanes still comparing
+        let mut bit = THRESHOLD_BITS - 1;
+        loop {
+            let w = rng.next_u64();
+            if (self.threshold >> bit) & 1 == 1 {
+                // U-bit 0 under a T-bit 1: U < T settled true.
+                decided |= open & !w;
+                open &= w;
+            } else {
+                // U-bit 1 over a T-bit 0: U > T settled false.
+                open &= !w;
+            }
+            if open == 0 || bit == 0 {
+                // Lanes still open after T's last bit have U == T in
+                // every compared position, hence U >= T: false. This
+                // is the exact fixup for ρ's fractional tail.
+                break;
+            }
+            bit -= 1;
+        }
+        decided
+    }
+
+    /// Fills `words` with `n` labels (lane `i` of word `w` = label
+    /// `64·w + i`), zeroing every lane at position `>= n` so the
+    /// result drops into a tail-invariant bitset block array
+    /// unchanged.
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly `⌈n/64⌉` blocks.
+    pub fn fill_words<R: RngCore + ?Sized>(&self, rng: &mut R, words: &mut [u64], n: usize) {
+        assert_eq!(
+            words.len(),
+            n.div_ceil(64),
+            "need one 64-label word per 64 labels"
+        );
+        for (w, word) in words.iter_mut().enumerate() {
+            *word = self.sample_word(rng) & tail_mask(n, w);
+        }
+    }
+}
+
+/// The valid-lane mask of word `w` in an `n`-label array: all ones
+/// except for the final partial word, whose lanes past `n` are zero.
+#[inline]
+pub fn tail_mask(n: usize, word: usize) -> u64 {
+    let remaining = n.saturating_sub(word * 64);
+    if remaining >= 64 {
+        !0
+    } else {
+        (1u64 << remaining) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{seeded_rng, world_rng};
+    use rand::Rng;
+
+    #[test]
+    fn worldgen_parse_round_trips() {
+        for gen in WorldGen::ALL {
+            assert_eq!(gen.to_string().parse::<WorldGen>().unwrap(), gen);
+        }
+        let err = "simd".parse::<WorldGen>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("simd"), "{msg}");
+        assert!(msg.contains("scalar") && msg.contains("word"), "{msg}");
+        assert_eq!(WorldGen::default(), WorldGen::Scalar);
+    }
+
+    #[test]
+    fn worldgen_serde_round_trips() {
+        for gen in WorldGen::ALL {
+            let json = serde_json::to_string(&gen).unwrap();
+            let back: WorldGen = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, gen);
+        }
+    }
+
+    #[test]
+    fn threshold_matches_scalar_acceptance_set() {
+        // The sampler accepts u iff u < ceil(p*2^53); the scalar path
+        // accepts u iff u * 2^-53 < p. Same set, checked around the
+        // boundary for assorted p.
+        for p in [0.005, 0.25, 0.3, 0.5, 1.0 / 3.0, 0.9999] {
+            let t = BulkBernoulli::new(p).threshold();
+            for u in [t.saturating_sub(2), t.saturating_sub(1), t, t + 1] {
+                if u >= 1u64 << THRESHOLD_BITS {
+                    continue;
+                }
+                let scalar = (u as f64) * (1.0 / (1u64 << THRESHOLD_BITS) as f64) < p;
+                assert_eq!(u < t, scalar, "p={p}, u={u}, t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut rng = seeded_rng(1);
+        assert_eq!(BulkBernoulli::new(1.0).sample_word(&mut rng), !0);
+        assert_eq!(BulkBernoulli::new(0.0).sample_word(&mut rng), 0);
+    }
+
+    #[test]
+    fn fill_words_is_deterministic_and_tail_clean() {
+        let sampler = BulkBernoulli::new(0.37);
+        let n = 200usize; // 3 words + 8-lane tail
+        let mut a = vec![0u64; n.div_ceil(64)];
+        let mut b = vec![0u64; n.div_ceil(64)];
+        sampler.fill_words(&mut world_rng(9, 3), &mut a, n);
+        sampler.fill_words(&mut world_rng(9, 3), &mut b, n);
+        assert_eq!(a, b);
+        assert_eq!(a[3] & !tail_mask(n, 3), 0, "tail lanes must be zero");
+        assert_eq!(tail_mask(n, 3), (1u64 << 8) - 1);
+        assert_eq!(tail_mask(n, 0), !0);
+    }
+
+    #[test]
+    fn word_popcounts_match_the_binomial_distribution() {
+        // χ² goodness-of-fit of per-word popcounts against
+        // Binomial(64, p), coarsely bucketed. Deterministic seed; the
+        // bound is loose enough to be stable and tight enough to catch
+        // a biased or correlated sampler.
+        for (p, seed) in [(0.2, 11u64), (0.5, 12), (0.73, 13)] {
+            let sampler = BulkBernoulli::new(p);
+            let mut rng = seeded_rng(seed);
+            let words = 4000usize;
+            let mean = 64.0 * p;
+            let sd = (64.0 * p * (1.0 - p)).sqrt();
+            // Buckets: (-inf, m-s), [m-s, m), [m, m+s), [m+s, inf).
+            let edges = [mean - sd, mean, mean + sd];
+            let mut observed = [0f64; 4];
+            for _ in 0..words {
+                let k = sampler.sample_word(&mut rng).count_ones() as f64;
+                let bucket = edges.iter().filter(|&&e| k >= e).count();
+                observed[bucket] += 1.0;
+            }
+            // Expected bucket masses from the exact binomial pmf.
+            let ln_fact = |k: u64| -> f64 { (1..=k).map(|i| (i as f64).ln()).sum() };
+            let mut expected = [0f64; 4];
+            for k in 0..=64u64 {
+                let ln_pmf = ln_fact(64) - ln_fact(k) - ln_fact(64 - k)
+                    + k as f64 * p.ln()
+                    + (64 - k) as f64 * (1.0 - p).ln();
+                let bucket = edges.iter().filter(|&&e| k as f64 >= e).count();
+                expected[bucket] += ln_pmf.exp() * words as f64;
+            }
+            let chi2: f64 = observed
+                .iter()
+                .zip(&expected)
+                .map(|(o, e)| (o - e) * (o - e) / e)
+                .sum();
+            // 3 degrees of freedom; the 99.9% quantile is ~16.27.
+            assert!(chi2 < 16.27, "p={p}: chi2={chi2}, obs={observed:?}");
+        }
+    }
+
+    #[test]
+    fn lanes_are_independent_of_each_other() {
+        // Adjacent-lane correlation over many words should vanish; a
+        // sampler that reuses one comparison across lanes would show
+        // strong positive correlation.
+        let sampler = BulkBernoulli::new(0.4);
+        let mut rng = seeded_rng(21);
+        let (mut n11, mut n1x, mut nx1, mut total) = (0f64, 0f64, 0f64, 0f64);
+        for _ in 0..2000 {
+            let w = sampler.sample_word(&mut rng);
+            for lane in 0..63 {
+                let a = (w >> lane) & 1;
+                let b = (w >> (lane + 1)) & 1;
+                n11 += (a & b) as f64;
+                n1x += a as f64;
+                nx1 += b as f64;
+                total += 1.0;
+            }
+        }
+        let (pa, pb, pab) = (n1x / total, nx1 / total, n11 / total);
+        let corr = (pab - pa * pb) / ((pa * (1.0 - pa) * pb * (1.0 - pb)).sqrt());
+        assert!(corr.abs() < 0.02, "adjacent-lane correlation {corr}");
+    }
+
+    #[test]
+    fn mean_rate_matches_scalar_generator() {
+        // Same marginal distribution as gen_bool: long-run rates agree
+        // within Monte Carlo noise.
+        let p = 0.31;
+        let sampler = BulkBernoulli::new(p);
+        let mut rng = seeded_rng(33);
+        let word_ones: u64 = (0..2000)
+            .map(|_| sampler.sample_word(&mut rng).count_ones() as u64)
+            .sum();
+        let word_rate = word_ones as f64 / (2000.0 * 64.0);
+        let mut rng = seeded_rng(34);
+        let scalar_ones = (0..128_000).filter(|_| rng.gen_bool(p)).count();
+        let scalar_rate = scalar_ones as f64 / 128_000.0;
+        assert!((word_rate - p).abs() < 0.01, "word rate {word_rate}");
+        assert!(
+            (word_rate - scalar_rate).abs() < 0.01,
+            "word {word_rate} vs scalar {scalar_rate}"
+        );
+    }
+
+    #[test]
+    fn rng_consumption_is_bounded_and_small() {
+        // Count draws per word: expected ~8, never more than 53.
+        struct Counting<R> {
+            inner: R,
+            draws: usize,
+        }
+        impl<R: RngCore> RngCore for Counting<R> {
+            fn next_u32(&mut self) -> u32 {
+                self.draws += 1;
+                self.inner.next_u32()
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.draws += 1;
+                self.inner.next_u64()
+            }
+        }
+        let sampler = BulkBernoulli::new(0.3);
+        let mut rng = Counting {
+            inner: seeded_rng(44),
+            draws: 0,
+        };
+        let words = 1000;
+        for _ in 0..words {
+            sampler.sample_word(&mut rng);
+        }
+        let per_word = rng.draws as f64 / words as f64;
+        assert!(per_word <= 53.0, "hard bound violated: {per_word}");
+        assert!(
+            per_word < 12.0,
+            "expected ~8 draws per 64 labels, measured {per_word}"
+        );
+    }
+}

@@ -19,6 +19,9 @@
 //!   quantiles, used by the `MeanVar` baseline.
 //! * [`rng`] — deterministic seeding helpers (independent per-world
 //!   ChaCha streams).
+//! * [`bulk`] — word-parallel exact Bernoulli sampling (64 labels per
+//!   threshold-refinement pass) and the [`bulk::WorldGen`] generator
+//!   versioning that keys shared/cached world streams.
 //!
 //! # Example: the scan statistic and its calibration
 //!
@@ -39,6 +42,7 @@
 
 pub mod alias;
 pub mod binomial;
+pub mod bulk;
 pub mod descriptive;
 pub mod interval;
 pub mod llr;
@@ -48,6 +52,7 @@ pub mod pvalue;
 pub mod rng;
 
 pub use alias::AliasTable;
+pub use bulk::{BulkBernoulli, ParseWorldGenError, WorldGen};
 pub use interval::{wilson_interval, ProportionInterval};
 pub use llr::{bernoulli_llr, bernoulli_llr_directed, Counts2x2};
 pub use montecarlo::{MonteCarlo, MonteCarloResult};

@@ -418,13 +418,32 @@ impl WorldLane {
     /// 0), which is what lets a shared cached prefix be offered to
     /// every lane of a group regardless of where each one stops.
     pub fn feed(&mut self, taus: &[f64]) -> usize {
+        self.feed_strided(taus, 1, 0)
+    }
+
+    /// [`WorldLane::feed`] over a *strided* row buffer: consumes
+    /// `values[offset]`, `values[offset + stride]`, … — one lane
+    /// column of a flat row-major τ matrix holding `stride` directions
+    /// per world. This is how the batched executor replays its flat
+    /// span buffers without materialising one `Vec<f64>` per world;
+    /// `feed` is the `stride == 1` special case.
+    ///
+    /// Returns how many values were consumed (0 for a done lane).
+    ///
+    /// # Panics
+    /// Panics if `stride == 0` or `offset >= stride`.
+    pub fn feed_strided(&mut self, values: &[f64], stride: usize, offset: usize) -> usize {
+        assert!(stride > 0, "stride must be positive");
+        assert!(offset < stride, "offset {offset} outside stride {stride}");
         let mut consumed = 0;
-        for &tau in taus {
+        let mut i = offset;
+        while i < values.len() {
             if self.is_done() {
                 break;
             }
-            self.push(tau);
+            self.push(values[i]);
             consumed += 1;
+            i += stride;
         }
         consumed
     }
@@ -882,6 +901,37 @@ mod tests {
                 assert_eq!(fed.into_result(), stepped.into_result());
             }
         }
+    }
+
+    #[test]
+    fn lane_feed_strided_matches_column_extraction() {
+        // Feeding column `d` of a flat row-major matrix must equal
+        // feeding the extracted column, for every stopping behavior.
+        let stride = 3;
+        let rows = 60;
+        let values: Vec<f64> = (0..rows * stride).map(|i| (i % 17) as f64 / 17.0).collect();
+        for offset in 0..stride {
+            for &(alpha, strategy) in &[
+                (0.05, McStrategy::FullBudget),
+                (0.25, McStrategy::EarlyStop { batch_size: 8 }),
+                (0.01, McStrategy::EarlyStop { batch_size: 1 }),
+            ] {
+                let column: Vec<f64> = (0..rows).map(|w| values[w * stride + offset]).collect();
+                let mut strided = WorldLane::new(0.5, alpha, strategy, 40);
+                let mut plain = WorldLane::new(0.5, alpha, strategy, 40);
+                let a = strided.feed_strided(&values, stride, offset);
+                let b = plain.feed(&column);
+                assert_eq!(a, b, "offset {offset}, {strategy}");
+                assert_eq!(strided.into_result(), plain.into_result());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside stride")]
+    fn feed_strided_rejects_offset_past_stride() {
+        let mut lane = WorldLane::new(0.5, 0.05, McStrategy::FullBudget, 4);
+        lane.feed_strided(&[0.0; 8], 2, 2);
     }
 
     #[test]

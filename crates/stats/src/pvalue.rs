@@ -26,6 +26,23 @@ pub enum Direction {
     Low,
 }
 
+impl Direction {
+    /// All directions, in a stable order (drives sweeps and the
+    /// constant-time direction→lane tables of the batched executor).
+    pub const ALL: [Direction; 3] = [Direction::TwoSided, Direction::High, Direction::Low];
+
+    /// This direction's index in [`Direction::ALL`] — a dense ordinal
+    /// for array-backed lookup tables.
+    #[inline]
+    pub fn ordinal(&self) -> usize {
+        match self {
+            Direction::TwoSided => 0,
+            Direction::High => 1,
+            Direction::Low => 2,
+        }
+    }
+}
+
 impl std::fmt::Display for Direction {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

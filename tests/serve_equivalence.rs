@@ -18,7 +18,7 @@
 use proptest::prelude::*;
 use spatial_fairness::prelude::*;
 use spatial_fairness::scan::prepared::ExecutionPlan;
-use spatial_fairness::scan::{McStrategy, NullModel};
+use spatial_fairness::scan::{McStrategy, NullModel, WorldGen};
 use spatial_fairness::serve::{AuditService, Ticket};
 
 /// Arbitrary small outcome sets guaranteed to contain both classes.
@@ -44,26 +44,32 @@ fn arb_request() -> impl Strategy<Value = AuditRequest> {
         0usize..3,
         any::<bool>(),
         0usize..3,
+        any::<bool>(),
     )
-        .prop_map(|(alpha_i, worlds_i, seed, dir_i, permutation, mc_i)| {
-            let alphas = [0.25, 0.1, 0.05];
-            let worlds = [19usize, 39, 60];
-            let directions = [Direction::TwoSided, Direction::High, Direction::Low];
-            let strategies = [
-                McStrategy::FullBudget,
-                McStrategy::EarlyStop { batch_size: 8 },
-                McStrategy::EarlyStop { batch_size: 16 },
-            ];
-            let mut request = AuditRequest::new(alphas[alpha_i])
-                .with_worlds(worlds[worlds_i])
-                .with_seed(seed)
-                .with_direction(directions[dir_i])
-                .with_mc_strategy(strategies[mc_i]);
-            if permutation {
-                request = request.with_null_model(NullModel::Permutation);
-            }
-            request
-        })
+        .prop_map(
+            |(alpha_i, worlds_i, seed, dir_i, permutation, mc_i, word)| {
+                let alphas = [0.25, 0.1, 0.05];
+                let worlds = [19usize, 39, 60];
+                let directions = [Direction::TwoSided, Direction::High, Direction::Low];
+                let strategies = [
+                    McStrategy::FullBudget,
+                    McStrategy::EarlyStop { batch_size: 8 },
+                    McStrategy::EarlyStop { batch_size: 16 },
+                ];
+                let mut request = AuditRequest::new(alphas[alpha_i])
+                    .with_worlds(worlds[worlds_i])
+                    .with_seed(seed)
+                    .with_direction(directions[dir_i])
+                    .with_mc_strategy(strategies[mc_i]);
+                if permutation {
+                    request = request.with_null_model(NullModel::Permutation);
+                }
+                if word {
+                    request = request.with_worldgen(WorldGen::Word);
+                }
+                request
+            },
+        )
 }
 
 proptest! {
@@ -203,6 +209,7 @@ proptest! {
                 let request = &requests[member];
                 prop_assert_eq!(request.null_model, group.null_model);
                 prop_assert_eq!(request.seed, group.seed);
+                prop_assert_eq!(request.worldgen, group.worldgen);
                 prop_assert!(group.directions.contains(&request.direction));
                 prop_assert!(request.worlds <= group.max_budget);
             }

@@ -1,10 +1,16 @@
 //! Offline vendored subset of the `rayon` API.
 //!
-//! The workspace's parallelism pattern is exclusively
-//! `(0..n).into_par_iter().map(f).collect::<Vec<T>>()`; this shim
-//! implements exactly that with `std::thread::scope`, statically
-//! chunking the index range over the available cores. Results are
-//! written into pre-assigned slots, so ordering — and therefore every
+//! The workspace uses two parallelism patterns:
+//!
+//! * `(0..n).into_par_iter().map(f).collect::<Vec<T>>()` — fan out an
+//!   index range, collect results in index order;
+//! * `buf.par_chunks_mut(k).enumerate().for_each(|(i, chunk)| …)` —
+//!   fill disjoint chunks of one flat output buffer in place (the
+//!   allocation-free span evaluation of the batched audit executor).
+//!
+//! This shim implements exactly those with `std::thread::scope`,
+//! statically chunking the work over the available cores. Results and
+//! chunks are pre-assigned, so ordering — and therefore every
 //! deterministic-RNG guarantee in the workspace — is identical to the
 //! sequential evaluation.
 
@@ -100,9 +106,79 @@ impl<T> FromParResults<T> for Vec<T> {
     }
 }
 
+/// In-place parallel iteration over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into disjoint chunks of `size` elements (the
+    /// final chunk may be shorter) for parallel mutation.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// A parallel iterator over disjoint mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index (the only downstream shape the
+    /// workspace uses).
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+}
+
+/// An enumerated parallel chunk iterator.
+pub struct ParChunksMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Runs `f` over every `(index, chunk)` pair, distributing
+    /// contiguous runs of chunks across the available cores. Chunks
+    /// are disjoint borrows, so the mutation is data-race-free by
+    /// construction; indices are global chunk positions regardless of
+    /// which worker runs them.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let n_chunks = self.slice.len().div_ceil(self.size);
+        if n_chunks == 0 {
+            return;
+        }
+        let threads = num_threads().min(n_chunks);
+        let per_worker = n_chunks.div_ceil(threads).max(1);
+        let f = &f;
+        let size = self.size;
+        std::thread::scope(|scope| {
+            for (worker, run) in self.slice.chunks_mut(per_worker * size).enumerate() {
+                scope.spawn(move || {
+                    for (offset, chunk) in run.chunks_mut(size).enumerate() {
+                        f((worker * per_worker + offset, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
 /// Prelude mirroring upstream layout.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParMap, ParRange};
+    pub use crate::{
+        IntoParallelIterator, ParChunksMut, ParChunksMutEnumerate, ParMap, ParRange,
+        ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
@@ -125,6 +201,26 @@ mod tests {
     fn nontrivial_offset() {
         let out: Vec<usize> = (10..25).into_par_iter().map(|i| i + 1).collect();
         assert_eq!(out, (11..26).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_fills_every_chunk_once() {
+        let mut buf = vec![0usize; 103]; // 34 chunks of 3, last short
+        buf.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = i * 3 + k + 1;
+            }
+        });
+        let expected: Vec<usize> = (1..=103).collect();
+        assert_eq!(buf, expected);
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_slice() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.par_chunks_mut(4).enumerate().for_each(|(_, _)| {
+            panic!("no chunks expected");
+        });
     }
 
     #[test]
