@@ -5,7 +5,7 @@ use sfdata::lar::{LarConfig, LarDataset};
 use sfgeo::Rect;
 use sfml::RandomForestConfig;
 use sfscan::outcomes::SpatialOutcomes;
-use sfscan::{AuditConfig, CountingStrategy, IndexBackend, McStrategy, WorldGen};
+use sfscan::{AuditConfig, CountingStrategy, IndexBackend, McStrategy, Shards, WorldGen};
 use std::time::Instant;
 
 /// Global harness options.
@@ -25,6 +25,9 @@ pub struct Options {
     pub mc_strategy: McStrategy,
     /// World-generation algorithm version for every calibration.
     pub worldgen: WorldGen,
+    /// Shard count for the blocked counting/generation fan-out
+    /// (`auto` resolves to the available cores).
+    pub shards: Shards,
     /// `serve-bench`: number of queued audit requests.
     pub requests: usize,
     /// `serve-bench`: output path for the machine-readable results.
@@ -45,9 +48,10 @@ impl Default for Options {
             backend: IndexBackend::default(),
             strategy: CountingStrategy::default(),
             mc_strategy: McStrategy::FullBudget,
-            worldgen: WorldGen::Scalar,
+            worldgen: WorldGen::Word,
+            shards: Shards::Auto,
             requests: 24,
-            out: "BENCH_PR5.json".to_string(),
+            out: "BENCH_PR6.json".to_string(),
             input: None,
             max_pending: None,
         }
@@ -59,14 +63,15 @@ impl Options {
     pub const ALPHA: f64 = 0.005;
 
     /// Applies the harness-level audit knobs (index backend, counting
-    /// strategy, Monte Carlo budget strategy, world generator) to a
-    /// figure's config.
+    /// strategy, Monte Carlo budget strategy, world generator, shard
+    /// count) to a figure's config.
     pub fn decorate(&self, config: AuditConfig) -> AuditConfig {
         config
             .with_backend(self.backend)
             .with_strategy(self.strategy)
             .with_mc_strategy(self.mc_strategy)
             .with_worldgen(self.worldgen)
+            .with_shards(self.shards)
     }
 
     /// LAR generator config at the selected scale.

@@ -29,9 +29,11 @@
 //! <membership|requery|blocked|auto>` (per-world counting), `--mc
 //! <full-budget|early-stop|early-stop(batch=N)>` (budget strategy),
 //! `--early-stop` (shorthand for `--mc early-stop`), `--worldgen
-//! <scalar|word>` (world-generation version; `word` draws Bernoulli
-//! labels 64 per RNG pass). `serve-bench` additionally takes
-//! `--requests <n>` and `--out <path>` (default `BENCH_PR5.json`);
+//! <scalar|word>` (world-generation version; `word` — the default —
+//! draws Bernoulli labels 64 per RNG pass), `--shards <auto|N>`
+//! (contiguous rank shards for blocked counting/generation; `auto`
+//! resolves to the available cores). `serve-bench` additionally takes
+//! `--requests <n>` and `--out <path>` (default `BENCH_PR6.json`);
 //! `serve` takes `--input <path>` (JSONL request envelopes; default
 //! stdin) and `--max-pending <n>` (drain policy; default manual, one
 //! batch at EOF). The backend/strategy/mc/worldgen values are parsed
@@ -97,6 +99,10 @@ fn main() {
             "--worldgen" => {
                 i += 1;
                 opts.worldgen = parse_flag("--worldgen", args.get(i));
+            }
+            "--shards" => {
+                i += 1;
+                opts.shards = parse_flag("--shards", args.get(i));
             }
             "--requests" => {
                 i += 1;
@@ -180,7 +186,7 @@ fn die(msg: &str) -> ! {
          [--worlds N] [--backend <brute|kdtree|quadtree|rtree|grid>] \
          [--strategy <membership|requery|blocked|auto>] \
          [--mc <full-budget|early-stop|early-stop(batch=N)>] [--early-stop] \
-         [--worldgen <scalar|word>] \
+         [--worldgen <scalar|word>] [--shards <auto|N>] \
          [--requests N] [--out PATH] [--input PATH] [--max-pending N]"
     );
     std::process::exit(2);

@@ -17,13 +17,15 @@
 //! * **warm**: the *same* requests resubmitted to the same session, so
 //!   every world class replays its cached τ-stream — **zero** new
 //!   simulated worlds, proven by `CacheStats`,
-//! * **batched+blocked**: a cold service with
-//!   [`CountingStrategy::Blocked`], so every shared world is counted
-//!   by masked popcounts over the Morton-blocked membership CSR, and
+//! * **batched+blocked (scalar)**: a cold service with
+//!   [`CountingStrategy::Blocked`] pinned to the historical
+//!   [`WorldGen::Scalar`] stream, so every shared world is counted by
+//!   masked popcounts over the Morton-blocked membership CSR (the
+//!   pre-v2 baseline the word comparison is measured against), and
 //! * **batched+blocked+word**: the same cold workload under
 //!   [`WorldGen::Word`] — counting by popcnt *and* generation by bulk
 //!   64-labels-per-pass Bernoulli draws written straight into the
-//!   blocked layout words (the full v2 fast path) —
+//!   blocked layout words (the v2 fast path, and the default) —
 //!
 //! verifies all reports are **bit-identical** within their generator
 //! version, isolates the per-world counting pass (scalar `count_at`
@@ -32,8 +34,26 @@
 //! per point vs word-parallel bulk draws, asserted `>= 4x` at full
 //! scale, with the cold word batch asserted `>= 2x` end to end), and
 //! persists the machine-readable comparison so the performance
-//! trajectory is tracked across PRs (`BENCH_PR5.json`; format
+//! trajectory is tracked across PRs (`BENCH_PR6.json`; format
 //! documented in the README's benchmark-artifact section).
+//!
+//! The sharded engine (this PR) gets three sections of its own:
+//!
+//! * **sharded eval isolation** — the per-world τ fold alone, plain
+//!   [`ScanEngine::eval_world_into`] vs the shard-partial
+//!   `eval_world_into_sharded` reduce over the same word worlds, τ
+//!   equality asserted per world;
+//! * **single cold audit** — one request served by a sequential
+//!   unsharded engine vs the parallel sharded engine, bit-identity
+//!   asserted and the speedup asserted `>= 2.5x` at full scale on
+//!   machines with at least 4 cores;
+//! * **points scaling** — the same serial-vs-parallel single audit
+//!   swept over dataset sizes, recorded as `scaling` rows.
+//!
+//! The record also carries a `trajectory` block: the headline numbers
+//! of every benchmarked PR so far (hardcoded from the committed
+//! `BENCH_PR*.json` artifacts) plus this run, so one file shows the
+//! performance history.
 
 use crate::common::{banner, report_row, Options};
 use serde::Serialize;
@@ -59,12 +79,52 @@ const WORLD_GEN_SPEEDUP_TARGET: f64 = 4.0;
 /// scalar path on the same blocked serving workload.
 const WORD_BATCH_SPEEDUP_TARGET: f64 = 2.0;
 
+/// The cold single-audit speedup the parallel sharded engine must
+/// clear over the sequential unsharded engine at full scale (the PR 6
+/// acceptance bar) — asserted only on machines with at least
+/// [`MIN_CORES_FOR_SHARD_ASSERT`] cores, since the fan-out cannot beat
+/// the sequential walk without hardware to fan out to.
+const SINGLE_AUDIT_SPEEDUP_TARGET: f64 = 2.5;
+
+/// Core floor for the single-audit speedup assertion.
+const MIN_CORES_FOR_SHARD_ASSERT: usize = 4;
+
+/// One `scaling` sweep row: the serial-vs-sharded single cold audit
+/// at one dataset size.
+#[derive(Debug, Clone, Serialize)]
+struct ScalingRow {
+    /// Observations audited at this size.
+    points: usize,
+    /// Sequential unsharded single-audit serve time, milliseconds.
+    serial_ms: f64,
+    /// Parallel sharded single-audit serve time, milliseconds.
+    parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    speedup: f64,
+}
+
+/// One `trajectory` row: a headline metric of a benchmarked PR
+/// (hardcoded from that PR's committed `BENCH_PR*.json`) or of this
+/// run.
+#[derive(Debug, Clone, Serialize)]
+struct TrajectoryPoint {
+    /// Which PR measured it.
+    pr: String,
+    /// Metric name (matches the record field of that PR's artifact).
+    metric: String,
+    /// Measured value.
+    value: f64,
+}
+
 /// Machine-readable benchmark record (written to `--out`,
-/// `BENCH_PR4.json` by default).
+/// `BENCH_PR6.json` by default).
 #[derive(Debug, Clone, Serialize)]
 struct ServeBenchRecord {
     /// What produced this record.
     benchmark: String,
+    /// Cores available to the run (`std::thread::available_parallelism`);
+    /// the shard assertions are gated on this.
+    cores: usize,
     /// Observations audited.
     points: usize,
     /// Candidate regions scanned.
@@ -157,6 +217,37 @@ struct ServeBenchRecord {
     /// across storage layouts), and word-world per-region counts
     /// identical between membership and blocked counting.
     word_bit_identical: bool,
+    /// Shards the isolation engine was split into (≥ 2 so the
+    /// shard-partial reduce is exercised even on one core).
+    shards: usize,
+    /// Sharded eval isolation: worlds timed in the plain-vs-sharded
+    /// τ-fold pass.
+    shard_eval_worlds: usize,
+    /// Plain `eval_world_into` over those worlds, ms.
+    shard_eval_plain_ms: f64,
+    /// Shard-partial `eval_world_into_sharded` reduce over the same
+    /// worlds, ms.
+    shard_eval_sharded_ms: f64,
+    /// `shard_eval_plain_ms / shard_eval_sharded_ms`.
+    shard_eval_speedup: f64,
+    /// Every timed world's τ fold identical between the two paths
+    /// (asserted).
+    shard_eval_bit_identical: bool,
+    /// Single cold audit on the sequential unsharded engine, ms
+    /// (serve only; engine build excluded).
+    serial_audit_ms: f64,
+    /// The same audit on the parallel sharded engine, ms.
+    sharded_audit_ms: f64,
+    /// `serial_audit_ms / sharded_audit_ms` — the PR 6 tentpole
+    /// number; asserted `>= 2.5` at full scale on `>= 4` cores.
+    single_audit_speedup: f64,
+    /// Serial and sharded single-audit reports byte-equal after
+    /// aligning the `shards`/`parallel` config knobs (asserted).
+    sharded_bit_identical: bool,
+    /// The serial-vs-sharded single audit swept over dataset sizes.
+    scaling: Vec<ScalingRow>,
+    /// Headline numbers of every benchmarked PR plus this run.
+    trajectory: Vec<TrajectoryPoint>,
 }
 
 /// The deterministic request mix: directions × alphas × seeds with a
@@ -298,9 +389,18 @@ pub fn run(opts: &Options) {
     );
     assert!(warm_worlds_replayed > 0 && warm_cache_hits > 0);
 
-    // Path C: a cold service with blocked world counting. Register is
-    // timed separately so the word comparison below is serve-vs-serve.
-    let blocked_base = base.with_strategy(CountingStrategy::Blocked);
+    // Path C: a cold service with blocked world counting, pinned to
+    // the historical Scalar generator — the pre-v2 baseline the word
+    // comparison below is measured against (the default path no longer
+    // runs Scalar anywhere). Register is timed separately so the word
+    // comparison is serve-vs-serve.
+    let blocked_base = base
+        .with_strategy(CountingStrategy::Blocked)
+        .with_worldgen(WorldGen::Scalar);
+    let scalar_requests: Vec<AuditRequest> = requests
+        .iter()
+        .map(|r| r.with_worldgen(WorldGen::Scalar))
+        .collect();
     let t = Instant::now();
     let mut blocked_service = AuditService::new();
     let blocked_handle = blocked_service
@@ -308,7 +408,7 @@ pub fn run(opts: &Options) {
         .expect("auditable");
     let blocked_register_ms = t.elapsed().as_secs_f64() * 1e3;
     let t = Instant::now();
-    for request in &requests {
+    for request in &scalar_requests {
         blocked_service
             .submit(blocked_handle, *request)
             .expect("valid request");
@@ -359,17 +459,30 @@ pub fn run(opts: &Options) {
         *a == report
     });
 
+    // Path C draws the Scalar stream, so its reference is a
+    // scalar-worldgen rebuild, not Path A's word reports.
+    let scalar_reference: Vec<_> = scalar_requests
+        .iter()
+        .map(|request| {
+            Auditor::new(request.apply_to(base))
+                .audit(&outcomes, &regions)
+                .expect("auditable")
+        })
+        .collect();
     let bit_identical = rebuilt.iter().zip(&responses).all(|(a, b)| *a == b.report)
-        && rebuilt.iter().zip(&blocked_responses).all(|(a, b)| {
-            // The report embeds its config; align the strategy knob so
-            // the comparison checks the *results* are bit-identical.
-            let mut report = b.report.clone();
-            report.config.strategy = a.config.strategy;
-            *a == report
-        });
+        && scalar_reference
+            .iter()
+            .zip(&blocked_responses)
+            .all(|(a, b)| {
+                // The report embeds its config; align the strategy knob so
+                // the comparison checks the *results* are bit-identical.
+                let mut report = b.report.clone();
+                report.config.strategy = a.config.strategy;
+                *a == report
+            });
     assert!(
         bit_identical,
-        "batched serving (scalar and blocked) must be bit-identical to sequential audits"
+        "batched serving (word and blocked+scalar) must be bit-identical to sequential audits"
     );
 
     // Counting isolation: the per-world `p(R)` recount pass alone —
@@ -487,11 +600,159 @@ pub fn run(opts: &Options) {
         "word worlds must be bit-identical across counting strategies"
     );
 
+    // Sharded eval isolation: the per-world τ fold alone — the plain
+    // full-CSR sweep vs the shard-partial popcnt reduce — on one
+    // blocked engine carrying both paths. The shard count is floored
+    // at 2 so the partial-sum reduce is exercised (and its
+    // bit-identity asserted) even on a single-core machine.
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let shards = opts.shards.resolve(n.div_ceil(64)).max(2);
+    let sharded_engine =
+        ScanEngine::build_with(&outcomes, &regions, base.backend, CountingStrategy::Blocked)
+            .expect("auditable")
+            .with_shards(sfscan::Shards::Fixed(shards));
+    let dirs = [Direction::TwoSided, Direction::High, Direction::Low];
+    let shard_eval_worlds = worlds;
+    let mut shard_eval_plain_ms = 0.0f64;
+    let mut shard_eval_sharded_ms = 0.0f64;
+    let mut shard_eval_bit_identical = true;
+    let mut plain_taus = vec![0.0f64; dirs.len()];
+    let mut sharded_taus = vec![0.0f64; dirs.len()];
+    for w in 0..shard_eval_worlds {
+        let mut rng = sfstats::rng::world_rng(base.seed, w as u64);
+        let world =
+            sharded_engine.generate_world_with(NullModel::Bernoulli, WorldGen::Word, &mut rng);
+
+        let t = Instant::now();
+        sharded_engine.eval_world_into(&world, &dirs, &mut plain_taus);
+        shard_eval_plain_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        sharded_engine.eval_world_into_sharded(&world, &dirs, &mut sharded_taus);
+        shard_eval_sharded_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        shard_eval_bit_identical &= plain_taus == sharded_taus;
+    }
+    assert!(
+        shard_eval_bit_identical,
+        "the shard-partial reduce must reproduce the plain τ fold bit for bit"
+    );
+    let shard_eval_speedup = shard_eval_plain_ms / shard_eval_sharded_ms;
+
+    // Single cold audit: one request, sequential unsharded engine vs
+    // the parallel sharded engine (the production default). Engine
+    // builds are excluded so the comparison is serve-vs-serve; the
+    // speedup is the PR 6 acceptance number, asserted at full scale
+    // when there are cores to fan out to.
+    let word_blocked = base.with_strategy(CountingStrategy::Blocked);
+    let single_request = [AuditRequest::from_config(&word_blocked)];
+    let serial_config = word_blocked
+        .sequential()
+        .with_shards(sfscan::Shards::Fixed(1));
+    let single_audit = |config: sfscan::AuditConfig,
+                        outcomes: &sfscan::SpatialOutcomes,
+                        regions: &RegionSet|
+     -> (f64, sfscan::AuditReport) {
+        let prepared = PreparedAudit::prepare(outcomes, regions, config).expect("auditable");
+        let t = Instant::now();
+        let mut reports = prepared.run_batch(&single_request);
+        (t.elapsed().as_secs_f64() * 1e3, reports.remove(0))
+    };
+    let (serial_audit_ms, serial_report) = single_audit(serial_config, &outcomes, &regions);
+    let (sharded_audit_ms, sharded_report) = single_audit(word_blocked, &outcomes, &regions);
+    let sharded_bit_identical = {
+        let mut aligned = sharded_report.clone();
+        aligned.config.shards = serial_report.config.shards;
+        aligned.config.parallel = serial_report.config.parallel;
+        serial_report == aligned
+    };
+    assert!(
+        sharded_bit_identical,
+        "the parallel sharded audit must be bit-identical to the sequential unsharded audit"
+    );
+    let single_audit_speedup = serial_audit_ms / sharded_audit_ms;
+    if !opts.quick && cores >= MIN_CORES_FOR_SHARD_ASSERT {
+        assert!(
+            single_audit_speedup >= SINGLE_AUDIT_SPEEDUP_TARGET,
+            "single-audit sharded speedup {single_audit_speedup:.2}x below the \
+             {SINGLE_AUDIT_SPEEDUP_TARGET}x target on {cores} cores"
+        );
+    } else if cores < MIN_CORES_FOR_SHARD_ASSERT {
+        println!(
+            "[serve-bench] note: {cores} core(s) < {MIN_CORES_FOR_SHARD_ASSERT}; \
+             the {SINGLE_AUDIT_SPEEDUP_TARGET}x single-audit assertion is skipped \
+             (bit-identity still asserted)"
+        );
+    }
+
+    // Points scaling: the same serial-vs-parallel single audit swept
+    // over dataset sizes, so the artifact records where the fan-out
+    // starts paying for its coordination.
+    let sweep_sizes: &[usize] = if opts.quick {
+        &[1_000, 2_000, 4_000]
+    } else {
+        &[2_500, 5_000, 10_000, 20_000]
+    };
+    let mut scaling = Vec::new();
+    for &points in sweep_sizes {
+        let sweep_outcomes = SynthConfig {
+            per_half: points / 2,
+            ..SynthConfig::paper()
+        }
+        .generate(opts.seed);
+        let sweep_regions = RegionSet::regular_grid(sweep_outcomes.expanded_bounding_box(), 16, 16);
+        let (serial_ms, a) = single_audit(serial_config, &sweep_outcomes, &sweep_regions);
+        let (parallel_ms, mut b) = single_audit(word_blocked, &sweep_outcomes, &sweep_regions);
+        b.config.shards = a.config.shards;
+        b.config.parallel = a.config.parallel;
+        assert_eq!(a, b, "scaling sweep at {points} points diverged");
+        scaling.push(ScalingRow {
+            points: sweep_outcomes.len(),
+            serial_ms,
+            parallel_ms,
+            speedup: serial_ms / parallel_ms,
+        });
+    }
+
     let groups = sfscan::prepared::ExecutionPlan::new(requests.clone())
         .groups()
         .len();
+    // The headline numbers of every benchmarked PR (hardcoded from the
+    // committed BENCH_PR*.json artifacts at the reference scale:
+    // 20 000 points, 256 regions, 199 worlds, 24 requests) plus this
+    // run, so one artifact carries the whole performance history.
+    let point = |pr: &str, metric: &str, value: f64| TrajectoryPoint {
+        pr: pr.to_string(),
+        metric: metric.to_string(),
+        value,
+    };
+    let trajectory = vec![
+        point("PR2", "rebuild_ms", 1592.83),
+        point("PR2", "batched_ms", 137.12),
+        point("PR2", "speedup", 11.62),
+        point("PR3", "counting_scalar_ms", 3.095),
+        point("PR3", "counting_blocked_ms", 0.399),
+        point("PR3", "counting_speedup", 7.75),
+        point("PR4", "register_ms", 2.163),
+        point("PR4", "warm_ms", 1.0014),
+        point("PR4", "warm_speedup", 131.56),
+        point("PR5", "counting_speedup", 10.24),
+        point("PR5", "gen_speedup", 15.00),
+        point("PR5", "word_batch_speedup", 6.566),
+        point("PR5", "warm_speedup", 157.66),
+        point("PR6", "speedup", rebuild_ms / batched_ms),
+        point("PR6", "counting_speedup", counting_speedup),
+        point("PR6", "gen_speedup", gen_speedup),
+        point("PR6", "word_batch_speedup", word_batch_speedup),
+        point("PR6", "warm_speedup", batched_serve_ms / warm_ms),
+        point("PR6", "single_audit_speedup", single_audit_speedup),
+    ];
+
     let record = ServeBenchRecord {
         benchmark: "serve-bench".to_string(),
+        cores,
         points: outcomes.len(),
         regions: regions.len(),
         worlds_per_request: worlds,
@@ -531,6 +792,18 @@ pub fn run(opts: &Options) {
         word_serve_ms,
         word_batch_speedup,
         word_bit_identical,
+        shards,
+        shard_eval_worlds,
+        shard_eval_plain_ms,
+        shard_eval_sharded_ms,
+        shard_eval_speedup,
+        shard_eval_bit_identical,
+        serial_audit_ms,
+        sharded_audit_ms,
+        single_audit_speedup,
+        sharded_bit_identical,
+        scaling,
+        trajectory,
     };
 
     report_row(
@@ -595,6 +868,36 @@ pub fn run(opts: &Options) {
             record.word_batch_speedup, record.word_serve_ms, record.blocked_serve_ms
         ),
     );
+    report_row(
+        "sharded eval (plain vs shard-partial)",
+        "bit-identical",
+        &format!(
+            "{:.2}x ({:.2} ms vs {:.2} ms over {} worlds, {} shards)",
+            record.shard_eval_speedup,
+            record.shard_eval_plain_ms,
+            record.shard_eval_sharded_ms,
+            record.shard_eval_worlds,
+            record.shards
+        ),
+    );
+    report_row(
+        "single cold audit (serial vs sharded)",
+        &format!(">= {SINGLE_AUDIT_SPEEDUP_TARGET}x on >= {MIN_CORES_FOR_SHARD_ASSERT} cores"),
+        &format!(
+            "{:.2}x ({:.1} ms vs {:.1} ms, {} core(s))",
+            record.single_audit_speedup, record.serial_audit_ms, record.sharded_audit_ms, cores
+        ),
+    );
+    for row in &record.scaling {
+        report_row(
+            &format!("  scaling @ {} points", row.points),
+            "—",
+            &format!(
+                "{:.2}x ({:.1} ms serial vs {:.1} ms parallel)",
+                row.speedup, row.serial_ms, row.parallel_ms
+            ),
+        );
+    }
     report_row(
         "worlds generated",
         &format!("{rebuild_worlds} sequential"),

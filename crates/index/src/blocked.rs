@@ -359,6 +359,75 @@ impl BlockedMembership {
         }
     }
 
+    /// Number of 64-bit label words the compiled positions span
+    /// (`⌈num_points/64⌉`) — the axis [`BlockedMembership::clip_to_words`]
+    /// shards partition.
+    pub fn num_label_words(&self) -> usize {
+        self.num_points.div_ceil(64)
+    }
+
+    /// A counting view of this compilation restricted to label words
+    /// `word_lo..word_hi`: full ranges are clipped at the boundaries
+    /// and partial runs outside the window are dropped. Block indices
+    /// stay **absolute**, so the view counts against the *full*
+    /// layout-space label array — and because every word belongs to
+    /// exactly one window of a partition, summing the views' counts
+    /// over a partition of `0..num_label_words()` reproduces the
+    /// unsharded count exactly (integer addition, no rounding).
+    ///
+    /// The view's `n_of`/`total_ids` are window-local (they sum to the
+    /// parent's across a partition). The view never carries a layout
+    /// (`is_permuted()` is `false`): it is a counting structure, not a
+    /// label-placement oracle — positions were already mapped by the
+    /// parent compilation.
+    pub fn clip_to_words(&self, word_lo: usize, word_hi: usize) -> BlockedMembership {
+        assert!(word_lo <= word_hi, "inverted word window");
+        let (lo, hi) = (word_lo as u64, word_hi as u64);
+        let mut clipped = BlockedMembership {
+            full_offsets: vec![0],
+            full_starts: Vec::new(),
+            full_lens: Vec::new(),
+            run_offsets: vec![0],
+            run_blocks: Vec::new(),
+            run_masks: Vec::new(),
+            region_n: Vec::new(),
+            num_points: self.num_points,
+            to_pos: None,
+        };
+        for r in 0..self.num_regions() {
+            let mut n = 0u64;
+            let (fs, fe) = (
+                self.full_offsets[r] as usize,
+                self.full_offsets[r + 1] as usize,
+            );
+            for i in fs..fe {
+                let start = (self.full_starts[i] as u64).max(lo);
+                let end = (self.full_starts[i] as u64 + self.full_lens[i] as u64).min(hi);
+                if start < end {
+                    clipped.full_starts.push(start as u32);
+                    clipped.full_lens.push((end - start) as u32);
+                    n += (end - start) * 64;
+                }
+            }
+            let (s, e) = (
+                self.run_offsets[r] as usize,
+                self.run_offsets[r + 1] as usize,
+            );
+            for i in s..e {
+                let block = self.run_blocks[i] as u64;
+                if (lo..hi).contains(&block) {
+                    clipped.run_blocks.push(self.run_blocks[i]);
+                    clipped.run_masks.push(self.run_masks[i]);
+                    n += self.run_masks[i].count_ones() as u64;
+                }
+            }
+            clipped.full_offsets.push(clipped.full_starts.len() as u32);
+            clipped.run_offsets.push(clipped.run_blocks.len() as u32);
+            clipped.region_n.push(n);
+        }
+        clipped
+    }
+
     /// Total member ids across all regions (`Σ n(R)`).
     pub fn total_ids(&self) -> u64 {
         self.region_n.iter().sum()
@@ -466,6 +535,29 @@ pub fn morton_layout(points: &[Point]) -> Vec<u32> {
         to_pos[id as usize] = rank as u32;
     }
     to_pos
+}
+
+/// Partitions the word axis `0..num_words` into `shards` contiguous
+/// windows, as even as possible: the first `num_words % shards`
+/// windows get one extra word. Windows may be empty when
+/// `shards > num_words`; the windows always tile the axis exactly, so
+/// [`BlockedMembership::clip_to_words`] views over them sum to the
+/// unsharded counts.
+///
+/// # Panics
+/// Panics if `shards` is zero.
+pub fn shard_word_bounds(num_words: usize, shards: usize) -> Vec<(usize, usize)> {
+    assert!(shards > 0, "need at least one shard");
+    let base = num_words / shards;
+    let extra = num_words % shards;
+    let mut bounds = Vec::with_capacity(shards);
+    let mut lo = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        bounds.push((lo, lo + len));
+        lo += len;
+    }
+    bounds
 }
 
 /// Spreads the low 16 bits of `v` into the even bit positions.
@@ -706,6 +798,88 @@ mod tests {
         for r in 0..m.num_regions() {
             assert_eq!(flat.count(r, &flat_world), morton.count(r, &morton_world));
         }
+    }
+
+    #[test]
+    fn shard_word_bounds_tile_the_axis() {
+        for (words, shards) in [
+            (0usize, 1usize),
+            (1, 1),
+            (5, 2),
+            (64, 3),
+            (7, 9),
+            (100, 100),
+        ] {
+            let bounds = shard_word_bounds(words, shards);
+            assert_eq!(bounds.len(), shards);
+            assert_eq!(bounds[0].0, 0);
+            assert_eq!(bounds[shards - 1].1, words);
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "windows must abut");
+            }
+            // Even split: window lengths differ by at most one.
+            let lens: Vec<usize> = bounds.iter().map(|&(lo, hi)| hi - lo).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(max - min <= 1, "{lens:?}");
+        }
+    }
+
+    #[test]
+    fn clipped_views_sum_to_the_unsharded_counts() {
+        let m = membership_fixture();
+        let b = BlockedMembership::compile_with_layout(&m, {
+            let mut rng = ChaCha8Rng::seed_from_u64(83);
+            let n = m.num_points();
+            let mut layout: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                layout.swap(i, j);
+            }
+            layout
+        })
+        .unwrap();
+        let words = b.num_label_words();
+        let mut rng = ChaCha8Rng::seed_from_u64(84);
+        let world = BitLabels::from_fn(b.num_points(), |_| rng.gen_bool(0.4));
+        // Shard counts beyond the word count produce empty windows.
+        for shards in [1usize, 2, 3, 5, words, words + 4] {
+            let views: Vec<BlockedMembership> = shard_word_bounds(words, shards)
+                .into_iter()
+                .map(|(lo, hi)| b.clip_to_words(lo, hi))
+                .collect();
+            for r in 0..b.num_regions() {
+                let n_sum: u64 = views.iter().map(|v| v.n_of(r)).sum();
+                assert_eq!(n_sum, b.n_of(r), "n(R) must partition, region {r}");
+                let p_sum: u64 = views.iter().map(|v| v.count(r, &world)).sum();
+                assert_eq!(p_sum, b.count(r, &world), "p(R) must partition, region {r}");
+            }
+            let ids_sum: u64 = views.iter().map(|v| v.total_ids()).sum();
+            assert_eq!(ids_sum, b.total_ids());
+        }
+        // A full-axis view counts exactly like the parent.
+        let full = b.clip_to_words(0, words);
+        for r in 0..b.num_regions() {
+            assert_eq!(full.count(r, &world), b.count(r, &world));
+        }
+        // An empty view counts zero everywhere.
+        let empty = b.clip_to_words(3, 3);
+        for r in 0..b.num_regions() {
+            assert_eq!(empty.count(r, &world), 0);
+            assert_eq!(empty.n_of(r), 0);
+        }
+    }
+
+    #[test]
+    fn clipping_splits_full_ranges_at_word_boundaries() {
+        // One region covering 4 full words; clip mid-range.
+        let full: Vec<u32> = (0..256).collect();
+        let b = BlockedMembership::from_lists([full.as_slice()].into_iter(), 256).unwrap();
+        let left = b.clip_to_words(0, 2);
+        let right = b.clip_to_words(2, 4);
+        assert_eq!(left.n_of(0), 128);
+        assert_eq!(right.n_of(0), 128);
+        let labels = BitLabels::from_fn(256, |i| i % 2 == 0);
+        assert_eq!(left.count(0, &labels) + right.count(0, &labels), 128);
     }
 
     #[test]

@@ -111,6 +111,20 @@ impl BitLabels {
         self.blocks.len()
     }
 
+    /// Mutable access to the raw blocks, for bulk parallel fills
+    /// (chunked world generation writes disjoint block ranges from
+    /// multiple workers).
+    ///
+    /// The caller takes over the zero-tail invariant of
+    /// [`BitLabels::blocks`]: any lane at position `>= len` written
+    /// through this slice must be left zero. Bulk fillers get this for
+    /// free by masking their final word with the valid-lane tail mask
+    /// (as `BulkBernoulli::fill_words` does).
+    #[inline]
+    pub fn blocks_mut(&mut self) -> &mut [u64] {
+        &mut self.blocks
+    }
+
     /// Writes 64 labels at once: lane `i` of `bits` becomes label
     /// `64·w + i`. Lanes at positions `>= len` are masked off, so the
     /// zero-tail invariant of [`BitLabels::blocks`] holds no matter

@@ -57,7 +57,7 @@ pub mod rtree;
 pub mod sat;
 pub mod substrate;
 
-pub use blocked::{morton_layout, BlockedBuildError, BlockedMembership};
+pub use blocked::{morton_layout, shard_word_bounds, BlockedBuildError, BlockedMembership};
 pub use brute::BruteForceIndex;
 pub use gridindex::GridIndex;
 pub use kdtree::KdTree;

@@ -1,0 +1,171 @@
+//! Shard-boundary property tests for the clipped blocked-membership
+//! views.
+//!
+//! The sharding contract is exact partition: `shard_word_bounds` must
+//! tile the label-word axis into contiguous, non-overlapping windows,
+//! and the per-shard `clip_to_words` views' counts must sum to the
+//! unsharded count for every region and every label set — including
+//! the awkward geometries: point counts that are not 64-aligned,
+//! shards that own no member of a region, shards owning a single
+//! point, and regions spanning one, many, or all shards.
+
+use proptest::prelude::*;
+use sfindex::{shard_word_bounds, BitLabels, BlockedMembership};
+
+/// A random sorted/unique id list over `0..n`.
+fn arb_id_list(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..n as u32, 0..n.min(256)).prop_map(|mut ids| {
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    })
+}
+
+/// Per-shard partial counts summed back together.
+fn sharded_counts(blocked: &BlockedMembership, shards: usize, labels: &BitLabels) -> Vec<u64> {
+    let bounds = shard_word_bounds(blocked.num_label_words(), shards);
+    let mut totals = vec![0u64; blocked.num_regions()];
+    let mut partial = Vec::new();
+    for &(lo, hi) in &bounds {
+        blocked
+            .clip_to_words(lo, hi)
+            .count_all_into(labels, &mut partial);
+        for (total, p) in totals.iter_mut().zip(&partial) {
+            *total += p;
+        }
+    }
+    totals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `shard_word_bounds` is an exact contiguous partition of the
+    /// word axis for every `(num_words, shards)` — no gaps, no
+    /// overlap, no empty window while `shards <= num_words`.
+    #[test]
+    fn shard_bounds_partition_the_word_axis(
+        num_words in 1usize..200,
+        shards in 1usize..32,
+    ) {
+        let shards = shards.min(num_words);
+        let bounds = shard_word_bounds(num_words, shards);
+        prop_assert_eq!(bounds.len(), shards);
+        prop_assert_eq!(bounds[0].0, 0);
+        prop_assert_eq!(bounds[shards - 1].1, num_words);
+        for w in bounds.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0, "gap or overlap at {:?}", w);
+        }
+        for &(lo, hi) in &bounds {
+            prop_assert!(hi > lo, "empty shard ({lo}, {hi})");
+            // The even split never lets two shards differ by more
+            // than one word.
+            prop_assert!(hi - lo <= num_words / shards + 1);
+        }
+    }
+
+    /// For random member lists and labels, the per-shard partials sum
+    /// to the unsharded count for EVERY shard count — including
+    /// non-64-aligned point counts (n is drawn freely, so tail words
+    /// are partial almost always).
+    #[test]
+    fn shard_partials_sum_to_unsharded_counts(
+        n in 65usize..400,
+        seed in any::<u64>(),
+        lists in prop::collection::vec(arb_id_list(380), 1..10),
+    ) {
+        let lists: Vec<Vec<u32>> = lists
+            .into_iter()
+            .map(|ids| ids.into_iter().filter(|&id| (id as usize) < n).collect())
+            .collect();
+        let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+        let blocked = BlockedMembership::from_lists(refs.iter().copied(), n).unwrap();
+        let labels = BitLabels::from_fn(n, |i| {
+            (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ seed).is_multiple_of(3)
+        });
+        let mut unsharded = Vec::new();
+        blocked.count_all_into(&labels, &mut unsharded);
+        for shards in [1, 2, 3, 5, blocked.num_label_words()] {
+            let totals = sharded_counts(&blocked, shards, &labels);
+            prop_assert_eq!(&totals, &unsharded, "shards = {}", shards);
+        }
+    }
+
+    /// A region confined to one shard is counted entirely by that
+    /// shard's view; every other shard's partial is zero.
+    #[test]
+    fn foreign_shards_count_nothing(
+        word in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let n = 384; // 6 words exactly, one region per word
+        let lists: Vec<Vec<u32>> = (0..6)
+            .map(|w| (w as u32 * 64..(w as u32 + 1) * 64).collect())
+            .collect();
+        let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+        let blocked = BlockedMembership::from_lists(refs.iter().copied(), n).unwrap();
+        let labels = BitLabels::from_fn(n, |i| (seed >> (i % 64)) & 1 == 1);
+        for (s, &(lo, hi)) in shard_word_bounds(6, 6).iter().enumerate() {
+            let view = blocked.clip_to_words(lo, hi);
+            let expected = if s == word { blocked.count(word, &labels) } else { 0 };
+            prop_assert_eq!(view.count(word, &labels), expected, "shard {}", s);
+        }
+    }
+}
+
+#[test]
+fn adversarial_shard_geometries_sum_exactly() {
+    // Region shapes chosen to stress the clip boundaries: empty,
+    // single-id at word edges, dense full-span, straddles of every
+    // shard boundary a 3-way split of 5 words produces, and a sparse
+    // comb touching every word. n = 290 leaves a 34-bit tail word.
+    let n = 290;
+    let shapes: Vec<Vec<u32>> = vec![
+        vec![],
+        vec![0],
+        vec![63],
+        vec![64],
+        vec![127],
+        vec![128],
+        vec![289],
+        (0..n as u32).collect(),
+        (60..70).collect(),
+        (120..140).collect(),
+        (250..=289).collect(),
+        (0..n as u32).step_by(7).collect(),
+    ];
+    let refs: Vec<&[u32]> = shapes.iter().map(|l| l.as_slice()).collect();
+    let blocked = BlockedMembership::from_lists(refs.iter().copied(), n).unwrap();
+    let mut labels = BitLabels::zeros(n);
+    for round in 0..4u64 {
+        labels.refill(|i| {
+            (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ round)
+                .is_multiple_of(3)
+        });
+        let mut unsharded = Vec::new();
+        blocked.count_all_into(&labels, &mut unsharded);
+        for shards in 1..=blocked.num_label_words() {
+            assert_eq!(
+                sharded_counts(&blocked, shards, &labels),
+                unsharded,
+                "{shards} shards, round {round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_point_and_single_word_shards() {
+    // One point (one partial word) still shards: the only legal split
+    // is one shard owning everything.
+    let blocked = BlockedMembership::from_lists([[0u32].as_slice()].into_iter(), 1).unwrap();
+    assert_eq!(blocked.num_label_words(), 1);
+    let bounds = shard_word_bounds(1, 1);
+    assert_eq!(bounds, vec![(0, 1)]);
+    let labels = BitLabels::from_bools(&[true]);
+    assert_eq!(blocked.clip_to_words(0, 1).count(0, &labels), 1);
+    // An empty clip window is a valid view that counts nothing.
+    assert_eq!(blocked.clip_to_words(0, 0).count(0, &labels), 0);
+    assert_eq!(blocked.clip_to_words(1, 1).count(0, &labels), 0);
+}

@@ -121,6 +121,115 @@ impl std::str::FromStr for CountingStrategy {
     }
 }
 
+/// How many contiguous Morton-rank shards the engine partitions its
+/// blocked counting structures into.
+///
+/// Sharding splits the label-word axis into contiguous windows, each
+/// owning a clipped view of the blocked membership CSR
+/// ([`sfindex::BlockedMembership::clip_to_words`]); a region count
+/// becomes the sum of per-shard popcnt partials, which lets one world
+/// evaluation fan out across cores. Results are **bit-identical** for
+/// every shard count — integer partial sums reassociate exactly, and
+/// world generation draws fixed-size chunk substreams that are
+/// independent of the shard layout — so this knob only trades
+/// parallelism against per-shard overhead, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Shards {
+    /// One shard per available core, clamped to the label-word count.
+    #[default]
+    Auto,
+    /// A fixed shard count (at least 1).
+    Fixed(usize),
+}
+
+impl Shards {
+    /// The concrete shard count for an engine spanning `num_words`
+    /// label words: `Auto` resolves to the available parallelism, and
+    /// every request is clamped to `[1, max(num_words, 1)]` (a shard
+    /// narrower than one word can never own anything).
+    pub fn resolve(&self, num_words: usize) -> usize {
+        let requested = match self {
+            Shards::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            Shards::Fixed(k) => *k,
+        };
+        requested.clamp(1, num_words.max(1))
+    }
+}
+
+impl std::fmt::Display for Shards {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Shards::Auto => f.write_str("auto"),
+            Shards::Fixed(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// Error from parsing a [`Shards`] value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseShardsError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseShardsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid shard count {:?}; expected \"auto\" or a positive integer",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseShardsError {}
+
+impl std::str::FromStr for Shards {
+    type Err = ParseShardsError;
+
+    /// Parses the [`Display`](std::fmt::Display) form back (`auto` or
+    /// a positive integer).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s == "auto" {
+            return Ok(Shards::Auto);
+        }
+        match s.parse::<usize>() {
+            Ok(k) if k >= 1 => Ok(Shards::Fixed(k)),
+            _ => Err(ParseShardsError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+impl Serialize for Shards {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Shards::Auto => serde::Value::Str(String::from("auto")),
+            Shards::Fixed(k) => serde::Value::U64(*k as u64),
+        }
+    }
+}
+
+impl Deserialize for Shards {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if let Some(s) = value.as_str() {
+            return s
+                .parse()
+                .map_err(|e: ParseShardsError| serde::Error::msg(e.to_string()));
+        }
+        match value.as_u64() {
+            Some(k) if k >= 1 => Ok(Shards::Fixed(k as usize)),
+            _ => Err(serde::Error::msg(format!(
+                "expected \"auto\" or a positive shard count, got {}",
+                value.kind()
+            ))),
+        }
+    }
+}
+
 /// Knobs for a spatial-fairness audit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AuditConfig {
@@ -144,24 +253,30 @@ pub struct AuditConfig {
     /// Monte Carlo budget strategy: spend the full budget, or stop at
     /// the first batch where the verdict at `alpha` is decided.
     pub mc_strategy: McStrategy,
-    /// World-generation algorithm version. [`WorldGen::Scalar`] (the
-    /// default for one release) draws one RNG value per point;
-    /// [`WorldGen::Word`] draws Bernoulli labels 64 at a time directly
-    /// into the engine's layout-space label words. The versions are
-    /// statistically equivalent but consume the RNG stream
-    /// differently, so this knob is part of the world-class identity
-    /// `(null model, seed, worldgen)` everywhere worlds are shared or
-    /// cached.
+    /// World-generation algorithm version. [`WorldGen::Word`] (the
+    /// default) draws Bernoulli labels 64 at a time from absolutely
+    /// positioned chunk substreams, directly into the engine's
+    /// layout-space label words; [`WorldGen::Scalar`] is the v1
+    /// generator (one RNG value per point), kept selectable for
+    /// replaying v1 results. The versions are statistically equivalent
+    /// but consume the RNG stream differently, so this knob is part of
+    /// the world-class identity `(null model, seed, worldgen)`
+    /// everywhere worlds are shared or cached.
     pub worldgen: WorldGen,
+    /// Shard count for the engine's blocked counting structures (see
+    /// [`Shards`]). Results are bit-identical for every value; absent
+    /// on pre-sharding wire payloads, which decode as [`Shards::Auto`].
+    pub shards: Shards,
     /// Evaluate worlds in parallel (results are identical either way).
     pub parallel: bool,
 }
 
-// Manual wire impls instead of the derive: `worldgen` was added after
-// the v1 wire format shipped, and configs are embedded in every
-// serialized `AuditReport`/response envelope — v1 payloads without
-// the field must keep decoding (they mean the v1 Scalar generator).
-// The derive would hard-error on the missing field.
+// Manual wire impls instead of the derive: `worldgen` and `shards`
+// were added after the v1 wire format shipped, and configs are
+// embedded in every serialized `AuditReport`/response envelope —
+// older payloads without the fields must keep decoding (`worldgen`
+// absent means the v1 Scalar generator; `shards` absent means Auto).
+// The derive would hard-error on the missing fields.
 impl Serialize for AuditConfig {
     fn to_value(&self) -> serde::Value {
         serde::Value::Object(vec![
@@ -174,6 +289,7 @@ impl Serialize for AuditConfig {
             (String::from("backend"), self.backend.to_value()),
             (String::from("mc_strategy"), self.mc_strategy.to_value()),
             (String::from("worldgen"), self.worldgen.to_value()),
+            (String::from("shards"), self.shards.to_value()),
             (String::from("parallel"), self.parallel.to_value()),
         ])
     }
@@ -196,6 +312,12 @@ impl Deserialize for AuditConfig {
                 // Absent on v1 payloads: the v1 generator.
                 None => WorldGen::Scalar,
             },
+            shards: match value.get("shards") {
+                Some(v) => Shards::from_value(v)
+                    .map_err(|e| serde::Error::msg(format!("field `shards`: {}", e.message)))?,
+                // Absent on pre-sharding payloads.
+                None => Shards::Auto,
+            },
             parallel: serde::get_field(value, "parallel")?,
         })
     }
@@ -204,7 +326,8 @@ impl Deserialize for AuditConfig {
 impl AuditConfig {
     /// Creates a config at significance level `alpha` with the paper's
     /// defaults: 999 worlds, two-sided, Bernoulli null, membership
-    /// counting, kd-tree backend, full Monte Carlo budget, parallel.
+    /// counting, kd-tree backend, full Monte Carlo budget, word
+    /// world generation, auto sharding, parallel.
     ///
     /// # Panics
     /// Panics if `alpha` is outside `(0, 1)`.
@@ -222,7 +345,8 @@ impl AuditConfig {
             strategy: CountingStrategy::Membership,
             backend: IndexBackend::KdTree,
             mc_strategy: McStrategy::FullBudget,
-            worldgen: WorldGen::Scalar,
+            worldgen: WorldGen::Word,
+            shards: Shards::Auto,
             parallel: true,
         }
     }
@@ -290,6 +414,13 @@ impl AuditConfig {
         self
     }
 
+    /// Sets the engine shard count (results are identical for every
+    /// value; see [`Shards`]).
+    pub fn with_shards(mut self, shards: Shards) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Disables parallel Monte Carlo (results unchanged).
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
@@ -324,9 +455,11 @@ mod tests {
         assert_eq!(c.mc_strategy, McStrategy::FullBudget);
         assert_eq!(
             c.worldgen,
-            WorldGen::Scalar,
-            "v1 stays default for one release"
+            WorldGen::Word,
+            "word-parallel v2 generation is the default; scalar remains \
+             the v1 replay escape hatch"
         );
+        assert_eq!(c.shards, Shards::Auto);
         assert!(c.budget_sufficient());
     }
 
@@ -349,6 +482,7 @@ mod tests {
             .with_strategy(CountingStrategy::Requery)
             .with_backend(IndexBackend::Grid)
             .with_mc_strategy(McStrategy::EarlyStop { batch_size: 16 })
+            .with_shards(Shards::Fixed(3))
             .sequential();
         assert_eq!(c.worlds, 99);
         assert_eq!(c.seed, 7);
@@ -357,6 +491,7 @@ mod tests {
         assert_eq!(c.strategy, CountingStrategy::Requery);
         assert_eq!(c.backend, IndexBackend::Grid);
         assert_eq!(c.mc_strategy, McStrategy::EarlyStop { batch_size: 16 });
+        assert_eq!(c.shards, Shards::Fixed(3));
         assert!(!c.parallel);
         assert!(c.budget_sufficient());
     }
@@ -408,7 +543,47 @@ mod tests {
                      "mc_strategy": "FullBudget", "parallel": true}"#;
         let config: AuditConfig = serde_json::from_str(v1).unwrap();
         assert_eq!(config.worldgen, WorldGen::Scalar);
-        assert_eq!(config, AuditConfig::paper());
+        assert_eq!(config.shards, Shards::Auto);
+        assert_eq!(
+            config,
+            AuditConfig::paper().with_worldgen(WorldGen::Scalar),
+            "a v1 payload is today's defaults with the v1 generator"
+        );
+    }
+
+    #[test]
+    fn shards_parse_and_resolve() {
+        assert_eq!("auto".parse::<Shards>().unwrap(), Shards::Auto);
+        assert_eq!(" 8 ".parse::<Shards>().unwrap(), Shards::Fixed(8));
+        assert!("0".parse::<Shards>().is_err());
+        assert!("-2".parse::<Shards>().is_err());
+        assert!("many".parse::<Shards>().is_err());
+        for shards in [Shards::Auto, Shards::Fixed(1), Shards::Fixed(12)] {
+            assert_eq!(shards.to_string().parse::<Shards>().unwrap(), shards);
+        }
+        // Fixed counts clamp to the word axis; Auto always resolves to
+        // at least one shard.
+        assert_eq!(Shards::Fixed(7).resolve(100), 7);
+        assert_eq!(Shards::Fixed(7).resolve(3), 3);
+        assert_eq!(Shards::Fixed(1).resolve(0), 1);
+        assert!(Shards::Auto.resolve(1_000_000) >= 1);
+        assert_eq!(Shards::Auto.resolve(1), 1);
+    }
+
+    #[test]
+    fn shards_serde_round_trips_and_defaults_missing_field() {
+        let fixed = AuditConfig::new(0.05).with_shards(Shards::Fixed(4));
+        let json = serde_json::to_string(&fixed).unwrap();
+        assert!(json.contains("\"shards\":4"), "{json}");
+        let back: AuditConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shards, Shards::Fixed(4));
+        let auto = AuditConfig::new(0.05);
+        let json = serde_json::to_string(&auto).unwrap();
+        assert!(json.contains("\"shards\":\"auto\""), "{json}");
+        let back: AuditConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shards, Shards::Auto);
+        assert!(serde_json::from_str::<Shards>("0").is_err());
+        assert!(serde_json::from_str::<Shards>("\"several\"").is_err());
     }
 
     #[test]

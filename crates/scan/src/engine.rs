@@ -50,14 +50,27 @@
 //! [`ScanEngine::generate_world_with`] draws a world under a versioned
 //! generator ([`WorldGen`]): `Scalar` is the v1 one-RNG-value-per-point
 //! stream; `Word` draws Bernoulli labels 64 at a time
-//! ([`sfstats::bulk::BulkBernoulli`]) in canonical Morton-rank order —
-//! whole-word stores straight into a blocked engine's layout-space
-//! label blocks, a set-lane scatter for identity-layout engines — and
-//! permutation worlds write the dense majority side as whole words and
-//! Fisher–Yates-select only the minority. Versions are statistically
-//! equivalent but consume the RNG stream differently; within a
-//! version, every strategy and backend produces bit-identical `τ`
-//! streams.
+//! ([`sfstats::bulk::BulkBernoulli`]) in canonical Morton-rank order,
+//! in fixed [`GEN_CHUNK_WORDS`]-word chunks each drawn from its own
+//! absolutely positioned substream ([`chunk_rng`], keyed by a single
+//! tag value off the world stream) — whole-word stores straight into a
+//! blocked engine's layout-space label blocks, a set-lane scatter for
+//! identity-layout engines — and permutation worlds write the dense
+//! majority side as whole words and Fisher–Yates-select only the
+//! minority. Versions are statistically equivalent but consume the RNG
+//! stream differently; within a version, every strategy and backend
+//! produces bit-identical `τ` streams.
+//!
+//! # Sharded counting
+//!
+//! [`ScanEngine::with_shards`] partitions a blocked engine's
+//! label-word axis into contiguous shards, each owning a clipped view
+//! of the membership CSR;
+//! [`ScanEngine::eval_world_into_sharded`] fans the per-world recount
+//! across the shards and sums exact integer partials, and the chunked
+//! `Word` generator fills label chunks in parallel
+//! ([`ScanEngine::generate_world_par`]). Every `τ` is bit-identical to
+//! the unsharded engine's for every shard count.
 //!
 //! # Count integrity
 //!
@@ -70,19 +83,21 @@
 //! profile — and returns [`ScanError::CountIntegrity`] instead of an
 //! engine rather than serve corrupt counts.
 
-use crate::config::{CountingStrategy, NullModel, WorldGen};
+use crate::config::{CountingStrategy, NullModel, Shards, WorldGen};
 use crate::direction::Direction;
 use crate::error::ScanError;
 use crate::outcomes::SpatialOutcomes;
 use crate::regions::RegionSet;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use sfindex::{
-    morton_layout, BitLabels, BlockedMembership, CountPair, CountingSubstrate, IndexBackend,
-    Membership, Substrate,
+    morton_layout, shard_word_bounds, BitLabels, BlockedMembership, CountPair, CountingSubstrate,
+    IndexBackend, Membership, Substrate,
 };
-use sfstats::bulk::{tail_mask, BulkBernoulli};
+use sfstats::bulk::{BulkBernoulli, GEN_CHUNK_WORDS};
 use sfstats::llr::{bernoulli_llr_directed, Counts2x2};
+use sfstats::rng::chunk_rng;
 use std::cell::RefCell;
 
 /// Membership id cap for [`CountingStrategy::Auto`]: 2^26 ids
@@ -166,6 +181,13 @@ pub struct ScanEngine<I: CountingSubstrate = Substrate> {
     /// indirection); `Some` for identity-layout engines, which scatter
     /// rank `j`'s label to bit `order[j]`.
     word_order: Option<Vec<u32>>,
+    /// Clipped per-shard counting views over the blocked compilation
+    /// ([`BlockedMembership::clip_to_words`]), tiling the label-word
+    /// axis. Empty when unsharded (non-blocked counting, or a shard
+    /// count that resolved to 1) — see [`ScanEngine::with_shards`].
+    shard_views: Vec<BlockedMembership>,
+    /// The `(word_lo, word_hi)` window of each entry in `shard_views`.
+    shard_bounds: Vec<(usize, usize)>,
 }
 
 impl ScanEngine<Substrate> {
@@ -362,7 +384,47 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             real_labels: outcomes.labels().to_vec(),
             resolved_strategy,
             word_order,
+            shard_views: Vec::new(),
+            shard_bounds: Vec::new(),
         })
+    }
+
+    /// Partitions this engine's blocked counting structures into
+    /// contiguous label-word shards (see [`Shards`]): each shard owns
+    /// a clipped view of the membership CSR, and
+    /// [`ScanEngine::eval_world_into_sharded`] sums per-shard popcnt
+    /// partials in parallel. Only blocked-resolved engines have a word
+    /// axis to shard; for other strategies — or when the count
+    /// resolves to 1 — this is a no-op and the engine keeps the
+    /// unsharded sweep. Results are bit-identical for every value.
+    pub fn with_shards(mut self, shards: Shards) -> Self {
+        self.shard_views.clear();
+        self.shard_bounds.clear();
+        if let Counting::Blocked(b) = &self.counting {
+            let num_words = b.num_label_words();
+            let k = shards.resolve(num_words);
+            if k > 1 {
+                let bounds = shard_word_bounds(num_words, k);
+                self.shard_views = bounds
+                    .iter()
+                    .map(|&(lo, hi)| b.clip_to_words(lo, hi))
+                    .collect();
+                self.shard_bounds = bounds;
+            }
+        }
+        self
+    }
+
+    /// Number of shards the world-evaluation sweep fans out over
+    /// (1 = unsharded).
+    pub fn num_shards(&self) -> usize {
+        self.shard_views.len().max(1)
+    }
+
+    /// The `(word_lo, word_hi)` windows of the engine's shards (empty
+    /// when unsharded).
+    pub fn shard_bounds(&self) -> &[(usize, usize)] {
+        &self.shard_bounds
     }
 
     /// Number of points.
@@ -509,10 +571,13 @@ impl<I: CountingSubstrate> ScanEngine<I> {
     /// **Generator versions.** [`WorldGen::Scalar`] draws one RNG
     /// value per point, in id order; [`WorldGen::Word`] draws
     /// Bernoulli labels 64 at a time ([`BulkBernoulli`]) in *Morton
-    /// rank* order — for blocked engines that is one whole-word store
-    /// per 64 labels straight into the layout-space block array, with
-    /// no per-bit writes; identity-layout engines scatter each drawn
-    /// word's set lanes back to ids. Word permutation worlds select
+    /// rank* order, chunked into absolutely positioned substreams (one
+    /// tag draw from the world stream keys them all — see the module
+    /// docs on world generation versions) — for blocked
+    /// engines that is one whole-word store per 64 labels straight
+    /// into the layout-space block array, with no per-bit writes;
+    /// identity-layout engines scatter each drawn word's set lanes
+    /// back to ids. Word permutation worlds select
     /// ranks by partial Fisher–Yates, initialising the dense majority
     /// side with whole-word writes and scattering only the minority
     /// (`min(P, N−P)` bits). The two versions consume the RNG stream
@@ -531,6 +596,42 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             WorldGen::Scalar => self.generate_world_scalar(null_model, rng),
             WorldGen::Word => self.generate_world_word(null_model, rng),
         }
+    }
+
+    /// Draws one world like [`ScanEngine::generate_world_with`], with
+    /// the generation work itself fanned out across the rayon pool
+    /// when the generator admits it: blocked-layout Bernoulli
+    /// [`WorldGen::Word`] worlds fill their label chunks in parallel
+    /// (each chunk substream is positioned absolutely — see
+    /// [`chunk_rng`]). Every other (generator, null model, layout)
+    /// combination delegates to the sequential path: Fisher–Yates
+    /// permutation draws couple sequentially by construction, Scalar
+    /// is the pinned v1 stream, and the identity-layout scatter writes
+    /// arbitrary bits. The returned labels are bit-identical to the
+    /// sequential path's in every case.
+    pub fn generate_world_par(
+        &self,
+        null_model: NullModel,
+        worldgen: WorldGen,
+        rng: &mut ChaCha8Rng,
+    ) -> BitLabels {
+        if worldgen != WorldGen::Word
+            || null_model != NullModel::Bernoulli
+            || self.word_order.is_some()
+        {
+            return self.generate_world_with(null_model, worldgen, rng);
+        }
+        let n = self.n_total as usize;
+        let mut labels = BitLabels::zeros(n);
+        let rho = self.p_total as f64 / self.n_total as f64;
+        let sampler = BulkBernoulli::new(rho);
+        let tag = rng.next_u64();
+        labels
+            .blocks_mut()
+            .par_chunks_mut(GEN_CHUNK_WORDS)
+            .enumerate()
+            .for_each(|(c, words)| fill_chunk(&sampler, tag, c, words, n));
+        labels
     }
 
     /// The v1 per-point generator (see
@@ -568,6 +669,15 @@ impl<I: CountingSubstrate> ScanEngine<I> {
     /// [`ScanEngine::generate_world_with`]). Lane `j` of drawn word
     /// `w` is the label of Morton rank `64·w + j`; `word_order` maps
     /// ranks back to ids for identity-layout engines.
+    ///
+    /// Bernoulli worlds consume exactly **one** value from the world
+    /// stream: a 64-bit *tag* keying the absolutely positioned chunk
+    /// substreams ([`chunk_rng`]) the labels are actually drawn from,
+    /// [`GEN_CHUNK_WORDS`] words per chunk. Chunk `c`'s substream does
+    /// not depend on how many draws chunks `0..c` consumed, so chunks
+    /// can fill sequentially, in parallel
+    /// ([`ScanEngine::generate_world_par`]), or split across engine
+    /// shards — all bit-identically.
     fn generate_world_word(&self, null_model: NullModel, rng: &mut ChaCha8Rng) -> BitLabels {
         let n = self.n_total as usize;
         let mut labels = BitLabels::zeros(n);
@@ -575,24 +685,37 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             NullModel::Bernoulli => {
                 let rho = self.p_total as f64 / self.n_total as f64;
                 let sampler = BulkBernoulli::new(rho);
+                let tag = rng.next_u64();
                 match &self.word_order {
-                    // Blocked storage: rank IS the bit position — the
-                    // direct-to-mask fast path, one store per word.
+                    // Blocked storage: rank IS the bit position — fill
+                    // the layout-space block array chunk by chunk.
                     None => {
-                        for w in 0..labels.num_blocks() {
-                            labels.set_word(w, sampler.sample_word(rng));
+                        for (c, words) in
+                            labels.blocks_mut().chunks_mut(GEN_CHUNK_WORDS).enumerate()
+                        {
+                            fill_chunk(&sampler, tag, c, words, n);
                         }
                     }
-                    // Identity storage: scatter each word's set lanes
-                    // to their ids (RNG consumption is identical to
-                    // the direct path — same sample_word calls).
+                    // Identity storage: draw the same chunks into a
+                    // scratch buffer and scatter each word's set lanes
+                    // to their ids (the substreams — and therefore the
+                    // per-point labels — are identical to the direct
+                    // path's).
                     Some(order) => {
-                        for w in 0..n.div_ceil(64) {
-                            let mut bits = sampler.sample_word(rng) & tail_mask(n, w);
-                            while bits != 0 {
-                                let rank = w * 64 + bits.trailing_zeros() as usize;
-                                labels.set(order[rank] as usize, true);
-                                bits &= bits - 1;
+                        let mut buf = [0u64; GEN_CHUNK_WORDS];
+                        let num_words = n.div_ceil(64);
+                        for c in 0..num_words.div_ceil(GEN_CHUNK_WORDS) {
+                            let nw = (num_words - c * GEN_CHUNK_WORDS).min(GEN_CHUNK_WORDS);
+                            fill_chunk(&sampler, tag, c, &mut buf[..nw], n);
+                            for (k, &word) in buf[..nw].iter().enumerate() {
+                                let w = c * GEN_CHUNK_WORDS + k;
+                                // fill_chunk already masked tail lanes.
+                                let mut bits = word;
+                                while bits != 0 {
+                                    let rank = w * 64 + bits.trailing_zeros() as usize;
+                                    labels.set(order[rank] as usize, true);
+                                    bits &= bits - 1;
+                                }
                             }
                         }
                     }
@@ -744,6 +867,74 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             }
         }
     }
+
+    /// Evaluates one world like [`ScanEngine::eval_world_into`], with
+    /// the region recount fanned out across this engine's shards: one
+    /// rayon task per shard computes every region's partial popcnt
+    /// over its word window, then a sequential integer reduce sums the
+    /// partials in shard order and the LLR fold visits regions exactly
+    /// as the unsharded sweep does. Falls back to
+    /// [`ScanEngine::eval_world_into`] when the engine has no shard
+    /// views (non-blocked counting, or a shard count that resolved
+    /// to 1).
+    ///
+    /// Each `τ` is **bit-identical** to the unsharded path: per-region
+    /// partials are exact integers (summing them reassociates nothing
+    /// but integer addition), and the fold replays the same
+    /// region-order comparisons on the same `(n_r, p_r, N, P_world)`
+    /// quadruples.
+    pub fn eval_world_into_sharded(
+        &self,
+        labels: &BitLabels,
+        directions: &[Direction],
+        out: &mut [f64],
+    ) {
+        if self.shard_views.len() <= 1 {
+            return self.eval_world_into(labels, directions, out);
+        }
+        assert_eq!(directions.len(), out.len(), "one output slot per direction");
+        assert_eq!(
+            labels.len(),
+            self.n_total as usize,
+            "world label set must be one bit per indexed point"
+        );
+        let partials: Vec<Vec<u64>> = (0..self.shard_views.len())
+            .into_par_iter()
+            .map(|s| {
+                let mut counts = Vec::new();
+                self.shard_views[s].count_all_into(labels, &mut counts);
+                counts
+            })
+            .collect();
+        let p_world = labels.count_ones();
+        out.fill(0.0);
+        for (r, &n_r) in self.region_n.iter().enumerate() {
+            if n_r == 0 {
+                continue;
+            }
+            let p_r: u64 = partials.iter().map(|counts| counts[r]).sum();
+            for (tau, &direction) in out.iter_mut().zip(directions) {
+                let llr = bernoulli_llr_directed(
+                    &Counts2x2::new(n_r, p_r, self.n_total, p_world),
+                    direction,
+                );
+                if llr > *tau {
+                    *tau = llr;
+                }
+            }
+        }
+    }
+}
+
+/// Fills one generation chunk's label words ([`GEN_CHUNK_WORDS`] words
+/// per chunk; the last chunk shorter) from the chunk's own substream
+/// ([`chunk_rng`]). `n` is the engine's total label count — the
+/// chunk-local count passed to [`BulkBernoulli::fill_words`] trims the
+/// final word's tail lanes, preserving the zero-tail invariant of
+/// [`BitLabels::blocks`].
+fn fill_chunk(sampler: &BulkBernoulli, tag: u64, c: usize, words: &mut [u64], n: usize) {
+    let n_chunk = (n - c * GEN_CHUNK_WORDS * 64).min(words.len() * 64);
+    sampler.fill_words(&mut chunk_rng(tag, c as u64), words, n_chunk);
 }
 
 /// Runs `f` over the per-thread Fisher–Yates index buffer,
@@ -1228,6 +1419,92 @@ mod tests {
                 .collect();
             assert_eq!(draws[0], draws[1]);
             assert_eq!(draws[1], draws[2]);
+        }
+    }
+
+    #[test]
+    fn sharded_eval_is_bit_identical_for_every_shard_count() {
+        let dirs = [Direction::TwoSided, Direction::High, Direction::Low];
+        for o in [outcomes(), dense_outcomes()] {
+            let base = ScanEngine::build(&o, &region_set(), CountingStrategy::Blocked).unwrap();
+            let num_words = o.len().div_ceil(64);
+            for k in [1usize, 2, 3, 5, num_words, num_words + 7] {
+                let sharded = ScanEngine::build(&o, &region_set(), CountingStrategy::Blocked)
+                    .unwrap()
+                    .with_shards(Shards::Fixed(k));
+                assert!(sharded.num_shards() <= num_words.max(1));
+                for null_model in [NullModel::Bernoulli, NullModel::Permutation] {
+                    for worldgen in [WorldGen::Scalar, WorldGen::Word] {
+                        for w in 0..5 {
+                            let mut rng = sfstats::rng::world_rng(23, w);
+                            let labels = base.generate_world_with(null_model, worldgen, &mut rng);
+                            let mut expected = [0.0; 3];
+                            base.eval_world_into(&labels, &dirs, &mut expected);
+                            let mut got = [0.0; 3];
+                            sharded.eval_world_into_sharded(&labels, &dirs, &mut got);
+                            assert_eq!(
+                                got, expected,
+                                "shards={k} {null_model:?} {worldgen:?} world {w}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_is_a_noop_off_the_blocked_path() {
+        let o = outcomes();
+        for strategy in [CountingStrategy::Membership, CountingStrategy::Requery] {
+            let e = ScanEngine::build(&o, &region_set(), strategy)
+                .unwrap()
+                .with_shards(Shards::Fixed(4));
+            assert_eq!(e.num_shards(), 1, "{strategy:?}");
+            assert!(e.shard_bounds().is_empty());
+        }
+        // Resolving to a single shard keeps the unsharded sweep too.
+        let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Blocked)
+            .unwrap()
+            .with_shards(Shards::Fixed(1));
+        assert_eq!(e.num_shards(), 1);
+    }
+
+    #[test]
+    fn parallel_generation_matches_sequential() {
+        for o in [outcomes(), dense_outcomes()] {
+            for strategy in [CountingStrategy::Blocked, CountingStrategy::Membership] {
+                let e = ScanEngine::build(&o, &region_set(), strategy).unwrap();
+                for null_model in [NullModel::Bernoulli, NullModel::Permutation] {
+                    for worldgen in [WorldGen::Scalar, WorldGen::Word] {
+                        for w in 0..5 {
+                            let mut rng = sfstats::rng::world_rng(27, w);
+                            let seq = e.generate_world_with(null_model, worldgen, &mut rng);
+                            let mut rng = sfstats::rng::world_rng(27, w);
+                            let par = e.generate_world_par(null_model, worldgen, &mut rng);
+                            assert_eq!(seq, par, "{strategy:?} {null_model:?} {worldgen:?} {w}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_bernoulli_consumes_exactly_one_world_draw() {
+        // The chunked generator must advance the world stream by one
+        // tag value and nothing else, whatever the engine layout —
+        // that is what makes shard- and chunk-parallel generation
+        // order-independent.
+        let o = outcomes();
+        for strategy in [CountingStrategy::Blocked, CountingStrategy::Membership] {
+            let e = ScanEngine::build(&o, &region_set(), strategy).unwrap();
+            let mut rng = sfstats::rng::world_rng(29, 0);
+            let _ = e.generate_world_with(NullModel::Bernoulli, WorldGen::Word, &mut rng);
+            let after: u64 = rng.gen();
+            let mut reference = sfstats::rng::world_rng(29, 0);
+            let _: u64 = reference.gen(); // the tag
+            assert_eq!(after, reference.gen::<u64>(), "{strategy:?}");
         }
     }
 

@@ -115,7 +115,7 @@ impl Deserialize for AuditRequest {
 impl AuditRequest {
     /// A request at significance level `alpha` with the base config's
     /// defaults: 999 worlds, seed 0, two-sided, Bernoulli null, full
-    /// budget.
+    /// budget, word world generation.
     ///
     /// # Panics
     /// Panics if `alpha` is outside `(0, 1)`.
@@ -131,7 +131,7 @@ impl AuditRequest {
             direction: Direction::TwoSided,
             null_model: NullModel::Bernoulli,
             mc_strategy: McStrategy::FullBudget,
-            worldgen: WorldGen::Scalar,
+            worldgen: WorldGen::Word,
         }
     }
 
@@ -434,7 +434,8 @@ impl PreparedAudit {
         if regions.is_empty() {
             return Err(ScanError::EmptyRegionSet);
         }
-        let engine = ScanEngine::build_with(outcomes, regions, config.backend, config.strategy)?;
+        let engine = ScanEngine::build_with(outcomes, regions, config.backend, config.strategy)?
+            .with_shards(config.shards);
         Ok(PreparedAudit {
             engine,
             regions: regions.clone(),
@@ -674,12 +675,26 @@ impl PreparedAudit {
             .iter()
             .map(|r| r.as_ref().map_or(f64::NAN, |real| real.tau))
             .collect();
-        let eval_one = |i: usize, out: &mut [f64]| {
+        // `fine` is the work-splitter's axis choice (see
+        // [`run_world_group`]): when a span holds fewer worlds than
+        // the pool has threads, each world fans its own generation
+        // chunks and shard partials out instead. Both paths are
+        // bit-identical (chunk substreams are absolutely positioned;
+        // shard partials are exact integer sums), so the choice is
+        // pure scheduling.
+        let eval_one = |i: usize, out: &mut [f64], fine: bool| {
             let mut rng = world_rng(group.seed, i as u64);
-            let labels =
-                self.engine
-                    .generate_world_with(group.null_model, group.worldgen, &mut rng);
-            self.engine.eval_world_into(&labels, eval_dirs, out);
+            if fine {
+                let labels =
+                    self.engine
+                        .generate_world_par(group.null_model, group.worldgen, &mut rng);
+                self.engine.eval_world_into_sharded(&labels, eval_dirs, out);
+            } else {
+                let labels =
+                    self.engine
+                        .generate_world_with(group.null_model, group.worldgen, &mut rng);
+                self.engine.eval_world_into(&labels, eval_dirs, out);
+            }
         };
         let run = run_world_group(
             plan.requests(),
@@ -821,10 +836,19 @@ pub(crate) struct GroupRun {
 /// tell a replayed value from a simulated one, a resumed run is
 /// bit-identical to a cold run by construction.
 ///
-/// `eval_world` receives a world index and a `stride`-wide output
+/// `eval_world` receives a world index, a `stride`-wide output
 /// slot — one `τ` per entry of the group's evaluated direction list
 /// (`lane_dirs[m]` maps member `m` into it; `cached` rows must align
-/// with the same list). Each span is evaluated into **one flat
+/// with the same list) — and the work-splitter's axis flag: `false`
+/// means the caller is already fanning *worlds* out (the coarse axis)
+/// and the evaluation must stay sequential inside; `true` means the
+/// span holds fewer worlds than the pool has threads, worlds are
+/// walked sequentially, and the evaluation should fan its own finer
+/// axes (generation chunks, engine shards) out instead. The splitter
+/// prefers the coarse axis whenever it can fill the machine — one
+/// task per world has no per-world coordination overhead — and both
+/// axes are bit-identical by construction, so the flag is pure
+/// scheduling. Each span is evaluated into **one flat
 /// reusable buffer** carved into per-world chunks, so the span loop
 /// performs no per-world heap allocation (the old `Vec<Vec<f64>>`
 /// boxes). With `collect_fresh`, the simulated rows are appended to
@@ -846,7 +870,7 @@ pub(crate) fn run_world_group<F>(
     eval_world: F,
 ) -> GroupRun
 where
-    F: Fn(usize, &mut [f64]) + Sync,
+    F: Fn(usize, &mut [f64], bool) + Sync,
 {
     let stride = observed.len();
     debug_assert!(stride > 0, "a group evaluates at least one direction");
@@ -874,14 +898,23 @@ where
         let simulated = span.end - cut;
         span_buf.clear();
         span_buf.resize(simulated * stride, 0.0);
-        if parallel {
+        if parallel && simulated >= rayon::current_num_threads() {
+            // Coarse axis: enough worlds to fill the machine.
             span_buf
                 .par_chunks_mut(stride)
                 .enumerate()
-                .for_each(|(k, out)| eval_world(cut + k, out));
+                .for_each(|(k, out)| eval_world(cut + k, out, false));
+        } else if parallel {
+            // Fine axis: a short span (early-stop tail, tiny budget)
+            // cannot feed every core one world — walk worlds in order
+            // and let each one fan generation chunks/shard partials
+            // out instead.
+            for (k, out) in span_buf.chunks_mut(stride).enumerate() {
+                eval_world(cut + k, out, true);
+            }
         } else {
             for (k, out) in span_buf.chunks_mut(stride).enumerate() {
-                eval_world(cut + k, out);
+                eval_world(cut + k, out, false);
             }
         }
         replayed += cut - span.start;
@@ -1210,7 +1243,9 @@ mod tests {
 
     #[test]
     fn worldgen_versions_are_distinct_world_classes() {
-        let r = AuditRequest::new(0.05).with_worlds(99);
+        let r = AuditRequest::new(0.05)
+            .with_worlds(99)
+            .with_worldgen(WorldGen::Scalar);
         let plan = ExecutionPlan::new(vec![
             r,
             r.with_worldgen(WorldGen::Word),
@@ -1235,7 +1270,9 @@ mod tests {
             AuditRequest::from_config(&base())
                 .with_worldgen(WorldGen::Word)
                 .with_direction(Direction::High),
-            AuditRequest::from_config(&base()), // scalar rider in the same batch
+            // A scalar rider in the same batch (worldgen is explicit:
+            // the default is Word now).
+            AuditRequest::from_config(&base()).with_worldgen(WorldGen::Scalar),
         ];
         let (reports, stats) = prepared.run_batch_with_stats(&requests);
         assert_eq!(stats.groups, 2);
@@ -1260,7 +1297,7 @@ mod tests {
         assert_eq!(s_cold.unique_worlds, 99);
         // The same request replays entirely; a Scalar request of the
         // same (null model, seed) must NOT touch the Word prefix.
-        let scalar = AuditRequest::from_config(&base());
+        let scalar = AuditRequest::from_config(&base()).with_worldgen(WorldGen::Scalar);
         let (warm, s_warm) = prepared.run_batch_cached(std::slice::from_ref(&word), &mut cache);
         assert_eq!(warm, cold);
         assert_eq!(s_warm.unique_worlds, 0);
@@ -1300,6 +1337,39 @@ mod tests {
         for (a, mut b) in par.into_iter().zip(seq) {
             b.config.parallel = true;
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sharded_prepared_audits_are_bit_identical_to_unsharded() {
+        use crate::config::{CountingStrategy, Shards};
+        // The sharded engine must reproduce every report byte — τ,
+        // p-value, critical value, findings, simulated prefix — across
+        // world classes and directions, for every shard count.
+        let o = outcomes(900, 15, true);
+        let rs = grid();
+        let blocked = base().with_strategy(CountingStrategy::Blocked);
+        let requests = vec![
+            AuditRequest::from_config(&blocked),
+            AuditRequest::from_config(&blocked).with_direction(Direction::High),
+            AuditRequest::from_config(&blocked).with_worldgen(WorldGen::Scalar),
+            AuditRequest::from_config(&blocked).with_null_model(NullModel::Permutation),
+            AuditRequest::from_config(&blocked)
+                .with_mc_strategy(McStrategy::EarlyStop { batch_size: 8 }),
+        ];
+        let unsharded = PreparedAudit::prepare(&o, &rs, blocked.with_shards(Shards::Fixed(1)))
+            .unwrap()
+            .run_batch(&requests);
+        for k in [2usize, 3, 7] {
+            let sharded = PreparedAudit::prepare(&o, &rs, blocked.with_shards(Shards::Fixed(k)))
+                .unwrap()
+                .run_batch(&requests);
+            for (a, mut b) in unsharded.iter().zip(sharded) {
+                // The shard knob is recorded in the report config but
+                // must change nothing else.
+                b.config.shards = a.config.shards;
+                assert_eq!(*a, b, "shards={k}");
+            }
         }
     }
 

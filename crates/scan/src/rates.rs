@@ -198,7 +198,9 @@ pub fn audit_rates_batch(
         let (directions, lane_dirs) = distinct_directions(requests, &members);
         let mut observed_taus = vec![0.0; directions.len()];
         eval_into(&data.observed, &directions, &mut observed_taus);
-        let eval_one = |w: usize, out: &mut [f64]| {
+        // Rate worlds have no finer parallel axis (one alias-table
+        // sample per world), so the splitter's fine flag is moot.
+        let eval_one = |w: usize, out: &mut [f64], _fine: bool| {
             let mut rng = world_rng(seed, w as u64);
             let world = alias.sample_counts(c_total, &mut rng);
             eval_into(&world, &directions, out);

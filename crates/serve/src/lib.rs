@@ -362,10 +362,15 @@ mod tests {
         let word_report = service.take(t_word).unwrap().report;
         assert_eq!(scalar_report.config.worldgen, WorldGen::Scalar);
         assert_eq!(word_report.config.worldgen, WorldGen::Word);
-        let scalar_expected =
-            Auditor::new(service.default_request(handle).unwrap().apply_to(base()))
-                .audit(&o, &grid())
-                .unwrap();
+        let scalar_expected = Auditor::new(
+            service
+                .default_request(handle)
+                .unwrap()
+                .with_worldgen(WorldGen::Scalar)
+                .apply_to(base()),
+        )
+        .audit(&o, &grid())
+        .unwrap();
         assert_eq!(
             scalar_report, scalar_expected,
             "v1 lines stay bit-identical"

@@ -83,6 +83,12 @@ impl AuditResponse {
 }
 
 /// Where a ticket stands, as reported by [`AuditService::poll`].
+///
+/// `Ready` carries the full response by value on purpose: a `Status`
+/// is a short-lived poll result consumed immediately at the call
+/// site, never stored in bulk, so boxing the payload would add an
+/// allocation per poll for no aggregate memory win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Status {
     /// Submitted but not yet executed; a future drain (policy-driven

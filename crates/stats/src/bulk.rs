@@ -29,11 +29,14 @@
 //! any still-open lane has `U = T` and decides *false*. No label is
 //! ever approximated.
 //!
-//! The scan engine's `WorldGen::Word` generator draws words one
-//! [`BulkBernoulli::sample_word`] at a time and stores them directly
-//! into its layout-space label blocks (which mask the tail lanes
-//! themselves); [`BulkBernoulli::fill_words`] is the standalone
-//! fill-a-buffer convenience for callers without a bitset type.
+//! The scan engine's `WorldGen::Word` generator fills its layout-space
+//! label blocks in fixed-size chunks of [`GEN_CHUNK_WORDS`] words via
+//! [`BulkBernoulli::fill_words`], one independent ChaCha substream per
+//! chunk — which makes the drawn stream independent of shard count and
+//! thread count (any partition of the chunk set reproduces it bit for
+//! bit). `fill_words` prefetches raw keystream through the RNG's bulk
+//! [`RngCore::fill_words`] path; [`BulkBernoulli::sample_word`] is the
+//! lazy word-at-a-time reference the bulk path is pinned against.
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -55,15 +58,19 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum WorldGen {
     /// One RNG draw per label (`gen_bool` / per-id Fisher–Yates) — the
-    /// v1 stream every released artifact was computed under. Stays the
-    /// default for one release.
-    #[default]
+    /// v1 stream every released artifact was computed under. No longer
+    /// the default; kept as the exact-replay escape hatch (wire
+    /// payloads without a `worldgen` field still decode as Scalar).
     Scalar,
-    /// Word-parallel v2: Bernoulli labels 64 at a time via
-    /// [`BulkBernoulli`], written directly into the engine's
-    /// layout-space label words; permutation worlds select ranks with
-    /// a complement-aware partial Fisher–Yates that initialises the
+    /// Word-parallel v2 (the default): Bernoulli labels 64 at a time
+    /// via [`BulkBernoulli`], drawn in fixed-size chunks of
+    /// [`GEN_CHUNK_WORDS`] layout-space words, each chunk from its own
+    /// ChaCha substream — so chunk values are independent of shard
+    /// count and thread count, and the concatenated chunk draws *are*
+    /// the Word stream. Permutation worlds select ranks with a
+    /// complement-aware partial Fisher–Yates that initialises the
     /// dense side with whole-word writes.
+    #[default]
     Word,
 }
 
@@ -132,6 +139,15 @@ impl std::str::FromStr for WorldGen {
 /// `gen_bool` comparison has.
 const THRESHOLD_BITS: u32 = 53;
 
+/// Number of 64-label words in one Word-Bernoulli generation chunk
+/// (1024 labels). Each chunk is drawn from its own ChaCha substream
+/// (key = the world's 64-bit tag, stream = the chunk index), so a
+/// chunk's value does not depend on how many chunks precede it, which
+/// worker evaluates it, or how the engine is sharded: the concatenated
+/// chunk draws define the Word stream, and any partition of the chunk
+/// set reproduces it bit for bit.
+pub const GEN_CHUNK_WORDS: usize = 16;
+
 /// Word-parallel exact Bernoulli sampler (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BulkBernoulli {
@@ -172,6 +188,16 @@ impl BulkBernoulli {
     /// generator version is part of the world-class identity.
     #[inline]
     pub fn sample_word<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.sample_word_from(&mut || rng.next_u64())
+    }
+
+    /// The refinement loop over an arbitrary keystream source — shared
+    /// by the lazy per-call path ([`sample_word`](Self::sample_word))
+    /// and the prefetched bulk path ([`fill_words`](Self::fill_words)),
+    /// so both consume the identical word sequence and decide identical
+    /// labels.
+    #[inline]
+    fn sample_word_from(&self, next_word: &mut impl FnMut() -> u64) -> u64 {
         if self.threshold >= 1u64 << THRESHOLD_BITS {
             // p == 1: every uniform is below the threshold.
             return !0;
@@ -183,7 +209,7 @@ impl BulkBernoulli {
         let mut open = !0u64; // lanes still comparing
         let mut bit = THRESHOLD_BITS - 1;
         loop {
-            let w = rng.next_u64();
+            let w = next_word();
             if (self.threshold >> bit) & 1 == 1 {
                 // U-bit 0 under a T-bit 1: U < T settled true.
                 decided |= open & !w;
@@ -208,6 +234,13 @@ impl BulkBernoulli {
     /// result drops into a tail-invariant bitset block array
     /// unchanged.
     ///
+    /// The keystream is prefetched through [`RngCore::fill_words`] one
+    /// ChaCha-block's worth of words at a time and consumed lazily by
+    /// the refinement loop, so the labels are bit-identical to a
+    /// [`sample_word`](Self::sample_word) loop (pinned by
+    /// `bulk_keystream_fill_matches_word_at_a_time`); the source RNG
+    /// may end up advanced past the last word the refinement consumed.
+    ///
     /// # Panics
     /// Panics if `words` is not exactly `⌈n/64⌉` blocks.
     pub fn fill_words<R: RngCore + ?Sized>(&self, rng: &mut R, words: &mut [u64], n: usize) {
@@ -216,8 +249,18 @@ impl BulkBernoulli {
             n.div_ceil(64),
             "need one 64-label word per 64 labels"
         );
+        let mut buf = [0u64; 8];
+        let mut pos = buf.len();
         for (w, word) in words.iter_mut().enumerate() {
-            *word = self.sample_word(rng) & tail_mask(n, w);
+            *word = self.sample_word_from(&mut || {
+                if pos == buf.len() {
+                    rng.fill_words(&mut buf);
+                    pos = 0;
+                }
+                let raw = buf[pos];
+                pos += 1;
+                raw
+            }) & tail_mask(n, w);
         }
     }
 }
@@ -249,7 +292,7 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("simd"), "{msg}");
         assert!(msg.contains("scalar") && msg.contains("word"), "{msg}");
-        assert_eq!(WorldGen::default(), WorldGen::Scalar);
+        assert_eq!(WorldGen::default(), WorldGen::Word);
     }
 
     #[test]
@@ -297,6 +340,22 @@ mod tests {
         assert_eq!(a[3] & !tail_mask(n, 3), 0, "tail lanes must be zero");
         assert_eq!(tail_mask(n, 3), (1u64 << 8) - 1);
         assert_eq!(tail_mask(n, 0), !0);
+    }
+
+    #[test]
+    fn bulk_keystream_fill_matches_word_at_a_time() {
+        // The prefetched bulk path reads the same keystream sequence
+        // as a sample_word loop, so every label agrees bit for bit.
+        for (p, n) in [(0.3, 1024usize), (0.005, 333), (0.97, 64), (0.5, 65)] {
+            let sampler = BulkBernoulli::new(p);
+            let mut bulk = vec![0u64; n.div_ceil(64)];
+            sampler.fill_words(&mut world_rng(17, 5), &mut bulk, n);
+            let mut rng = world_rng(17, 5);
+            let reference: Vec<u64> = (0..n.div_ceil(64))
+                .map(|w| sampler.sample_word(&mut rng) & tail_mask(n, w))
+                .collect();
+            assert_eq!(bulk, reference, "p={p}, n={n}");
+        }
     }
 
     #[test]

@@ -118,7 +118,7 @@ proptest! {
         let regions = RegionSet::regular_grid(outcomes.expanded_bounding_box(), 3, 3);
         let base = AuditConfig::new(0.05).with_worlds(29).with_seed(seed);
         let prepared = PreparedAudit::prepare(&outcomes, &regions, base).unwrap();
-        let scalar = AuditRequest::from_config(&base);
+        let scalar = AuditRequest::from_config(&base).with_worldgen(WorldGen::Scalar);
         let word = scalar.with_worldgen(WorldGen::Word);
         let mut cache = WorldCache::new();
         let (word_cold, s1) = prepared.run_batch_cached(std::slice::from_ref(&word), &mut cache);
@@ -236,7 +236,7 @@ fn mixed_worldgen_service_batches_are_bit_identical_and_separately_cached() {
     let base = AuditConfig::new(0.05).with_worlds(49).with_seed(9);
     let mut service = AuditService::new();
     let handle = service.register(&outcomes, &regions, base).unwrap();
-    let scalar = AuditRequest::from_config(&base);
+    let scalar = AuditRequest::from_config(&base).with_worldgen(WorldGen::Scalar);
     let requests = [
         scalar,
         scalar.with_worldgen(WorldGen::Word),

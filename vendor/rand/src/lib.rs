@@ -27,6 +27,16 @@ pub trait RngCore {
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
     }
+
+    /// Fills `dest` with consecutive [`next_u64`](RngCore::next_u64)
+    /// outputs. Generators with cheap bulk block output may override
+    /// this; an override must emit the exact same words *and* leave the
+    /// generator in the exact same state as this default loop.
+    fn fill_words(&mut self, dest: &mut [u64]) {
+        for word in dest.iter_mut() {
+            *word = self.next_u64();
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
@@ -38,6 +48,9 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
         (**self).fill_bytes(dest)
+    }
+    fn fill_words(&mut self, dest: &mut [u64]) {
+        (**self).fill_words(dest)
     }
 }
 

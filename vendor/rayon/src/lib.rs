@@ -24,6 +24,13 @@ fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Number of worker threads a parallel operation will use (the rayon
+/// API surface work-splitters consult to choose between a coarse outer
+/// axis and a finer inner one).
+pub fn current_num_threads() -> usize {
+    num_threads()
+}
+
 /// Conversion into a parallel iterator.
 pub trait IntoParallelIterator {
     /// The parallel iterator type.
