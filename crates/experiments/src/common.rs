@@ -5,7 +5,9 @@ use sfdata::lar::{LarConfig, LarDataset};
 use sfgeo::Rect;
 use sfml::RandomForestConfig;
 use sfscan::outcomes::SpatialOutcomes;
-use sfscan::{AuditConfig, CountingStrategy, IndexBackend, McStrategy, Shards, WorldGen};
+use sfscan::{
+    AuditConfig, CountingStrategy, IndexBackend, KernelSelect, McStrategy, Shards, WorldGen,
+};
 use std::time::Instant;
 
 /// Global harness options.
@@ -28,6 +30,9 @@ pub struct Options {
     /// Shard count for the blocked counting/generation fan-out
     /// (`auto` resolves to the available cores).
     pub shards: Shards,
+    /// Popcount kernel for the blocked counting sweeps (`auto`
+    /// resolves to the best kernel the CPU supports).
+    pub kernel: KernelSelect,
     /// `serve-bench`: number of queued audit requests.
     pub requests: usize,
     /// `serve-bench`: output path for the machine-readable results.
@@ -50,8 +55,9 @@ impl Default for Options {
             mc_strategy: McStrategy::FullBudget,
             worldgen: WorldGen::Word,
             shards: Shards::Auto,
+            kernel: KernelSelect::Auto,
             requests: 24,
-            out: "BENCH_PR6.json".to_string(),
+            out: "BENCH_PR7.json".to_string(),
             input: None,
             max_pending: None,
         }
@@ -64,7 +70,7 @@ impl Options {
 
     /// Applies the harness-level audit knobs (index backend, counting
     /// strategy, Monte Carlo budget strategy, world generator, shard
-    /// count) to a figure's config.
+    /// count, popcount kernel) to a figure's config.
     pub fn decorate(&self, config: AuditConfig) -> AuditConfig {
         config
             .with_backend(self.backend)
@@ -72,6 +78,7 @@ impl Options {
             .with_mc_strategy(self.mc_strategy)
             .with_worldgen(self.worldgen)
             .with_shards(self.shards)
+            .with_kernel(self.kernel)
     }
 
     /// LAR generator config at the selected scale.

@@ -32,8 +32,11 @@
 //! <scalar|word>` (world-generation version; `word` — the default —
 //! draws Bernoulli labels 64 per RNG pass), `--shards <auto|N>`
 //! (contiguous rank shards for blocked counting/generation; `auto`
-//! resolves to the available cores). `serve-bench` additionally takes
-//! `--requests <n>` and `--out <path>` (default `BENCH_PR6.json`);
+//! resolves to the available cores), `--kernel
+//! <auto|scalar|avx2|avx512|portable>` (popcount kernel for the
+//! blocked sweeps; every kernel is bit-identical, `auto` picks the
+//! best one the CPU supports). `serve-bench` additionally takes
+//! `--requests <n>` and `--out <path>` (default `BENCH_PR7.json`);
 //! `serve` takes `--input <path>` (JSONL request envelopes; default
 //! stdin) and `--max-pending <n>` (drain policy; default manual, one
 //! batch at EOF). The backend/strategy/mc/worldgen values are parsed
@@ -103,6 +106,10 @@ fn main() {
             "--shards" => {
                 i += 1;
                 opts.shards = parse_flag("--shards", args.get(i));
+            }
+            "--kernel" => {
+                i += 1;
+                opts.kernel = parse_flag("--kernel", args.get(i));
             }
             "--requests" => {
                 i += 1;
@@ -187,6 +194,7 @@ fn die(msg: &str) -> ! {
          [--strategy <membership|requery|blocked|auto>] \
          [--mc <full-budget|early-stop|early-stop(batch=N)>] [--early-stop] \
          [--worldgen <scalar|word>] [--shards <auto|N>] \
+         [--kernel <auto|scalar|avx2|avx512|portable>] \
          [--requests N] [--out PATH] [--input PATH] [--max-pending N]"
     );
     std::process::exit(2);

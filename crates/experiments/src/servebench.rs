@@ -34,10 +34,10 @@
 //! per point vs word-parallel bulk draws, asserted `>= 4x` at full
 //! scale, with the cold word batch asserted `>= 2x` end to end), and
 //! persists the machine-readable comparison so the performance
-//! trajectory is tracked across PRs (`BENCH_PR6.json`; format
+//! trajectory is tracked across PRs (`BENCH_PR7.json`; format
 //! documented in the README's benchmark-artifact section).
 //!
-//! The sharded engine (this PR) gets three sections of its own:
+//! The sharded engine (PR 6) gets three sections of its own:
 //!
 //! * **sharded eval isolation** — the per-world τ fold alone, plain
 //!   [`ScanEngine::eval_world_into`] vs the shard-partial
@@ -50,6 +50,19 @@
 //! * **points scaling** — the same serial-vs-parallel single audit
 //!   swept over dataset sizes, recorded as `scaling` rows.
 //!
+//! The counting-kernel layer (this PR) gets a **kernel isolation**
+//! section: every popcount kernel the CPU supports (scalar reference,
+//! portable unrolled, AVX2 Harley–Seal, AVX-512 `vpopcntdq`) is timed
+//! three ways — the raw dense-range popcount (where SIMD lives), the
+//! per-world `count_all_into_with` sweep, and the fused multi-world
+//! `count_all_many_into` sweep that loads each CSR run/mask once per
+//! [`MAX_FUSED_WORLDS`]-world batch — with every count asserted equal
+//! to the pinned scalar reference. The acceptance number is the
+//! *scalar-kernel* fused sweep over the PR 6 per-world baseline
+//! (asserted `>= 1.3x` at full scale: pure CSR-stream amortization, no
+//! SIMD, no threads); SIMD popcount gains are reported always and
+//! asserted only when the CPU feature is detected.
+//!
 //! The record also carries a `trajectory` block: the headline numbers
 //! of every benchmarked PR so far (hardcoded from the committed
 //! `BENCH_PR*.json` artifacts) plus this run, so one file shows the
@@ -58,6 +71,7 @@
 use crate::common::{banner, report_row, Options};
 use serde::Serialize;
 use sfdata::synth::SynthConfig;
+use sfindex::{CountingKernel, MAX_FUSED_WORLDS};
 use sfscan::engine::ScanEngine;
 use sfscan::prepared::{AuditRequest, PreparedAudit};
 use sfscan::{
@@ -89,6 +103,42 @@ const SINGLE_AUDIT_SPEEDUP_TARGET: f64 = 2.5;
 /// Core floor for the single-audit speedup assertion.
 const MIN_CORES_FOR_SHARD_ASSERT: usize = 4;
 
+/// The speedup the fused multi-world sweep (scalar kernel — no SIMD,
+/// no parallelism) must clear over the per-world blocked counting
+/// baseline at full scale (the PR 7 acceptance bar). The gain is pure
+/// CSR-stream amortization: each dense range and partial mask is
+/// loaded once per [`MAX_FUSED_WORLDS`]-world batch instead of once
+/// per world.
+const FUSED_SPEEDUP_TARGET: f64 = 1.3;
+
+/// The raw dense-range popcount speedup a *detected* SIMD kernel must
+/// clear over the pinned scalar loop at full scale. Reported for every
+/// supported kernel; asserted only for AVX2/AVX-512 when the CPU has
+/// the feature (SIMD gains are reported always, asserted only when
+/// detected).
+const SIMD_POPCOUNT_TARGET: f64 = 1.05;
+
+/// One `kernels` row: a supported popcount kernel's isolated timings
+/// on this workload (all bit-identical to the scalar reference by
+/// assertion; the columns differ only in speed).
+#[derive(Debug, Clone, Serialize)]
+struct KernelRow {
+    /// Kernel name (`scalar`, `portable`, `avx2`, `avx512`).
+    kernel: String,
+    /// Raw dense-range popcount over the timed worlds' words, ms.
+    popcount_ms: f64,
+    /// Scalar popcount time / this kernel's — the SIMD gain.
+    popcount_speedup: f64,
+    /// Per-world `count_all_into_with` sweep under this kernel, ms.
+    count_ms: f64,
+    /// Per-world baseline `counting_blocked_ms` / `count_ms`.
+    count_speedup: f64,
+    /// Fused multi-world `count_all_many_into` sweep, ms.
+    fused_ms: f64,
+    /// Per-world baseline `counting_blocked_ms` / `fused_ms`.
+    fused_speedup: f64,
+}
+
 /// One `scaling` sweep row: the serial-vs-sharded single cold audit
 /// at one dataset size.
 #[derive(Debug, Clone, Serialize)]
@@ -117,7 +167,7 @@ struct TrajectoryPoint {
 }
 
 /// Machine-readable benchmark record (written to `--out`,
-/// `BENCH_PR6.json` by default).
+/// `BENCH_PR7.json` by default).
 #[derive(Debug, Clone, Serialize)]
 struct ServeBenchRecord {
     /// What produced this record.
@@ -193,6 +243,21 @@ struct ServeBenchRecord {
     /// Per-region counts identical between scalar and blocked on every
     /// timed world.
     counting_bit_identical: bool,
+    /// The kernel `Auto` resolves to on this machine (what the
+    /// production engines run with by default).
+    kernel_auto: String,
+    /// Worlds a fused CSR pass is ANDed against (`MAX_FUSED_WORLDS`).
+    fused_width: usize,
+    /// Per-kernel isolated timings (one row per kernel the CPU
+    /// supports).
+    kernels: Vec<KernelRow>,
+    /// `counting_blocked_ms` / the *scalar-kernel* fused sweep — the
+    /// PR 7 tentpole number: CSR-stream amortization alone, asserted
+    /// `>= 1.3x` at full scale.
+    fused_speedup: f64,
+    /// Every kernel's popcounts, per-world counts, and fused counts
+    /// identical to the pinned scalar reference (asserted).
+    kernel_bit_identical: bool,
     /// Generation isolation: worlds timed in the scalar-vs-word pass.
     gen_worlds: usize,
     /// Scalar (`gen_bool` per point) world generation over those
@@ -542,6 +607,128 @@ pub fn run(opts: &Options) {
         );
     }
 
+    // Kernel isolation: the same per-world recount, swept over every
+    // popcount kernel the CPU supports, in three shapes — the raw
+    // dense-range popcount (where SIMD lives), the per-world
+    // count_all_into sweep, and the fused multi-world sweep that loads
+    // each CSR run/mask once per MAX_FUSED_WORLDS-world batch. Worlds
+    // are pre-generated on the same RNG streams as the baseline above,
+    // so every timing is counting-only over the identical workload.
+    let kernel_auto = blocked_engine.kernel();
+    let kernel_worlds: Vec<_> = (0..counting_worlds)
+        .map(|w| {
+            let mut rng = sfstats::rng::world_rng(base.seed, w as u64);
+            blocked_engine.generate_world(NullModel::Bernoulli, &mut rng)
+        })
+        .collect();
+    // Scalar per-region reference counts for every world, computed
+    // once outside the timed loops; fused batches pre-sliced so the
+    // timers see only counting work.
+    let reference_counts: Vec<Vec<u64>> = kernel_worlds
+        .iter()
+        .map(|world| {
+            let mut counts = Vec::new();
+            blocked.count_all_into(world, &mut counts);
+            counts
+        })
+        .collect();
+    let fused_batches: Vec<Vec<_>> = kernel_worlds
+        .chunks(MAX_FUSED_WORLDS)
+        .map(|batch| batch.iter().collect())
+        .collect();
+    let reference_ones: u64 = kernel_worlds.iter().map(|w| w.count_ones()).sum();
+    let popcount_reps = if opts.quick { 400 } else { 2_000 };
+    let mut kernel_rows: Vec<KernelRow> = Vec::new();
+    let mut kernel_bit_identical = true;
+    let mut scalar_popcount_ms = f64::NAN;
+    let mut fused_scalar_ms = f64::NAN;
+    let mut matrix = Vec::new();
+    for kernel in CountingKernel::ALL {
+        if !kernel.is_supported() {
+            continue;
+        }
+        // Raw popcount: the dense-range inner loop in isolation, over
+        // every world's full word buffer, repeated so timer noise
+        // averages out; the accumulated total pins bit-identity and
+        // keeps the optimizer honest.
+        let mut ones = 0u64;
+        let t = Instant::now();
+        for _ in 0..popcount_reps {
+            for world in &kernel_worlds {
+                ones += kernel.popcount(world.blocks());
+            }
+        }
+        let popcount_ms = t.elapsed().as_secs_f64() * 1e3;
+        kernel_bit_identical &= ones == reference_ones * popcount_reps as u64;
+
+        // Per-world sweep under this kernel (timed), then an untimed
+        // pass asserting every count against the scalar reference.
+        let t = Instant::now();
+        for world in &kernel_worlds {
+            blocked.count_all_into_with(world, kernel, &mut blocked_counts);
+        }
+        let count_ms = t.elapsed().as_secs_f64() * 1e3;
+        for (world, reference) in kernel_worlds.iter().zip(&reference_counts) {
+            blocked.count_all_into_with(world, kernel, &mut blocked_counts);
+            kernel_bit_identical &= blocked_counts == *reference;
+        }
+
+        // Fused multi-world sweep: one CSR pass per batch (timed),
+        // then the same untimed bit-identity pass per batch entry.
+        blocked.count_all_many_into(&fused_batches[0], kernel, &mut matrix);
+        let t = Instant::now();
+        for refs in &fused_batches {
+            blocked.count_all_many_into(refs, kernel, &mut matrix);
+        }
+        let fused_ms = t.elapsed().as_secs_f64() * 1e3;
+        for (c, refs) in fused_batches.iter().enumerate() {
+            blocked.count_all_many_into(refs, kernel, &mut matrix);
+            for (w, _) in refs.iter().enumerate() {
+                let reference = &reference_counts[c * MAX_FUSED_WORLDS + w];
+                for (r, &expected) in reference.iter().enumerate() {
+                    kernel_bit_identical &= matrix[r * refs.len() + w] == expected;
+                }
+            }
+        }
+
+        if kernel == CountingKernel::Scalar {
+            scalar_popcount_ms = popcount_ms;
+            fused_scalar_ms = fused_ms;
+        }
+        kernel_rows.push(KernelRow {
+            kernel: kernel.name().to_string(),
+            popcount_ms,
+            popcount_speedup: scalar_popcount_ms / popcount_ms,
+            count_ms,
+            count_speedup: counting_blocked_ms / count_ms,
+            fused_ms,
+            fused_speedup: counting_blocked_ms / fused_ms,
+        });
+    }
+    assert!(
+        kernel_bit_identical,
+        "every kernel must reproduce the scalar reference counts bit for bit"
+    );
+    let fused_speedup = counting_blocked_ms / fused_scalar_ms;
+    if !opts.quick {
+        assert!(
+            fused_speedup >= FUSED_SPEEDUP_TARGET,
+            "fused multi-world sweep (scalar kernel) speedup {fused_speedup:.2}x \
+             below the {FUSED_SPEEDUP_TARGET}x target over the per-world baseline"
+        );
+        for row in &kernel_rows {
+            if row.kernel == "avx2" || row.kernel == "avx512" {
+                assert!(
+                    row.popcount_speedup >= SIMD_POPCOUNT_TARGET,
+                    "{} popcount speedup {:.2}x below the {SIMD_POPCOUNT_TARGET}x \
+                     target (feature is detected, so the gain is asserted)",
+                    row.kernel,
+                    row.popcount_speedup
+                );
+            }
+        }
+    }
+
     // Generation isolation: the per-world label-draw pass alone —
     // scalar `gen_bool` per point vs word-parallel bulk draws — on the
     // blocked engine (Bernoulli null), the exact configuration the v2
@@ -742,12 +929,27 @@ pub fn run(opts: &Options) {
         point("PR5", "gen_speedup", 15.00),
         point("PR5", "word_batch_speedup", 6.566),
         point("PR5", "warm_speedup", 157.66),
-        point("PR6", "speedup", rebuild_ms / batched_ms),
-        point("PR6", "counting_speedup", counting_speedup),
-        point("PR6", "gen_speedup", gen_speedup),
-        point("PR6", "word_batch_speedup", word_batch_speedup),
-        point("PR6", "warm_speedup", batched_serve_ms / warm_ms),
-        point("PR6", "single_audit_speedup", single_audit_speedup),
+        point("PR6", "speedup", 12.31),
+        point("PR6", "counting_speedup", 7.50),
+        point("PR6", "gen_speedup", 13.04),
+        point("PR6", "word_batch_speedup", 6.26),
+        point("PR6", "warm_speedup", 31.72),
+        point("PR6", "single_audit_speedup", 1.18),
+        point("PR7", "speedup", rebuild_ms / batched_ms),
+        point("PR7", "counting_speedup", counting_speedup),
+        point("PR7", "gen_speedup", gen_speedup),
+        point("PR7", "word_batch_speedup", word_batch_speedup),
+        point("PR7", "warm_speedup", batched_serve_ms / warm_ms),
+        point("PR7", "single_audit_speedup", single_audit_speedup),
+        point("PR7", "fused_speedup", fused_speedup),
+        point(
+            "PR7",
+            "popcount_speedup",
+            kernel_rows
+                .iter()
+                .find(|r| r.kernel == kernel_auto.name())
+                .map_or(1.0, |r| r.popcount_speedup),
+        ),
     ];
 
     let record = ServeBenchRecord {
@@ -784,6 +986,11 @@ pub fn run(opts: &Options) {
         counting_speedup,
         blocked_ids_per_word: blocked.ids_per_word(),
         counting_bit_identical,
+        kernel_auto: kernel_auto.name().to_string(),
+        fused_width: MAX_FUSED_WORLDS,
+        kernels: kernel_rows,
+        fused_speedup,
+        kernel_bit_identical,
         gen_worlds,
         gen_scalar_ms,
         gen_word_ms,
@@ -852,6 +1059,34 @@ pub fn run(opts: &Options) {
             record.blocked_ids_per_word
         ),
     );
+    report_row(
+        "fused multi-world sweep (scalar kernel)",
+        &format!(">= {FUSED_SPEEDUP_TARGET}x target"),
+        &format!(
+            "{:.2}x ({:.2} ms vs {:.2} ms per-world, width {})",
+            record.fused_speedup, fused_scalar_ms, record.counting_blocked_ms, record.fused_width
+        ),
+    );
+    for row in &record.kernels {
+        let target = if row.kernel == "avx2" || row.kernel == "avx512" {
+            format!(">= {SIMD_POPCOUNT_TARGET}x popcount")
+        } else {
+            "—".to_string()
+        };
+        let auto_marker = if row.kernel == record.kernel_auto {
+            " (auto)"
+        } else {
+            ""
+        };
+        report_row(
+            &format!("  kernel {}{}", row.kernel, auto_marker),
+            &target,
+            &format!(
+                "popcount {:.2}x, per-world {:.2}x, fused {:.2}x",
+                row.popcount_speedup, row.count_speedup, row.fused_speedup
+            ),
+        );
+    }
     report_row(
         "generation pass (scalar vs word)",
         ">= 4x target",

@@ -38,8 +38,15 @@
 //! out-of-range ids are rejected with a [`BlockedBuildError`] instead
 //! of silently producing wrong masks.
 
-use crate::{labels::BitLabels, membership::Membership};
+use crate::{kernel::CountingKernel, labels::BitLabels, membership::Membership};
 use sfgeo::{BoundingBox, Point};
+
+/// Worlds per fused counting sweep: the widest batch
+/// [`BlockedMembership::count_many_into`] processes against one CSR
+/// pass. Eight keeps the per-world accumulators in registers and the
+/// batch's label arrays resident in L1 while still amortizing every
+/// run/mask load 8×; wider batches go through multiple sweeps.
+pub const MAX_FUSED_WORLDS: usize = 8;
 
 /// Error from compiling member-id lists into blocked masks.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -344,9 +351,58 @@ impl BlockedMembership {
         acc
     }
 
+    /// [`BlockedMembership::count`] with the dense full ranges counted
+    /// through an explicit [`CountingKernel`]. With
+    /// [`CountingKernel::Scalar`] this *is* the pinned reference loop;
+    /// every other kernel returns the same exact integer (kernel
+    /// equivalence is equality — pinned by the kernel proptests).
+    /// Partial runs are a one-word gather and stay scalar under every
+    /// kernel.
+    #[inline]
+    pub fn count_with(&self, r: usize, labels: &BitLabels, kernel: CountingKernel) -> u64 {
+        if kernel == CountingKernel::Scalar {
+            return self.count(r, labels);
+        }
+        debug_assert_eq!(
+            labels.len(),
+            self.num_points,
+            "label set length must match the compiled point count"
+        );
+        let blocks = labels.blocks();
+        let mut acc = 0u64;
+        let (fs, fe) = (
+            self.full_offsets[r] as usize,
+            self.full_offsets[r + 1] as usize,
+        );
+        for i in fs..fe {
+            let start = self.full_starts[i] as usize;
+            let len = self.full_lens[i] as usize;
+            acc += kernel.popcount(&blocks[start..start + len]);
+        }
+        let (s, e) = (
+            self.run_offsets[r] as usize,
+            self.run_offsets[r + 1] as usize,
+        );
+        for i in s..e {
+            acc += (blocks[self.run_blocks[i] as usize] & self.run_masks[i]).count_ones() as u64;
+        }
+        acc
+    }
+
     /// Counts `p(R)` for *all* regions against a layout-space label
     /// set, reusing the output buffer.
     pub fn count_all_into(&self, labels: &BitLabels, out: &mut Vec<u64>) {
+        self.count_all_into_with(labels, CountingKernel::Scalar, out);
+    }
+
+    /// [`BlockedMembership::count_all_into`] through an explicit
+    /// [`CountingKernel`].
+    pub fn count_all_into_with(
+        &self,
+        labels: &BitLabels,
+        kernel: CountingKernel,
+        out: &mut Vec<u64>,
+    ) {
         assert_eq!(
             labels.len(),
             self.num_points,
@@ -355,7 +411,119 @@ impl BlockedMembership {
         out.clear();
         out.reserve(self.num_regions());
         for r in 0..self.num_regions() {
-            out.push(self.count(r, labels));
+            out.push(self.count_with(r, labels, kernel));
+        }
+    }
+
+    /// Fused multi-world count of region `r`: `out[w] = p(R)` under
+    /// `worlds[w]`. One pass over the region's CSR serves every world —
+    /// each full range is kernel-popcounted per world while its bounds
+    /// are hot, and each partial run's `(block, mask)` pair is loaded
+    /// **once** and ANDed against every world's block — so the CSR
+    /// stream (the dominant memory traffic of a recount) is amortized
+    /// across the batch instead of re-read per world. Batches wider
+    /// than [`MAX_FUSED_WORLDS`] run as multiple sweeps.
+    ///
+    /// Exactly equal to `worlds.map(|l| count(r, l))` — per-world sums
+    /// are independent integer folds, so fusion cannot change them.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != worlds.len()` or any world's length
+    /// disagrees with the compiled point count.
+    pub fn count_many_into(
+        &self,
+        r: usize,
+        worlds: &[&BitLabels],
+        kernel: CountingKernel,
+        out: &mut [u64],
+    ) {
+        assert_eq!(out.len(), worlds.len(), "one output slot per fused world");
+        for world in worlds {
+            assert_eq!(
+                world.len(),
+                self.num_points,
+                "label set length must match the compiled point count"
+            );
+        }
+        for (worlds, out) in worlds
+            .chunks(MAX_FUSED_WORLDS)
+            .zip(out.chunks_mut(MAX_FUSED_WORLDS))
+        {
+            let mut acc = [0u64; MAX_FUSED_WORLDS];
+            self.count_many_core(r, worlds, kernel, &mut acc[..worlds.len()]);
+            out.copy_from_slice(&acc[..worlds.len()]);
+        }
+    }
+
+    /// Fused multi-world count of **all** regions:
+    /// `out[r * worlds.len() + w] = p(R_r)` under `worlds[w]` (row per
+    /// region, column per world). Each sweep of up to
+    /// [`MAX_FUSED_WORLDS`] worlds walks the whole CSR once — this is
+    /// the batched executor's inner loop, replacing `worlds.len()`
+    /// separate [`BlockedMembership::count_all_into`] passes.
+    pub fn count_all_many_into(
+        &self,
+        worlds: &[&BitLabels],
+        kernel: CountingKernel,
+        out: &mut Vec<u64>,
+    ) {
+        for world in worlds {
+            assert_eq!(
+                world.len(),
+                self.num_points,
+                "label set length must match the compiled point count"
+            );
+        }
+        let width = worlds.len();
+        out.clear();
+        out.resize(self.num_regions() * width, 0);
+        let mut offset = 0;
+        for worlds in worlds.chunks(MAX_FUSED_WORLDS) {
+            let mut acc = [0u64; MAX_FUSED_WORLDS];
+            for r in 0..self.num_regions() {
+                let acc = &mut acc[..worlds.len()];
+                acc.fill(0);
+                self.count_many_core(r, worlds, kernel, acc);
+                out[r * width + offset..r * width + offset + worlds.len()].copy_from_slice(acc);
+            }
+            offset += worlds.len();
+        }
+    }
+
+    /// One fused sweep of region `r` over at most [`MAX_FUSED_WORLDS`]
+    /// pre-validated worlds, accumulating into `acc` (not cleared —
+    /// callers zero it).
+    #[inline]
+    fn count_many_core(
+        &self,
+        r: usize,
+        worlds: &[&BitLabels],
+        kernel: CountingKernel,
+        acc: &mut [u64],
+    ) {
+        debug_assert!(worlds.len() <= MAX_FUSED_WORLDS);
+        debug_assert_eq!(worlds.len(), acc.len());
+        let (fs, fe) = (
+            self.full_offsets[r] as usize,
+            self.full_offsets[r + 1] as usize,
+        );
+        for i in fs..fe {
+            let start = self.full_starts[i] as usize;
+            let len = self.full_lens[i] as usize;
+            for (a, world) in acc.iter_mut().zip(worlds) {
+                *a += kernel.popcount(&world.blocks()[start..start + len]);
+            }
+        }
+        let (s, e) = (
+            self.run_offsets[r] as usize,
+            self.run_offsets[r + 1] as usize,
+        );
+        for i in s..e {
+            let block = self.run_blocks[i] as usize;
+            let mask = self.run_masks[i];
+            for (a, world) in acc.iter_mut().zip(worlds) {
+                *a += (world.blocks()[block] & mask).count_ones() as u64;
+            }
         }
     }
 
@@ -380,8 +548,20 @@ impl BlockedMembership {
     /// (`is_permuted()` is `false`): it is a counting structure, not a
     /// label-placement oracle — positions were already mapped by the
     /// parent compilation.
+    ///
+    /// # Panics
+    /// Panics on an inverted window (`word_lo > word_hi`) or one
+    /// reaching past [`BlockedMembership::num_label_words`] — an
+    /// oversized window would silently produce a valid-looking view
+    /// whose extra words can never hold members, masking a sharding
+    /// arithmetic bug at the call site.
     pub fn clip_to_words(&self, word_lo: usize, word_hi: usize) -> BlockedMembership {
         assert!(word_lo <= word_hi, "inverted word window");
+        assert!(
+            word_hi <= self.num_label_words(),
+            "word window {word_lo}..{word_hi} exceeds the {} label words",
+            self.num_label_words()
+        );
         let (lo, hi) = (word_lo as u64, word_hi as u64);
         let mut clipped = BlockedMembership {
             full_offsets: vec![0],
@@ -880,6 +1060,106 @@ mod tests {
         assert_eq!(right.n_of(0), 128);
         let labels = BitLabels::from_fn(256, |i| i % 2 == 0);
         assert_eq!(left.count(0, &labels) + right.count(0, &labels), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn clip_to_words_rejects_oversized_windows() {
+        // Regression: an oversized window used to silently yield a
+        // valid-looking view whose tail words can never hold members.
+        let m = membership_fixture();
+        let b = BlockedMembership::compile(&m).unwrap();
+        let words = b.num_label_words();
+        let _ = b.clip_to_words(0, words + 1);
+    }
+
+    #[test]
+    fn kernel_counts_match_the_pinned_scalar_loop() {
+        use crate::kernel::CountingKernel;
+        let m = membership_fixture();
+        let b = BlockedMembership::compile(&m).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(90);
+        let world = BitLabels::from_fn(b.num_points(), |_| rng.gen_bool(0.37));
+        for kernel in CountingKernel::ALL {
+            if !kernel.is_supported() {
+                continue;
+            }
+            let mut out = Vec::new();
+            b.count_all_into_with(&world, kernel, &mut out);
+            for (r, &counted) in out.iter().enumerate() {
+                assert_eq!(b.count_with(r, &world, kernel), b.count(r, &world));
+                assert_eq!(counted, b.count(r, &world), "kernel {kernel} region {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_counting_equals_per_world_counting() {
+        use crate::kernel::CountingKernel;
+        let m = membership_fixture();
+        let b = BlockedMembership::compile(&m).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(91);
+        // 1..=MAX_FUSED_WORLDS+2 exercises partial, exact, and
+        // multi-sweep batches.
+        for batch in 1..=MAX_FUSED_WORLDS + 2 {
+            let worlds: Vec<BitLabels> = (0..batch)
+                .map(|_| {
+                    let rho = rng.gen_range(0.05..0.95);
+                    BitLabels::from_fn(b.num_points(), |_| rng.gen_bool(rho))
+                })
+                .collect();
+            let views: Vec<&BitLabels> = worlds.iter().collect();
+            for kernel in CountingKernel::ALL {
+                if !kernel.is_supported() {
+                    continue;
+                }
+                let mut fused = Vec::new();
+                b.count_all_many_into(&views, kernel, &mut fused);
+                assert_eq!(fused.len(), b.num_regions() * batch);
+                let mut region_out = vec![0u64; batch];
+                for r in 0..b.num_regions() {
+                    b.count_many_into(r, &views, kernel, &mut region_out);
+                    for (w, world) in worlds.iter().enumerate() {
+                        let expected = b.count(r, world);
+                        assert_eq!(
+                            fused[r * batch + w],
+                            expected,
+                            "kernel {kernel} batch {batch} region {r} world {w}"
+                        );
+                        assert_eq!(region_out[w], expected);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_counting_works_on_clipped_views() {
+        use crate::kernel::CountingKernel;
+        let m = membership_fixture();
+        let b = BlockedMembership::compile(&m).unwrap();
+        let words = b.num_label_words();
+        let mut rng = ChaCha8Rng::seed_from_u64(92);
+        let worlds: Vec<BitLabels> = (0..3)
+            .map(|_| BitLabels::from_fn(b.num_points(), |_| rng.gen_bool(0.5)))
+            .collect();
+        let views: Vec<&BitLabels> = worlds.iter().collect();
+        for shards in [1usize, 2, 5] {
+            let mut summed = vec![0u64; b.num_regions() * worlds.len()];
+            for (lo, hi) in shard_word_bounds(words, shards) {
+                let clipped = b.clip_to_words(lo, hi);
+                let mut partial = Vec::new();
+                clipped.count_all_many_into(&views, CountingKernel::Portable, &mut partial);
+                for (acc, p) in summed.iter_mut().zip(&partial) {
+                    *acc += p;
+                }
+            }
+            for r in 0..b.num_regions() {
+                for (w, world) in worlds.iter().enumerate() {
+                    assert_eq!(summed[r * worlds.len() + w], b.count(r, world));
+                }
+            }
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod blocked;
 pub mod brute;
 pub mod gridindex;
 pub mod kdtree;
+pub mod kernel;
 pub mod labels;
 pub mod membership;
 pub mod quadtree;
@@ -57,10 +58,13 @@ pub mod rtree;
 pub mod sat;
 pub mod substrate;
 
-pub use blocked::{morton_layout, shard_word_bounds, BlockedBuildError, BlockedMembership};
+pub use blocked::{
+    morton_layout, shard_word_bounds, BlockedBuildError, BlockedMembership, MAX_FUSED_WORLDS,
+};
 pub use brute::BruteForceIndex;
 pub use gridindex::GridIndex;
 pub use kdtree::KdTree;
+pub use kernel::{CountingKernel, KernelSelect, ParseKernelError};
 pub use labels::BitLabels;
 pub use membership::Membership;
 pub use quadtree::QuadTree;

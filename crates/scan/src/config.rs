@@ -3,6 +3,7 @@
 use crate::direction::Direction;
 use serde::{Deserialize, Serialize};
 pub use sfindex::IndexBackend;
+pub use sfindex::{CountingKernel, KernelSelect, ParseKernelError};
 pub use sfstats::bulk::WorldGen;
 pub use sfstats::montecarlo::McStrategy;
 
@@ -267,16 +268,24 @@ pub struct AuditConfig {
     /// [`Shards`]). Results are bit-identical for every value; absent
     /// on pre-sharding wire payloads, which decode as [`Shards::Auto`].
     pub shards: Shards,
+    /// Counting-kernel selection for the blocked popcnt sweeps (see
+    /// [`KernelSelect`]): the pinned scalar reference, the portable
+    /// unrolled loop, runtime-dispatched AVX2/AVX-512, or `Auto`
+    /// (best detected + self-probed). Kernels produce bit-identical
+    /// integer counts, so this knob — like `shards` and `parallel` —
+    /// is pure performance; absent on pre-kernel wire payloads, which
+    /// decode as [`KernelSelect::Auto`].
+    pub kernel: KernelSelect,
     /// Evaluate worlds in parallel (results are identical either way).
     pub parallel: bool,
 }
 
-// Manual wire impls instead of the derive: `worldgen` and `shards`
-// were added after the v1 wire format shipped, and configs are
-// embedded in every serialized `AuditReport`/response envelope —
+// Manual wire impls instead of the derive: `worldgen`, `shards`, and
+// `kernel` were added after the v1 wire format shipped, and configs
+// are embedded in every serialized `AuditReport`/response envelope —
 // older payloads without the fields must keep decoding (`worldgen`
-// absent means the v1 Scalar generator; `shards` absent means Auto).
-// The derive would hard-error on the missing fields.
+// absent means the v1 Scalar generator; `shards` and `kernel` absent
+// mean Auto). The derive would hard-error on the missing fields.
 impl Serialize for AuditConfig {
     fn to_value(&self) -> serde::Value {
         serde::Value::Object(vec![
@@ -290,6 +299,7 @@ impl Serialize for AuditConfig {
             (String::from("mc_strategy"), self.mc_strategy.to_value()),
             (String::from("worldgen"), self.worldgen.to_value()),
             (String::from("shards"), self.shards.to_value()),
+            (String::from("kernel"), self.kernel.to_value()),
             (String::from("parallel"), self.parallel.to_value()),
         ])
     }
@@ -317,6 +327,12 @@ impl Deserialize for AuditConfig {
                     .map_err(|e| serde::Error::msg(format!("field `shards`: {}", e.message)))?,
                 // Absent on pre-sharding payloads.
                 None => Shards::Auto,
+            },
+            kernel: match value.get("kernel") {
+                Some(v) => KernelSelect::from_value(v)
+                    .map_err(|e| serde::Error::msg(format!("field `kernel`: {}", e.message)))?,
+                // Absent on pre-kernel payloads.
+                None => KernelSelect::Auto,
             },
             parallel: serde::get_field(value, "parallel")?,
         })
@@ -347,6 +363,7 @@ impl AuditConfig {
             mc_strategy: McStrategy::FullBudget,
             worldgen: WorldGen::Word,
             shards: Shards::Auto,
+            kernel: KernelSelect::Auto,
             parallel: true,
         }
     }
@@ -418,6 +435,13 @@ impl AuditConfig {
     /// value; see [`Shards`]).
     pub fn with_shards(mut self, shards: Shards) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Sets the counting-kernel selection (results are identical for
+    /// every value; see [`KernelSelect`]).
+    pub fn with_kernel(mut self, kernel: KernelSelect) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -584,6 +608,29 @@ mod tests {
         assert_eq!(back.shards, Shards::Auto);
         assert!(serde_json::from_str::<Shards>("0").is_err());
         assert!(serde_json::from_str::<Shards>("\"several\"").is_err());
+    }
+
+    #[test]
+    fn kernel_serde_round_trips_and_defaults_missing_field() {
+        let forced = AuditConfig::new(0.05).with_kernel(KernelSelect::Portable);
+        let json = serde_json::to_string(&forced).unwrap();
+        assert!(json.contains("\"kernel\":\"Portable\""), "{json}");
+        let back: AuditConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.kernel, KernelSelect::Portable);
+        // Pre-kernel payloads (every config serialized before this
+        // knob existed) keep decoding and mean Auto.
+        let v1 = r#"{"alpha": 0.005, "worlds": 999, "seed": 0,
+                     "direction": "TwoSided", "null_model": "Bernoulli",
+                     "strategy": "Membership", "backend": "KdTree",
+                     "mc_strategy": "FullBudget", "parallel": true}"#;
+        let config: AuditConfig = serde_json::from_str(v1).unwrap();
+        assert_eq!(config.kernel, KernelSelect::Auto);
+        assert!(serde_json::from_str::<KernelSelect>("\"sse9\"").is_err());
+        for select in KernelSelect::ALL {
+            let json = serde_json::to_string(&select).unwrap();
+            let back: KernelSelect = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, select);
+        }
     }
 
     #[test]

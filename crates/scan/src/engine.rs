@@ -83,7 +83,7 @@
 //! profile — and returns [`ScanError::CountIntegrity`] instead of an
 //! engine rather than serve corrupt counts.
 
-use crate::config::{CountingStrategy, NullModel, Shards, WorldGen};
+use crate::config::{CountingStrategy, KernelSelect, NullModel, Shards, WorldGen};
 use crate::direction::Direction;
 use crate::error::ScanError;
 use crate::outcomes::SpatialOutcomes;
@@ -92,8 +92,8 @@ use rand::{Rng, RngCore};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use sfindex::{
-    morton_layout, shard_word_bounds, BitLabels, BlockedMembership, CountPair, CountingSubstrate,
-    IndexBackend, Membership, Substrate,
+    morton_layout, shard_word_bounds, BitLabels, BlockedMembership, CountPair, CountingKernel,
+    CountingSubstrate, IndexBackend, Membership, Substrate,
 };
 use sfstats::bulk::{BulkBernoulli, GEN_CHUNK_WORDS};
 use sfstats::llr::{bernoulli_llr_directed, Counts2x2};
@@ -188,6 +188,12 @@ pub struct ScanEngine<I: CountingSubstrate = Substrate> {
     shard_views: Vec<BlockedMembership>,
     /// The `(word_lo, word_hi)` window of each entry in `shard_views`.
     shard_bounds: Vec<(usize, usize)>,
+    /// The popcount kernel the blocked sweeps run on — resolved from a
+    /// [`KernelSelect`] at build (default `Auto`, the best kernel the
+    /// CPU supports). Every kernel produces bit-identical counts, so
+    /// this is a pure performance knob; non-blocked strategies ignore
+    /// it (they have no dense word ranges to popcount).
+    kernel: CountingKernel,
 }
 
 impl ScanEngine<Substrate> {
@@ -386,6 +392,7 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             word_order,
             shard_views: Vec::new(),
             shard_bounds: Vec::new(),
+            kernel: KernelSelect::Auto.resolve(),
         })
     }
 
@@ -413,6 +420,25 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             }
         }
         self
+    }
+
+    /// Selects the popcount kernel the blocked counting sweeps run on
+    /// (see [`KernelSelect`]): `Auto` resolves to the best kernel the
+    /// CPU supports (verified by a build-time probe against the scalar
+    /// reference), explicit SIMD selections degrade down the ladder
+    /// when the feature is missing. Counts are exact integers under
+    /// every kernel, so every selection is bit-identical — this knob
+    /// moves only throughput. No-op for non-blocked strategies.
+    pub fn with_kernel(mut self, select: KernelSelect) -> Self {
+        self.kernel = select.resolve();
+        self
+    }
+
+    /// The popcount kernel actually in effect after resolving the
+    /// [`KernelSelect`] (never `Auto` — resolution happens at
+    /// selection time).
+    pub fn kernel(&self) -> CountingKernel {
+        self.kernel
     }
 
     /// Number of shards the world-evaluation sweep fans out over
@@ -848,7 +874,7 @@ impl<I: CountingSubstrate> ScanEngine<I> {
                     if n_r == 0 {
                         continue;
                     }
-                    let p_r = b.count(r, labels);
+                    let p_r = b.count_with(r, labels, self.kernel);
                     fold(n_r, p_r);
                 }
             }
@@ -902,7 +928,7 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             .into_par_iter()
             .map(|s| {
                 let mut counts = Vec::new();
-                self.shard_views[s].count_all_into(labels, &mut counts);
+                self.shard_views[s].count_all_into_with(labels, self.kernel, &mut counts);
                 counts
             })
             .collect();
@@ -920,6 +946,138 @@ impl<I: CountingSubstrate> ScanEngine<I> {
                 );
                 if llr > *tau {
                     *tau = llr;
+                }
+            }
+        }
+    }
+
+    /// Evaluates a *batch* of worlds in one fused counting sweep,
+    /// writing world `w`'s `τ` for `directions[d]` into
+    /// `out[w * directions.len() + d]` (world-major — the layout the
+    /// batched executor's span buffer already uses).
+    ///
+    /// Blocked engines count all `W` worlds per CSR pass
+    /// ([`BlockedMembership::count_all_many_into`]): each run's
+    /// `(block, mask)` pair is loaded **once** and ANDed against every
+    /// world's block, so the CSR stream — the dominant memory traffic
+    /// of a world recount — is read once per batch instead of once per
+    /// world. Other strategies evaluate the worlds one at a time.
+    ///
+    /// Each `τ` is **bit-identical** to
+    /// [`ScanEngine::eval_world_into`] on the same world: per-world
+    /// counts are independent exact integers (fusion reorders no
+    /// arithmetic within a world), and the LLR fold replays the same
+    /// region-order comparisons per world.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != worlds.len() * directions.len()`, or if
+    /// any world is not one bit per indexed point.
+    pub fn eval_worlds_into(
+        &self,
+        worlds: &[&BitLabels],
+        directions: &[Direction],
+        out: &mut [f64],
+    ) {
+        assert_eq!(
+            out.len(),
+            worlds.len() * directions.len(),
+            "one output slot per (world, direction)"
+        );
+        let stride = directions.len();
+        if let Counting::Blocked(b) = &self.counting {
+            for labels in worlds {
+                assert_eq!(
+                    labels.len(),
+                    self.n_total as usize,
+                    "world label set must be one bit per indexed point"
+                );
+            }
+            let mut counts = Vec::new();
+            b.count_all_many_into(worlds, self.kernel, &mut counts);
+            self.fold_fused(worlds, &counts, directions, out);
+        } else {
+            for (labels, tau) in worlds.iter().zip(out.chunks_mut(stride)) {
+                self.eval_world_into(labels, directions, tau);
+            }
+        }
+    }
+
+    /// Evaluates a batch of worlds like [`ScanEngine::eval_worlds_into`],
+    /// with the fused recount fanned out across this engine's shards:
+    /// one rayon task per shard runs the multi-world sweep over its
+    /// clipped CSR view, then the exact integer partials are summed in
+    /// shard order — combining the fused CSR amortisation with the
+    /// sharded parallelism, bit-identical to both unfused paths. Falls
+    /// back to [`ScanEngine::eval_worlds_into`] when unsharded.
+    pub fn eval_worlds_into_sharded(
+        &self,
+        worlds: &[&BitLabels],
+        directions: &[Direction],
+        out: &mut [f64],
+    ) {
+        if self.shard_views.len() <= 1 {
+            return self.eval_worlds_into(worlds, directions, out);
+        }
+        assert_eq!(
+            out.len(),
+            worlds.len() * directions.len(),
+            "one output slot per (world, direction)"
+        );
+        for labels in worlds {
+            assert_eq!(
+                labels.len(),
+                self.n_total as usize,
+                "world label set must be one bit per indexed point"
+            );
+        }
+        let partials: Vec<Vec<u64>> = (0..self.shard_views.len())
+            .into_par_iter()
+            .map(|s| {
+                let mut counts = Vec::new();
+                self.shard_views[s].count_all_many_into(worlds, self.kernel, &mut counts);
+                counts
+            })
+            .collect();
+        let width = worlds.len();
+        let mut counts = vec![0u64; self.regions.len() * width];
+        for shard in &partials {
+            for (acc, &c) in counts.iter_mut().zip(shard) {
+                *acc += c;
+            }
+        }
+        self.fold_fused(worlds, &counts, directions, out);
+    }
+
+    /// The shared LLR fold over a fused count matrix
+    /// (`counts[r * W + w]`): per world, replays exactly the
+    /// region-order comparisons of [`ScanEngine::eval_world_into`]'s
+    /// fold on the same `(n_r, p_r, N, P_world)` quadruples.
+    fn fold_fused(
+        &self,
+        worlds: &[&BitLabels],
+        counts: &[u64],
+        directions: &[Direction],
+        out: &mut [f64],
+    ) {
+        let width = worlds.len();
+        let stride = directions.len();
+        out.fill(0.0);
+        for (w, labels) in worlds.iter().enumerate() {
+            let p_world = labels.count_ones();
+            let tau = &mut out[w * stride..(w + 1) * stride];
+            for (r, &n_r) in self.region_n.iter().enumerate() {
+                if n_r == 0 {
+                    continue;
+                }
+                let p_r = counts[r * width + w];
+                for (tau, &direction) in tau.iter_mut().zip(directions) {
+                    let llr = bernoulli_llr_directed(
+                        &Counts2x2::new(n_r, p_r, self.n_total, p_world),
+                        direction,
+                    );
+                    if llr > *tau {
+                        *tau = llr;
+                    }
                 }
             }
         }
@@ -1172,6 +1330,69 @@ mod tests {
                     blk.eval_world(&blk_world, Direction::TwoSided),
                     "{null_model:?} world {w}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn every_kernel_selection_is_bit_identical() {
+        let o = outcomes();
+        let reference = ScanEngine::build(&o, &region_set(), CountingStrategy::Blocked).unwrap();
+        let mut expected = Vec::new();
+        for w in 0..10 {
+            let mut rng = sfstats::rng::world_rng(47, w);
+            let world = reference.generate_world(NullModel::Bernoulli, &mut rng);
+            expected.push(reference.eval_world(&world, Direction::TwoSided));
+        }
+        for select in KernelSelect::ALL {
+            let e = ScanEngine::build(&o, &region_set(), CountingStrategy::Blocked)
+                .unwrap()
+                .with_kernel(select);
+            // Whatever the selection degraded to must be runnable on
+            // this CPU — resolution never hands back an unsupported
+            // kernel.
+            assert!(e.kernel().is_supported(), "{select} -> {}", e.kernel());
+            for (w, &want) in expected.iter().enumerate() {
+                let mut rng = sfstats::rng::world_rng(47, w as u64);
+                let world = e.generate_world(NullModel::Bernoulli, &mut rng);
+                assert_eq!(
+                    e.eval_world(&world, Direction::TwoSided),
+                    want,
+                    "{select} world {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_world_batches_match_per_world_eval() {
+        let o = outcomes();
+        let directions = [Direction::TwoSided, Direction::High, Direction::Low];
+        for strategy in [CountingStrategy::Blocked, CountingStrategy::Membership] {
+            for shards in [Shards::Fixed(1), Shards::Fixed(3)] {
+                let e = ScanEngine::build(&o, &region_set(), strategy)
+                    .unwrap()
+                    .with_shards(shards);
+                for batch in [1usize, 3, 8, 11] {
+                    let worlds: Vec<BitLabels> = (0..batch)
+                        .map(|w| {
+                            let mut rng = sfstats::rng::world_rng(53, w as u64);
+                            e.generate_world(NullModel::Permutation, &mut rng)
+                        })
+                        .collect();
+                    let refs: Vec<&BitLabels> = worlds.iter().collect();
+                    let mut fused = vec![0.0f64; batch * directions.len()];
+                    e.eval_worlds_into_sharded(&refs, &directions, &mut fused);
+                    for (w, labels) in worlds.iter().enumerate() {
+                        let mut single = vec![0.0f64; directions.len()];
+                        e.eval_world_into_sharded(labels, &directions, &mut single);
+                        assert_eq!(
+                            &fused[w * directions.len()..(w + 1) * directions.len()],
+                            &single[..],
+                            "{strategy:?} {shards:?} batch {batch} world {w}"
+                        );
+                    }
+                }
             }
         }
     }

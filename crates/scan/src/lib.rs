@@ -77,8 +77,8 @@ pub mod worldcache;
 
 pub use audit::Auditor;
 pub use config::{
-    AuditConfig, CountingStrategy, IndexBackend, McStrategy, NullModel, ParseShardsError,
-    ParseStrategyError, Shards, WorldGen,
+    AuditConfig, CountingKernel, CountingStrategy, IndexBackend, KernelSelect, McStrategy,
+    NullModel, ParseKernelError, ParseShardsError, ParseStrategyError, Shards, WorldGen,
 };
 pub use direction::Direction;
 pub use error::ScanError;

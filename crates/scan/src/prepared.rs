@@ -47,7 +47,7 @@ use crate::report::{AuditReport, RegionFinding};
 use crate::worldcache::{ResumePoint, TauRows, WorldCache};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use sfindex::Substrate;
+use sfindex::{BitLabels, Substrate, MAX_FUSED_WORLDS};
 use sfstats::montecarlo::{BudgetScheduler, McStrategy, MonteCarloResult, WorldLane};
 use sfstats::rng::world_rng;
 
@@ -435,7 +435,8 @@ impl PreparedAudit {
             return Err(ScanError::EmptyRegionSet);
         }
         let engine = ScanEngine::build_with(outcomes, regions, config.backend, config.strategy)?
-            .with_shards(config.shards);
+            .with_shards(config.shards)
+            .with_kernel(config.kernel);
         Ok(PreparedAudit {
             engine,
             regions: regions.clone(),
@@ -682,18 +683,28 @@ impl PreparedAudit {
         // bit-identical (chunk substreams are absolutely positioned;
         // shard partials are exact integer sums), so the choice is
         // pure scheduling.
-        let eval_one = |i: usize, out: &mut [f64], fine: bool| {
-            let mut rng = world_rng(group.seed, i as u64);
+        let eval_batch = |first: usize, out: &mut [f64], fine: bool| {
+            // One fused sweep per batch: generate the batch's worlds
+            // (per-world RNG streams — world w's labels are identical
+            // whatever batch it lands in), then count them all in one
+            // CSR pass (ScanEngine::eval_worlds_into).
+            let count = out.len() / eval_dirs.len();
+            let mut worlds = Vec::with_capacity(count);
+            for k in 0..count {
+                let mut rng = world_rng(group.seed, (first + k) as u64);
+                worlds.push(if fine {
+                    self.engine
+                        .generate_world_par(group.null_model, group.worldgen, &mut rng)
+                } else {
+                    self.engine
+                        .generate_world_with(group.null_model, group.worldgen, &mut rng)
+                });
+            }
+            let refs: Vec<&BitLabels> = worlds.iter().collect();
             if fine {
-                let labels =
-                    self.engine
-                        .generate_world_par(group.null_model, group.worldgen, &mut rng);
-                self.engine.eval_world_into_sharded(&labels, eval_dirs, out);
+                self.engine.eval_worlds_into_sharded(&refs, eval_dirs, out);
             } else {
-                let labels =
-                    self.engine
-                        .generate_world_with(group.null_model, group.worldgen, &mut rng);
-                self.engine.eval_world_into(&labels, eval_dirs, out);
+                self.engine.eval_worlds_into(&refs, eval_dirs, out);
             }
         };
         let run = run_world_group(
@@ -704,7 +715,7 @@ impl PreparedAudit {
             self.base.parallel,
             &resume.prefix,
             collect_fresh,
-            eval_one,
+            eval_batch,
         );
 
         // Assemble per-request reports from each lane's truncated
@@ -836,24 +847,32 @@ pub(crate) struct GroupRun {
 /// tell a replayed value from a simulated one, a resumed run is
 /// bit-identical to a cold run by construction.
 ///
-/// `eval_world` receives a world index, a `stride`-wide output
-/// slot — one `τ` per entry of the group's evaluated direction list
-/// (`lane_dirs[m]` maps member `m` into it; `cached` rows must align
-/// with the same list) — and the work-splitter's axis flag: `false`
-/// means the caller is already fanning *worlds* out (the coarse axis)
-/// and the evaluation must stay sequential inside; `true` means the
-/// span holds fewer worlds than the pool has threads, worlds are
-/// walked sequentially, and the evaluation should fan its own finer
-/// axes (generation chunks, engine shards) out instead. The splitter
-/// prefers the coarse axis whenever it can fill the machine — one
-/// task per world has no per-world coordination overhead — and both
-/// axes are bit-identical by construction, so the flag is pure
-/// scheduling. Each span is evaluated into **one flat
-/// reusable buffer** carved into per-world chunks, so the span loop
-/// performs no per-world heap allocation (the old `Vec<Vec<f64>>`
-/// boxes). With `collect_fresh`, the simulated rows are appended to
-/// the flat [`GroupRun::fresh`] matrix for a cache commit; without it
-/// the buffer is simply reused span after span.
+/// `eval_worlds` receives the index of a *batch's* first world, an
+/// output slot spanning the whole batch (`W · stride` values,
+/// world-major: world `k` of the batch owns
+/// `out[k * stride..(k + 1) * stride]`, one `τ` per entry of the
+/// group's evaluated direction list; `lane_dirs[m]` maps member `m`
+/// into it, and `cached` rows must align with the same list) — and
+/// the work-splitter's axis flag: `false` means the caller is already
+/// fanning *batches* out (the coarse axis) and the evaluation must
+/// stay sequential inside; `true` means the span holds fewer batches
+/// than the pool has threads, batches are walked sequentially, and
+/// the evaluation should fan its own finer axes (generation chunks,
+/// engine shards) out instead. Batches hold up to
+/// [`MAX_FUSED_WORLDS`] worlds (the last batch of a span shorter), so
+/// a fused counting engine loads each CSR run once per batch instead
+/// of once per world; the callback derives the batch's world count
+/// from `out.len()`. The splitter prefers the coarse axis whenever it
+/// can fill the machine — one task per batch has no per-batch
+/// coordination overhead — and both axes are bit-identical by
+/// construction (world `w`'s RNG stream and fold are independent of
+/// which batch evaluates it), so the flag is pure scheduling. Each
+/// span is evaluated into **one flat reusable buffer** carved into
+/// per-batch chunks, so the span loop performs no per-world heap
+/// allocation (the old `Vec<Vec<f64>>` boxes). With `collect_fresh`,
+/// the simulated rows are appended to the flat [`GroupRun::fresh`]
+/// matrix for a cache commit; without it the buffer is simply reused
+/// span after span.
 ///
 /// Both the Bernoulli executor above and the Poisson rate batch
 /// ([`crate::rates::audit_rates_batch`]) run on this loop, so the
@@ -867,7 +886,7 @@ pub(crate) fn run_world_group<F>(
     parallel: bool,
     cached: &TauRows,
     collect_fresh: bool,
-    eval_world: F,
+    eval_worlds: F,
 ) -> GroupRun
 where
     F: Fn(usize, &mut [f64], bool) + Sync,
@@ -898,23 +917,24 @@ where
         let simulated = span.end - cut;
         span_buf.clear();
         span_buf.resize(simulated * stride, 0.0);
-        if parallel && simulated >= rayon::current_num_threads() {
-            // Coarse axis: enough worlds to fill the machine.
+        let batch = stride * MAX_FUSED_WORLDS;
+        if parallel && simulated >= MAX_FUSED_WORLDS * rayon::current_num_threads() {
+            // Coarse axis: enough world batches to fill the machine.
             span_buf
-                .par_chunks_mut(stride)
+                .par_chunks_mut(batch)
                 .enumerate()
-                .for_each(|(k, out)| eval_world(cut + k, out, false));
+                .for_each(|(c, out)| eval_worlds(cut + c * MAX_FUSED_WORLDS, out, false));
         } else if parallel {
             // Fine axis: a short span (early-stop tail, tiny budget)
-            // cannot feed every core one world — walk worlds in order
+            // cannot feed every core one batch — walk batches in order
             // and let each one fan generation chunks/shard partials
             // out instead.
-            for (k, out) in span_buf.chunks_mut(stride).enumerate() {
-                eval_world(cut + k, out, true);
+            for (c, out) in span_buf.chunks_mut(batch).enumerate() {
+                eval_worlds(cut + c * MAX_FUSED_WORLDS, out, true);
             }
         } else {
-            for (k, out) in span_buf.chunks_mut(stride).enumerate() {
-                eval_world(cut + k, out, false);
+            for (c, out) in span_buf.chunks_mut(batch).enumerate() {
+                eval_worlds(cut + c * MAX_FUSED_WORLDS, out, false);
             }
         }
         replayed += cut - span.start;

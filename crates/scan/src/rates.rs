@@ -199,11 +199,16 @@ pub fn audit_rates_batch(
         let mut observed_taus = vec![0.0; directions.len()];
         eval_into(&data.observed, &directions, &mut observed_taus);
         // Rate worlds have no finer parallel axis (one alias-table
-        // sample per world), so the splitter's fine flag is moot.
-        let eval_one = |w: usize, out: &mut [f64], _fine: bool| {
-            let mut rng = world_rng(seed, w as u64);
-            let world = alias.sample_counts(c_total, &mut rng);
-            eval_into(&world, &directions, out);
+        // sample per world) and no fused counting path — the fine
+        // flag is moot and a batch just walks its worlds one by one
+        // (per-world RNG streams keep the stream identical to the
+        // per-world loop).
+        let eval_batch = |first: usize, out: &mut [f64], _fine: bool| {
+            for (k, out) in out.chunks_mut(directions.len()).enumerate() {
+                let mut rng = world_rng(seed, (first + k) as u64);
+                let world = alias.sample_counts(c_total, &mut rng);
+                eval_into(&world, &directions, out);
+            }
         };
         let run = run_world_group(
             requests,
@@ -213,7 +218,7 @@ pub fn audit_rates_batch(
             config.parallel,
             &TauRows::new(directions.len()),
             false,
-            eval_one,
+            eval_batch,
         );
 
         for ((result, &ri), &di) in run.results.into_iter().zip(&members).zip(&lane_dirs) {

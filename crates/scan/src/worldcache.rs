@@ -43,9 +43,16 @@
 //! # Size cap
 //!
 //! [`WorldCache::with_capacity_bytes`] bounds the resident τ-buffer
-//! bytes: after every commit, the least-recently-used entries are
-//! evicted (oldest first) until the cache fits. The flat buffers make
-//! the accounting exact — an entry's cost is `worlds × directions × 8`
+//! bytes: after every commit, entries are evicted until the cache
+//! fits, **worst value first** — the entry with the highest
+//! *bytes-per-replayed-world* goes before the rest, because it ties up
+//! the most memory per world it has actually saved from
+//! re-simulation. A big prefix nobody replays is evicted before a
+//! small hot one even when the big one was touched more recently;
+//! among entries of equal value density the least recently used goes
+//! first (a fresh commit always starts at zero replays, so pure LRU is
+//! the degenerate case of the rule). The flat buffers make the
+//! accounting exact — an entry's cost is `worlds × directions × 8`
 //! bytes. [`CacheStats::evictions`] counts evicted entries and
 //! [`CacheStats::resident_bytes`] gauges the current footprint.
 //!
@@ -212,8 +219,13 @@ struct CachedClass {
     /// direction `dirs[d]`. Always a contiguous prefix of the class's
     /// world stream.
     rows: TauRows,
-    /// Last resume/commit tick — the eviction ordering.
+    /// Last resume/commit tick — the eviction tie-break.
     last_touch: u64,
+    /// Total worlds this entry has answered from its rows instead of
+    /// simulation (accumulated from every commit's `replayed`) — the
+    /// demonstrated value the eviction policy weighs its bytes
+    /// against.
+    replayed_worlds: u64,
 }
 
 impl CachedClass {
@@ -262,10 +274,13 @@ impl WorldCache {
         Self::default()
     }
 
-    /// An empty cache that evicts its least-recently-used entries
-    /// whenever the resident τ-buffer bytes exceed `cap` (checked
-    /// after every commit; the bound is hard, so a single entry larger
-    /// than `cap` is itself evicted).
+    /// An empty cache that evicts entries whenever the resident
+    /// τ-buffer bytes exceed `cap` (checked after every commit; the
+    /// bound is hard, so a single entry larger than `cap` is itself
+    /// evicted). Eviction is by value density, worst first: the entry
+    /// whose bytes-per-replayed-world is highest goes before the rest,
+    /// with ties broken least-recently-used first (see the module
+    /// docs).
     pub fn with_capacity_bytes(cap: usize) -> Self {
         WorldCache {
             capacity_bytes: Some(cap),
@@ -420,10 +435,12 @@ impl WorldCache {
             .find(|c| c.is_class(null_model, seed, worldgen) && c.dirs == eval_dirs)
         {
             // The entry resume() emptied (its dirs were echoed back to
-            // us): reinstall the possibly-extended rows.
+            // us): reinstall the possibly-extended rows and credit the
+            // worlds it just served.
             Some(entry) => {
                 entry.rows = prefix;
                 entry.last_touch = now;
+                entry.replayed_worlds += replayed as u64;
             }
             None if prefix.is_empty() => {}
             None => {
@@ -439,6 +456,7 @@ impl WorldCache {
                     dirs: eval_dirs,
                     rows: prefix,
                     last_touch: now,
+                    replayed_worlds: 0,
                 });
             }
         }
@@ -446,26 +464,42 @@ impl WorldCache {
         self.stats.resident_bytes = self.resident_bytes() as u64;
     }
 
-    /// Evicts least-recently-used entries until the resident bytes fit
-    /// the configured cap.
+    /// Evicts entries until the resident bytes fit the configured cap,
+    /// worst value density first: highest bytes-per-replayed-world
+    /// goes first, least-recently-used first among equals (see the
+    /// module docs).
     fn enforce_capacity(&mut self) {
         let Some(cap) = self.capacity_bytes else {
             return;
         };
         let mut resident = self.resident_bytes();
         while resident > cap && !self.classes.is_empty() {
-            let oldest = self
-                .classes
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, c)| c.last_touch)
-                .map(|(i, _)| i)
-                .expect("non-empty class list has a minimum");
-            let evicted = self.classes.remove(oldest);
+            let worst = (1..self.classes.len()).fold(0, |worst, i| {
+                if evicts_before(&self.classes[i], &self.classes[worst]) {
+                    i
+                } else {
+                    worst
+                }
+            });
+            let evicted = self.classes.remove(worst);
             resident -= evicted.rows.bytes();
             self.stats.evictions += 1;
         }
     }
+}
+
+/// Eviction order: `true` when `a` should be evicted before `b`.
+///
+/// `a` goes first when its bytes-per-replayed-world is higher —
+/// compared by cross-multiplication in `u128`
+/// (`bytes_a / (replayed_a + 1) > bytes_b / (replayed_b + 1)` without
+/// the integer division's truncation; the `+ 1` keeps never-replayed
+/// entries finite and comparable). Equal densities fall back to
+/// least-recently-used first.
+fn evicts_before(a: &CachedClass, b: &CachedClass) -> bool {
+    let density_a = a.rows.bytes() as u128 * (b.replayed_worlds as u128 + 1);
+    let density_b = b.rows.bytes() as u128 * (a.replayed_worlds as u128 + 1);
+    density_a > density_b || (density_a == density_b && a.last_touch < b.last_touch)
 }
 
 #[cfg(test)]
@@ -812,9 +846,10 @@ mod tests {
     }
 
     #[test]
-    fn capacity_cap_evicts_the_oldest_entries_first() {
+    fn capacity_cap_evicts_never_replayed_entries_lru_first() {
         // Cap fits two 10-world single-direction entries (80 bytes
-        // each) but not three.
+        // each) but not three. All three entries have zero replays, so
+        // their value densities tie and the rule degenerates to LRU.
         let mut cache = WorldCache::with_capacity_bytes(180);
         assert_eq!(cache.capacity_bytes(), Some(180));
         for seed in 0..3u64 {
@@ -828,13 +863,13 @@ mod tests {
                 rows(10, 1),
             );
         }
-        assert_eq!(cache.entries(), 2, "third commit evicts the oldest");
+        assert_eq!(cache.entries(), 2, "third commit evicts one entry");
         assert_eq!(cache.stats().evictions, 1);
         assert!(cache.resident_bytes() <= 180);
         assert_eq!(
             cache.class_worlds(NullModel::Bernoulli, 0, SCALAR),
             None,
-            "seed 0 was the least recently used"
+            "equal densities: seed 0 was the least recently used"
         );
         assert!(cache
             .class_worlds(NullModel::Bernoulli, 1, SCALAR)
@@ -842,8 +877,9 @@ mod tests {
         assert!(cache
             .class_worlds(NullModel::Bernoulli, 2, SCALAR)
             .is_some());
-        // Touching seed 1 (resume + commit) protects it from the next
-        // eviction; seed 2 goes instead.
+        // Replaying seed 1 (resume + commit with replayed=10) buys it
+        // value density; never-replayed seed 2 goes instead on the
+        // next overflow.
         let r = cache.resume(NullModel::Bernoulli, 1, SCALAR, &[TS]);
         cache.commit(
             NullModel::Bernoulli,
@@ -868,6 +904,77 @@ mod tests {
             .class_worlds(NullModel::Bernoulli, 1, SCALAR)
             .is_some());
         assert_eq!(cache.class_worlds(NullModel::Bernoulli, 2, SCALAR), None);
+    }
+
+    #[test]
+    fn eviction_weighs_bytes_against_replays_not_recency() {
+        // The cost-aware order, pinned: a hot entry (many replayed
+        // worlds per byte) survives an overflow even though it is the
+        // least recently used; the big cold prefix goes first despite
+        // being fresher.
+        let mut cache = WorldCache::with_capacity_bytes(250);
+        // Seed 1: 10 worlds (80 bytes), replayed twice → 20 worlds of
+        // demonstrated value. Touched FIRST (oldest by LRU).
+        cache.commit(
+            NullModel::Bernoulli,
+            1,
+            SCALAR,
+            vec![TS],
+            TauRows::new(1),
+            0,
+            rows(10, 1),
+        );
+        for _ in 0..2 {
+            let r = cache.resume(NullModel::Bernoulli, 1, SCALAR, &[TS]);
+            cache.commit(
+                NullModel::Bernoulli,
+                1,
+                SCALAR,
+                r.eval_dirs,
+                r.prefix,
+                10,
+                TauRows::new(1),
+            );
+        }
+        // Seed 2: 20 worlds (160 bytes), never replayed, most recent.
+        cache.commit(
+            NullModel::Bernoulli,
+            2,
+            SCALAR,
+            vec![TS],
+            TauRows::new(1),
+            0,
+            rows(20, 1),
+        );
+        assert_eq!(cache.resident_bytes(), 240);
+        // Seed 3's 80 bytes overflow the cap. Densities: seed 1 is
+        // 80/(20+1) ≈ 3.8, seed 2 is 160/1 = 160, seed 3 is 80/1 = 80
+        // — the big never-replayed entry is evicted, NOT the LRU-
+        // oldest (seed 1) and not the newcomer.
+        cache.commit(
+            NullModel::Bernoulli,
+            3,
+            SCALAR,
+            vec![TS],
+            TauRows::new(1),
+            0,
+            rows(10, 1),
+        );
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(
+            cache.class_worlds(NullModel::Bernoulli, 2, SCALAR),
+            None,
+            "highest bytes-per-replayed-world goes first"
+        );
+        assert!(
+            cache
+                .class_worlds(NullModel::Bernoulli, 1, SCALAR)
+                .is_some(),
+            "replay history shields the LRU-oldest entry"
+        );
+        assert!(cache
+            .class_worlds(NullModel::Bernoulli, 3, SCALAR)
+            .is_some());
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Kernel-selection equivalence: the full audit pipeline under every
+//! [`KernelSelect`] must be **bit-identical** to the pinned scalar
+//! kernel — every τ, p-value, critical value, finding, and
+//! simulated-world prefix — sequential and parallel, unsharded and
+//! sharded, across both world-generation versions. The kernel (like
+//! shards and the parallel knob) is a pure execution choice; counts
+//! are exact integers under every kernel, so only the `kernel` field
+//! of the embedded config may differ between reports.
+
+use proptest::prelude::*;
+use spatial_fairness::prelude::*;
+use spatial_fairness::scan::{CountingStrategy, KernelSelect, NullModel, Shards, WorldGen};
+
+/// Arbitrary outcome sets with both classes present.
+fn arb_outcomes() -> impl Strategy<Value = SpatialOutcomes> {
+    prop::collection::vec(((0.0..10.0f64), (0.0..10.0f64), any::<bool>()), 80..300).prop_map(
+        |mut rows| {
+            rows[0].2 = false;
+            rows[1].2 = true;
+            let points = rows.iter().map(|&(x, y, _)| Point::new(x, y)).collect();
+            let labels = rows.iter().map(|&(_, _, l)| l).collect::<Vec<bool>>();
+            SpatialOutcomes::new(points, labels).unwrap()
+        },
+    )
+}
+
+/// Audits `outcomes` with `config` plus the given kernel selection
+/// and returns the report with the kernel knob normalised away, so
+/// reports from different kernels can be compared with `==`.
+fn audit_with_kernel(
+    outcomes: &SpatialOutcomes,
+    regions: &RegionSet,
+    config: AuditConfig,
+    kernel: KernelSelect,
+) -> AuditReport {
+    let mut report = Auditor::new(config.with_kernel(kernel))
+        .audit(outcomes, regions)
+        .unwrap();
+    report.config.kernel = KernelSelect::Auto;
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The matrix the satellite demands: every kernel selection ×
+    /// {sequential, parallel} × {unsharded, sharded}, on blocked
+    /// engines under both worldgen versions — all bit-identical to
+    /// the scalar kernel's bytes.
+    #[test]
+    fn kernel_selections_are_bit_identical_across_the_matrix(
+        outcomes in arb_outcomes(),
+        seed in 0u64..200,
+        permutation in any::<bool>(),
+    ) {
+        let regions = RegionSet::regular_grid(outcomes.expanded_bounding_box(), 3, 3);
+        let null_model = if permutation {
+            NullModel::Permutation
+        } else {
+            NullModel::Bernoulli
+        };
+        for worldgen in [WorldGen::Scalar, WorldGen::Word] {
+            let base = AuditConfig::new(0.05)
+                .with_worlds(19)
+                .with_seed(seed)
+                .with_strategy(CountingStrategy::Blocked)
+                .with_null_model(null_model)
+                .with_worldgen(worldgen);
+            for shards in [Shards::Fixed(1), Shards::Fixed(4)] {
+                for parallel in [false, true] {
+                    let config = if parallel {
+                        base.with_shards(shards)
+                    } else {
+                        base.with_shards(shards).sequential()
+                    };
+                    let reference =
+                        audit_with_kernel(&outcomes, &regions, config, KernelSelect::Scalar);
+                    for select in KernelSelect::ALL {
+                        let report = audit_with_kernel(&outcomes, &regions, config, select);
+                        prop_assert_eq!(
+                            &report,
+                            &reference,
+                            "{} diverged from scalar ({:?}, {:?}, parallel={})",
+                            select,
+                            worldgen,
+                            shards,
+                            parallel
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Non-blocked strategies carry the kernel knob inertly: the audit is
+/// byte-identical whatever the selection, because scalar membership
+/// replay and requery counting have no dense word ranges to popcount.
+#[test]
+fn kernel_knob_is_inert_for_non_blocked_strategies() {
+    let mut points = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..600usize {
+        points.push(Point::new((i % 30) as f64 / 3.0, (i / 30) as f64 / 2.0));
+        labels.push((i * 7 + i / 11) % 3 == 0);
+    }
+    let outcomes = SpatialOutcomes::new(points, labels).unwrap();
+    let regions = RegionSet::regular_grid(outcomes.expanded_bounding_box(), 3, 3);
+    for strategy in [CountingStrategy::Membership, CountingStrategy::Requery] {
+        let config = AuditConfig::new(0.05)
+            .with_worlds(29)
+            .with_seed(11)
+            .with_strategy(strategy);
+        let reference = audit_with_kernel(&outcomes, &regions, config, KernelSelect::Scalar);
+        for select in KernelSelect::ALL {
+            let report = audit_with_kernel(&outcomes, &regions, config, select);
+            assert_eq!(report, reference, "{select} diverged under {strategy:?}");
+        }
+    }
+}
