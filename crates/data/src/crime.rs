@@ -20,7 +20,8 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use sfgeo::{Point, Rect};
 use sfml::{ConfusionMatrix, FeatureKind, RandomForest, RandomForestConfig, TabularData};
-use sfscan::outcomes::{Measure, SpatialOutcomes};
+use sfscan::outcomes::SpatialOutcomes;
+use sfscan::Statistic;
 use sfstats::rng::{derive_seed, seeded_rng};
 
 /// LA bounding box (lon_min, lat_min, lon_max, lat_max).
@@ -213,7 +214,7 @@ impl CrimeData {
             &test_points,
             &y_true,
             &y_pred,
-            Measure::EqualOpportunity,
+            Statistic::EqualOppTpr,
         )
         .expect("test set contains positive-class incidents");
         CrimePipelineResult {

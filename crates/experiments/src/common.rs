@@ -6,7 +6,8 @@ use sfgeo::Rect;
 use sfml::RandomForestConfig;
 use sfscan::outcomes::SpatialOutcomes;
 use sfscan::{
-    AuditConfig, CountingStrategy, IndexBackend, KernelSelect, McStrategy, Shards, WorldGen,
+    AuditConfig, CountingStrategy, IndexBackend, KernelSelect, McStrategy, Shards, Statistic,
+    WorldGen,
 };
 use std::time::Instant;
 
@@ -33,6 +34,8 @@ pub struct Options {
     /// Popcount kernel for the blocked counting sweeps (`auto`
     /// resolves to the best kernel the CPU supports).
     pub kernel: KernelSelect,
+    /// Test statistic scoring every region in every world.
+    pub statistic: Statistic,
     /// `serve-bench`: number of queued audit requests.
     pub requests: usize,
     /// `serve-bench`: output path for the machine-readable results.
@@ -56,8 +59,9 @@ impl Default for Options {
             worldgen: WorldGen::Word,
             shards: Shards::Auto,
             kernel: KernelSelect::Auto,
+            statistic: Statistic::BernoulliLlr,
             requests: 24,
-            out: "BENCH_PR7.json".to_string(),
+            out: "BENCH_PR8.json".to_string(),
             input: None,
             max_pending: None,
         }
@@ -70,7 +74,7 @@ impl Options {
 
     /// Applies the harness-level audit knobs (index backend, counting
     /// strategy, Monte Carlo budget strategy, world generator, shard
-    /// count, popcount kernel) to a figure's config.
+    /// count, popcount kernel, test statistic) to a figure's config.
     pub fn decorate(&self, config: AuditConfig) -> AuditConfig {
         config
             .with_backend(self.backend)
@@ -79,6 +83,7 @@ impl Options {
             .with_worldgen(self.worldgen)
             .with_shards(self.shards)
             .with_kernel(self.kernel)
+            .with_statistic(self.statistic)
     }
 
     /// LAR generator config at the selected scale.

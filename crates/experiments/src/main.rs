@@ -35,8 +35,10 @@
 //! resolves to the available cores), `--kernel
 //! <auto|scalar|avx2|avx512|portable>` (popcount kernel for the
 //! blocked sweeps; every kernel is bit-identical, `auto` picks the
-//! best one the CPU supports). `serve-bench` additionally takes
-//! `--requests <n>` and `--out <path>` (default `BENCH_PR7.json`);
+//! best one the CPU supports), `--statistic
+//! <bernoulli-llr|equal-opp-tpr|mean-residual>` (test statistic
+//! scoring every region in every world). `serve-bench` additionally
+//! takes `--requests <n>` and `--out <path>` (default `BENCH_PR8.json`);
 //! `serve` takes `--input <path>` (JSONL request envelopes; default
 //! stdin) and `--max-pending <n>` (drain policy; default manual, one
 //! batch at EOF). The backend/strategy/mc/worldgen values are parsed
@@ -110,6 +112,10 @@ fn main() {
             "--kernel" => {
                 i += 1;
                 opts.kernel = parse_flag("--kernel", args.get(i));
+            }
+            "--statistic" => {
+                i += 1;
+                opts.statistic = parse_flag("--statistic", args.get(i));
             }
             "--requests" => {
                 i += 1;
@@ -195,6 +201,7 @@ fn die(msg: &str) -> ! {
          [--mc <full-budget|early-stop|early-stop(batch=N)>] [--early-stop] \
          [--worldgen <scalar|word>] [--shards <auto|N>] \
          [--kernel <auto|scalar|avx2|avx512|portable>] \
+         [--statistic <bernoulli-llr|equal-opp-tpr|mean-residual>] \
          [--requests N] [--out PATH] [--input PATH] [--max-pending N]"
     );
     std::process::exit(2);

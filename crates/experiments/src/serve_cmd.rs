@@ -92,20 +92,30 @@ pub fn run(opts: &Options) {
     let mut served = 0usize;
     for outcome in &outcomes_per_line {
         let envelope = match outcome {
-            // take() claims the response outright — no poll-then-take
-            // double clone of the embedded simulated distribution.
-            Ok(ticket) => match service.take(*ticket) {
-                Some(response) => {
-                    served += 1;
-                    ResponseEnvelope::ready(response)
+            Ok(ticket) => {
+                let wants_geojson = service.geojson_requested(*ticket);
+                // take() claims the response outright — no
+                // poll-then-take double clone of the embedded
+                // simulated distribution.
+                let envelope = match service.take(*ticket) {
+                    Some(response) => {
+                        served += 1;
+                        ResponseEnvelope::ready(response)
+                    }
+                    None => ResponseEnvelope::from_status(*ticket, service.poll(*ticket)),
+                };
+                if wants_geojson {
+                    envelope.with_geojson_findings()
+                } else {
+                    envelope
                 }
-                None => ResponseEnvelope::from_status(*ticket, service.poll(*ticket)),
-            },
+            }
             Err(message) => ResponseEnvelope {
                 ticket: None,
                 status: sfserve::WireStatus::Rejected,
                 report: None,
                 error: Some(message.clone()),
+                geojson: None,
             },
         };
         writeln!(out, "{}", envelope.to_json()).expect("stdout is writable");

@@ -34,7 +34,7 @@
 //! per point vs word-parallel bulk draws, asserted `>= 4x` at full
 //! scale, with the cold word batch asserted `>= 2x` end to end), and
 //! persists the machine-readable comparison so the performance
-//! trajectory is tracked across PRs (`BENCH_PR7.json`; format
+//! trajectory is tracked across PRs (`BENCH_PR8.json`; format
 //! documented in the README's benchmark-artifact section).
 //!
 //! The sharded engine (PR 6) gets three sections of its own:
@@ -50,7 +50,17 @@
 //! * **points scaling** — the same serial-vs-parallel single audit
 //!   swept over dataset sizes, recorded as `scaling` rows.
 //!
-//! The counting-kernel layer (this PR) gets a **kernel isolation**
+//! The pluggable-statistic layer (this PR) gets a **statistic
+//! isolation** section: every [`Statistic`] scores the same word
+//! worlds through `eval_world_into_with`, so the timing difference is
+//! the per-region score fold alone (counting is shared). BernoulliLlr
+//! through the kernel plumbing is asserted bit-identical to the engine
+//! default fold, EqualOppTpr is asserted bit-identical to BernoulliLlr
+//! over the same binary stream (it is the same LLR on a conditioned
+//! population), and MeanResidual — a genuinely different score — is
+//! asserted finite and different.
+//!
+//! The counting-kernel layer (PR 7) gets a **kernel isolation**
 //! section: every popcount kernel the CPU supports (scalar reference,
 //! portable unrolled, AVX2 Harley–Seal, AVX-512 `vpopcntdq`) is timed
 //! three ways — the raw dense-range popcount (where SIMD lives), the
@@ -75,7 +85,8 @@ use sfindex::{CountingKernel, MAX_FUSED_WORLDS};
 use sfscan::engine::ScanEngine;
 use sfscan::prepared::{AuditRequest, PreparedAudit};
 use sfscan::{
-    AuditConfig, Auditor, CountingStrategy, Direction, McStrategy, NullModel, RegionSet, WorldGen,
+    AuditConfig, Auditor, CountingStrategy, Direction, McStrategy, NullModel, RegionSet, Statistic,
+    WorldGen,
 };
 use sfserve::AuditService;
 use std::time::Instant;
@@ -137,6 +148,21 @@ struct KernelRow {
     fused_ms: f64,
     /// Per-world baseline `counting_blocked_ms` / `fused_ms`.
     fused_speedup: f64,
+}
+
+/// One `statistics` row: a pluggable test statistic's isolated
+/// world-evaluation timing on this workload (counting is shared; only
+/// the per-region score fold differs).
+#[derive(Debug, Clone, Serialize)]
+struct StatisticRow {
+    /// Statistic token (`bernoulli-llr`, `equal-opp-tpr`,
+    /// `mean-residual`).
+    statistic: String,
+    /// `eval_world_into_with(statistic, …)` over the timed worlds, ms.
+    eval_ms: f64,
+    /// BernoulliLlr eval time / this statistic's — the fold-swap cost
+    /// (≈ 1.0 when the kernel abstraction is free).
+    relative: f64,
 }
 
 /// One `scaling` sweep row: the serial-vs-sharded single cold audit
@@ -309,6 +335,14 @@ struct ServeBenchRecord {
     /// Serial and sharded single-audit reports byte-equal after
     /// aligning the `shards`/`parallel` config knobs (asserted).
     sharded_bit_identical: bool,
+    /// Statistic isolation: worlds timed in the per-kernel τ-fold pass.
+    statistic_worlds: usize,
+    /// Per-statistic isolated world-evaluation timings.
+    statistics: Vec<StatisticRow>,
+    /// BernoulliLlr-through-the-kernel τ identical to the engine
+    /// default fold on every timed world, and EqualOppTpr identical to
+    /// BernoulliLlr over the same binary stream (asserted).
+    statistic_bit_identical: bool,
     /// The serial-vs-sharded single audit swept over dataset sizes.
     scaling: Vec<ScalingRow>,
     /// Headline numbers of every benchmarked PR plus this run.
@@ -828,6 +862,71 @@ pub fn run(opts: &Options) {
     );
     let shard_eval_speedup = shard_eval_plain_ms / shard_eval_sharded_ms;
 
+    // Statistic isolation: the per-world τ fold swept over every
+    // pluggable test statistic, on identical word worlds over the same
+    // blocked engine — so the timing difference is the score fold
+    // alone (counting is shared by construction). Two identities are
+    // pinned: BernoulliLlr through the kernel plumbing reproduces the
+    // engine's default fold bit for bit, and EqualOppTpr — the same
+    // Bernoulli LLR over a conditioned population — scores a given
+    // binary stream identically to BernoulliLlr. MeanResidual is a
+    // genuinely different statistic; its τ must be finite and is
+    // reported, not compared.
+    let statistic_worlds = worlds;
+    let mut statistic_bit_identical = true;
+    let mut statistic_rows: Vec<StatisticRow> = Vec::new();
+    let mut llr_eval_ms = f64::NAN;
+    let mut taus_by_statistic: Vec<Vec<f64>> = Vec::new();
+    for statistic in Statistic::ALL {
+        let mut taus = vec![0.0f64; dirs.len()];
+        let mut all_taus = Vec::with_capacity(statistic_worlds * dirs.len());
+        let t = Instant::now();
+        for w in 0..statistic_worlds {
+            let mut rng = sfstats::rng::world_rng(base.seed, w as u64);
+            let world =
+                blocked_engine.generate_world_with(NullModel::Bernoulli, WorldGen::Word, &mut rng);
+            blocked_engine.eval_world_into_with(statistic, &world, &dirs, &mut taus);
+            all_taus.extend_from_slice(&taus);
+        }
+        let eval_ms = t.elapsed().as_secs_f64() * 1e3;
+        statistic_bit_identical &= all_taus.iter().all(|t| t.is_finite());
+        if statistic == Statistic::BernoulliLlr {
+            llr_eval_ms = eval_ms;
+            // The kernel-parameterised fold must reproduce the engine
+            // default path exactly (untimed check on a world sample).
+            for w in (0..statistic_worlds).step_by(16.max(statistic_worlds / 8)) {
+                let mut rng = sfstats::rng::world_rng(base.seed, w as u64);
+                let world = blocked_engine.generate_world_with(
+                    NullModel::Bernoulli,
+                    WorldGen::Word,
+                    &mut rng,
+                );
+                let mut default_taus = vec![0.0f64; dirs.len()];
+                blocked_engine.eval_world_into(&world, &dirs, &mut default_taus);
+                statistic_bit_identical &=
+                    default_taus == all_taus[w * dirs.len()..(w + 1) * dirs.len()];
+            }
+        }
+        statistic_rows.push(StatisticRow {
+            statistic: statistic.name().to_string(),
+            eval_ms,
+            relative: llr_eval_ms / eval_ms,
+        });
+        taus_by_statistic.push(all_taus);
+    }
+    // EqualOppTpr delegates to the same LLR scoring, so its τ stream
+    // over identical worlds is bit-identical to BernoulliLlr's;
+    // MeanResidual must genuinely differ.
+    statistic_bit_identical &= taus_by_statistic[0] == taus_by_statistic[1];
+    assert!(
+        statistic_bit_identical,
+        "the statistic kernel plumbing must reproduce the default fold bit for bit"
+    );
+    assert_ne!(
+        taus_by_statistic[0], taus_by_statistic[2],
+        "mean-residual must score differently from the LLR statistics"
+    );
+
     // Single cold audit: one request, sequential unsharded engine vs
     // the parallel sharded engine (the production default). Engine
     // builds are excluded so the comparison is serve-vs-serve; the
@@ -935,20 +1034,35 @@ pub fn run(opts: &Options) {
         point("PR6", "word_batch_speedup", 6.26),
         point("PR6", "warm_speedup", 31.72),
         point("PR6", "single_audit_speedup", 1.18),
-        point("PR7", "speedup", rebuild_ms / batched_ms),
-        point("PR7", "counting_speedup", counting_speedup),
-        point("PR7", "gen_speedup", gen_speedup),
-        point("PR7", "word_batch_speedup", word_batch_speedup),
-        point("PR7", "warm_speedup", batched_serve_ms / warm_ms),
-        point("PR7", "single_audit_speedup", single_audit_speedup),
-        point("PR7", "fused_speedup", fused_speedup),
+        point("PR7", "speedup", 13.03),
+        point("PR7", "counting_speedup", 6.75),
+        point("PR7", "gen_speedup", 13.84),
+        point("PR7", "word_batch_speedup", 5.89),
+        point("PR7", "warm_speedup", 30.31),
+        point("PR7", "fused_speedup", 1.87),
+        point("PR7", "popcount_speedup", 6.94),
+        point("PR8", "speedup", rebuild_ms / batched_ms),
+        point("PR8", "counting_speedup", counting_speedup),
+        point("PR8", "gen_speedup", gen_speedup),
+        point("PR8", "word_batch_speedup", word_batch_speedup),
+        point("PR8", "warm_speedup", batched_serve_ms / warm_ms),
+        point("PR8", "single_audit_speedup", single_audit_speedup),
+        point("PR8", "fused_speedup", fused_speedup),
         point(
-            "PR7",
+            "PR8",
             "popcount_speedup",
             kernel_rows
                 .iter()
                 .find(|r| r.kernel == kernel_auto.name())
                 .map_or(1.0, |r| r.popcount_speedup),
+        ),
+        point(
+            "PR8",
+            "statistic_fold_relative",
+            statistic_rows
+                .iter()
+                .find(|r| r.statistic == "mean-residual")
+                .map_or(1.0, |r| r.relative),
         ),
     ];
 
@@ -1009,6 +1123,9 @@ pub fn run(opts: &Options) {
         sharded_audit_ms,
         single_audit_speedup,
         sharded_bit_identical,
+        statistic_worlds,
+        statistics: statistic_rows,
+        statistic_bit_identical,
         scaling,
         trajectory,
     };
@@ -1115,6 +1232,16 @@ pub fn run(opts: &Options) {
             record.shards
         ),
     );
+    for row in &record.statistics {
+        report_row(
+            &format!("  statistic {}", row.statistic),
+            "bit-identical fold",
+            &format!(
+                "{:.2} ms over {} worlds ({:.2}x vs bernoulli-llr)",
+                row.eval_ms, record.statistic_worlds, row.relative
+            ),
+        );
+    }
     report_row(
         "single cold audit (serial vs sharded)",
         &format!(">= {SINGLE_AUDIT_SPEEDUP_TARGET}x on >= {MIN_CORES_FOR_SHARD_ASSERT} cores"),

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 pub use sfindex::IndexBackend;
 pub use sfindex::{CountingKernel, KernelSelect, ParseKernelError};
 pub use sfstats::bulk::WorldGen;
+pub use sfstats::kernel::{ParseStatisticError, Statistic, TauKernel};
 pub use sfstats::montecarlo::McStrategy;
 
 /// How alternate-world labels are generated for the Monte Carlo
@@ -276,19 +277,31 @@ pub struct AuditConfig {
     /// is pure performance; absent on pre-kernel wire payloads, which
     /// decode as [`KernelSelect::Auto`].
     pub kernel: KernelSelect,
+    /// Per-region test statistic the audit maximises (see
+    /// [`Statistic`]). Unlike `shards`/`kernel` this knob *changes
+    /// results*, so it is part of the world-class identity everywhere
+    /// worlds are shared or cached. Absent on pre-kernel wire
+    /// payloads, which decode as [`Statistic::BernoulliLlr`] — the
+    /// paper's statistic, reproduced bit for bit.
+    pub statistic: Statistic,
     /// Evaluate worlds in parallel (results are identical either way).
     pub parallel: bool,
 }
 
-// Manual wire impls instead of the derive: `worldgen`, `shards`, and
-// `kernel` were added after the v1 wire format shipped, and configs
-// are embedded in every serialized `AuditReport`/response envelope —
-// older payloads without the fields must keep decoding (`worldgen`
-// absent means the v1 Scalar generator; `shards` and `kernel` absent
-// mean Auto). The derive would hard-error on the missing fields.
+// Manual wire impls instead of the derive: `worldgen`, `shards`,
+// `kernel`, and `statistic` were added after the v1 wire format
+// shipped, and configs are embedded in every serialized
+// `AuditReport`/response envelope — older payloads without the fields
+// must keep decoding (`worldgen` absent means the v1 Scalar
+// generator; `shards` and `kernel` absent mean Auto; `statistic`
+// absent means the paper's Bernoulli LLR). The derive would
+// hard-error on the missing fields. `statistic` is additionally
+// *omitted when default*, so every response embedding a
+// Bernoulli-LLR config serializes byte-identically to the
+// pre-statistic wire format.
 impl Serialize for AuditConfig {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Object(vec![
+        let mut fields = vec![
             (String::from("alpha"), self.alpha.to_value()),
             (String::from("worlds"), self.worlds.to_value()),
             (String::from("seed"), self.seed.to_value()),
@@ -300,8 +313,12 @@ impl Serialize for AuditConfig {
             (String::from("worldgen"), self.worldgen.to_value()),
             (String::from("shards"), self.shards.to_value()),
             (String::from("kernel"), self.kernel.to_value()),
-            (String::from("parallel"), self.parallel.to_value()),
-        ])
+        ];
+        if self.statistic != Statistic::BernoulliLlr {
+            fields.push((String::from("statistic"), self.statistic.to_value()));
+        }
+        fields.push((String::from("parallel"), self.parallel.to_value()));
+        serde::Value::Object(fields)
     }
 }
 
@@ -334,6 +351,12 @@ impl Deserialize for AuditConfig {
                 // Absent on pre-kernel payloads.
                 None => KernelSelect::Auto,
             },
+            statistic: match value.get("statistic") {
+                Some(v) => Statistic::from_value(v)
+                    .map_err(|e| serde::Error::msg(format!("field `statistic`: {}", e.message)))?,
+                // Absent on pre-statistic payloads: the paper's LLR.
+                None => Statistic::BernoulliLlr,
+            },
             parallel: serde::get_field(value, "parallel")?,
         })
     }
@@ -364,6 +387,7 @@ impl AuditConfig {
             worldgen: WorldGen::Word,
             shards: Shards::Auto,
             kernel: KernelSelect::Auto,
+            statistic: Statistic::BernoulliLlr,
             parallel: true,
         }
     }
@@ -442,6 +466,13 @@ impl AuditConfig {
     /// every value; see [`KernelSelect`]).
     pub fn with_kernel(mut self, kernel: KernelSelect) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Sets the per-region test statistic (this knob *changes
+    /// results*; see [`Statistic`]).
+    pub fn with_statistic(mut self, statistic: Statistic) -> Self {
+        self.statistic = statistic;
         self
     }
 
@@ -631,6 +662,37 @@ mod tests {
             let back: KernelSelect = serde_json::from_str(&json).unwrap();
             assert_eq!(back, select);
         }
+    }
+
+    #[test]
+    fn statistic_serde_skips_default_and_round_trips() {
+        // The default statistic is OMITTED, so a Bernoulli-LLR config
+        // serializes byte-identically to the pre-statistic format.
+        let default = AuditConfig::new(0.05);
+        let json = serde_json::to_string(&default).unwrap();
+        assert!(!json.contains("statistic"), "{json}");
+        let back: AuditConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.statistic, Statistic::BernoulliLlr);
+        // Non-default statistics serialize their kebab token and round
+        // trip.
+        for statistic in [Statistic::EqualOppTpr, Statistic::MeanResidual] {
+            let config = AuditConfig::new(0.05).with_statistic(statistic);
+            let json = serde_json::to_string(&config).unwrap();
+            assert!(
+                json.contains(&format!("\"statistic\":\"{}\"", statistic.name())),
+                "{json}"
+            );
+            let back: AuditConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, config);
+        }
+        // Pre-statistic payloads keep decoding and mean the LLR.
+        let v1 = r#"{"alpha": 0.005, "worlds": 999, "seed": 0,
+                     "direction": "TwoSided", "null_model": "Bernoulli",
+                     "strategy": "Membership", "backend": "KdTree",
+                     "mc_strategy": "FullBudget", "parallel": true}"#;
+        let config: AuditConfig = serde_json::from_str(v1).unwrap();
+        assert_eq!(config.statistic, Statistic::BernoulliLlr);
+        assert!(serde_json::from_str::<Statistic>("\"poisson\"").is_err());
     }
 
     #[test]

@@ -96,7 +96,7 @@ use sfindex::{
     CountingSubstrate, IndexBackend, Membership, Substrate,
 };
 use sfstats::bulk::{BulkBernoulli, GEN_CHUNK_WORDS};
-use sfstats::llr::{bernoulli_llr_directed, Counts2x2};
+use sfstats::kernel::{Statistic, TauKernel};
 use sfstats::rng::chunk_rng;
 use std::cell::RefCell;
 
@@ -194,6 +194,12 @@ pub struct ScanEngine<I: CountingSubstrate = Substrate> {
     /// this is a pure performance knob; non-blocked strategies ignore
     /// it (they have no dense word ranges to popcount).
     kernel: CountingKernel,
+    /// The engine's *default* per-region test statistic, used by the
+    /// statistic-less evaluation methods. Every evaluation path also
+    /// has a `*_with` variant taking an explicit [`Statistic`], which
+    /// the batched executor uses to serve mixed-statistic batches off
+    /// one engine.
+    statistic: Statistic,
 }
 
 impl ScanEngine<Substrate> {
@@ -393,6 +399,7 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             shard_views: Vec::new(),
             shard_bounds: Vec::new(),
             kernel: KernelSelect::Auto.resolve(),
+            statistic: Statistic::BernoulliLlr,
         })
     }
 
@@ -439,6 +446,20 @@ impl<I: CountingSubstrate> ScanEngine<I> {
     /// selection time).
     pub fn kernel(&self) -> CountingKernel {
         self.kernel
+    }
+
+    /// Sets the engine's default per-region test statistic (what the
+    /// statistic-less evaluation methods compute; the `*_with`
+    /// variants override it per call). Unlike `with_shards`/
+    /// `with_kernel` this knob *changes results* — see [`Statistic`].
+    pub fn with_statistic(mut self, statistic: Statistic) -> Self {
+        self.statistic = statistic;
+        self
+    }
+
+    /// The engine's default per-region test statistic.
+    pub fn statistic(&self) -> Statistic {
+        self.statistic
     }
 
     /// Number of shards the world-evaluation sweep fans out over
@@ -519,8 +540,15 @@ impl<I: CountingSubstrate> ScanEngine<I> {
         &self.index
     }
 
-    /// Scans the real world: per-region counts, LLRs, and `τ`.
+    /// Scans the real world: per-region counts, scores, and `τ`, with
+    /// the engine's default statistic.
     pub fn scan_real(&self, direction: Direction) -> RealScan {
+        self.scan_real_with(self.statistic, direction)
+    }
+
+    /// Scans the real world with an explicit statistic: per-region
+    /// counts, scores, and `τ = max score`.
+    pub fn scan_real_with(&self, statistic: Statistic, direction: Direction) -> RealScan {
         let counts: Vec<CountPair> = match &self.counting {
             Counting::Membership(m) => {
                 let real_bits = BitLabels::from_bools(&self.real_labels);
@@ -539,14 +567,12 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             }
             Counting::Requery => self.regions.iter().map(|r| self.index.count(r)).collect(),
         };
+        let kernel = TauKernel::new(statistic, self.n_total, self.p_total);
         let mut llrs = Vec::with_capacity(counts.len());
         let mut tau = 0.0f64;
         let mut best_index = 0usize;
         for (i, c) in counts.iter().enumerate() {
-            let llr = bernoulli_llr_directed(
-                &Counts2x2::new(c.n, c.p, self.n_total, self.p_total),
-                direction,
-            );
+            let llr = kernel.score(c.n, c.p, direction);
             if llr > tau {
                 tau = llr;
                 best_index = i;
@@ -840,6 +866,19 @@ impl<I: CountingSubstrate> ScanEngine<I> {
     /// not one bit per indexed point (a wrong-length world would
     /// silently undercount in release builds otherwise).
     pub fn eval_world_into(&self, labels: &BitLabels, directions: &[Direction], out: &mut [f64]) {
+        self.eval_world_into_with(self.statistic, labels, directions, out)
+    }
+
+    /// [`ScanEngine::eval_world_into`] with an explicit statistic (the
+    /// per-region score fold is the only statistic-dependent step; the
+    /// counting is shared).
+    pub fn eval_world_into_with(
+        &self,
+        statistic: Statistic,
+        labels: &BitLabels,
+        directions: &[Direction],
+        out: &mut [f64],
+    ) {
         assert_eq!(directions.len(), out.len(), "one output slot per direction");
         assert_eq!(
             labels.len(),
@@ -847,13 +886,11 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             "world label set must be one bit per indexed point"
         );
         let p_world = labels.count_ones();
+        let kernel = TauKernel::new(statistic, self.n_total, p_world);
         out.fill(0.0);
         let mut fold = |n_r: u64, p_r: u64| {
             for (tau, &direction) in out.iter_mut().zip(directions) {
-                let llr = bernoulli_llr_directed(
-                    &Counts2x2::new(n_r, p_r, self.n_total, p_world),
-                    direction,
-                );
+                let llr = kernel.score(n_r, p_r, direction);
                 if llr > *tau {
                     *tau = llr;
                 }
@@ -915,8 +952,20 @@ impl<I: CountingSubstrate> ScanEngine<I> {
         directions: &[Direction],
         out: &mut [f64],
     ) {
+        self.eval_world_into_sharded_with(self.statistic, labels, directions, out)
+    }
+
+    /// [`ScanEngine::eval_world_into_sharded`] with an explicit
+    /// statistic.
+    pub fn eval_world_into_sharded_with(
+        &self,
+        statistic: Statistic,
+        labels: &BitLabels,
+        directions: &[Direction],
+        out: &mut [f64],
+    ) {
         if self.shard_views.len() <= 1 {
-            return self.eval_world_into(labels, directions, out);
+            return self.eval_world_into_with(statistic, labels, directions, out);
         }
         assert_eq!(directions.len(), out.len(), "one output slot per direction");
         assert_eq!(
@@ -933,6 +982,7 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             })
             .collect();
         let p_world = labels.count_ones();
+        let kernel = TauKernel::new(statistic, self.n_total, p_world);
         out.fill(0.0);
         for (r, &n_r) in self.region_n.iter().enumerate() {
             if n_r == 0 {
@@ -940,10 +990,7 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             }
             let p_r: u64 = partials.iter().map(|counts| counts[r]).sum();
             for (tau, &direction) in out.iter_mut().zip(directions) {
-                let llr = bernoulli_llr_directed(
-                    &Counts2x2::new(n_r, p_r, self.n_total, p_world),
-                    direction,
-                );
+                let llr = kernel.score(n_r, p_r, direction);
                 if llr > *tau {
                     *tau = llr;
                 }
@@ -978,6 +1025,17 @@ impl<I: CountingSubstrate> ScanEngine<I> {
         directions: &[Direction],
         out: &mut [f64],
     ) {
+        self.eval_worlds_into_with(self.statistic, worlds, directions, out)
+    }
+
+    /// [`ScanEngine::eval_worlds_into`] with an explicit statistic.
+    pub fn eval_worlds_into_with(
+        &self,
+        statistic: Statistic,
+        worlds: &[&BitLabels],
+        directions: &[Direction],
+        out: &mut [f64],
+    ) {
         assert_eq!(
             out.len(),
             worlds.len() * directions.len(),
@@ -994,10 +1052,10 @@ impl<I: CountingSubstrate> ScanEngine<I> {
             }
             let mut counts = Vec::new();
             b.count_all_many_into(worlds, self.kernel, &mut counts);
-            self.fold_fused(worlds, &counts, directions, out);
+            self.fold_fused(statistic, worlds, &counts, directions, out);
         } else {
             for (labels, tau) in worlds.iter().zip(out.chunks_mut(stride)) {
-                self.eval_world_into(labels, directions, tau);
+                self.eval_world_into_with(statistic, labels, directions, tau);
             }
         }
     }
@@ -1015,8 +1073,20 @@ impl<I: CountingSubstrate> ScanEngine<I> {
         directions: &[Direction],
         out: &mut [f64],
     ) {
+        self.eval_worlds_into_sharded_with(self.statistic, worlds, directions, out)
+    }
+
+    /// [`ScanEngine::eval_worlds_into_sharded`] with an explicit
+    /// statistic.
+    pub fn eval_worlds_into_sharded_with(
+        &self,
+        statistic: Statistic,
+        worlds: &[&BitLabels],
+        directions: &[Direction],
+        out: &mut [f64],
+    ) {
         if self.shard_views.len() <= 1 {
-            return self.eval_worlds_into(worlds, directions, out);
+            return self.eval_worlds_into_with(statistic, worlds, directions, out);
         }
         assert_eq!(
             out.len(),
@@ -1045,15 +1115,17 @@ impl<I: CountingSubstrate> ScanEngine<I> {
                 *acc += c;
             }
         }
-        self.fold_fused(worlds, &counts, directions, out);
+        self.fold_fused(statistic, worlds, &counts, directions, out);
     }
 
-    /// The shared LLR fold over a fused count matrix
+    /// The shared score fold over a fused count matrix
     /// (`counts[r * W + w]`): per world, replays exactly the
     /// region-order comparisons of [`ScanEngine::eval_world_into`]'s
-    /// fold on the same `(n_r, p_r, N, P_world)` quadruples.
+    /// fold on the same `(n_r, p_r, N, P_world)` quadruples, through
+    /// the same [`TauKernel`].
     fn fold_fused(
         &self,
+        statistic: Statistic,
         worlds: &[&BitLabels],
         counts: &[u64],
         directions: &[Direction],
@@ -1064,6 +1136,7 @@ impl<I: CountingSubstrate> ScanEngine<I> {
         out.fill(0.0);
         for (w, labels) in worlds.iter().enumerate() {
             let p_world = labels.count_ones();
+            let kernel = TauKernel::new(statistic, self.n_total, p_world);
             let tau = &mut out[w * stride..(w + 1) * stride];
             for (r, &n_r) in self.region_n.iter().enumerate() {
                 if n_r == 0 {
@@ -1071,10 +1144,7 @@ impl<I: CountingSubstrate> ScanEngine<I> {
                 }
                 let p_r = counts[r * width + w];
                 for (tau, &direction) in tau.iter_mut().zip(directions) {
-                    let llr = bernoulli_llr_directed(
-                        &Counts2x2::new(n_r, p_r, self.n_total, p_world),
-                        direction,
-                    );
+                    let llr = kernel.score(n_r, p_r, direction);
                     if llr > *tau {
                         *tau = llr;
                     }

@@ -21,6 +21,12 @@ pub enum ScanError {
         /// Index of the offending observation.
         index: usize,
     },
+    /// A continuous outcome pair produced a non-finite residual (see
+    /// [`SpatialOutcomes::from_residuals`](crate::outcomes::SpatialOutcomes::from_residuals)).
+    NonFiniteResidual {
+        /// Index of the offending observation.
+        index: usize,
+    },
     /// The region set is empty.
     EmptyRegionSet,
     /// The outcomes are degenerate for the scan statistic: all
@@ -88,6 +94,9 @@ impl std::fmt::Display for ScanError {
             }
             ScanError::NonFiniteLocation { index } => {
                 write!(f, "observation {index} has a non-finite coordinate")
+            }
+            ScanError::NonFiniteResidual { index } => {
+                write!(f, "observation {index} has a non-finite residual")
             }
             ScanError::EmptyRegionSet => write!(f, "region set is empty"),
             ScanError::DegenerateOutcomes { n, p } => write!(

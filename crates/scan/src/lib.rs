@@ -25,8 +25,9 @@
 //! ## Module map
 //!
 //! * [`outcomes`] — the audited data: locations plus binary outcomes,
-//!   with the fairness-measure views of §3 (statistical parity, equal
-//!   opportunity, equal odds).
+//!   with the fairness views of §3 (statistical parity, equal
+//!   opportunity, equal odds, mean residual) named by the
+//!   [`config::Statistic`] they are audited under.
 //! * [`regions`] — candidate region enumeration: grid partitions,
 //!   random rectangular partitionings, §4.3 square scans around
 //!   k-means centers, circles.
@@ -78,12 +79,13 @@ pub mod worldcache;
 pub use audit::Auditor;
 pub use config::{
     AuditConfig, CountingKernel, CountingStrategy, IndexBackend, KernelSelect, McStrategy,
-    NullModel, ParseKernelError, ParseShardsError, ParseStrategyError, Shards, WorldGen,
+    NullModel, ParseKernelError, ParseShardsError, ParseStatisticError, ParseStrategyError, Shards,
+    Statistic, TauKernel, WorldGen,
 };
 pub use direction::Direction;
 pub use error::ScanError;
 pub use meanvar::{MeanVar, MeanVarResult, PartitionContribution};
-pub use outcomes::{Measure, SpatialOutcomes};
+pub use outcomes::SpatialOutcomes;
 pub use prepared::{AuditRequest, BatchStats, ExecutionPlan, PlanGroup, PreparedAudit};
 pub use rates::{audit_rates, audit_rates_batch, CellCounts, RateReport};
 pub use regions::RegionSet;

@@ -3,41 +3,27 @@
 //! The paper (§3) frames all fairness notions as the requirement that
 //! an event `M` is independent of the protected attribute. For
 //! location-based audits the observations are `(location, outcome)`
-//! pairs, where the outcome's meaning depends on the chosen
-//! [`Measure`]:
+//! pairs, and the [`Statistic`] names both the per-region score *and*
+//! the conditional of the prediction stream it is computed over —
+//! there is exactly one name for a scenario across outcomes, config
+//! and the wire:
 //!
-//! * **statistical parity** — outcome = `ŷ` over *all* individuals;
-//! * **equal opportunity** — outcome = `ŷ` restricted to individuals
-//!   with `y = 1` (so the local rate is the local TPR);
-//! * **equal odds (FPR side)** — outcome = `ŷ` restricted to `y = 0`.
+//! * [`Statistic::BernoulliLlr`] — outcome = `ŷ` over *all*
+//!   individuals (statistical parity, the paper's default);
+//! * [`Statistic::EqualOppTpr`] — outcome = `ŷ` restricted to
+//!   individuals with `y = 1`, so the local rate is the local TPR
+//!   (equal opportunity). The FPR side of equal odds is the same view
+//!   conditioned on `y = 0`: negate `y` and audit `EqualOppTpr`.
+//! * [`Statistic::MeanResidual`] — outcome = "residual above the
+//!   global mean" over all individuals (see
+//!   [`SpatialOutcomes::from_residuals`]).
 
+use crate::config::Statistic;
 use crate::error::ScanError;
 use serde::{Deserialize, Serialize};
 use sfgeo::{BoundingBox, Point, Rect};
 use sfindex::BitLabels;
-
-/// Which conditional of the prediction stream is audited (§3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub enum Measure {
-    /// `M = ŷ`: the positive rate (statistical parity).
-    #[default]
-    StatisticalParity,
-    /// `M = ŷ | y = 1`: the true positive rate (equal opportunity).
-    EqualOpportunity,
-    /// `M = ŷ | y = 0`: the false positive rate (the second half of
-    /// equal odds; the first half is [`Measure::EqualOpportunity`]).
-    EqualOddsFalsePositive,
-}
-
-impl std::fmt::Display for Measure {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Measure::StatisticalParity => write!(f, "statistical parity (positive rate)"),
-            Measure::EqualOpportunity => write!(f, "equal opportunity (true positive rate)"),
-            Measure::EqualOddsFalsePositive => write!(f, "equal odds (false positive rate)"),
-        }
-    }
-}
+use sfstats::descriptive::RunningMoments;
 
 /// A set of located binary outcomes — the input to every audit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,18 +50,22 @@ impl SpatialOutcomes {
         Ok(SpatialOutcomes { points, labels })
     }
 
-    /// Builds the audit view for `measure` from a prediction stream:
+    /// Builds the audit view for `statistic` from a prediction stream:
     /// per-individual location, ground truth `y`, and prediction `ŷ`.
     ///
-    /// For statistical parity every individual is kept with outcome
-    /// `ŷ`; for equal opportunity only `y = 1` individuals are kept
-    /// (paper §4.1: "we retain the predictions for the true positive
-    /// labels"); for the FPR view only `y = 0`.
+    /// For [`Statistic::BernoulliLlr`] and [`Statistic::MeanResidual`]
+    /// every individual is kept with outcome `ŷ` (the parity view);
+    /// for [`Statistic::EqualOppTpr`] only `y = 1` individuals are
+    /// kept (paper §4.1: "we retain the predictions for the true
+    /// positive labels"), so the local positive rate of the view *is*
+    /// the local TPR. For the FPR half of equal odds, pass the negated
+    /// ground truth with `EqualOppTpr`: conditioning on `!y` keeps the
+    /// `y = 0` individuals.
     pub fn from_predictions(
         points: &[Point],
         y_true: &[bool],
         y_pred: &[bool],
-        measure: Measure,
+        statistic: Statistic,
     ) -> Result<Self, ScanError> {
         if points.len() != y_true.len() || points.len() != y_pred.len() {
             return Err(ScanError::LengthMismatch {
@@ -83,10 +73,9 @@ impl SpatialOutcomes {
                 labels: y_true.len().min(y_pred.len()),
             });
         }
-        let keep = |i: usize| match measure {
-            Measure::StatisticalParity => true,
-            Measure::EqualOpportunity => y_true[i],
-            Measure::EqualOddsFalsePositive => !y_true[i],
+        let keep = |i: usize| match statistic {
+            Statistic::BernoulliLlr | Statistic::MeanResidual => true,
+            Statistic::EqualOppTpr => y_true[i],
         };
         let mut pts = Vec::new();
         let mut labels = Vec::new();
@@ -97,6 +86,49 @@ impl SpatialOutcomes {
             }
         }
         SpatialOutcomes::new(pts, labels)
+    }
+
+    /// Builds the mean-residual audit view from a continuous outcome
+    /// stream: per-individual location, actual value and predicted
+    /// value.
+    ///
+    /// The residual `rᵢ = yᵢ − ŷᵢ` is reduced to the binary outcome
+    /// "above the global mean residual" (the mean is computed with
+    /// Welford accumulation, so the threshold is numerically stable on
+    /// long streams). Auditing the view under
+    /// [`Statistic::MeanResidual`] then standardizes each region's
+    /// rate of above-average residuals against the permutation or
+    /// Bernoulli null — a region the model systematically under- or
+    /// over-predicts shows up as an extreme standardized mean.
+    ///
+    /// Returns [`ScanError::NonFiniteResidual`] with the offending
+    /// index if any residual is not finite.
+    pub fn from_residuals(
+        points: &[Point],
+        y_actual: &[f64],
+        y_pred: &[f64],
+    ) -> Result<Self, ScanError> {
+        if points.len() != y_actual.len() || points.len() != y_pred.len() {
+            return Err(ScanError::LengthMismatch {
+                points: points.len(),
+                labels: y_actual.len().min(y_pred.len()),
+            });
+        }
+        let mut moments = RunningMoments::new();
+        for i in 0..points.len() {
+            let r = y_actual[i] - y_pred[i];
+            if !r.is_finite() {
+                return Err(ScanError::NonFiniteResidual { index: i });
+            }
+            moments.push(r);
+        }
+        let mean = moments.mean();
+        let labels: Vec<bool> = y_actual
+            .iter()
+            .zip(y_pred)
+            .map(|(&y, &yh)| y - yh > mean)
+            .collect();
+        SpatialOutcomes::new(points.to_vec(), labels)
     }
 
     /// Number of observations (`N`).
@@ -197,13 +229,14 @@ mod tests {
     }
 
     #[test]
-    fn statistical_parity_keeps_everyone() {
+    fn parity_statistics_keep_everyone() {
         let y = vec![true, false, true, false];
         let yh = vec![true, true, false, false];
-        let o = SpatialOutcomes::from_predictions(&pts(4), &y, &yh, Measure::StatisticalParity)
-            .unwrap();
-        assert_eq!(o.len(), 4);
-        assert_eq!(o.labels(), yh.as_slice());
+        for statistic in [Statistic::BernoulliLlr, Statistic::MeanResidual] {
+            let o = SpatialOutcomes::from_predictions(&pts(4), &y, &yh, statistic).unwrap();
+            assert_eq!(o.len(), 4);
+            assert_eq!(o.labels(), yh.as_slice());
+        }
     }
 
     #[test]
@@ -211,7 +244,7 @@ mod tests {
         let y = vec![true, false, true, false];
         let yh = vec![true, true, false, false];
         let o =
-            SpatialOutcomes::from_predictions(&pts(4), &y, &yh, Measure::EqualOpportunity).unwrap();
+            SpatialOutcomes::from_predictions(&pts(4), &y, &yh, Statistic::EqualOppTpr).unwrap();
         // Individuals 0 and 2 have y = 1; their predictions are [true, false].
         assert_eq!(o.len(), 2);
         assert_eq!(o.labels(), &[true, false]);
@@ -221,15 +254,44 @@ mod tests {
     }
 
     #[test]
-    fn equal_odds_keeps_true_negative_class() {
-        let y = vec![true, false, true, false];
-        let yh = vec![true, true, false, false];
-        let o =
-            SpatialOutcomes::from_predictions(&pts(4), &y, &yh, Measure::EqualOddsFalsePositive)
-                .unwrap();
+    fn negated_truth_yields_the_false_positive_view() {
+        // The FPR half of equal odds: condition on y = 0 by negating
+        // the ground truth before the equal-opportunity keep rule.
+        let y = [true, false, true, false];
+        let yh = [true, true, false, false];
+        let not_y: Vec<bool> = y.iter().map(|&v| !v).collect();
+        let o = SpatialOutcomes::from_predictions(&pts(4), &not_y, &yh, Statistic::EqualOppTpr)
+            .unwrap();
         // Individuals 1 and 3 have y = 0; predictions [true, false] -> FPR 0.5.
         assert_eq!(o.len(), 2);
         assert!((o.rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_view_thresholds_at_the_mean_residual() {
+        // Residuals: [2.0, -1.0, 0.5, -0.5] → mean 0.25; above-mean
+        // labels [true, false, true, false].
+        let actual = vec![3.0, 1.0, 2.5, 0.5];
+        let pred = vec![1.0, 2.0, 2.0, 1.0];
+        let o = SpatialOutcomes::from_residuals(&pts(4), &actual, &pred).unwrap();
+        assert_eq!(o.labels(), &[true, false, true, false]);
+        assert_eq!(o.positives(), 2);
+    }
+
+    #[test]
+    fn residual_view_rejects_bad_inputs() {
+        assert_eq!(
+            SpatialOutcomes::from_residuals(&pts(2), &[1.0], &[0.0, 0.0]).unwrap_err(),
+            ScanError::LengthMismatch {
+                points: 2,
+                labels: 1
+            }
+        );
+        assert_eq!(
+            SpatialOutcomes::from_residuals(&pts(2), &[1.0, f64::INFINITY], &[0.0, 0.0])
+                .unwrap_err(),
+            ScanError::NonFiniteResidual { index: 1 }
+        );
     }
 
     #[test]
@@ -243,16 +305,5 @@ mod tests {
         assert!(o.check_auditable().is_err());
         let o = SpatialOutcomes::new(pts(3), vec![true, false, true]).unwrap();
         assert!(o.check_auditable().is_ok());
-    }
-
-    #[test]
-    fn measure_display() {
-        assert!(Measure::StatisticalParity.to_string().contains("parity"));
-        assert!(Measure::EqualOpportunity
-            .to_string()
-            .contains("true positive"));
-        assert!(Measure::EqualOddsFalsePositive
-            .to_string()
-            .contains("false positive"));
     }
 }

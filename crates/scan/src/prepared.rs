@@ -13,8 +13,9 @@
 //!    and the expensive [`AuditConfig`] knobs (backend, counting
 //!    strategy).
 //! 2. **plan** — [`ExecutionPlan::new`] groups a batch of
-//!    [`AuditRequest`]s into *world classes* `(null model, seed)`:
-//!    requests in one class draw exactly the same simulated worlds, so
+//!    [`AuditRequest`]s into *world classes* `(null model, seed,
+//!    worldgen, statistic)`: requests in one class draw and score
+//!    exactly the same simulated worlds, so
 //!    each world is generated and recounted **once** and its per-region
 //!    positives are replayed against every member request's direction.
 //! 3. **execute** — [`PreparedAudit::execute`] walks each group's
@@ -37,7 +38,7 @@
 //! standalone adaptive run uses. The cross-checks live in the
 //! `serve_equivalence` proptests.
 
-use crate::config::{AuditConfig, NullModel, WorldGen};
+use crate::config::{AuditConfig, NullModel, Statistic, WorldGen};
 use crate::direction::Direction;
 use crate::engine::{RealScan, ScanEngine};
 use crate::error::ScanError;
@@ -73,15 +74,22 @@ pub struct AuditRequest {
     /// identity: [`WorldGen::Scalar`] and [`WorldGen::Word`] consume
     /// the RNG stream differently, so they never share worlds).
     pub worldgen: WorldGen,
+    /// Per-region test statistic (part of the world-class identity:
+    /// two statistics score the same label worlds differently, so
+    /// their τ streams must never share cached rows).
+    pub statistic: Statistic,
 }
 
-// Manual wire impls instead of the derive: `worldgen` was added after
-// the v1 wire format shipped, so request payloads without the field
-// must keep decoding (they mean the v1 Scalar generator). The derive
-// would hard-error on the missing field.
+// Manual wire impls instead of the derive: `worldgen` and `statistic`
+// were added after the v1 wire format shipped, so request payloads
+// without the fields must keep decoding (they mean the v1 Scalar
+// generator and the paper's Bernoulli LLR). The derive would
+// hard-error on the missing fields. `statistic` is additionally
+// *omitted when default*, so a Bernoulli-LLR request serializes
+// byte-identically to the pre-statistic wire format.
 impl Serialize for AuditRequest {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Object(vec![
+        let mut fields = vec![
             (String::from("alpha"), self.alpha.to_value()),
             (String::from("worlds"), self.worlds.to_value()),
             (String::from("seed"), self.seed.to_value()),
@@ -89,7 +97,11 @@ impl Serialize for AuditRequest {
             (String::from("null_model"), self.null_model.to_value()),
             (String::from("mc_strategy"), self.mc_strategy.to_value()),
             (String::from("worldgen"), self.worldgen.to_value()),
-        ])
+        ];
+        if self.statistic != Statistic::BernoulliLlr {
+            fields.push((String::from("statistic"), self.statistic.to_value()));
+        }
+        serde::Value::Object(fields)
     }
 }
 
@@ -107,6 +119,12 @@ impl Deserialize for AuditRequest {
                     .map_err(|e| serde::Error::msg(format!("field `worldgen`: {}", e.message)))?,
                 // Absent on v1 payloads: the v1 generator.
                 None => WorldGen::Scalar,
+            },
+            statistic: match value.get("statistic") {
+                Some(v) => Statistic::from_value(v)
+                    .map_err(|e| serde::Error::msg(format!("field `statistic`: {}", e.message)))?,
+                // Absent on pre-statistic payloads: the paper's LLR.
+                None => Statistic::BernoulliLlr,
             },
         })
     }
@@ -132,6 +150,7 @@ impl AuditRequest {
             null_model: NullModel::Bernoulli,
             mc_strategy: McStrategy::FullBudget,
             worldgen: WorldGen::Word,
+            statistic: Statistic::BernoulliLlr,
         }
     }
 
@@ -145,6 +164,7 @@ impl AuditRequest {
             null_model: config.null_model,
             mc_strategy: config.mc_strategy,
             worldgen: config.worldgen,
+            statistic: config.statistic,
         }
     }
 
@@ -188,6 +208,12 @@ impl AuditRequest {
         self
     }
 
+    /// Sets the per-region test statistic.
+    pub fn with_statistic(mut self, statistic: Statistic) -> Self {
+        self.statistic = statistic;
+        self
+    }
+
     /// The full [`AuditConfig`] this request denotes against `base`
     /// (the prepared engine's expensive knobs + this request's cheap
     /// ones) — also the config a bit-identical standalone
@@ -200,6 +226,7 @@ impl AuditRequest {
         base.null_model = self.null_model;
         base.mc_strategy = self.mc_strategy;
         base.worldgen = self.worldgen;
+        base.statistic = self.statistic;
         base
     }
 
@@ -236,9 +263,11 @@ impl AuditRequest {
     /// The world class this request draws simulated worlds from:
     /// requests agreeing on it share every world. The generator
     /// version is part of the class — `Scalar` and `Word` streams are
-    /// statistically equivalent but value-wise disjoint.
-    fn world_class(&self) -> (NullModel, u64, WorldGen) {
-        (self.null_model, self.seed, self.worldgen)
+    /// statistically equivalent but value-wise disjoint — and so is
+    /// the statistic: two statistics draw identical label worlds but
+    /// score them differently, so their τ streams must never mix.
+    fn world_class(&self) -> (NullModel, u64, WorldGen, Statistic) {
+        (self.null_model, self.seed, self.worldgen, self.statistic)
     }
 }
 
@@ -259,6 +288,8 @@ pub struct PlanGroup {
     pub seed: u64,
     /// Generator version of the shared world stream.
     pub worldgen: WorldGen,
+    /// Test statistic every member scores worlds with.
+    pub statistic: Statistic,
     /// Indices into the planned request batch, in submission order.
     pub members: Vec<usize>,
     /// Distinct member directions in first-appearance order; each
@@ -276,8 +307,8 @@ pub struct ExecutionPlan {
 }
 
 impl ExecutionPlan {
-    /// Plans a batch: groups requests by `(null model, seed,
-    /// worldgen)` in first-appearance order, recording each group's
+    /// Plans a batch: groups requests by `(null model, seed, worldgen,
+    /// statistic)` in first-appearance order, recording each group's
     /// distinct directions and maximum budget.
     ///
     /// # Panics
@@ -293,7 +324,7 @@ impl ExecutionPlan {
             let class = request.world_class();
             let group = match groups
                 .iter_mut()
-                .find(|g| (g.null_model, g.seed, g.worldgen) == class)
+                .find(|g| (g.null_model, g.seed, g.worldgen, g.statistic) == class)
             {
                 Some(group) => group,
                 None => {
@@ -301,6 +332,7 @@ impl ExecutionPlan {
                         null_model: request.null_model,
                         seed: request.seed,
                         worldgen: request.worldgen,
+                        statistic: request.statistic,
                         members: Vec::new(),
                         directions: Vec::new(),
                         max_budget: 0,
@@ -436,7 +468,8 @@ impl PreparedAudit {
         }
         let engine = ScanEngine::build_with(outcomes, regions, config.backend, config.strategy)?
             .with_shards(config.shards)
-            .with_kernel(config.kernel);
+            .with_kernel(config.kernel)
+            .with_statistic(config.statistic);
         Ok(PreparedAudit {
             engine,
             regions: regions.clone(),
@@ -564,6 +597,7 @@ impl PreparedAudit {
                 group.null_model,
                 group.seed,
                 group.worldgen,
+                group.statistic,
                 &group.directions,
             ),
             None => ResumePoint {
@@ -588,6 +622,7 @@ impl PreparedAudit {
                     group.null_model,
                     group.seed,
                     group.worldgen,
+                    group.statistic,
                     resume.eval_dirs,
                     resume.prefix,
                     output.replayed,
@@ -669,7 +704,7 @@ impl PreparedAudit {
         reals.resize_with(eval_dirs.len(), || None);
         for &di in &lane_dirs {
             if reals[di].is_none() {
-                reals[di] = Some(self.engine.scan_real(eval_dirs[di]));
+                reals[di] = Some(self.engine.scan_real_with(group.statistic, eval_dirs[di]));
             }
         }
         let observed: Vec<f64> = reals
@@ -702,9 +737,11 @@ impl PreparedAudit {
             }
             let refs: Vec<&BitLabels> = worlds.iter().collect();
             if fine {
-                self.engine.eval_worlds_into_sharded(&refs, eval_dirs, out);
+                self.engine
+                    .eval_worlds_into_sharded_with(group.statistic, &refs, eval_dirs, out);
             } else {
-                self.engine.eval_worlds_into(&refs, eval_dirs, out);
+                self.engine
+                    .eval_worlds_into_with(group.statistic, &refs, eval_dirs, out);
             }
         };
         let run = run_world_group(

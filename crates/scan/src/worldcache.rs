@@ -16,13 +16,17 @@
 //! construction*: the lanes consume exactly the same values in exactly
 //! the same order either way.
 //!
-//! The cache is keyed by world class `(null model, seed, worldgen)` —
-//! the same key [`ExecutionPlan`](crate::prepared::ExecutionPlan)
-//! groups requests by. The generator version is part of the key
-//! because [`WorldGen::Scalar`] and [`WorldGen::Word`] consume the RNG
-//! stream differently: their τ-streams are two different (if
-//! statistically equivalent) sequences, and splicing a `Scalar` prefix
-//! onto a `Word` suffix would corrupt both. One class can hold several
+//! The cache is keyed by world class `(null model, seed, worldgen,
+//! statistic)` — the same key
+//! [`ExecutionPlan`](crate::prepared::ExecutionPlan) groups requests
+//! by. The generator version is part of the key because
+//! [`WorldGen::Scalar`] and [`WorldGen::Word`] consume the RNG stream
+//! differently: their τ-streams are two different (if statistically
+//! equivalent) sequences, and splicing a `Scalar` prefix onto a `Word`
+//! suffix would corrupt both. The statistic is part of the key because
+//! a cached row stores the *scored* τ, not the counts it was folded
+//! from: the same world scored under a different
+//! [`TauKernel`](crate::config::TauKernel) is a different number. One class can hold several
 //! entries, each a contiguous stream *prefix* stored as a **flat
 //! row-major `f64` buffer** ([`TauRows`]: one row per world, `stride`
 //! = one column per cached [`Direction`]): when a batch needs a
@@ -60,7 +64,7 @@
 //! ([`CacheStats`]); the resume/commit choreography lives in
 //! [`PreparedAudit::execute_cached`](crate::prepared::PreparedAudit::execute_cached).
 
-use crate::config::{NullModel, WorldGen};
+use crate::config::{NullModel, Statistic, WorldGen};
 use crate::direction::Direction;
 use serde::{Deserialize, Serialize};
 
@@ -213,6 +217,7 @@ struct CachedClass {
     null_model: NullModel,
     seed: u64,
     worldgen: WorldGen,
+    statistic: Statistic,
     /// Directions the rows carry, in storage (column) order.
     dirs: Vec<Direction>,
     /// Flat τ matrix: row `w`, column `d` = τ of world `w` in
@@ -229,8 +234,17 @@ struct CachedClass {
 }
 
 impl CachedClass {
-    fn is_class(&self, null_model: NullModel, seed: u64, worldgen: WorldGen) -> bool {
-        self.null_model == null_model && self.seed == seed && self.worldgen == worldgen
+    fn is_class(
+        &self,
+        null_model: NullModel,
+        seed: u64,
+        worldgen: WorldGen,
+        statistic: Statistic,
+    ) -> bool {
+        self.null_model == null_model
+            && self.seed == seed
+            && self.worldgen == worldgen
+            && self.statistic == statistic
     }
 
     fn covers(&self, needed: &[Direction]) -> bool {
@@ -252,7 +266,7 @@ pub(crate) struct ResumePoint {
 }
 
 /// Per-engine cache of simulated world statistics, keyed by world
-/// class `(null model, seed, worldgen)`.
+/// class `(null model, seed, worldgen, statistic)`.
 ///
 /// Owned by whoever owns the
 /// [`PreparedAudit`](crate::prepared::PreparedAudit) — one cache per
@@ -315,10 +329,11 @@ impl WorldCache {
         null_model: NullModel,
         seed: u64,
         worldgen: WorldGen,
+        statistic: Statistic,
     ) -> Option<usize> {
         self.classes
             .iter()
-            .filter(|c| c.is_class(null_model, seed, worldgen))
+            .filter(|c| c.is_class(null_model, seed, worldgen, statistic))
             .map(|c| c.rows.worlds())
             .max()
     }
@@ -341,7 +356,8 @@ impl WorldCache {
     }
 
     /// Resolves the resume point for a group needing `needed`
-    /// directions from class `(null_model, seed, worldgen)`.
+    /// directions from class `(null_model, seed, worldgen,
+    /// statistic)`.
     ///
     /// * Some entry covers every needed direction → move out the
     ///   longest such entry's whole prefix (evaluating the entry's
@@ -358,13 +374,14 @@ impl WorldCache {
         null_model: NullModel,
         seed: u64,
         worldgen: WorldGen,
+        statistic: Statistic,
         needed: &[Direction],
     ) -> ResumePoint {
         let now = self.touch();
         let covering = self
             .classes
             .iter_mut()
-            .filter(|c| c.is_class(null_model, seed, worldgen) && c.covers(needed))
+            .filter(|c| c.is_class(null_model, seed, worldgen, statistic) && c.covers(needed))
             .max_by_key(|c| c.rows.worlds());
         if let Some(entry) = covering {
             entry.last_touch = now;
@@ -377,7 +394,7 @@ impl WorldCache {
         let mut eval_dirs = self
             .classes
             .iter()
-            .filter(|c| c.is_class(null_model, seed, worldgen))
+            .filter(|c| c.is_class(null_model, seed, worldgen, statistic))
             .max_by_key(|c| c.rows.worlds())
             .map(|c| c.dirs.clone())
             .unwrap_or_default();
@@ -410,6 +427,7 @@ impl WorldCache {
         null_model: NullModel,
         seed: u64,
         worldgen: WorldGen,
+        statistic: Statistic,
         eval_dirs: Vec<Direction>,
         mut prefix: TauRows,
         replayed: usize,
@@ -432,7 +450,7 @@ impl WorldCache {
         match self
             .classes
             .iter_mut()
-            .find(|c| c.is_class(null_model, seed, worldgen) && c.dirs == eval_dirs)
+            .find(|c| c.is_class(null_model, seed, worldgen, statistic) && c.dirs == eval_dirs)
         {
             // The entry resume() emptied (its dirs were echoed back to
             // us): reinstall the possibly-extended rows and credit the
@@ -445,7 +463,7 @@ impl WorldCache {
             None if prefix.is_empty() => {}
             None => {
                 self.classes.retain(|c| {
-                    !(c.is_class(null_model, seed, worldgen)
+                    !(c.is_class(null_model, seed, worldgen, statistic)
                         && c.dirs.iter().all(|d| eval_dirs.contains(d))
                         && c.rows.worlds() <= prefix.worlds())
                 });
@@ -453,6 +471,7 @@ impl WorldCache {
                     null_model,
                     seed,
                     worldgen,
+                    statistic,
                     dirs: eval_dirs,
                     rows: prefix,
                     last_touch: now,
@@ -510,6 +529,8 @@ mod tests {
     const HI: Direction = Direction::High;
     const SCALAR: WorldGen = WorldGen::Scalar;
     const WORD: WorldGen = WorldGen::Word;
+    const LLR: Statistic = Statistic::BernoulliLlr;
+    const EO: Statistic = Statistic::EqualOppTpr;
 
     fn rows(n: usize, cols: usize) -> TauRows {
         let mut rows = TauRows::new(cols);
@@ -559,13 +580,14 @@ mod tests {
     #[test]
     fn cold_resume_is_a_miss_and_commit_creates_the_entry() {
         let mut cache = WorldCache::new();
-        let r = cache.resume(NullModel::Bernoulli, 7, SCALAR, &[TS]);
+        let r = cache.resume(NullModel::Bernoulli, 7, SCALAR, LLR, &[TS]);
         assert_eq!(r.eval_dirs, vec![TS]);
         assert!(r.prefix.is_empty());
         cache.commit(
             NullModel::Bernoulli,
             7,
             SCALAR,
+            LLR,
             r.eval_dirs,
             r.prefix,
             0,
@@ -582,17 +604,18 @@ mod tests {
     #[test]
     fn covered_resume_moves_the_prefix_out_and_commit_extends_it() {
         let mut cache = WorldCache::new();
-        let r = cache.resume(NullModel::Bernoulli, 7, SCALAR, &[TS]);
+        let r = cache.resume(NullModel::Bernoulli, 7, SCALAR, LLR, &[TS]);
         cache.commit(
             NullModel::Bernoulli,
             7,
             SCALAR,
+            LLR,
             r.eval_dirs,
             r.prefix,
             0,
             rows(5, 1),
         );
-        let r = cache.resume(NullModel::Bernoulli, 7, SCALAR, &[TS]);
+        let r = cache.resume(NullModel::Bernoulli, 7, SCALAR, LLR, &[TS]);
         assert_eq!(r.prefix.worlds(), 5);
         assert_eq!(
             cache.cached_worlds(),
@@ -604,12 +627,16 @@ mod tests {
             NullModel::Bernoulli,
             7,
             SCALAR,
+            LLR,
             r.eval_dirs,
             r.prefix,
             5,
             rows(3, 1),
         );
-        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 7, SCALAR), Some(8));
+        assert_eq!(
+            cache.class_worlds(NullModel::Bernoulli, 7, SCALAR, LLR),
+            Some(8)
+        );
         assert_eq!(cache.entries(), 1);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().worlds_replayed, 5);
@@ -622,6 +649,7 @@ mod tests {
             NullModel::Bernoulli,
             1,
             SCALAR,
+            LLR,
             vec![TS],
             TauRows::new(1),
             0,
@@ -629,18 +657,19 @@ mod tests {
         );
         // A smaller-budget run stopped after 4 of the 10 cached worlds:
         // nothing fresh, the entry must keep its 10 rows.
-        let r = cache.resume(NullModel::Bernoulli, 1, SCALAR, &[TS]);
+        let r = cache.resume(NullModel::Bernoulli, 1, SCALAR, LLR, &[TS]);
         cache.commit(
             NullModel::Bernoulli,
             1,
             SCALAR,
+            LLR,
             r.eval_dirs,
             r.prefix,
             4,
             TauRows::new(1),
         );
         assert_eq!(
-            cache.class_worlds(NullModel::Bernoulli, 1, SCALAR),
+            cache.class_worlds(NullModel::Bernoulli, 1, SCALAR, LLR),
             Some(10)
         );
     }
@@ -652,6 +681,7 @@ mod tests {
             NullModel::Bernoulli,
             2,
             SCALAR,
+            LLR,
             vec![TS],
             TauRows::new(1),
             0,
@@ -659,7 +689,7 @@ mod tests {
         );
         // HI is uncovered: cold, but evaluated as the union with the
         // widest entry so the new rows serve both directions.
-        let r = cache.resume(NullModel::Bernoulli, 2, SCALAR, &[HI]);
+        let r = cache.resume(NullModel::Bernoulli, 2, SCALAR, LLR, &[HI]);
         assert_eq!(r.eval_dirs, vec![TS, HI], "union keeps cached directions");
         assert!(r.prefix.is_empty(), "uncovered direction cannot replay");
         // A shorter re-simulation coexists with the longer old prefix…
@@ -667,21 +697,26 @@ mod tests {
             NullModel::Bernoulli,
             2,
             SCALAR,
+            LLR,
             r.eval_dirs,
             r.prefix,
             0,
             rows(4, 2),
         );
         assert_eq!(cache.entries(), 2);
-        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 2, SCALAR), Some(6));
+        assert_eq!(
+            cache.class_worlds(NullModel::Bernoulli, 2, SCALAR, LLR),
+            Some(6)
+        );
         // …and the SECOND short-budget HI request is now a pure hit —
         // uncovered-direction repeats must not re-simulate forever.
-        let r2 = cache.resume(NullModel::Bernoulli, 2, SCALAR, &[HI]);
+        let r2 = cache.resume(NullModel::Bernoulli, 2, SCALAR, LLR, &[HI]);
         assert_eq!(r2.prefix.worlds(), 4);
         cache.commit(
             NullModel::Bernoulli,
             2,
             SCALAR,
+            LLR,
             r2.eval_dirs,
             r2.prefix,
             4,
@@ -690,12 +725,13 @@ mod tests {
         assert_eq!(cache.stats().hits, 1);
         // Extending the union entry past the old one: both survive
         // (pruning happens only when a NEW entry lands)…
-        let r3 = cache.resume(NullModel::Bernoulli, 2, SCALAR, &[TS, HI]);
+        let r3 = cache.resume(NullModel::Bernoulli, 2, SCALAR, LLR, &[TS, HI]);
         assert_eq!(r3.prefix.worlds(), 4);
         cache.commit(
             NullModel::Bernoulli,
             2,
             SCALAR,
+            LLR,
             r3.eval_dirs,
             r3.prefix,
             4,
@@ -703,12 +739,13 @@ mod tests {
         );
         assert_eq!(cache.entries(), 2);
         // …and the longest covering entry wins the next resume.
-        let r4 = cache.resume(NullModel::Bernoulli, 2, SCALAR, &[TS]);
+        let r4 = cache.resume(NullModel::Bernoulli, 2, SCALAR, LLR, &[TS]);
         assert_eq!(r4.prefix.worlds(), 7, "[TS,HI](7) out-lasts [TS](6)");
         cache.commit(
             NullModel::Bernoulli,
             2,
             SCALAR,
+            LLR,
             r4.eval_dirs,
             r4.prefix,
             7,
@@ -723,30 +760,33 @@ mod tests {
             NullModel::Bernoulli,
             5,
             SCALAR,
+            LLR,
             vec![TS],
             TauRows::new(1),
             0,
             rows(6, 1),
         );
-        let r = cache.resume(NullModel::Bernoulli, 5, SCALAR, &[HI]);
+        let r = cache.resume(NullModel::Bernoulli, 5, SCALAR, LLR, &[HI]);
         // Union re-simulation reaches the old entry's length: the
         // narrower [TS] entry is subsumed and dropped.
         cache.commit(
             NullModel::Bernoulli,
             5,
             SCALAR,
+            LLR,
             r.eval_dirs,
             r.prefix,
             0,
             rows(6, 2),
         );
         assert_eq!(cache.entries(), 1);
-        let r2 = cache.resume(NullModel::Bernoulli, 5, SCALAR, &[TS, HI]);
+        let r2 = cache.resume(NullModel::Bernoulli, 5, SCALAR, LLR, &[TS, HI]);
         assert_eq!(r2.prefix.worlds(), 6);
         cache.commit(
             NullModel::Bernoulli,
             5,
             SCALAR,
+            LLR,
             r2.eval_dirs,
             r2.prefix,
             6,
@@ -763,6 +803,7 @@ mod tests {
             NullModel::Bernoulli,
             3,
             SCALAR,
+            LLR,
             vec![TS],
             TauRows::new(1),
             0,
@@ -772,6 +813,7 @@ mod tests {
             NullModel::Permutation,
             3,
             SCALAR,
+            LLR,
             vec![TS],
             TauRows::new(1),
             0,
@@ -781,6 +823,7 @@ mod tests {
             NullModel::Bernoulli,
             4,
             SCALAR,
+            LLR,
             vec![TS],
             TauRows::new(1),
             0,
@@ -789,10 +832,13 @@ mod tests {
         assert_eq!(cache.entries(), 3);
         assert_eq!(cache.cached_worlds(), 9);
         assert_eq!(
-            cache.class_worlds(NullModel::Permutation, 3, SCALAR),
+            cache.class_worlds(NullModel::Permutation, 3, SCALAR, LLR),
             Some(3)
         );
-        assert_eq!(cache.class_worlds(NullModel::Permutation, 4, SCALAR), None);
+        assert_eq!(
+            cache.class_worlds(NullModel::Permutation, 4, SCALAR, LLR),
+            None
+        );
         cache.clear();
         assert_eq!(cache.entries(), 0);
         assert_eq!(cache.cached_worlds(), 0);
@@ -809,12 +855,13 @@ mod tests {
             NullModel::Bernoulli,
             9,
             SCALAR,
+            LLR,
             vec![TS],
             TauRows::new(1),
             0,
             rows(8, 1),
         );
-        let word = cache.resume(NullModel::Bernoulli, 9, WORD, &[TS]);
+        let word = cache.resume(NullModel::Bernoulli, 9, WORD, LLR, &[TS]);
         assert!(
             word.prefix.is_empty(),
             "a Word class must not replay a Scalar prefix"
@@ -823,21 +870,29 @@ mod tests {
             NullModel::Bernoulli,
             9,
             WORD,
+            LLR,
             word.eval_dirs,
             word.prefix,
             0,
             rows(5, 1),
         );
         assert_eq!(cache.entries(), 2, "one entry per generator version");
-        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 9, SCALAR), Some(8));
-        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 9, WORD), Some(5));
+        assert_eq!(
+            cache.class_worlds(NullModel::Bernoulli, 9, SCALAR, LLR),
+            Some(8)
+        );
+        assert_eq!(
+            cache.class_worlds(NullModel::Bernoulli, 9, WORD, LLR),
+            Some(5)
+        );
         // And the Scalar entry still replays untouched.
-        let scalar = cache.resume(NullModel::Bernoulli, 9, SCALAR, &[TS]);
+        let scalar = cache.resume(NullModel::Bernoulli, 9, SCALAR, LLR, &[TS]);
         assert_eq!(scalar.prefix.worlds(), 8);
         cache.commit(
             NullModel::Bernoulli,
             9,
             SCALAR,
+            LLR,
             scalar.eval_dirs,
             scalar.prefix,
             8,
@@ -857,6 +912,7 @@ mod tests {
                 NullModel::Bernoulli,
                 seed,
                 SCALAR,
+                LLR,
                 vec![TS],
                 TauRows::new(1),
                 0,
@@ -867,24 +923,25 @@ mod tests {
         assert_eq!(cache.stats().evictions, 1);
         assert!(cache.resident_bytes() <= 180);
         assert_eq!(
-            cache.class_worlds(NullModel::Bernoulli, 0, SCALAR),
+            cache.class_worlds(NullModel::Bernoulli, 0, SCALAR, LLR),
             None,
             "equal densities: seed 0 was the least recently used"
         );
         assert!(cache
-            .class_worlds(NullModel::Bernoulli, 1, SCALAR)
+            .class_worlds(NullModel::Bernoulli, 1, SCALAR, LLR)
             .is_some());
         assert!(cache
-            .class_worlds(NullModel::Bernoulli, 2, SCALAR)
+            .class_worlds(NullModel::Bernoulli, 2, SCALAR, LLR)
             .is_some());
         // Replaying seed 1 (resume + commit with replayed=10) buys it
         // value density; never-replayed seed 2 goes instead on the
         // next overflow.
-        let r = cache.resume(NullModel::Bernoulli, 1, SCALAR, &[TS]);
+        let r = cache.resume(NullModel::Bernoulli, 1, SCALAR, LLR, &[TS]);
         cache.commit(
             NullModel::Bernoulli,
             1,
             SCALAR,
+            LLR,
             r.eval_dirs,
             r.prefix,
             10,
@@ -894,6 +951,7 @@ mod tests {
             NullModel::Bernoulli,
             3,
             SCALAR,
+            LLR,
             vec![TS],
             TauRows::new(1),
             0,
@@ -901,9 +959,12 @@ mod tests {
         );
         assert_eq!(cache.stats().evictions, 2);
         assert!(cache
-            .class_worlds(NullModel::Bernoulli, 1, SCALAR)
+            .class_worlds(NullModel::Bernoulli, 1, SCALAR, LLR)
             .is_some());
-        assert_eq!(cache.class_worlds(NullModel::Bernoulli, 2, SCALAR), None);
+        assert_eq!(
+            cache.class_worlds(NullModel::Bernoulli, 2, SCALAR, LLR),
+            None
+        );
     }
 
     #[test]
@@ -919,17 +980,19 @@ mod tests {
             NullModel::Bernoulli,
             1,
             SCALAR,
+            LLR,
             vec![TS],
             TauRows::new(1),
             0,
             rows(10, 1),
         );
         for _ in 0..2 {
-            let r = cache.resume(NullModel::Bernoulli, 1, SCALAR, &[TS]);
+            let r = cache.resume(NullModel::Bernoulli, 1, SCALAR, LLR, &[TS]);
             cache.commit(
                 NullModel::Bernoulli,
                 1,
                 SCALAR,
+                LLR,
                 r.eval_dirs,
                 r.prefix,
                 10,
@@ -941,6 +1004,7 @@ mod tests {
             NullModel::Bernoulli,
             2,
             SCALAR,
+            LLR,
             vec![TS],
             TauRows::new(1),
             0,
@@ -955,6 +1019,7 @@ mod tests {
             NullModel::Bernoulli,
             3,
             SCALAR,
+            LLR,
             vec![TS],
             TauRows::new(1),
             0,
@@ -962,18 +1027,18 @@ mod tests {
         );
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(
-            cache.class_worlds(NullModel::Bernoulli, 2, SCALAR),
+            cache.class_worlds(NullModel::Bernoulli, 2, SCALAR, LLR),
             None,
             "highest bytes-per-replayed-world goes first"
         );
         assert!(
             cache
-                .class_worlds(NullModel::Bernoulli, 1, SCALAR)
+                .class_worlds(NullModel::Bernoulli, 1, SCALAR, LLR)
                 .is_some(),
             "replay history shields the LRU-oldest entry"
         );
         assert!(cache
-            .class_worlds(NullModel::Bernoulli, 3, SCALAR)
+            .class_worlds(NullModel::Bernoulli, 3, SCALAR, LLR)
             .is_some());
     }
 
@@ -984,6 +1049,7 @@ mod tests {
             NullModel::Bernoulli,
             1,
             SCALAR,
+            LLR,
             vec![TS],
             TauRows::new(1),
             0,
@@ -1001,16 +1067,18 @@ mod tests {
             NullModel::Bernoulli,
             1,
             SCALAR,
+            LLR,
             vec![TS],
             TauRows::new(1),
             0,
             rows(5, 1),
         );
-        let r = cache.resume(NullModel::Bernoulli, 1, SCALAR, &[TS]);
+        let r = cache.resume(NullModel::Bernoulli, 1, SCALAR, LLR, &[TS]);
         cache.commit(
             NullModel::Bernoulli,
             1,
             SCALAR,
+            LLR,
             r.eval_dirs,
             r.prefix,
             5,
@@ -1021,5 +1089,60 @@ mod tests {
         assert!(line.contains("replayed=5"), "{line}");
         assert!(line.contains("evictions=0"), "{line}");
         assert!(line.contains("resident_bytes=40"), "{line}");
+    }
+
+    #[test]
+    fn statistics_are_distinct_world_classes() {
+        // Same null model, seed and worldgen scored under a different
+        // statistic: a cached row stores the *scored* τ, not the
+        // counts, so the entries must never mix.
+        let mut cache = WorldCache::new();
+        cache.commit(
+            NullModel::Bernoulli,
+            11,
+            SCALAR,
+            LLR,
+            vec![TS],
+            TauRows::new(1),
+            0,
+            rows(6, 1),
+        );
+        let r = cache.resume(NullModel::Bernoulli, 11, SCALAR, EO, &[TS]);
+        assert!(
+            r.prefix.is_empty(),
+            "an equal-opportunity class must not replay a Bernoulli-LLR prefix"
+        );
+        cache.commit(
+            NullModel::Bernoulli,
+            11,
+            SCALAR,
+            EO,
+            r.eval_dirs,
+            r.prefix,
+            0,
+            rows(4, 1),
+        );
+        assert_eq!(cache.entries(), 2, "one entry per statistic");
+        assert_eq!(
+            cache.class_worlds(NullModel::Bernoulli, 11, SCALAR, LLR),
+            Some(6)
+        );
+        assert_eq!(
+            cache.class_worlds(NullModel::Bernoulli, 11, SCALAR, EO),
+            Some(4)
+        );
+        // And the Bernoulli-LLR entry still replays untouched.
+        let llr = cache.resume(NullModel::Bernoulli, 11, SCALAR, LLR, &[TS]);
+        assert_eq!(llr.prefix.worlds(), 6);
+        cache.commit(
+            NullModel::Bernoulli,
+            11,
+            SCALAR,
+            LLR,
+            llr.eval_dirs,
+            llr.prefix,
+            6,
+            TauRows::new(1),
+        );
     }
 }

@@ -71,11 +71,13 @@
 //! ```
 
 mod compat;
+mod geojson;
 mod service;
 mod wire;
 
 #[allow(deprecated)]
 pub use compat::{AuditServer, RequestId};
+pub use geojson::{findings_feature_collection, CIRCLE_SEGMENTS};
 pub use service::{
     AuditResponse, AuditService, DatasetHandle, DrainPolicy, ServerStats, Status, SubmitError,
     Ticket,
@@ -349,13 +351,7 @@ mod tests {
             .unwrap()
             .with_worldgen(WorldGen::Word);
         let t_word = service
-            .submit_json(
-                &RequestEnvelope {
-                    handle,
-                    request: word_request,
-                }
-                .to_json(),
-            )
+            .submit_json(&RequestEnvelope::new(handle, word_request).to_json())
             .unwrap();
         service.flush();
         let scalar_report = service.take(t_v1).unwrap().report;
@@ -459,7 +455,7 @@ mod tests {
             .unwrap()
             .with_direction(Direction::Low)
             .with_null_model(NullModel::Permutation);
-        let envelope = RequestEnvelope { handle, request };
+        let envelope = RequestEnvelope::new(handle, request);
         let line = envelope.to_json();
         assert_eq!(RequestEnvelope::from_json(&line).unwrap(), envelope);
         let ticket = service.submit_json(&line).unwrap();
@@ -487,6 +483,52 @@ mod tests {
         assert_eq!(rejected.status, WireStatus::Rejected);
         assert!(rejected.error.unwrap().contains("alpha"));
         assert_eq!(service.pending_total(), 0);
+    }
+
+    #[test]
+    fn geojson_flag_attaches_findings_and_leaves_other_lines_untouched() {
+        let (mut service, handle, _) = service_with(500, 14);
+        let request = service.default_request(handle).unwrap();
+
+        // The flag round-trips and is skip-serialised when unset, so a
+        // flagless envelope's bytes are exactly the v1 wire shape.
+        let plain = RequestEnvelope::new(handle, request);
+        let flagged = plain.with_geojson();
+        assert!(!plain.to_json().contains("geojson"));
+        assert!(flagged.to_json().contains("\"geojson\":true"));
+        assert_eq!(RequestEnvelope::from_json(&plain.to_json()).unwrap(), plain);
+        assert_eq!(
+            RequestEnvelope::from_json(&flagged.to_json()).unwrap(),
+            flagged
+        );
+
+        let t_plain = service.submit_json(&plain.to_json()).unwrap();
+        let t_flagged = service.submit_json(&flagged.to_json()).unwrap();
+        assert!(!service.geojson_requested(t_plain));
+        assert!(service.geojson_requested(t_flagged));
+        // The query consumed the mark; re-arm it the way a direct
+        // submit caller would.
+        service.mark_geojson(t_flagged);
+        service.flush();
+
+        let plain_out = ResponseEnvelope::ready(service.take(t_plain).unwrap());
+        let mut flagged_out = ResponseEnvelope::ready(service.take(t_flagged).unwrap());
+        if service.geojson_requested(t_flagged) {
+            flagged_out = flagged_out.with_geojson_findings();
+        }
+        // Identical audits; only the presentation differs.
+        assert_eq!(plain_out.report, flagged_out.report);
+        assert_eq!(plain_out.geojson, None);
+        assert!(!plain_out.to_json().contains("geojson"));
+        let rendered = flagged_out.geojson.as_ref().expect("findings attached");
+        assert!(rendered.contains("FeatureCollection"));
+        assert_eq!(
+            rendered,
+            &findings_feature_collection(flagged_out.report.as_ref().unwrap())
+        );
+        // The extended envelope round-trips with its rendering intact.
+        let back = ResponseEnvelope::from_json(&flagged_out.to_json()).unwrap();
+        assert_eq!(back, flagged_out);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use sfscan::prepared::{AuditRequest, BatchStats, ExecutionPlan, PreparedAudit};
 use sfscan::worldcache::{CacheStats, WorldCache};
 use sfscan::{AuditConfig, AuditReport, RegionSet, ScanError, SpatialOutcomes};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Opaque id of a registered dataset session, unique per service
 /// instance and assigned in registration order starting at 0 (stable,
@@ -297,6 +297,10 @@ pub struct AuditService {
     /// Per-session world-cache byte cap applied at registration
     /// (`None` = unbounded caches).
     cache_capacity_bytes: Option<usize>,
+    /// Tickets whose wire request asked for GeoJSON findings on the
+    /// response ([`RequestEnvelope::geojson`](crate::RequestEnvelope)).
+    /// Presentation state only — execution and reports are unaffected.
+    geojson_tickets: BTreeSet<u64>,
     stats: ServerStats,
 }
 
@@ -471,6 +475,21 @@ impl AuditService {
     /// is not ready (still queued, never issued, or already taken).
     pub fn take(&mut self, ticket: Ticket) -> Option<AuditResponse> {
         self.completed.remove(&ticket.0)
+    }
+
+    /// Remembers that `ticket`'s response should carry GeoJSON
+    /// findings. [`AuditService::submit_json`] calls this for
+    /// envelopes with the `geojson` flag; direct [`AuditService::submit`]
+    /// callers can opt in explicitly.
+    pub fn mark_geojson(&mut self, ticket: Ticket) {
+        self.geojson_tickets.insert(ticket.0);
+    }
+
+    /// Whether `ticket`'s request asked for GeoJSON findings. Clears
+    /// the mark — the serving loop asks exactly once, when it renders
+    /// the response line.
+    pub fn geojson_requested(&mut self, ticket: Ticket) -> bool {
+        self.geojson_tickets.remove(&ticket.0)
     }
 
     /// Claims every ready response, in ticket (= submission) order.

@@ -14,10 +14,14 @@
 //!   selects the world-generation version; v1 payloads without it mean
 //!   `Scalar`, so existing transcripts keep decoding — and keep their
 //!   exact v1 results, because the generator version is part of the
-//!   world-class identity end to end;
+//!   world-class identity end to end. An optional `"geojson": true`
+//!   flag asks for a GeoJSON rendering of the findings on the
+//!   response;
 //! * response line — `{"ticket": T|null, "status":
 //!   "ready"|"queued"|"rejected", "report": {…}|null, "error":
-//!   "…"|null}`.
+//!   "…"|null}`, plus a trailing `"geojson": "…"` field only on
+//!   responses whose request asked for one (so all other lines are
+//!   byte-identical to the v1 wire).
 
 use crate::service::{AuditResponse, AuditService, DatasetHandle, Status, SubmitError, Ticket};
 use serde::{Deserialize, Serialize};
@@ -26,15 +30,37 @@ use sfscan::AuditReport;
 
 /// One submitted request on the wire: which session it routes to and
 /// the request itself.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestEnvelope {
     /// Routing handle ([`AuditService::register`] assigns `0, 1, …`).
     pub handle: DatasetHandle,
     /// The audit request.
     pub request: AuditRequest,
+    /// Ask for a GeoJSON rendering of the findings on the response
+    /// envelope. A transport-level presentation knob, not an audit
+    /// knob: it never reaches the scan layer and never changes a
+    /// report. Serialised only when set, so v1 transcripts (no
+    /// `"geojson"` key, meaning `false`) decode and replay
+    /// byte-identically.
+    pub geojson: bool,
 }
 
 impl RequestEnvelope {
+    /// An envelope without the GeoJSON flag — the v1 wire shape.
+    pub fn new(handle: DatasetHandle, request: AuditRequest) -> Self {
+        RequestEnvelope {
+            handle,
+            request,
+            geojson: false,
+        }
+    }
+
+    /// Asks for GeoJSON findings on the response.
+    pub fn with_geojson(mut self) -> Self {
+        self.geojson = true;
+        self
+    }
+
     /// Serialises the envelope as one JSONL line (no trailing newline).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("envelope serialisation cannot fail")
@@ -43,6 +69,34 @@ impl RequestEnvelope {
     /// Deserialises an envelope from a JSONL line.
     pub fn from_json(json: &str) -> Result<Self, serde::Error> {
         serde_json::from_str(json)
+    }
+}
+
+impl Serialize for RequestEnvelope {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            (String::from("handle"), self.handle.to_value()),
+            (String::from("request"), self.request.to_value()),
+        ];
+        if self.geojson {
+            fields.push((String::from("geojson"), self.geojson.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for RequestEnvelope {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(RequestEnvelope {
+            handle: serde::get_field(value, "handle")?,
+            request: serde::get_field(value, "request")?,
+            geojson: match value.get("geojson") {
+                Some(v) => bool::from_value(v)
+                    .map_err(|e| serde::Error::msg(format!("field `geojson`: {}", e.message)))?,
+                // Absent on v1 payloads: no rendering requested.
+                None => false,
+            },
+        })
     }
 }
 
@@ -94,9 +148,12 @@ impl Deserialize for WireStatus {
     }
 }
 
-/// One response on the wire. Every field is always present; absent
-/// values render as JSON `null` so line consumers never key-check.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One response on the wire. The four core fields are always present
+/// (absent values render as JSON `null`) so line consumers never
+/// key-check; the optional `geojson` field appears only on responses
+/// whose request asked for it, keeping every other response line
+/// byte-identical to the v1 wire.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResponseEnvelope {
     /// The ticket the submission was assigned (`null` when it was
     /// rejected before a ticket existed).
@@ -107,6 +164,11 @@ pub struct ResponseEnvelope {
     pub report: Option<AuditReport>,
     /// The rejection reason (`null` unless `status == "rejected"`).
     pub error: Option<String>,
+    /// GeoJSON `FeatureCollection` of the findings (see
+    /// [`findings_feature_collection`](crate::findings_feature_collection)),
+    /// present only when the request envelope set its `geojson` flag
+    /// and the response is ready.
+    pub geojson: Option<String>,
 }
 
 impl ResponseEnvelope {
@@ -117,6 +179,7 @@ impl ResponseEnvelope {
             status: WireStatus::Ready,
             report: Some(response.report),
             error: None,
+            geojson: None,
         }
     }
 
@@ -127,6 +190,7 @@ impl ResponseEnvelope {
             status: WireStatus::Queued,
             report: None,
             error: None,
+            geojson: None,
         }
     }
 
@@ -137,6 +201,7 @@ impl ResponseEnvelope {
             status: WireStatus::Rejected,
             report: None,
             error: Some(error.to_string()),
+            geojson: None,
         }
     }
 
@@ -150,8 +215,16 @@ impl ResponseEnvelope {
                 status: WireStatus::Rejected,
                 report: None,
                 error: Some(format!("unknown {ticket}")),
+                geojson: None,
             },
         }
+    }
+
+    /// Attaches the GeoJSON findings rendering when the report is
+    /// present (no-op on queued/rejected envelopes).
+    pub fn with_geojson_findings(mut self) -> Self {
+        self.geojson = self.report.as_ref().map(crate::findings_feature_collection);
+        self
     }
 
     /// Serialises the envelope as one JSONL line (no trailing newline).
@@ -165,8 +238,44 @@ impl ResponseEnvelope {
     }
 }
 
+impl Serialize for ResponseEnvelope {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            (String::from("ticket"), self.ticket.to_value()),
+            (String::from("status"), self.status.to_value()),
+            (String::from("report"), self.report.to_value()),
+            (String::from("error"), self.error.to_value()),
+        ];
+        if let Some(geojson) = &self.geojson {
+            fields.push((String::from("geojson"), geojson.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ResponseEnvelope {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(ResponseEnvelope {
+            ticket: serde::get_field(value, "ticket")?,
+            status: serde::get_field(value, "status")?,
+            report: serde::get_field(value, "report")?,
+            error: serde::get_field(value, "error")?,
+            geojson: match value.get("geojson") {
+                Some(v) => Option::<String>::from_value(v)
+                    .map_err(|e| serde::Error::msg(format!("field `geojson`: {}", e.message)))?,
+                None => None,
+            },
+        })
+    }
+}
+
 impl AuditService {
     /// Decodes one [`RequestEnvelope`] JSONL line and submits it.
+    ///
+    /// When the envelope sets its `geojson` flag, the assigned ticket
+    /// is remembered so the serving loop can attach the findings
+    /// rendering to the eventual response
+    /// ([`AuditService::geojson_requested`]).
     ///
     /// # Errors
     /// [`SubmitError::Malformed`] when the line does not decode;
@@ -177,6 +286,10 @@ impl AuditService {
         let envelope = RequestEnvelope::from_json(line).map_err(|e| SubmitError::Malformed {
             reason: e.to_string(),
         })?;
-        self.submit(envelope.handle, envelope.request)
+        let ticket = self.submit(envelope.handle, envelope.request)?;
+        if envelope.geojson {
+            self.mark_geojson(ticket);
+        }
+        Ok(ticket)
     }
 }

@@ -17,6 +17,10 @@
 //!   an exact two-sided binomial test used as a per-region cross-check.
 //! * [`descriptive`] — numerically stable mean/variance (Welford) and
 //!   quantiles, used by the `MeanVar` baseline.
+//! * [`kernel`] — pluggable per-region test statistics
+//!   ([`kernel::TauKernel`]): the paper's Bernoulli LLR, the
+//!   equal-opportunity TPR variant, and the standardized mean-residual
+//!   score, all folding the same count pairs the engines produce.
 //! * [`rng`] — deterministic seeding helpers (independent per-world
 //!   ChaCha streams).
 //! * [`bulk`] — word-parallel exact Bernoulli sampling (64 labels per
@@ -45,6 +49,7 @@ pub mod binomial;
 pub mod bulk;
 pub mod descriptive;
 pub mod interval;
+pub mod kernel;
 pub mod llr;
 pub mod montecarlo;
 pub mod poisson;
@@ -54,6 +59,7 @@ pub mod rng;
 pub use alias::AliasTable;
 pub use bulk::{BulkBernoulli, ParseWorldGenError, WorldGen};
 pub use interval::{wilson_interval, ProportionInterval};
+pub use kernel::{ParseStatisticError, Statistic, TauKernel};
 pub use llr::{bernoulli_llr, bernoulli_llr_directed, Counts2x2};
 pub use montecarlo::{MonteCarlo, MonteCarloResult};
 pub use poisson::{poisson_llr, poisson_llr_directed, PoissonCounts};

@@ -64,10 +64,10 @@ pub mod prelude {
     pub use sfgeo::{BoundingBox, Circle, Partitioning, Point, Rect, Region, UniformGrid};
     pub use sfscan::{
         audit::Auditor,
-        config::AuditConfig,
+        config::{AuditConfig, Statistic},
         direction::Direction,
         meanvar::MeanVar,
-        outcomes::{Measure, SpatialOutcomes},
+        outcomes::SpatialOutcomes,
         prepared::{AuditRequest, PreparedAudit},
         regions::RegionSet,
         report::AuditReport,

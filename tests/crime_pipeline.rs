@@ -59,7 +59,7 @@ fn statistical_parity_view_differs_from_equal_opportunity() {
         &result.test_points,
         &result.y_true,
         &result.y_pred,
-        Measure::StatisticalParity,
+        Statistic::BernoulliLlr,
     )
     .unwrap();
     let eq_opp = &result.outcomes;
@@ -74,14 +74,16 @@ fn statistical_parity_view_differs_from_equal_opportunity() {
 
 #[test]
 fn false_positive_view_is_auditable_too() {
-    // The paper describes equal odds as the FPR analogue (§3); the
-    // machinery must accept that view as well.
+    // The paper describes equal odds as the FPR analogue (§3); it is
+    // the equal-opportunity view conditioned on y = 0, obtained by
+    // negating the ground truth before the keep rule.
     let result = pipeline();
+    let not_y: Vec<bool> = result.y_true.iter().map(|&y| !y).collect();
     let fpr_view = SpatialOutcomes::from_predictions(
         &result.test_points,
-        &result.y_true,
+        &not_y,
         &result.y_pred,
-        Measure::EqualOddsFalsePositive,
+        Statistic::EqualOppTpr,
     )
     .unwrap();
     assert!((fpr_view.rate() - result.fpr).abs() < 1e-12);

@@ -152,6 +152,21 @@ pub fn get_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> 
 // Primitive impls
 // ---------------------------------------------------------------------
 
+/// A [`Value`] serializes as itself, so dynamically assembled JSON
+/// (e.g. GeoJSON documents) flows through the same `to_string` path as
+/// derived types.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
