@@ -45,6 +45,21 @@ pub struct Options {
     /// `serve`: drain policy — execute a handle's queue as soon as it
     /// holds this many requests (None = manual, flush at EOF).
     pub max_pending: Option<usize>,
+    /// `serve`: TCP listen address (e.g. `127.0.0.1:7878`); switches
+    /// from the stdin/stdout loop to the `sfnet` server.
+    pub listen: Option<String>,
+    /// `serve`: connect to a live server instead of hosting one —
+    /// streams stdin/`--input` lines to the socket and prints response
+    /// lines to stdout (the CI TCP smoke client).
+    pub connect: Option<String>,
+    /// `serve --listen`: executor worker threads.
+    pub net_workers: usize,
+    /// `serve --listen`: per-session bound on outstanding requests
+    /// (None = unbounded; full queues answer `"busy"`).
+    pub queue_capacity: Option<usize>,
+    /// `serve --listen`: drain deadline in milliseconds (switches the
+    /// policy to `Deadline`; wins over `--max-pending`).
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for Options {
@@ -61,9 +76,14 @@ impl Default for Options {
             kernel: KernelSelect::Auto,
             statistic: Statistic::BernoulliLlr,
             requests: 24,
-            out: "BENCH_PR8.json".to_string(),
+            out: "BENCH_PR9.json".to_string(),
             input: None,
             max_pending: None,
+            listen: None,
+            connect: None,
+            net_workers: 4,
+            queue_capacity: None,
+            deadline_ms: None,
         }
     }
 }

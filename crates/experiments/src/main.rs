@@ -38,12 +38,18 @@
 //! best one the CPU supports), `--statistic
 //! <bernoulli-llr|equal-opp-tpr|mean-residual>` (test statistic
 //! scoring every region in every world). `serve-bench` additionally
-//! takes `--requests <n>` and `--out <path>` (default `BENCH_PR8.json`);
+//! takes `--requests <n>` and `--out <path>` (default `BENCH_PR9.json`);
 //! `serve` takes `--input <path>` (JSONL request envelopes; default
 //! stdin) and `--max-pending <n>` (drain policy; default manual, one
-//! batch at EOF). The backend/strategy/mc/worldgen values are parsed
-//! with the types' `FromStr` impls, so error messages list the valid
-//! values.
+//! batch at EOF), plus the network modes: `--listen <addr>` hosts the
+//! `sfnet` TCP server over the same envelopes (with `--net-workers
+//! <n>` executor threads, `--queue-capacity <n>` per-session
+//! backpressure, `--deadline-ms <n>` wall-clock drains; SIGINT
+//! shuts down gracefully and prints the final stats) and `--connect
+//! <addr>` is the matching client (streams stdin/`--input` lines to
+//! the socket, prints response lines to stdout). The
+//! backend/strategy/mc/worldgen values are parsed with the types'
+//! `FromStr` impls, so error messages list the valid values.
 
 mod common;
 mod complexity;
@@ -140,6 +146,34 @@ fn main() {
                 i += 1;
                 opts.max_pending = Some(parse_flag("--max-pending", args.get(i)));
             }
+            "--listen" => {
+                i += 1;
+                opts.listen = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--listen needs an address (e.g. 127.0.0.1:7878)")),
+                );
+            }
+            "--connect" => {
+                i += 1;
+                opts.connect = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--connect needs an address")),
+                );
+            }
+            "--net-workers" => {
+                i += 1;
+                opts.net_workers = parse_flag("--net-workers", args.get(i));
+            }
+            "--queue-capacity" => {
+                i += 1;
+                opts.queue_capacity = Some(parse_flag("--queue-capacity", args.get(i)));
+            }
+            "--deadline-ms" => {
+                i += 1;
+                opts.deadline_ms = Some(parse_flag("--deadline-ms", args.get(i)));
+            }
             arg if !arg.starts_with('-') && command.is_none() => {
                 command = Some(arg.to_string());
             }
@@ -202,7 +236,9 @@ fn die(msg: &str) -> ! {
          [--worldgen <scalar|word>] [--shards <auto|N>] \
          [--kernel <auto|scalar|avx2|avx512|portable>] \
          [--statistic <bernoulli-llr|equal-opp-tpr|mean-residual>] \
-         [--requests N] [--out PATH] [--input PATH] [--max-pending N]"
+         [--requests N] [--out PATH] [--input PATH] [--max-pending N] \
+         [--listen ADDR] [--connect ADDR] [--net-workers N] \
+         [--queue-capacity N] [--deadline-ms N]"
     );
     std::process::exit(2);
 }

@@ -1,13 +1,15 @@
-//! `serve`: the JSONL reference transport over one [`AuditService`].
+//! `serve`: the JSONL transport over one audit service — in-process,
+//! listening, or connecting.
 //!
-//! Reads [`RequestEnvelope`] lines (`{"handle": 0, "request": {…}}`)
-//! from `--input <path>` (or stdin), routes them through a service
-//! hosting the synthetic benchmark dataset, and writes exactly one
+//! The default mode reads [`RequestEnvelope`] lines
+//! (`{"handle": 0, "request": {…}}`) from `--input <path>` (or
+//! stdin), routes them through an [`AuditService`] hosting the
+//! synthetic benchmark dataset, and writes exactly one
 //! [`ResponseEnvelope`] line per input line to stdout, in input order:
 //!
 //! ```text
 //! {"ticket": 0, "status": "ready", "report": {…}, "error": null}
-//! {"ticket": null, "status": "rejected", "report": null, "error": "…"}
+//! {"ticket": null, "status": "rejected", "report": null, "error": "…", "code": "…"}
 //! ```
 //!
 //! Stdout is *pure* JSONL (all narration goes to stderr), so the
@@ -24,23 +26,41 @@
 //! lines are answered from the session's world cache (the closing
 //! stderr summary prints the `ServerStats` line with the cache
 //! counters).
+//!
+//! `--listen <addr>` hosts the same dataset behind the `sfnet` TCP
+//! server instead: newline-delimited envelopes over the socket, a
+//! worker pool (`--net-workers`), per-session backpressure
+//! (`--queue-capacity` → `"busy"` envelopes), and wall-clock deadline
+//! drains (`--deadline-ms`, driven by the timer thread). SIGINT stops
+//! accepting, drains every accepted ticket, and prints the final
+//! stats line to stderr. A connection's response transcript is
+//! byte-identical to the default mode's stdout for the same lines.
+//!
+//! `--connect <addr>` is the matching client: it streams stdin (or
+//! `--input`) lines to the socket, half-closes, and prints the
+//! server's response lines to stdout — so
+//! `serve --connect` composes with `diff` against `serve` exactly the
+//! way CI's TCP smoke leg uses it.
 
 use crate::common::Options;
 use sfdata::synth::SynthConfig;
+use sfnet::{AuditTcpServer, ExecutorConfig, NetExecutor, SystemClock};
+use sfscan::outcomes::SpatialOutcomes;
 use sfscan::{AuditConfig, RegionSet};
-use sfserve::{AuditService, DrainPolicy, ResponseEnvelope, Ticket};
+use sfserve::{AuditService, DrainPolicy, ResponseEnvelope, SubmitError, Ticket};
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One input line's fate: a ticket to poll at the end, or an
-/// immediate rejection message.
-type LineOutcome = Result<Ticket, String>;
+/// immediate typed rejection (rendered as a `"rejected"`/`"busy"`
+/// envelope with its [`sfserve::ErrorCode`]).
+type LineOutcome = Result<Ticket, SubmitError>;
 
-/// Runs the JSONL serving loop.
-pub fn run(opts: &Options) {
-    // Unlike the figure harnesses, all narration goes to stderr:
-    // stdout carries nothing but response envelopes.
-    eprintln!("[serve] JSONL request/response envelopes over one AuditService");
-
+/// The benchmark dataset every serve mode hosts (deterministic in
+/// `--seed`/`--quick`, so server and reference transcripts agree).
+fn dataset(opts: &Options) -> (SpatialOutcomes, RegionSet, AuditConfig) {
     let n = if opts.quick { 2_000 } else { 20_000 };
     let outcomes = SynthConfig {
         per_half: n / 2,
@@ -53,6 +73,27 @@ pub fn run(opts: &Options) {
             .with_worlds(opts.effective_worlds())
             .with_seed(opts.seed),
     );
+    (outcomes, regions, base)
+}
+
+/// Dispatches on the serve mode flags.
+pub fn run(opts: &Options) {
+    if let Some(addr) = &opts.connect {
+        run_client(opts, addr);
+    } else if let Some(addr) = &opts.listen {
+        run_server(opts, addr);
+    } else {
+        run_inprocess(opts);
+    }
+}
+
+/// Runs the in-process JSONL serving loop (the reference transcript).
+fn run_inprocess(opts: &Options) {
+    // Unlike the figure harnesses, all narration goes to stderr:
+    // stdout carries nothing but response envelopes.
+    eprintln!("[serve] JSONL request/response envelopes over one AuditService");
+
+    let (outcomes, regions, base) = dataset(opts);
 
     let mut service = match opts.max_pending {
         Some(limit) => AuditService::new().with_policy(DrainPolicy::MaxPending(limit)),
@@ -110,13 +151,7 @@ pub fn run(opts: &Options) {
                     envelope
                 }
             }
-            Err(message) => ResponseEnvelope {
-                ticket: None,
-                status: sfserve::WireStatus::Rejected,
-                report: None,
-                error: Some(message.clone()),
-                geojson: None,
-            },
+            Err(error) => ResponseEnvelope::rejected(error),
         };
         writeln!(out, "{}", envelope.to_json()).expect("stdout is writable");
     }
@@ -142,9 +177,127 @@ fn read_lines(reader: impl BufRead, service: &mut AuditService) -> Vec<LineOutco
             Ok(ticket) => Ok(ticket),
             Err(e) => {
                 eprintln!("[serve] line {}: rejected: {e}", i + 1);
-                Err(e.to_string())
+                Err(e)
             }
         });
     }
     outcomes
+}
+
+/// Set by the SIGINT handler; polled by the `--listen` wait loop.
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_signum: i32) {
+    // The only async-signal-safe thing worth doing: flip the flag.
+    SIGINT.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT handler via the raw libc `signal` symbol — no
+/// vendored signal crate, and an atomic store is async-signal-safe.
+#[cfg(unix)]
+fn install_sigint() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT_NUM: i32 = 2;
+    unsafe {
+        signal(SIGINT_NUM, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint() {
+    // No portable handler: Ctrl-C terminates the process, the OS
+    // reclaims the socket. Graceful drain needs unix.
+}
+
+/// Hosts the benchmark dataset behind the `sfnet` TCP server until
+/// SIGINT, then shuts down gracefully (drain everything, answer every
+/// accepted ticket, print final stats).
+fn run_server(opts: &Options, addr: &str) {
+    let (outcomes, regions, base) = dataset(opts);
+    let policy = match (opts.deadline_ms, opts.max_pending) {
+        (Some(ms), _) => DrainPolicy::Deadline(ms.saturating_mul(1_000)), // clock runs in µs
+        (None, Some(limit)) => DrainPolicy::MaxPending(limit),
+        (None, None) => DrainPolicy::Manual,
+    };
+    let executor = Arc::new(NetExecutor::new(
+        ExecutorConfig {
+            workers: opts.net_workers.max(1),
+            queue_capacity: opts.queue_capacity,
+            policy,
+        },
+        Arc::new(SystemClock::new()),
+    ));
+    let handle = executor
+        .register(&outcomes, &regions, base)
+        .expect("the synthetic benchmark dataset is auditable");
+    let server = AuditTcpServer::bind(addr, executor, Duration::from_millis(5))
+        .unwrap_or_else(|e| panic!("cannot listen on {addr}: {e}"));
+    eprintln!(
+        "[serve] listening on {} — {} points x {} regions as handle {}, {:?}, workers={}, \
+         queue_capacity={:?}",
+        server.local_addr(),
+        outcomes.len(),
+        regions.len(),
+        handle.0,
+        policy,
+        opts.net_workers.max(1),
+        opts.queue_capacity,
+    );
+
+    install_sigint();
+    while !SIGINT.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("[serve] SIGINT: draining and shutting down");
+    let stats = server.shutdown();
+    eprintln!("[serve] final stats: {stats}");
+}
+
+/// Streams the input lines to a live server and prints its response
+/// lines to stdout — the socket client matching `run_inprocess`'s
+/// stdout byte for byte against the same server-side dataset.
+fn run_client(opts: &Options, addr: &str) {
+    use std::net::{Shutdown, TcpStream};
+    let lines: Vec<String> = match &opts.input {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .unwrap_or_else(|e| panic!("cannot open --input {path}: {e}"));
+            std::io::BufReader::new(file)
+                .lines()
+                .map(|l| l.expect("readable input"))
+                .collect()
+        }
+        None => {
+            eprintln!("[serve] reading JSONL requests from stdin");
+            std::io::stdin()
+                .lock()
+                .lines()
+                .map(|l| l.unwrap())
+                .collect()
+        }
+    };
+    let mut stream =
+        TcpStream::connect(addr).unwrap_or_else(|e| panic!("cannot connect to {addr}: {e}"));
+    for line in &lines {
+        writeln!(stream, "{line}").expect("socket is writable");
+    }
+    stream
+        .shutdown(Shutdown::Write)
+        .expect("write half-close signals EOF");
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut served = 0usize;
+    for line in std::io::BufReader::new(stream).lines() {
+        let line = line.expect("socket is readable");
+        writeln!(out, "{line}").expect("stdout is writable");
+        served += 1;
+    }
+    out.flush().expect("stdout is writable");
+    eprintln!(
+        "[serve] {} lines sent, {} responses received",
+        lines.len(),
+        served
+    );
 }

@@ -34,7 +34,7 @@
 //! per point vs word-parallel bulk draws, asserted `>= 4x` at full
 //! scale, with the cold word batch asserted `>= 2x` end to end), and
 //! persists the machine-readable comparison so the performance
-//! trajectory is tracked across PRs (`BENCH_PR8.json`; format
+//! trajectory is tracked across PRs (`BENCH_PR9.json`; format
 //! documented in the README's benchmark-artifact section).
 //!
 //! The sharded engine (PR 6) gets three sections of its own:
@@ -60,6 +60,18 @@
 //! population), and MeanResidual — a genuinely different score — is
 //! asserted finite and different.
 //!
+//! The serving-v3 network layer (PR 9) gets a **socket load** section:
+//! a live [`sfnet::AuditTcpServer`] hosts the same dataset on an
+//! ephemeral port, one cold client and then several concurrent warm
+//! clients replay the same request mix over real TCP connections, and
+//! every transcript is asserted **byte-identical** to the in-process
+//! JSONL path (connection-local tickets plus batch-invariant reports
+//! make the network, the worker pool, and the drain policy invisible
+//! in the bytes). Drain-latency percentiles come from the executor's
+//! wall clock, sustained RPS from the warm phase, and a capacity-1
+//! probe server must shed overflow with `"busy"` envelopes instead of
+//! queuing without bound.
+//!
 //! The counting-kernel layer (PR 7) gets a **kernel isolation**
 //! section: every popcount kernel the CPU supports (scalar reference,
 //! portable unrolled, AVX2 Harley–Seal, AVX-512 `vpopcntdq`) is timed
@@ -82,14 +94,20 @@ use crate::common::{banner, report_row, Options};
 use serde::Serialize;
 use sfdata::synth::SynthConfig;
 use sfindex::{CountingKernel, MAX_FUSED_WORLDS};
+use sfnet::{AuditTcpServer, ExecutorConfig, NetExecutor, SystemClock};
 use sfscan::engine::ScanEngine;
 use sfscan::prepared::{AuditRequest, PreparedAudit};
 use sfscan::{
     AuditConfig, Auditor, CountingStrategy, Direction, McStrategy, NullModel, RegionSet, Statistic,
     WorldGen,
 };
-use sfserve::AuditService;
-use std::time::Instant;
+use sfserve::{
+    AuditService, DatasetHandle, DrainPolicy, RequestEnvelope, ResponseEnvelope, WireStatus,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The speedup the blocked counting path must clear over the scalar
 /// membership replay at full scale (the PR 3 acceptance bar).
@@ -193,7 +211,7 @@ struct TrajectoryPoint {
 }
 
 /// Machine-readable benchmark record (written to `--out`,
-/// `BENCH_PR7.json` by default).
+/// `BENCH_PR9.json` by default).
 #[derive(Debug, Clone, Serialize)]
 struct ServeBenchRecord {
     /// What produced this record.
@@ -345,6 +363,31 @@ struct ServeBenchRecord {
     statistic_bit_identical: bool,
     /// The serial-vs-sharded single audit swept over dataset sizes.
     scaling: Vec<ScalingRow>,
+    /// Socket load: concurrent warm-phase client threads.
+    net_clients: usize,
+    /// Socket load: total accepted requests across both phases
+    /// (`(1 + net_clients) × requests`, asserted against
+    /// `requests_served`).
+    net_requests: usize,
+    /// Socket load: cold single-client phase wall time (connect, send
+    /// the whole mix, read every response), milliseconds.
+    net_cold_ms: f64,
+    /// Socket load: warm multi-client phase wall time, milliseconds.
+    net_warm_ms: f64,
+    /// Socket load: sustained warm-phase throughput, requests per
+    /// second across all clients.
+    net_rps: f64,
+    /// Socket load: median submit→drain latency on the executor's wall
+    /// clock, microseconds.
+    net_drain_p50_us: u64,
+    /// Socket load: p99 submit→drain latency, microseconds.
+    net_drain_p99_us: u64,
+    /// Overload probe: `"busy"` envelopes a capacity-1 server answered
+    /// while its only slot was occupied (asserted `> 0`).
+    net_busy_lines: usize,
+    /// Every socket transcript byte-equal to the in-process JSONL
+    /// path's stdout for the same lines (asserted).
+    net_bit_identical: bool,
     /// Headline numbers of every benchmarked PR plus this run.
     trajectory: Vec<TrajectoryPoint>,
 }
@@ -366,6 +409,23 @@ fn request_mix(base: &AuditConfig, count: usize) -> Vec<AuditRequest> {
             }
             request
         })
+        .collect()
+}
+
+/// One socket client: connect, send every line, half-close the write
+/// side (the server's EOF/flush signal), read the full response
+/// transcript.
+fn socket_replay(addr: SocketAddr, lines: &[String]) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("live server accepts");
+    for line in lines {
+        writeln!(stream, "{line}").expect("socket is writable");
+    }
+    stream
+        .shutdown(Shutdown::Write)
+        .expect("write half-close signals EOF");
+    BufReader::new(stream)
+        .lines()
+        .map(|l| l.expect("socket is readable"))
         .collect()
 }
 
@@ -1002,6 +1062,121 @@ pub fn run(opts: &Options) {
         });
     }
 
+    // Socket load: the serving-v3 TCP front end under real client
+    // traffic. One envelope line per request in the mix; the reference
+    // transcript is exactly what `experiments serve` prints for these
+    // lines on stdin (submit everything, flush at EOF, one envelope
+    // per line in input order).
+    let net_clients = 4usize;
+    let net_lines: Vec<String> = requests
+        .iter()
+        .map(|r| RequestEnvelope::new(DatasetHandle(0), *r).to_json())
+        .collect();
+    let expected: Vec<String> = {
+        let mut service = AuditService::new();
+        let h = service
+            .register(&outcomes, &regions, base)
+            .expect("auditable");
+        assert_eq!(h, DatasetHandle(0), "first registration is handle 0");
+        let tickets: Vec<_> = net_lines
+            .iter()
+            .map(|line| service.submit_json(line).expect("valid request line"))
+            .collect();
+        service.flush();
+        tickets
+            .into_iter()
+            .map(|t| ResponseEnvelope::ready(service.take(t).expect("flushed")).to_json())
+            .collect()
+    };
+
+    // MaxPending(1) promotes every submission immediately, so the
+    // drain-latency samples approximate per-request service latency
+    // (queue wait included) instead of EOF-batch artifacts.
+    let net_executor = Arc::new(NetExecutor::new(
+        ExecutorConfig {
+            workers: cores.clamp(1, 4),
+            queue_capacity: None,
+            policy: DrainPolicy::MaxPending(1),
+        },
+        Arc::new(SystemClock::new()),
+    ));
+    net_executor
+        .register(&outcomes, &regions, base)
+        .expect("auditable");
+    let net_server = AuditTcpServer::bind("127.0.0.1:0", net_executor, Duration::from_millis(5))
+        .expect("ephemeral port binds");
+    let net_addr = net_server.local_addr();
+
+    // Cold phase: one client pays every world class's simulation.
+    let t = Instant::now();
+    let cold_transcript = socket_replay(net_addr, &net_lines);
+    let net_cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut net_bit_identical = cold_transcript == expected;
+
+    // Warm phase: concurrent clients replay the same mix; every world
+    // class now replays from the session cache, and every client must
+    // still read the exact reference bytes.
+    let t = Instant::now();
+    let warm_clients: Vec<_> = (0..net_clients)
+        .map(|_| {
+            let lines = net_lines.clone();
+            std::thread::spawn(move || socket_replay(net_addr, &lines))
+        })
+        .collect();
+    for client in warm_clients {
+        net_bit_identical &= client.join().expect("client thread") == expected;
+    }
+    let net_warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        net_bit_identical,
+        "every socket transcript must be byte-identical to the in-process JSONL path"
+    );
+    let net_rps = (net_clients * net_lines.len()) as f64 / (net_warm_ms / 1e3);
+    let net_stats = net_server.shutdown();
+    let net_requests = (net_clients + 1) * net_lines.len();
+    assert_eq!(
+        net_stats.requests_served, net_requests as u64,
+        "the live server must answer every accepted request"
+    );
+    assert!(
+        net_stats.worlds_replayed > 0 && net_stats.cache_hits > 0,
+        "repeat traffic must replay from the session world cache ({net_stats:?})"
+    );
+
+    // Overload probe: one worker, one queue slot, manual drain — the
+    // first line occupies the slot until EOF, so every further line
+    // must bounce with a typed "busy" envelope instead of queuing.
+    let probe_executor = Arc::new(NetExecutor::new(
+        ExecutorConfig {
+            workers: 1,
+            queue_capacity: Some(1),
+            policy: DrainPolicy::Manual,
+        },
+        Arc::new(SystemClock::new()),
+    ));
+    probe_executor
+        .register(&outcomes, &regions, base)
+        .expect("auditable");
+    let probe_server =
+        AuditTcpServer::bind("127.0.0.1:0", probe_executor, Duration::from_millis(5))
+            .expect("ephemeral port binds");
+    let probe_transcript = socket_replay(probe_server.local_addr(), &net_lines);
+    probe_server.shutdown();
+    assert_eq!(probe_transcript.len(), net_lines.len());
+    let net_busy_lines = probe_transcript
+        .iter()
+        .filter(|line| {
+            ResponseEnvelope::from_json(line)
+                .expect("envelope decodes")
+                .status
+                == WireStatus::Busy
+        })
+        .count();
+    assert!(
+        net_busy_lines > 0,
+        "a capacity-1 server must shed overflow with busy envelopes"
+    );
+
     let groups = sfscan::prepared::ExecutionPlan::new(requests.clone())
         .groups()
         .len();
@@ -1041,15 +1216,24 @@ pub fn run(opts: &Options) {
         point("PR7", "warm_speedup", 30.31),
         point("PR7", "fused_speedup", 1.87),
         point("PR7", "popcount_speedup", 6.94),
-        point("PR8", "speedup", rebuild_ms / batched_ms),
-        point("PR8", "counting_speedup", counting_speedup),
-        point("PR8", "gen_speedup", gen_speedup),
-        point("PR8", "word_batch_speedup", word_batch_speedup),
-        point("PR8", "warm_speedup", batched_serve_ms / warm_ms),
-        point("PR8", "single_audit_speedup", single_audit_speedup),
-        point("PR8", "fused_speedup", fused_speedup),
+        point("PR8", "speedup", 12.68),
+        point("PR8", "counting_speedup", 7.39),
+        point("PR8", "gen_speedup", 12.71),
+        point("PR8", "word_batch_speedup", 6.11),
+        point("PR8", "warm_speedup", 31.49),
+        point("PR8", "single_audit_speedup", 0.98),
+        point("PR8", "fused_speedup", 1.65),
+        point("PR8", "popcount_speedup", 7.03),
+        point("PR8", "statistic_fold_relative", 1.69),
+        point("PR9", "speedup", rebuild_ms / batched_ms),
+        point("PR9", "counting_speedup", counting_speedup),
+        point("PR9", "gen_speedup", gen_speedup),
+        point("PR9", "word_batch_speedup", word_batch_speedup),
+        point("PR9", "warm_speedup", batched_serve_ms / warm_ms),
+        point("PR9", "single_audit_speedup", single_audit_speedup),
+        point("PR9", "fused_speedup", fused_speedup),
         point(
-            "PR8",
+            "PR9",
             "popcount_speedup",
             kernel_rows
                 .iter()
@@ -1057,13 +1241,15 @@ pub fn run(opts: &Options) {
                 .map_or(1.0, |r| r.popcount_speedup),
         ),
         point(
-            "PR8",
+            "PR9",
             "statistic_fold_relative",
             statistic_rows
                 .iter()
                 .find(|r| r.statistic == "mean-residual")
                 .map_or(1.0, |r| r.relative),
         ),
+        point("PR9", "net_rps", net_rps),
+        point("PR9", "net_drain_p99_ms", net_stats.drain_p99 as f64 / 1e3),
     ];
 
     let record = ServeBenchRecord {
@@ -1127,6 +1313,15 @@ pub fn run(opts: &Options) {
         statistics: statistic_rows,
         statistic_bit_identical,
         scaling,
+        net_clients,
+        net_requests,
+        net_cold_ms,
+        net_warm_ms,
+        net_rps,
+        net_drain_p50_us: net_stats.drain_p50,
+        net_drain_p99_us: net_stats.drain_p99,
+        net_busy_lines,
+        net_bit_identical,
         trajectory,
     };
 
@@ -1260,6 +1455,41 @@ pub fn run(opts: &Options) {
             ),
         );
     }
+    report_row(
+        "net: cold socket client",
+        "byte-identical",
+        &format!(
+            "{:.0} ms for {} requests over TCP",
+            record.net_cold_ms,
+            net_lines.len()
+        ),
+    );
+    report_row(
+        &format!("net: warm x{} clients", record.net_clients),
+        "byte-identical",
+        &format!(
+            "{:.0} ms, {:.1} req/s sustained",
+            record.net_warm_ms, record.net_rps
+        ),
+    );
+    report_row(
+        "net: submit->drain latency",
+        "—",
+        &format!(
+            "p50 {} us, p99 {} us ({} samples)",
+            record.net_drain_p50_us, record.net_drain_p99_us, net_stats.drain_samples
+        ),
+    );
+    report_row(
+        "net: overload probe (capacity 1)",
+        "busy envelopes",
+        &format!(
+            "{} busy of {} lines, {} served",
+            record.net_busy_lines,
+            net_lines.len(),
+            net_lines.len() - record.net_busy_lines
+        ),
+    );
     report_row(
         "worlds generated",
         &format!("{rebuild_worlds} sequential"),

@@ -1,0 +1,109 @@
+//! Injected time for the executor.
+//!
+//! The in-process [`sfserve::AuditService`] is driven by an explicit
+//! `tick(now)` counter precisely so batching is deterministic; the
+//! network executor keeps that property by reading time through a
+//! [`Clock`] trait instead of calling `Instant::now()` inline. The
+//! server wires in [`SystemClock`] (microseconds of wall time); tests
+//! wire in [`ManualClock`] and advance it by hand, so
+//! [`DrainPolicy::Deadline`](sfserve::DrainPolicy::Deadline) coverage
+//! never sleeps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic `u64` time source. The unit is whatever the
+/// implementation says it is — the executor only ever compares and
+/// subtracts `now()` values, for
+/// [`DrainPolicy::Deadline`](sfserve::DrainPolicy::Deadline) expiry
+/// and for the submission→drain latency samples behind
+/// [`ServerStats`](sfserve::ServerStats)'s `drain_p50`/`drain_p99`.
+pub trait Clock: Send + Sync + 'static {
+    /// The current time, in this clock's units, monotonically
+    /// non-decreasing.
+    fn now(&self) -> u64;
+}
+
+/// Wall time in **microseconds** since the clock was created. One
+/// deadline tick therefore equals 1 µs under this clock; the server
+/// CLI exposes milliseconds and multiplies.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose zero is now.
+    pub fn new() -> Self {
+        SystemClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// A hand-advanced clock for deterministic tests: `now()` returns
+/// whatever was last [`set`](ManualClock::set) (initially 0), so a
+/// test controls exactly when a deadline expires.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at 0.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Moves the clock to `now`. Monotonicity is the caller's
+    /// contract, as with any clock a test controls.
+    pub fn set(&self, now: u64) {
+        self.now.store(now, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `delta` and returns the new time.
+    pub fn advance(&self, delta: u64) -> u64 {
+        self.now.fetch_add(delta, Ordering::SeqCst) + delta
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_settable_and_advanceable() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now(), 0);
+        clock.set(10);
+        assert_eq!(clock.now(), 10);
+        assert_eq!(clock.advance(5), 15);
+        assert_eq!(clock.now(), 15);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+}

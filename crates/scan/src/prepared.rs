@@ -443,6 +443,16 @@ impl std::fmt::Debug for PreparedAudit {
     }
 }
 
+// The sfnet executor shares one prepared artifact per session across
+// its worker pool as `Arc<PreparedAudit>`. Enforce the contract at
+// compile time so a future non-Sync field (an `Rc`, a `RefCell`
+// scratch buffer) fails here, at the definition, instead of deep in
+// the server's spawn sites.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    let _ = assert_send_sync::<PreparedAudit>;
+};
+
 impl PreparedAudit {
     /// Phase 1: validates the inputs and builds the scan engine from
     /// the expensive `config` knobs (index backend, counting strategy).

@@ -196,13 +196,29 @@ pub struct CacheStats {
     pub resident_bytes: u64,
 }
 
+impl CacheStats {
+    /// Fraction of lookups answered from cache, `0.0` before the
+    /// first lookup. Printed on the `Display` line (three decimals)
+    /// so load generators scrape warmth without re-deriving it.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
 impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "hits={} misses={} replayed={} simulated={} evictions={} resident_bytes={}",
+            "hits={} misses={} hit_rate={:.3} replayed={} simulated={} evictions={} \
+             resident_bytes={}",
             self.hits,
             self.misses,
+            self.hit_rate(),
             self.worlds_replayed,
             self.worlds_simulated,
             self.evictions,
@@ -1086,9 +1102,11 @@ mod tests {
         );
         let line = cache.stats().to_string();
         assert!(line.contains("hits=1"), "{line}");
+        assert!(line.contains("hit_rate=0.500"), "{line}");
         assert!(line.contains("replayed=5"), "{line}");
         assert!(line.contains("evictions=0"), "{line}");
         assert!(line.contains("resident_bytes=40"), "{line}");
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

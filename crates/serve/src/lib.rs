@@ -79,11 +79,11 @@ mod wire;
 pub use compat::{AuditServer, RequestId};
 pub use geojson::{findings_feature_collection, CIRCLE_SEGMENTS};
 pub use service::{
-    AuditResponse, AuditService, DatasetHandle, DrainPolicy, ServerStats, Status, SubmitError,
-    Ticket,
+    percentile, AuditResponse, AuditService, DatasetHandle, DrainPolicy, ServerStats, Status,
+    SubmitError, Ticket,
 };
 pub use sfscan::worldcache::CacheStats;
-pub use wire::{RequestEnvelope, ResponseEnvelope, WireStatus};
+pub use wire::{ErrorCode, RequestEnvelope, ResponseEnvelope, WireStatus};
 
 #[cfg(test)]
 mod tests {
@@ -483,6 +483,124 @@ mod tests {
         assert_eq!(rejected.status, WireStatus::Rejected);
         assert!(rejected.error.unwrap().contains("alpha"));
         assert_eq!(service.pending_total(), 0);
+    }
+
+    #[test]
+    fn typed_error_envelopes_round_trip() {
+        // Every SubmitError classifies to a stable kebab-case code, and
+        // the envelope round-trips with the code intact.
+        let cases: Vec<(SubmitError, ErrorCode, WireStatus)> = vec![
+            (
+                SubmitError::Busy {
+                    pending: 4,
+                    capacity: 4,
+                },
+                ErrorCode::Busy,
+                WireStatus::Busy,
+            ),
+            (
+                SubmitError::UnknownHandle(DatasetHandle(7)),
+                ErrorCode::UnknownHandle,
+                WireStatus::Rejected,
+            ),
+            (
+                SubmitError::InvalidRequest {
+                    reason: String::from("alpha must lie in (0, 1)"),
+                },
+                ErrorCode::InvalidRequest,
+                WireStatus::Rejected,
+            ),
+            (
+                SubmitError::Malformed {
+                    reason: String::from("line 1: expected a value"),
+                },
+                ErrorCode::Malformed,
+                WireStatus::Rejected,
+            ),
+        ];
+        for (error, code, status) in cases {
+            let envelope = ResponseEnvelope::rejected(&error);
+            assert_eq!(envelope.status, status, "{error}");
+            assert_eq!(envelope.code, Some(code), "{error}");
+            assert_eq!(envelope.error.as_deref(), Some(&*error.to_string()));
+            let line = envelope.to_json();
+            assert!(line.contains(&format!("\"code\":\"{code}\"")), "{line}");
+            assert_eq!(ResponseEnvelope::from_json(&line).unwrap(), envelope);
+        }
+
+        // The busy shorthand is the rejected() rendering of Busy.
+        let busy = ResponseEnvelope::busy(3, 3);
+        assert_eq!(busy.status, WireStatus::Busy);
+        assert_eq!(busy.code, Some(ErrorCode::Busy));
+        assert!(busy.to_json().contains("\"status\":\"busy\""));
+
+        // Polling a ticket the service never issued is typed too.
+        let unknown = ResponseEnvelope::from_status(Ticket(99), Status::Unknown);
+        assert_eq!(unknown.code, Some(ErrorCode::UnknownTicket));
+        let back = ResponseEnvelope::from_json(&unknown.to_json()).unwrap();
+        assert_eq!(back, unknown);
+
+        // Success envelopes never grow a code field — v1 bytes hold.
+        assert!(!ResponseEnvelope::queued(Ticket(0))
+            .to_json()
+            .contains("code"));
+    }
+
+    #[test]
+    fn queue_capacity_rejects_with_busy_and_recovers_after_drain() {
+        let (service, handle, _) = service_with(600, 15);
+        let mut service = service.with_queue_capacity(2);
+        assert_eq!(service.queue_capacity(), Some(2));
+        let request = service.default_request(handle).unwrap();
+
+        let a = service.submit(handle, request).unwrap();
+        let b = service
+            .submit(handle, request.with_direction(Direction::High))
+            .unwrap();
+        // Third submission hits the cap: typed Busy, nothing queued,
+        // no ticket burned.
+        let err = service
+            .submit(handle, request.with_direction(Direction::Low))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::Busy {
+                pending: 2,
+                capacity: 2
+            }
+        );
+        assert_eq!(service.pending_total(), 2);
+        assert_eq!(service.stats().queue_depth, 2);
+
+        // Draining frees the queue; the retry is accepted with the
+        // next consecutive ticket (the busy rejection consumed none).
+        service.flush();
+        assert_eq!(service.stats().queue_depth, 0);
+        let c = service
+            .submit(handle, request.with_direction(Direction::Low))
+            .unwrap();
+        assert_eq!(c.0, b.0 + 1);
+        service.flush();
+        for t in [a, b, c] {
+            assert!(service.poll(t).is_ready(), "{t}");
+        }
+
+        // The drain-latency summary is on the stats line for scrapers.
+        let line = service.stats().to_string();
+        for token in ["queue_depth=0", "drain_latency: p50=", "p99=", "(n=3)"] {
+            assert!(line.contains(token), "{line}");
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_on_sorted_samples() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.5), 50);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
     }
 
     #[test]

@@ -133,6 +133,17 @@ pub enum SubmitError {
         /// The decoder's complaint.
         reason: String,
     },
+    /// The session's bounded submission queue is full — the
+    /// backpressure signal. The request was NOT queued; the client
+    /// should retry after a drain. Produced only by services with a
+    /// queue cap ([`AuditService::with_queue_capacity`]) and by the
+    /// bounded per-session queues of the `sfnet` executor.
+    Busy {
+        /// Outstanding (queued or executing) requests at rejection.
+        pending: usize,
+        /// The configured per-session capacity.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -146,6 +157,12 @@ impl std::fmt::Display for SubmitError {
             }
             SubmitError::Malformed { reason } => {
                 write!(f, "malformed request envelope: {reason}")
+            }
+            SubmitError::Busy { pending, capacity } => {
+                write!(
+                    f,
+                    "busy: session queue full ({pending}/{capacity} outstanding)"
+                )
             }
         }
     }
@@ -209,6 +226,21 @@ pub struct ServerStats {
     pub lane_worlds: u64,
     /// Worlds the per-request budgets allowed in total.
     pub budget_total: u64,
+    /// Queued-but-unexecuted requests at the last submit/drain event —
+    /// a gauge, not a counter (the backpressure signal the load
+    /// generator scrapes).
+    pub queue_depth: u64,
+    /// Median submission→drain latency across served requests. Units
+    /// are whatever clock drives the service: deterministic
+    /// [`AuditService::tick`] ticks in-process, microseconds under the
+    /// `sfnet` executor's wall clock.
+    pub drain_p50: u64,
+    /// 99th-percentile submission→drain latency (same units as
+    /// [`ServerStats::drain_p50`]).
+    pub drain_p99: u64,
+    /// Latency samples behind the percentiles (== requests served
+    /// through the latency-tracked path).
+    pub drain_samples: u64,
 }
 
 impl ServerStats {
@@ -225,7 +257,11 @@ impl ServerStats {
         self.budget_total.saturating_sub(self.lane_worlds)
     }
 
-    fn absorb(&mut self, batch: &BatchStats) {
+    /// Folds one executed batch's accounting into the cumulative
+    /// counters. Public so the `sfnet` executor shares the exact
+    /// mapping (and therefore the exact summary line) with the
+    /// in-process service.
+    pub fn absorb(&mut self, batch: &BatchStats) {
         self.requests_served += batch.requests;
         self.batches += 1;
         self.unique_worlds += batch.unique_worlds;
@@ -241,16 +277,32 @@ impl std::fmt::Display for ServerStats {
         write!(
             f,
             "requests={} batches={} worlds: unique={} shared={} saved={} \
-             replayed={} cache_hits={}",
+             replayed={} cache_hits={} | queue_depth={} \
+             drain_latency: p50={} p99={} (n={})",
             self.requests_served,
             self.batches,
             self.unique_worlds,
             self.worlds_shared(),
             self.worlds_saved(),
             self.worlds_replayed,
-            self.cache_hits
+            self.cache_hits,
+            self.queue_depth,
+            self.drain_p50,
+            self.drain_p99,
+            self.drain_samples
         )
     }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample set (`q` in
+/// `[0, 1]`); 0 on an empty set. Shared by the in-process service
+/// (tick units) and the `sfnet` executor (microseconds).
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// One registered dataset: its prepared engine, its pending queue, and
@@ -260,7 +312,9 @@ struct Session {
     handle: DatasetHandle,
     prepared: PreparedAudit,
     cache: WorldCache,
-    queue: Vec<(Ticket, AuditRequest)>,
+    /// Pending requests with the clock value each was submitted at
+    /// (the drain-latency sample recorded when the batch executes).
+    queue: Vec<(Ticket, AuditRequest, u64)>,
     /// Clock time of the oldest pending submission (None when empty);
     /// drives [`DrainPolicy::Deadline`].
     queued_since: Option<u64>,
@@ -297,6 +351,12 @@ pub struct AuditService {
     /// Per-session world-cache byte cap applied at registration
     /// (`None` = unbounded caches).
     cache_capacity_bytes: Option<usize>,
+    /// Per-session pending-queue cap (`None` = unbounded; submissions
+    /// beyond it are rejected with [`SubmitError::Busy`]).
+    queue_capacity: Option<usize>,
+    /// Submission→drain latency samples in service-clock ticks,
+    /// ascending-sorted lazily when the percentiles are recomputed.
+    drain_latencies: Vec<u64>,
     /// Tickets whose wire request asked for GeoJSON findings on the
     /// response ([`RequestEnvelope::geojson`](crate::RequestEnvelope)).
     /// Presentation state only — execution and reports are unaffected.
@@ -329,6 +389,20 @@ impl AuditService {
     /// The per-session world-cache byte cap (`None` = unbounded).
     pub fn cache_capacity_bytes(&self) -> Option<usize> {
         self.cache_capacity_bytes
+    }
+
+    /// Bounds every session's pending queue at `requests`: a submission
+    /// that would exceed it is rejected with [`SubmitError::Busy`]
+    /// instead of queueing without limit — the in-process version of
+    /// the `sfnet` executor's backpressure. Floored at 1.
+    pub fn with_queue_capacity(mut self, requests: usize) -> Self {
+        self.queue_capacity = Some(requests.max(1));
+        self
+    }
+
+    /// The per-session pending-queue cap (`None` = unbounded).
+    pub fn queue_capacity(&self) -> Option<usize> {
+        self.queue_capacity
     }
 
     /// The active drain policy.
@@ -433,6 +507,9 @@ impl AuditService {
     /// * [`SubmitError::InvalidRequest`] — invalid knobs, rejected
     ///   *before* queueing so a bad request can never take an already
     ///   queued batch down with it.
+    /// * [`SubmitError::Busy`] — the session queue is at its
+    ///   [`AuditService::with_queue_capacity`] cap; nothing was queued
+    ///   and no ticket was consumed.
     pub fn submit(
         &mut self,
         handle: DatasetHandle,
@@ -440,12 +517,19 @@ impl AuditService {
     ) -> Result<Ticket, SubmitError> {
         request.validate()?;
         let idx = self.session_index(handle)?;
+        if let Some(capacity) = self.queue_capacity {
+            let pending = self.sessions[idx].queue.len();
+            if pending >= capacity {
+                return Err(SubmitError::Busy { pending, capacity });
+            }
+        }
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
         let clock = self.clock;
         let session = &mut self.sessions[idx];
-        session.queue.push((ticket, request));
+        session.queue.push((ticket, request, clock));
         session.queued_since.get_or_insert(clock);
+        self.stats.queue_depth = self.pending_total() as u64;
         if let DrainPolicy::MaxPending(limit) = self.policy {
             if self.sessions[idx].queue.len() >= limit.max(1) {
                 self.run_session_batch(idx);
@@ -463,7 +547,7 @@ impl AuditService {
         let queued = self
             .sessions
             .iter()
-            .any(|s| s.queue.iter().any(|(t, _)| *t == ticket));
+            .any(|s| s.queue.iter().any(|(t, _, _)| *t == ticket));
         if queued {
             Status::Queued
         } else {
@@ -517,7 +601,7 @@ impl AuditService {
     /// introspection; the queue is untouched.
     pub fn plan(&self, handle: DatasetHandle) -> Option<ExecutionPlan> {
         self.session(handle)
-            .map(|s| ExecutionPlan::new(s.queue.iter().map(|(_, r)| *r).collect()))
+            .map(|s| ExecutionPlan::new(s.queue.iter().map(|(_, r, _)| *r).collect()))
     }
 
     /// Advances the service clock to `now` (monotonic: a smaller value
@@ -592,16 +676,24 @@ impl AuditService {
         }
         let queued = std::mem::take(&mut session.queue);
         session.queued_since = None;
-        let requests: Vec<AuditRequest> = queued.iter().map(|(_, r)| *r).collect();
+        let requests: Vec<AuditRequest> = queued.iter().map(|(_, r, _)| *r).collect();
         let (reports, batch) = session
             .prepared
             .run_batch_cached(&requests, &mut session.cache);
         self.stats.absorb(&batch);
+        let clock = self.clock;
+        self.drain_latencies
+            .extend(queued.iter().map(|(_, _, at)| clock.saturating_sub(*at)));
+        self.drain_latencies.sort_unstable();
+        self.stats.drain_p50 = percentile(&self.drain_latencies, 0.50);
+        self.stats.drain_p99 = percentile(&self.drain_latencies, 0.99);
+        self.stats.drain_samples = self.drain_latencies.len() as u64;
         let served = queued.len();
-        for ((ticket, _), report) in queued.into_iter().zip(reports) {
+        for ((ticket, _, _), report) in queued.into_iter().zip(reports) {
             self.completed
                 .insert(ticket.0, AuditResponse { ticket, report });
         }
+        self.stats.queue_depth = self.pending_total() as u64;
         served
     }
 }

@@ -109,6 +109,11 @@ pub enum WireStatus {
     Ready,
     /// Rejected at submission; the envelope carries the error.
     Rejected,
+    /// Backpressure: the session queue was full ([`SubmitError::Busy`]).
+    /// Nothing was queued — the client should retry after a drain.
+    /// Distinct from `"rejected"` so retry loops never have to parse
+    /// the error text.
+    Busy,
 }
 
 impl WireStatus {
@@ -118,6 +123,7 @@ impl WireStatus {
             WireStatus::Queued => "queued",
             WireStatus::Ready => "ready",
             WireStatus::Rejected => "rejected",
+            WireStatus::Busy => "busy",
         }
     }
 }
@@ -140,8 +146,82 @@ impl Deserialize for WireStatus {
             Some("queued") => Ok(WireStatus::Queued),
             Some("ready") => Ok(WireStatus::Ready),
             Some("rejected") => Ok(WireStatus::Rejected),
+            Some("busy") => Ok(WireStatus::Busy),
             _ => Err(serde::Error::msg(format!(
-                "expected \"queued\"/\"ready\"/\"rejected\", got {}",
+                "expected \"queued\"/\"ready\"/\"rejected\"/\"busy\", got {}",
+                value.kind()
+            ))),
+        }
+    }
+}
+
+/// Machine-readable classification of a failed submission, so clients
+/// branch on a stable token instead of parsing [`SubmitError`]'s
+/// human-oriented `Display` text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Session queue full — retry after a drain
+    /// ([`SubmitError::Busy`]).
+    Busy,
+    /// No session registered under the handle
+    /// ([`SubmitError::UnknownHandle`]).
+    UnknownHandle,
+    /// The request decoded but failed validation
+    /// ([`SubmitError::Invalid`]).
+    InvalidRequest,
+    /// The line was not a decodable envelope
+    /// ([`SubmitError::Malformed`]).
+    Malformed,
+    /// A polled ticket the service has never issued
+    /// ([`Status::Unknown`]).
+    UnknownTicket,
+}
+
+impl ErrorCode {
+    /// The kebab-case wire token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::UnknownHandle => "unknown-handle",
+            ErrorCode::InvalidRequest => "invalid-request",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::UnknownTicket => "unknown-ticket",
+        }
+    }
+
+    /// The code classifying a [`SubmitError`].
+    pub fn for_submit_error(error: &SubmitError) -> Self {
+        match error {
+            SubmitError::Busy { .. } => ErrorCode::Busy,
+            SubmitError::UnknownHandle(_) => ErrorCode::UnknownHandle,
+            SubmitError::InvalidRequest { .. } => ErrorCode::InvalidRequest,
+            SubmitError::Malformed { .. } => ErrorCode::Malformed,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for ErrorCode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for ErrorCode {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value.as_str() {
+            Some("busy") => Ok(ErrorCode::Busy),
+            Some("unknown-handle") => Ok(ErrorCode::UnknownHandle),
+            Some("invalid-request") => Ok(ErrorCode::InvalidRequest),
+            Some("malformed") => Ok(ErrorCode::Malformed),
+            Some("unknown-ticket") => Ok(ErrorCode::UnknownTicket),
+            _ => Err(serde::Error::msg(format!(
+                "expected an error-code token, got {}",
                 value.kind()
             ))),
         }
@@ -150,20 +230,23 @@ impl Deserialize for WireStatus {
 
 /// One response on the wire. The four core fields are always present
 /// (absent values render as JSON `null`) so line consumers never
-/// key-check; the optional `geojson` field appears only on responses
-/// whose request asked for it, keeping every other response line
-/// byte-identical to the v1 wire.
+/// key-check; the optional `code` and `geojson` fields appear only on
+/// error responses / responses whose request asked for a rendering,
+/// keeping every other response line byte-identical to the v1 wire.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResponseEnvelope {
     /// The ticket the submission was assigned (`null` when it was
     /// rejected before a ticket existed).
     pub ticket: Option<Ticket>,
-    /// `"ready"`, `"queued"`, or `"rejected"`.
+    /// `"ready"`, `"queued"`, `"rejected"`, or `"busy"`.
     pub status: WireStatus,
     /// The audit report (`null` unless `status == "ready"`).
     pub report: Option<AuditReport>,
-    /// The rejection reason (`null` unless `status == "rejected"`).
+    /// The rejection reason (`null` unless `status` is an error).
     pub error: Option<String>,
+    /// Typed classification of the error, present only on error
+    /// envelopes (so v1 ready/queued lines keep their exact bytes).
+    pub code: Option<ErrorCode>,
     /// GeoJSON `FeatureCollection` of the findings (see
     /// [`findings_feature_collection`](crate::findings_feature_collection)),
     /// present only when the request envelope set its `geojson` flag
@@ -179,6 +262,7 @@ impl ResponseEnvelope {
             status: WireStatus::Ready,
             report: Some(response.report),
             error: None,
+            code: None,
             geojson: None,
         }
     }
@@ -190,19 +274,34 @@ impl ResponseEnvelope {
             status: WireStatus::Queued,
             report: None,
             error: None,
+            code: None,
             geojson: None,
         }
     }
 
-    /// A rejected submission.
+    /// A rejected submission, carrying the typed [`ErrorCode`].
+    /// [`SubmitError::Busy`] renders with the dedicated `"busy"`
+    /// status so overload is distinguishable from a bad request
+    /// without inspecting the code.
     pub fn rejected(error: &SubmitError) -> Self {
+        let code = ErrorCode::for_submit_error(error);
         ResponseEnvelope {
             ticket: None,
-            status: WireStatus::Rejected,
+            status: if code == ErrorCode::Busy {
+                WireStatus::Busy
+            } else {
+                WireStatus::Rejected
+            },
             report: None,
             error: Some(error.to_string()),
+            code: Some(code),
             geojson: None,
         }
+    }
+
+    /// A backpressure envelope for a full session queue.
+    pub fn busy(pending: usize, capacity: usize) -> Self {
+        ResponseEnvelope::rejected(&SubmitError::Busy { pending, capacity })
     }
 
     /// The wire view of a polled ticket.
@@ -215,6 +314,7 @@ impl ResponseEnvelope {
                 status: WireStatus::Rejected,
                 report: None,
                 error: Some(format!("unknown {ticket}")),
+                code: Some(ErrorCode::UnknownTicket),
                 geojson: None,
             },
         }
@@ -246,6 +346,9 @@ impl Serialize for ResponseEnvelope {
             (String::from("report"), self.report.to_value()),
             (String::from("error"), self.error.to_value()),
         ];
+        if let Some(code) = &self.code {
+            fields.push((String::from("code"), code.to_value()));
+        }
         if let Some(geojson) = &self.geojson {
             fields.push((String::from("geojson"), geojson.to_value()));
         }
@@ -260,6 +363,14 @@ impl Deserialize for ResponseEnvelope {
             status: serde::get_field(value, "status")?,
             report: serde::get_field(value, "report")?,
             error: serde::get_field(value, "error")?,
+            code: match value.get("code") {
+                Some(v) => Some(
+                    ErrorCode::from_value(v)
+                        .map_err(|e| serde::Error::msg(format!("field `code`: {}", e.message)))?,
+                ),
+                // Absent on v1 payloads and on success envelopes.
+                None => None,
+            },
             geojson: match value.get("geojson") {
                 Some(v) => Option::<String>::from_value(v)
                     .map_err(|e| serde::Error::msg(format!("field `geojson`: {}", e.message)))?,
