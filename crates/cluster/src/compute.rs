@@ -1,0 +1,198 @@
+//! The shard-span count kernel shared by worker processes and the
+//! coordinator's degraded-local fallback.
+//!
+//! A *span* is a rectangle of the distributed count matrix: a run of
+//! consecutive world indices (`first .. first + count`) crossed with a
+//! word window (`word_lo .. word_hi`) of the Morton-ordered label
+//! bitset. [`SpanCounter::count_span`] produces the exact integer
+//! region-count partials of that rectangle, and the two invariants
+//! that make the distributed audit bit-identical to the single-process
+//! engine hold *by construction*:
+//!
+//! - **World identity.** World `w`'s labels depend only on
+//!   `(null_model, seed, worldgen, w)` — never on which worker
+//!   generates them, nor on how word windows partition the bitset
+//!   ([`ScanEngine::generate_world_window`] draws the window's
+//!   generation chunks from their absolutely-positioned substreams).
+//! - **Partition sums.** Region counts and per-world positive totals
+//!   over the clipped CSR views sum exactly (integer addition) across
+//!   any partition of the label words, so the coordinator's reduction
+//!   reproduces the unsharded counts bit for bit.
+//!
+//! [`ScanEngine::generate_world_window`]: sfscan::prepared::PreparedAudit
+
+use sfindex::BlockedMembership;
+use sfscan::prepared::PreparedAudit;
+use sfscan::{CountingStrategy, NullModel, WorldGen};
+use sfstats::rng::world_rng;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One span of the distributed count matrix: worlds
+/// `first .. first + count` of the `(null_model, seed, worldgen)`
+/// stream, restricted to label words `word_lo .. word_hi`. The local
+/// twin of the wire's count request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSpec {
+    pub null_model: NullModel,
+    pub worldgen: WorldGen,
+    pub seed: u64,
+    pub first: usize,
+    pub count: usize,
+    pub word_lo: usize,
+    pub word_hi: usize,
+}
+
+/// The exact integer partials of one counted span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanPartials {
+    /// Region-major count partials: `counts[r * count + k]` is region
+    /// `r`'s positive count within the word window under world
+    /// `first + k`.
+    pub counts: Vec<u64>,
+    /// Per-world positive totals within the word window:
+    /// `p_partials[k]` under world `first + k`.
+    pub p_partials: Vec<u64>,
+}
+
+/// Errors a span request can hit before any counting happens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanError {
+    /// The engine did not resolve to the blocked counting strategy, so
+    /// there is no CSR to clip. Distributed counting requires
+    /// [`CountingStrategy::Blocked`] (or an `Auto` that resolves to
+    /// it).
+    NotBlocked,
+    /// The word window is inverted or exceeds the label words.
+    BadWindow { word_lo: usize, word_hi: usize },
+    /// The span is empty.
+    EmptySpan,
+}
+
+impl std::fmt::Display for SpanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpanError::NotBlocked => write!(
+                f,
+                "distributed counting requires the blocked counting strategy"
+            ),
+            SpanError::BadWindow { word_lo, word_hi } => {
+                write!(f, "bad word window {word_lo}..{word_hi}")
+            }
+            SpanError::EmptySpan => write!(f, "empty world span"),
+        }
+    }
+}
+
+impl std::error::Error for SpanError {}
+
+/// Counts world-span × word-window rectangles against one prepared
+/// engine, caching the clipped CSR views (a worker serves the same
+/// window for every span of an audit; the coordinator's degraded path
+/// revisits windows across retries).
+#[derive(Debug)]
+pub struct SpanCounter {
+    prepared: Arc<PreparedAudit>,
+    /// Clipped views keyed by word window. Built lazily; a view is an
+    /// O(window) CSR slice, so the cache trades a few MB for not
+    /// re-clipping on every span.
+    views: Mutex<HashMap<(usize, usize), Arc<BlockedMembership>>>,
+}
+
+impl SpanCounter {
+    /// Wraps a prepared engine. Fails unless the engine resolved to
+    /// the blocked counting strategy — the only substrate with
+    /// clippable word-window views.
+    pub fn new(prepared: Arc<PreparedAudit>) -> Result<Self, SpanError> {
+        if prepared.engine().resolved_strategy() != CountingStrategy::Blocked
+            || prepared.engine().blocked().is_none()
+        {
+            return Err(SpanError::NotBlocked);
+        }
+        Ok(SpanCounter {
+            prepared,
+            views: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The engine this counter reads.
+    pub fn prepared(&self) -> &Arc<PreparedAudit> {
+        &self.prepared
+    }
+
+    /// Total label words — the axis [`shard_word_bounds`]
+    /// (`sfindex::shard_word_bounds`) partitions.
+    pub fn num_label_words(&self) -> usize {
+        self.prepared
+            .engine()
+            .blocked()
+            .expect("constructor verified the blocked substrate")
+            .num_label_words()
+    }
+
+    /// Number of candidate regions (rows of the count matrix).
+    pub fn num_regions(&self) -> usize {
+        self.prepared.num_regions()
+    }
+
+    /// Number of indexed points (dataset-identity check for workers).
+    pub fn num_points(&self) -> usize {
+        self.prepared.num_points()
+    }
+
+    fn view(&self, word_lo: usize, word_hi: usize) -> Arc<BlockedMembership> {
+        let mut views = self.views.lock().expect("view cache lock");
+        views
+            .entry((word_lo, word_hi))
+            .or_insert_with(|| {
+                Arc::new(
+                    self.prepared
+                        .engine()
+                        .blocked()
+                        .expect("constructor verified the blocked substrate")
+                        .clip_to_words(word_lo, word_hi),
+                )
+            })
+            .clone()
+    }
+
+    /// Counts one span: generates the spec's worlds
+    /// (window-restricted generation when the stream supports it, full
+    /// generation otherwise — the window's words are identical either
+    /// way) and recounts them against the clipped CSR view of its word
+    /// window.
+    pub fn count_span(&self, spec: SpanSpec) -> Result<SpanPartials, SpanError> {
+        let SpanSpec {
+            null_model,
+            worldgen,
+            seed,
+            first,
+            count,
+            word_lo,
+            word_hi,
+        } = spec;
+        if count == 0 {
+            return Err(SpanError::EmptySpan);
+        }
+        if word_lo > word_hi || word_hi > self.num_label_words() {
+            return Err(SpanError::BadWindow { word_lo, word_hi });
+        }
+        let engine = self.prepared.engine();
+        let mut worlds = Vec::with_capacity(count);
+        for k in 0..count {
+            let mut rng = world_rng(seed, (first + k) as u64);
+            worlds.push(
+                engine.generate_world_window(null_model, worldgen, &mut rng, word_lo, word_hi),
+            );
+        }
+        let refs: Vec<&sfindex::BitLabels> = worlds.iter().collect();
+        let view = self.view(word_lo, word_hi);
+        let mut counts = Vec::new();
+        view.count_all_many_into(&refs, engine.kernel(), &mut counts);
+        let p_partials = worlds
+            .iter()
+            .map(|labels| labels.count_ones_in_words(word_lo, word_hi))
+            .collect();
+        Ok(SpanPartials { counts, p_partials })
+    }
+}

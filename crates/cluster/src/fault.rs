@@ -1,0 +1,156 @@
+//! Deterministic fault injection for shard workers.
+//!
+//! A [`FaultPlan`] is a comma-separated list of counter-keyed rules,
+//! evaluated against the worker's lifetime request counter (1-based —
+//! the first request a worker serves is request 1). Because the
+//! trigger is a plain counter, not a timer or RNG, a plan replays
+//! identically on every run — the property the bit-identity
+//! transcripts under faults rely on.
+//!
+//! Grammar (whitespace-free tokens joined by `,`):
+//!
+//! ```text
+//! kill-after=N      exit the worker after serving N requests
+//! drop-at=N         drop the connection instead of answering request N
+//! corrupt-at=N      answer request N with a truncated (undecodable) line
+//! delay-at=N:MS     sleep MS milliseconds before answering request N
+//! delay-every=K:MS  sleep MS milliseconds before every K-th request
+//! ```
+//!
+//! Example: `kill-after=3,delay-at=2:50` — delay the 2nd request by
+//! 50 ms, serve the 3rd, then die.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What the worker does to one request, decided *before* the request
+/// is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultAction {
+    /// Sleep this long before replying.
+    pub delay_ms: u64,
+    /// Drop the connection instead of replying.
+    pub drop_connection: bool,
+    /// Reply with a truncated, undecodable line.
+    pub corrupt_reply: bool,
+    /// Exit the worker after this request's action completes.
+    pub kill_after: bool,
+}
+
+impl FaultAction {
+    /// Whether any fault fires.
+    pub fn is_fault(&self) -> bool {
+        self.delay_ms > 0 || self.drop_connection || self.corrupt_reply || self.kill_after
+    }
+}
+
+/// One parsed rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    KillAfter(u64),
+    DropAt(u64),
+    CorruptAt(u64),
+    DelayAt(u64, u64),
+    DelayEvery(u64, u64),
+}
+
+/// A deterministic, counter-keyed fault schedule (see module docs).
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<Rule>,
+    served: AtomicU64,
+}
+
+/// A rule string that does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultPlanError(String);
+
+impl std::fmt::Display for ParseFaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bad fault rule `{}` (expected kill-after=N, drop-at=N, corrupt-at=N, \
+             delay-at=N:MS, or delay-every=K:MS)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseFaultPlanError {}
+
+impl FromStr for FaultPlan {
+    type Err = ParseFaultPlanError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut rules = Vec::new();
+        for token in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| ParseFaultPlanError(token.to_string()))?;
+            let bad = || ParseFaultPlanError(token.to_string());
+            let uint = |v: &str| v.parse::<u64>().map_err(|_| bad());
+            let pair = |v: &str| -> Result<(u64, u64), ParseFaultPlanError> {
+                let (a, b) = v.split_once(':').ok_or_else(bad)?;
+                Ok((uint(a)?, uint(b)?))
+            };
+            rules.push(match key {
+                "kill-after" => Rule::KillAfter(uint(value)?),
+                "drop-at" => Rule::DropAt(uint(value)?),
+                "corrupt-at" => Rule::CorruptAt(uint(value)?),
+                "delay-at" => {
+                    let (n, ms) = pair(value)?;
+                    Rule::DelayAt(n, ms)
+                }
+                "delay-every" => {
+                    let (k, ms) = pair(value)?;
+                    if k == 0 {
+                        return Err(bad());
+                    }
+                    Rule::DelayEvery(k, ms)
+                }
+                _ => return Err(bad()),
+            });
+        }
+        Ok(FaultPlan {
+            rules,
+            served: AtomicU64::new(0),
+        })
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults ever fire).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan holds any rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Advances the request counter and returns the action for this
+    /// request. Thread-safe; each call claims the next counter value.
+    pub fn next_request(&self) -> FaultAction {
+        let n = self.served.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut action = FaultAction::default();
+        for rule in &self.rules {
+            match *rule {
+                Rule::KillAfter(after) if n >= after => action.kill_after = true,
+                Rule::DropAt(at) if n == at => action.drop_connection = true,
+                Rule::CorruptAt(at) if n == at => action.corrupt_reply = true,
+                Rule::DelayAt(at, ms) if n == at => action.delay_ms = action.delay_ms.max(ms),
+                Rule::DelayEvery(k, ms) if n.is_multiple_of(k) => {
+                    action.delay_ms = action.delay_ms.max(ms)
+                }
+                _ => {}
+            }
+        }
+        action
+    }
+
+    /// Requests whose action has been decided so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::SeqCst)
+    }
+}

@@ -1,10 +1,29 @@
-//! k-means clustering substrate.
+//! Clustering, in both senses.
 //!
-//! The paper's §4.3 places scan-region centers at "the centers of a
-//! k-means clustering of the observation locations" (100 centers for
-//! LAR). This crate implements seeded, deterministic k-means with
-//! k-means++ initialisation and Lloyd iterations.
-
+//! Historically this crate held the paper's §4.3 k-means substrate
+//! (scan-region centers at "the centers of a k-means clustering of
+//! the observation locations"; 100 centers for LAR) — seeded,
+//! deterministic k-means++ with Lloyd iterations, still here as
+//! [`KMeans`].
+//!
+//! It now also holds the *process* cluster: the distributed shard
+//! service that spreads one audit's Monte Carlo world evaluation
+//! across worker processes without changing a single output bit.
+//!
+//! - [`SpanCounter`] — the shared count kernel: exact integer
+//!   region-count partials for a (world span × word window) rectangle.
+//! - [`ShardWorker`] — a TCP worker serving count-partial requests
+//!   over newline-delimited JSON, with deterministic [`FaultPlan`]
+//!   injection for the robustness tests.
+//! - [`DistributedEvaluator`] — the coordinator: a
+//!   [`WorldEvaluator`](sfscan::prepared::WorldEvaluator) that
+//!   partitions the label words across workers, re-dispatches failed
+//!   shard spans (deadlines from an injected clock, capped exponential
+//!   backoff, `Healthy → Suspect → Dead` worker health), degrades to
+//!   local recomputation when no worker is live, and reduces the
+//!   partials through the engine's own τ fold — bit-identical to the
+//!   single-process engine by construction.
+//!
 //! # Example
 //!
 //! ```rust
@@ -19,6 +38,20 @@
 //! assert!(km.inertia < 1.0);
 //! ```
 
-pub mod kmeans;
+pub mod compute;
+pub mod coordinator;
+pub mod fault;
+pub mod wire;
+pub mod worker;
 
+// The k-means substrate lives in `sfgeo` (it is pure geometry and the
+// scan stack needs it below this crate in the dependency graph);
+// re-exported here so `sfcluster::KMeans` callers keep compiling.
+pub use sfgeo::kmeans;
+
+pub use compute::{SpanCounter, SpanError, SpanPartials, SpanSpec};
+pub use coordinator::{ClusterStats, CoordinatorConfig, DistributedEvaluator, WorkerHealth};
+pub use fault::{FaultAction, FaultPlan, ParseFaultPlanError};
 pub use kmeans::{KMeans, KMeansConfig};
+pub use wire::{CountRequest, WorkerReply, WorkerRequest, WorkerStats, PROTOCOL_VERSION};
+pub use worker::{ShardWorker, MAX_LINE_BYTES};

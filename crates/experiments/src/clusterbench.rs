@@ -1,0 +1,332 @@
+//! `cluster-bench`: the distributed shard service measured against
+//! the single-process engine — healthy scaling and faulted recovery,
+//! with bit-identity asserted on every row.
+//!
+//! The benchmark replays one mixed request matrix (both worldgens,
+//! three statistics, both null models, a direction variant) three
+//! ways:
+//!
+//! * **reference** — `PreparedAudit::run_batch` in-process, the
+//!   transcript every other row is byte-compared against;
+//! * **healthy rows** — the same matrix through a
+//!   [`DistributedEvaluator`] over 1, 2, … in-process shard workers
+//!   on loopback TCP (scaling is word-window sharding, so more
+//!   workers mean narrower count windows per request);
+//! * **fault rows** — three workers with deterministic [`FaultPlan`]s
+//!   (kill-after, drop/corrupt, delay-past-deadline, all-dead), every
+//!   recovery path exercised and the output still byte-identical.
+//!
+//! Every row records wall time, the coordinator's failure accounting
+//! (re-dispatches, deadline misses, degraded-local spans), and an
+//! `identical` flag computed by rendering each report to JSON and
+//! comparing bytes — the artifact (`BENCH_PR10.json`) is the
+//! machine-readable form of the tentpole's bit-identity claim.
+
+use crate::common::{banner, report_row, Options};
+use serde::Serialize;
+use sfcluster::{
+    ClusterStats, CoordinatorConfig, DistributedEvaluator, FaultPlan, ShardWorker, SpanCounter,
+};
+use sfnet::SystemClock;
+use sfscan::prepared::PreparedAudit;
+use sfscan::worldcache::WorldCache;
+use sfscan::{
+    AuditReport, AuditRequest, CountingStrategy, Direction, NullModel, Statistic, WorldGen,
+};
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One benchmark row in the artifact.
+#[derive(Debug, Serialize)]
+struct ClusterRow {
+    /// `"reference"`, `"healthy"`, or `"fault:<plan>"`.
+    mode: String,
+    /// Shard workers serving the row (0 for the reference).
+    workers: usize,
+    /// Fault plans injected, comma-joined (empty when healthy).
+    fault_plan: String,
+    /// Wall time for the full request matrix, milliseconds.
+    wall_ms: f64,
+    /// Whether every rendered report equals the reference bytes.
+    identical: bool,
+    /// Spans re-dispatched after a failed attempt.
+    redispatches: u64,
+    /// Dispatches that ran out the injected-clock deadline.
+    deadline_misses: u64,
+    /// Connection-level dispatch failures.
+    conn_errors: u64,
+    /// Replies rejected as corrupt (truncated/mismatched).
+    corrupt_replies: u64,
+    /// Spans the coordinator recomputed locally (no live worker).
+    degraded_local_spans: u64,
+    /// Spans reduced remotely.
+    completed_remote: u64,
+}
+
+/// The machine-readable artifact (`BENCH_PR10.json`).
+#[derive(Debug, Serialize)]
+struct ClusterRecord {
+    benchmark: String,
+    quick: bool,
+    points: usize,
+    regions: usize,
+    worlds: usize,
+    requests: usize,
+    rows: Vec<ClusterRow>,
+}
+
+/// The request matrix every row replays — the same coverage the
+/// distributed bit-identity tests pin (both worldgens, three
+/// statistics, both null models, a direction variant).
+fn request_matrix(opts: &Options) -> Vec<AuditRequest> {
+    let r = AuditRequest::new(Options::ALPHA)
+        .with_worlds(opts.effective_worlds().min(199))
+        .with_seed(opts.seed);
+    vec![
+        r,
+        r.with_worldgen(WorldGen::Scalar),
+        r.with_statistic(Statistic::EqualOppTpr),
+        r.with_statistic(Statistic::MeanResidual),
+        r.with_null_model(NullModel::Permutation),
+        r.with_direction(Direction::High).with_seed(opts.seed ^ 1),
+    ]
+}
+
+fn render(reports: &[AuditReport]) -> Vec<String> {
+    reports
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("report serialises"))
+        .collect()
+}
+
+fn spawn_workers(prepared: &Arc<PreparedAudit>, plans: &[&str]) -> Vec<ShardWorker> {
+    plans
+        .iter()
+        .map(|plan| {
+            let counter =
+                Arc::new(SpanCounter::new(prepared.clone()).expect("blocked engine is forced"));
+            let fault = Arc::new(FaultPlan::from_str(plan).expect("benchmark fault plans parse"));
+            ShardWorker::bind("127.0.0.1:0", counter, fault).expect("loopback bind")
+        })
+        .collect()
+}
+
+/// Runs the matrix through a coordinator over `workers`, returning
+/// (wall ms, rendered reports, failure accounting).
+fn run_distributed(
+    prepared: &Arc<PreparedAudit>,
+    workers: &[ShardWorker],
+    requests: &[AuditRequest],
+    dispatch_timeout_ms: u64,
+) -> (f64, Vec<String>, ClusterStats) {
+    let addrs: Vec<String> = workers.iter().map(|w| w.local_addr().to_string()).collect();
+    let config = CoordinatorConfig {
+        dispatch_timeout: dispatch_timeout_ms.saturating_mul(1_000),
+        ..CoordinatorConfig::default()
+    };
+    let evaluator = DistributedEvaluator::new(
+        prepared.clone(),
+        &addrs,
+        config,
+        Arc::new(SystemClock::new()),
+    )
+    .expect("coordinator over at least one worker");
+    let mut cache = WorldCache::new();
+    let t = Instant::now();
+    let (reports, _) = prepared.run_batch_cached_with(requests, &mut cache, Some(&evaluator));
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    (wall_ms, render(&reports), evaluator.stats())
+}
+
+fn row_from(
+    mode: String,
+    workers: usize,
+    fault_plan: &str,
+    wall_ms: f64,
+    identical: bool,
+    stats: ClusterStats,
+) -> ClusterRow {
+    ClusterRow {
+        mode,
+        workers,
+        fault_plan: fault_plan.to_string(),
+        wall_ms,
+        identical,
+        redispatches: stats.redispatches,
+        deadline_misses: stats.deadline_misses,
+        conn_errors: stats.conn_errors,
+        corrupt_replies: stats.corrupt_replies,
+        degraded_local_spans: stats.degraded_local_spans,
+        completed_remote: stats.completed_remote,
+    }
+}
+
+pub fn run(opts: &Options) {
+    banner("cluster-bench: distributed shards vs single-process (bit-identity under faults)");
+
+    let (outcomes, regions, base) = crate::serve_cmd::dataset(opts);
+    let base = base.with_strategy(CountingStrategy::Blocked);
+    let prepared = Arc::new(
+        PreparedAudit::prepare(&outcomes, &regions, base)
+            .expect("the synthetic benchmark dataset is auditable"),
+    );
+    let requests = request_matrix(opts);
+
+    // Reference: the single-process transcript every row diffs against.
+    let t = Instant::now();
+    let reference = render(&prepared.run_batch(&requests));
+    let reference_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut rows = vec![row_from(
+        "reference".to_string(),
+        0,
+        "",
+        reference_ms,
+        true,
+        ClusterStats::default(),
+    )];
+    report_row(
+        "single-process reference",
+        "—",
+        &format!("{reference_ms:.0} ms"),
+    );
+
+    // Healthy scaling: 1 → N workers, no faults.
+    let healthy_counts: &[usize] = if opts.quick { &[1, 2] } else { &[1, 2, 4] };
+    for &n in healthy_counts {
+        let plans: Vec<&str> = vec![""; n];
+        let workers = spawn_workers(&prepared, &plans);
+        let (wall_ms, rendered, stats) =
+            run_distributed(&prepared, &workers, &requests, opts.dispatch_timeout_ms);
+        let identical = rendered == reference;
+        report_row(
+            &format!("healthy x{n} worker(s)"),
+            "bit-identical",
+            &format!(
+                "{wall_ms:.0} ms, identical={identical}, remote spans {}",
+                stats.completed_remote
+            ),
+        );
+        rows.push(row_from(
+            "healthy".to_string(),
+            n,
+            "",
+            wall_ms,
+            identical,
+            stats,
+        ));
+    }
+
+    // Fault rows: every recovery path, output still byte-identical.
+    let fault_cases: &[(&str, &[&str])] = &[
+        ("fault:kill-one", &["kill-after=2", "", ""]),
+        (
+            "fault:drop+corrupt",
+            &["drop-at=1,drop-at=4", "corrupt-at=2", ""],
+        ),
+        ("fault:delay-redispatch", &["delay-at=1:300", "", ""]),
+    ];
+    for (mode, plans) in fault_cases {
+        let workers = spawn_workers(&prepared, plans);
+        // The delay case must out-wait the injected delay so the
+        // deadline actually fires and the span re-dispatches.
+        let timeout_ms = if mode.contains("delay") {
+            50
+        } else {
+            opts.dispatch_timeout_ms
+        };
+        let (wall_ms, rendered, stats) =
+            run_distributed(&prepared, &workers, &requests, timeout_ms);
+        let identical = rendered == reference;
+        let plan_desc = plans
+            .iter()
+            .filter(|p| !p.is_empty())
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(";");
+        report_row(
+            mode,
+            "bit-identical",
+            &format!(
+                "{wall_ms:.0} ms, identical={identical}, redispatches {}, deadline misses {}, \
+                 degraded {}",
+                stats.redispatches, stats.deadline_misses, stats.degraded_local_spans
+            ),
+        );
+        rows.push(row_from(
+            mode.to_string(),
+            plans.len(),
+            &plan_desc,
+            wall_ms,
+            identical,
+            stats,
+        ));
+    }
+
+    // Graceful degradation: no live worker at all — the coordinator
+    // recomputes every span locally and the audit still completes.
+    {
+        let dead = vec!["127.0.0.1:1".to_string()];
+        let config = CoordinatorConfig {
+            dispatch_timeout: opts.dispatch_timeout_ms.saturating_mul(1_000),
+            connect_timeout_ms: 50,
+            max_attempts: 1,
+            dead_after: 1,
+            ..CoordinatorConfig::default()
+        };
+        let evaluator = DistributedEvaluator::new(
+            prepared.clone(),
+            &dead,
+            config,
+            Arc::new(SystemClock::new()),
+        )
+        .expect("coordinator builds over a dead address");
+        let mut cache = WorldCache::new();
+        let t = Instant::now();
+        let (reports, _) = prepared.run_batch_cached_with(&requests, &mut cache, Some(&evaluator));
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let identical = render(&reports) == reference;
+        let stats = evaluator.stats();
+        report_row(
+            "fault:all-dead (degrade local)",
+            "bit-identical",
+            &format!(
+                "{wall_ms:.0} ms, identical={identical}, degraded {}",
+                stats.degraded_local_spans
+            ),
+        );
+        rows.push(row_from(
+            "fault:all-dead".to_string(),
+            1,
+            "",
+            wall_ms,
+            identical,
+            stats,
+        ));
+    }
+
+    let all_identical = rows.iter().all(|r| r.identical);
+    assert!(
+        all_identical,
+        "cluster-bench: a distributed row drifted from the single-process bytes"
+    );
+
+    let record = ClusterRecord {
+        benchmark: "cluster".to_string(),
+        quick: opts.quick,
+        points: outcomes.len(),
+        regions: regions.len(),
+        worlds: requests[0].worlds,
+        requests: requests.len(),
+        rows,
+    };
+    // `--out` still wins, but the default artifact name is this PR's.
+    let out = if opts.out == "BENCH_PR9.json" {
+        "BENCH_PR10.json"
+    } else {
+        opts.out.as_str()
+    };
+    let json = serde_json::to_string_pretty(&record).expect("record serialises");
+    std::fs::write(out, json + "\n").unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("[cluster-bench] wrote {out} (every row bit-identical: {all_identical})");
+}

@@ -60,6 +60,25 @@ pub struct Options {
     /// `serve --listen`: drain deadline in milliseconds (switches the
     /// policy to `Deadline`; wins over `--max-pending`).
     pub deadline_ms: Option<u64>,
+    /// `serve --connect`: connect/read timeout in milliseconds — the
+    /// client aborts with a clear error instead of blocking forever on
+    /// a dead or wedged server.
+    pub io_timeout_ms: u64,
+    /// `serve --connect`: bounded connection attempts (with a short
+    /// backoff between them) before giving up.
+    pub connect_retries: u32,
+    /// `serve`: host a shard worker on this address instead of an
+    /// audit service — serves count-partial spans to a coordinator.
+    pub shard_worker: Option<String>,
+    /// `serve`: comma-separated shard-worker addresses; the in-process
+    /// loop routes world evaluation through the fault-tolerant
+    /// coordinator instead of the local engine (bit-identical output).
+    pub coordinator: Option<String>,
+    /// `serve --shard-worker`: deterministic fault-injection plan
+    /// (e.g. `kill-after=3,delay-every=2:50`; see `sfcluster`).
+    pub fault_plan: Option<String>,
+    /// Coordinator dispatch deadline per span request, milliseconds.
+    pub dispatch_timeout_ms: u64,
 }
 
 impl Default for Options {
@@ -84,6 +103,12 @@ impl Default for Options {
             net_workers: 4,
             queue_capacity: None,
             deadline_ms: None,
+            io_timeout_ms: 30_000,
+            connect_retries: 5,
+            shard_worker: None,
+            coordinator: None,
+            fault_plan: None,
+            dispatch_timeout_ms: 10_000,
         }
     }
 }

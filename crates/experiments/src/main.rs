@@ -19,6 +19,7 @@
 //! cargo run --release -p experiments -- fig12     # one-sided "green" regions (B.2)
 //! cargo run --release -p experiments -- complexity# O(M*N*Q) cost model measurements
 //! cargo run --release -p experiments -- serve-bench # batched serving vs rebuild-per-request
+//! cargo run --release -p experiments -- cluster-bench # distributed shards: scaling + faults
 //! cargo run --release -p experiments -- serve     # JSONL request/response loop (AuditService)
 //! cargo run --release -p experiments -- all       # everything above in order
 //! ```
@@ -47,10 +48,19 @@
 //! backpressure, `--deadline-ms <n>` wall-clock drains; SIGINT
 //! shuts down gracefully and prints the final stats) and `--connect
 //! <addr>` is the matching client (streams stdin/`--input` lines to
-//! the socket, prints response lines to stdout). The
-//! backend/strategy/mc/worldgen values are parsed with the types'
-//! `FromStr` impls, so error messages list the valid values.
+//! the socket with `--io-timeout-ms`/`--connect-retries` bounds,
+//! prints response lines to stdout). The distributed modes:
+//! `serve --shard-worker <addr>` hosts a count-partial shard worker
+//! (optionally with a deterministic `--fault-plan`), and
+//! `serve --coordinator <addr,addr,…>` routes the in-process loop's
+//! world evaluation through the fault-tolerant coordinator
+//! (`--dispatch-timeout-ms` per span) — bit-identical output by
+//! construction. `cluster-bench` measures healthy scaling and faulted
+//! recovery into `BENCH_PR10.json`. The backend/strategy/mc/worldgen
+//! values are parsed with the types' `FromStr` impls, so error
+//! messages list the valid values.
 
+mod clusterbench;
 mod common;
 mod complexity;
 mod fig1;
@@ -174,12 +184,49 @@ fn main() {
                 i += 1;
                 opts.deadline_ms = Some(parse_flag("--deadline-ms", args.get(i)));
             }
+            "--io-timeout-ms" => {
+                i += 1;
+                opts.io_timeout_ms = parse_flag("--io-timeout-ms", args.get(i));
+            }
+            "--connect-retries" => {
+                i += 1;
+                opts.connect_retries = parse_flag("--connect-retries", args.get(i));
+            }
+            "--shard-worker" => {
+                i += 1;
+                opts.shard_worker = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--shard-worker needs a bind address")),
+                );
+            }
+            "--coordinator" => {
+                i += 1;
+                opts.coordinator = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    die("--coordinator needs comma-separated worker addresses")
+                }));
+            }
+            "--fault-plan" => {
+                i += 1;
+                opts.fault_plan = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--fault-plan needs a plan (e.g. kill-after=3)")),
+                );
+            }
+            "--dispatch-timeout-ms" => {
+                i += 1;
+                opts.dispatch_timeout_ms = parse_flag("--dispatch-timeout-ms", args.get(i));
+            }
             arg if !arg.starts_with('-') && command.is_none() => {
                 command = Some(arg.to_string());
             }
             other => die(&format!("unknown argument: {other}")),
         }
         i += 1;
+    }
+    if opts.shard_worker.is_some() && opts.coordinator.is_some() {
+        die("--shard-worker and --coordinator are mutually exclusive");
     }
     let command = command.unwrap_or_else(|| die("missing command; try `all` or `fig1`..`fig12`"));
     run(&command, &opts);
@@ -201,6 +248,7 @@ fn run(command: &str, opts: &Options) {
         "fig12" => fig5::run_fig12(opts),
         "complexity" => complexity::run(opts),
         "serve-bench" => servebench::run(opts),
+        "cluster-bench" => clusterbench::run(opts),
         "serve" => serve_cmd::run(opts),
         "all" => {
             for c in [
@@ -229,7 +277,8 @@ fn run(command: &str, opts: &Options) {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <fig1..fig12|complexity|serve-bench|serve|all> [--quick] [--seed N] \
+        "usage: experiments <fig1..fig12|complexity|serve-bench|cluster-bench|serve|all> \
+         [--quick] [--seed N] \
          [--worlds N] [--backend <brute|kdtree|quadtree|rtree|grid>] \
          [--strategy <membership|requery|blocked|auto>] \
          [--mc <full-budget|early-stop|early-stop(batch=N)>] [--early-stop] \
@@ -238,7 +287,10 @@ fn die(msg: &str) -> ! {
          [--statistic <bernoulli-llr|equal-opp-tpr|mean-residual>] \
          [--requests N] [--out PATH] [--input PATH] [--max-pending N] \
          [--listen ADDR] [--connect ADDR] [--net-workers N] \
-         [--queue-capacity N] [--deadline-ms N]"
+         [--queue-capacity N] [--deadline-ms N] \
+         [--io-timeout-ms N] [--connect-retries N] \
+         [--shard-worker ADDR] [--coordinator ADDR,ADDR,…] \
+         [--fault-plan PLAN] [--dispatch-timeout-ms N]"
     );
     std::process::exit(2);
 }

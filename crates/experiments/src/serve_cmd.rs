@@ -43,24 +43,32 @@
 //! way CI's TCP smoke leg uses it.
 
 use crate::common::Options;
+use sfcluster::{CoordinatorConfig, DistributedEvaluator, FaultPlan, ShardWorker, SpanCounter};
 use sfdata::synth::SynthConfig;
 use sfnet::{AuditTcpServer, ExecutorConfig, NetExecutor, SystemClock};
 use sfscan::outcomes::SpatialOutcomes;
-use sfscan::{AuditConfig, RegionSet};
+use sfscan::prepared::{PreparedAudit, WorldEvaluator};
+use sfscan::{AuditConfig, CountingStrategy, RegionSet};
 use sfserve::{AuditService, DrainPolicy, ResponseEnvelope, SubmitError, Ticket};
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// One input line's fate: a ticket to poll at the end, or an
-/// immediate typed rejection (rendered as a `"rejected"`/`"busy"`
-/// envelope with its [`sfserve::ErrorCode`]).
-type LineOutcome = Result<Ticket, SubmitError>;
+/// One input line's fate: a ticket to poll at the end, an immediate
+/// typed rejection (rendered as a `"rejected"`/`"busy"` envelope with
+/// its [`sfserve::ErrorCode`]), or a `{"stats": true}` metrics probe
+/// (answered at render time, after the EOF flush, so the snapshot
+/// covers every batch the transcript executed).
+enum LineOutcome {
+    Submitted(Ticket),
+    Rejected(SubmitError),
+    Stats,
+}
 
 /// The benchmark dataset every serve mode hosts (deterministic in
 /// `--seed`/`--quick`, so server and reference transcripts agree).
-fn dataset(opts: &Options) -> (SpatialOutcomes, RegionSet, AuditConfig) {
+pub(crate) fn dataset(opts: &Options) -> (SpatialOutcomes, RegionSet, AuditConfig) {
     let n = if opts.quick { 2_000 } else { 20_000 };
     let outcomes = SynthConfig {
         per_half: n / 2,
@@ -78,7 +86,9 @@ fn dataset(opts: &Options) -> (SpatialOutcomes, RegionSet, AuditConfig) {
 
 /// Dispatches on the serve mode flags.
 pub fn run(opts: &Options) {
-    if let Some(addr) = &opts.connect {
+    if let Some(addr) = &opts.shard_worker {
+        run_shard_worker(opts, addr);
+    } else if let Some(addr) = &opts.connect {
         run_client(opts, addr);
     } else if let Some(addr) = &opts.listen {
         run_server(opts, addr);
@@ -88,17 +98,53 @@ pub fn run(opts: &Options) {
 }
 
 /// Runs the in-process JSONL serving loop (the reference transcript).
+/// With `--coordinator`, world evaluation for every batch routes
+/// through the distributed shard coordinator instead of the local
+/// engine — the transcript is bit-identical either way.
 fn run_inprocess(opts: &Options) {
     // Unlike the figure harnesses, all narration goes to stderr:
     // stdout carries nothing but response envelopes.
     eprintln!("[serve] JSONL request/response envelopes over one AuditService");
 
-    let (outcomes, regions, base) = dataset(opts);
+    let (outcomes, regions, mut base) = dataset(opts);
+    if opts.coordinator.is_some() {
+        // The coordinator reduces blocked count partials; the span
+        // counter refuses any other counting strategy.
+        base = base.with_strategy(CountingStrategy::Blocked);
+    }
 
     let mut service = match opts.max_pending {
         Some(limit) => AuditService::new().with_policy(DrainPolicy::MaxPending(limit)),
         None => AuditService::new(),
     };
+    let evaluator = opts.coordinator.as_ref().map(|spec| {
+        let addrs: Vec<String> = spec
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let prepared = Arc::new(
+            PreparedAudit::prepare(&outcomes, &regions, base)
+                .expect("the synthetic benchmark dataset is auditable"),
+        );
+        let config = CoordinatorConfig {
+            dispatch_timeout: opts.dispatch_timeout_ms.saturating_mul(1_000), // clock runs in µs
+            ..CoordinatorConfig::default()
+        };
+        let evaluator = Arc::new(
+            DistributedEvaluator::new(prepared, &addrs, config, Arc::new(SystemClock::new()))
+                .unwrap_or_else(|e| panic!("--coordinator: {e}")),
+        );
+        eprintln!(
+            "[serve] coordinator over {} worker(s), shard windows {:?}, \
+             dispatch timeout {}ms",
+            addrs.len(),
+            evaluator.shard_bounds(),
+            opts.dispatch_timeout_ms
+        );
+        service.set_evaluator(Some(evaluator.clone() as Arc<dyn WorldEvaluator>));
+        evaluator
+    });
     let handle = service
         .register(&outcomes, &regions, base)
         .expect("the synthetic benchmark dataset is auditable");
@@ -131,9 +177,10 @@ fn run_inprocess(opts: &Options) {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut served = 0usize;
+    let mut rejected = 0usize;
     for outcome in &outcomes_per_line {
         let envelope = match outcome {
-            Ok(ticket) => {
+            LineOutcome::Submitted(ticket) => {
                 let wants_geojson = service.geojson_requested(*ticket);
                 // take() claims the response outright — no
                 // poll-then-take double clone of the embedded
@@ -151,7 +198,13 @@ fn run_inprocess(opts: &Options) {
                     envelope
                 }
             }
-            Err(error) => ResponseEnvelope::rejected(error),
+            LineOutcome::Rejected(error) => {
+                rejected += 1;
+                ResponseEnvelope::rejected(error)
+            }
+            LineOutcome::Stats => {
+                ResponseEnvelope::stats_snapshot(*service.stats(), service.cache_stats_total())
+            }
         };
         writeln!(out, "{}", envelope.to_json()).expect("stdout is writable");
     }
@@ -160,9 +213,19 @@ fn run_inprocess(opts: &Options) {
         "[serve] {} lines in, {} served, {} rejected; {}",
         outcomes_per_line.len(),
         served,
-        outcomes_per_line.len() - served,
+        rejected,
         service.stats()
     );
+    if let Some(evaluator) = evaluator {
+        let stats = evaluator.stats();
+        eprintln!(
+            "[serve] cluster: {} | health {:?}",
+            serde_json::to_string(&stats).expect("cluster stats serialise"),
+            (0..evaluator.shard_bounds().len())
+                .map(|w| evaluator.worker_health(w))
+                .collect::<Vec<_>>()
+        );
+    }
 }
 
 /// Feeds every input line to the service, recording each line's fate.
@@ -173,11 +236,15 @@ fn read_lines(reader: impl BufRead, service: &mut AuditService) -> Vec<LineOutco
         if line.trim().is_empty() {
             continue;
         }
+        if sfserve::is_stats_request(line.trim()) {
+            outcomes.push(LineOutcome::Stats);
+            continue;
+        }
         outcomes.push(match service.submit_json(&line) {
-            Ok(ticket) => Ok(ticket),
+            Ok(ticket) => LineOutcome::Submitted(ticket),
             Err(e) => {
                 eprintln!("[serve] line {}: rejected: {e}", i + 1);
-                Err(e)
+                LineOutcome::Rejected(e)
             }
         });
     }
@@ -255,11 +322,51 @@ fn run_server(opts: &Options, addr: &str) {
     eprintln!("[serve] final stats: {stats}");
 }
 
+/// Connects with a per-attempt timeout and a bounded number of
+/// retries (short backoff between attempts), so a dead server fails
+/// the client fast and loudly instead of hanging it forever.
+fn connect_with_retry(addr: &str, timeout: Duration, retries: u32) -> std::net::TcpStream {
+    use std::net::{TcpStream, ToSocketAddrs};
+    let attempts = retries.max(1);
+    let mut last_error = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            let backoff = Duration::from_millis(200u64.saturating_mul(1 << attempt.min(4)));
+            eprintln!(
+                "[serve] connect attempt {}/{attempts} failed ({last_error}); \
+                 retrying in {backoff:?}",
+                attempt
+            );
+            std::thread::sleep(backoff);
+        }
+        let resolved = match addr.to_socket_addrs() {
+            Ok(mut it) => it.next(),
+            Err(e) => {
+                last_error = format!("cannot resolve {addr}: {e}");
+                continue;
+            }
+        };
+        let Some(resolved) = resolved else {
+            last_error = format!("{addr} resolves to no address");
+            continue;
+        };
+        match TcpStream::connect_timeout(&resolved, timeout) {
+            Ok(stream) => return stream,
+            Err(e) => last_error = e.to_string(),
+        }
+    }
+    panic!("cannot connect to {addr} after {attempts} attempt(s): {last_error}");
+}
+
 /// Streams the input lines to a live server and prints its response
 /// lines to stdout — the socket client matching `run_inprocess`'s
-/// stdout byte for byte against the same server-side dataset.
+/// stdout byte for byte against the same server-side dataset. Every
+/// socket operation is bounded by `--io-timeout-ms` and the connect
+/// is retried `--connect-retries` times, so a dead or wedged server
+/// produces a clear error instead of an indefinite hang.
 fn run_client(opts: &Options, addr: &str) {
-    use std::net::{Shutdown, TcpStream};
+    use std::io::ErrorKind;
+    use std::net::Shutdown;
     let lines: Vec<String> = match &opts.input {
         Some(path) => {
             let file = std::fs::File::open(path)
@@ -278,10 +385,17 @@ fn run_client(opts: &Options, addr: &str) {
                 .collect()
         }
     };
-    let mut stream =
-        TcpStream::connect(addr).unwrap_or_else(|e| panic!("cannot connect to {addr}: {e}"));
+    let io_timeout = Duration::from_millis(opts.io_timeout_ms.max(1));
+    let mut stream = connect_with_retry(addr, io_timeout, opts.connect_retries);
+    stream
+        .set_write_timeout(Some(io_timeout))
+        .expect("socket accepts a write timeout");
+    stream
+        .set_read_timeout(Some(io_timeout))
+        .expect("socket accepts a read timeout");
     for line in &lines {
-        writeln!(stream, "{line}").expect("socket is writable");
+        writeln!(stream, "{line}")
+            .unwrap_or_else(|e| panic!("cannot send request line to {addr}: {e}"));
     }
     stream
         .shutdown(Shutdown::Write)
@@ -290,7 +404,15 @@ fn run_client(opts: &Options, addr: &str) {
     let mut out = stdout.lock();
     let mut served = 0usize;
     for line in std::io::BufReader::new(stream).lines() {
-        let line = line.expect("socket is readable");
+        let line = line.unwrap_or_else(|e| {
+            if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut {
+                panic!(
+                    "no response from {addr} within {}ms (--io-timeout-ms); giving up",
+                    opts.io_timeout_ms
+                );
+            }
+            panic!("cannot read response line from {addr}: {e}");
+        });
         writeln!(out, "{line}").expect("stdout is writable");
         served += 1;
     }
@@ -299,5 +421,51 @@ fn run_client(opts: &Options, addr: &str) {
         "[serve] {} lines sent, {} responses received",
         lines.len(),
         served
+    );
+}
+
+/// Hosts a count-partial shard worker: the same synthetic dataset,
+/// prepared with blocked counting, served span-by-span to a
+/// coordinator until SIGINT (or until a `--fault-plan` kill fires).
+fn run_shard_worker(opts: &Options, addr: &str) {
+    let (outcomes, regions, base) = dataset(opts);
+    let base = base.with_strategy(CountingStrategy::Blocked);
+    let prepared = Arc::new(
+        PreparedAudit::prepare(&outcomes, &regions, base)
+            .expect("the synthetic benchmark dataset is auditable"),
+    );
+    let counter =
+        Arc::new(SpanCounter::new(prepared).expect("blocked counting is forced for shard workers"));
+    let fault: Arc<FaultPlan> = Arc::new(match &opts.fault_plan {
+        Some(spec) => spec.parse().unwrap_or_else(|e| panic!("--fault-plan: {e}")),
+        None => FaultPlan::none(),
+    });
+    let fault_desc = if fault.is_empty() {
+        "no faults".to_string()
+    } else {
+        format!("fault plan: {}", opts.fault_plan.as_deref().unwrap_or(""))
+    };
+    let mut worker = ShardWorker::bind(addr, counter, fault)
+        .unwrap_or_else(|e| panic!("cannot bind shard worker on {addr}: {e}"));
+    eprintln!(
+        "[serve] shard worker on {} — {} points x {} regions, {}",
+        worker.local_addr(),
+        outcomes.len(),
+        regions.len(),
+        fault_desc
+    );
+    install_sigint();
+    while !SIGINT.load(Ordering::SeqCst) && !worker.is_killed() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    if worker.is_killed() {
+        eprintln!("[serve] kill-after fault fired; worker is down");
+    } else {
+        eprintln!("[serve] SIGINT: shutting down shard worker");
+    }
+    worker.shutdown();
+    eprintln!(
+        "[serve] worker stats: {}",
+        serde_json::to_string(&worker.stats()).expect("worker stats serialise")
     );
 }

@@ -1,8 +1,8 @@
 //! Seeded k-means (k-means++ initialisation + Lloyd iterations).
 
+use crate::point::Point;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sfgeo::Point;
 
 /// Configuration for [`KMeans::fit`].
 #[derive(Debug, Clone, Copy, PartialEq)]

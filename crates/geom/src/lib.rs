@@ -47,6 +47,7 @@ pub mod bbox;
 pub mod circle;
 pub mod grid;
 pub mod haversine;
+pub mod kmeans;
 pub mod partition;
 pub mod point;
 pub mod polygon;
@@ -56,6 +57,7 @@ pub mod region;
 pub use bbox::BoundingBox;
 pub use circle::Circle;
 pub use grid::UniformGrid;
+pub use kmeans::{KMeans, KMeansConfig};
 pub use partition::{Partitioning, RandomPartitioningConfig};
 pub use point::Point;
 pub use polygon::ConvexPolygon;

@@ -92,6 +92,30 @@ impl BitLabels {
         self.blocks.iter().map(|b| b.count_ones() as u64).sum()
     }
 
+    /// Positive labels whose bit falls in blocks `word_lo..word_hi` —
+    /// one shard's contribution to `P`. Because every block belongs to
+    /// exactly one window of a partition of `0..num_blocks()`, summing
+    /// the windows' counts reproduces [`BitLabels::count_ones`] exactly
+    /// (integer addition; the zero-tail invariant means the final
+    /// block never over-counts).
+    ///
+    /// # Panics
+    /// Panics on an inverted or out-of-range window, mirroring
+    /// `BlockedMembership::clip_to_words` so the two shard axes cannot
+    /// silently disagree.
+    pub fn count_ones_in_words(&self, word_lo: usize, word_hi: usize) -> u64 {
+        assert!(word_lo <= word_hi, "inverted word window");
+        assert!(
+            word_hi <= self.blocks.len(),
+            "word window {word_lo}..{word_hi} exceeds the {} label blocks",
+            self.blocks.len()
+        );
+        self.blocks[word_lo..word_hi]
+            .iter()
+            .map(|b| b.count_ones() as u64)
+            .sum()
+    }
+
     /// The raw 64-bit blocks backing the bitset, little-endian within
     /// each block (bit `i % 64` of block `i / 64` is label `i`).
     ///

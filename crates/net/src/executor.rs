@@ -27,7 +27,7 @@
 
 use crate::clock::Clock;
 use sfscan::prepared::{AuditRequest, PreparedAudit};
-use sfscan::worldcache::WorldCache;
+use sfscan::worldcache::{CacheStats, WorldCache};
 use sfscan::{AuditConfig, RegionSet, ScanError, SpatialOutcomes};
 use sfserve::{
     percentile, AuditResponse, DatasetHandle, DrainPolicy, RequestEnvelope, ResponseEnvelope,
@@ -411,6 +411,27 @@ impl NetExecutor {
         self.inner.state.lock().unwrap().stats
     }
 
+    /// World-cache accounting summed across every session — the
+    /// `cache` half of the wire's `{"stats": true}` snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        let caches: Vec<Arc<Mutex<WorldCache>>> = {
+            let state = self.inner.state.lock().unwrap();
+            state
+                .sessions
+                .iter()
+                .map(|s| Arc::clone(&s.cache))
+                .collect()
+        };
+        let mut total = CacheStats::default();
+        // Cache locks are taken outside the state lock (workers hold a
+        // cache lock for a whole batch; holding both would stall every
+        // submission behind the slowest batch).
+        for cache in caches {
+            total.absorb(cache.lock().unwrap().stats());
+        }
+        total
+    }
+
     /// Queued-but-unexecuted requests across all sessions.
     pub fn pending_total(&self) -> usize {
         let state = self.inner.state.lock().unwrap();
@@ -633,6 +654,15 @@ impl ConnDriver {
         }
         let seq = self.seq;
         self.seq += 1;
+        if sfserve::is_stats_request(trimmed) {
+            // The metrics probe is answered inline — no queue, no
+            // ticket, so it can never trip backpressure or shift the
+            // connection's ticket numbering.
+            let envelope =
+                ResponseEnvelope::stats_snapshot(executor.stats(), executor.cache_stats());
+            self.sink.push(seq, envelope.to_json());
+            return true;
+        }
         match executor.submit_json(trimmed, &self.sink, seq, Ticket(self.accepted)) {
             Ok(()) => self.accepted += 1,
             Err(error) => {
@@ -641,6 +671,22 @@ impl ConnDriver {
             }
         }
         true
+    }
+
+    /// Rejects an oversized input line with a typed
+    /// [`SubmitError::Malformed`] envelope. The line still occupies
+    /// exactly one output position — one response per line holds even
+    /// for input the reader refused to buffer in full. The TCP reader
+    /// calls this when its line-length cap trips, then closes the
+    /// connection.
+    pub fn reject_oversized(&mut self, limit: usize) {
+        let seq = self.seq;
+        self.seq += 1;
+        let error = SubmitError::Malformed {
+            reason: format!("request line exceeds {limit} bytes"),
+        };
+        self.sink
+            .push(seq, ResponseEnvelope::rejected(&error).to_json());
     }
 
     /// Reader EOF: seals the sink at the processed line count so the

@@ -60,7 +60,7 @@ mod server;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use executor::{ConnDriver, ExecutorConfig, NetExecutor, ResponseSink};
-pub use server::AuditTcpServer;
+pub use server::{AuditTcpServer, MAX_LINE_BYTES};
 
 #[cfg(test)]
 mod tests {

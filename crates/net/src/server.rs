@@ -39,6 +39,13 @@ use std::time::Duration;
 /// timeout untouched, so slow writers are never corrupted.
 const READ_POLL: Duration = Duration::from_millis(50);
 
+/// Longest request line a connection may send (including the
+/// newline). A line that grows past this — terminated or not — is
+/// answered with a typed `Malformed` rejection envelope and the
+/// connection is closed, instead of the reader's buffer growing
+/// without bound. Matches the shard workers' bound.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
 /// A live TCP audit server.
 pub struct AuditTcpServer {
     executor: Arc<NetExecutor>,
@@ -184,14 +191,15 @@ fn serve_connection(stream: TcpStream, executor: &Arc<NetExecutor>, shutdown: &A
     };
 
     // Poll reads so a server shutdown is noticed on an idle socket.
-    // Crucially, a timeout does NOT clear `line`: BufRead::read_line
+    // Crucially, a timeout does NOT clear `line`: the bounded reader
     // appends whatever bytes arrived before the timeout, and the next
-    // iteration keeps accumulating until the newline lands.
+    // iteration keeps accumulating until the newline lands — or the
+    // [`MAX_LINE_BYTES`] cap trips and the connection is rejected.
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        match reader.read_line(&mut line) {
+        match read_bounded_line(&mut reader, &mut line) {
             Ok(0) => break, // EOF: client half-closed its write side.
             Ok(_) => {
                 if line.ends_with('\n') {
@@ -207,6 +215,14 @@ fn serve_connection(stream: TcpStream, executor: &Arc<NetExecutor>, shutdown: &A
                     break;
                 }
             }
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                // Oversized line: one typed rejection envelope, then
+                // hang up — resynchronising mid-line would silently
+                // split one request into two.
+                driver.reject_oversized(MAX_LINE_BYTES);
+                line.clear();
+                break;
+            }
             Err(_) => break,
         }
     }
@@ -220,4 +236,48 @@ fn serve_connection(stream: TcpStream, executor: &Arc<NetExecutor>, shutdown: &A
     driver.finish();
     executor.flush();
     let _ = writer_handle.join();
+}
+
+/// Appends to `line` until a newline, EOF, poll timeout, or the
+/// [`MAX_LINE_BYTES`] cap. Mirrors `BufRead::read_line`'s contract
+/// (returns bytes appended this call, `0` at EOF, partial data
+/// survives a timeout) but checks the cap per buffer fill, so a
+/// client streaming one endless line errors with `InvalidData` the
+/// moment the cap is crossed instead of growing the buffer without
+/// bound inside a single `read_line` call.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> std::io::Result<usize> {
+    let mut appended = 0usize;
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(buf) => buf,
+            // Mid-line timeout: report what arrived; the caller keeps
+            // `line` and the next call continues accumulating.
+            Err(e) if appended > 0 => {
+                let timed_out =
+                    e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut;
+                return if timed_out { Ok(appended) } else { Err(e) };
+            }
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(appended); // EOF (possibly mid-line).
+        }
+        let (used, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (available.len(), false),
+        };
+        if line.len() + used > MAX_LINE_BYTES {
+            reader.consume(used);
+            return Err(std::io::Error::new(ErrorKind::InvalidData, "line too long"));
+        }
+        line.push_str(&String::from_utf8_lossy(&available[..used]));
+        reader.consume(used);
+        appended += used;
+        if done {
+            return Ok(appended);
+        }
+    }
 }

@@ -5,7 +5,9 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sfgeo::{Point, Rect};
-use sfnet::{AuditTcpServer, Clock, ExecutorConfig, ManualClock, NetExecutor, SystemClock};
+use sfnet::{
+    AuditTcpServer, Clock, ExecutorConfig, ManualClock, NetExecutor, SystemClock, MAX_LINE_BYTES,
+};
 use sfscan::{AuditConfig, AuditRequest, Direction, RegionSet, SpatialOutcomes, WorldGen};
 use sfserve::{
     AuditService, DatasetHandle, DrainPolicy, ErrorCode, RequestEnvelope, ResponseEnvelope,
@@ -248,6 +250,100 @@ fn deadline_fires_under_the_timer_thread_without_test_sleeps() {
 
     stream.shutdown(Shutdown::Both).unwrap();
     server.shutdown();
+}
+
+#[test]
+fn oversized_line_is_rejected_with_a_typed_envelope_and_the_connection_closes() {
+    // A client streams one line past the reader's byte cap. The server
+    // must answer with a single typed `malformed` rejection naming the
+    // cap and then close the connection — never buffer the line
+    // without bound, never resynchronise mid-line.
+    let server = live_server(ExecutorConfig {
+        workers: 1,
+        queue_capacity: None,
+        policy: DrainPolicy::Manual,
+    });
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+    // One unterminated line just past the cap. The server may reject
+    // and close while we are still writing, so tolerate a broken pipe
+    // on the tail — the read side of our socket stays valid.
+    let chunk = vec![b'x'; 64 * 1024];
+    let mut sent = 0usize;
+    while sent <= MAX_LINE_BYTES {
+        if stream.write_all(&chunk).is_err() {
+            break;
+        }
+        sent += chunk.len();
+    }
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+
+    let transcript: Vec<String> = BufReader::new(stream)
+        .lines()
+        .map_while(|l| l.ok())
+        .collect();
+    assert_eq!(transcript.len(), 1, "exactly one rejection, then EOF");
+    let envelope = ResponseEnvelope::from_json(&transcript[0]).unwrap();
+    assert_eq!(envelope.status, WireStatus::Rejected);
+    assert_eq!(envelope.code, Some(ErrorCode::Malformed));
+    assert_eq!(envelope.ticket, None);
+    assert!(
+        transcript[0].contains(&MAX_LINE_BYTES.to_string()),
+        "the rejection names the byte cap: {}",
+        transcript[0]
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests_served, 0, "nothing was accepted");
+}
+
+#[test]
+fn stats_probe_lines_are_answered_inline_without_burning_tickets() {
+    // `{"stats":true}` probes interleave with a real request; each
+    // probe is answered in input order with a snapshot envelope, and
+    // the real request's ticket numbering is unperturbed.
+    let server = live_server(ExecutorConfig {
+        workers: 1,
+        queue_capacity: None,
+        policy: DrainPolicy::Manual,
+    });
+    let lines = vec![
+        String::from(r#"{"stats":true}"#),
+        line_for(0, request(1)),
+        String::from(r#"{"stats":true}"#),
+    ];
+    let transcript = roundtrip(server.local_addr(), &lines);
+    assert_eq!(transcript.len(), 3, "one response per line, in order");
+
+    let cold = ResponseEnvelope::from_json(&transcript[0]).unwrap();
+    assert_eq!(cold.status, WireStatus::Stats);
+    assert_eq!(cold.ticket, None, "a probe burns no ticket");
+    assert_eq!(
+        cold.stats.unwrap().requests_served,
+        0,
+        "probed before any audit ran"
+    );
+    assert!(cold.cache.is_some());
+
+    let audit = ResponseEnvelope::from_json(&transcript[1]).unwrap();
+    assert_eq!(audit.status, WireStatus::Ready);
+    assert_eq!(
+        audit.ticket,
+        Some(sfserve::Ticket(0)),
+        "first real ticket is still 0"
+    );
+
+    // The trailing probe was answered inline at receipt — before the
+    // EOF drain ran the audit — so it still reads zero served. Its
+    // placement in the transcript (after the audit's response) is
+    // sink ordering, not execution ordering.
+    let warm = ResponseEnvelope::from_json(&transcript[2]).unwrap();
+    assert_eq!(warm.status, WireStatus::Stats);
+    assert!(warm.stats.is_some() && warm.cache.is_some());
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests_served, 1, "only the audit line was served");
 }
 
 #[test]

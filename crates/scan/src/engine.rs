@@ -686,6 +686,60 @@ impl<I: CountingSubstrate> ScanEngine<I> {
         labels
     }
 
+    /// Draws only the label words `word_lo..word_hi` of one world —
+    /// the shard-local generation a distributed count-partial worker
+    /// runs: a worker owning a [`BlockedMembership::clip_to_words`]
+    /// window regenerates exactly the words its clipped CSR can read,
+    /// not the whole world.
+    ///
+    /// The window path applies to blocked-layout Bernoulli
+    /// [`WorldGen::Word`] worlds, whose labels come from absolutely
+    /// positioned chunk substreams ([`chunk_rng`]): the generator
+    /// consumes the same single tag draw from `rng` as the full-world
+    /// path and fills only the [`GEN_CHUNK_WORDS`]-aligned chunks
+    /// overlapping the window, so every word **inside** the window is
+    /// bit-identical to [`ScanEngine::generate_world_with`]'s. Words
+    /// outside the requested chunks stay zero — callers must only read
+    /// the window (a clipped counting view does by construction;
+    /// window popcounts use [`BitLabels::count_ones_in_words`]).
+    ///
+    /// Every other (generator, null model, layout) combination couples
+    /// its draws sequentially (Fisher–Yates permutation, the pinned v1
+    /// Scalar stream, identity-layout scatter) and falls back to
+    /// generating the full world — still deterministic in
+    /// `(seed, world)`, so a re-dispatched span regenerates
+    /// bit-identical labels; the window is then simply a view of it.
+    pub fn generate_world_window(
+        &self,
+        null_model: NullModel,
+        worldgen: WorldGen,
+        rng: &mut ChaCha8Rng,
+        word_lo: usize,
+        word_hi: usize,
+    ) -> BitLabels {
+        if worldgen != WorldGen::Word
+            || null_model != NullModel::Bernoulli
+            || self.word_order.is_some()
+        {
+            return self.generate_world_with(null_model, worldgen, rng);
+        }
+        let n = self.n_total as usize;
+        let num_words = n.div_ceil(64);
+        let word_hi = word_hi.min(num_words);
+        let mut labels = BitLabels::zeros(n);
+        let rho = self.p_total as f64 / self.n_total as f64;
+        let sampler = BulkBernoulli::new(rho);
+        let tag = rng.next_u64();
+        let c_lo = word_lo / GEN_CHUNK_WORDS;
+        let c_hi = word_hi.div_ceil(GEN_CHUNK_WORDS);
+        for c in c_lo..c_hi {
+            let start = c * GEN_CHUNK_WORDS;
+            let end = ((c + 1) * GEN_CHUNK_WORDS).min(num_words);
+            fill_chunk(&sampler, tag, c, &mut labels.blocks_mut()[start..end], n);
+        }
+        labels
+    }
+
     /// The v1 per-point generator (see
     /// [`ScanEngine::generate_world_with`]).
     fn generate_world_scalar(&self, null_model: NullModel, rng: &mut ChaCha8Rng) -> BitLabels {
@@ -1131,11 +1185,46 @@ impl<I: CountingSubstrate> ScanEngine<I> {
         directions: &[Direction],
         out: &mut [f64],
     ) {
-        let width = worlds.len();
+        let p_worlds: Vec<u64> = worlds.iter().map(|labels| labels.count_ones()).collect();
+        self.fold_counts(statistic, &p_worlds, counts, directions, out);
+    }
+
+    /// The score fold over an already-reduced fused count matrix:
+    /// `counts[r * W + w]` is `p(R_r)` under world `w`, `p_worlds[w]`
+    /// that world's total positives. Per world, replays exactly the
+    /// region-order comparisons of [`ScanEngine::eval_world_into`]'s
+    /// fold on the same `(n_r, p_r, N, P_world)` quadruples, through
+    /// the same [`TauKernel`] — so a caller that reduces exact integer
+    /// count partials from *anywhere* (engine shards, shard-worker
+    /// processes, a degraded local recount) and feeds them here gets
+    /// `τ` values bit-identical to the in-process evaluation paths.
+    /// This is the distributed coordinator's folding half.
+    ///
+    /// # Panics
+    /// Panics when the matrix dimensions disagree with
+    /// `p_worlds.len() × directions.len()` / the region count.
+    pub fn fold_counts(
+        &self,
+        statistic: Statistic,
+        p_worlds: &[u64],
+        counts: &[u64],
+        directions: &[Direction],
+        out: &mut [f64],
+    ) {
+        let width = p_worlds.len();
         let stride = directions.len();
+        assert_eq!(
+            out.len(),
+            width * stride,
+            "one output slot per (world, direction)"
+        );
+        assert_eq!(
+            counts.len(),
+            self.region_n.len() * width,
+            "one count per (region, world)"
+        );
         out.fill(0.0);
-        for (w, labels) in worlds.iter().enumerate() {
-            let p_world = labels.count_ones();
+        for (w, &p_world) in p_worlds.iter().enumerate() {
             let kernel = TauKernel::new(statistic, self.n_total, p_world);
             let tau = &mut out[w * stride..(w + 1) * stride];
             for (r, &n_r) in self.region_n.iter().enumerate() {

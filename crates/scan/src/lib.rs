@@ -86,7 +86,9 @@ pub use direction::Direction;
 pub use error::ScanError;
 pub use meanvar::{MeanVar, MeanVarResult, PartitionContribution};
 pub use outcomes::SpatialOutcomes;
-pub use prepared::{AuditRequest, BatchStats, ExecutionPlan, PlanGroup, PreparedAudit};
+pub use prepared::{
+    AuditRequest, BatchStats, ExecutionPlan, PlanGroup, PreparedAudit, WorldClass, WorldEvaluator,
+};
 pub use rates::{audit_rates, audit_rates_batch, CellCounts, RateReport};
 pub use regions::RegionSet;
 pub use report::{AuditReport, RegionFinding, Verdict};

@@ -278,6 +278,57 @@ impl Default for AuditRequest {
     }
 }
 
+/// The identity of one simulated world stream: the four knobs that
+/// fully determine every world in it. Two requests share worlds iff
+/// their classes are equal, and a world's labels depend only on
+/// `(null_model, seed, worldgen)` plus its index — `statistic` rides
+/// along because it picks the τ kernel the counts are folded through.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorldClass {
+    /// Null model the worlds are drawn from.
+    pub null_model: NullModel,
+    /// Seed of the world stream.
+    pub seed: u64,
+    /// Generator version of the world stream.
+    pub worldgen: WorldGen,
+    /// Test statistic the worlds are scored with.
+    pub statistic: Statistic,
+}
+
+/// A replaceable world-evaluation backend: fills a span of the world
+/// stream's τ matrix exactly as the in-process engine would.
+///
+/// This is the seam a distributed coordinator plugs into. The
+/// contract is **bit-identity**: for every world `w` in
+/// `first..first + out.len() / eval_dirs.len()` and direction `d`,
+/// `out[(w - first) * eval_dirs.len() + d]` must equal what
+/// [`PreparedAudit`]'s own evaluator computes — generate world `w`
+/// from `world_rng(class.seed, w)`, count it, fold through the
+/// [`TauKernel`](sfstats::kernel::TauKernel). Implementations that
+/// sum exact integer count partials over a word-window partition and
+/// replay the same fold (see `ScanEngine::fold_counts`) satisfy this
+/// by construction.
+///
+/// `fine` is the caller's axis hint (span narrower than the thread
+/// pool); implementations may ignore it — it never changes values,
+/// only scheduling.
+///
+/// Calls may arrive concurrently from rayon workers (group fan-out ×
+/// span chunks), hence `Send + Sync`. `Debug` keeps the owning
+/// service's derive intact.
+pub trait WorldEvaluator: Send + Sync + std::fmt::Debug {
+    /// Evaluates worlds `first..` into the world-major matrix `out`
+    /// (`out.len()` = span length × `eval_dirs.len()`).
+    fn eval_span(
+        &self,
+        class: WorldClass,
+        eval_dirs: &[Direction],
+        first: usize,
+        out: &mut [f64],
+        fine: bool,
+    );
+}
+
 /// One world-sharing group of an [`ExecutionPlan`]: the requests that
 /// draw from one simulated world stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -545,10 +596,26 @@ impl PreparedAudit {
         self.execute_cached(&ExecutionPlan::new(requests.to_vec()), cache)
     }
 
+    /// [`PreparedAudit::run_batch_cached`] with an optional
+    /// [`WorldEvaluator`] backend replacing the in-process world
+    /// simulation. `None` is exactly `run_batch_cached`.
+    pub fn run_batch_cached_with(
+        &self,
+        requests: &[AuditRequest],
+        cache: &mut WorldCache,
+        evaluator: Option<&dyn WorldEvaluator>,
+    ) -> (Vec<AuditReport>, BatchStats) {
+        self.execute_inner(
+            &ExecutionPlan::new(requests.to_vec()),
+            Some(cache),
+            evaluator,
+        )
+    }
+
     /// Phase 3: executes a plan against the shared engine. Reports come
     /// back in the plan's request order.
     pub fn execute(&self, plan: &ExecutionPlan) -> (Vec<AuditReport>, BatchStats) {
-        self.execute_inner(plan, None)
+        self.execute_inner(plan, None, None)
     }
 
     /// Phase 3 with cross-batch world caching: each group replays the
@@ -567,7 +634,7 @@ impl PreparedAudit {
         plan: &ExecutionPlan,
         cache: &mut WorldCache,
     ) -> (Vec<AuditReport>, BatchStats) {
-        self.execute_inner(plan, Some(cache))
+        self.execute_inner(plan, Some(cache), None)
     }
 
     /// One loop for both phase-3 paths: a cold run is a resume with no
@@ -590,6 +657,7 @@ impl PreparedAudit {
         &self,
         plan: &ExecutionPlan,
         mut cache: Option<&mut WorldCache>,
+        evaluator: Option<&dyn WorldEvaluator>,
     ) -> (Vec<AuditReport>, BatchStats) {
         let mut reports: Vec<Option<AuditReport>> = Vec::new();
         reports.resize_with(plan.requests().len(), || None);
@@ -658,7 +726,13 @@ impl PreparedAudit {
                 .map(|group| resume_group(&mut cache, group))
                 .collect();
             let run_group = |gi: usize| -> GroupOutput {
-                self.execute_group(plan, &plan.groups()[gi], &resumes[gi], collect_fresh)
+                self.execute_group(
+                    plan,
+                    &plan.groups()[gi],
+                    &resumes[gi],
+                    collect_fresh,
+                    evaluator,
+                )
             };
             let outputs: Vec<GroupOutput> = (0..plan.groups().len())
                 .into_par_iter()
@@ -672,7 +746,7 @@ impl PreparedAudit {
             // the cache cap enforced) before the next group simulates.
             for group in plan.groups() {
                 let resume = resume_group(&mut cache, group);
-                let output = self.execute_group(plan, group, &resume, collect_fresh);
+                let output = self.execute_group(plan, group, &resume, collect_fresh, evaluator);
                 finish(&mut cache, group, resume, output);
             }
         }
@@ -697,6 +771,7 @@ impl PreparedAudit {
         group: &PlanGroup,
         resume: &ResumePoint,
         collect_fresh: bool,
+        evaluator: Option<&dyn WorldEvaluator>,
     ) -> GroupOutput {
         // The cache dictates the per-world direction list: a superset
         // of the group's needs, so replayed rows line up and fresh rows
@@ -729,6 +804,24 @@ impl PreparedAudit {
         // shard partials are exact integer sums), so the choice is
         // pure scheduling.
         let eval_batch = |first: usize, out: &mut [f64], fine: bool| {
+            // A plugged-in evaluator (e.g. a distributed coordinator)
+            // replaces exactly this sweep; its contract is to produce
+            // the same bits (see [`WorldEvaluator`]).
+            if let Some(evaluator) = evaluator {
+                evaluator.eval_span(
+                    WorldClass {
+                        null_model: group.null_model,
+                        seed: group.seed,
+                        worldgen: group.worldgen,
+                        statistic: group.statistic,
+                    },
+                    eval_dirs,
+                    first,
+                    out,
+                    fine,
+                );
+                return;
+            }
             // One fused sweep per batch: generate the batch's worlds
             // (per-world RNG streams — world w's labels are identical
             // whatever batch it lands in), then count them all in one

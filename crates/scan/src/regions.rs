@@ -15,8 +15,8 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use sfcluster::{KMeans, KMeansConfig};
 use sfgeo::{Circle, Partitioning, Point, RandomPartitioningConfig, Rect, Region, UniformGrid};
+use sfgeo::{KMeans, KMeansConfig};
 
 /// A set of candidate scan regions, with optional structure metadata.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -208,6 +208,18 @@ impl CacheStats {
             self.hits as f64 / lookups as f64
         }
     }
+
+    /// Folds another cache's accounting into this one (counters and
+    /// the resident-bytes gauge both sum), so a serving layer can
+    /// report one aggregate across every session's cache.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.worlds_replayed += other.worlds_replayed;
+        self.worlds_simulated += other.worlds_simulated;
+        self.evictions += other.evictions;
+        self.resident_bytes += other.resident_bytes;
+    }
 }
 
 impl std::fmt::Display for CacheStats {

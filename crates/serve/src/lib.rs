@@ -83,7 +83,7 @@ pub use service::{
     SubmitError, Ticket,
 };
 pub use sfscan::worldcache::CacheStats;
-pub use wire::{ErrorCode, RequestEnvelope, ResponseEnvelope, WireStatus};
+pub use wire::{is_stats_request, ErrorCode, RequestEnvelope, ResponseEnvelope, WireStatus};
 
 #[cfg(test)]
 mod tests {
@@ -601,6 +601,128 @@ mod tests {
         assert_eq!(percentile(&v, 0.5), 50);
         assert_eq!(percentile(&v, 0.99), 99);
         assert_eq!(percentile(&v, 1.0), 100);
+    }
+
+    #[test]
+    fn percentile_edges_empty_singleton_ties_and_degenerate_quantiles() {
+        // Empty: 0 for every quantile, including the degenerate ends.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(percentile(&[], q), 0);
+        }
+        // n = 1: the only sample answers every quantile.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[42], q), 42);
+        }
+        // q = 0 clamps to rank 1 (the minimum), never underflows.
+        assert_eq!(percentile(&[3, 9], 0.0), 3);
+        // Ties: a run of equal samples owns every quantile whose
+        // nearest rank lands inside the run.
+        let tied = [5, 5, 5, 9];
+        assert_eq!(percentile(&tied, 0.25), 5);
+        assert_eq!(percentile(&tied, 0.5), 5);
+        assert_eq!(percentile(&tied, 0.75), 5);
+        assert_eq!(percentile(&tied, 1.0), 9);
+        let all_equal = [4u64; 16];
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&all_equal, q), 4);
+        }
+    }
+
+    #[test]
+    fn busy_envelope_round_trips_under_capacity_zero_and_one() {
+        let o = outcomes(300, 9);
+        // Capacity 0 floors to 1 (a queue that can accept nothing
+        // would deadlock every client), so one submission lands and
+        // the second bounces with the typed wire shape, not a panic.
+        let mut shedder = AuditService::new().with_queue_capacity(0);
+        assert_eq!(shedder.queue_capacity(), Some(1), "capacity 0 floors to 1");
+        let h = shedder.register(&o, &grid(), base()).unwrap();
+        let request = shedder.default_request(h).unwrap();
+        shedder.submit(h, request).unwrap();
+        let err = shedder.submit(h, request).unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::Busy {
+                pending: 1,
+                capacity: 1
+            }
+        );
+        let envelope = ResponseEnvelope::rejected(&err);
+        assert_eq!(envelope.status, WireStatus::Busy);
+        assert_eq!(envelope.code, Some(ErrorCode::Busy));
+        assert_eq!(envelope.ticket, None);
+        let line = envelope.to_json();
+        assert!(line.contains("\"status\":\"busy\""), "{line}");
+        assert_eq!(ResponseEnvelope::from_json(&line).unwrap(), envelope);
+
+        // Capacity 1: one accepted, the second bounces with the
+        // pending/capacity the client needs for its retry policy; the
+        // busy() shorthand renders the identical envelope.
+        let mut single = AuditService::new().with_queue_capacity(1);
+        let h = single.register(&o, &grid(), base()).unwrap();
+        let request = single.default_request(h).unwrap();
+        let ticket = single.submit(h, request).unwrap();
+        let err = single.submit(h, request).unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::Busy {
+                pending: 1,
+                capacity: 1
+            }
+        );
+        let envelope = ResponseEnvelope::rejected(&err);
+        assert_eq!(envelope, ResponseEnvelope::busy(1, 1));
+        let back = ResponseEnvelope::from_json(&envelope.to_json()).unwrap();
+        assert_eq!(back, envelope);
+        assert_eq!(back.status, WireStatus::Busy);
+        // The accepted ticket still drains normally after the shed.
+        single.flush();
+        assert!(single.poll(ticket).is_ready());
+    }
+
+    #[test]
+    fn stats_probe_lines_are_recognised_and_nothing_else_is() {
+        assert!(is_stats_request(r#"{"stats":true}"#));
+        assert!(is_stats_request(r#" {"stats": true, "extra": 1} "#.trim()));
+        // Anything that is not exactly `"stats": true` is a normal line.
+        assert!(!is_stats_request(r#"{"stats":false}"#));
+        assert!(!is_stats_request(r#"{"stats":1}"#));
+        assert!(!is_stats_request(r#"{"handle":0}"#));
+        assert!(!is_stats_request("not json"));
+        assert!(!is_stats_request(""));
+    }
+
+    #[test]
+    fn stats_snapshot_envelope_round_trips_with_both_payloads() {
+        let (mut service, handle, _) = service_with(400, 11);
+        let request = service.default_request(handle).unwrap();
+        let t = service.submit(handle, request).unwrap();
+        service.submit(handle, request).unwrap();
+        service.flush();
+        assert!(service.poll(t).is_ready());
+
+        let envelope =
+            ResponseEnvelope::stats_snapshot(*service.stats(), service.cache_stats_total());
+        assert_eq!(envelope.status, WireStatus::Stats);
+        assert_eq!(envelope.ticket, None);
+        assert_eq!(envelope.code, None);
+        let stats = envelope.stats.expect("snapshot carries server stats");
+        assert_eq!(stats.requests_served, 2);
+        let cache = envelope.cache.expect("snapshot carries cache stats");
+        assert!(cache.hits + cache.misses > 0, "the flush touched the cache");
+
+        let line = envelope.to_json();
+        assert!(line.contains("\"status\":\"stats\""), "{line}");
+        let back = ResponseEnvelope::from_json(&line).unwrap();
+        assert_eq!(back, envelope);
+        assert_eq!(back.stats, Some(stats));
+        assert_eq!(back.cache, Some(cache));
+
+        // Non-stats envelopes do not grow the optional fields: the v1
+        // wire bytes are unchanged.
+        let busy = ResponseEnvelope::busy(1, 1).to_json();
+        assert!(!busy.contains("\"stats\""), "{busy}");
+        assert!(!busy.contains("\"cache\""), "{busy}");
     }
 
     #[test]

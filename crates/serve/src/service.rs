@@ -2,10 +2,11 @@
 //! ticketed submission, drain policies, and cross-batch world caching.
 
 use serde::{Deserialize, Serialize};
-use sfscan::prepared::{AuditRequest, BatchStats, ExecutionPlan, PreparedAudit};
+use sfscan::prepared::{AuditRequest, BatchStats, ExecutionPlan, PreparedAudit, WorldEvaluator};
 use sfscan::worldcache::{CacheStats, WorldCache};
 use sfscan::{AuditConfig, AuditReport, RegionSet, ScanError, SpatialOutcomes};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Opaque id of a registered dataset session, unique per service
 /// instance and assigned in registration order starting at 0 (stable,
@@ -362,6 +363,11 @@ pub struct AuditService {
     /// Presentation state only — execution and reports are unaffected.
     geojson_tickets: BTreeSet<u64>,
     stats: ServerStats,
+    /// Optional world-evaluation backend (e.g. a distributed shard
+    /// coordinator) threaded into every drain; `None` simulates
+    /// in-process. The [`WorldEvaluator`] contract makes either path
+    /// bit-identical.
+    evaluator: Option<Arc<dyn WorldEvaluator>>,
 }
 
 impl AuditService {
@@ -403,6 +409,27 @@ impl AuditService {
     /// The per-session pending-queue cap (`None` = unbounded).
     pub fn queue_capacity(&self) -> Option<usize> {
         self.queue_capacity
+    }
+
+    /// Installs a world-evaluation backend (builder form). See
+    /// [`AuditService::set_evaluator`].
+    pub fn with_evaluator(mut self, evaluator: Arc<dyn WorldEvaluator>) -> Self {
+        self.evaluator = Some(evaluator);
+        self
+    }
+
+    /// Installs (or, with `None`, removes) a world-evaluation backend.
+    /// Every subsequent drain routes world simulation through it —
+    /// e.g. a distributed shard coordinator — instead of the
+    /// in-process engine. The [`WorldEvaluator`] contract guarantees
+    /// responses stay bit-identical either way.
+    pub fn set_evaluator(&mut self, evaluator: Option<Arc<dyn WorldEvaluator>>) {
+        self.evaluator = evaluator;
+    }
+
+    /// The installed world-evaluation backend, if any.
+    pub fn evaluator(&self) -> Option<&Arc<dyn WorldEvaluator>> {
+        self.evaluator.as_ref()
     }
 
     /// The active drain policy.
@@ -490,6 +517,16 @@ impl AuditService {
     /// A handle's cumulative world-cache accounting.
     pub fn cache_stats(&self, handle: DatasetHandle) -> Option<CacheStats> {
         self.session(handle).map(|s| *s.cache.stats())
+    }
+
+    /// World-cache accounting summed across every registered session —
+    /// the `cache` half of the wire's `{"stats": true}` snapshot.
+    pub fn cache_stats_total(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for session in &self.sessions {
+            total.absorb(session.cache.stats());
+        }
+        total
     }
 
     /// Worlds currently cached for a handle (across its world classes).
@@ -677,9 +714,12 @@ impl AuditService {
         let queued = std::mem::take(&mut session.queue);
         session.queued_since = None;
         let requests: Vec<AuditRequest> = queued.iter().map(|(_, r, _)| *r).collect();
-        let (reports, batch) = session
-            .prepared
-            .run_batch_cached(&requests, &mut session.cache);
+        let evaluator = self.evaluator.clone();
+        let (reports, batch) = session.prepared.run_batch_cached_with(
+            &requests,
+            &mut session.cache,
+            evaluator.as_deref(),
+        );
         self.stats.absorb(&batch);
         let clock = self.clock;
         self.drain_latencies

@@ -23,10 +23,25 @@
 //!   responses whose request asked for one (so all other lines are
 //!   byte-identical to the v1 wire).
 
-use crate::service::{AuditResponse, AuditService, DatasetHandle, Status, SubmitError, Ticket};
+use crate::service::{
+    AuditResponse, AuditService, DatasetHandle, ServerStats, Status, SubmitError, Ticket,
+};
 use serde::{Deserialize, Serialize};
 use sfscan::prepared::AuditRequest;
+use sfscan::worldcache::CacheStats;
 use sfscan::AuditReport;
+
+/// Whether a JSONL request line is the metrics probe
+/// `{"stats": true}` rather than an audit submission. The probe is
+/// answered inline with a [`ResponseEnvelope::stats_snapshot`] line —
+/// it never reaches a queue, so scraping metrics can never trip
+/// backpressure or perturb a transcript's ticket numbering.
+pub fn is_stats_request(line: &str) -> bool {
+    match serde_json::from_str::<serde::Value>(line) {
+        Ok(value) => matches!(value.get("stats"), Some(serde::Value::Bool(true))),
+        Err(_) => false,
+    }
+}
 
 /// One submitted request on the wire: which session it routes to and
 /// the request itself.
@@ -114,6 +129,10 @@ pub enum WireStatus {
     /// Distinct from `"rejected"` so retry loops never have to parse
     /// the error text.
     Busy,
+    /// A metrics snapshot answering a `{"stats": true}` probe line;
+    /// the envelope carries the `stats`/`cache` fields instead of a
+    /// report.
+    Stats,
 }
 
 impl WireStatus {
@@ -124,6 +143,7 @@ impl WireStatus {
             WireStatus::Ready => "ready",
             WireStatus::Rejected => "rejected",
             WireStatus::Busy => "busy",
+            WireStatus::Stats => "stats",
         }
     }
 }
@@ -147,8 +167,9 @@ impl Deserialize for WireStatus {
             Some("ready") => Ok(WireStatus::Ready),
             Some("rejected") => Ok(WireStatus::Rejected),
             Some("busy") => Ok(WireStatus::Busy),
+            Some("stats") => Ok(WireStatus::Stats),
             _ => Err(serde::Error::msg(format!(
-                "expected \"queued\"/\"ready\"/\"rejected\"/\"busy\", got {}",
+                "expected \"queued\"/\"ready\"/\"rejected\"/\"busy\"/\"stats\", got {}",
                 value.kind()
             ))),
         }
@@ -252,6 +273,12 @@ pub struct ResponseEnvelope {
     /// present only when the request envelope set its `geojson` flag
     /// and the response is ready.
     pub geojson: Option<String>,
+    /// Cumulative serving statistics, present only on `"stats"`
+    /// envelopes (the answer to a `{"stats": true}` probe line).
+    pub stats: Option<ServerStats>,
+    /// World-cache statistics summed across every session, present
+    /// only on `"stats"` envelopes.
+    pub cache: Option<CacheStats>,
 }
 
 impl ResponseEnvelope {
@@ -264,6 +291,8 @@ impl ResponseEnvelope {
             error: None,
             code: None,
             geojson: None,
+            stats: None,
+            cache: None,
         }
     }
 
@@ -276,6 +305,8 @@ impl ResponseEnvelope {
             error: None,
             code: None,
             geojson: None,
+            stats: None,
+            cache: None,
         }
     }
 
@@ -296,12 +327,30 @@ impl ResponseEnvelope {
             error: Some(error.to_string()),
             code: Some(code),
             geojson: None,
+            stats: None,
+            cache: None,
         }
     }
 
     /// A backpressure envelope for a full session queue.
     pub fn busy(pending: usize, capacity: usize) -> Self {
         ResponseEnvelope::rejected(&SubmitError::Busy { pending, capacity })
+    }
+
+    /// A metrics snapshot answering a `{"stats": true}` probe line:
+    /// the cumulative [`ServerStats`] plus the [`CacheStats`] summed
+    /// across every session's world cache.
+    pub fn stats_snapshot(stats: ServerStats, cache: CacheStats) -> Self {
+        ResponseEnvelope {
+            ticket: None,
+            status: WireStatus::Stats,
+            report: None,
+            error: None,
+            code: None,
+            geojson: None,
+            stats: Some(stats),
+            cache: Some(cache),
+        }
     }
 
     /// The wire view of a polled ticket.
@@ -316,6 +365,8 @@ impl ResponseEnvelope {
                 error: Some(format!("unknown {ticket}")),
                 code: Some(ErrorCode::UnknownTicket),
                 geojson: None,
+                stats: None,
+                cache: None,
             },
         }
     }
@@ -352,6 +403,12 @@ impl Serialize for ResponseEnvelope {
         if let Some(geojson) = &self.geojson {
             fields.push((String::from("geojson"), geojson.to_value()));
         }
+        if let Some(stats) = &self.stats {
+            fields.push((String::from("stats"), stats.to_value()));
+        }
+        if let Some(cache) = &self.cache {
+            fields.push((String::from("cache"), cache.to_value()));
+        }
         serde::Value::Object(fields)
     }
 }
@@ -374,6 +431,21 @@ impl Deserialize for ResponseEnvelope {
             geojson: match value.get("geojson") {
                 Some(v) => Option::<String>::from_value(v)
                     .map_err(|e| serde::Error::msg(format!("field `geojson`: {}", e.message)))?,
+                None => None,
+            },
+            stats: match value.get("stats") {
+                Some(v) => Some(
+                    ServerStats::from_value(v)
+                        .map_err(|e| serde::Error::msg(format!("field `stats`: {}", e.message)))?,
+                ),
+                // Absent on every envelope but the metrics snapshot.
+                None => None,
+            },
+            cache: match value.get("cache") {
+                Some(v) => Some(
+                    CacheStats::from_value(v)
+                        .map_err(|e| serde::Error::msg(format!("field `cache`: {}", e.message)))?,
+                ),
                 None => None,
             },
         })

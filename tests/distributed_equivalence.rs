@@ -1,0 +1,217 @@
+//! Wire-transcript identity for the distributed shard service: the
+//! exact JSONL response lines the in-process `AuditService` prints for
+//! a mixed request stream must also come out — byte for byte, in the
+//! same order — when the same service routes its world evaluation
+//! through a [`DistributedEvaluator`] over real shard-worker sockets,
+//! healthy or faulted. This is the library-level twin of the CI leg
+//! that diffs `experiments serve --coordinator` output against the
+//! stdin path.
+
+use sfcluster::{CoordinatorConfig, DistributedEvaluator, FaultPlan, ShardWorker, SpanCounter};
+use sfnet::SystemClock;
+use spatial_fairness::prelude::*;
+use spatial_fairness::scan::prepared::WorldEvaluator;
+use spatial_fairness::scan::{CountingStrategy, NullModel, WorldGen};
+use spatial_fairness::serve::{RequestEnvelope, ResponseEnvelope};
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// Deterministic unfair layout with both classes present everywhere.
+fn outcomes(n: usize) -> SpatialOutcomes {
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 17;
+        let x = (h % 1000) as f64 / 100.0;
+        let y = ((h >> 10) % 1000) as f64 / 100.0;
+        points.push(Point::new(x, y));
+        let five = h.is_multiple_of(5);
+        labels.push(if x < 5.0 { !five } else { five });
+    }
+    SpatialOutcomes::new(points, labels).unwrap()
+}
+
+fn grid() -> RegionSet {
+    RegionSet::regular_grid(Rect::from_coords(0.0, 0.0, 10.0, 10.0), 4, 4)
+}
+
+/// Coordinator modes require the blocked engine (the shard protocol is
+/// word-window partials), so the base pins it explicitly.
+fn base() -> AuditConfig {
+    AuditConfig::new(0.05)
+        .with_worlds(40)
+        .with_seed(9)
+        .with_strategy(CountingStrategy::Blocked)
+}
+
+fn line_for(handle: u64, request: AuditRequest) -> String {
+    RequestEnvelope::new(DatasetHandle(handle), request).to_json()
+}
+
+/// The request stream: cold audits across worldgens / statistics /
+/// null models, a warm cache repeat, a GeoJSON rendering, an unknown
+/// handle, and a malformed line — every response-envelope shape the
+/// wire can produce (stats probes excluded: their payloads are
+/// timing-dependent by design and never part of a diffable transcript).
+fn mixed_stream() -> Vec<String> {
+    let r = AuditRequest::new(0.05).with_worlds(40).with_seed(1);
+    vec![
+        line_for(0, r),
+        line_for(0, r.with_worldgen(WorldGen::Scalar)),
+        line_for(0, r.with_statistic(Statistic::EqualOppTpr)),
+        line_for(0, r.with_null_model(NullModel::Permutation)),
+        line_for(0, r), // warm repeat: answered from the world cache
+        RequestEnvelope::new(
+            DatasetHandle(0),
+            r.with_direction(Direction::High).with_seed(2),
+        )
+        .with_geojson()
+        .to_json(),
+        line_for(9, r), // unknown handle
+        String::from("not json"),
+    ]
+}
+
+/// What `experiments serve` prints for the stream: submit every line,
+/// flush at EOF, one envelope per line in input order.
+fn transcript(service: &mut AuditService, lines: &[String]) -> Vec<String> {
+    let fates: Vec<_> = lines.iter().map(|l| service.submit_json(l)).collect();
+    service.flush();
+    fates
+        .into_iter()
+        .map(|fate| match fate {
+            Ok(ticket) => {
+                let wants_geojson = service.geojson_requested(ticket);
+                let envelope = ResponseEnvelope::ready(service.take(ticket).unwrap());
+                if wants_geojson {
+                    envelope.with_geojson_findings()
+                } else {
+                    envelope
+                }
+                .to_json()
+            }
+            Err(error) => ResponseEnvelope::rejected(&error).to_json(),
+        })
+        .collect()
+}
+
+/// A service whose drains run through a coordinator over `plans.len()`
+/// shard workers (one fault plan each; `""` = healthy). Returns the
+/// workers too so they outlive the service.
+fn distributed_service(
+    config: CoordinatorConfig,
+    plans: &[&str],
+) -> (AuditService, Vec<ShardWorker>, Arc<DistributedEvaluator>) {
+    let o = outcomes(1200);
+    let regions = grid();
+    let prepared = Arc::new(PreparedAudit::prepare(&o, &regions, base()).unwrap());
+    let workers: Vec<ShardWorker> = plans
+        .iter()
+        .map(|plan| {
+            let counter = Arc::new(SpanCounter::new(prepared.clone()).unwrap());
+            let fault = Arc::new(FaultPlan::from_str(plan).unwrap());
+            ShardWorker::bind("127.0.0.1:0", counter, fault).unwrap()
+        })
+        .collect();
+    let addrs: Vec<String> = workers.iter().map(|w| w.local_addr().to_string()).collect();
+    let evaluator = Arc::new(
+        DistributedEvaluator::new(prepared, &addrs, config, Arc::new(SystemClock::new())).unwrap(),
+    );
+    let mut service =
+        AuditService::new().with_evaluator(Arc::clone(&evaluator) as Arc<dyn WorldEvaluator>);
+    let handle = service.register(&o, &regions, base()).unwrap();
+    assert_eq!(handle, DatasetHandle(0));
+    (service, workers, evaluator)
+}
+
+fn reference_transcript(lines: &[String]) -> Vec<String> {
+    let mut service = AuditService::new();
+    service.register(&outcomes(1200), &grid(), base()).unwrap();
+    transcript(&mut service, lines)
+}
+
+#[test]
+fn healthy_coordinator_transcript_is_byte_identical_to_inprocess() {
+    let lines = mixed_stream();
+    let expected = reference_transcript(&lines);
+    assert_eq!(expected.len(), lines.len(), "one response per line");
+
+    let (mut service, workers, evaluator) =
+        distributed_service(CoordinatorConfig::default(), &["", ""]);
+    let actual = transcript(&mut service, &lines);
+    assert_eq!(actual, expected, "distributed wire bytes drifted");
+
+    let stats = evaluator.stats();
+    assert!(stats.completed_remote > 0, "no spans went over the wire");
+    assert_eq!(
+        stats.degraded_local_spans, 0,
+        "healthy run degraded: {stats:?}"
+    );
+    drop(workers);
+}
+
+#[test]
+fn killed_worker_transcript_is_byte_identical_to_inprocess() {
+    let lines = mixed_stream();
+    let expected = reference_transcript(&lines);
+
+    // Worker 0 dies after two requests: its spans must re-dispatch to
+    // the survivors (or degrade locally) without touching a byte.
+    let config = CoordinatorConfig {
+        connect_timeout_ms: 200,
+        backoff_base_ms: 1,
+        ..CoordinatorConfig::default()
+    };
+    let (mut service, workers, evaluator) = distributed_service(config, &["kill-after=2", "", ""]);
+    let actual = transcript(&mut service, &lines);
+    assert_eq!(actual, expected, "faulted wire bytes drifted");
+
+    assert!(workers[0].is_killed(), "the kill fault never fired");
+    let stats = evaluator.stats();
+    assert!(
+        stats.redispatches > 0 || stats.degraded_local_spans > 0,
+        "the kill never forced a recovery: {stats:?}"
+    );
+}
+
+#[test]
+fn all_dead_coordinator_degrades_locally_with_identical_transcript() {
+    let lines = mixed_stream();
+    let expected = reference_transcript(&lines);
+
+    // An address nothing listens on: every dispatch fails fast and the
+    // coordinator recomputes every span locally — same bytes, louder
+    // failure accounting.
+    let dead_addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let o = outcomes(1200);
+    let regions = grid();
+    let prepared = Arc::new(PreparedAudit::prepare(&o, &regions, base()).unwrap());
+    let evaluator = Arc::new(
+        DistributedEvaluator::new(
+            prepared,
+            &[dead_addr],
+            CoordinatorConfig {
+                connect_timeout_ms: 50,
+                backoff_base_ms: 1,
+                max_attempts: 1,
+                dead_after: 1,
+                ..CoordinatorConfig::default()
+            },
+            Arc::new(SystemClock::new()),
+        )
+        .unwrap(),
+    );
+    let mut service =
+        AuditService::new().with_evaluator(Arc::clone(&evaluator) as Arc<dyn WorldEvaluator>);
+    service.register(&o, &regions, base()).unwrap();
+    let actual = transcript(&mut service, &lines);
+    assert_eq!(actual, expected, "degraded wire bytes drifted");
+    assert!(
+        evaluator.stats().degraded_local_spans > 0,
+        "never degraded: {:?}",
+        evaluator.stats()
+    );
+}
